@@ -1,0 +1,709 @@
+(* spi-variants: command-line front end.
+
+   Subcommands:
+     models       list the bundled models
+     validate     validate a variant system
+     simulate     run a model under scripted stimuli and print stats
+     analyze      static analysis (rate balance, deadlocks, queue bounds)
+     dot          export a model graph to Graphviz
+     synthesize   HW/SW partitioning for the Table 1 example
+     pareto       cost/load frontier for the Table 1 example *)
+
+open Cmdliner
+
+module F1 = Paper.Figure1
+module F2 = Paper.Figure2
+module V = Variants
+
+(* ------------------------------------------------------------------ *)
+(* Model registry.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type bundled = {
+  description : string;
+  model : unit -> Spi.Model.t;
+  configurations : unit -> V.Configuration.t list;
+  stimuli : unit -> Sim.Engine.stimulus list;
+  budgets : (Spi.Ids.Process_id.t * int) list;
+}
+
+let video_bundled ~with_valves =
+  let built =
+    lazy (Video.System.build { Video.System.default_params with with_valves })
+  in
+  {
+    description =
+      (if with_valves then
+         "Figure 4 reconfigurable video system (valves active)"
+       else "Figure 4 video system without valves (unsafe)");
+    model = (fun () -> (Lazy.force built).Video.System.model);
+    configurations =
+      (fun () -> (Lazy.force built).Video.System.configurations);
+    stimuli =
+      (fun () ->
+        Video.Scenario.switching_demo ~frames:40 ~period:5
+          ~switches:[ (52, "fB"); (120, "fA") ]
+          ());
+    budgets = [];
+  }
+
+let figure3_bundled tag_name tag =
+  let built = lazy (V.Flatten.abstract F2.system_with_selection) in
+  {
+    description =
+      Format.sprintf
+        "Figure 3 abstract model, user selects %s at start-up" tag_name;
+    model = (fun () -> fst (Lazy.force built));
+    configurations = (fun () -> snd (Lazy.force built));
+    stimuli =
+      (fun () ->
+        {
+          Sim.Engine.at = 0;
+          channel = F2.cv;
+          token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton tag) ();
+        }
+        :: List.init 5 (fun i ->
+               {
+                 Sim.Engine.at = 2 + (3 * i);
+                 channel = F2.cx;
+                 token = Spi.Token.make ~payload:(i + 1) ();
+               }));
+    budgets = [ (F2.p_user, 0) ];
+  }
+
+let models : (string * bundled) list =
+  [
+    ( "figure1",
+      {
+        description = "Figure 1 SPI example (p1 -> p2 -> p3)";
+        model = (fun () -> F1.model);
+        configurations = (fun () -> []);
+        stimuli = (fun () -> F1.stimuli_mixed ~n:8);
+        budgets = [];
+      } );
+    ( "figure2-g1",
+      {
+        description = "Figure 2 system flattened with cluster g1";
+        model =
+          (fun () ->
+            V.Flatten.flatten F2.system
+              (V.Flatten.choice_of_list [ ("iface1", "g1") ]));
+        configurations = (fun () -> []);
+        stimuli =
+          (fun () ->
+            List.init 5 (fun i ->
+                {
+                  Sim.Engine.at = 1 + (3 * i);
+                  channel = F2.cx;
+                  token = Spi.Token.make ~payload:(i + 1) ();
+                }));
+        budgets = [];
+      } );
+    ( "figure2-g2",
+      {
+        description = "Figure 2 system flattened with cluster g2";
+        model =
+          (fun () ->
+            V.Flatten.flatten F2.system
+              (V.Flatten.choice_of_list [ ("iface1", "g2") ]));
+        configurations = (fun () -> []);
+        stimuli =
+          (fun () ->
+            List.init 5 (fun i ->
+                {
+                  Sim.Engine.at = 1 + (3 * i);
+                  channel = F2.cx;
+                  token = Spi.Token.make ~payload:(i + 1) ();
+                }));
+        budgets = [];
+      } );
+    ("figure3-v1", figure3_bundled "V1" F2.tag_v1);
+    ("figure3-v2", figure3_bundled "V2" F2.tag_v2);
+    ("video", video_bundled ~with_valves:true);
+    ("video-novalves", video_bundled ~with_valves:false);
+  ]
+
+let model_names = List.map fst models
+
+let lookup_model name =
+  match List.assoc_opt name models with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (`Msg
+        (Format.sprintf "unknown model %s (available: %s)" name
+           (String.concat ", " model_names)))
+
+let model_arg =
+  let model_conv =
+    Arg.conv
+      ( (fun s -> lookup_model s),
+        (fun ppf (_ : bundled) -> Format.pp_print_string ppf "<model>") )
+  in
+  Arg.(
+    required
+    & pos 0 (some model_conv) None
+    & info [] ~docv:"MODEL" ~doc:(Format.sprintf "One of: %s." (String.concat ", " model_names)))
+
+(* ------------------------------------------------------------------ *)
+(* Commands.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Textual-format commands.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A system description in the .spi format")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let load_system path =
+  let source = read_file path in
+  try Ok (Lang.Parser.system_of_string source) with
+  | Lang.Parser.Parse_error { line; col; message } ->
+    Error (Lang.Error_report.render ~source ~path ~line ~col ~message)
+  | Invalid_argument message -> Error (Format.sprintf "%s: %s" path message)
+
+let with_system path f =
+  match load_system path with
+  | Ok system -> f system
+  | Error message ->
+    Format.eprintf "%s@." message;
+    exit 1
+
+let fmt_cmd =
+  let run path =
+    with_system path (fun system ->
+        print_string (Lang.Printer.to_string system))
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse and pretty-print a .spi file")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run path =
+    with_system path (fun system ->
+        match V.System.validate system with
+        | [] ->
+          Format.printf "%s: OK (%a)@." path V.System.pp system;
+          let constraints = V.System.constraints system in
+          List.iter
+            (fun (clusters, model) ->
+              Format.printf "  %-24s %a@."
+                (String.concat "+" (List.map Spi.Ids.Cluster_id.to_string clusters))
+                Spi.Model.pp_stats model;
+              let latency_of pid =
+                match Spi.Model.find_process pid model with
+                | Some p -> Interval.hi (Spi.Process.latency_hull p)
+                | None -> 0
+              in
+              List.iter
+                (fun (c, o) ->
+                  Format.printf "    %a: %a@." Spi.Constraint_.pp c
+                    Spi.Constraint_.pp_outcome o)
+                (Spi.Constraint_.check_all ~latency_of model constraints))
+            (V.Flatten.applications system)
+        | errors ->
+          Format.printf "%s: %d errors@." path (List.length errors);
+          List.iter (fun e -> Format.printf "  %a@." V.System.pp_error e) errors;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a .spi file and list its applications")
+    Term.(const run $ file_arg)
+
+let analyze_file_cmd =
+  let run path =
+    with_system path (fun system ->
+        match V.System.validate system with
+        | _ :: _ as errors ->
+          List.iter (fun e -> Format.printf "%a@." V.System.pp_error e) errors;
+          exit 1
+        | [] ->
+          List.iter
+            (fun (clusters, model) ->
+              Format.printf "@.=== %s ===@."
+                (String.concat "+" (List.map Spi.Ids.Cluster_id.to_string clusters));
+              Format.printf "rate balance:@.";
+              List.iter
+                (fun (cid, b) ->
+                  Format.printf "  %-12s %a@."
+                    (Spi.Ids.Channel_id.to_string cid)
+                    Spi.Analysis.pp_balance b)
+                (Spi.Analysis.balance_report model);
+              (match Spi.Analysis.bottleneck model with
+              | Some (pid, latency) ->
+                Format.printf "bottleneck: %a (latency %d)@."
+                  Spi.Ids.Process_id.pp pid latency
+              | None -> ());
+              match Spi.Analysis.deadlock_candidates model with
+              | [] -> Format.printf "no deadlock candidates@."
+              | comps ->
+                List.iter
+                  (fun comp ->
+                    Format.printf "deadlock candidate: {%s}@."
+                      (String.concat ", "
+                         (List.map Spi.Ids.Process_id.to_string comp)))
+                  comps)
+            (V.Flatten.applications system))
+  in
+  Cmd.v
+    (Cmd.info "analyze-file"
+       ~doc:"Static analysis of every application of a .spi file")
+    Term.(const run $ file_arg)
+
+let synthesize_file_cmd =
+  let tech_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "tech" ] ~docv:"TECHFILE" ~doc:"Technology library (tech format)")
+  in
+  let run path tech_path =
+    with_system path (fun system ->
+        (match V.System.validate system with
+        | [] -> ()
+        | errors ->
+          List.iter (fun e -> Format.eprintf "%a@." V.System.pp_error e) errors;
+          exit 1);
+        let tech =
+          try Lang.Tech_file.of_file tech_path with
+          | Lang.Parser.Parse_error { line; col; message } ->
+            Format.eprintf "%s:%d:%d: %s@." tech_path line col message;
+            exit 1
+          | Invalid_argument m ->
+            Format.eprintf "%s: %s@." tech_path m;
+            exit 1
+        in
+        let apps = Synth.App.of_system system in
+        let models =
+          List.map
+            (fun (clusters, model) ->
+              ( String.concat "+" (List.map Spi.Ids.Cluster_id.to_string clusters),
+                model ))
+            (V.Flatten.applications system)
+        in
+        let report =
+          Synth.Report.build ~models
+            ~constraints:(V.System.constraints system)
+            tech apps
+        in
+        Format.printf "%a@." Synth.Report.pp report;
+        if Option.is_none report.Synth.Report.optimal then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "synthesize-file"
+       ~doc:"Variant-aware synthesis of a .spi file against a tech library")
+    Term.(const run $ file_arg $ tech_arg)
+
+let lint_cmd =
+  let run path =
+    with_system path (fun system ->
+        let result = V.Lint.run system in
+        Format.printf "%a" V.Lint.pp result;
+        if not (V.Lint.is_clean result) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Run every static check over a .spi file")
+    Term.(const run $ file_arg)
+
+let export_cmd =
+  let exportable =
+    [
+      ("figure2", fun () -> F2.system);
+      ("figure3", fun () -> F2.system_with_selection);
+      ( "generated",
+        fun () ->
+          V.Generator.generate
+            { V.Generator.default with sites = 2; variants_per_site = 3 } );
+    ]
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum exportable)) None
+      & info [] ~docv:"SYSTEM"
+          ~doc:"figure2, figure3 or generated")
+  in
+  let run make = print_string (Lang.Printer.to_string (make ())) in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print a bundled system in the .spi format")
+    Term.(const run $ name_arg)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (name, b) -> Format.printf "%-16s %s@." name b.description)
+      models
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the bundled models") Term.(const run $ const ())
+
+let validate_cmd =
+  let run () =
+    let check name system =
+      match V.System.validate system with
+      | [] -> Format.printf "%-10s OK (%a)@." name V.System.pp system
+      | errors ->
+        Format.printf "%-10s %d errors@." name (List.length errors);
+        List.iter (fun e -> Format.printf "  %a@." V.System.pp_error e) errors
+    in
+    check "figure2" F2.system;
+    check "figure3" F2.system_with_selection;
+    let generated =
+      V.Generator.generate { V.Generator.default with sites = 2; variants_per_site = 3 }
+    in
+    check "generated" generated;
+    List.iter
+      (fun iface ->
+        match V.Interface.ambiguous_selection_pairs iface with
+        | [] -> ()
+        | pairs ->
+          Format.printf "figure3 interface %a: %d selection rule pairs not \
+                         provably disjoint@."
+            Spi.Ids.Interface_id.pp (V.Interface.id iface)
+            (List.length pairs))
+      (V.System.interfaces F2.system_with_selection)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate the bundled variant systems")
+    Term.(const run $ const ())
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      [
+        ("best", Sim.Engine.Best_case);
+        ("typical", Sim.Engine.Typical);
+        ("worst", Sim.Engine.Worst_case);
+      ]
+  in
+  Arg.(
+    value & opt policy_conv Sim.Engine.Typical
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"best, typical or worst")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a VCD waveform dump to $(docv)")
+
+let simulate_cmd =
+  let run bundled policy show_trace vcd_path =
+    let model = bundled.model () in
+    let result =
+      Sim.Engine.run ~policy
+        ~configurations:(bundled.configurations ())
+        ~stimuli:(bundled.stimuli ()) ~firing_budget:bundled.budgets model
+    in
+    Format.printf "%s@." bundled.description;
+    Format.printf "%a@." Sim.Engine.pp_summary result;
+    let stats = Sim.Stats.of_result model result in
+    Format.printf "@.%a@." Sim.Stats.pp stats;
+    if show_trace then Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
+    match vcd_path with
+    | None -> ()
+    | Some path ->
+      Sim.Vcd.to_file path model result;
+      Format.printf "@.VCD written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a bundled model")
+    Term.(const run $ model_arg $ policy_arg $ trace_flag $ vcd_arg)
+
+let simulate_file_cmd =
+  let variant_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "variant" ] ~docv:"IFACE=CLUSTER"
+          ~doc:"Cluster choice per interface (default: first cluster)")
+  in
+  let drive_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "drive" ] ~docv:"N"
+          ~doc:"Inject $(docv) tokens into every boundary input channel")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the run as JSON to $(docv)")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv)")
+  in
+  let run path variants drive policy show_trace vcd_path json_path csv_path =
+    with_system path (fun system ->
+        (match V.System.validate system with
+        | [] -> ()
+        | errors ->
+          List.iter (fun e -> Format.eprintf "%a@." V.System.pp_error e) errors;
+          exit 1);
+        let choice iid =
+          match
+            List.assoc_opt (Spi.Ids.Interface_id.to_string iid) variants
+          with
+          | Some c -> Spi.Ids.Cluster_id.of_string c
+          | None -> V.Flatten.first_cluster system iid
+        in
+        let model = V.Flatten.flatten system choice in
+        let inputs = Spi.Model.unwritten_channels model in
+        let stimuli =
+          List.concat_map
+            (fun cid ->
+              List.init drive (fun i ->
+                  {
+                    Sim.Engine.at = 1 + i;
+                    channel = cid;
+                    token = Spi.Token.make ~payload:(i + 1) ();
+                  }))
+            (Spi.Ids.Channel_id.Set.elements inputs)
+        in
+        let result = Sim.Engine.run ~policy ~stimuli model in
+        Format.printf "%a@." Sim.Engine.pp_summary result;
+        Format.printf "@.%a@." Sim.Stats.pp (Sim.Stats.of_result model result);
+        if show_trace then
+          Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
+        Option.iter (fun p -> Sim.Vcd.to_file p model result) vcd_path;
+        Option.iter (fun p -> Sim.Json.to_file p model result) json_path;
+        Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path)
+  in
+  Cmd.v
+    (Cmd.info "simulate-file"
+       ~doc:"Flatten and simulate a .spi file, optionally exporting the run")
+    Term.(
+      const run $ file_arg $ variant_arg $ drive_arg $ policy_arg $ trace_flag
+      $ vcd_arg $ json_arg $ csv_arg)
+
+let analyze_cmd =
+  let run bundled =
+    let model = bundled.model () in
+    Format.printf "%s: %a@." bundled.description Spi.Model.pp_stats model;
+    Format.printf "@.rate balance:@.";
+    List.iter
+      (fun (cid, balance) ->
+        Format.printf "  %-12s %a@." (Spi.Ids.Channel_id.to_string cid)
+          Spi.Analysis.pp_balance balance)
+      (Spi.Analysis.balance_report model);
+    (match Spi.Analysis.deadlock_candidates model with
+    | [] -> Format.printf "@.no structural deadlock candidates@."
+    | comps ->
+      Format.printf "@.deadlock candidates:@.";
+      List.iter
+        (fun comp ->
+          Format.printf "  {%s}@."
+            (String.concat ", " (List.map Spi.Ids.Process_id.to_string comp)))
+        comps);
+    Format.printf "@.queue bounds (16 source executions):@.";
+    List.iter
+      (fun (cid, bound) ->
+        Format.printf "  %-12s %s@." (Spi.Ids.Channel_id.to_string cid)
+          (match bound with
+          | Some b -> string_of_int b
+          | None -> "unbounded/cyclic"))
+      (Spi.Analysis.queue_bounds ~source_executions:16 model)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static analysis of a bundled model")
+    Term.(const run $ model_arg)
+
+let dot_cmd =
+  let run bundled =
+    let model = bundled.model () in
+    let module Dot = Graphlib.Dot.Make (Spi.Model.Graph) in
+    let node_attrs = function
+      | Spi.Model.P _ -> [ ("shape", "box") ]
+      | Spi.Model.C _ -> [ ("shape", "ellipse") ]
+    in
+    Dot.pp ~graph_name:"spi" ~node_attrs ~node_label:Spi.Model.node_label
+      Format.std_formatter (Spi.Model.to_graph model)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a bundled model's graph as Graphviz")
+    Term.(const run $ model_arg)
+
+let dot_system_cmd =
+  let systems =
+    [
+      ("figure2", fun () -> F2.system);
+      ("figure3", fun () -> F2.system_with_selection);
+      ( "generated",
+        fun () ->
+          V.Generator.generate
+            { V.Generator.default with sites = 2; variants_per_site = 3 } );
+    ]
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum systems)) None
+      & info [] ~docv:"SYSTEM" ~doc:"figure2, figure3 or generated")
+  in
+  let run make = print_string (V.Dot_system.to_string (make ())) in
+  Cmd.v
+    (Cmd.info "dot-system"
+       ~doc:"Graphviz of the variant structure (interfaces and clusters as boxes)")
+    Term.(const run $ name_arg)
+
+let synthesize_cmd =
+  let run () =
+    let tech = F2.table1_tech in
+    let apps = [ F2.app1; F2.app2 ] in
+    let print name (s : Synth.Explore.solution) =
+      Format.printf "%-14s %a@." name Synth.Cost.pp s.Synth.Explore.cost
+    in
+    print "Application 1" (Synth.Explore.optimal_exn tech [ F2.app1 ]);
+    print "Application 2" (Synth.Explore.optimal_exn tech [ F2.app2 ]);
+    (match Synth.Superpose.superpose tech apps with
+    | Some r -> Format.printf "%-14s %a@." "Superposition" Synth.Cost.pp r.Synth.Superpose.cost
+    | None -> Format.printf "superposition infeasible@.");
+    print "With variants" (Synth.Explore.optimal_exn tech apps)
+  in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc:"Run the Table 1 synthesis flows")
+    Term.(const run $ const ())
+
+let schedule_cmd =
+  let run () =
+    (* Application 1 under its Table 1 optimal binding, with per-process
+       figures for the cluster internals *)
+    let model =
+      V.Flatten.flatten F2.system
+        (V.Flatten.choice_of_list [ ("iface1", "g1") ])
+    in
+    let pid = Spi.Ids.Process_id.of_string in
+    let tech =
+      Synth.Tech.make
+        [
+          (pid "PA", Synth.Tech.both ~load:40 ~area:26);
+          (pid "PB", Synth.Tech.both ~load:30 ~area:30);
+          (pid "iface1.x1", Synth.Tech.both ~load:30 ~area:10);
+          (pid "iface1.x2", Synth.Tech.both ~load:30 ~area:9);
+        ]
+    in
+    let binding =
+      Synth.Binding.of_list
+        [
+          (pid "PA", Synth.Binding.Sw);
+          (pid "PB", Synth.Binding.Sw);
+          (pid "iface1.x1", Synth.Binding.Hw);
+          (pid "iface1.x2", Synth.Binding.Hw);
+        ]
+    in
+    match Synth.List_schedule.schedule tech binding model with
+    | Error e -> Format.printf "%a@." Synth.List_schedule.pp_error e
+    | Ok s ->
+      Format.printf "Application 1 (cluster g1 in hardware):@.@.%a@."
+        Synth.List_schedule.pp_gantt s
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Static list schedule + Gantt chart of the Table 1 application")
+    Term.(const run $ const ())
+
+let pareto_cmd =
+  let run () =
+    let points = Synth.Pareto.frontier F2.table1_tech [ F2.app1; F2.app2 ] in
+    Format.printf "cost/load Pareto frontier (%d points):@." (List.length points);
+    List.iter (fun p -> Format.printf "  %a@." Synth.Pareto.pp_point p) points
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Cost/load frontier for the Table 1 example")
+    Term.(const run $ const ())
+
+let report_cmd =
+  let run () =
+    let models =
+      List.map
+        (fun (clusters, model) ->
+          let name =
+            match clusters with
+            | [ c ] when Spi.Ids.Cluster_id.to_string c = "g1" -> "Application 1"
+            | _ -> "Application 2"
+          in
+          (name, model))
+        (V.Flatten.applications F2.system)
+    in
+    let r =
+      Synth.Report.build ~models F2.table1_tech [ F2.app1; F2.app2 ]
+    in
+    Format.printf "%a@." Synth.Report.pp r
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full synthesis report for the Table 1 example")
+    Term.(const run $ const ())
+
+let sensitivity_cmd =
+  let run () =
+    let apps = [ F2.app1; F2.app2 ] in
+    Format.printf "%-14s | %-9s | %s@." "process" "parameter" "decision";
+    List.iter
+      (fun (pid, name, parameter, lo, hi) ->
+        let label =
+          match parameter with
+          | Synth.Sensitivity.Hw_area -> "hw area"
+          | Synth.Sensitivity.Sw_load -> "sw load"
+        in
+        match
+          Synth.Sensitivity.flip_point ~parameter ~range:(lo, hi)
+            F2.table1_tech apps pid
+        with
+        | Some flip ->
+          Format.printf "%-14s | %-9s | %a@." name label
+            Synth.Sensitivity.pp_flip flip
+        | None ->
+          Format.printf "%-14s | %-9s | stable over [%d, %d]@." name label lo hi)
+      [
+        (F2.pa, "PA", Synth.Sensitivity.Hw_area, 26, 80);
+        (F2.pb, "PB", Synth.Sensitivity.Sw_load, 30, 100);
+        (F2.unit_g1, "cluster g1", Synth.Sensitivity.Hw_area, 19, 100);
+        (F2.unit_g2, "cluster g2", Synth.Sensitivity.Sw_load, 55, 100);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Flip points of the Table 1 optimum under parameter drift")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "spi-variants" ~version:"1.0.0"
+      ~doc:"Function-variant representation for embedded system optimization"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            models_cmd;
+            validate_cmd;
+            simulate_cmd;
+            analyze_cmd;
+            dot_cmd;
+            dot_system_cmd;
+            synthesize_cmd;
+            pareto_cmd;
+            schedule_cmd;
+            report_cmd;
+            sensitivity_cmd;
+            fmt_cmd;
+            check_cmd;
+            analyze_file_cmd;
+            simulate_file_cmd;
+            synthesize_file_cmd;
+            lint_cmd;
+            export_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/automotive.ml: Format Interval List Spi Synth Variants

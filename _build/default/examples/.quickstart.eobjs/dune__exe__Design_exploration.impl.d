@@ -1,0 +1,1 @@
+examples/design_exploration.ml: Format List Paper Spi String Synth

@@ -1,0 +1,1 @@
+examples/hierarchical_variants.ml: Format Interval List Sim Spi Variants

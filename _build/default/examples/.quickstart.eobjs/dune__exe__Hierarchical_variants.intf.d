@@ -1,0 +1,1 @@
+examples/hierarchical_variants.mli:

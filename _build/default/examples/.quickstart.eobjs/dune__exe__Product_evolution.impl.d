@@ -1,0 +1,1 @@
+examples/product_evolution.ml: Format Interval List Sim Spi Variants

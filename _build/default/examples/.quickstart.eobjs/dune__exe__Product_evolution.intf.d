@@ -1,0 +1,1 @@
+examples/product_evolution.mli:

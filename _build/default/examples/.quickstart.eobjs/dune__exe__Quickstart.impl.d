@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Interval List Paper Sim Spi

@@ -1,0 +1,1 @@
+examples/variant_selection.ml: Format List Paper Sim Spi String Variants

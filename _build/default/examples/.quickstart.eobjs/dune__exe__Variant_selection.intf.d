@@ -1,0 +1,1 @@
+examples/variant_selection.mli:

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Format List Sim Spi String Video

@@ -1,0 +1,1 @@
+examples/video_pipeline.mli:

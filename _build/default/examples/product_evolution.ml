@@ -1,0 +1,160 @@
+(* Product-generation evolution: the paper's reuse story.
+
+   Generation 1 ships a communication device whose protocol stack is a
+   production variant (the designer picks one; the product is fixed).
+   Generation 2 reuses the same parts but (a) adds a new protocol
+   cluster developed elsewhere — reuse is possible because its port
+   signature matches — and (b) turns the interface into a run-time
+   variant selected at boot.  Finally, measurements of a simulated
+   prototype refine the wide specification intervals.
+
+   Run with: dune exec examples/product_evolution.exe *)
+
+module I = Spi.Ids
+module V = Variants
+
+let one = Interval.point 1
+
+let proto_cluster name latency =
+  let pi = V.Port.input "rx" and po = V.Port.output "tx" in
+  V.Cluster.make ~ports:[ pi; po ]
+    ~processes:
+      [
+        Spi.Process.simple ~latency
+          ~consumes:[ (V.Port.channel_of (V.Port.id pi), one) ]
+          ~produces:[ (V.Port.channel_of (V.Port.id po), Spi.Mode.produce one) ]
+          (I.Process_id.of_string (name ^ "_stack"));
+      ]
+    name
+
+let gen1 =
+  let radio = I.Channel_id.of_string "RADIO" in
+  let frames = I.Channel_id.of_string "FRAMES" in
+  let app = I.Channel_id.of_string "APP" in
+  let iface =
+    V.Interface.make
+      ~ports:[ V.Port.input "rx"; V.Port.output "tx" ]
+      ~clusters:
+        [
+          proto_cluster "proto_v1" (Interval.make 2 9);
+          proto_cluster "proto_v2" (Interval.make 3 12);
+        ]
+      "protocol"
+  in
+  V.System.make
+    ~processes:
+      [
+        Spi.Process.simple ~latency:one
+          ~consumes:[ (radio, one) ]
+          ~produces:[ (frames, Spi.Mode.produce one) ]
+          (I.Process_id.of_string "frontend");
+      ]
+    ~channels:[ Spi.Chan.queue radio; Spi.Chan.queue frames; Spi.Chan.queue app ]
+    ~sites:
+      [
+        {
+          V.Structure.iface;
+          wiring =
+            [
+              (I.Port_id.of_string "rx", frames);
+              (I.Port_id.of_string "tx", app);
+            ];
+        };
+      ]
+    "comms-gen1"
+
+let () =
+  V.System.validate_exn gen1;
+  Format.printf "=== Generation 1 ===@.%a@." V.System.pp gen1;
+
+  (* the designer commits generation 1 to proto_v1: production variant *)
+  let product1 =
+    V.Evolution.fix_variant
+      (I.Interface_id.of_string "protocol")
+      (I.Cluster_id.of_string "proto_v1")
+      gen1
+  in
+  Format.printf "gen1 product (fixed to proto_v1): %d sites, %d processes@."
+    (V.System.site_count product1)
+    (List.length (V.System.processes product1));
+
+  (* generation 2: a third protocol arrives from another team *)
+  Format.printf "@.=== Generation 2 ===@.";
+  let proto_v3 = proto_cluster "proto_v3" (Interval.make 1 6) in
+  let iface = List.hd (V.System.interfaces gen1) in
+  Format.printf "reuse check for proto_v3: %a@." V.Reuse.pp_compatibility
+    (V.Reuse.check iface proto_v3);
+  let extended_iface =
+    match V.Reuse.extend_interface iface proto_v3 with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  let gen2_base =
+    let site = List.hd (V.System.sites gen1) in
+    V.System.make
+      ~processes:(V.System.processes gen1)
+      ~channels:(Spi.Chan.register (I.Channel_id.of_string "BOOT") :: V.System.channels gen1)
+      ~sites:[ { site with V.Structure.iface = extended_iface } ]
+      "comms-gen2"
+  in
+  (* ... and the variant becomes run-time selected at boot *)
+  let boot = I.Channel_id.of_string "BOOT" in
+  let selection =
+    V.Selection.make
+      ~config_latencies:
+        [
+          (I.Cluster_id.of_string "proto_v1", 3);
+          (I.Cluster_id.of_string "proto_v2", 3);
+          (I.Cluster_id.of_string "proto_v3", 2);
+        ]
+      ~initial:(I.Cluster_id.of_string "proto_v1")
+      [
+        V.Selection.rule "b1"
+          ~guard:Spi.Predicate.(has_tag boot (Spi.Tag.make "v1"))
+          ~target:(I.Cluster_id.of_string "proto_v1");
+        V.Selection.rule "b2"
+          ~guard:Spi.Predicate.(has_tag boot (Spi.Tag.make "v2"))
+          ~target:(I.Cluster_id.of_string "proto_v2");
+        V.Selection.rule "b3"
+          ~guard:Spi.Predicate.(has_tag boot (Spi.Tag.make "v3"))
+          ~target:(I.Cluster_id.of_string "proto_v3");
+      ]
+  in
+  let gen2 =
+    V.Evolution.make_runtime (I.Interface_id.of_string "protocol") selection gen2_base
+  in
+  V.System.validate_exn gen2;
+  Format.printf "gen2: %d protocol variants, run-time selected@."
+    (V.Interface.variant_count (List.hd (V.System.interfaces gen2)));
+
+  (* boot into proto_v3 and measure *)
+  let model, configurations = V.Flatten.abstract gen2 in
+  let stimuli =
+    {
+      Sim.Engine.at = 0;
+      channel = boot;
+      token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (Spi.Tag.make "v3")) ();
+    }
+    :: List.init 8 (fun i ->
+           {
+             Sim.Engine.at = 2 + (4 * i);
+             channel = I.Channel_id.of_string "RADIO";
+             token = Spi.Token.make ~payload:(i + 1) ();
+           })
+  in
+  let result = Sim.Engine.run ~configurations ~stimuli model in
+  Format.printf "@.boot into proto_v3: %a@." Sim.Engine.pp_summary result;
+  List.iter
+    (fun (t, p, c, l) ->
+      Format.printf "  t=%d %a -> %a (t_conf %d)@." t I.Process_id.pp p
+        I.Config_id.pp c l)
+    (Sim.Trace.reconfigurations result.Sim.Engine.trace);
+
+  (* measurements refine the abstract process's wide intervals *)
+  let protocol = I.Process_id.of_string "protocol" in
+  let before = Spi.Model.get_process protocol model in
+  let refined = Sim.Refine.refine_process result before in
+  Format.printf "@.latency before refinement: %a, after: %a@." Interval.pp
+    (Spi.Process.latency_hull before)
+    Interval.pp
+    (Spi.Process.latency_hull refined)

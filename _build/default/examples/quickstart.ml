@@ -1,0 +1,47 @@
+(* Quickstart: build the paper's Figure 1 SPI model, inspect it, and
+   simulate it against a scripted environment.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let model = Paper.Figure1.model in
+  Format.printf "=== Figure 1 SPI example ===@.";
+  Format.printf "Model: %a@." Spi.Model.pp_stats model;
+
+  (* Inspect p2: interval parameters refined by modes m1/m2. *)
+  let p2 = Spi.Model.get_process Paper.Figure1.p2 model in
+  Format.printf "@.%a@." Spi.Process.pp p2;
+  Format.printf "@.p2 latency hull: %a@." Interval.pp (Spi.Process.latency_hull p2);
+  Format.printf "p2 consumption hull on c1: %a@." Interval.pp
+    (Spi.Process.consumption_hull p2 Paper.Figure1.c1);
+
+  (* Static timing: worst-case path latency p1 ~> p3. *)
+  let latency_of pid =
+    Interval.hi (Spi.Process.latency_hull (Spi.Model.get_process pid model))
+  in
+  let constraint_ =
+    Spi.Constraint_.latency_path ~name:"end-to-end" ~from_:Paper.Figure1.p1
+      ~to_:Paper.Figure1.p3 ~bound:12
+  in
+  Format.printf "@.Constraint %a: %a@." Spi.Constraint_.pp constraint_
+    Spi.Constraint_.pp_outcome
+    (Spi.Constraint_.check ~latency_of model constraint_);
+
+  (* Simulate: environment tokens alternating tags 'a'/'b'. *)
+  let result =
+    Sim.Engine.run ~policy:Sim.Engine.Worst_case
+      ~stimuli:(Paper.Figure1.stimuli_mixed ~n:8)
+      model
+  in
+  Format.printf "@.=== Simulation (worst-case policy) ===@.%a@."
+    Sim.Engine.pp_summary result;
+  let p2_starts = Sim.Trace.starts ~process:Paper.Figure1.p2 result.trace in
+  Format.printf "p2 executed %d times; modes used:@." (List.length p2_starts);
+  List.iter
+    (function
+      | Sim.Trace.Started { time; mode; _ } ->
+        Format.printf "  t=%d mode %a@." time Spi.Ids.Mode_id.pp mode
+      | Sim.Trace.Injected _ | Sim.Trace.Completed _ | Sim.Trace.Quiescent _ ->
+        ())
+    p2_starts;
+  Format.printf "@.Full trace:@.%a@." Sim.Trace.pp result.trace

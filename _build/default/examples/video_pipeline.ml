@@ -1,0 +1,55 @@
+(* The industrial reconfigurable video system of Figure 4.
+
+   A two-stage chain processes a frame stream while a controller
+   switches both stages between function variants on user requests.
+   With the valves PIn/POut active, no invalid image ever reaches the
+   output; the second run disables the valves and the checker catches
+   inconsistently processed frames.
+
+   Run with: dune exec examples/video_pipeline.exe *)
+
+let run_scenario ~with_valves =
+  let built =
+    Video.System.build { Video.System.default_params with with_valves }
+  in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:40 ~period:5
+      ~switches:[ (52, "fB"); (120, "fA") ]
+      ()
+  in
+  let result =
+    Sim.Engine.run ~policy:Sim.Engine.Typical
+      ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  (built, result, Video.Checker.check result)
+
+let () =
+  Format.printf "=== Figure 4: reconfigurable video system ===@.";
+  let built, result, report = run_scenario ~with_valves:true in
+  Format.printf "model: %a@." Spi.Model.pp_stats built.Video.System.model;
+  Format.printf "simulation: %a@." Sim.Engine.pp_summary result;
+  Format.printf "checker: %a@." Video.Checker.pp report;
+  Format.printf "invalid-image property: %s@."
+    (if Video.Checker.is_safe report then "SAFE (valves active)" else "VIOLATED");
+
+  List.iter
+    (fun (time, process, config, latency) ->
+      Format.printf "  t=%d: %a -> %a (t_conf=%d)@." time
+        Spi.Ids.Process_id.pp process Spi.Ids.Config_id.pp config latency)
+    (Sim.Trace.reconfigurations result.trace);
+
+  Format.printf "@.=== Ablation: valves removed ===@.";
+  let _, result_nv, report_nv = run_scenario ~with_valves:false in
+  Format.printf "simulation: %a@." Sim.Engine.pp_summary result_nv;
+  Format.printf "checker: %a@." Video.Checker.pp report_nv;
+  (match report_nv.Video.Checker.invalid_clean with
+  | [] ->
+    Format.printf
+      "no invalid image in this run (try more aggressive switching)@."
+  | images ->
+    Format.printf "invalid images emitted clean: %s@."
+      (String.concat ", " (List.map string_of_int images)));
+  Format.printf "@.The valves implement the suspend/resume protocol: PIn \
+                 destroys frames while suspended, POut holds the last valid \
+                 image, and the 'fresh' tag re-opens the chain.@."

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Format Graphlib Hashtbl Interval List Option Port Spi Structure

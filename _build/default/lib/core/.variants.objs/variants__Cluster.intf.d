@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Format Interval Port Spi Structure

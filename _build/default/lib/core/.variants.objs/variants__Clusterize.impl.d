@@ -1,0 +1,1 @@
+lib/core/clusterize.ml: Cluster Format Interface List Option Port Spi String Structure System

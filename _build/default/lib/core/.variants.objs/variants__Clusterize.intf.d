@@ -1,0 +1,1 @@
+lib/core/clusterize.mli: Cluster Spi System

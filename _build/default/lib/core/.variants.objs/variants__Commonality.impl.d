@@ -1,0 +1,1 @@
+lib/core/commonality.ml: Flatten Format List Spi

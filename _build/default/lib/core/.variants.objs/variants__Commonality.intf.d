@@ -1,0 +1,1 @@
+lib/core/commonality.mli: Format Spi System

@@ -1,0 +1,1 @@
+lib/core/configuration.ml: Format Hashtbl List Option Spi String

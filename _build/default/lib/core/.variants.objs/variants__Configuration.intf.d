@@ -1,0 +1,1 @@
+lib/core/configuration.mli: Format Spi

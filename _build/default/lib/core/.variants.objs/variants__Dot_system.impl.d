@@ -1,0 +1,1 @@
+lib/core/dot_system.ml: Buffer Format Hashtbl List Port Spi String Structure System

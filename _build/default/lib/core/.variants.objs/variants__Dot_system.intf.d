@@ -1,0 +1,1 @@
+lib/core/dot_system.mli: Format System

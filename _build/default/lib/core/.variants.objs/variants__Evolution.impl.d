@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Cluster Format Interface List Option Spi Structure System

@@ -1,0 +1,1 @@
+lib/core/evolution.mli: Spi Structure System

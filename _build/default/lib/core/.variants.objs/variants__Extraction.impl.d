@@ -1,0 +1,1 @@
+lib/core/extraction.ml: Cluster Configuration Format Interface Interval List Option Port Selection Spi Structure

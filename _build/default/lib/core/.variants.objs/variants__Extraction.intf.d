@@ -1,0 +1,1 @@
+lib/core/extraction.mli: Cluster Configuration Format Interface Interval Spi

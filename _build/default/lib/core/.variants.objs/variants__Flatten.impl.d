@@ -1,0 +1,1 @@
+lib/core/flatten.ml: Cluster Extraction Format List Spi String Structure System

@@ -1,0 +1,1 @@
+lib/core/flatten.mli: Configuration Extraction Spi System

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Char Cluster Format Interface Interval List Port Random Spi String Structure System

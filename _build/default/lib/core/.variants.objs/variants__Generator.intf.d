@@ -1,0 +1,1 @@
+lib/core/generator.mli: Spi System

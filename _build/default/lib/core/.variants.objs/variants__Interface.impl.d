@@ -1,0 +1,1 @@
+lib/core/interface.ml: Cluster Format List Port Spi Structure

@@ -1,0 +1,1 @@
+lib/core/interface.mli: Cluster Format Port Spi Structure

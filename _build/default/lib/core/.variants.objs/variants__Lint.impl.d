@@ -1,0 +1,1 @@
+lib/core/lint.ml: Cluster Configuration Extraction Flatten Format Interface Interval List Selection Spi String Structure System

@@ -1,0 +1,1 @@
+lib/core/lint.mli: Format System

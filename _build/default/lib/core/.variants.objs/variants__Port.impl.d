@@ -1,0 +1,1 @@
+lib/core/port.ml: Format List Spi Stdlib

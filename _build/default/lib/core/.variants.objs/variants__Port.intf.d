@@ -1,0 +1,1 @@
+lib/core/port.mli: Format Spi

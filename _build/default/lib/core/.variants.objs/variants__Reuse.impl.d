@@ -1,0 +1,1 @@
+lib/core/reuse.ml: Cluster Format Interface List Port Spi String Structure System

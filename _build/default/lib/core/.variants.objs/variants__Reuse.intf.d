@@ -1,0 +1,1 @@
+lib/core/reuse.mli: Cluster Format Interface Spi System

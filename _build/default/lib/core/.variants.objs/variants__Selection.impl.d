@@ -1,0 +1,1 @@
+lib/core/selection.ml: Format List Option Spi Structure

@@ -1,0 +1,1 @@
+lib/core/selection.mli: Format Spi Structure

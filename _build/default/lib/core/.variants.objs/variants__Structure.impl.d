@@ -1,0 +1,1 @@
+lib/core/structure.ml: Port Spi

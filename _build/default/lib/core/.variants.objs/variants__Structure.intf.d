@@ -1,0 +1,1 @@
+lib/core/structure.mli: Port Spi

@@ -1,0 +1,1 @@
+lib/core/system.ml: Format Interface List Port Spi Structure

@@ -1,0 +1,1 @@
+lib/core/system.mli: Format Interface Spi Structure

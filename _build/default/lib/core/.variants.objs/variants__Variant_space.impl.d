@@ -1,0 +1,1 @@
+lib/core/variant_space.ml: Cluster Flatten Format List Option Spi Structure System

@@ -1,0 +1,1 @@
+lib/core/variant_space.mli: Flatten Format Spi System

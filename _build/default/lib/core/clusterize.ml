@@ -1,0 +1,93 @@
+module I = Spi.Ids
+
+type cut = {
+  cluster : Cluster.t;
+  wiring : (I.Port_id.t * I.Channel_id.t) list;
+}
+
+exception Clusterize_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Clusterize_error m)) fmt
+
+type role = Internal | Input_port | Output_port | Unrelated
+
+let classify model inside cid =
+  let in_cut = function
+    | Some pid -> I.Process_id.Set.mem pid inside
+    | None -> false
+  in
+  let writer = in_cut (Spi.Model.writer_of cid model) in
+  let reader = in_cut (Spi.Model.reader_of cid model) in
+  match writer, reader with
+  | true, true -> Internal
+  | false, true -> Input_port
+  | true, false -> Output_port
+  | false, false -> Unrelated
+
+let cut ~name inside model =
+  if I.Process_id.Set.is_empty inside then error "empty process set";
+  I.Process_id.Set.iter
+    (fun pid ->
+      if Option.is_none (Spi.Model.find_process pid model) then
+        error "unknown process %a" I.Process_id.pp pid)
+    inside;
+  let processes =
+    List.filter
+      (fun p -> I.Process_id.Set.mem (Spi.Process.id p) inside)
+      (Spi.Model.processes model)
+  in
+  let internal, ports, wiring =
+    List.fold_left
+      (fun (internal, ports, wiring) chan ->
+        let cid = Spi.Chan.id chan in
+        match classify model inside cid with
+        | Internal -> (chan :: internal, ports, wiring)
+        | Input_port ->
+          let port = Port.input (I.Channel_id.to_string cid) in
+          (internal, port :: ports, (Port.id port, cid) :: wiring)
+        | Output_port ->
+          let port = Port.output (I.Channel_id.to_string cid) in
+          (internal, port :: ports, (Port.id port, cid) :: wiring)
+        | Unrelated -> (internal, ports, wiring))
+      ([], [], [])
+      (Spi.Model.channels model)
+  in
+  (* boundary channels keep their names as port placeholders: no process
+     renaming is necessary *)
+  let cluster =
+    Cluster.make ~channels:(List.rev internal) ~ports:(List.rev ports)
+      ~processes name
+  in
+  (match Cluster.validate cluster with
+  | [] -> ()
+  | errors ->
+    error "extracted cluster is malformed: %s"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Cluster.pp_error) errors)));
+  { cluster; wiring = List.rev wiring }
+
+let carve ~interface_name ~cluster_name inside model =
+  let { cluster; wiring } = cut ~name:cluster_name inside model in
+  let internal_ids =
+    List.fold_left
+      (fun acc chan -> I.Channel_id.Set.add (Spi.Chan.id chan) acc)
+      I.Channel_id.Set.empty
+      (match cluster with c -> c.Structure.channels)
+  in
+  let host_channels =
+    List.filter
+      (fun chan -> not (I.Channel_id.Set.mem (Spi.Chan.id chan) internal_ids))
+      (Spi.Model.channels model)
+  in
+  let host_processes =
+    List.filter
+      (fun p -> not (I.Process_id.Set.mem (Spi.Process.id p) inside))
+      (Spi.Model.processes model)
+  in
+  let iface =
+    Interface.make ~ports:(Cluster.ports cluster) ~clusters:[ cluster ]
+      interface_name
+  in
+  System.make ~processes:host_processes ~channels:host_channels
+    ~sites:[ { Structure.iface; wiring } ]
+    (interface_name ^ "-carved")

@@ -1,0 +1,44 @@
+(** Extracting clusters from flat models — the inverse of flattening.
+
+    Introducing variants into an existing design starts from a flat
+    model: the designer marks the subgraph that differs between
+    products, and the representation needs it as a cluster with ports.
+    [Clusterize] performs that cut: given a model and a set of
+    processes, it computes the boundary channels, turns them into
+    ports (inputs where an outside process writes into the cut, outputs
+    where the cut writes outside), renames them to port placeholders
+    inside the extracted processes, and returns both the cluster and
+    the site wiring needed to put it back.
+
+    [carve] additionally rebuilds the host system: the remaining model
+    plus an interface site holding the extracted cluster, such that
+    flattening the result reproduces the original model's structure. *)
+
+type cut = {
+  cluster : Cluster.t;
+  wiring : (Spi.Ids.Port_id.t * Spi.Ids.Channel_id.t) list;
+      (** port -> original boundary channel *)
+}
+
+exception Clusterize_error of string
+
+val cut :
+  name:string -> Spi.Ids.Process_id.Set.t -> Spi.Model.t -> cut
+(** Extracts the given processes as a cluster named [name].  Boundary
+    channels become ports named after the channel; channels entirely
+    inside the cut become the cluster's internal channels.
+    @raise Clusterize_error when the set is empty, a process is unknown,
+    or a boundary channel is both written and read by the cut (ports
+    are unidirectional). *)
+
+val carve :
+  interface_name:string ->
+  cluster_name:string ->
+  Spi.Ids.Process_id.Set.t ->
+  Spi.Model.t ->
+  System.t
+(** The whole import: remaining model + a single-cluster interface site
+    in place of the cut.  The result validates, and
+    [Flatten.flatten ~choice:(fun _ -> cluster)] yields a model with the
+    same process set as the original (cut processes prefixed with the
+    interface name). *)

@@ -1,0 +1,67 @@
+module I = Spi.Ids
+
+type report = {
+  applications : int;
+  shared : I.Process_id.Set.t;
+  partially_shared : I.Process_id.Set.t;
+  variant_specific : I.Process_id.Set.t;
+  overlap_fraction : float;
+  duplicated_decisions : int;
+}
+
+let of_process_sets sets =
+  if sets = [] then invalid_arg "Commonality: no applications";
+  let union =
+    List.fold_left I.Process_id.Set.union I.Process_id.Set.empty sets
+  in
+  let occurrences pid =
+    List.length (List.filter (fun s -> I.Process_id.Set.mem pid s) sets)
+  in
+  let n = List.length sets in
+  let classify pid (shared, partial, specific) =
+    match occurrences pid with
+    | k when k = n -> (I.Process_id.Set.add pid shared, partial, specific)
+    | 1 -> (shared, partial, I.Process_id.Set.add pid specific)
+    | _ -> (shared, I.Process_id.Set.add pid partial, specific)
+  in
+  let shared, partially_shared, variant_specific =
+    I.Process_id.Set.fold classify union
+      (I.Process_id.Set.empty, I.Process_id.Set.empty, I.Process_id.Set.empty)
+  in
+  let total_considered =
+    List.fold_left (fun acc s -> acc + I.Process_id.Set.cardinal s) 0 sets
+  in
+  {
+    applications = n;
+    shared;
+    partially_shared;
+    variant_specific;
+    overlap_fraction =
+      (if I.Process_id.Set.is_empty union then 1.0
+       else
+         float_of_int (I.Process_id.Set.cardinal shared)
+         /. float_of_int (I.Process_id.Set.cardinal union));
+    duplicated_decisions = total_considered - I.Process_id.Set.cardinal union;
+  }
+
+let analyze system =
+  let sets =
+    List.map
+      (fun (_, model) ->
+        List.fold_left
+          (fun acc p -> I.Process_id.Set.add (Spi.Process.id p) acc)
+          I.Process_id.Set.empty (Spi.Model.processes model))
+      (Flatten.applications system)
+  in
+  of_process_sets sets
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d applications: %d shared, %d partially shared, %d variant-specific \
+     (overlap %.0f%%, %d duplicated decisions)"
+    r.applications
+    (I.Process_id.Set.cardinal r.shared)
+    (I.Process_id.Set.cardinal r.partially_shared)
+    (I.Process_id.Set.cardinal r.variant_specific)
+    (100. *. r.overlap_fraction)
+    r.duplicated_decisions

@@ -1,0 +1,36 @@
+(** Commonality analysis across function variants.
+
+    Variant-aware optimization pays off where applications overlap
+    (Section 5: "considering commonalities between applications during
+    synthesis helps to facilitate reuse of components").  This module
+    quantifies that overlap over the derivable applications of a system.
+
+    Note on naming: cluster-internal processes instantiate as
+    ["<interface>.<name>"], so a process name used by {e several}
+    clusters of the same interface denotes the {e same} sub-function
+    occurring in several variants — it flattens to one model element and
+    is counted as common. *)
+
+type report = {
+  applications : int;
+  shared : Spi.Ids.Process_id.Set.t;
+      (** processes present in every application *)
+  partially_shared : Spi.Ids.Process_id.Set.t;
+      (** present in more than one but not all applications *)
+  variant_specific : Spi.Ids.Process_id.Set.t;
+      (** present in exactly one application *)
+  overlap_fraction : float;
+      (** |shared| / |union| — 1.0 when all applications coincide *)
+  duplicated_decisions : int;
+      (** extra process considerations an independent per-application
+          synthesis performs compared to the variant-aware flow *)
+}
+
+val analyze : System.t -> report
+(** @raise Invalid_argument when the system has no derivable
+    application. *)
+
+val of_process_sets : Spi.Ids.Process_id.Set.t list -> report
+(** The same analysis over explicit application process sets. *)
+
+val pp : Format.formatter -> report -> unit

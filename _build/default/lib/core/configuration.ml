@@ -1,0 +1,123 @@
+module I = Spi.Ids
+
+type entry = {
+  config_id : I.Config_id.t;
+  modes : I.Mode_id.Set.t;
+  reconf_latency : int;
+}
+
+type t = {
+  process : I.Process_id.t;
+  entries : entry list;
+  initial : I.Config_id.t option;
+}
+
+let entry ?(reconf_latency = 0) name ~modes =
+  {
+    config_id = I.Config_id.of_string name;
+    modes = I.Mode_id.Set.of_list modes;
+    reconf_latency;
+  }
+
+let make ?initial ~process entries =
+  let seen_configs = Hashtbl.create 8 in
+  let all_modes = ref I.Mode_id.Set.empty in
+  List.iter
+    (fun e ->
+      let key = I.Config_id.to_string e.config_id in
+      if Hashtbl.mem seen_configs key then
+        invalid_arg
+          (Format.asprintf "Configuration: duplicate configuration %s" key);
+      Hashtbl.add seen_configs key ();
+      if e.reconf_latency < 0 then
+        invalid_arg "Configuration: negative reconfiguration latency";
+      let overlap = I.Mode_id.Set.inter e.modes !all_modes in
+      (match I.Mode_id.Set.choose_opt overlap with
+      | Some mid ->
+        invalid_arg
+          (Format.asprintf
+             "Configuration: mode %a belongs to several configurations"
+             I.Mode_id.pp mid)
+      | None -> ());
+      all_modes := I.Mode_id.Set.union e.modes !all_modes)
+    entries;
+  (match initial with
+  | Some cid when not (Hashtbl.mem seen_configs (I.Config_id.to_string cid)) ->
+    invalid_arg
+      (Format.asprintf "Configuration: unknown initial configuration %a"
+         I.Config_id.pp cid)
+  | Some _ | None -> ());
+  { process; entries; initial }
+
+let process t = t.process
+let entries t = t.entries
+let initial t = t.initial
+
+let find cid t =
+  List.find_opt (fun e -> I.Config_id.equal e.config_id cid) t.entries
+
+let config_of_mode mid t =
+  List.find_map
+    (fun e ->
+      if I.Mode_id.Set.mem mid e.modes then Some e.config_id else None)
+    t.entries
+
+let reconf_latency cid t =
+  match find cid t with Some e -> e.reconf_latency | None -> 0
+
+type error = Unknown_mode of I.Mode_id.t | Uncovered_mode of I.Mode_id.t
+
+let pp_error ppf = function
+  | Unknown_mode m ->
+    Format.fprintf ppf "configuration references unknown mode %a" I.Mode_id.pp m
+  | Uncovered_mode m ->
+    Format.fprintf ppf "process mode %a is in no configuration" I.Mode_id.pp m
+
+let validate_against ?(complete = true) proc t =
+  let proc_modes = Spi.Process.mode_ids proc in
+  let errors = ref [] in
+  List.iter
+    (fun e ->
+      I.Mode_id.Set.iter
+        (fun mid ->
+          if not (I.Mode_id.Set.mem mid proc_modes) then
+            errors := Unknown_mode mid :: !errors)
+        e.modes)
+    t.entries;
+  if complete then
+    I.Mode_id.Set.iter
+      (fun mid ->
+        if Option.is_none (config_of_mode mid t) then
+          errors := Uncovered_mode mid :: !errors)
+      proc_modes;
+  List.rev !errors
+
+type confcur = I.Config_id.t option
+
+type transition =
+  | Stay
+  | Reconfigure of { target : I.Config_id.t; latency : int }
+
+let on_activation t confcur mid =
+  match config_of_mode mid t with
+  | None -> (Stay, confcur)
+  | Some target -> (
+    match confcur with
+    | Some current when I.Config_id.equal current target -> (Stay, confcur)
+    | Some _ | None ->
+      ( Reconfigure { target; latency = reconf_latency target t },
+        Some target ))
+
+let start t = t.initial
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Format.fprintf ppf "%a (t_conf=%d): {%s}" I.Config_id.pp e.config_id
+      e.reconf_latency
+      (String.concat ", "
+         (List.map I.Mode_id.to_string (I.Mode_id.Set.elements e.modes)))
+  in
+  Format.fprintf ppf "@[<v2>configurations of %a:@,%a@]" I.Process_id.pp
+    t.process
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    t.entries

@@ -1,0 +1,74 @@
+(** Process configurations (Def. 4).
+
+    When an interface with dynamically selected clusters is abstracted
+    to a single process, the process's modes are partitioned into
+    configurations — one per function variant, each holding the modes
+    extracted from that variant's cluster.  Executing a mode outside the
+    current configuration forces a reconfiguration step whose latency
+    [t_conf] is added to that execution's latency; the old
+    configuration's internal state (buffers) is destroyed. *)
+
+type entry = {
+  config_id : Spi.Ids.Config_id.t;
+  modes : Spi.Ids.Mode_id.Set.t;
+  reconf_latency : int;  (** [t_conf] of this configuration *)
+}
+
+type t
+
+val make :
+  ?initial:Spi.Ids.Config_id.t ->
+  process:Spi.Ids.Process_id.t ->
+  entry list ->
+  t
+(** @raise Invalid_argument on duplicate configuration ids, overlapping
+    mode sets (a mode belongs to at most one variant), negative
+    latencies, or an unknown [initial]. *)
+
+val entry :
+  ?reconf_latency:int -> string -> modes:Spi.Ids.Mode_id.t list -> entry
+
+val process : t -> Spi.Ids.Process_id.t
+val entries : t -> entry list
+val initial : t -> Spi.Ids.Config_id.t option
+val find : Spi.Ids.Config_id.t -> t -> entry option
+val config_of_mode : Spi.Ids.Mode_id.t -> t -> Spi.Ids.Config_id.t option
+(** [None] for modes not extracted from any variant (shared behaviour —
+    executing them never forces a reconfiguration). *)
+
+val reconf_latency : Spi.Ids.Config_id.t -> t -> int
+
+type error =
+  | Unknown_mode of Spi.Ids.Mode_id.t
+      (** a configuration references a mode the process does not have *)
+  | Uncovered_mode of Spi.Ids.Mode_id.t
+      (** a process mode belongs to no configuration (reported by
+          {!validate_against} [~complete:true] only) *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate_against : ?complete:bool -> Spi.Process.t -> t -> error list
+(** Checks the configuration set against the abstracted process.
+    [complete] (default [true]) additionally requires every process
+    mode to be covered. *)
+
+(** The run-time value of the [confcur] parameter. *)
+type confcur = Spi.Ids.Config_id.t option
+
+(** Decision taken when a mode is about to execute. *)
+type transition =
+  | Stay  (** the mode belongs to the current configuration (or none) *)
+  | Reconfigure of { target : Spi.Ids.Config_id.t; latency : int }
+      (** configuration switch: [latency] is added to the execution and
+          the old configuration's internal buffers are lost *)
+
+val on_activation : t -> confcur -> Spi.Ids.Mode_id.t -> transition * confcur
+(** Implements the subsystem-level analysis of Section 4: if the newly
+    activated mode belongs to the current configuration the process
+    simply executes; otherwise the new configuration is selected,
+    [confcur] is updated and the reconfiguration latency is charged. *)
+
+val start : t -> confcur
+(** Initial [confcur]: the declared initial configuration, if any. *)
+
+val pp : Format.formatter -> t -> unit

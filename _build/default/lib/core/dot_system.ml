@@ -1,0 +1,146 @@
+module I = Spi.Ids
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Every emitted node gets a fresh numeric id; lookup maps (scope, name)
+   to ids so edges can reference nodes across nesting levels. *)
+type ctx = {
+  ppf : Format.formatter;
+  ids : (string, string) Hashtbl.t;
+  mutable counter : int;
+  mutable box : int;
+}
+
+let node_id ctx ~scope name =
+  let key = scope ^ "//" ^ name in
+  match Hashtbl.find_opt ctx.ids key with
+  | Some id -> id
+  | None ->
+    let id = Format.sprintf "n%d" ctx.counter in
+    ctx.counter <- ctx.counter + 1;
+    Hashtbl.replace ctx.ids key id;
+    id
+
+let emit_node ctx ~scope ~shape ?(style = "") name label =
+  let id = node_id ctx ~scope name in
+  Format.fprintf ctx.ppf "%s [label=\"%s\", shape=%s%s];@," id (escape label)
+    shape
+    (if style = "" then "" else Format.sprintf ", style=\"%s\"" style)
+
+let emit_edge ?(style = "") ctx from_id to_id =
+  Format.fprintf ctx.ppf "%s -> %s%s;@," from_id to_id
+    (if style = "" then "" else Format.sprintf " [style=\"%s\"]" style)
+
+(* Emit process boxes and their channel edges within one scope.  Channel
+   references are resolved scope-locally; unresolved ones (port
+   placeholders) are resolved by the caller-provided [resolve]. *)
+let emit_processes ctx ~scope ~resolve processes =
+  List.iter
+    (fun p ->
+      let pname = I.Process_id.to_string (Spi.Process.id p) in
+      emit_node ctx ~scope ~shape:"box" ("p:" ^ pname) pname;
+      let pid = node_id ctx ~scope ("p:" ^ pname) in
+      I.Channel_id.Set.iter
+        (fun cid -> emit_edge ctx (resolve cid) pid)
+        (Spi.Process.inputs p);
+      I.Channel_id.Set.iter
+        (fun cid -> emit_edge ctx pid (resolve cid))
+        (Spi.Process.outputs p))
+    processes
+
+let emit_channels ctx ~scope channels =
+  List.iter
+    (fun chan ->
+      let cname = I.Channel_id.to_string (Spi.Chan.id chan) in
+      let label =
+        match Spi.Chan.kind chan with
+        | Spi.Chan.Queue -> cname
+        | Spi.Chan.Register -> cname ^ " (reg)"
+      in
+      emit_node ctx ~scope ~shape:"ellipse" ("c:" ^ cname) label)
+    channels
+
+let rec emit_site ctx ~scope ~resolve_host (site : Structure.site) =
+  let iface = site.Structure.iface in
+  let iname = I.Interface_id.to_string iface.Structure.interface_id in
+  let iface_scope = scope ^ "/" ^ iname in
+  ctx.box <- ctx.box + 1;
+  Format.fprintf ctx.ppf "subgraph cluster_%d {@," ctx.box;
+  Format.fprintf ctx.ppf "label=\"interface %s\"; style=dashed;@," (escape iname);
+  List.iter
+    (fun cluster ->
+      let cname = I.Cluster_id.to_string cluster.Structure.cluster_id in
+      let cluster_scope = iface_scope ^ "/" ^ cname in
+      ctx.box <- ctx.box + 1;
+      Format.fprintf ctx.ppf "subgraph cluster_%d {@," ctx.box;
+      Format.fprintf ctx.ppf "label=\"cluster %s\"; style=solid;@," (escape cname);
+      (* port nodes on this cluster's border *)
+      List.iter
+        (fun port ->
+          let pname = I.Port_id.to_string (Port.id port) in
+          emit_node ctx ~scope:cluster_scope ~shape:"diamond"
+            ("port:" ^ pname) pname)
+        cluster.Structure.cluster_ports;
+      emit_channels ctx ~scope:cluster_scope cluster.Structure.channels;
+      let resolve cid =
+        let cname_c = I.Channel_id.to_string cid in
+        let is_port =
+          List.exists
+            (fun port ->
+              I.Channel_id.equal (Port.channel_of (Port.id port)) cid)
+            cluster.Structure.cluster_ports
+        in
+        if is_port then node_id ctx ~scope:cluster_scope ("port:" ^ cname_c)
+        else node_id ctx ~scope:cluster_scope ("c:" ^ cname_c)
+      in
+      emit_processes ctx ~scope:cluster_scope ~resolve cluster.Structure.processes;
+      List.iter
+        (fun sub -> emit_site ctx ~scope:cluster_scope ~resolve_host:resolve sub)
+        cluster.Structure.sub_sites;
+      Format.fprintf ctx.ppf "}@,";
+      (* wiring: cluster ports to host channels, dashed *)
+      List.iter
+        (fun (port_id, host) ->
+          let port_node =
+            node_id ctx ~scope:cluster_scope
+              ("port:" ^ I.Port_id.to_string port_id)
+          in
+          let host_node = resolve_host host in
+          let is_input =
+            List.exists
+              (fun port ->
+                Port.is_input port && I.Port_id.equal (Port.id port) port_id)
+              cluster.Structure.cluster_ports
+          in
+          if is_input then emit_edge ~style:"dashed" ctx host_node port_node
+          else emit_edge ~style:"dashed" ctx port_node host_node)
+        site.Structure.wiring)
+    iface.Structure.clusters;
+  Format.fprintf ctx.ppf "}@,"
+
+let pp ppf system =
+  Format.fprintf ppf "@[<v>digraph variants {@,";
+  Format.fprintf ppf "rankdir=LR; compound=true;@,";
+  let ctx = { ppf; ids = Hashtbl.create 64; counter = 0; box = 0 } in
+  let scope = "top" in
+  emit_channels ctx ~scope (System.channels system);
+  let resolve cid = node_id ctx ~scope ("c:" ^ I.Channel_id.to_string cid) in
+  emit_processes ctx ~scope ~resolve (System.processes system);
+  List.iter (emit_site ctx ~scope ~resolve_host:resolve) (System.sites system);
+  Format.fprintf ppf "}@]@."
+
+let to_string system = Format.asprintf "%a" pp system
+
+let to_file path system =
+  let oc = open_out path in
+  output_string oc (to_string system);
+  close_out oc

@@ -1,0 +1,12 @@
+(** Graphviz rendering of a system with its variant structure.
+
+    Unlike {!Spi.Model} dot export (one flat bipartite graph), this
+    renders the design representation itself: the common part at the
+    top level, one dashed box per interface, one solid box per cluster
+    inside it (nested variants recurse), ports on the box borders and
+    wiring edges to the host channels — essentially the paper's
+    Figure 2 as a diagram. *)
+
+val pp : Format.formatter -> System.t -> unit
+val to_string : System.t -> string
+val to_file : string -> System.t -> unit

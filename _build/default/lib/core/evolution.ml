@@ -1,0 +1,83 @@
+module I = Spi.Ids
+
+exception Evolution_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Evolution_error m)) fmt
+
+let split_site iid system =
+  match System.find_site iid system with
+  | None -> error "unknown interface %a" I.Interface_id.pp iid
+  | Some site ->
+    let others =
+      List.filter
+        (fun s ->
+          not
+            (I.Interface_id.equal s.Structure.iface.Structure.interface_id iid))
+        (System.sites system)
+    in
+    (site, others)
+
+let fix_variant iid cid system =
+  let site, others = split_site iid system in
+  let iface = site.Structure.iface in
+  let cluster =
+    match
+      List.find_opt
+        (fun c -> I.Cluster_id.equal c.Structure.cluster_id cid)
+        iface.Structure.clusters
+    with
+    | Some c -> c
+    | None ->
+      error "interface %a has no cluster %a" I.Interface_id.pp iid
+        I.Cluster_id.pp cid
+  in
+  (* nested interfaces stay variable only if they were lifted; inlining
+     commits them too, taking their first cluster unless the caller
+     fixes them separately beforehand — so reject clusters with
+     sub-sites to keep the operation predictable *)
+  if cluster.Structure.sub_sites <> [] then
+    error
+      "cluster %a embeds interfaces; fix the nested variants first"
+      I.Cluster_id.pp cid;
+  let instance =
+    Cluster.instantiate
+      ~prefix:(I.Interface_id.to_string iid)
+      ~port_channels:site.Structure.wiring
+      ~sub_choice:(fun sub ->
+        error "unexpected nested interface %a" I.Interface_id.pp sub)
+      cluster
+  in
+  System.make
+    ~processes:(System.processes system @ instance.Cluster.inst_processes)
+    ~channels:(System.channels system @ instance.Cluster.inst_channels)
+    ~sites:others
+    ~constraints:(System.constraints system)
+    (System.name system)
+
+let update_selection iid selection system =
+  if Option.is_none (System.find_site iid system) then
+    error "unknown interface %a" I.Interface_id.pp iid;
+  let sites =
+    List.map
+      (fun site ->
+        let iface = site.Structure.iface in
+        if I.Interface_id.equal iface.Structure.interface_id iid then
+          let iface' =
+            Interface.make ?selection
+              ~ports:iface.Structure.iface_ports
+              ~clusters:iface.Structure.clusters
+              (I.Interface_id.to_string iid)
+          in
+          { site with Structure.iface = iface' }
+        else site)
+      (System.sites system)
+  in
+  System.make
+    ~processes:(System.processes system)
+    ~channels:(System.channels system)
+    ~sites
+    ~constraints:(System.constraints system)
+    (System.name system)
+
+let make_runtime iid selection system = update_selection iid (Some selection) system
+let make_production iid system = update_selection iid None system

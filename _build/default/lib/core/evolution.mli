@@ -1,0 +1,35 @@
+(** Product-generation evolution of a variant system.
+
+    Variant types change across product generations — "a network
+    protocol that has been implemented as a production variant in
+    hardware might end up as a software-implemented run-time variant in
+    the next product generation".  These operations rewrite the design
+    representation accordingly:
+
+    - {!fix_variant} commits one interface to one cluster (the
+      production decision): the cluster is inlined into the common part
+      and the site disappears, while every other site stays variable —
+      a {e partial} flattening.
+    - {!make_runtime} attaches (or replaces) a selection function,
+      turning a production-variant interface into a run-time /
+      dynamically selected one.
+    - {!make_production} strips the selection function: the variants
+      remain in the representation but selection moves back to the
+      designer. *)
+
+exception Evolution_error of string
+
+val fix_variant :
+  Spi.Ids.Interface_id.t -> Spi.Ids.Cluster_id.t -> System.t -> System.t
+(** Inlines the chosen cluster of the named interface into the system's
+    common part (processes and channels prefixed with the interface
+    name, ports wired per the site), removing the site.  Other sites,
+    channels, processes and constraints are untouched.
+    @raise Evolution_error on unknown interface or cluster. *)
+
+val make_runtime :
+  Spi.Ids.Interface_id.t -> Structure.selection -> System.t -> System.t
+(** @raise Evolution_error on unknown interface. *)
+
+val make_production : Spi.Ids.Interface_id.t -> System.t -> System.t
+(** @raise Evolution_error on unknown interface. *)

@@ -1,0 +1,227 @@
+module I = Spi.Ids
+
+type granularity = Coarse | Per_entry_mode
+
+type result = {
+  abstract_process : Spi.Process.t;
+  configurations : Configuration.t;
+  mode_origin : (I.Mode_id.t * I.Cluster_id.t) list;
+}
+
+exception Extraction_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Extraction_error msg)) fmt
+
+(* One extracted mode candidate before activation-rule synthesis. *)
+type candidate = {
+  mode : Spi.Mode.t;
+  cluster : I.Cluster_id.t;
+  selection_guard : Spi.Predicate.t;  (** already in host-channel space *)
+}
+
+let host_of_port wiring iface pid =
+  match List.find_opt (fun (p, _) -> I.Port_id.equal p pid) wiring with
+  | Some (_, host) -> host
+  | None ->
+    error "interface %a: port %a not wired"
+      I.Interface_id.pp (Interface.id iface) I.Port_id.pp pid
+
+(* Selection guards are written against port placeholder channels; map
+   them into host-channel space.  Guards may also reference host
+   channels directly (e.g. a controller request queue outside the
+   interface signature), which pass through unchanged. *)
+let rename_guard wiring iface guard =
+  let rename cid =
+    let port =
+      List.find_opt
+        (fun p -> I.Channel_id.equal (Port.channel_of (Port.id p)) cid)
+        (Interface.ports iface)
+    in
+    match port with
+    | Some p -> host_of_port wiring iface (Port.id p)
+    | None -> cid
+  in
+  Spi.Predicate.map_channels rename guard
+
+let cluster_latency = Cluster.latency_paths
+
+(* Consumption of the extracted mode on each input port, in host-channel
+   space.  With [Per_entry_mode], the entry port's rate is narrowed to
+   the entry mode's own consumption. *)
+let port_consumptions ~wiring iface cluster entry_mode_opt =
+  let in_ports = List.filter Port.is_input (Interface.ports iface) in
+  List.filter_map
+    (fun port ->
+      let pid = Port.id port in
+      let base = Cluster.port_consumption cluster pid in
+      let rate =
+        match entry_mode_opt with
+        | None -> base
+        | Some em ->
+          let em_rate = Spi.Mode.consumption em (Port.channel_of pid) in
+          if Interval.equal em_rate Interval.zero then base else em_rate
+      in
+      if Interval.equal rate Interval.zero then None
+      else Some (host_of_port wiring iface pid, rate))
+    in_ports
+
+let port_productions ~wiring iface cluster =
+  let out_ports = List.filter Port.is_output (Interface.ports iface) in
+  List.filter_map
+    (fun port ->
+      let pid = Port.id port in
+      let rate = Cluster.port_production cluster pid in
+      if Interval.equal rate Interval.zero then None
+      else
+        let tags = Cluster.port_production_tags cluster pid in
+        Some (host_of_port wiring iface pid, Spi.Mode.produce ~tags rate))
+    out_ports
+
+(* Channels a selection guard observes must also be consumed (one token)
+   by the extracted mode so the selection token is used up, as with the
+   request tokens of the paper's video example. *)
+let add_selection_consumption guard consumes =
+  let observed = Spi.Predicate.channels guard in
+  I.Channel_id.Set.fold
+    (fun cid acc ->
+      if List.exists (fun (c, _) -> I.Channel_id.equal c cid) acc then acc
+      else (cid, Interval.point 1) :: acc)
+    observed consumes
+
+let candidates_for_cluster ~granularity ~wiring ~selection iface cluster =
+  let latency = Cluster.latency_paths cluster in
+  let entry_modes =
+    match granularity with
+    | Coarse -> [ None ]
+    | Per_entry_mode -> (
+      match Cluster.entry_process cluster with
+      | None -> [ None ]
+      | Some p -> List.map Option.some (Spi.Process.modes p))
+  in
+  let guards =
+    match selection with
+    | None -> [ (None, Spi.Predicate.True) ]
+    | Some sel -> (
+      let targeting =
+        List.filter
+          (fun r -> I.Cluster_id.equal r.Structure.target (Cluster.id cluster))
+          (Selection.rules sel)
+      in
+      match targeting with
+      | [] ->
+        (* No rule selects this cluster dynamically; it is still a
+           variant (e.g. only the initial configuration) and keeps a
+           never-enabled guard. *)
+        [ (None, Spi.Predicate.False) ]
+      | rules ->
+        List.map
+          (fun r ->
+            ( Some r.Structure.sel_rule_id,
+              rename_guard wiring iface r.Structure.sel_guard ))
+          rules)
+  in
+  List.concat_map
+    (fun entry_mode_opt ->
+      List.map
+        (fun (rule_opt, guard) ->
+          let name =
+            let base = I.Cluster_id.to_string (Cluster.id cluster) in
+            let with_entry =
+              match entry_mode_opt with
+              | None -> base
+              | Some em -> base ^ "." ^ I.Mode_id.to_string (Spi.Mode.id em)
+            in
+            match rule_opt with
+            | None -> with_entry
+            | Some rid -> with_entry ^ "@" ^ I.Rule_id.to_string rid
+          in
+          let consumes =
+            add_selection_consumption guard
+              (port_consumptions ~wiring iface cluster entry_mode_opt)
+          in
+          let latency =
+            match entry_mode_opt with
+            | None -> latency
+            | Some em -> Interval.join latency (Spi.Mode.latency em)
+          in
+          let mode =
+            Spi.Mode.make ~latency ~consumes
+              ~produces:(port_productions ~wiring iface cluster)
+              (I.Mode_id.of_string name)
+          in
+          { mode; cluster = Cluster.id cluster; selection_guard = guard })
+        guards)
+    entry_modes
+
+let availability_guard mode =
+  Spi.Predicate.conj
+    (List.map
+       (fun (cid, rate) -> Spi.Predicate.num_at_least cid (Interval.hi rate))
+       (Spi.Mode.consumptions mode))
+
+let extract ?(granularity = Per_entry_mode) ~process_name ~wiring iface =
+  if Interface.clusters iface = [] then
+    error "interface %a has no clusters" I.Interface_id.pp (Interface.id iface);
+  let selection = Interface.selection iface in
+  let candidates =
+    List.concat_map
+      (candidates_for_cluster ~granularity ~wiring ~selection iface)
+      (Interface.clusters iface)
+  in
+  let rules =
+    List.mapi
+      (fun i cand ->
+        let guard =
+          Spi.Predicate.conj [ availability_guard cand.mode; cand.selection_guard ]
+        in
+        Spi.Activation.rule
+          (I.Rule_id.of_string (Format.sprintf "%s.a%d" process_name i))
+          ~guard ~mode:(Spi.Mode.id cand.mode))
+      candidates
+  in
+  let pid = I.Process_id.of_string process_name in
+  let abstract_process =
+    Spi.Process.make
+      ~activation:(Spi.Activation.make rules)
+      ~modes:(List.map (fun c -> c.mode) candidates)
+      pid
+  in
+  let config_entries =
+    List.map
+      (fun cluster ->
+        let cid = Cluster.id cluster in
+        let modes =
+          List.filter_map
+            (fun c ->
+              if I.Cluster_id.equal c.cluster cid then Some (Spi.Mode.id c.mode)
+              else None)
+            candidates
+        in
+        let reconf_latency =
+          match selection with
+          | None -> 0
+          | Some sel -> Selection.config_latency sel cid
+        in
+        Configuration.entry ~reconf_latency
+          ("conf." ^ I.Cluster_id.to_string cid)
+          ~modes)
+      (Interface.clusters iface)
+  in
+  let initial =
+    match selection with
+    | None -> None
+    | Some sel ->
+      Option.map
+        (fun cid -> I.Config_id.of_string ("conf." ^ I.Cluster_id.to_string cid))
+        (Selection.initial sel)
+  in
+  let configurations = Configuration.make ?initial ~process:pid config_entries in
+  {
+    abstract_process;
+    configurations;
+    mode_origin = List.map (fun c -> (Spi.Mode.id c.mode, c.cluster)) candidates;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Spi.Process.pp r.abstract_process
+    Configuration.pp r.configurations

@@ -1,0 +1,50 @@
+(** Parameter extraction: abstracting an interface to a process.
+
+    Section 4 of the paper proposes to abstract an interface together
+    with its dynamically selected clusters into a single SPI process
+    (e.g. [PVar]) whose modes are extracted from the clusters and
+    partitioned into configurations — one per function variant.  The
+    extracted activation function combines token-availability conditions
+    (enough tokens on the data inputs to run the chosen mode) with the
+    interface's cluster selection rules (the tag on the selection
+    channel decides the variant), exactly as rules [a1]/[a2] of the
+    paper's Figure 3 discussion.
+
+    Extraction granularity is a designer choice ("additional designer
+    knowledge allows abstraction at different levels of detail"):
+    {!Coarse} produces one mode per cluster (interval hulls over the
+    whole cluster), {!Per_entry_mode} one mode per mode of the cluster's
+    entry process — the paper's example where cluster 1 yields two modes
+    and cluster 2 three. *)
+
+type granularity = Coarse | Per_entry_mode
+
+type result = {
+  abstract_process : Spi.Process.t;
+      (** the [PVar]-style process standing for the whole interface *)
+  configurations : Configuration.t;
+      (** Def. 4 configuration set grouping the extracted modes per
+          variant, with the interface's configuration latencies *)
+  mode_origin : (Spi.Ids.Mode_id.t * Spi.Ids.Cluster_id.t) list;
+      (** which cluster each extracted mode came from *)
+}
+
+exception Extraction_error of string
+
+val extract :
+  ?granularity:granularity ->
+  process_name:string ->
+  wiring:(Spi.Ids.Port_id.t * Spi.Ids.Channel_id.t) list ->
+  Interface.t ->
+  result
+(** [wiring] binds every interface port to the concrete host channel of
+    the site (selection-rule guards, written against port placeholder
+    channels, are renamed accordingly).
+    @raise Extraction_error when a port is unbound, the interface has no
+    clusters, or a selection rule observes a channel that is neither a
+    port nor a host channel. *)
+
+val cluster_latency : Cluster.t -> Interval.t
+(** Re-export of {!Cluster.latency_paths} under its extraction role. *)
+
+val pp_result : Format.formatter -> result -> unit

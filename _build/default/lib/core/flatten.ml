@@ -1,0 +1,114 @@
+module I = Spi.Ids
+
+type choice = I.Interface_id.t -> I.Cluster_id.t
+
+exception Flatten_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Flatten_error msg)) fmt
+
+let choice_of_list pairs iid =
+  match
+    List.find_opt (fun (i, _) -> String.equal i (I.Interface_id.to_string iid)) pairs
+  with
+  | Some (_, c) -> I.Cluster_id.of_string c
+  | None -> error "no cluster chosen for interface %a" I.Interface_id.pp iid
+
+let first_cluster system iid =
+  match System.find_site iid system with
+  | None -> error "unknown interface %a" I.Interface_id.pp iid
+  | Some site -> (
+    match site.Structure.iface.Structure.clusters with
+    | [] -> error "interface %a has no clusters" I.Interface_id.pp iid
+    | c :: _ -> Cluster.id c)
+
+let instantiate_site ~choice site =
+  let iface = site.Structure.iface in
+  let iid = iface.Structure.interface_id in
+  let chosen_id = choice iid in
+  let chosen =
+    match
+      List.find_opt
+        (fun c -> I.Cluster_id.equal (Cluster.id c) chosen_id)
+        iface.Structure.clusters
+    with
+    | Some c -> c
+    | None ->
+      error "interface %a has no cluster %a" I.Interface_id.pp iid
+        I.Cluster_id.pp chosen_id
+  in
+  try
+    Cluster.instantiate
+      ~prefix:(I.Interface_id.to_string iid)
+      ~port_channels:site.Structure.wiring ~sub_choice:choice chosen
+  with Invalid_argument msg -> error "%s" msg
+
+let flatten system choice =
+  let instances = List.map (instantiate_site ~choice) (System.sites system) in
+  let processes =
+    System.processes system
+    @ List.concat_map (fun i -> i.Cluster.inst_processes) instances
+  in
+  let channels =
+    System.channels system
+    @ List.concat_map (fun i -> i.Cluster.inst_channels) instances
+  in
+  Spi.Model.build_exn ~processes ~channels
+
+let rec product = function
+  | [] -> [ [] ]
+  | options :: rest ->
+    let tails = product rest in
+    List.concat_map (fun opt -> List.map (fun tail -> opt :: tail) tails) options
+
+(* All (interface, cluster) assignments selecting this cluster,
+   including the nested choices of its embedded interfaces. *)
+let rec cluster_assignments iface_id (cluster : Structure.cluster) =
+  let sub_options =
+    List.map
+      (fun site -> interface_assignments site.Structure.iface)
+      cluster.Structure.sub_sites
+  in
+  List.map
+    (fun tails -> (iface_id, cluster.Structure.cluster_id) :: List.concat tails)
+    (product sub_options)
+
+and interface_assignments (iface : Structure.interface) =
+  List.concat_map
+    (cluster_assignments iface.Structure.interface_id)
+    iface.Structure.clusters
+
+let applications system =
+  let per_site =
+    List.map
+      (fun site -> interface_assignments site.Structure.iface)
+      (System.sites system)
+  in
+  List.map
+    (fun combos ->
+      let combo = List.concat combos in
+      let choice iid =
+        match List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) combo with
+        | Some (_, cid) -> cid
+        | None -> error "no cluster chosen for interface %a" I.Interface_id.pp iid
+      in
+      (List.map snd combo, flatten system choice))
+    (product per_site)
+
+let abstract ?granularity system =
+  let results =
+    List.map
+      (fun site ->
+        let iface = site.Structure.iface in
+        Extraction.extract ?granularity
+          ~process_name:(I.Interface_id.to_string iface.Structure.interface_id)
+          ~wiring:site.Structure.wiring iface)
+      (System.sites system)
+  in
+  let processes =
+    System.processes system
+    @ List.map (fun r -> r.Extraction.abstract_process) results
+  in
+  let model =
+    Spi.Model.build_exn ~processes ~channels:(System.channels system)
+  in
+  (model, List.map (fun r -> r.Extraction.configurations) results)

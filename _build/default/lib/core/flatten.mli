@@ -1,0 +1,47 @@
+(** Deriving concrete models from a system with variants.
+
+    Two directions, both from Section 5's design scenario:
+
+    - {!flatten} performs production/run-time variant derivation: each
+      interface is {e replaced by one of its clusters}, yielding an
+      ordinary SPI model for that application ("each of those can be
+      simply derived by replacing the interface 1 by either cluster 1 or
+      cluster 2").
+    - {!abstract} prepares dynamic variant selection: each interface is
+      replaced by its extracted abstract process, and the corresponding
+      configuration sets (Def. 4) are returned alongside the model for
+      the simulator to enforce reconfiguration latencies. *)
+
+type choice = Spi.Ids.Interface_id.t -> Spi.Ids.Cluster_id.t
+
+exception Flatten_error of string
+
+val choice_of_list : (string * string) list -> choice
+(** Builds a choice function from interface-name/cluster-name pairs.
+    @raise Flatten_error (when called) on interfaces absent from the
+    list. *)
+
+val first_cluster : System.t -> choice
+(** Picks every interface's first cluster — a convenient default. *)
+
+val flatten : System.t -> choice -> Spi.Model.t
+(** Substitutes the chosen cluster at every site (recursively through
+    sub-sites).  Instantiated element ids are prefixed with
+    ["<interface>."] so several sites cannot collide.
+    @raise Flatten_error if a site names an unknown cluster or a port is
+    unwired; @raise Invalid_argument if the resulting model fails SPI
+    validation. *)
+
+val applications : System.t -> (Spi.Ids.Cluster_id.t list * Spi.Model.t) list
+(** Every derivable application: one model per combination of variants —
+    the cartesian product over sites (in site order) {e including the
+    nested choices of hierarchically embedded interfaces}; a sub-
+    interface contributes options only under the clusters that embed
+    it. *)
+
+val abstract :
+  ?granularity:Extraction.granularity ->
+  System.t ->
+  Spi.Model.t * Configuration.t list
+(** Replaces every site by its extracted abstract process (named after
+    the interface).  Top-level processes and channels are kept as-is. *)

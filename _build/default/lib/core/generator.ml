@@ -1,0 +1,106 @@
+module I = Spi.Ids
+
+type params = {
+  seed : int;
+  shared_processes : int;
+  sites : int;
+  variants_per_site : int;
+  cluster_processes : int;
+  latency_range : int * int;
+}
+
+let default =
+  {
+    seed = 42;
+    shared_processes = 2;
+    sites = 1;
+    variants_per_site = 2;
+    cluster_processes = 2;
+    latency_range = (1, 20);
+  }
+
+let latency_interval rng (lo_range, hi_range) =
+  let mid = lo_range + Random.State.int rng (max 1 (hi_range - lo_range + 1)) in
+  let spread = Random.State.int rng (1 + (mid / 2)) in
+  Interval.make (max 0 (mid - spread)) (mid + spread)
+
+let chain_process rng range ~consumes_from ~produces_to name =
+  Spi.Process.simple
+    ~latency:(latency_interval rng range)
+    ~consumes:[ (consumes_from, Interval.point 1) ]
+    ~produces:[ (produces_to, Spi.Mode.produce (Interval.point 1)) ]
+    (I.Process_id.of_string name)
+
+let generate p =
+  if p.shared_processes < 1 || p.sites < 0 || p.variants_per_site < 1
+     || p.cluster_processes < 1
+  then invalid_arg "Generator.generate: nonsensical parameters";
+  let rng = Random.State.make [| p.seed |] in
+  let chan name = I.Channel_id.of_string name in
+  (* Top-level channels: c0 .. c(shared + sites). *)
+  let top_channel i = chan (Format.sprintf "c%d" i) in
+  let n_top = p.shared_processes + p.sites + 1 in
+  let channels =
+    List.init n_top (fun i -> Spi.Chan.queue (top_channel i))
+  in
+  let shared =
+    List.init p.shared_processes (fun i ->
+        chain_process rng p.latency_range ~consumes_from:(top_channel i)
+          ~produces_to:(top_channel (i + 1))
+          (Format.sprintf "S%d" (i + 1)))
+  in
+  let cluster_of_site ~site ~variant =
+    let in_port = Port.input "pin" and out_port = Port.output "pout" in
+    let internal =
+      List.init (p.cluster_processes - 1) (fun i ->
+          Spi.Chan.queue (chan (Format.sprintf "k%d" i)))
+    in
+    let endpoint i =
+      if i = 0 then Port.channel_of (Port.id in_port)
+      else chan (Format.sprintf "k%d" (i - 1))
+    and exitpoint i =
+      if i = p.cluster_processes - 1 then Port.channel_of (Port.id out_port)
+      else chan (Format.sprintf "k%d" i)
+    in
+    let processes =
+      List.init p.cluster_processes (fun i ->
+          chain_process rng p.latency_range ~consumes_from:(endpoint i)
+            ~produces_to:(exitpoint i)
+            (Format.sprintf "v%d_%d" variant (i + 1)))
+    in
+    Cluster.make ~channels:internal
+      ~ports:[ in_port; out_port ]
+      ~processes
+      (Format.sprintf "site%d_var%d" site variant)
+  in
+  let sites =
+    List.init p.sites (fun s ->
+        let clusters =
+          List.init p.variants_per_site (fun v ->
+              cluster_of_site ~site:(s + 1) ~variant:(v + 1))
+        in
+        let iface =
+          Interface.make
+            ~ports:[ Port.input "pin"; Port.output "pout" ]
+            ~clusters
+            (Format.sprintf "iface%d" (s + 1))
+        in
+        {
+          Structure.iface;
+          wiring =
+            [
+              (I.Port_id.of_string "pin", top_channel (p.shared_processes + s));
+              ( I.Port_id.of_string "pout",
+                top_channel (p.shared_processes + s + 1) );
+            ];
+        })
+  in
+  System.make ~processes:shared ~channels ~sites
+    (Format.sprintf "gen_seed%d" p.seed)
+
+let process_weight pid =
+  let name = I.Process_id.to_string pid in
+  let h =
+    String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 name
+  in
+  1 + (abs h mod 100)

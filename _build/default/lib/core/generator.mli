@@ -1,0 +1,29 @@
+(** Pseudo-random variant-system generator.
+
+    The ablation benchmarks sweep structural parameters (number of
+    variants, functional overlap, system size) over families of
+    synthetic systems.  Generation is deterministic in [seed]. *)
+
+type params = {
+  seed : int;
+  shared_processes : int;  (** length of the common process chain *)
+  sites : int;  (** number of interface sites, in series *)
+  variants_per_site : int;
+  cluster_processes : int;  (** chain length inside each cluster *)
+  latency_range : int * int;  (** bounds for generated latency midpoints *)
+}
+
+val default : params
+(** 2 shared processes, 1 site, 2 variants, 2 processes per cluster,
+    latencies in [1, 20], seed 42. *)
+
+val generate : params -> System.t
+(** The generated topology is a pipeline: source process, shared chain,
+    then the sites in series, then a sink process.  Every cluster is a
+    process chain from its input port to its output port with generated
+    latency intervals.  The result always passes {!System.validate}. *)
+
+val process_weight : Spi.Ids.Process_id.t -> int
+(** Deterministic per-process weight in [1, 100] derived from the
+    process name; used by the synthesis ablations to assign
+    implementation costs without carrying a side table. *)

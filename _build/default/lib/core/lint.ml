@@ -1,0 +1,171 @@
+module I = Spi.Ids
+
+type severity = Error | Warning | Info
+
+type finding = { severity : severity; scope : string; message : string }
+type t = { findings : finding list; errors : int; warnings : int }
+
+let finding severity scope fmt =
+  Format.kasprintf (fun message -> { severity; scope; message }) fmt
+
+let structural system =
+  List.map
+    (fun e -> finding Error "system" "%a" System.pp_error e)
+    (System.validate system)
+
+let selection_checks system =
+  List.concat_map
+    (fun iface ->
+      let scope =
+        Format.asprintf "interface %a" I.Interface_id.pp (Interface.id iface)
+      in
+      let ambiguity =
+        List.map
+          (fun (r1, r2) ->
+            finding Warning scope
+              "selection rules %a and %a are not provably disjoint"
+              I.Rule_id.pp r1 I.Rule_id.pp r2)
+          (Interface.ambiguous_selection_pairs iface)
+      in
+      let missing_latency =
+        match Interface.selection iface with
+        | None -> []
+        | Some sel ->
+          List.filter_map
+            (fun cluster ->
+              let cid = Cluster.id cluster in
+              if Selection.config_latency sel cid = 0 then
+                Some
+                  (finding Info scope
+                     "cluster %a has no configuration latency (defaults to 0)"
+                     I.Cluster_id.pp cid)
+              else None)
+            (Interface.clusters iface)
+      in
+      ambiguity @ missing_latency)
+    (System.interfaces system)
+
+let extraction_checks system =
+  List.concat_map
+    (fun site ->
+      let iface = site.Structure.iface in
+      let scope =
+        Format.asprintf "interface %a" I.Interface_id.pp
+          iface.Structure.interface_id
+      in
+      try
+        let r =
+          Extraction.extract
+            ~process_name:
+              (I.Interface_id.to_string iface.Structure.interface_id)
+            ~wiring:site.Structure.wiring iface
+        in
+        List.map
+          (fun e ->
+            finding Error scope "extraction inconsistency: %a"
+              Configuration.pp_error e)
+          (Configuration.validate_against r.Extraction.abstract_process
+             r.Extraction.configurations)
+        @ List.map
+            (fun (r1, r2) ->
+              finding Warning scope
+                "extracted activation rules %a and %a are not provably disjoint"
+                I.Rule_id.pp r1 I.Rule_id.pp r2)
+            (Spi.Activation.ambiguous_pairs
+               (Spi.Process.activation r.Extraction.abstract_process))
+      with
+      | Extraction.Extraction_error m ->
+        [ finding Error scope "extraction failed: %s" m ]
+      | Invalid_argument m ->
+        [ finding Error scope "extraction failed: %s" m ])
+    (System.sites system)
+
+let application_checks system =
+  try
+    List.concat_map
+      (fun (clusters, model) ->
+        let scope =
+          String.concat "+" (List.map I.Cluster_id.to_string clusters)
+        in
+        let balance =
+          List.filter_map
+            (fun (cid, b) ->
+              match b with
+              | Spi.Analysis.Accumulating { surplus } ->
+                Some
+                  (finding Warning scope
+                     "channel %a accumulates %d tokens per execution"
+                     I.Channel_id.pp cid surplus)
+              | Spi.Analysis.Starving { deficit } ->
+                Some
+                  (finding Warning scope
+                     "channel %a starves its reader by %d tokens per execution"
+                     I.Channel_id.pp cid deficit)
+              | Spi.Analysis.Balanced | Spi.Analysis.Boundary -> None)
+            (Spi.Analysis.balance_report model)
+        in
+        let deadlocks =
+          List.map
+            (fun comp ->
+              finding Error scope "structural deadlock candidate: {%s}"
+                (String.concat ", " (List.map I.Process_id.to_string comp)))
+            (Spi.Analysis.deadlock_candidates model)
+        in
+        let latency_of pid =
+          match Spi.Model.find_process pid model with
+          | Some p -> Interval.hi (Spi.Process.latency_hull p)
+          | None -> 0
+        in
+        let timing =
+          List.filter_map
+            (fun (c, o) ->
+              match o with
+              | Spi.Constraint_.Violated { worst; excess } ->
+                Some
+                  (finding Error scope
+                     "deadline %s violated: worst %d exceeds bound by %d"
+                     c.Spi.Constraint_.name worst excess)
+              | Spi.Constraint_.Cyclic _ ->
+                Some
+                  (finding Warning scope
+                     "deadline %s crosses a cyclic region: unbounded statically"
+                     c.Spi.Constraint_.name)
+              | Spi.Constraint_.Unreachable ->
+                Some
+                  (finding Warning scope
+                     "deadline %s endpoints are not connected"
+                     c.Spi.Constraint_.name)
+              | Spi.Constraint_.Satisfied _ -> None)
+            (Spi.Constraint_.check_all ~latency_of model
+               (System.constraints system))
+        in
+        balance @ deadlocks @ timing)
+      (Flatten.applications system)
+  with Flatten.Flatten_error m | Invalid_argument m ->
+    [ finding Error "system" "could not derive applications: %s" m ]
+
+let run system =
+  let findings =
+    match structural system with
+    | _ :: _ as errors -> errors (* structure broken: stop here *)
+    | [] -> selection_checks system @ extraction_checks system @ application_checks system
+  in
+  let count s = List.length (List.filter (fun f -> f.severity = s) findings) in
+  { findings; errors = count Error; warnings = count Warning }
+
+let is_clean t = t.errors = 0
+
+let pp_severity ppf = function
+  | Error -> Format.pp_print_string ppf "error"
+  | Warning -> Format.pp_print_string ppf "warning"
+  | Info -> Format.pp_print_string ppf "info"
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%a] %s: %s" pp_severity f.severity f.scope f.message
+
+let pp ppf t =
+  if t.findings = [] then Format.fprintf ppf "clean: no findings@."
+  else begin
+    List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) t.findings;
+    Format.fprintf ppf "%d errors, %d warnings@." t.errors t.warnings
+  end

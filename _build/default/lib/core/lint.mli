@@ -1,0 +1,31 @@
+(** One-call design lint.
+
+    Aggregates every static check the libraries offer over a variant
+    system: structural validation (Defs. 1–2), selection-rule ambiguity
+    (Def. 3), extraction/configuration consistency (Def. 4), and the
+    per-application analyses (rate balance anomalies, structural
+    deadlock candidates, hull-latency timing constraints).  Intended as
+    the one command a designer runs before synthesis. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  severity : severity;
+  scope : string;  (** e.g. ["system"], ["interface iface1"], an app name *)
+  message : string;
+}
+
+type t = {
+  findings : finding list;
+  errors : int;
+  warnings : int;
+}
+
+val run : System.t -> t
+(** Never raises; malformed systems yield error findings. *)
+
+val is_clean : t -> bool
+(** No errors (warnings allowed). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_finding : Format.formatter -> finding -> unit

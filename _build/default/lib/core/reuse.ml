@@ -1,0 +1,96 @@
+module I = Spi.Ids
+
+type mismatch = {
+  missing_inputs : I.Port_id.Set.t;
+  extra_inputs : I.Port_id.Set.t;
+  missing_outputs : I.Port_id.Set.t;
+  extra_outputs : I.Port_id.Set.t;
+}
+
+type compatibility = Compatible | Port_mismatch of mismatch
+
+let check iface cluster =
+  let want_in, want_out = Port.signature (Interface.ports iface) in
+  let have_in, have_out = Port.signature (Cluster.ports cluster) in
+  let mismatch =
+    {
+      missing_inputs = I.Port_id.Set.diff want_in have_in;
+      extra_inputs = I.Port_id.Set.diff have_in want_in;
+      missing_outputs = I.Port_id.Set.diff want_out have_out;
+      extra_outputs = I.Port_id.Set.diff have_out want_out;
+    }
+  in
+  if
+    I.Port_id.Set.is_empty mismatch.missing_inputs
+    && I.Port_id.Set.is_empty mismatch.extra_inputs
+    && I.Port_id.Set.is_empty mismatch.missing_outputs
+    && I.Port_id.Set.is_empty mismatch.extra_outputs
+  then Compatible
+  else Port_mismatch mismatch
+
+let is_compatible iface cluster = check iface cluster = Compatible
+
+let rec interfaces_of_cluster (c : Structure.cluster) =
+  List.concat_map
+    (fun site ->
+      let iface = site.Structure.iface in
+      iface :: List.concat_map interfaces_of_cluster iface.Structure.clusters)
+    c.Structure.sub_sites
+
+let all_interfaces system =
+  List.concat_map
+    (fun site ->
+      let iface = site.Structure.iface in
+      iface :: List.concat_map interfaces_of_cluster iface.Structure.clusters)
+    (System.sites system)
+
+let host_interfaces system cluster =
+  List.filter_map
+    (fun iface ->
+      if is_compatible iface cluster then Some (Interface.id iface) else None)
+    (all_interfaces system)
+
+let extend_interface iface cluster =
+  match check iface cluster with
+  | Port_mismatch _ as c ->
+    Error
+      (Format.asprintf "cluster %a does not match interface %a: %s"
+         I.Cluster_id.pp (Cluster.id cluster) I.Interface_id.pp
+         (Interface.id iface)
+         (match c with
+         | Port_mismatch m ->
+           Format.asprintf "%d port differences"
+             (I.Port_id.Set.cardinal m.missing_inputs
+             + I.Port_id.Set.cardinal m.extra_inputs
+             + I.Port_id.Set.cardinal m.missing_outputs
+             + I.Port_id.Set.cardinal m.extra_outputs)
+         | Compatible -> assert false))
+  | Compatible ->
+    if
+      List.exists
+        (fun c -> I.Cluster_id.equal (Cluster.id c) (Cluster.id cluster))
+        (Interface.clusters iface)
+    then
+      Error
+        (Format.asprintf "interface %a already has a cluster %a"
+           I.Interface_id.pp (Interface.id iface) I.Cluster_id.pp
+           (Cluster.id cluster))
+    else
+      Ok
+        (Interface.make
+           ?selection:(Interface.selection iface)
+           ~ports:(Interface.ports iface)
+           ~clusters:(Interface.clusters iface @ [ cluster ])
+           (I.Interface_id.to_string (Interface.id iface)))
+
+let pp_set ppf set =
+  Format.pp_print_string ppf
+    (String.concat ", " (List.map I.Port_id.to_string (I.Port_id.Set.elements set)))
+
+let pp_compatibility ppf = function
+  | Compatible -> Format.pp_print_string ppf "compatible"
+  | Port_mismatch m ->
+    Format.fprintf ppf
+      "mismatch (missing in: %a; extra in: %a; missing out: %a; extra out: %a)"
+      pp_set m.missing_inputs pp_set m.extra_inputs pp_set m.missing_outputs
+      pp_set m.extra_outputs

@@ -1,0 +1,37 @@
+(** Reuse analysis for clusters across interfaces and product
+    generations.
+
+    The paper motivates a representation that "supports the reuse of a
+    system part, possibly with a different function variant type" — a
+    network protocol shipped as a hardware production variant may return
+    as a software run-time variant in the next generation.  The
+    precondition for dropping a cluster into an interface is Def. 2's
+    signature match; this module checks it and reports the exact port
+    differences when it fails. *)
+
+type mismatch = {
+  missing_inputs : Spi.Ids.Port_id.Set.t;
+      (** interface inputs the cluster does not offer *)
+  extra_inputs : Spi.Ids.Port_id.Set.t;
+  missing_outputs : Spi.Ids.Port_id.Set.t;
+  extra_outputs : Spi.Ids.Port_id.Set.t;
+}
+
+type compatibility = Compatible | Port_mismatch of mismatch
+
+val check : Interface.t -> Cluster.t -> compatibility
+(** Signature comparison between the interface's ports and the
+    cluster's. *)
+
+val is_compatible : Interface.t -> Cluster.t -> bool
+
+val host_interfaces : System.t -> Cluster.t -> Spi.Ids.Interface_id.t list
+(** All interfaces of the system (including interfaces embedded in other
+    clusters) whose signature the cluster matches — the places the part
+    could be reused, regardless of how its variants are later selected. *)
+
+val extend_interface : Interface.t -> Cluster.t -> (Interface.t, string) result
+(** Adds the cluster as a further variant of the interface.
+    [Error] explains a signature mismatch or duplicate cluster id. *)
+
+val pp_compatibility : Format.formatter -> compatibility -> unit

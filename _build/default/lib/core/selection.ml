@@ -1,0 +1,73 @@
+module I = Spi.Ids
+
+let rule name ~guard ~target =
+  {
+    Structure.sel_rule_id = I.Rule_id.of_string name;
+    sel_guard = guard;
+    target;
+  }
+
+let make ?(config_latencies = []) ?initial rules =
+  List.iter
+    (fun (_, latency) ->
+      if latency < 0 then
+        invalid_arg "Selection.make: negative configuration latency")
+    config_latencies;
+  { Structure.rules; config_latencies; initial }
+
+let rules (s : Structure.selection) = s.Structure.rules
+
+let select view s =
+  List.find_opt
+    (fun r -> Spi.Predicate.eval view r.Structure.sel_guard)
+    s.Structure.rules
+
+let select_cluster view s =
+  Option.map (fun r -> r.Structure.target) (select view s)
+
+let config_latency (s : Structure.selection) cid =
+  match
+    List.find_opt
+      (fun (c, _) -> I.Cluster_id.equal c cid)
+      s.Structure.config_latencies
+  with
+  | Some (_, latency) -> latency
+  | None -> 0
+
+let initial (s : Structure.selection) = s.Structure.initial
+
+type cur = I.Cluster_id.t option
+
+let requires_reconfiguration cur next =
+  match cur with
+  | None -> true
+  | Some current -> not (I.Cluster_id.equal current next)
+
+let observed_channels s =
+  List.fold_left
+    (fun acc r ->
+      I.Channel_id.Set.union acc (Spi.Predicate.channels r.Structure.sel_guard))
+    I.Channel_id.Set.empty s.Structure.rules
+
+let map_channels f (s : Structure.selection) =
+  {
+    s with
+    Structure.rules =
+      List.map
+        (fun r ->
+          {
+            r with
+            Structure.sel_guard =
+              Spi.Predicate.map_channels f r.Structure.sel_guard;
+          })
+        s.Structure.rules;
+  }
+
+let pp ppf (s : Structure.selection) =
+  let pp_rule ppf r =
+    Format.fprintf ppf "%a: %a -> %a" I.Rule_id.pp r.Structure.sel_rule_id
+      Spi.Predicate.pp r.Structure.sel_guard I.Cluster_id.pp r.Structure.target
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    s.Structure.rules

@@ -1,0 +1,51 @@
+(** Cluster selection functions (Def. 3).
+
+    A selection function maps input-token predicates to clusters; it is
+    evaluated against the state of the channels wired to the interface's
+    input ports.  Each interface/cluster pair has a configuration
+    latency [t_conf], and the interface carries a parameter [cur] naming
+    the currently selected cluster. *)
+
+val rule :
+  string -> guard:Spi.Predicate.t -> target:Spi.Ids.Cluster_id.t -> Structure.selection_rule
+
+val make :
+  ?config_latencies:(Spi.Ids.Cluster_id.t * int) list ->
+  ?initial:Spi.Ids.Cluster_id.t ->
+  Structure.selection_rule list ->
+  Structure.selection
+
+val rules : Structure.selection -> Structure.selection_rule list
+
+val select :
+  Spi.Predicate.view -> Structure.selection -> Structure.selection_rule option
+(** First rule whose guard holds.  The paper assumes correct models in
+    which rules are mutually exclusive; order resolves residual
+    overlaps deterministically. *)
+
+val select_cluster :
+  Spi.Predicate.view -> Structure.selection -> Spi.Ids.Cluster_id.t option
+
+val config_latency : Structure.selection -> Spi.Ids.Cluster_id.t -> int
+(** [t_conf] for the given cluster; 0 when unspecified. *)
+
+val initial : Structure.selection -> Spi.Ids.Cluster_id.t option
+
+(** The run-time value of the [cur] parameter: the currently selected
+    cluster of an interface, or none before the first selection. *)
+type cur = Spi.Ids.Cluster_id.t option
+
+val requires_reconfiguration : cur -> Spi.Ids.Cluster_id.t -> bool
+(** True when selecting [next] differs from the current cluster — a
+    (re)configuration step with latency [t_conf] must be inserted. *)
+
+val observed_channels : Structure.selection -> Spi.Ids.Channel_id.Set.t
+
+val map_channels :
+  (Spi.Ids.Channel_id.t -> Spi.Ids.Channel_id.t) ->
+  Structure.selection ->
+  Structure.selection
+(** Renames channel references in the guards — applied when wiring the
+    interface's ports to concrete host channels. *)
+
+val pp : Format.formatter -> Structure.selection -> unit

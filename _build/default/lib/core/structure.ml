@@ -1,0 +1,31 @@
+type cluster = {
+  cluster_id : Spi.Ids.Cluster_id.t;
+  cluster_ports : Port.t list;
+  processes : Spi.Process.t list;
+  channels : Spi.Chan.t list;
+  sub_sites : site list;
+}
+
+and interface = {
+  interface_id : Spi.Ids.Interface_id.t;
+  iface_ports : Port.t list;
+  clusters : cluster list;
+  selection : selection option;
+}
+
+and site = {
+  iface : interface;
+  wiring : (Spi.Ids.Port_id.t * Spi.Ids.Channel_id.t) list;
+}
+
+and selection = {
+  rules : selection_rule list;
+  config_latencies : (Spi.Ids.Cluster_id.t * int) list;
+  initial : Spi.Ids.Cluster_id.t option;
+}
+
+and selection_rule = {
+  sel_rule_id : Spi.Ids.Rule_id.t;
+  sel_guard : Spi.Predicate.t;
+  target : Spi.Ids.Cluster_id.t;
+}

@@ -1,0 +1,49 @@
+(** Shared recursive types for clusters, interfaces and sites.
+
+    Def. 1 allows clusters to embed interfaces (hierarchical variants),
+    making the types mutually recursive; they are therefore declared
+    together here, while the operations live in {!Cluster},
+    {!Interface} and {!Selection}.  An interface never floats freely: it
+    occupies a {e site} that wires each of its ports to a channel of the
+    enclosing scope (a cluster's internal channel, a port placeholder,
+    or a top-level system channel). *)
+
+type cluster = {
+  cluster_id : Spi.Ids.Cluster_id.t;
+  cluster_ports : Port.t list;  (** the cluster's side of the interface signature *)
+  processes : Spi.Process.t list;
+  channels : Spi.Chan.t list;  (** internal channels only *)
+  sub_sites : site list;
+      (** embedded interfaces (hierarchical function variants) *)
+}
+
+and interface = {
+  interface_id : Spi.Ids.Interface_id.t;
+  iface_ports : Port.t list;
+  clusters : cluster list;  (** the variant set; mutually exclusive *)
+  selection : selection option;
+      (** absent for production variants, which the designer fixes before
+          run time (Section 4: "this selection type … does not have to be
+          modeled") *)
+}
+
+(** An interface placed in a model: every port is wired to a channel of
+    the enclosing scope. *)
+and site = {
+  iface : interface;
+  wiring : (Spi.Ids.Port_id.t * Spi.Ids.Channel_id.t) list;
+}
+
+(** Def. 3: the cluster selection function of an interface. *)
+and selection = {
+  rules : selection_rule list;
+  config_latencies : (Spi.Ids.Cluster_id.t * int) list;
+      (** [t_conf] per cluster *)
+  initial : Spi.Ids.Cluster_id.t option;  (** initial value of [cur] *)
+}
+
+and selection_rule = {
+  sel_rule_id : Spi.Ids.Rule_id.t;
+  sel_guard : Spi.Predicate.t;
+  target : Spi.Ids.Cluster_id.t;
+}

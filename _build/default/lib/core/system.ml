@@ -1,0 +1,107 @@
+module I = Spi.Ids
+
+type t = {
+  name : string;
+  processes : Spi.Process.t list;
+  channels : Spi.Chan.t list;
+  sites : Structure.site list;
+  constraints : Spi.Constraint_.t list;
+}
+
+let make ?(processes = []) ?(channels = []) ?(sites = []) ?(constraints = [])
+    name =
+  { name; processes; channels; sites; constraints }
+
+let name t = t.name
+let processes t = t.processes
+let channels t = t.channels
+let sites t = t.sites
+let interfaces t = List.map (fun s -> s.Structure.iface) t.sites
+let constraints t = t.constraints
+
+let find_site iid t =
+  List.find_opt
+    (fun s -> I.Interface_id.equal s.Structure.iface.Structure.interface_id iid)
+    t.sites
+
+let site_count t = List.length t.sites
+
+type error =
+  | Interface_error of I.Interface_id.t * Interface.error
+  | Unwired_port of I.Interface_id.t * I.Port_id.t
+  | Wiring_unknown_channel of I.Interface_id.t * I.Channel_id.t
+  | Duplicate_interface of I.Interface_id.t
+
+let pp_error ppf = function
+  | Interface_error (i, e) ->
+    Format.fprintf ppf "interface %a: %a" I.Interface_id.pp i Interface.pp_error e
+  | Unwired_port (i, p) ->
+    Format.fprintf ppf "interface %a: port %a unwired" I.Interface_id.pp i
+      I.Port_id.pp p
+  | Wiring_unknown_channel (i, c) ->
+    Format.fprintf ppf "interface %a wired to unknown channel %a"
+      I.Interface_id.pp i I.Channel_id.pp c
+  | Duplicate_interface i ->
+    Format.fprintf ppf "interface %a placed twice" I.Interface_id.pp i
+
+let validate t =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let channel_ids =
+    List.fold_left
+      (fun acc c -> I.Channel_id.Set.add (Spi.Chan.id c) acc)
+      I.Channel_id.Set.empty t.channels
+  in
+  ignore
+    (List.fold_left
+       (fun seen site ->
+         let iid = site.Structure.iface.Structure.interface_id in
+         if List.exists (I.Interface_id.equal iid) seen then begin
+           err (Duplicate_interface iid);
+           seen
+         end
+         else iid :: seen)
+       [] t.sites);
+  List.iter
+    (fun site ->
+      let iface = site.Structure.iface in
+      let iid = iface.Structure.interface_id in
+      List.iter (fun e -> err (Interface_error (iid, e))) (Interface.validate iface);
+      List.iter
+        (fun port ->
+          let pid = Port.id port in
+          if
+            not
+              (List.exists
+                 (fun (p, _) -> I.Port_id.equal p pid)
+                 site.Structure.wiring)
+          then err (Unwired_port (iid, pid)))
+        iface.Structure.iface_ports;
+      List.iter
+        (fun (_, target) ->
+          if not (I.Channel_id.Set.mem target channel_ids) then
+            err (Wiring_unknown_channel (iid, target)))
+        site.Structure.wiring)
+    t.sites;
+  List.rev !errors
+
+let validate_exn t =
+  match validate t with
+  | [] -> ()
+  | errors ->
+    invalid_arg
+      (Format.asprintf "@[<v>System %s:@,%a@]" t.name
+         (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_error)
+         errors)
+
+let shared_process_ids t =
+  List.fold_left
+    (fun acc p -> I.Process_id.Set.add (Spi.Process.id p) acc)
+    I.Process_id.Set.empty t.processes
+
+let pp ppf t =
+  Format.fprintf ppf "system %s: %d shared processes, %d channels, %d sites"
+    t.name
+    (List.length t.processes)
+    (List.length t.channels)
+    (List.length t.sites)

@@ -1,0 +1,50 @@
+(** A system with function variants.
+
+    The complete design representation of Section 3: a common part
+    (processes and channels that are not variant-dependent) plus
+    interface sites whose clusters are the mutually exclusive function
+    variants.  Deriving one concrete application substitutes a cluster
+    at each site ({!Flatten.flatten}); abstracting for dynamic variants
+    replaces each site by an extracted process with configurations
+    ({!Flatten.abstract}). *)
+
+type t
+
+val make :
+  ?processes:Spi.Process.t list ->
+  ?channels:Spi.Chan.t list ->
+  ?sites:Structure.site list ->
+  ?constraints:Spi.Constraint_.t list ->
+  string ->
+  t
+
+val name : t -> string
+val processes : t -> Spi.Process.t list
+val channels : t -> Spi.Chan.t list
+val sites : t -> Structure.site list
+val interfaces : t -> Interface.t list
+
+val constraints : t -> Spi.Constraint_.t list
+(** End-to-end latency-path constraints the design must meet; SPI
+    carries timing constraints in the representation itself.  Constraint
+    endpoints may be common-part processes or (after flattening)
+    instantiated cluster processes. *)
+
+val find_site : Spi.Ids.Interface_id.t -> t -> Structure.site option
+val site_count : t -> int
+
+type error =
+  | Interface_error of Spi.Ids.Interface_id.t * Interface.error
+  | Unwired_port of Spi.Ids.Interface_id.t * Spi.Ids.Port_id.t
+  | Wiring_unknown_channel of Spi.Ids.Interface_id.t * Spi.Ids.Channel_id.t
+  | Duplicate_interface of Spi.Ids.Interface_id.t
+
+val pp_error : Format.formatter -> error -> unit
+val validate : t -> error list
+val validate_exn : t -> unit
+
+val shared_process_ids : t -> Spi.Ids.Process_id.Set.t
+(** Processes of the common part — considered once during synthesis
+    regardless of the number of variants (Section 5). *)
+
+val pp : Format.formatter -> t -> unit

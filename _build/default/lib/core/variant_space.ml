@@ -1,0 +1,121 @@
+module I = Spi.Ids
+
+type assignment = (I.Interface_id.t * I.Cluster_id.t) list
+type linkage = I.Interface_id.t list list
+
+let site_options system =
+  List.map
+    (fun site ->
+      let iface = site.Structure.iface in
+      ( iface.Structure.interface_id,
+        List.map Cluster.id iface.Structure.clusters ))
+    (System.sites system)
+
+let independent_count system =
+  List.fold_left (fun acc (_, cs) -> acc * List.length cs) 1 (site_options system)
+
+let group_of linkage iid =
+  List.find_opt (List.exists (I.Interface_id.equal iid)) linkage
+
+let check_linkage system linkage =
+  List.iter
+    (fun group ->
+      List.iter
+        (fun iid ->
+          if Option.is_none (System.find_site iid system) then
+            invalid_arg
+              (Format.asprintf "Variant_space: unknown interface %a in linkage"
+                 I.Interface_id.pp iid))
+        group)
+    linkage
+
+(* Choice dimensions: one per linkage group (an index shared by its
+   members) and one per independent site. *)
+type dimension =
+  | Group of I.Interface_id.t list * int  (** members, variant count *)
+  | Single of I.Interface_id.t * I.Cluster_id.t list
+
+let dimensions system linkage =
+  check_linkage system linkage;
+  let options = site_options system in
+  let in_some_group iid = Option.is_some (group_of linkage iid) in
+  let singles =
+    List.filter_map
+      (fun (iid, cs) -> if in_some_group iid then None else Some (Single (iid, cs)))
+      options
+  in
+  let groups =
+    List.map
+      (fun group ->
+        let counts =
+          List.filter_map
+            (fun iid ->
+              List.find_map
+                (fun (i, cs) ->
+                  if I.Interface_id.equal i iid then Some (List.length cs)
+                  else None)
+                options)
+            group
+        in
+        let count = List.fold_left min max_int counts in
+        let count = if count = max_int then 0 else count in
+        Group (group, count))
+      linkage
+  in
+  singles @ groups
+
+let count ?(linkage = []) system =
+  List.fold_left
+    (fun acc dim ->
+      match dim with
+      | Single (_, cs) -> acc * List.length cs
+      | Group (_, n) -> acc * n)
+    1
+    (dimensions system linkage)
+
+let cluster_at system iid index =
+  match System.find_site iid system with
+  | None -> invalid_arg "Variant_space: unknown interface"
+  | Some site -> Cluster.id (List.nth site.Structure.iface.Structure.clusters index)
+
+let enumerate ?(linkage = []) system =
+  let dims = dimensions system linkage in
+  let expand dim =
+    match dim with
+    | Single (iid, cs) -> List.map (fun c -> [ (iid, c) ]) cs
+    | Group (members, n) ->
+      List.init n (fun idx ->
+          List.map (fun iid -> (iid, cluster_at system iid idx)) members)
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | options :: rest ->
+      let tails = product rest in
+      List.concat_map (fun opt -> List.map (fun tail -> opt @ tail) tails) options
+  in
+  let assignments = product (List.map expand dims) in
+  (* Restore site order for stable output. *)
+  let order = List.map fst (site_options system) in
+  List.map
+    (fun assignment ->
+      List.filter_map
+        (fun iid ->
+          List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) assignment)
+        order)
+    assignments
+
+let to_choice assignment iid =
+  match List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) assignment with
+  | Some (_, cid) -> cid
+  | None ->
+    raise
+      (Flatten.Flatten_error
+         (Format.asprintf "no cluster assigned for interface %a"
+            I.Interface_id.pp iid))
+
+let pp_assignment ppf assignment =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (i, c) ->
+      Format.fprintf ppf "%a=%a" I.Interface_id.pp i I.Cluster_id.pp c)
+    ppf assignment

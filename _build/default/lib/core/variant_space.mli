@@ -1,0 +1,30 @@
+(** The variant space of a system.
+
+    A system may contain several variant sets whose selection is related
+    or independent (Section 1).  This module enumerates variant
+    combinations, optionally under {e linkage groups}: interfaces in the
+    same group must select variants at the same position of their
+    cluster lists (e.g. the input and output standard of a multi-media
+    device move together). *)
+
+type assignment = (Spi.Ids.Interface_id.t * Spi.Ids.Cluster_id.t) list
+(** One cluster per site, in site order. *)
+
+type linkage = Spi.Ids.Interface_id.t list list
+(** Groups of interfaces whose selections are related.  Interfaces
+    absent from every group are independent. *)
+
+val independent_count : System.t -> int
+(** Product of the sites' variant counts. *)
+
+val count : ?linkage:linkage -> System.t -> int
+
+val enumerate : ?linkage:linkage -> System.t -> assignment list
+(** All admissible assignments.  With linkage, grouped interfaces share
+    the variant index; a group whose interfaces have different variant
+    counts is truncated to the minimum.
+    @raise Invalid_argument if a linkage group names an unknown
+    interface. *)
+
+val to_choice : assignment -> Flatten.choice
+val pp_assignment : Format.formatter -> assignment -> unit

@@ -1,0 +1,1 @@
+lib/graphlib/dot.mli: Digraph Format

@@ -1,0 +1,1 @@
+lib/graphlib/scc.mli: Digraph

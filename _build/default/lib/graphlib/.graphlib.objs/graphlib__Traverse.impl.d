@@ -1,0 +1,1 @@
+lib/graphlib/traverse.ml: Digraph List Queue Result

@@ -1,0 +1,1 @@
+lib/graphlib/traverse.mli: Digraph

@@ -1,0 +1,114 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type node
+  type t
+
+  module Node_set : Set.S with type elt = node
+  module Node_map : Map.S with type key = node
+
+  val empty : t
+  val is_empty : t -> bool
+  val add_node : node -> t -> t
+  val add_edge : node -> node -> t -> t
+  val remove_edge : node -> node -> t -> t
+  val remove_node : node -> t -> t
+  val mem_node : node -> t -> bool
+  val mem_edge : node -> node -> t -> bool
+  val nodes : t -> node list
+  val edges : t -> (node * node) list
+  val succs : node -> t -> Node_set.t
+  val preds : node -> t -> Node_set.t
+  val out_degree : node -> t -> int
+  val in_degree : node -> t -> int
+  val node_count : t -> int
+  val edge_count : t -> int
+  val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+  val fold_edges : (node -> node -> 'a -> 'a) -> t -> 'a -> 'a
+  val union : t -> t -> t
+  val transpose : t -> t
+  val of_edges : (node * node) list -> t
+end
+
+module Make (Node : ORDERED) = struct
+  type node = Node.t
+
+  module Node_set = Set.Make (Node)
+  module Node_map = Map.Make (Node)
+
+  (* Invariant: [succ] and [pred] have exactly the same key set, and
+     [v in succ(u)] iff [u in pred(v)]. *)
+  type t = { succ : Node_set.t Node_map.t; pred : Node_set.t Node_map.t }
+
+  let empty = { succ = Node_map.empty; pred = Node_map.empty }
+  let is_empty g = Node_map.is_empty g.succ
+
+  let add_to_map key value map =
+    Node_map.update key
+      (function
+        | None -> Some (Node_set.singleton value)
+        | Some set -> Some (Node_set.add value set))
+      map
+
+  let ensure_node n map =
+    Node_map.update n
+      (function None -> Some Node_set.empty | Some s -> Some s)
+      map
+
+  let add_node n g = { succ = ensure_node n g.succ; pred = ensure_node n g.pred }
+
+  let add_edge u v g =
+    let g = add_node u (add_node v g) in
+    { succ = add_to_map u v g.succ; pred = add_to_map v u g.pred }
+
+  let remove_from_map key value map =
+    Node_map.update key
+      (function None -> None | Some set -> Some (Node_set.remove value set))
+      map
+
+  let remove_edge u v g =
+    { succ = remove_from_map u v g.succ; pred = remove_from_map v u g.pred }
+
+  let mem_node n g = Node_map.mem n g.succ
+
+  let find_set n map =
+    match Node_map.find_opt n map with None -> Node_set.empty | Some s -> s
+
+  let succs n g = find_set n g.succ
+  let preds n g = find_set n g.pred
+  let mem_edge u v g = Node_set.mem v (succs u g)
+
+  let remove_node n g =
+    let cut_succ = Node_set.fold (fun v m -> remove_from_map v n m) (succs n g) in
+    let cut_pred = Node_set.fold (fun u m -> remove_from_map u n m) (preds n g) in
+    {
+      succ = Node_map.remove n (cut_pred g.succ);
+      pred = Node_map.remove n (cut_succ g.pred);
+    }
+
+  let nodes g = List.map fst (Node_map.bindings g.succ)
+
+  let fold_edges f g acc =
+    Node_map.fold
+      (fun u vs acc -> Node_set.fold (fun v acc -> f u v acc) vs acc)
+      g.succ acc
+
+  let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+  let out_degree n g = Node_set.cardinal (succs n g)
+  let in_degree n g = Node_set.cardinal (preds n g)
+  let node_count g = Node_map.cardinal g.succ
+  let edge_count g = fold_edges (fun _ _ n -> n + 1) g 0
+  let fold_nodes f g acc = Node_map.fold (fun n _ acc -> f n acc) g.succ acc
+
+  let union g1 g2 =
+    let g = fold_nodes add_node g2 g1 in
+    fold_edges (fun u v g -> add_edge u v g) g2 g
+
+  let transpose g = { succ = g.pred; pred = g.succ }
+  let of_edges pairs = List.fold_left (fun g (u, v) -> add_edge u v g) empty pairs
+end

@@ -1,0 +1,59 @@
+(** Persistent directed graphs, functorial over the node type.
+
+    The SPI model graph is bipartite (processes and channels); rather than
+    depending on an external graph package, this small library provides
+    the directed-graph core the rest of the repository builds on. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type node
+  type t
+
+  module Node_set : Set.S with type elt = node
+  module Node_map : Map.S with type key = node
+
+  val empty : t
+  val is_empty : t -> bool
+  val add_node : node -> t -> t
+
+  val add_edge : node -> node -> t -> t
+  (** Adds both endpoints if absent.  Parallel edges collapse. *)
+
+  val remove_edge : node -> node -> t -> t
+
+  val remove_node : node -> t -> t
+  (** Removes the node and every incident edge. *)
+
+  val mem_node : node -> t -> bool
+  val mem_edge : node -> node -> t -> bool
+  val nodes : t -> node list
+  val edges : t -> (node * node) list
+  val succs : node -> t -> Node_set.t
+  val preds : node -> t -> Node_set.t
+  val out_degree : node -> t -> int
+  val in_degree : node -> t -> int
+  val node_count : t -> int
+  val edge_count : t -> int
+  val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+  val fold_edges : (node -> node -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val union : t -> t -> t
+  (** Node- and edge-wise union. *)
+
+  val transpose : t -> t
+  (** Same nodes, every edge reversed. *)
+
+  val of_edges : (node * node) list -> t
+end
+
+module Make (Node : ORDERED) :
+  S
+    with type node = Node.t
+     and module Node_set = Set.Make(Node)
+     and module Node_map = Map.Make(Node)

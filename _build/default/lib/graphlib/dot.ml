@@ -1,0 +1,44 @@
+module Make (G : Digraph.S) = struct
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let pp ?(graph_name = "g") ?(node_attrs = fun _ -> []) ~node_label ppf g =
+    (* ids are keyed on node identity, not labels: distinct nodes may
+       share a label *)
+    let ids = ref G.Node_map.empty in
+    let next = ref 0 in
+    let id_of n =
+      match G.Node_map.find_opt n !ids with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        ids := G.Node_map.add n i !ids;
+        i
+    in
+    Format.fprintf ppf "digraph %s {@." graph_name;
+    let print_node n =
+      let attrs =
+        ("label", node_label n) :: node_attrs n
+        |> List.map (fun (k, v) -> Format.sprintf "%s=\"%s\"" k (escape v))
+        |> String.concat ", "
+      in
+      Format.fprintf ppf "  n%d [%s];@." (id_of n) attrs
+    in
+    List.iter print_node (G.nodes g);
+    let print_edge u v = Format.fprintf ppf "  n%d -> n%d;@." (id_of u) (id_of v) in
+    List.iter (fun (u, v) -> print_edge u v) (G.edges g);
+    Format.fprintf ppf "}@."
+
+  let to_string ?graph_name ?node_attrs ~node_label g =
+    Format.asprintf "%a" (fun ppf -> pp ?graph_name ?node_attrs ~node_label ppf) g
+end

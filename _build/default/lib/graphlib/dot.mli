@@ -1,0 +1,20 @@
+(** Graphviz (dot) rendering of any {!Digraph.S} instance. *)
+
+module Make (G : Digraph.S) : sig
+  val pp :
+    ?graph_name:string ->
+    ?node_attrs:(G.node -> (string * string) list) ->
+    node_label:(G.node -> string) ->
+    Format.formatter ->
+    G.t ->
+    unit
+  (** Prints a [digraph] with one statement per node and edge.
+      [node_attrs] may add attributes (e.g. [("shape", "box")]). *)
+
+  val to_string :
+    ?graph_name:string ->
+    ?node_attrs:(G.node -> (string * string) list) ->
+    node_label:(G.node -> string) ->
+    G.t ->
+    string
+end

@@ -1,0 +1,56 @@
+module Make (G : Digraph.S) = struct
+  type cell = { mutable index : int; mutable lowlink : int; mutable on_stack : bool }
+
+  let components g =
+    let cells = ref G.Node_map.empty in
+    let counter = ref 0 in
+    let stack = ref [] in
+    let result = ref [] in
+    let rec strongconnect v =
+      let cell = { index = !counter; lowlink = !counter; on_stack = true } in
+      cells := G.Node_map.add v cell !cells;
+      incr counter;
+      stack := v :: !stack;
+      let visit w =
+        match G.Node_map.find_opt w !cells with
+        | None ->
+          let wc = strongconnect w in
+          cell.lowlink <- min cell.lowlink wc.lowlink
+        | Some wc -> if wc.on_stack then cell.lowlink <- min cell.lowlink wc.index
+      in
+      G.Node_set.iter visit (G.succs v g);
+      if cell.lowlink = cell.index then begin
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: rest ->
+            stack := rest;
+            let wc = G.Node_map.find w !cells in
+            wc.on_stack <- false;
+            if wc.index = cell.index then w :: acc else pop (w :: acc)
+        in
+        result := pop [] :: !result
+      end;
+      cell
+    in
+    let start v = if not (G.Node_map.mem v !cells) then ignore (strongconnect v) in
+    List.iter start (G.nodes g);
+    List.rev !result
+
+  let condensation g =
+    let comps = components g in
+    let index_of = ref G.Node_map.empty in
+    List.iteri
+      (fun i comp ->
+        List.iter (fun n -> index_of := G.Node_map.add n i !index_of) comp)
+      comps;
+    let edges =
+      G.fold_edges
+        (fun u v acc ->
+          let iu = G.Node_map.find u !index_of
+          and iv = G.Node_map.find v !index_of in
+          if iu = iv || List.mem (iu, iv) acc then acc else (iu, iv) :: acc)
+        g []
+    in
+    (comps, List.rev edges)
+end

@@ -1,0 +1,13 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+module Make (G : Digraph.S) : sig
+  val components : G.t -> G.node list list
+  (** The strongly connected components in reverse topological order of
+      the condensation (a component precedes the components it can
+      reach... from the callees' side).  Every node appears in exactly
+      one component. *)
+
+  val condensation : G.t -> G.node list list * (int * int) list
+  (** Components plus the edges of the component DAG, as indices into the
+      component list. *)
+end

@@ -1,0 +1,116 @@
+module Make (G : Digraph.S) = struct
+  let dfs_postorder g =
+    let visited = ref G.Node_set.empty in
+    let order = ref [] in
+    let rec visit n =
+      if not (G.Node_set.mem n !visited) then begin
+        visited := G.Node_set.add n !visited;
+        G.Node_set.iter visit (G.succs n g);
+        order := n :: !order
+      end
+    in
+    List.iter visit (G.nodes g);
+    List.rev !order
+
+  let bfs_from root g =
+    let visited = ref (G.Node_set.singleton root) in
+    let queue = Queue.create () in
+    Queue.add root queue;
+    let order = ref [] in
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      order := n :: !order;
+      let push v =
+        if not (G.Node_set.mem v !visited) then begin
+          visited := G.Node_set.add v !visited;
+          Queue.add v queue
+        end
+      in
+      G.Node_set.iter push (G.succs n g)
+    done;
+    List.rev !order
+
+  let reachable root g =
+    let rec go seen = function
+      | [] -> seen
+      | n :: rest ->
+        if G.Node_set.mem n seen then go seen rest
+        else
+          let seen = G.Node_set.add n seen in
+          go seen (G.Node_set.elements (G.succs n g) @ rest)
+    in
+    go G.Node_set.empty [ root ]
+
+  let reachable_from_set roots g =
+    G.Node_set.fold
+      (fun root acc -> G.Node_set.union acc (reachable root g))
+      roots G.Node_set.empty
+
+  (* Kahn's algorithm; on failure we extract a cycle by walking
+     predecessors inside the unresolved residue. *)
+  let topological_sort g =
+    let in_deg = ref G.Node_map.empty in
+    List.iter (fun n -> in_deg := G.Node_map.add n (G.in_degree n g) !in_deg)
+      (G.nodes g);
+    let ready = Queue.create () in
+    G.Node_map.iter (fun n d -> if d = 0 then Queue.add n ready) !in_deg;
+    let order = ref [] in
+    let emitted = ref 0 in
+    while not (Queue.is_empty ready) do
+      let n = Queue.pop ready in
+      order := n :: !order;
+      incr emitted;
+      let relax v =
+        let d = G.Node_map.find v !in_deg - 1 in
+        in_deg := G.Node_map.add v d !in_deg;
+        if d = 0 then Queue.add v ready
+      in
+      G.Node_set.iter relax (G.succs n g)
+    done;
+    if !emitted = G.node_count g then Ok (List.rev !order)
+    else begin
+      (* Every remaining node has an in-edge from another remaining node,
+         so walking predecessors must revisit a node: that loop is a
+         cycle. *)
+      let residue =
+        G.Node_map.fold
+          (fun n d acc -> if d > 0 then G.Node_set.add n acc else acc)
+          !in_deg G.Node_set.empty
+      in
+      let same a b = G.Node_set.equal (G.Node_set.singleton a) (G.Node_set.singleton b) in
+      (* [path] holds the walk most-recent-first; once [n] repeats, the
+         cycle is the prefix of [path] down to the earlier occurrence. *)
+      let rec take_cycle n acc = function
+        | [] -> List.rev (n :: acc)
+        | x :: rest ->
+          if same x n then List.rev (n :: acc) else take_cycle n (x :: acc) rest
+      in
+      let start = G.Node_set.min_elt residue in
+      let rec walk path seen n =
+        if G.Node_set.mem n seen then take_cycle n [] path
+        else
+          let inside = G.Node_set.inter (G.preds n g) residue in
+          let pred = G.Node_set.min_elt inside in
+          walk (n :: path) (G.Node_set.add n seen) pred
+      in
+      Error (walk [] G.Node_set.empty start)
+    end
+
+  let is_acyclic g = Result.is_ok (topological_sort g)
+
+  let longest_path_weights ~weight g =
+    match topological_sort g with
+    | Error cycle -> Error cycle
+    | Ok order ->
+      let finish = ref G.Node_map.empty in
+      let visit n =
+        let best_pred =
+          G.Node_set.fold
+            (fun p acc -> max acc (G.Node_map.find p !finish))
+            (G.preds n g) 0
+        in
+        finish := G.Node_map.add n (best_pred + weight n) !finish
+      in
+      List.iter visit order;
+      Ok !finish
+end

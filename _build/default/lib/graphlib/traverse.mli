@@ -1,0 +1,28 @@
+(** Graph traversals and orderings over any {!Digraph.S} instance. *)
+
+module Make (G : Digraph.S) : sig
+  val dfs_postorder : G.t -> G.node list
+  (** Nodes in depth-first postorder, covering every component.  Roots are
+      visited in the graph's node order, so the result is deterministic. *)
+
+  val bfs_from : G.node -> G.t -> G.node list
+  (** Breadth-first order from a root; the root itself comes first. *)
+
+  val reachable : G.node -> G.t -> G.Node_set.t
+  (** All nodes reachable from the root, including the root. *)
+
+  val reachable_from_set : G.Node_set.t -> G.t -> G.Node_set.t
+
+  val topological_sort : G.t -> (G.node list, G.node list) result
+  (** [Ok order] lists every node with all edges pointing forward;
+      [Error cycle] returns the nodes of some cycle when the graph is
+      cyclic. *)
+
+  val is_acyclic : G.t -> bool
+
+  val longest_path_weights :
+    weight:(G.node -> int) -> G.t -> (int G.Node_map.t, G.node list) result
+  (** For an acyclic graph, the maximum total [weight] of any path ending
+      at each node (the node's own weight included).  [Error cycle]
+      mirrors {!topological_sort}. *)
+end

@@ -1,0 +1,54 @@
+type t = { lo : int; hi : int }
+
+exception Empty_interval of int * int
+
+let make lo hi = if lo > hi then raise (Empty_interval (lo, hi)) else { lo; hi }
+let of_bounds ~lo ~hi = make lo hi
+let point v = { lo = v; hi = v }
+let zero = point 0
+let lo i = i.lo
+let hi i = i.hi
+let width i = i.hi - i.lo
+let is_point i = i.lo = i.hi
+let mem v i = i.lo <= v && v <= i.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+
+let mul a b =
+  let p1 = a.lo * b.lo and p2 = a.lo * b.hi in
+  let p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+  { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+let neg i = { lo = -i.hi; hi = -i.lo }
+let scale k i = mul (point k) i
+let sum is = List.fold_left add zero is
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let join_list = function
+  | [] -> None
+  | i :: is -> Some (List.fold_left join i is)
+
+let meet a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let overlaps a b = Option.is_some (meet a b)
+let clamp v i = if v < i.lo then i.lo else if v > i.hi then i.hi else v
+let midpoint i = i.lo + ((i.hi - i.lo) / 2)
+
+let pick ~position i =
+  let position = Float.max 0. (Float.min 1. position) in
+  let span = float_of_int (i.hi - i.lo) in
+  i.lo + int_of_float (Float.round (position *. span))
+
+let pp ppf i =
+  if is_point i then Format.fprintf ppf "%d" i.lo
+  else Format.fprintf ppf "[%d,%d]" i.lo i.hi
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,84 @@
+(** Closed integer intervals.
+
+    The SPI model (System Property Intervals) annotates every behavioural
+    parameter — communicated token counts, execution latencies — with a
+    lower and an upper bound.  This module provides the interval domain
+    used throughout the repository: closed, non-empty intervals over
+    [int], with the arithmetic and lattice structure needed by parameter
+    extraction and timing analysis. *)
+
+type t
+(** A non-empty closed interval [\[lo, hi\]] with [lo <= hi]. *)
+
+exception Empty_interval of int * int
+(** Raised by {!make} when the requested bounds are reversed. *)
+
+val make : int -> int -> t
+(** [make lo hi] is the interval [\[lo, hi\]].
+    @raise Empty_interval if [lo > hi]. *)
+
+val of_bounds : lo:int -> hi:int -> t
+(** Labelled alias of {!make}. *)
+
+val point : int -> t
+(** [point v] is the singleton interval [\[v, v\]]. *)
+
+val zero : t
+(** The singleton interval at 0. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val width : t -> int
+(** [width i] is [hi i - lo i]; 0 for a point interval. *)
+
+val is_point : t -> bool
+val mem : int -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every value of [a] lies in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: lexicographic on (lo, hi); used for containers only. *)
+
+val add : t -> t -> t
+(** Pointwise sum: [\[a+c, b+d\]]. *)
+
+val sub : t -> t -> t
+(** Pointwise difference: [\[a-d, b-c\]]. *)
+
+val mul : t -> t -> t
+(** Pointwise product; correct for negative bounds. *)
+
+val neg : t -> t
+val scale : int -> t -> t
+
+val sum : t list -> t
+(** [sum is] is the pointwise sum of all intervals, {!zero} for []. *)
+
+val join : t -> t -> t
+(** Least interval containing both arguments (convex hull). *)
+
+val join_list : t list -> t option
+(** Hull of a non-empty list; [None] for []. *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when the intervals are disjoint. *)
+
+val overlaps : t -> t -> bool
+
+val clamp : int -> t -> int
+(** [clamp v i] is [v] forced into [i]. *)
+
+val midpoint : t -> int
+(** Integer midpoint, rounding toward [lo]. *)
+
+val pick : position:float -> t -> int
+(** [pick ~position i] selects a value linearly between the bounds;
+    [position] is clamped to [0., 1.] ([0.] is [lo], [1.] is [hi]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["v"] for points and ["[lo,hi]"] otherwise. *)
+
+val to_string : t -> string

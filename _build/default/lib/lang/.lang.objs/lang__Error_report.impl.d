@@ -1,0 +1,1 @@
+lib/lang/error_report.ml: Format List String

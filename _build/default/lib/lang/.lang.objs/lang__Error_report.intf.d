@@ -1,0 +1,1 @@
+lib/lang/error_report.mli: Format

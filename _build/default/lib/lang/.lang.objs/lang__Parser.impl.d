@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Format Interval Lexer List Spi String Variants

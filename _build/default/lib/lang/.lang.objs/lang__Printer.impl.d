@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Format Interval List Spi String Variants

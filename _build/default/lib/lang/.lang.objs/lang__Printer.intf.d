@@ -1,0 +1,1 @@
+lib/lang/printer.mli: Format Variants

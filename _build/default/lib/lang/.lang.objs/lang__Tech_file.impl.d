@@ -1,0 +1,1 @@
+lib/lang/tech_file.ml: Buffer Format Lexer List Parser Spi String Synth

@@ -1,0 +1,1 @@
+lib/lang/tech_file.mli: Synth

@@ -1,0 +1,15 @@
+let nth_line source n =
+  let lines = String.split_on_char '\n' source in
+  List.nth_opt lines (n - 1)
+
+let pp ~source ~path ~line ~col ~message ppf () =
+  Format.fprintf ppf "%s:%d:%d: %s@." path line col message;
+  match nth_line source line with
+  | None -> ()
+  | Some text ->
+    Format.fprintf ppf "  %s@." text;
+    let caret_pos = max 0 (col - 1) in
+    Format.fprintf ppf "  %s^@." (String.make caret_pos ' ')
+
+let render ~source ~path ~line ~col ~message =
+  Format.asprintf "%a" (pp ~source ~path ~line ~col ~message) ()

@@ -1,0 +1,23 @@
+(** Human-friendly rendering of lexer/parser errors with a source
+    excerpt and caret, the way compilers report. *)
+
+val pp :
+  source:string ->
+  path:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Prints
+
+    {v
+path:line:col: message
+  <offending source line>
+  ^~~~
+    v} *)
+
+val render :
+  source:string -> path:string -> line:int -> col:int -> message:string ->
+  string

@@ -1,0 +1,158 @@
+module I = Spi.Ids
+module V = Variants
+
+let pp_interval ppf i =
+  if Interval.is_point i then Format.fprintf ppf "%d" (Interval.lo i)
+  else Format.fprintf ppf "[%d, %d]" (Interval.lo i) (Interval.hi i)
+
+let pp_tags ppf tags =
+  Format.fprintf ppf "[%s]"
+    (String.concat " "
+       (List.map (fun t -> "'" ^ Spi.Tag.name t ^ "'") (Spi.Tag.Set.elements tags)))
+
+let rec pp_pred ppf = function
+  | Spi.Predicate.True -> Format.pp_print_string ppf "true"
+  | Spi.Predicate.False -> Format.pp_print_string ppf "false"
+  | Spi.Predicate.Atom (Spi.Predicate.Num_at_least (c, k)) ->
+    Format.fprintf ppf "num %s >= %d" (I.Channel_id.to_string c) k
+  | Spi.Predicate.Atom (Spi.Predicate.First_has_tag (c, t)) ->
+    Format.fprintf ppf "tag %s '%s'" (I.Channel_id.to_string c) (Spi.Tag.name t)
+  | Spi.Predicate.And (p, q) ->
+    Format.fprintf ppf "(%a && %a)" pp_pred p pp_pred q
+  | Spi.Predicate.Or (p, q) -> Format.fprintf ppf "(%a || %a)" pp_pred p pp_pred q
+  | Spi.Predicate.Not p -> Format.fprintf ppf "!(%a)" pp_pred p
+
+let pp_channel ppf chan =
+  let name = I.Channel_id.to_string (Spi.Chan.id chan) in
+  let kind =
+    match Spi.Chan.kind chan with
+    | Spi.Chan.Queue -> "queue"
+    | Spi.Chan.Register -> "register"
+  in
+  Format.fprintf ppf "channel %s %s" name kind;
+  (match Spi.Chan.capacity chan, Spi.Chan.kind chan with
+  | Some cap, Spi.Chan.Queue -> Format.fprintf ppf " capacity %d" cap
+  | _, Spi.Chan.Register | None, Spi.Chan.Queue -> ());
+  (match Spi.Chan.initial chan with
+  | [] -> ()
+  | tokens when List.for_all (fun t -> Spi.Tag.Set.is_empty (Spi.Token.tags t)) tokens
+    -> Format.fprintf ppf " initial %d" (List.length tokens)
+  | [ token ] -> Format.fprintf ppf " initial %a" pp_tags (Spi.Token.tags token)
+  | _ ->
+    invalid_arg
+      (Format.sprintf
+         "Printer: channel %s: several tagged initial tokens are not \
+          representable"
+         name));
+  Format.fprintf ppf "@,"
+
+let pp_mode ppf mode =
+  Format.fprintf ppf "@[<v2>mode %s {@," (I.Mode_id.to_string (Spi.Mode.id mode));
+  Format.fprintf ppf "latency %a@," pp_interval (Spi.Mode.latency mode);
+  List.iter
+    (fun (cid, rate) ->
+      Format.fprintf ppf "consume %s %a@," (I.Channel_id.to_string cid)
+        pp_interval rate)
+    (Spi.Mode.consumptions mode);
+  List.iter
+    (fun (cid, prod) ->
+      Format.fprintf ppf "produce %s %a" (I.Channel_id.to_string cid) pp_interval
+        prod.Spi.Mode.rate;
+      if not (Spi.Tag.Set.is_empty prod.Spi.Mode.tags) then
+        Format.fprintf ppf " %a" pp_tags prod.Spi.Mode.tags;
+      Format.fprintf ppf "@,")
+    (Spi.Mode.productions mode);
+  (match Spi.Mode.payload_policy mode with
+  | Spi.Mode.Fresh -> Format.fprintf ppf "payload fresh@,"
+  | Spi.Mode.Inherit_first -> ());
+  Format.fprintf ppf "@]}@,"
+
+let pp_process ppf proc =
+  Format.fprintf ppf "@[<v2>process %s {@,"
+    (I.Process_id.to_string (Spi.Process.id proc));
+  List.iter (pp_mode ppf) (Spi.Process.modes proc);
+  List.iter
+    (fun rule ->
+      Format.fprintf ppf "rule %s when %a -> %s@,"
+        (I.Rule_id.to_string (Spi.Activation.rule_id rule))
+        pp_pred
+        (Spi.Activation.guard rule)
+        (I.Mode_id.to_string (Spi.Activation.target_mode rule)))
+    (Spi.Activation.rules (Spi.Process.activation proc));
+  Format.fprintf ppf "@]}@,"
+
+let rec pp_site ppf (site : V.Structure.site) =
+  let iface = site.V.Structure.iface in
+  Format.fprintf ppf "@[<v2>interface %s {@,"
+    (I.Interface_id.to_string (V.Interface.id iface));
+  List.iter
+    (fun port ->
+      let pid = V.Port.id port in
+      let host =
+        match
+          List.find_opt
+            (fun (p, _) -> I.Port_id.equal p pid)
+            site.V.Structure.wiring
+        with
+        | Some (_, host) -> I.Channel_id.to_string host
+        | None -> I.Port_id.to_string pid
+      in
+      Format.fprintf ppf "port %s %s = %s@,"
+        (if V.Port.is_input port then "in" else "out")
+        (I.Port_id.to_string pid) host)
+    (V.Interface.ports iface);
+  List.iter
+    (fun cluster ->
+      Format.fprintf ppf "@[<v2>cluster %s {@,"
+        (I.Cluster_id.to_string (V.Cluster.id cluster));
+      List.iter (pp_channel ppf) cluster.V.Structure.channels;
+      List.iter (pp_process ppf) cluster.V.Structure.processes;
+      List.iter (pp_site ppf) cluster.V.Structure.sub_sites;
+      Format.fprintf ppf "@]}@,")
+    (V.Interface.clusters iface);
+  (match V.Interface.selection iface with
+  | None -> ()
+  | Some sel ->
+    Format.fprintf ppf "@[<v2>selection {@,";
+    List.iter
+      (fun rule ->
+        Format.fprintf ppf "rule %s when %a -> %s@,"
+          (I.Rule_id.to_string rule.V.Structure.sel_rule_id)
+          pp_pred rule.V.Structure.sel_guard
+          (I.Cluster_id.to_string rule.V.Structure.target))
+      (V.Selection.rules sel);
+    List.iter
+      (fun cluster ->
+        let cid = V.Cluster.id cluster in
+        let latency = V.Selection.config_latency sel cid in
+        if latency > 0 then
+          Format.fprintf ppf "latency %s %d@," (I.Cluster_id.to_string cid) latency)
+      (V.Interface.clusters iface);
+    (match V.Selection.initial sel with
+    | Some cid -> Format.fprintf ppf "initial %s@," (I.Cluster_id.to_string cid)
+    | None -> ());
+    Format.fprintf ppf "@]}@,");
+  Format.fprintf ppf "@]}@,"
+
+let pp_constraint ppf (c : Spi.Constraint_.t) =
+  Format.fprintf ppf "deadline %s from %s to %s within %d@," c.Spi.Constraint_.name
+    (I.Process_id.to_string c.Spi.Constraint_.from_)
+    (I.Process_id.to_string c.Spi.Constraint_.to_)
+    c.Spi.Constraint_.bound
+
+let pp ppf system =
+  Format.fprintf ppf "@[<v2>system %s {@," (V.System.name system);
+  List.iter (pp_channel ppf) (V.System.channels system);
+  List.iter (pp_process ppf) (V.System.processes system);
+  List.iter (pp_site ppf) (V.System.sites system);
+  List.iter (pp_constraint ppf) (V.System.constraints system);
+  Format.fprintf ppf "@]}@."
+
+let to_string system = Format.asprintf "%a" pp system
+
+let to_file path system =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp ppf system;
+  Format.pp_print_flush ppf ();
+  close_out oc

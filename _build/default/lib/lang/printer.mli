@@ -1,0 +1,14 @@
+(** Printer for the SPI-variants textual format.
+
+    [Parser.system_of_string (to_string system)] reconstructs a system
+    with the same structure and semantics (activation functions are
+    printed explicitly, so auto-generated default rules round-trip as
+    explicit rules). *)
+
+val to_string : Variants.System.t -> string
+
+val pp : Format.formatter -> Variants.System.t -> unit
+(** @raise Invalid_argument for channel initial contents the format
+    cannot express (several tokens carrying tags). *)
+
+val to_file : string -> Variants.System.t -> unit

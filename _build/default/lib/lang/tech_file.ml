@@ -1,0 +1,135 @@
+module I = Spi.Ids
+
+(* a tiny standalone token cursor; errors reuse {!Parser.Parse_error} *)
+type state = { mutable tokens : Lexer.located list }
+
+let error (loc : Lexer.located) fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Parser.Parse_error
+           { line = loc.Lexer.line; col = loc.Lexer.col; message }))
+    fmt
+
+let peek st = match st.tokens with t :: _ -> t | [] -> assert false
+
+let advance st =
+  match st.tokens with _ :: (_ :: _ as rest) -> st.tokens <- rest | _ -> ()
+
+let ident st what =
+  let t = peek st in
+  advance st;
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | tok -> error t "expected %s, found %a" what Lexer.pp_token tok
+
+let int_lit st what =
+  let t = peek st in
+  advance st;
+  match t.Lexer.token with
+  | Lexer.INT n -> n
+  | tok -> error t "expected %s, found %a" what Lexer.pp_token tok
+
+let expect st want describe =
+  let t = peek st in
+  advance st;
+  if t.Lexer.token <> want then
+    error t "expected %s, found %a" describe Lexer.pp_token t.Lexer.token
+
+let keyword st kw =
+  let t = peek st in
+  advance st;
+  match t.Lexer.token with
+  | Lexer.IDENT s when String.equal s kw -> ()
+  | tok -> error t "expected keyword %s, found %a" kw Lexer.pp_token tok
+
+let looking_at st kw =
+  match (peek st).Lexer.token with
+  | Lexer.IDENT s -> String.equal s kw
+  | _ -> false
+
+let of_string input =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Lex_error { line; col; message } ->
+      raise (Parser.Parse_error { line; col; message })
+  in
+  let st = { tokens } in
+  keyword st "tech";
+  let _name = ident st "a library name" in
+  expect st Lexer.LBRACE "'{'";
+  let processor_cost = ref None in
+  let entries = ref [] in
+  let rec go () =
+    if (peek st).Lexer.token = Lexer.RBRACE then advance st
+    else if looking_at st "processor" then begin
+      advance st;
+      processor_cost := Some (int_lit st "a processor cost");
+      go ()
+    end
+    else if looking_at st "impl" then begin
+      advance st;
+      let pname = ident st "a process name" in
+      let sw = ref None and hw = ref None in
+      let rec options () =
+        if looking_at st "sw" then begin
+          advance st;
+          sw := Some (int_lit st "a software load");
+          options ()
+        end
+        else if looking_at st "hw" then begin
+          advance st;
+          hw := Some (int_lit st "a hardware area");
+          options ()
+        end
+      in
+      options ();
+      let option =
+        match !sw, !hw with
+        | Some load, Some area -> Synth.Tech.both ~load ~area
+        | Some load, None -> Synth.Tech.sw_only ~load
+        | None, Some area -> Synth.Tech.hw_only ~area
+        | None, None ->
+          invalid_arg (Format.sprintf "impl %s: needs sw and/or hw" pname)
+      in
+      entries := (I.Process_id.of_string pname, option) :: !entries;
+      go ()
+    end
+    else
+      let t = peek st in
+      error t "expected 'processor', 'impl' or '}', found %a" Lexer.pp_token
+        t.Lexer.token
+  in
+  go ();
+  (let t = peek st in
+   match t.Lexer.token with
+   | Lexer.EOF -> ()
+   | tok -> error t "trailing input: %a" Lexer.pp_token tok);
+  Synth.Tech.make ?processor_cost:!processor_cost (List.rev !entries)
+
+let of_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  of_string contents
+
+let to_string ~name tech =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Format.sprintf "tech %s {\n" name);
+  Buffer.add_string buf
+    (Format.sprintf "  processor %d\n" (Synth.Tech.processor_cost tech));
+  List.iter
+    (fun pid ->
+      let o = Synth.Tech.options_of tech pid in
+      Buffer.add_string buf
+        (Format.sprintf "  impl %s%s%s\n"
+           (I.Process_id.to_string pid)
+           (match o.Synth.Tech.sw with
+           | Some { Synth.Tech.load } -> Format.sprintf " sw %d" load
+           | None -> "")
+           (match o.Synth.Tech.hw with
+           | Some { Synth.Tech.area } -> Format.sprintf " hw %d" area
+           | None -> "")))
+    (Synth.Tech.process_ids tech);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Technology libraries in textual form.
+
+    Grammar (same lexical rules as the `.spi` format):
+
+    {v
+tech      ::= "tech" NAME "{" ("processor" INT)? entry* "}"
+entry     ::= "impl" NAME option+
+option    ::= "sw" INT          # software load
+            | "hw" INT          # hardware area
+    v}
+
+    Example:
+
+    {v
+tech table1 {
+  processor 15
+  impl PA sw 40 hw 26
+  impl PB sw 30 hw 30
+  impl cluster:g1 sw 60 hw 19
+}
+    v} *)
+
+val of_string : string -> Synth.Tech.t
+(** @raise Parser.Parse_error on syntax errors;
+    @raise Invalid_argument on semantic errors (duplicate entries,
+    negative figures, an [impl] with no option). *)
+
+val of_file : string -> Synth.Tech.t
+
+val to_string : name:string -> Synth.Tech.t -> string
+(** Round-trips through {!of_string}. *)

@@ -1,0 +1,1 @@
+lib/paper/figure1.ml: Interval List Sim Spi

@@ -1,0 +1,1 @@
+lib/paper/figure1.mli: Sim Spi

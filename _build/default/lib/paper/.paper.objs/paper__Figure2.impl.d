@@ -1,0 +1,1 @@
+lib/paper/figure2.ml: Interval Spi Synth Variants

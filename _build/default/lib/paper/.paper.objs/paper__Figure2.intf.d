@@ -1,0 +1,1 @@
+lib/paper/figure2.mli: Spi Synth Variants

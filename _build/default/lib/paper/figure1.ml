@@ -1,0 +1,78 @@
+module I = Spi.Ids
+open Spi.Predicate
+
+let c0 = I.Channel_id.of_string "c0"
+let c1 = I.Channel_id.of_string "c1"
+let c2 = I.Channel_id.of_string "c2"
+let p1 = I.Process_id.of_string "p1"
+let p2 = I.Process_id.of_string "p2"
+let p3 = I.Process_id.of_string "p3"
+let tag_a = Spi.Tag.make "a"
+let tag_b = Spi.Tag.make "b"
+
+let one = Interval.point 1
+let mk_mode name ~latency ~consumes ~produces =
+  Spi.Mode.make ~latency ~consumes ~produces (I.Mode_id.of_string name)
+
+(* p1: deterministic rates (1 in, 2 out, latency 1); the tag on the
+   produced tokens depends on the consumed data, modeled as two modes
+   selected by the environment token's tag. *)
+let proc_p1 =
+  let mode tag name =
+    mk_mode name ~latency:one
+      ~consumes:[ (c0, one) ]
+      ~produces:
+        [ (c1, Spi.Mode.produce ~tags:(Spi.Tag.Set.singleton tag) (Interval.point 2)) ]
+  in
+  let rule name tag mode_name =
+    Spi.Activation.rule (I.Rule_id.of_string name)
+      ~guard:(conj [ num_at_least c0 1; has_tag c0 tag ])
+      ~mode:(I.Mode_id.of_string mode_name)
+  in
+  Spi.Process.make
+    ~activation:
+      (Spi.Activation.make
+         [ rule "p1.ra" tag_a "p1.ma"; rule "p1.rb" tag_b "p1.mb" ])
+    ~modes:[ mode tag_a "p1.ma"; mode tag_b "p1.mb" ]
+    p1
+
+(* p2: the paper's mode table m1/m2 with activation rules a1/a2. *)
+let proc_p2 =
+  let m1 =
+    mk_mode "m1" ~latency:(Interval.point 3)
+      ~consumes:[ (c1, one) ]
+      ~produces:[ (c2, Spi.Mode.produce (Interval.point 2)) ]
+  and m2 =
+    mk_mode "m2" ~latency:(Interval.point 5)
+      ~consumes:[ (c1, Interval.point 3) ]
+      ~produces:[ (c2, Spi.Mode.produce (Interval.point 5)) ]
+  in
+  let a1 =
+    Spi.Activation.rule (I.Rule_id.of_string "a1")
+      ~guard:(conj [ num_at_least c1 1; has_tag c1 tag_a ])
+      ~mode:(I.Mode_id.of_string "m1")
+  and a2 =
+    Spi.Activation.rule (I.Rule_id.of_string "a2")
+      ~guard:(conj [ num_at_least c1 3; has_tag c1 tag_b ])
+      ~mode:(I.Mode_id.of_string "m2")
+  in
+  Spi.Process.make ~activation:(Spi.Activation.make [ a1; a2 ]) ~modes:[ m1; m2 ] p2
+
+let proc_p3 =
+  Spi.Process.simple ~latency:(Interval.point 3)
+    ~consumes:[ (c2, Interval.point 3) ]
+    ~produces:[] p3
+
+let model =
+  Spi.Model.build_exn
+    ~processes:[ proc_p1; proc_p2; proc_p3 ]
+    ~channels:[ Spi.Chan.queue c0; Spi.Chan.queue c1; Spi.Chan.queue c2 ]
+
+let stimuli_mixed ~n =
+  List.init n (fun i ->
+      let tag = if i mod 2 = 0 then tag_a else tag_b in
+      {
+        Sim.Engine.at = 1 + (i * 5);
+        channel = c0;
+        token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton tag) ~payload:(i + 1) ();
+      })

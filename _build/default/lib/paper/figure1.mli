@@ -1,0 +1,34 @@
+(** The SPI example of the paper's Figure 1.
+
+    Three processes [p1 -> c1 -> p2 -> c2 -> p3].  [p1] is fully
+    determinate (consumes 1 token, produces 2, latency 1); it tags its
+    output ['a'] or ['b'] depending on its input.  [p2] has interval
+    parameters refined by two modes,
+
+    {v m1: 3ms, consume 1, produce 2
+m2: 5ms, consume 3, produce 5 v}
+
+    selected by the activation rules
+
+    {v a1: c1#num >= 1 /\ 'a' in c1#tag -> m1
+a2: c1#num >= 3 /\ 'b' in c1#tag -> m2 v}
+
+    [p3] consumes 3 tokens from [c2] with latency 3. *)
+
+val model : Spi.Model.t
+
+val c0 : Spi.Ids.Channel_id.t
+(** Environment input channel of [p1]. *)
+
+val c1 : Spi.Ids.Channel_id.t
+val c2 : Spi.Ids.Channel_id.t
+val p1 : Spi.Ids.Process_id.t
+val p2 : Spi.Ids.Process_id.t
+val p3 : Spi.Ids.Process_id.t
+
+val tag_a : Spi.Tag.t
+val tag_b : Spi.Tag.t
+
+val stimuli_mixed : n:int -> Sim.Engine.stimulus list
+(** [n] environment tokens alternating ['a']/['b'] requests, one per
+    5 time units. *)

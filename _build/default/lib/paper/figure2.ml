@@ -1,0 +1,140 @@
+module I = Spi.Ids
+module V = Variants
+
+let iface1 = I.Interface_id.of_string "iface1"
+let g1 = I.Cluster_id.of_string "g1"
+let g2 = I.Cluster_id.of_string "g2"
+let pa = I.Process_id.of_string "PA"
+let pb = I.Process_id.of_string "PB"
+let p_user = I.Process_id.of_string "PUser"
+let cx = I.Channel_id.of_string "CX"
+let ca = I.Channel_id.of_string "CA"
+let cb = I.Channel_id.of_string "CB"
+let cy = I.Channel_id.of_string "CY"
+let cv = I.Channel_id.of_string "CV"
+let tag_v1 = Spi.Tag.make "V1"
+let tag_v2 = Spi.Tag.make "V2"
+
+let one = Interval.point 1
+
+let chain_proc ~latency ~from_ ~to_ name =
+  Spi.Process.simple ~latency:(Interval.point latency)
+    ~consumes:[ (from_, one) ]
+    ~produces:[ (to_, Spi.Mode.produce one) ]
+    (I.Process_id.of_string name)
+
+let port_in = V.Port.input "i"
+let port_out = V.Port.output "o"
+let pin_chan = V.Port.channel_of (V.Port.id port_in)
+let pout_chan = V.Port.channel_of (V.Port.id port_out)
+
+(* Cluster g1: two chained processes x1 -> k -> x2. *)
+let cluster_g1 =
+  let k = I.Channel_id.of_string "k1" in
+  V.Cluster.make
+    ~channels:[ Spi.Chan.queue k ]
+    ~ports:[ port_in; port_out ]
+    ~processes:
+      [
+        chain_proc ~latency:4 ~from_:pin_chan ~to_:k "x1";
+        chain_proc ~latency:3 ~from_:k ~to_:pout_chan "x2";
+      ]
+    "g1"
+
+(* Cluster g2: three chained processes y1 -> y2 -> y3. *)
+let cluster_g2 =
+  let k1 = I.Channel_id.of_string "k1" and k2 = I.Channel_id.of_string "k2" in
+  V.Cluster.make
+    ~channels:[ Spi.Chan.queue k1; Spi.Chan.queue k2 ]
+    ~ports:[ port_in; port_out ]
+    ~processes:
+      [
+        chain_proc ~latency:2 ~from_:pin_chan ~to_:k1 "y1";
+        chain_proc ~latency:5 ~from_:k1 ~to_:k2 "y2";
+        chain_proc ~latency:2 ~from_:k2 ~to_:pout_chan "y3";
+      ]
+    "g2"
+
+let proc_pa = chain_proc ~latency:3 ~from_:cx ~to_:ca "PA"
+let proc_pb = chain_proc ~latency:2 ~from_:cb ~to_:cy "PB"
+
+let base_channels =
+  [ Spi.Chan.queue cx; Spi.Chan.queue ca; Spi.Chan.queue cb; Spi.Chan.queue cy ]
+
+let wiring =
+  [ (V.Port.id port_in, ca); (V.Port.id port_out, cb) ]
+
+let system =
+  let iface =
+    V.Interface.make ~ports:[ port_in; port_out ]
+      ~clusters:[ cluster_g1; cluster_g2 ]
+      "iface1"
+  in
+  V.System.make
+    ~processes:[ proc_pa; proc_pb ]
+    ~channels:base_channels
+    ~sites:[ { V.Structure.iface; wiring } ]
+    "figure2"
+
+(* Figure 3: PUser writes a 'V1'/'V2'-tagged token on CV; the interface's
+   selection rules pick the cluster. *)
+let proc_user =
+  Spi.Process.make
+    ~modes:
+      [
+        Spi.Mode.make ~latency:one ~consumes:[]
+          ~produces:
+            [ (cv, Spi.Mode.produce ~tags:(Spi.Tag.Set.singleton tag_v1) one) ]
+          (I.Mode_id.of_string "PUser.v1");
+        Spi.Mode.make ~latency:one ~consumes:[]
+          ~produces:
+            [ (cv, Spi.Mode.produce ~tags:(Spi.Tag.Set.singleton tag_v2) one) ]
+          (I.Mode_id.of_string "PUser.v2");
+      ]
+    p_user
+
+let system_with_selection =
+  let selection =
+    V.Selection.make
+      ~config_latencies:[ (g1, 5); (g2, 7) ]
+      ~initial:g1
+      [
+        V.Selection.rule "v1"
+          ~guard:
+            Spi.Predicate.(conj [ num_at_least cv 1; has_tag cv tag_v1 ])
+          ~target:g1;
+        V.Selection.rule "v2"
+          ~guard:
+            Spi.Predicate.(conj [ num_at_least cv 1; has_tag cv tag_v2 ])
+          ~target:g2;
+      ]
+  in
+  let iface =
+    V.Interface.make ~selection ~ports:[ port_in; port_out ]
+      ~clusters:[ cluster_g1; cluster_g2 ]
+      "iface1"
+  in
+  V.System.make
+    ~processes:[ proc_pa; proc_pb; proc_user ]
+    ~channels:(Spi.Chan.register cv :: base_channels)
+    ~sites:[ { V.Structure.iface; wiring } ]
+    "figure3"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 synthesis view: clusters as atomic synthesis units.         *)
+(* ------------------------------------------------------------------ *)
+
+let unit_g1 = I.Process_id.of_string "cluster:g1"
+let unit_g2 = I.Process_id.of_string "cluster:g2"
+
+let table1_tech =
+  Synth.Tech.make ~processor_cost:15
+    [
+      (pa, Synth.Tech.both ~load:40 ~area:26);
+      (pb, Synth.Tech.both ~load:30 ~area:30);
+      (unit_g1, Synth.Tech.both ~load:60 ~area:19);
+      (unit_g2, Synth.Tech.both ~load:55 ~area:23);
+    ]
+
+let app1 = Synth.App.make "Application 1" [ pa; pb; unit_g1 ]
+let app2 = Synth.App.make "Application 2" [ pa; pb; unit_g2 ]

@@ -1,0 +1,61 @@
+(** The two-variant example system of Figures 2/3 and Table 1.
+
+    Common part: [PA] feeding interface [iface1] feeding [PB].  The
+    interface has two clusters: cluster [g1] (two chained processes) and
+    cluster [g2] (three chained processes).  Figure 3 adds the run-time
+    variant selection: [PUser] writes a token tagged ['V1']/['V2'] on
+    [CV], evaluated by the interface's cluster selection rules.
+
+    Table 1's synthesis view treats each cluster as one synthesis unit;
+    {!table1_tech}, {!app1}, {!app2} encode the corresponding technology
+    library and applications (unit-less loads and costs chosen to
+    reproduce the paper's rows: 34 / 38 / 57 / 41). *)
+
+val system : Variants.System.t
+(** The full design representation with both variants (no selection —
+    production/run-time variants). *)
+
+val system_with_selection : Variants.System.t
+(** Figure 3: same structure plus [PUser] and the selection function
+    (rules v1/v2, configuration latencies 5 and 7, initial [g1]). *)
+
+val iface1 : Spi.Ids.Interface_id.t
+val g1 : Spi.Ids.Cluster_id.t
+val g2 : Spi.Ids.Cluster_id.t
+val pa : Spi.Ids.Process_id.t
+val pb : Spi.Ids.Process_id.t
+val p_user : Spi.Ids.Process_id.t
+val cx : Spi.Ids.Channel_id.t
+(** Environment input of [PA]. *)
+
+val ca : Spi.Ids.Channel_id.t
+(** [PA] -> interface. *)
+
+val cb : Spi.Ids.Channel_id.t
+(** Interface -> [PB]. *)
+
+val cy : Spi.Ids.Channel_id.t
+(** [PB] -> environment. *)
+
+val cv : Spi.Ids.Channel_id.t
+(** Variant-selection channel (Figure 3). *)
+
+val tag_v1 : Spi.Tag.t
+val tag_v2 : Spi.Tag.t
+
+(** {1 Table 1 synthesis view} *)
+
+val unit_g1 : Spi.Ids.Process_id.t
+(** Pseudo-process standing for cluster [g1] as one synthesis unit. *)
+
+val unit_g2 : Spi.Ids.Process_id.t
+
+val table1_tech : Synth.Tech.t
+(** PA: load 40 / area 26; PB: load 30 / area 30; cluster g1: load 60 /
+    area 19; cluster g2: load 55 / area 23; processor cost 15,
+    capacity 100. *)
+
+val app1 : Synth.App.t
+(** Application 1 = [{PA, PB, g1}]. *)
+
+val app2 : Synth.App.t

@@ -1,0 +1,1 @@
+lib/sim/csv.ml: Buffer Engine Format List Spi Stats String Trace

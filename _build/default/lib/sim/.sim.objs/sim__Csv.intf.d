@@ -1,0 +1,1 @@
+lib/sim/csv.mli: Engine Spi

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Format Hashtbl Heap Interval List Option Spi Trace Variants

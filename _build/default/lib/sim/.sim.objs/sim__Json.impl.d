@@ -1,0 +1,1 @@
+lib/sim/json.ml: Buffer Char Engine Format List Spi Stats String Trace

@@ -1,0 +1,1 @@
+lib/sim/json.mli: Engine Spi

@@ -1,0 +1,1 @@
+lib/sim/refine.ml: Engine Hashtbl Interval List Option Spi Trace

@@ -1,0 +1,1 @@
+lib/sim/refine.mli: Engine Interval Spi

@@ -1,0 +1,1 @@
+lib/sim/sizing.ml: Engine Format Hashtbl List Option Spi Stats

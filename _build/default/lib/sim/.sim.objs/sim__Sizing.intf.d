@@ -1,0 +1,1 @@
+lib/sim/sizing.mli: Engine Format Spi Variants

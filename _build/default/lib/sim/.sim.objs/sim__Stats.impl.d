@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Engine Format Hashtbl Int List Option Spi Trace

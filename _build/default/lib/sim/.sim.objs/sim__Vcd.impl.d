@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Char Engine Format Hashtbl Int List Option Spi String Trace

@@ -1,0 +1,118 @@
+module I = Spi.Ids
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row cells = String.concat "," (List.map field cells) ^ "\n"
+
+let moved_detail moved =
+  String.concat ";"
+    (List.map
+       (fun (cid, toks) ->
+         Format.sprintf "%s:%d" (I.Channel_id.to_string cid) (List.length toks))
+       moved)
+
+let trace_to_string (result : Engine.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row [ "time"; "kind"; "subject"; "mode"; "detail" ]);
+  List.iter
+    (fun entry ->
+      let cells =
+        match entry with
+        | Trace.Injected { time; channel; token } ->
+          [
+            string_of_int time;
+            "inject";
+            I.Channel_id.to_string channel;
+            "";
+            Format.asprintf "%a" Spi.Token.pp token;
+          ]
+        | Trace.Started { time; process; mode; reconfiguration } ->
+          [
+            string_of_int time;
+            "start";
+            I.Process_id.to_string process;
+            I.Mode_id.to_string mode;
+            (match reconfiguration with
+            | None -> ""
+            | Some (config, latency) ->
+              Format.sprintf "reconfigure:%s:+%d"
+                (I.Config_id.to_string config)
+                latency);
+          ]
+        | Trace.Completed { time; started_at; process; firing } ->
+          [
+            string_of_int time;
+            "complete";
+            I.Process_id.to_string process;
+            I.Mode_id.to_string firing.Spi.Semantics.mode;
+            Format.sprintf "started=%d;in=%s;out=%s" started_at
+              (moved_detail firing.Spi.Semantics.consumed)
+              (moved_detail firing.Spi.Semantics.produced);
+          ]
+        | Trace.Quiescent { time } ->
+          [ string_of_int time; "quiescent"; ""; ""; "" ]
+      in
+      Buffer.add_string buf (row cells))
+    result.Engine.trace;
+  Buffer.contents buf
+
+let process_stats_to_string model result =
+  let stats = Stats.of_result model result in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (row
+       [
+         "process"; "firings"; "busy_time"; "utilization"; "reconfigurations";
+         "reconfiguration_time";
+       ]);
+  List.iter
+    (fun (p : Stats.process_stats) ->
+      Buffer.add_string buf
+        (row
+           [
+             I.Process_id.to_string p.Stats.proc;
+             string_of_int p.Stats.firings;
+             string_of_int p.Stats.busy_time;
+             Format.sprintf "%.4f" p.Stats.utilization;
+             string_of_int p.Stats.reconfigurations;
+             string_of_int p.Stats.reconfiguration_time;
+           ]))
+    stats.Stats.processes;
+  Buffer.contents buf
+
+let channel_stats_to_string model result =
+  let stats = Stats.of_result model result in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (row [ "channel"; "tokens_through"; "high_water"; "final_occupancy" ]);
+  List.iter
+    (fun (c : Stats.channel_stats) ->
+      Buffer.add_string buf
+        (row
+           [
+             I.Channel_id.to_string c.Stats.chan;
+             string_of_int c.Stats.tokens_through;
+             string_of_int c.Stats.high_water;
+             string_of_int c.Stats.final_occupancy;
+           ]))
+    stats.Stats.channels;
+  Buffer.contents buf
+
+let trace_to_file path result =
+  let oc = open_out path in
+  output_string oc (trace_to_string result);
+  close_out oc

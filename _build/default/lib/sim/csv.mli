@@ -1,0 +1,18 @@
+(** CSV export of traces and statistics (for spreadsheets and plotting).
+
+    Fields containing commas, quotes or newlines are quoted per RFC 4180;
+    our identifiers rarely need it, but tags can. *)
+
+val trace_to_string : Engine.result -> string
+(** Columns: [time,kind,process_or_channel,mode,detail].  One row per
+    trace entry; [detail] carries token counts or reconfiguration info. *)
+
+val process_stats_to_string : Spi.Model.t -> Engine.result -> string
+(** Columns:
+    [process,firings,busy_time,utilization,reconfigurations,
+     reconfiguration_time]. *)
+
+val channel_stats_to_string : Spi.Model.t -> Engine.result -> string
+(** Columns: [channel,tokens_through,high_water,final_occupancy]. *)
+
+val trace_to_file : string -> Engine.result -> unit

@@ -1,0 +1,222 @@
+module I = Spi.Ids
+
+type policy = Best_case | Worst_case | Typical
+
+type stimulus = { at : int; channel : I.Channel_id.t; token : Spi.Token.t }
+type limits = { max_time : int; max_firings : int }
+
+let default_limits = { max_time = 100_000; max_firings = 100_000 }
+
+type outcome = Quiescent | Time_limit_reached | Firing_limit_reached
+
+type result = {
+  trace : Trace.t;
+  final_state : Spi.Semantics.state;
+  end_time : int;
+  outcome : outcome;
+  firings : int;
+  reconfiguration_time : int;
+}
+
+let pick policy interval =
+  match policy with
+  | Best_case -> Interval.lo interval
+  | Worst_case -> Interval.hi interval
+  | Typical -> Interval.midpoint interval
+
+(* Events carried by the heap. *)
+type event =
+  | Inject of I.Channel_id.t * Spi.Token.t
+  | Complete of completion
+
+and completion = {
+  proc : I.Process_id.t;
+  mode : Spi.Mode.t;
+  started_at : int;
+  payload : int option;
+  consumed : (I.Channel_id.t * Spi.Token.t list) list;
+}
+
+type process_state = {
+  mutable busy : bool;
+  mutable budget : int option;  (** [None] = unlimited *)
+  mutable confcur : Variants.Configuration.confcur;
+  config : Variants.Configuration.t option;
+}
+
+let run ?(policy = Typical) ?(limits = default_limits)
+    ?(overflow = Spi.Semantics.Reject) ?(configurations = []) ?(stimuli = [])
+    ?(firing_budget = []) model =
+  let config_of pid =
+    List.find_opt
+      (fun c -> I.Process_id.equal (Variants.Configuration.process c) pid)
+      configurations
+  in
+  List.iter
+    (fun conf ->
+      let pid = Variants.Configuration.process conf in
+      match Spi.Model.find_process pid model with
+      | None ->
+        invalid_arg
+          (Format.asprintf "Engine.run: configuration for unknown process %a"
+             I.Process_id.pp pid)
+      | Some proc -> (
+        match Variants.Configuration.validate_against proc conf with
+        | [] -> ()
+        | errors ->
+          invalid_arg
+            (Format.asprintf "@[<v>Engine.run: bad configuration:@,%a@]"
+               (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+                  Variants.Configuration.pp_error)
+               errors)))
+    configurations;
+  let budget_of pid p =
+    match
+      List.find_opt (fun (q, _) -> I.Process_id.equal q pid) firing_budget
+    with
+    | Some (_, n) -> Some n
+    | None ->
+      if I.Channel_id.Set.is_empty (Spi.Process.inputs p) then Some 0 else None
+  in
+  let proc_states = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let pid = Spi.Process.id p in
+      let config = config_of pid in
+      Hashtbl.replace proc_states (I.Process_id.to_string pid)
+        {
+          busy = false;
+          budget = budget_of pid p;
+          confcur =
+            (match config with
+            | None -> None
+            | Some c -> Variants.Configuration.start c);
+          config;
+        })
+    (Spi.Model.processes model);
+  let pstate pid = Hashtbl.find proc_states (I.Process_id.to_string pid) in
+  let heap = Heap.create () in
+  List.iter
+    (fun s -> Heap.push ~time:s.at (Inject (s.channel, s.token)) heap)
+    stimuli;
+  let state = ref (Spi.Semantics.initial model) in
+  let trace = ref [] in
+  let emit e = trace := e :: !trace in
+  let firings = ref 0 in
+  let reconf_time = ref 0 in
+  let choose_rate = pick policy in
+  let processes = Spi.Model.processes model in
+  (* One scheduling sweep: start every idle process whose activation is
+     enabled.  Consumption can only disable other processes, never
+     enable them, so a single pass per event batch suffices; newly
+     produced tokens arrive through Complete events which trigger the
+     next sweep. *)
+  let try_start now =
+    List.iter
+      (fun p ->
+        let pid = Spi.Process.id p in
+        let ps = pstate pid in
+        let may_fire = (not ps.busy) && ps.budget <> Some 0 in
+        if may_fire then
+          match Spi.Semantics.enabled_rule model !state pid with
+          | None -> ()
+          | Some rule -> (
+            match Spi.Process.find_mode (Spi.Activation.target_mode rule) p with
+            | None -> ()
+            | Some mode ->
+              let reconfiguration =
+                match ps.config with
+                | None -> None
+                | Some conf -> (
+                  match
+                    Variants.Configuration.on_activation conf ps.confcur
+                      (Spi.Mode.id mode)
+                  with
+                  | Variants.Configuration.Stay, confcur ->
+                    ps.confcur <- confcur;
+                    None
+                  | ( Variants.Configuration.Reconfigure { target; latency },
+                      confcur ) ->
+                    ps.confcur <- confcur;
+                    Some (target, latency))
+              in
+              let state', consumed =
+                Spi.Semantics.consume ~choose_rate mode !state
+              in
+              state := state';
+              let payload = Spi.Semantics.inherited_payload mode consumed in
+              let reconf_latency =
+                match reconfiguration with
+                | None -> 0
+                | Some (_, latency) -> latency
+              in
+              reconf_time := !reconf_time + reconf_latency;
+              let latency = reconf_latency + pick policy (Spi.Mode.latency mode) in
+              ps.busy <- true;
+              ps.budget <- Option.map (fun n -> n - 1) ps.budget;
+              incr firings;
+              emit
+                (Trace.Started
+                   { time = now; process = pid; mode = Spi.Mode.id mode; reconfiguration });
+              Heap.push ~time:(now + latency)
+                (Complete { proc = pid; mode; started_at = now; payload; consumed })
+                heap))
+      processes
+  in
+  let now = ref 0 in
+  let outcome = ref Quiescent in
+  try_start 0;
+  let rec loop () =
+    if !firings > limits.max_firings then outcome := Firing_limit_reached
+    else
+      match Heap.pop_min heap with
+      | None ->
+        emit (Trace.Quiescent { time = !now });
+        outcome := Quiescent
+      | Some (time, _) when time > limits.max_time ->
+        outcome := Time_limit_reached
+      | Some (time, event) ->
+        now := time;
+        (match event with
+        | Inject (cid, tok) ->
+          state := Spi.Semantics.inject ~overflow model cid tok !state;
+          emit (Trace.Injected { time; channel = cid; token = tok })
+        | Complete { proc; mode; started_at; payload; consumed } ->
+          let state', produced =
+            Spi.Semantics.produce ~overflow ~choose_rate model mode
+              ~inherited_payload:payload !state
+          in
+          state := state';
+          let ps = pstate proc in
+          ps.busy <- false;
+          let firing =
+            { Spi.Semantics.process = proc; mode = Spi.Mode.id mode; consumed; produced }
+          in
+          emit (Trace.Completed { time; started_at; process = proc; firing }));
+        try_start time;
+        loop ()
+  in
+  loop ();
+  {
+    trace = List.rev !trace;
+    final_state = !state;
+    end_time = !now;
+    outcome = !outcome;
+    firings = !firings;
+    reconfiguration_time = !reconf_time;
+  }
+
+let pp_policy ppf = function
+  | Best_case -> Format.pp_print_string ppf "best-case"
+  | Worst_case -> Format.pp_print_string ppf "worst-case"
+  | Typical -> Format.pp_print_string ppf "typical"
+
+let pp_outcome ppf = function
+  | Quiescent -> Format.pp_print_string ppf "quiescent"
+  | Time_limit_reached -> Format.pp_print_string ppf "time limit reached"
+  | Firing_limit_reached -> Format.pp_print_string ppf "firing limit reached"
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "end=%d firings=%d reconf_time=%d outcome=%a" r.end_time r.firings
+    r.reconfiguration_time pp_outcome r.outcome

@@ -1,0 +1,73 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty h = h.size = 0
+let size h = h.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push ~time value h =
+  let entry = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest =
+          if left < h.size && before h.data.(left) h.data.(i) then left else i
+        in
+        let smallest =
+          if right < h.size && before h.data.(right) h.data.(smallest) then
+            right
+          else smallest
+        in
+        if smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(smallest);
+          h.data.(smallest) <- tmp;
+          down smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.data.(0).time

@@ -1,0 +1,19 @@
+(** A minimal binary min-heap keyed by [(time, sequence)].
+
+    The simulator orders events by time, breaking ties by insertion
+    sequence so simultaneous events process deterministically in
+    schedule order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : time:int -> 'a -> 'a t -> unit
+(** Inserts with the next sequence number. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Removes and returns the earliest event ([None] when empty). *)
+
+val peek_time : 'a t -> int option

@@ -1,0 +1,141 @@
+module I = Spi.Ids
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Format.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+let field k v = str k ^ ":" ^ v
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let token_json tok =
+  let tags =
+    arr (List.map (fun t -> str (Spi.Tag.name t)) (Spi.Tag.Set.elements (Spi.Token.tags tok)))
+  in
+  let base = [ field "tags" tags ] in
+  let base =
+    match Spi.Token.payload tok with
+    | Some p -> field "payload" (string_of_int p) :: base
+    | None -> base
+  in
+  obj base
+
+let moved_json (cid, toks) =
+  obj
+    [
+      field "channel" (str (I.Channel_id.to_string cid));
+      field "tokens" (arr (List.map token_json toks));
+    ]
+
+let entry_json = function
+  | Trace.Injected { time; channel; token } ->
+    obj
+      [
+        field "kind" (str "inject");
+        field "time" (string_of_int time);
+        field "channel" (str (I.Channel_id.to_string channel));
+        field "token" (token_json token);
+      ]
+  | Trace.Started { time; process; mode; reconfiguration } ->
+    let base =
+      [
+        field "kind" (str "start");
+        field "time" (string_of_int time);
+        field "process" (str (I.Process_id.to_string process));
+        field "mode" (str (I.Mode_id.to_string mode));
+      ]
+    in
+    let base =
+      match reconfiguration with
+      | None -> base
+      | Some (config, latency) ->
+        base
+        @ [
+            field "reconfigure_to" (str (I.Config_id.to_string config));
+            field "reconfiguration_latency" (string_of_int latency);
+          ]
+    in
+    obj base
+  | Trace.Completed { time; started_at; process; firing } ->
+    obj
+      [
+        field "kind" (str "complete");
+        field "time" (string_of_int time);
+        field "started_at" (string_of_int started_at);
+        field "process" (str (I.Process_id.to_string process));
+        field "mode" (str (I.Mode_id.to_string firing.Spi.Semantics.mode));
+        field "consumed" (arr (List.map moved_json firing.Spi.Semantics.consumed));
+        field "produced" (arr (List.map moved_json firing.Spi.Semantics.produced));
+      ]
+  | Trace.Quiescent { time } ->
+    obj [ field "kind" (str "quiescent"); field "time" (string_of_int time) ]
+
+let outcome_string = function
+  | Engine.Quiescent -> "quiescent"
+  | Engine.Time_limit_reached -> "time_limit"
+  | Engine.Firing_limit_reached -> "firing_limit"
+
+let result_to_string model (result : Engine.result) =
+  let stats = Stats.of_result model result in
+  let summary =
+    obj
+      [
+        field "end_time" (string_of_int result.Engine.end_time);
+        field "firings" (string_of_int result.Engine.firings);
+        field "reconfiguration_time"
+          (string_of_int result.Engine.reconfiguration_time);
+        field "outcome" (str (outcome_string result.Engine.outcome));
+      ]
+  in
+  let processes =
+    arr
+      (List.map
+         (fun (p : Stats.process_stats) ->
+           obj
+             [
+               field "process" (str (I.Process_id.to_string p.Stats.proc));
+               field "firings" (string_of_int p.Stats.firings);
+               field "busy_time" (string_of_int p.Stats.busy_time);
+               field "utilization" (Format.sprintf "%.4f" p.Stats.utilization);
+               field "reconfigurations" (string_of_int p.Stats.reconfigurations);
+             ])
+         stats.Stats.processes)
+  in
+  let channels =
+    arr
+      (List.map
+         (fun (c : Stats.channel_stats) ->
+           obj
+             [
+               field "channel" (str (I.Channel_id.to_string c.Stats.chan));
+               field "tokens_through" (string_of_int c.Stats.tokens_through);
+               field "high_water" (string_of_int c.Stats.high_water);
+               field "final_occupancy" (string_of_int c.Stats.final_occupancy);
+             ])
+         stats.Stats.channels)
+  in
+  obj
+    [
+      field "summary" summary;
+      field "trace" (arr (List.map entry_json result.Engine.trace));
+      field "processes" processes;
+      field "channels" channels;
+    ]
+
+let to_file path model result =
+  let oc = open_out path in
+  output_string oc (result_to_string model result);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,13 @@
+(** JSON export of simulation results.
+
+    A small hand-rolled emitter (no external dependency) producing a
+    machine-readable record of a run: summary, trace events, and the
+    derived statistics.  Intended for downstream tooling (plotting,
+    dashboards, diffing runs). *)
+
+val result_to_string : Spi.Model.t -> Engine.result -> string
+(** The complete run as one JSON document:
+    [{"summary": ..., "trace": [...], "processes": [...],
+      "channels": [...]}]. *)
+
+val to_file : string -> Spi.Model.t -> Engine.result -> unit

@@ -1,0 +1,138 @@
+module I = Spi.Ids
+
+type observation = {
+  mode : I.Mode_id.t;
+  executions : int;
+  latency : Interval.t;
+  consumed : (I.Channel_id.t * Interval.t) list;
+  produced : (I.Channel_id.t * Interval.t) list;
+}
+
+(* raw per-execution samples for one process *)
+type sample = {
+  s_mode : I.Mode_id.t;
+  s_latency : int;
+  s_consumed : (I.Channel_id.t * int) list;
+  s_produced : (I.Channel_id.t * int) list;
+}
+
+let samples (result : Engine.result) pid =
+  (* reconfiguration latency per (process, start time), to subtract *)
+  let reconf = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Trace.Started { time; process; reconfiguration = Some (_, latency); _ }
+        when I.Process_id.equal process pid ->
+        Hashtbl.replace reconf time latency
+      | Trace.Started _ | Trace.Injected _ | Trace.Completed _
+      | Trace.Quiescent _ -> ())
+    result.Engine.trace;
+  List.filter_map
+    (function
+      | Trace.Completed { time; started_at; process; firing }
+        when I.Process_id.equal process pid ->
+        let reconf_latency =
+          Option.value ~default:0 (Hashtbl.find_opt reconf started_at)
+        in
+        Some
+          {
+            s_mode = firing.Spi.Semantics.mode;
+            s_latency = time - started_at - reconf_latency;
+            s_consumed =
+              List.map
+                (fun (c, toks) -> (c, List.length toks))
+                firing.Spi.Semantics.consumed;
+            s_produced =
+              List.map
+                (fun (c, toks) -> (c, List.length toks))
+                firing.Spi.Semantics.produced;
+          }
+      | Trace.Completed _ | Trace.Injected _ | Trace.Started _
+      | Trace.Quiescent _ -> None)
+    result.Engine.trace
+
+let hull_of_counts entries =
+  (* entries: (channel, count) over many executions -> per-channel hull *)
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (cid, n) ->
+      let key = I.Channel_id.to_string cid in
+      let current = Hashtbl.find_opt table key in
+      let interval =
+        match current with
+        | None -> (cid, Interval.point n)
+        | Some (_, i) -> (cid, Interval.join i (Interval.point n))
+      in
+      Hashtbl.replace table key interval)
+    entries;
+  Hashtbl.fold (fun _ v acc -> v :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> I.Channel_id.compare a b)
+
+let observe result pid =
+  let by_mode = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let key = I.Mode_id.to_string s.s_mode in
+      Hashtbl.replace by_mode key
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_mode key)))
+    (samples result pid);
+  Hashtbl.fold
+    (fun _ samples acc ->
+      match samples with
+      | [] -> acc
+      | first :: _ ->
+        let latency =
+          List.fold_left
+            (fun acc s -> Interval.join acc (Interval.point s.s_latency))
+            (Interval.point first.s_latency)
+            samples
+        in
+        {
+          mode = first.s_mode;
+          executions = List.length samples;
+          latency;
+          consumed = hull_of_counts (List.concat_map (fun s -> s.s_consumed) samples);
+          produced = hull_of_counts (List.concat_map (fun s -> s.s_produced) samples);
+        }
+        :: acc)
+    by_mode []
+  |> List.sort (fun a b -> I.Mode_id.compare a.mode b.mode)
+
+let refine_process result proc =
+  let observations = observe result (Spi.Process.id proc) in
+  let refined_modes =
+    List.map
+      (fun mode ->
+        match
+          List.find_opt
+            (fun o -> I.Mode_id.equal o.mode (Spi.Mode.id mode))
+            observations
+        with
+        | None -> mode
+        | Some o -> (
+          match Interval.meet (Spi.Mode.latency mode) o.latency with
+          | Some narrowed -> Spi.Mode.with_latency narrowed mode
+          | None -> mode (* disjoint: flagged by [suspicious] *)))
+      (Spi.Process.modes proc)
+  in
+  Spi.Process.with_modes refined_modes proc
+
+let refine_model result model =
+  List.fold_left
+    (fun m proc -> Spi.Model.replace_process (refine_process result proc) m)
+    model (Spi.Model.processes model)
+
+let suspicious result model =
+  List.concat_map
+    (fun proc ->
+      let pid = Spi.Process.id proc in
+      List.filter_map
+        (fun o ->
+          match Spi.Process.find_mode o.mode proc with
+          | None -> None
+          | Some mode ->
+            let declared = Spi.Mode.latency mode in
+            if Interval.subset o.latency declared then None
+            else Some (pid, o.mode, declared, o.latency))
+        (observe result pid))
+    (Spi.Model.processes model)

@@ -1,0 +1,43 @@
+(** Trace-based refinement of SPI parameter intervals.
+
+    SPI parameters are intervals because the exact behaviour is unknown
+    at specification time; observations narrow them.  Given a finished
+    simulation (or, in a real flow, measurements of a prototype), this
+    module computes per-mode {e observed} latency and rate hulls and
+    produces refined process declarations whose intervals are the meet
+    of the declared and the observed hulls — never wider than declared,
+    and exact where the simulation exercised the behaviour.
+
+    Reconfiguration prefixes are excluded from latency observations (the
+    engine reports them separately), so refinement measures the mode's
+    own execution time. *)
+
+type observation = {
+  mode : Spi.Ids.Mode_id.t;
+  executions : int;
+  latency : Interval.t;  (** hull of observed execution times *)
+  consumed : (Spi.Ids.Channel_id.t * Interval.t) list;
+  produced : (Spi.Ids.Channel_id.t * Interval.t) list;
+}
+
+val observe :
+  Engine.result -> Spi.Ids.Process_id.t -> observation list
+(** One observation per mode the process actually executed. *)
+
+val refine_process : Engine.result -> Spi.Process.t -> Spi.Process.t
+(** Narrows each executed mode's latency to
+    [meet declared observed] (keeping the declared interval when they
+    are disjoint, which indicates a modeling error worth flagging —
+    see {!suspicious}).  Rates and unexecuted modes are left as
+    declared. *)
+
+val refine_model : Engine.result -> Spi.Model.t -> Spi.Model.t
+(** {!refine_process} over every process. *)
+
+val suspicious :
+  Engine.result -> Spi.Model.t ->
+  (Spi.Ids.Process_id.t * Spi.Ids.Mode_id.t * Interval.t * Interval.t) list
+(** Modes whose observed latency hull lies (partly) outside the declared
+    interval: [(process, mode, declared, observed)].  Under the bundled
+    engine this list is empty by construction — it exists for traces
+    imported from real measurements. *)

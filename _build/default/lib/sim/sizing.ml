@@ -1,0 +1,63 @@
+module I = Spi.Ids
+
+type suggestion = { chan : I.Channel_id.t; observed : int; capacity : int }
+
+let suggest ?(margin = 0) ?policy ?configurations ~stimuli model =
+  if margin < 0 then invalid_arg "Sizing.suggest: negative margin";
+  let high = Hashtbl.create 16 in
+  List.iter
+    (fun stims ->
+      let result = Engine.run ?policy ?configurations ~stimuli:stims model in
+      let stats = Stats.of_result model result in
+      List.iter
+        (fun (c : Stats.channel_stats) ->
+          let key = I.Channel_id.to_string c.Stats.chan in
+          let current = Option.value ~default:0 (Hashtbl.find_opt high key) in
+          Hashtbl.replace high key (max current c.Stats.high_water))
+        stats.Stats.channels)
+    stimuli;
+  List.filter_map
+    (fun chan ->
+      match Spi.Chan.kind chan with
+      | Spi.Chan.Register -> None
+      | Spi.Chan.Queue ->
+        let cid = Spi.Chan.id chan in
+        let observed =
+          Option.value ~default:0
+            (Hashtbl.find_opt high (I.Channel_id.to_string cid))
+        in
+        Some { chan = cid; observed; capacity = max 1 (observed + margin) })
+    (Spi.Model.channels model)
+
+let apply suggestions model =
+  let capacity_of cid =
+    List.find_map
+      (fun s -> if I.Channel_id.equal s.chan cid then Some s.capacity else None)
+      suggestions
+  in
+  let channels =
+    List.map
+      (fun chan ->
+        match Spi.Chan.kind chan, capacity_of (Spi.Chan.id chan) with
+        | Spi.Chan.Queue, Some capacity ->
+          Spi.Chan.queue ~initial:(Spi.Chan.initial chan) ~capacity
+            (Spi.Chan.id chan)
+        | (Spi.Chan.Queue | Spi.Chan.Register), _ -> chan)
+      (Spi.Model.channels model)
+  in
+  Spi.Model.build_exn ~processes:(Spi.Model.processes model) ~channels
+
+let verify ?policy ?configurations ~stimuli model =
+  try
+    List.iter
+      (fun stims ->
+        ignore
+          (Engine.run ?policy ?configurations ~overflow:Spi.Semantics.Reject
+             ~stimuli:stims model))
+      stimuli;
+    Ok ()
+  with Spi.Semantics.Channel_overflow cid -> Error cid
+
+let pp_suggestion ppf s =
+  Format.fprintf ppf "%a: observed %d -> capacity %d" I.Channel_id.pp s.chan
+    s.observed s.capacity

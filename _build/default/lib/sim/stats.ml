@@ -1,0 +1,152 @@
+module I = Spi.Ids
+
+type process_stats = {
+  proc : I.Process_id.t;
+  firings : int;
+  busy_time : int;
+  utilization : float;
+  reconfigurations : int;
+  reconfiguration_time : int;
+}
+
+type channel_stats = {
+  chan : I.Channel_id.t;
+  tokens_through : int;
+  high_water : int;
+  final_occupancy : int;
+}
+
+type t = {
+  processes : process_stats list;
+  channels : channel_stats list;
+  makespan : int;
+  total_firings : int;
+}
+
+let of_result model (result : Engine.result) =
+  let trace = result.Engine.trace in
+  let makespan = result.Engine.end_time in
+  (* per-process accumulation *)
+  let busy = Hashtbl.create 16 and fires = Hashtbl.create 16 in
+  let reconfs = Hashtbl.create 16 and reconf_time = Hashtbl.create 16 in
+  let bump table pid v =
+    let key = I.Process_id.to_string pid in
+    Hashtbl.replace table key (v + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  (* per-channel occupancy events: (time, plus_first, delta) *)
+  let events = Hashtbl.create 16 in
+  let push_event cid time delta =
+    let key = I.Channel_id.to_string cid in
+    Hashtbl.replace events key
+      ((time, delta) :: Option.value ~default:[] (Hashtbl.find_opt events key))
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Injected { time; channel; _ } -> push_event channel time 1
+      | Trace.Started { process; reconfiguration; _ } -> (
+        match reconfiguration with
+        | None -> ()
+        | Some (_, latency) ->
+          bump reconfs process 1;
+          bump reconf_time process latency)
+      | Trace.Completed { time; started_at; process; firing } ->
+        bump fires process 1;
+        bump busy process (time - started_at);
+        List.iter
+          (fun (cid, toks) -> push_event cid started_at (-List.length toks))
+          firing.Spi.Semantics.consumed;
+        List.iter
+          (fun (cid, toks) -> push_event cid time (List.length toks))
+          firing.Spi.Semantics.produced
+      | Trace.Quiescent _ -> ())
+    trace;
+  let find table pid =
+    Option.value ~default:0 (Hashtbl.find_opt table (I.Process_id.to_string pid))
+  in
+  let processes =
+    List.map
+      (fun proc ->
+        let pid = Spi.Process.id proc in
+        let busy_time = find busy pid in
+        {
+          proc = pid;
+          firings = find fires pid;
+          busy_time;
+          utilization =
+            (if makespan = 0 then 0.
+             else float_of_int busy_time /. float_of_int makespan);
+          reconfigurations = find reconfs pid;
+          reconfiguration_time = find reconf_time pid;
+        })
+      (Spi.Model.processes model)
+  in
+  let channels =
+    List.map
+      (fun chan ->
+        let cid = Spi.Chan.id chan in
+        let raw =
+          Option.value ~default:[]
+            (Hashtbl.find_opt events (I.Channel_id.to_string cid))
+        in
+        (* chronological; at equal times apply arrivals before removals
+           so the high-water mark is conservative *)
+        let ordered =
+          List.sort
+            (fun (t1, d1) (t2, d2) ->
+              match Int.compare t1 t2 with
+              | 0 -> Int.compare d2 d1
+              | c -> c)
+            raw
+        in
+        let initial = List.length (Spi.Chan.initial chan) in
+        let through =
+          List.fold_left (fun acc (_, d) -> if d > 0 then acc + d else acc) 0 raw
+        in
+        let high_water =
+          match Spi.Chan.kind chan with
+          | Spi.Chan.Register ->
+            (* destructive write, sampling read: occupancy never
+               exceeds one *)
+            if initial > 0 || through > 0 then 1 else 0
+          | Spi.Chan.Queue ->
+            let _, high =
+              List.fold_left
+                (fun (cur, high) (_, d) ->
+                  let cur = cur + d in
+                  (cur, max high cur))
+                (initial, initial) ordered
+            in
+            high
+        in
+        {
+          chan = cid;
+          tokens_through = through;
+          high_water;
+          final_occupancy =
+            Spi.Semantics.tokens_available result.Engine.final_state cid;
+        })
+      (Spi.Model.channels model)
+  in
+  { processes; channels; makespan; total_firings = result.Engine.firings }
+
+let process pid t =
+  List.find_opt (fun p -> I.Process_id.equal p.proc pid) t.processes
+
+let channel cid t =
+  List.find_opt (fun c -> I.Channel_id.equal c.chan cid) t.channels
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>makespan %d, %d firings@," t.makespan t.total_firings;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%a: %d firings, busy %d (%.0f%%), %d reconfs (+%d)@,"
+        I.Process_id.pp p.proc p.firings p.busy_time (100. *. p.utilization)
+        p.reconfigurations p.reconfiguration_time)
+    t.processes;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%a: %d through, high-water %d, final %d@,"
+        I.Channel_id.pp c.chan c.tokens_through c.high_water c.final_occupancy)
+    t.channels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Post-simulation statistics.
+
+    Derived entirely from a finished {!Engine.result}: per-process
+    utilization (the basis of software schedulability), per-channel
+    occupancy high-water marks (the empirical counterpart of
+    {!Spi.Analysis.queue_bound}, used for buffer sizing), and throughput
+    figures. *)
+
+type process_stats = {
+  proc : Spi.Ids.Process_id.t;
+  firings : int;
+  busy_time : int;  (** total time between starts and completions *)
+  utilization : float;  (** busy time / simulated end time *)
+  reconfigurations : int;
+  reconfiguration_time : int;
+}
+
+type channel_stats = {
+  chan : Spi.Ids.Channel_id.t;
+  tokens_through : int;  (** tokens ever written (injected or produced) *)
+  high_water : int;  (** maximum simultaneous occupancy observed *)
+  final_occupancy : int;
+}
+
+type t = {
+  processes : process_stats list;
+  channels : channel_stats list;
+  makespan : int;
+  total_firings : int;
+}
+
+val of_result : Spi.Model.t -> Engine.result -> t
+val process : Spi.Ids.Process_id.t -> t -> process_stats option
+val channel : Spi.Ids.Channel_id.t -> t -> channel_stats option
+val pp : Format.formatter -> t -> unit

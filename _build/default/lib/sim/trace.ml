@@ -1,0 +1,90 @@
+type entry =
+  | Injected of { time : int; channel : Spi.Ids.Channel_id.t; token : Spi.Token.t }
+  | Started of {
+      time : int;
+      process : Spi.Ids.Process_id.t;
+      mode : Spi.Ids.Mode_id.t;
+      reconfiguration : (Spi.Ids.Config_id.t * int) option;
+    }
+  | Completed of {
+      time : int;
+      started_at : int;
+      process : Spi.Ids.Process_id.t;
+      firing : Spi.Semantics.firing;
+    }
+  | Quiescent of { time : int }
+
+type t = entry list
+
+let pp_entry ppf = function
+  | Injected { time; channel; token } ->
+    Format.fprintf ppf "%5d inject %a on %a" time Spi.Token.pp token
+      Spi.Ids.Channel_id.pp channel
+  | Started { time; process; mode; reconfiguration } -> (
+    match reconfiguration with
+    | None ->
+      Format.fprintf ppf "%5d start  %a in %a" time Spi.Ids.Process_id.pp
+        process Spi.Ids.Mode_id.pp mode
+    | Some (config, latency) ->
+      Format.fprintf ppf "%5d start  %a in %a [reconfigure to %a, +%d]" time
+        Spi.Ids.Process_id.pp process Spi.Ids.Mode_id.pp mode
+        Spi.Ids.Config_id.pp config latency)
+  | Completed { time; started_at; process; firing } ->
+    Format.fprintf ppf "%5d done   %a (started %d): %a" time
+      Spi.Ids.Process_id.pp process started_at Spi.Semantics.pp_firing firing
+  | Quiescent { time } -> Format.fprintf ppf "%5d quiescent" time
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    t
+
+let matches_process filter pid =
+  match filter with None -> true | Some p -> Spi.Ids.Process_id.equal p pid
+
+let completions ?process t =
+  List.filter
+    (function
+      | Completed { process = p; _ } -> matches_process process p
+      | Injected _ | Started _ | Quiescent _ -> false)
+    t
+
+let starts ?process t =
+  List.filter
+    (function
+      | Started { process = p; _ } -> matches_process process p
+      | Injected _ | Completed _ | Quiescent _ -> false)
+    t
+
+let reconfigurations t =
+  List.filter_map
+    (function
+      | Started { time; process; reconfiguration = Some (config, latency); _ } ->
+        Some (time, process, config, latency)
+      | Started _ | Injected _ | Completed _ | Quiescent _ -> None)
+    t
+
+let tokens_produced_on channel t =
+  List.concat_map
+    (function
+      | Completed { time; firing; _ } ->
+        List.concat_map
+          (fun (cid, tokens) ->
+            if Spi.Ids.Channel_id.equal cid channel then
+              List.map (fun tok -> (time, tok)) tokens
+            else [])
+          firing.Spi.Semantics.produced
+      | Injected _ | Started _ | Quiescent _ -> [])
+    t
+
+let entry_time = function
+  | Injected { time; _ } | Started { time; _ } | Completed { time; _ }
+  | Quiescent { time } -> time
+
+let end_time t = List.fold_left (fun acc e -> max acc (entry_time e)) 0 t
+
+let firing_count t =
+  List.length
+    (List.filter
+       (function Completed _ -> true | Injected _ | Started _ | Quiescent _ -> false)
+       t)

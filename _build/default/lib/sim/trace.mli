@@ -1,0 +1,46 @@
+(** Execution traces.
+
+    The engine records every observable step; checkers (timing
+    constraints, the video system's invalid-image property, test
+    assertions) work over the finished trace. *)
+
+type entry =
+  | Injected of { time : int; channel : Spi.Ids.Channel_id.t; token : Spi.Token.t }
+  | Started of {
+      time : int;
+      process : Spi.Ids.Process_id.t;
+      mode : Spi.Ids.Mode_id.t;
+      reconfiguration : (Spi.Ids.Config_id.t * int) option;
+          (** configuration switched to, and its latency, when this
+              execution triggered one *)
+    }
+  | Completed of {
+      time : int;  (** completion instant *)
+      started_at : int;
+      process : Spi.Ids.Process_id.t;
+      firing : Spi.Semantics.firing;
+    }
+  | Quiescent of { time : int }
+      (** no process activable and no pending event: simulation ended *)
+
+type t = entry list
+(** Chronological order. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+val completions : ?process:Spi.Ids.Process_id.t -> t -> entry list
+val starts : ?process:Spi.Ids.Process_id.t -> t -> entry list
+
+val reconfigurations : t -> (int * Spi.Ids.Process_id.t * Spi.Ids.Config_id.t * int) list
+(** [(start_time, process, configuration, latency)] for every execution
+    that triggered a reconfiguration. *)
+
+val tokens_produced_on : Spi.Ids.Channel_id.t -> t -> (int * Spi.Token.t) list
+(** [(completion_time, token)] for every token put on the channel. *)
+
+val end_time : t -> int
+(** Time of the last entry (0 for the empty trace). *)
+
+val firing_count : t -> int
+(** Number of completed executions. *)

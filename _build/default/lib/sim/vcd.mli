@@ -1,0 +1,12 @@
+(** VCD (Value Change Dump) export of simulation traces.
+
+    Writes an IEEE 1364-style VCD file with one integer variable per
+    channel (occupancy over time) and one per process (1 while
+    executing, 2 during the reconfiguration prefix of an execution),
+    viewable in GTKWave and friends. *)
+
+val of_result : Spi.Model.t -> Engine.result -> string
+(** The complete VCD document for a finished simulation. *)
+
+val to_file : string -> Spi.Model.t -> Engine.result -> unit
+(** @raise Sys_error on unwritable paths. *)

@@ -1,0 +1,1 @@
+lib/spi/activation.ml: Format Hashtbl Ids List Predicate Tag

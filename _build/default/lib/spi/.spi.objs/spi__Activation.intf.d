@@ -1,0 +1,1 @@
+lib/spi/activation.mli: Format Ids Predicate Tag

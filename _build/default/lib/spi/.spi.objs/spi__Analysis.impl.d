@@ -1,0 +1,1 @@
+lib/spi/analysis.ml: Chan Format Graphlib Hashtbl Ids Interval List Mode Model Option Process

@@ -1,0 +1,1 @@
+lib/spi/analysis.mli: Format Ids Model

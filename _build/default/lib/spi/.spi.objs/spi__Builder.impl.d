@@ -1,0 +1,1 @@
+lib/spi/builder.ml: Chan Ids Interval List Mode Model Process Tag Token

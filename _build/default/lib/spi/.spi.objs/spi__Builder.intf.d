@@ -1,0 +1,1 @@
+lib/spi/builder.mli: Chan Model Process

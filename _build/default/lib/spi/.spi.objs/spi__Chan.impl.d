@@ -1,0 +1,1 @@
+lib/spi/chan.ml: Format Ids List Option Token

@@ -1,0 +1,1 @@
+lib/spi/chan.mli: Format Ids Token

@@ -1,0 +1,1 @@
+lib/spi/compose.ml: Chan Format Ids List Model Option Process

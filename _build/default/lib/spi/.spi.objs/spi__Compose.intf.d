@@ -1,0 +1,1 @@
+lib/spi/compose.mli: Ids Model

@@ -1,0 +1,1 @@
+lib/spi/constraint_.ml: Format Graphlib Ids List Model

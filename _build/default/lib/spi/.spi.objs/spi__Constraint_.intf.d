@@ -1,0 +1,1 @@
+lib/spi/constraint_.mli: Format Ids Model

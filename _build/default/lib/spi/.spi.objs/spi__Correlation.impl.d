@@ -1,0 +1,1 @@
+lib/spi/correlation.ml: Activation Constraint_ Format Hashtbl Ids Int Interval List Mode Model Option Predicate Process String Tag

@@ -1,0 +1,1 @@
+lib/spi/correlation.mli: Constraint_ Format Ids Model

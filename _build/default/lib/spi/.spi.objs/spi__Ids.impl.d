@@ -1,0 +1,1 @@
+lib/spi/ids.ml: Format Map Set String

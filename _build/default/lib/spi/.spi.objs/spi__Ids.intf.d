@@ -1,0 +1,1 @@
+lib/spi/ids.mli: Format Map Set

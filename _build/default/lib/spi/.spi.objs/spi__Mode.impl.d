@@ -1,0 +1,1 @@
+lib/spi/mode.ml: Format Ids Interval List Tag

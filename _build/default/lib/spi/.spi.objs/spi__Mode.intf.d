@@ -1,0 +1,1 @@
+lib/spi/mode.mli: Format Ids Interval Tag

@@ -1,0 +1,1 @@
+lib/spi/model.ml: Chan Format Graphlib Ids List Process

@@ -1,0 +1,1 @@
+lib/spi/model.mli: Chan Format Graphlib Ids Process

@@ -1,0 +1,1 @@
+lib/spi/predicate.ml: Format Ids List Tag

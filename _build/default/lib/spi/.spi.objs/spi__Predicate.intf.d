@@ -1,0 +1,1 @@
+lib/spi/predicate.mli: Format Ids Tag

@@ -1,0 +1,1 @@
+lib/spi/process.ml: Activation Format Ids Interval List Mode Predicate

@@ -1,0 +1,1 @@
+lib/spi/process.mli: Activation Format Ids Interval Mode

@@ -1,0 +1,1 @@
+lib/spi/semantics.ml: Activation Chan Format Ids Interval List Mode Model Option Predicate Process Token

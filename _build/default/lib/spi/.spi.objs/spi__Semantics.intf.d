@@ -1,0 +1,1 @@
+lib/spi/semantics.mli: Activation Format Ids Interval Mode Model Predicate Tag Token

@@ -1,0 +1,1 @@
+lib/spi/tag.ml: Format List Set String

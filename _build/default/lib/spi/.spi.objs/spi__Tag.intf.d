@@ -1,0 +1,1 @@
+lib/spi/tag.mli: Format Set

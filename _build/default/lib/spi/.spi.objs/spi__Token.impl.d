@@ -1,0 +1,1 @@
+lib/spi/token.ml: Format Int List Option Tag

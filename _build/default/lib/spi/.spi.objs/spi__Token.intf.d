@@ -1,0 +1,1 @@
+lib/spi/token.mli: Format Tag

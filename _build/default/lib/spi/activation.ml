@@ -1,0 +1,67 @@
+type rule = { id : Ids.Rule_id.t; guard : Predicate.t; mode : Ids.Mode_id.t }
+
+let rule id ~guard ~mode = { id; guard; mode }
+let rule_id r = r.id
+let guard r = r.guard
+let target_mode r = r.mode
+
+type t = rule list
+
+let make rules =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let key = Ids.Rule_id.to_string r.id in
+      if Hashtbl.mem seen key then
+        invalid_arg (Format.asprintf "Activation: duplicate rule id %s" key)
+      else Hashtbl.add seen key ())
+    rules;
+  rules
+
+let rules t = t
+let empty = []
+let is_empty t = t = []
+let enabled view t = List.filter (fun r -> Predicate.eval view r.guard) t
+let select view t = List.find_opt (fun r -> Predicate.eval view r.guard) t
+
+let channels t =
+  List.fold_left
+    (fun acc r -> Ids.Channel_id.Set.union acc (Predicate.channels r.guard))
+    Ids.Channel_id.Set.empty t
+
+let modes t =
+  List.fold_left (fun acc r -> Ids.Mode_id.Set.add r.mode acc)
+    Ids.Mode_id.Set.empty t
+
+let tags_tested t =
+  List.fold_left
+    (fun acc r -> Tag.Set.union acc (Predicate.tags_tested r.guard))
+    Tag.Set.empty t
+
+let ambiguous_pairs t =
+  let rec pairs = function
+    | [] -> []
+    | r :: rest ->
+      List.filter_map
+        (fun r' ->
+          if Predicate.syntactically_disjoint r.guard r'.guard then None
+          else Some (r.id, r'.id))
+        rest
+      @ pairs rest
+  in
+  pairs t
+
+let map_channels f t =
+  List.map (fun r -> { r with guard = Predicate.map_channels f r.guard }) t
+
+let map_modes f t = List.map (fun r -> { r with mode = f r.mode }) t
+let union a b = make (a @ b)
+
+let pp ppf t =
+  let pp_rule ppf r =
+    Format.fprintf ppf "%a: %a -> %a" Ids.Rule_id.pp r.id Predicate.pp r.guard
+      Ids.Mode_id.pp r.mode
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    t

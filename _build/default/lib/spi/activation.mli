@@ -1,0 +1,44 @@
+(** Activation functions.
+
+    Each process carries an activation function: an ordered set of rules
+    mapping input-token predicates to modes (paper, Section 2).  When a
+    rule's predicate holds on the current channel state, the process may
+    execute in the rule's mode.  Rule order resolves overlaps: the first
+    enabled rule wins (the paper assumes correct models in which at most
+    one rule is enabled; {!ambiguous_pairs} reports rule pairs that are
+    not syntactically disjoint so model authors can check). *)
+
+type rule
+
+val rule : Ids.Rule_id.t -> guard:Predicate.t -> mode:Ids.Mode_id.t -> rule
+val rule_id : rule -> Ids.Rule_id.t
+val guard : rule -> Predicate.t
+val target_mode : rule -> Ids.Mode_id.t
+
+type t
+
+val make : rule list -> t
+(** @raise Invalid_argument on duplicate rule ids. *)
+
+val rules : t -> rule list
+val empty : t
+val is_empty : t -> bool
+
+val enabled : Predicate.view -> t -> rule list
+(** All rules whose guard holds, in declaration order. *)
+
+val select : Predicate.view -> t -> rule option
+(** First enabled rule, if any. *)
+
+val channels : t -> Ids.Channel_id.Set.t
+val modes : t -> Ids.Mode_id.Set.t
+val tags_tested : t -> Tag.Set.t
+
+val ambiguous_pairs : t -> (Ids.Rule_id.t * Ids.Rule_id.t) list
+(** Rule pairs not provably disjoint by
+    {!Predicate.syntactically_disjoint}. *)
+
+val map_channels : (Ids.Channel_id.t -> Ids.Channel_id.t) -> t -> t
+val map_modes : (Ids.Mode_id.t -> Ids.Mode_id.t) -> t -> t
+val union : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,172 @@
+type balance =
+  | Balanced
+  | Accumulating of { surplus : int }
+  | Starving of { deficit : int }
+  | Boundary
+
+let channel_balance model cid =
+  match Model.writer_of cid model, Model.reader_of cid model with
+  | None, _ | _, None -> Boundary
+  | Some wpid, Some rpid ->
+    let produced =
+      Process.production_hull (Model.get_process wpid model) cid
+    in
+    let consumed =
+      Process.consumption_hull (Model.get_process rpid model) cid
+    in
+    if Interval.overlaps produced consumed then Balanced
+    else if Interval.lo produced > Interval.hi consumed then
+      Accumulating { surplus = Interval.lo produced - Interval.hi consumed }
+    else Starving { deficit = Interval.lo consumed - Interval.hi produced }
+
+let balance_report model =
+  List.map
+    (fun chan ->
+      let cid = Chan.id chan in
+      (cid, channel_balance model cid))
+    (Model.channels model)
+
+let pp_balance ppf = function
+  | Balanced -> Format.pp_print_string ppf "balanced"
+  | Accumulating { surplus } -> Format.fprintf ppf "accumulating (+%d/exec)" surplus
+  | Starving { deficit } -> Format.fprintf ppf "starving (-%d/exec)" deficit
+  | Boundary -> Format.pp_print_string ppf "boundary"
+
+module Pnode = struct
+  type t = Ids.Process_id.t
+
+  let compare = Ids.Process_id.compare
+  let pp = Ids.Process_id.pp
+end
+
+module Pgraph = Graphlib.Digraph.Make (Pnode)
+module Pscc = Graphlib.Scc.Make (Pgraph)
+module Ptraverse = Graphlib.Traverse.Make (Pgraph)
+
+(* Process-to-process dependency graph: [p -> q] when a channel written
+   by [p] is read by [q]. *)
+let process_graph model =
+  List.fold_left
+    (fun g proc ->
+      let pid = Process.id proc in
+      let g = Pgraph.add_node pid g in
+      Ids.Channel_id.Set.fold
+        (fun cid g ->
+          match Model.reader_of cid model with
+          | Some reader -> Pgraph.add_edge pid reader g
+          | None -> g)
+        (Process.outputs proc) g)
+    Pgraph.empty (Model.processes model)
+
+let deadlock_candidates model =
+  let comps = Pscc.components (process_graph model) in
+  let members comp pid = List.exists (Ids.Process_id.equal pid) comp in
+  let candidate comp =
+    let intra_channels =
+      List.filter
+        (fun chan ->
+          let cid = Chan.id chan in
+          match Model.writer_of cid model, Model.reader_of cid model with
+          | Some w, Some r -> members comp w && members comp r
+          | _, None | None, _ -> false)
+        (Model.channels model)
+    in
+    let nontrivial =
+      match comp with
+      | [] -> false
+      | [ _ ] -> intra_channels <> []
+      | _ :: _ :: _ -> true
+    in
+    nontrivial
+    && List.for_all (fun chan -> Chan.initial chan = []) intra_channels
+    && List.for_all
+         (fun pid ->
+           let proc = Model.get_process pid model in
+           (* every mode of the process needs at least one token from an
+              intra-component channel: nothing external can start it *)
+           List.for_all
+             (fun mode ->
+               List.exists
+                 (fun chan ->
+                   let cid = Chan.id chan in
+                   Interval.lo (Mode.consumption mode cid) >= 1
+                   &&
+                   match Model.reader_of cid model with
+                   | Some r -> Ids.Process_id.equal r pid
+                   | None -> false)
+                 intra_channels)
+             (Process.modes proc))
+         comp
+  in
+  List.filter candidate comps
+
+(* Upper bounds on process executions and channel occupancy, assuming
+   worst-case production, best-case consumption triggering, and no
+   token ever removed from the analyzed queue. *)
+let execution_bounds ~source_executions model =
+  let g = process_graph model in
+  match Ptraverse.topological_sort g with
+  | Error _ -> None
+  | Ok order ->
+    let exec = Hashtbl.create 16 in
+    let tokens_into cid =
+      let initial =
+        match Model.find_channel cid model with
+        | Some chan -> List.length (Chan.initial chan)
+        | None -> 0
+      in
+      match Model.writer_of cid model with
+      | None -> initial + source_executions
+      | Some wpid ->
+        let w = Model.get_process wpid model in
+        let runs =
+          match Hashtbl.find_opt exec (Ids.Process_id.to_string wpid) with
+          | Some n -> n
+          | None -> 0
+        in
+        initial + (runs * Interval.hi (Process.production_hull w cid))
+    in
+    List.iter
+      (fun pid ->
+        let proc = Model.get_process pid model in
+        let inputs = Process.inputs proc in
+        let bound =
+          if Ids.Channel_id.Set.is_empty inputs then source_executions
+          else
+            Ids.Channel_id.Set.fold
+              (fun cid acc ->
+                let demand =
+                  max 1 (Interval.lo (Process.consumption_hull proc cid))
+                in
+                max acc (tokens_into cid / demand))
+              inputs 0
+        in
+        Hashtbl.replace exec (Ids.Process_id.to_string pid) bound)
+      order;
+    Some (exec, tokens_into)
+
+let queue_bound ~source_executions model cid =
+  if Option.is_none (Model.find_channel cid model) then None
+  else
+    match execution_bounds ~source_executions model with
+    | None -> None
+    | Some (_, tokens_into) -> Some (tokens_into cid)
+
+let queue_bounds ~source_executions model =
+  List.map
+    (fun chan ->
+      let cid = Chan.id chan in
+      (cid, queue_bound ~source_executions model cid))
+    (Model.channels model)
+
+let bottleneck model =
+  List.fold_left
+    (fun acc proc ->
+      let latency = Interval.hi (Process.latency_hull proc) in
+      match acc with
+      | Some (_, best) when best >= latency -> acc
+      | Some _ | None -> Some (Process.id proc, latency))
+    None (Model.processes model)
+
+let min_initiation_interval model =
+  match bottleneck model with None -> 0 | Some (_, latency) -> latency

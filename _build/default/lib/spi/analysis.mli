@@ -1,0 +1,61 @@
+(** Static analysis of SPI models.
+
+    Three analyses used during optimization, before any mapping decision
+    is taken:
+
+    - {b rate balance}: for each channel, compare the writer's production
+      interval against the reader's consumption interval per execution.
+      A channel whose production can permanently outpace consumption (or
+      starve it) indicates unbounded buffering or starvation in
+      long-running operation.
+    - {b structural deadlock candidates}: strongly connected components
+      of the process graph in which every cycle channel starts empty —
+      no process of the component can ever fire first.
+    - {b buffer bounds}: a conservative per-channel bound on queue
+      occupancy for models whose process graph is acyclic, derived from
+      upper production and lower consumption rates over a bounded number
+      of source executions. *)
+
+type balance =
+  | Balanced  (** production and consumption intervals overlap *)
+  | Accumulating of { surplus : int }
+      (** the writer's minimum production exceeds the reader's maximum
+          consumption per pairing of executions *)
+  | Starving of { deficit : int }
+      (** the reader's minimum demand exceeds the writer's maximum
+          production *)
+  | Boundary  (** channel has no writer or no reader: environment side *)
+
+val channel_balance : Model.t -> Ids.Channel_id.t -> balance
+
+val balance_report : Model.t -> (Ids.Channel_id.t * balance) list
+(** Balance of every channel, in id order. *)
+
+val pp_balance : Format.formatter -> balance -> unit
+
+val deadlock_candidates : Model.t -> Ids.Process_id.t list list
+(** Process components that can never start: every process of the
+    component needs tokens that only the component itself can produce,
+    and all internal channels start empty.  Self-loops with initial
+    tokens (the usual SPI state-keeping idiom) are {e not} reported. *)
+
+val queue_bound :
+  source_executions:int -> Model.t -> Ids.Channel_id.t -> int option
+(** Upper bound on the simultaneous occupancy of a queue when every
+    source process executes at most [source_executions] times, assuming
+    worst-case production and no consumption at all — a safe (if loose)
+    sizing bound.  [None] when the channel does not exist or the
+    process graph is cyclic (no static bound derivable). *)
+
+val queue_bounds :
+  source_executions:int -> Model.t -> (Ids.Channel_id.t * int option) list
+
+val bottleneck : Model.t -> (Ids.Process_id.t * int) option
+(** The process with the largest worst-case latency and that latency —
+    the pipeline's throughput limiter: in steady state no output can be
+    produced faster than one per bottleneck latency.  [None] for an
+    empty model. *)
+
+val min_initiation_interval : Model.t -> int
+(** The bottleneck latency (0 for an empty model): a lower bound on the
+    sustainable per-token period of the pipeline. *)

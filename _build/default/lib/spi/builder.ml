@@ -1,0 +1,53 @@
+type t = { channels : Chan.t list; processes : Process.t list }
+type latency = int * int
+
+let fixed n = (n, n)
+let empty = { channels = []; processes = [] }
+let cid = Ids.Channel_id.of_string
+let pid = Ids.Process_id.of_string
+
+let queue ?capacity ?(initial = 0) name b =
+  let chan =
+    Chan.queue ?capacity
+      ~initial:(Token.replicate initial Token.plain)
+      (cid name)
+  in
+  { b with channels = chan :: b.channels }
+
+let state_queue name ~tag b =
+  let token = Token.make ~tags:(Tag.Set.singleton (Tag.make tag)) () in
+  { b with channels = Chan.queue ~initial:[ token ] (cid name) :: b.channels }
+
+let register name b =
+  { b with channels = Chan.register (cid name) :: b.channels }
+
+let interval_of (lo, hi) = Interval.make lo hi
+
+let worker name ~latency ~consumes ~produces b =
+  let proc =
+    Process.simple
+      ~latency:(interval_of latency)
+      ~consumes:(List.map (fun (c, n) -> (cid c, Interval.point n)) consumes)
+      ~produces:
+        (List.map (fun (c, n) -> (cid c, Mode.produce (Interval.point n))) produces)
+      (pid name)
+  in
+  { b with processes = proc :: b.processes }
+
+let stage name ~latency ~from ~into b =
+  worker name ~latency ~consumes:[ (from, 1) ] ~produces:[ (into, 1) ] b
+
+let source name ~latency ~into ?(count = 1) () b =
+  worker name ~latency ~consumes:[] ~produces:[ (into, count) ] b
+
+let sink name ~latency ~from ?(count = 1) () b =
+  worker name ~latency ~consumes:[ (from, count) ] ~produces:[] b
+
+let add_process proc b = { b with processes = proc :: b.processes }
+let add_channel chan b = { b with channels = chan :: b.channels }
+
+let build b =
+  Model.build ~processes:(List.rev b.processes) ~channels:(List.rev b.channels)
+
+let build_exn b =
+  Model.build_exn ~processes:(List.rev b.processes) ~channels:(List.rev b.channels)

@@ -1,0 +1,67 @@
+(** A terse, pipeline-style model construction API.
+
+    The full constructors ({!Mode.make}, {!Process.make}, {!Model.build})
+    are explicit but verbose for the common case of fixed-rate pipeline
+    processes.  [Builder] trades generality for brevity: names are plain
+    strings, rates plain integers, latencies an integer or a pair.
+
+    {[
+      let model =
+        Spi.Builder.(
+          empty
+          |> queue "in" |> queue ~capacity:8 "mid" |> queue "out"
+          |> stage "decode" ~latency:(2, 4) ~from:"in" ~into:"mid"
+          |> stage "render" ~latency:1 ~from:"mid" ~into:"out"
+          |> build_exn)
+    ]} *)
+
+type t
+(** An under-construction model: channels and processes accumulated so
+    far.  Purely functional; reusing a prefix is safe. *)
+
+type latency = int * int
+(** Inclusive latency bounds; use {!fixed} for points. *)
+
+val fixed : int -> latency
+val empty : t
+
+val queue : ?capacity:int -> ?initial:int -> string -> t -> t
+(** A FIFO channel, optionally bounded and pre-loaded with [initial]
+    plain tokens. *)
+
+val state_queue : string -> tag:string -> t -> t
+(** A queue holding one token tagged [tag] — the self-loop state idiom. *)
+
+val register : string -> t -> t
+
+val stage :
+  string ->
+  latency:latency ->
+  from:string ->
+  into:string ->
+  t ->
+  t
+(** A 1-in/1-out pipeline stage. *)
+
+val source : string -> latency:latency -> into:string -> ?count:int -> unit -> t -> t
+(** A process with no inputs producing [count] (default 1) tokens per
+    execution; remember to give it a firing budget when simulating. *)
+
+val sink : string -> latency:latency -> from:string -> ?count:int -> unit -> t -> t
+
+val worker :
+  string ->
+  latency:latency ->
+  consumes:(string * int) list ->
+  produces:(string * int) list ->
+  t ->
+  t
+(** General fixed-rate process. *)
+
+val add_process : Process.t -> t -> t
+(** Escape hatch for modal processes built with the full API. *)
+
+val add_channel : Chan.t -> t -> t
+
+val build : t -> (Model.t, Model.error list) result
+val build_exn : t -> Model.t

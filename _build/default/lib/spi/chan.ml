@@ -1,0 +1,32 @@
+type kind = Queue | Register
+
+type t = {
+  id : Ids.Channel_id.t;
+  kind : kind;
+  capacity : int option;
+  initial : Token.t list;
+}
+
+let queue ?(initial = []) ?capacity id =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Chan.queue: capacity < 1"
+  | Some c when List.length initial > c ->
+    invalid_arg "Chan.queue: initial contents exceed capacity"
+  | Some _ | None -> ());
+  { id; kind = Queue; capacity; initial }
+
+let register ?initial id =
+  { id; kind = Register; capacity = Some 1; initial = Option.to_list initial }
+
+let id c = c.id
+let rename id c = { c with id }
+let kind c = c.kind
+let capacity c = c.capacity
+let initial c = c.initial
+
+let pp_kind ppf = function
+  | Queue -> Format.pp_print_string ppf "queue"
+  | Register -> Format.pp_print_string ppf "register"
+
+let pp ppf c =
+  Format.fprintf ppf "%a:%a" Ids.Channel_id.pp c.id pp_kind c.kind

@@ -1,0 +1,29 @@
+(** Channel declarations.
+
+    SPI channels are unidirectional and connect exactly one writer to one
+    reader.  A {e queue} is FIFO-ordered with destructive read; a
+    {e register} holds the last written token (destructive write,
+    non-destructive read). *)
+
+type kind =
+  | Queue  (** FIFO, destructive read. *)
+  | Register  (** destructive write, sampling read. *)
+
+type t
+
+val queue : ?initial:Token.t list -> ?capacity:int -> Ids.Channel_id.t -> t
+(** A FIFO channel, optionally bounded ([capacity]) and pre-loaded with
+    [initial] tokens (front of list = first readable).
+    @raise Invalid_argument if [capacity < 1] or the initial contents
+    exceed it. *)
+
+val register : ?initial:Token.t -> Ids.Channel_id.t -> t
+(** A register channel, optionally initialised. *)
+
+val id : t -> Ids.Channel_id.t
+val rename : Ids.Channel_id.t -> t -> t
+val kind : t -> kind
+val capacity : t -> int option
+val initial : t -> Token.t list
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,75 @@
+let prefix name model =
+  let pre s = name ^ "." ^ s in
+  let rename_cid cid = Ids.Channel_id.of_string (pre (Ids.Channel_id.to_string cid)) in
+  let processes =
+    List.map
+      (fun p ->
+        Process.rename
+          (Ids.Process_id.of_string (pre (Ids.Process_id.to_string (Process.id p))))
+          (Process.map_channels rename_cid p))
+      (Model.processes model)
+  in
+  let channels =
+    List.map (fun c -> Chan.rename (rename_cid (Chan.id c)) c) (Model.channels model)
+  in
+  Model.build_exn ~processes ~channels
+
+let rename_channel ~from_ ~to_ model =
+  if Option.is_none (Model.find_channel from_ model) then
+    invalid_arg
+      (Format.asprintf "Compose.rename_channel: unknown channel %a"
+         Ids.Channel_id.pp from_);
+  if Option.is_some (Model.find_channel to_ model) then
+    invalid_arg
+      (Format.asprintf "Compose.rename_channel: %a already exists"
+         Ids.Channel_id.pp to_);
+  let rename cid = if Ids.Channel_id.equal cid from_ then to_ else cid in
+  let processes =
+    List.map (fun p -> Process.map_channels rename p) (Model.processes model)
+  in
+  let channels =
+    List.map
+      (fun c ->
+        if Ids.Channel_id.equal (Chan.id c) from_ then Chan.rename to_ c else c)
+      (Model.channels model)
+  in
+  Model.build_exn ~processes ~channels
+
+exception Compose_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Compose_error m)) fmt
+
+let connect ~left ~right ~joins =
+  List.iter
+    (fun (l, r) ->
+      if Option.is_none (Model.find_channel l left) then
+        error "left model has no channel %a" Ids.Channel_id.pp l;
+      if Option.is_none (Model.find_channel r right) then
+        error "right model has no channel %a" Ids.Channel_id.pp r;
+      if Option.is_some (Model.reader_of l left) then
+        error "channel %a already has a reader on the left" Ids.Channel_id.pp l;
+      if Option.is_some (Model.writer_of r right) then
+        error "channel %a already has a writer on the right" Ids.Channel_id.pp r)
+    joins;
+  (* rename each right-side join channel to its left-side name, dropping
+     the right declaration in favour of the left one *)
+  let rename cid =
+    match List.find_opt (fun (_, r) -> Ids.Channel_id.equal r cid) joins with
+    | Some (l, _) -> l
+    | None -> cid
+  in
+  let right_processes =
+    List.map (fun p -> Process.map_channels rename p) (Model.processes right)
+  in
+  let right_channels =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun (_, r) -> Ids.Channel_id.equal r (Chan.id c))
+             joins))
+      (Model.channels right)
+  in
+  Model.build_exn
+    ~processes:(Model.processes left @ right_processes)
+    ~channels:(Model.channels left @ right_channels)

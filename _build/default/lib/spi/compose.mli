@@ -1,0 +1,37 @@
+(** Model composition.
+
+    Larger SPI models assemble from pieces: a library block is prefixed
+    to avoid name clashes, placed next to the host model, and its
+    boundary channels are connected to the host's.  These utilities
+    implement exactly that — {!prefix} for namespace isolation,
+    {!connect} for gluing a producer model to a consumer model along
+    matching boundary channels. *)
+
+val prefix : string -> Model.t -> Model.t
+(** Renames every process and channel to ["<prefix>.<name>"].  The
+    result is structurally identical. *)
+
+val rename_channel :
+  from_:Ids.Channel_id.t -> to_:Ids.Channel_id.t -> Model.t -> Model.t
+(** Renames one channel everywhere (declaration, rates, activation
+    guards).
+    @raise Invalid_argument when [from_] is absent or [to_] already
+    exists. *)
+
+exception Compose_error of string
+
+val connect :
+  left:Model.t ->
+  right:Model.t ->
+  joins:(Ids.Channel_id.t * Ids.Channel_id.t) list ->
+  Model.t
+(** [connect ~left ~right ~joins] places both models side by side and
+    fuses each pair [(l, r)] of [joins] into one channel named [l]: the
+    tokens [left] produces on [l] become [right]'s input that was
+    declared as [r].  Requirements, checked before fusing: [l] must be
+    unread in [left], [r] unwritten in [right], and the two ids distinct
+    model-wide after fusion.  [r]'s declaration is dropped in favour of
+    [l]'s (capacity and initial tokens follow the producer side).
+    @raise Compose_error when a requirement fails;
+    @raise Invalid_argument when the fused model is structurally
+    invalid (e.g. remaining name clashes — prefix one side first). *)

@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  from_ : Ids.Process_id.t;
+  to_ : Ids.Process_id.t;
+  bound : int;
+}
+
+let latency_path ~name ~from_ ~to_ ~bound = { name; from_; to_; bound }
+
+type outcome =
+  | Satisfied of { worst : int; slack : int }
+  | Violated of { worst : int; excess : int }
+  | Unreachable
+  | Cyclic of Ids.Process_id.t list
+
+module T = Graphlib.Traverse.Make (Model.Graph)
+
+(* Restrict the bipartite graph to the nodes lying on some path from
+   [from_] to [to_]: the intersection of the forward-reachable set of
+   [from_] with the backward-reachable set of [to_].  Within that
+   restriction [from_] is the unique source, so the longest-path weights
+   at [to_] give the worst-case accumulated latency. *)
+let check ~latency_of model c =
+  let g = Model.to_graph model in
+  let src = Model.P c.from_ and dst = Model.P c.to_ in
+  if not (Model.Graph.mem_node src g && Model.Graph.mem_node dst g) then
+    Unreachable
+  else
+    let forward = T.reachable src g in
+    let backward = T.reachable dst (Model.Graph.transpose g) in
+    let relevant = Model.Graph.Node_set.inter forward backward in
+    if not (Model.Graph.Node_set.mem dst relevant) then Unreachable
+    else
+      let restricted =
+        Model.Graph.fold_edges
+          (fun u v acc ->
+            if
+              Model.Graph.Node_set.mem u relevant
+              && Model.Graph.Node_set.mem v relevant
+            then Model.Graph.add_edge u v acc
+            else acc)
+          g
+          (Model.Graph.Node_set.fold Model.Graph.add_node relevant
+             Model.Graph.empty)
+      in
+      let weight = function
+        | Model.P pid -> latency_of pid
+        | Model.C _ -> 0
+      in
+      match T.longest_path_weights ~weight restricted with
+      | Error cycle ->
+        let procs =
+          List.filter_map
+            (function Model.P pid -> Some pid | Model.C _ -> None)
+            cycle
+        in
+        Cyclic procs
+      | Ok weights ->
+        let worst = Model.Graph.Node_map.find dst weights in
+        if worst <= c.bound then Satisfied { worst; slack = c.bound - worst }
+        else Violated { worst; excess = worst - c.bound }
+
+let check_all ~latency_of model cs =
+  List.map (fun c -> (c, check ~latency_of model c)) cs
+
+let all_satisfied outcomes =
+  List.for_all
+    (fun (_, o) -> match o with Satisfied _ -> true | Violated _ | Unreachable | Cyclic _ -> false)
+    outcomes
+
+let pp_outcome ppf = function
+  | Satisfied { worst; slack } ->
+    Format.fprintf ppf "satisfied (worst %d, slack %d)" worst slack
+  | Violated { worst; excess } ->
+    Format.fprintf ppf "VIOLATED (worst %d, excess %d)" worst excess
+  | Unreachable -> Format.pp_print_string ppf "unreachable"
+  | Cyclic procs ->
+    Format.fprintf ppf "cyclic through %a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Ids.Process_id.pp)
+      procs
+
+let pp ppf c =
+  Format.fprintf ppf "%s: %a ~> %a within %d" c.name Ids.Process_id.pp c.from_
+    Ids.Process_id.pp c.to_ c.bound

@@ -1,0 +1,38 @@
+(** Timing constraints and a constructive compliance check.
+
+    SPI defines timing constraints together with a constructive method to
+    check them.  We support end-to-end latency-path constraints: the
+    accumulated worst-case process latency along any channel path from a
+    source process to a sink process must stay within a bound.  The check
+    is parameterised over a per-process latency estimate so the same
+    constraint can be checked for the unmapped model (using interval
+    upper bounds) and for a synthesis binding (using implementation
+    WCETs). *)
+
+type t = {
+  name : string;
+  from_ : Ids.Process_id.t;
+  to_ : Ids.Process_id.t;
+  bound : int;  (** maximum accumulated latency, in model time units *)
+}
+
+val latency_path : name:string -> from_:Ids.Process_id.t -> to_:Ids.Process_id.t -> bound:int -> t
+
+type outcome =
+  | Satisfied of { worst : int; slack : int }
+  | Violated of { worst : int; excess : int }
+  | Unreachable  (** no channel path links [from_] to [to_] *)
+  | Cyclic of Ids.Process_id.t list
+      (** latency is unbounded along a process cycle touching the path *)
+
+val check :
+  latency_of:(Ids.Process_id.t -> int) -> Model.t -> t -> outcome
+(** Worst-case path latency between the two processes over the bipartite
+    graph (channels add no latency), compared against [bound]. *)
+
+val check_all :
+  latency_of:(Ids.Process_id.t -> int) -> Model.t -> t list -> (t * outcome) list
+
+val all_satisfied : (t * outcome) list -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp : Format.formatter -> t -> unit

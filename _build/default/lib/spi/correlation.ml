@@ -1,0 +1,151 @@
+type scenario = {
+  scenario_name : string;
+  assignment : (Ids.Process_id.t * Ids.Mode_id.t) list;
+}
+
+let scenario scenario_name assignment = { scenario_name; assignment }
+
+type t = scenario list
+
+let make scenarios =
+  if scenarios = [] then invalid_arg "Correlation.make: no scenarios";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.scenario_name then
+        invalid_arg
+          (Format.sprintf "Correlation: duplicate scenario %s" s.scenario_name);
+      Hashtbl.add seen s.scenario_name ();
+      ignore
+        (List.fold_left
+           (fun acc (pid, _) ->
+             if Ids.Process_id.Set.mem pid acc then
+               invalid_arg
+                 (Format.asprintf
+                    "Correlation: scenario %s assigns %a twice" s.scenario_name
+                    Ids.Process_id.pp pid)
+             else Ids.Process_id.Set.add pid acc)
+           Ids.Process_id.Set.empty s.assignment))
+    scenarios;
+  scenarios
+
+let scenarios t = t
+
+type error =
+  | Unknown_process of string * Ids.Process_id.t
+  | Unknown_mode of string * Ids.Process_id.t * Ids.Mode_id.t
+
+let pp_error ppf = function
+  | Unknown_process (s, p) ->
+    Format.fprintf ppf "scenario %s: unknown process %a" s Ids.Process_id.pp p
+  | Unknown_mode (s, p, m) ->
+    Format.fprintf ppf "scenario %s: process %a has no mode %a" s
+      Ids.Process_id.pp p Ids.Mode_id.pp m
+
+let validate_against model t =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun (pid, mid) ->
+          match Model.find_process pid model with
+          | None -> Some (Unknown_process (s.scenario_name, pid))
+          | Some proc ->
+            if Option.is_none (Process.find_mode mid proc) then
+              Some (Unknown_mode (s.scenario_name, pid, mid))
+            else None)
+        s.assignment)
+    t
+
+let scenario_latency_of model s pid =
+  let proc = Model.get_process pid model in
+  match List.find_opt (fun (p, _) -> Ids.Process_id.equal p pid) s.assignment with
+  | None -> Interval.hi (Process.latency_hull proc)
+  | Some (_, mid) -> (
+    match Process.find_mode mid proc with
+    | Some mode -> Interval.hi (Mode.latency mode)
+    | None -> Interval.hi (Process.latency_hull proc))
+
+let check model t constraint_ =
+  List.map
+    (fun s ->
+      ( s.scenario_name,
+        Constraint_.check ~latency_of:(scenario_latency_of model s) model
+          constraint_ ))
+    t
+
+let outcome_severity = function
+  | Constraint_.Cyclic _ -> 3
+  | Constraint_.Violated _ -> 2
+  | Constraint_.Satisfied _ -> 1
+  | Constraint_.Unreachable -> 0
+
+let outcome_worst = function
+  | Constraint_.Satisfied { worst; _ } | Constraint_.Violated { worst; _ } ->
+    worst
+  | Constraint_.Unreachable | Constraint_.Cyclic _ -> 0
+
+let worst_case model t constraint_ =
+  match check model t constraint_ with
+  | [] -> Constraint_.Unreachable
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun acc (_, o) ->
+        let c = Int.compare (outcome_severity o) (outcome_severity acc) in
+        if c > 0 then o
+        else if c = 0 && outcome_worst o > outcome_worst acc then o
+        else acc)
+      first rest
+
+let hull_outcome model constraint_ =
+  let latency_of pid =
+    Interval.hi (Process.latency_hull (Model.get_process pid model))
+  in
+  Constraint_.check ~latency_of model constraint_
+
+(* positive First_has_tag atoms of a guard, as (channel, tag) pairs;
+   conservative: only conjunctive structure is traversed *)
+let rec required_tags = function
+  | Predicate.Atom (Predicate.First_has_tag (c, t)) -> [ (c, t) ]
+  | Predicate.And (p, q) -> required_tags p @ required_tags q
+  | Predicate.Atom (Predicate.Num_at_least _)
+  | Predicate.True | Predicate.False | Predicate.Or _ | Predicate.Not _ -> []
+
+let infer ~channel model =
+  let tags = Hashtbl.create 8 in
+  List.iter
+    (fun proc ->
+      List.iter
+        (fun rule ->
+          List.iter
+            (fun (c, t) ->
+              if Ids.Channel_id.equal c channel then
+                let key = Tag.name t in
+                let assignments =
+                  Option.value ~default:[] (Hashtbl.find_opt tags key)
+                in
+                Hashtbl.replace tags key
+                  ((Process.id proc, Activation.target_mode rule) :: assignments))
+            (required_tags (Activation.guard rule)))
+        (Activation.rules (Process.activation proc)))
+    (Model.processes model);
+  let entries =
+    Hashtbl.fold (fun tag assignment acc -> (tag, assignment) :: acc) tags []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if List.length entries < 2 then None
+  else
+    Some
+      (make
+         (List.map
+            (fun (tag, assignment) ->
+              (* a process may appear once per scenario: keep the first
+                 rule's mode (rule order = priority) *)
+              let deduped =
+                List.fold_left
+                  (fun acc (pid, mid) ->
+                    if List.mem_assoc pid acc then acc else (pid, mid) :: acc)
+                  []
+                  (List.rev assignment)
+              in
+              scenario ("tag:" ^ tag) (List.rev deduped))
+            entries))

@@ -1,0 +1,67 @@
+(** Process mode correlation (the SPI companion technique of [9],
+    "Representation of process mode correlation for scheduling").
+
+    Interval hulls over independent mode choices are sound but loose:
+    if p1's mode [ma] always drives p2 into [m1] (as the tags of
+    Figure 1 arrange), the joint behaviours {[ma, m2]} and {[mb, m1]}
+    never occur, yet a hull-based analysis pays for them.  A
+    {e correlation} declares the feasible joint mode assignments
+    (scenarios); scenario-wise analysis then takes the worst case over
+    the declared scenarios only. *)
+
+type scenario = {
+  scenario_name : string;
+  assignment : (Ids.Process_id.t * Ids.Mode_id.t) list;
+      (** the mode each covered process runs in this scenario;
+          processes absent from the assignment are unconstrained *)
+}
+
+val scenario :
+  string -> (Ids.Process_id.t * Ids.Mode_id.t) list -> scenario
+
+type t
+
+val make : scenario list -> t
+(** @raise Invalid_argument on duplicate scenario names, an empty
+    scenario list, or a process assigned twice within one scenario. *)
+
+val scenarios : t -> scenario list
+
+type error =
+  | Unknown_process of string * Ids.Process_id.t
+  | Unknown_mode of string * Ids.Process_id.t * Ids.Mode_id.t
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate_against : Model.t -> t -> error list
+(** Every assigned process and mode must exist in the model. *)
+
+val scenario_latency_of :
+  Model.t -> scenario -> Ids.Process_id.t -> int
+(** Worst-case latency of a process under the scenario: the upper bound
+    of its assigned mode's latency, or of its latency hull when the
+    scenario leaves it unconstrained. *)
+
+val check :
+  Model.t -> t -> Constraint_.t -> (string * Constraint_.outcome) list
+(** The constraint checked once per scenario with scenario-wise
+    latencies; the overall verdict is the worst scenario. *)
+
+val worst_case :
+  Model.t -> t -> Constraint_.t -> Constraint_.outcome
+(** The scenario with the largest worst-case path latency (violations
+    dominate satisfactions). *)
+
+val hull_outcome : Model.t -> Constraint_.t -> Constraint_.outcome
+(** The baseline: the same constraint under hull (uncorrelated)
+    latencies — never tighter than {!worst_case}. *)
+
+val infer : channel:Ids.Channel_id.t -> Model.t -> t option
+(** Derives scenarios from tag-driven activation, the mechanism that
+    makes Figure 1's [p2] determinate: for each tag tested on [channel]
+    by some activation rule, one scenario assigns every process whose
+    rule requires that tag the corresponding mode.  [None] when fewer
+    than two distinct tags are tested (no correlation to exploit).
+    Sound when the tags are mutually exclusive on the wire — which the
+    producer's modes decide; the caller asserts it by using the
+    result. *)

@@ -1,0 +1,37 @@
+module type ID = sig
+  type t
+
+  val of_string : string -> t
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+module Make_id () : ID = struct
+  type t = string
+
+  let of_string s =
+    if String.length s = 0 then invalid_arg "Ids: empty identifier" else s
+
+  let to_string s = s
+  let equal = String.equal
+  let compare = String.compare
+  let pp = Format.pp_print_string
+
+  module Set = Set.Make (String)
+  module Map = Map.Make (String)
+end
+
+module Process_id = Make_id ()
+module Channel_id = Make_id ()
+module Mode_id = Make_id ()
+module Rule_id = Make_id ()
+module Port_id = Make_id ()
+module Cluster_id = Make_id ()
+module Interface_id = Make_id ()
+module Config_id = Make_id ()
+module Resource_id = Make_id ()

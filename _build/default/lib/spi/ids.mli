@@ -1,0 +1,30 @@
+(** Typed identifiers.
+
+    Every kind of SPI entity (process, channel, mode, …) gets its own
+    abstract identifier type so that, e.g., a mode id can never be used
+    where a channel id is expected.  Identifiers wrap non-empty names. *)
+
+module type ID = sig
+  type t
+
+  val of_string : string -> t
+  (** @raise Invalid_argument on the empty string. *)
+
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+module Process_id : ID
+module Channel_id : ID
+module Mode_id : ID
+module Rule_id : ID
+module Port_id : ID
+module Cluster_id : ID
+module Interface_id : ID
+module Config_id : ID
+module Resource_id : ID

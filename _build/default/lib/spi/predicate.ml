@@ -1,0 +1,117 @@
+type atom =
+  | Num_at_least of Ids.Channel_id.t * int
+  | First_has_tag of Ids.Channel_id.t * Tag.t
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type view = {
+  tokens_available : Ids.Channel_id.t -> int;
+  first_tags : Ids.Channel_id.t -> Tag.Set.t option;
+}
+
+let num_at_least chan k = Atom (Num_at_least (chan, k))
+let has_tag chan tag = Atom (First_has_tag (chan, tag))
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> False
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let eval_atom view = function
+  | Num_at_least (chan, k) -> view.tokens_available chan >= k
+  | First_has_tag (chan, tag) -> (
+    match view.first_tags chan with
+    | None -> false
+    | Some tags -> Tag.Set.mem tag tags)
+
+let rec eval view = function
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom view a
+  | And (p, q) -> eval view p && eval view q
+  | Or (p, q) -> eval view p || eval view q
+  | Not p -> not (eval view p)
+
+let atom_channel = function
+  | Num_at_least (chan, _) | First_has_tag (chan, _) -> chan
+
+let rec channels = function
+  | True | False -> Ids.Channel_id.Set.empty
+  | Atom a -> Ids.Channel_id.Set.singleton (atom_channel a)
+  | And (p, q) | Or (p, q) ->
+    Ids.Channel_id.Set.union (channels p) (channels q)
+  | Not p -> channels p
+
+let rec tags_tested = function
+  | True | False | Atom (Num_at_least _) -> Tag.Set.empty
+  | Atom (First_has_tag (_, tag)) -> Tag.Set.singleton tag
+  | And (p, q) | Or (p, q) -> Tag.Set.union (tags_tested p) (tags_tested q)
+  | Not p -> tags_tested p
+
+let map_atom_channels f = function
+  | Num_at_least (chan, k) -> Num_at_least (f chan, k)
+  | First_has_tag (chan, tag) -> First_has_tag (f chan, tag)
+
+let rec map_channels f = function
+  | True -> True
+  | False -> False
+  | Atom a -> Atom (map_atom_channels f a)
+  | And (p, q) -> And (map_channels f p, map_channels f q)
+  | Or (p, q) -> Or (map_channels f p, map_channels f q)
+  | Not p -> Not (map_channels f p)
+
+(* A literal is an atom or a negated atom; [conj_literals] is [None] when
+   the predicate is not a pure conjunction of literals. *)
+type literal = Pos of atom | Neg of atom
+
+let rec conj_literals = function
+  | True -> Some []
+  | False -> None
+  | Atom a -> Some [ Pos a ]
+  | Not (Atom a) -> Some [ Neg a ]
+  | And (p, q) -> (
+    match conj_literals p, conj_literals q with
+    | Some ls, Some ms -> Some (ls @ ms)
+    | None, _ | _, None -> None)
+  | Or _ | Not _ -> None
+
+let literals_contradict a b =
+  match a, b with
+  | Pos (Num_at_least (c1, k)), Neg (Num_at_least (c2, j))
+  | Neg (Num_at_least (c2, j)), Pos (Num_at_least (c1, k)) ->
+    (* [num >= k] and [not (num >= j)] contradict when j <= k. *)
+    Ids.Channel_id.equal c1 c2 && j <= k
+  | Pos (First_has_tag (c1, t1)), Neg (First_has_tag (c2, t2))
+  | Neg (First_has_tag (c2, t2)), Pos (First_has_tag (c1, t1)) ->
+    Ids.Channel_id.equal c1 c2 && Tag.equal t1 t2
+  | Pos _, Pos _ | Neg _, Neg _ -> false
+  | Pos (Num_at_least _), Neg (First_has_tag _)
+  | Neg (First_has_tag _), Pos (Num_at_least _)
+  | Pos (First_has_tag _), Neg (Num_at_least _)
+  | Neg (Num_at_least _), Pos (First_has_tag _) -> false
+
+let syntactically_disjoint p q =
+  match conj_literals p, conj_literals q with
+  | Some ls, Some ms ->
+    List.exists (fun l -> List.exists (literals_contradict l) ms) ls
+  | None, _ | _, None -> false
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (Num_at_least (chan, k)) ->
+    Format.fprintf ppf "%a#num>=%d" Ids.Channel_id.pp chan k
+  | Atom (First_has_tag (chan, tag)) ->
+    Format.fprintf ppf "'%a'@@%a" Tag.pp tag Ids.Channel_id.pp chan
+  | And (p, q) -> Format.fprintf ppf "(%a /\\ %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a \\/ %a)" pp p pp q
+  | Not p -> Format.fprintf ppf "~%a" pp p

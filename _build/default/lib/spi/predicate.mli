@@ -1,0 +1,54 @@
+(** Input-token predicates.
+
+    Activation rules and cluster selection rules guard on the state of a
+    process's input channels: the number of available tokens and the tag
+    set of the first visible token (paper, Section 2).  Predicates are a
+    small boolean algebra over those two atoms. *)
+
+type atom =
+  | Num_at_least of Ids.Channel_id.t * int
+      (** [c#num >= k]: at least [k] tokens are available on [c]. *)
+  | First_has_tag of Ids.Channel_id.t * Tag.t
+      (** ['t' in c#tag]: the first visible token on [c] carries the tag. *)
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** How a predicate observes channel state.  [first_tags] is [None] when
+    the channel holds no visible token. *)
+type view = {
+  tokens_available : Ids.Channel_id.t -> int;
+  first_tags : Ids.Channel_id.t -> Tag.Set.t option;
+}
+
+val num_at_least : Ids.Channel_id.t -> int -> t
+val has_tag : Ids.Channel_id.t -> Tag.t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+val eval : view -> t -> bool
+(** A [First_has_tag] atom on an empty channel is false (no visible
+    token, hence no tag, matching the paper: "if there is no tag on the
+    first visible token … no activation rule is enabled"). *)
+
+val channels : t -> Ids.Channel_id.Set.t
+(** Channels the predicate observes. *)
+
+val tags_tested : t -> Tag.Set.t
+
+val map_channels : (Ids.Channel_id.t -> Ids.Channel_id.t) -> t -> t
+(** Renames every channel reference; used when clusters are instantiated
+    against interface ports. *)
+
+val syntactically_disjoint : t -> t -> bool
+(** A sound but incomplete test that two predicates can never hold
+    simultaneously: true when both are conjunctions of atoms that demand
+    a different tag on the first token of a common channel.  Used to
+    warn about (not reject) potentially ambiguous rule sets. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = string
+
+let make s = if String.length s = 0 then invalid_arg "Tag.make: empty tag" else s
+let name t = t
+let equal = String.equal
+let compare = String.compare
+let pp = Format.pp_print_string
+
+module Set = struct
+  include Set.Make (String)
+
+  let pp ppf set =
+    Format.fprintf ppf "{%s}" (String.concat ", " (elements set))
+end
+
+let set_of_list names = Set.of_list (List.map make names)

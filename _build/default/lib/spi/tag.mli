@@ -1,0 +1,24 @@
+(** Virtual mode tags.
+
+    Processes attach tags to produced tokens to expose the content
+    information that activation rules and cluster selection functions
+    test (the SPI model otherwise abstracts data to token counts). *)
+
+type t
+
+val make : string -> t
+(** @raise Invalid_argument on the empty string. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints [{a, b}]. *)
+end
+
+val set_of_list : string list -> Set.t

@@ -1,0 +1,21 @@
+type t = { tags : Tag.Set.t; payload : int option }
+
+let plain = { tags = Tag.Set.empty; payload = None }
+let make ?(tags = Tag.Set.empty) ?payload () = { tags; payload }
+let tags t = t.tags
+let payload t = t.payload
+let with_tags tags t = { t with tags }
+let add_tag tag t = { t with tags = Tag.Set.add tag t.tags }
+let has_tag tag t = Tag.Set.mem tag t.tags
+
+let equal a b =
+  Tag.Set.equal a.tags b.tags && Option.equal Int.equal a.payload b.payload
+
+let pp ppf t =
+  match t.payload with
+  | None -> Format.fprintf ppf "tok%a" Tag.Set.pp t.tags
+  | Some p -> Format.fprintf ppf "tok#%d%a" p Tag.Set.pp t.tags
+
+let replicate n tok =
+  if n < 0 then invalid_arg "Token.replicate: negative count"
+  else List.init n (fun _ -> tok)

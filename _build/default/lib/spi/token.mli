@@ -1,0 +1,26 @@
+(** Abstract data tokens.
+
+    SPI abstracts communicated data to its amount; a token carries only a
+    tag set (content information made visible to activation and cluster
+    selection functions) plus an optional payload identifier that the
+    simulator's observers use to follow individual tokens (e.g. image
+    numbers in the video example).  The payload never influences model
+    semantics. *)
+
+type t
+
+val plain : t
+(** A token with no tags and no payload. *)
+
+val make : ?tags:Tag.Set.t -> ?payload:int -> unit -> t
+val tags : t -> Tag.Set.t
+val payload : t -> int option
+val with_tags : Tag.Set.t -> t -> t
+val add_tag : Tag.t -> t -> t
+val has_tag : Tag.t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val replicate : int -> t -> t list
+(** [replicate n tok] is [n] copies of [tok]. @raise Invalid_argument if
+    [n < 0]. *)

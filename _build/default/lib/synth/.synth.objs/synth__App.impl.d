@@ -1,0 +1,1 @@
+lib/synth/app.ml: Format List Spi String Variants

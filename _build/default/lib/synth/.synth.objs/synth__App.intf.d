@@ -1,0 +1,1 @@
+lib/synth/app.mli: Format Spi Variants

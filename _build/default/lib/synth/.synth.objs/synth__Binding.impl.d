@@ -1,0 +1,1 @@
+lib/synth/binding.ml: Format List Spi

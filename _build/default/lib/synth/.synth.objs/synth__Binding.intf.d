@@ -1,0 +1,1 @@
+lib/synth/binding.mli: Format Spi

@@ -1,0 +1,1 @@
+lib/synth/cost.ml: Binding Format List Spi String Tech

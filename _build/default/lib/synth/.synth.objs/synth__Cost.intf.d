@@ -1,0 +1,1 @@
+lib/synth/cost.mli: Binding Format Spi Tech

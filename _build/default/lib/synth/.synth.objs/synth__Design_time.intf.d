@@ -1,0 +1,1 @@
+lib/synth/design_time.mli: App

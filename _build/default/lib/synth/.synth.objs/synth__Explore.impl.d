@@ -1,0 +1,1 @@
+lib/synth/explore.ml: App Array Binding Cost Format Schedule Spi Tech

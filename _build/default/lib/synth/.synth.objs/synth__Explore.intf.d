@@ -1,0 +1,1 @@
+lib/synth/explore.mli: App Binding Cost Format Tech

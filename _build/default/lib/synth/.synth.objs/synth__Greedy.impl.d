@@ -1,0 +1,1 @@
+lib/synth/greedy.ml: App Binding Cost Explore Int List Option Schedule Spi Tech

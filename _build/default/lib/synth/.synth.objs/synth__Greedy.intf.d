@@ -1,0 +1,1 @@
+lib/synth/greedy.mli: App Binding Cost Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/list_schedule.ml: Binding Format Graphlib Hashtbl Int List Option Spi String Timing

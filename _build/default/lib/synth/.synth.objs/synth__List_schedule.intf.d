@@ -1,0 +1,1 @@
+lib/synth/list_schedule.mli: Binding Format Spi Tech Timing

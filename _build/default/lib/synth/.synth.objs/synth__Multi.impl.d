@@ -1,0 +1,1 @@
+lib/synth/multi.ml: App Array Binding Format Fun List Option Spi String Tech

@@ -1,0 +1,1 @@
+lib/synth/multi.mli: App Binding Format Spi Tech

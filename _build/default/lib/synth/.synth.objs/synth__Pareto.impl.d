@@ -1,0 +1,1 @@
+lib/synth/pareto.ml: App Binding Cost Format Int List Schedule Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/pareto.mli: App Binding Format Tech

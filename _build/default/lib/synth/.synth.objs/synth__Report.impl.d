@@ -1,0 +1,1 @@
+lib/synth/report.ml: App Binding Cost Design_time Explore Format List List_schedule Pareto Serial Spi Superpose Tech Timing

@@ -1,0 +1,1 @@
+lib/synth/report.mli: App Explore Format List_schedule Pareto Spi Superpose Tech

@@ -1,0 +1,1 @@
+lib/synth/rta.ml: Binding Format Int List Spi Tech

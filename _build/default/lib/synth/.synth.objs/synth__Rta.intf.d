@@ -1,0 +1,1 @@
+lib/synth/rta.mli: Binding Format Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/schedule.ml: App Binding Format List Option Spi Tech

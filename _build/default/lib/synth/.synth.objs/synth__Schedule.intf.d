@@ -1,0 +1,1 @@
+lib/synth/schedule.mli: App Binding Format Spi Tech

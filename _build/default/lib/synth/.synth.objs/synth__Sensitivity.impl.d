@@ -1,0 +1,1 @@
+lib/synth/sensitivity.ml: Binding Explore Format Option Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/sensitivity.mli: App Binding Format Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/serial.ml: App Binding Cost Explore List Spi

@@ -1,0 +1,1 @@
+lib/synth/serial.mli: App Binding Cost Explore Tech

@@ -1,0 +1,1 @@
+lib/synth/superpose.ml: App Binding Cost Explore Format List Option Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/superpose.mli: App Binding Cost Explore Format Spi Tech

@@ -1,0 +1,1 @@
+lib/synth/tech.ml: Format List Spi

@@ -1,0 +1,1 @@
+lib/synth/tech.mli: Format Spi

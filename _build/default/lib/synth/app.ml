@@ -1,0 +1,32 @@
+module I = Spi.Ids
+
+type t = { name : string; procs : I.Process_id.Set.t }
+
+let make name pids = { name; procs = I.Process_id.Set.of_list pids }
+
+let of_model name model =
+  make name (List.map Spi.Process.id (Spi.Model.processes model))
+
+let of_system system =
+  List.map
+    (fun (clusters, model) ->
+      let name =
+        String.concat "+" (List.map I.Cluster_id.to_string clusters)
+      in
+      of_model name model)
+    (Variants.Flatten.applications system)
+
+let union_procs apps =
+  List.fold_left
+    (fun acc a -> I.Process_id.Set.union acc a.procs)
+    I.Process_id.Set.empty apps
+
+let shared_procs = function
+  | [] -> I.Process_id.Set.empty
+  | a :: rest ->
+    List.fold_left (fun acc b -> I.Process_id.Set.inter acc b.procs) a.procs rest
+
+let pp ppf a =
+  Format.fprintf ppf "%s: {%s}" a.name
+    (String.concat ", "
+       (List.map I.Process_id.to_string (I.Process_id.Set.elements a.procs)))

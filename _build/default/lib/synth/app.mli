@@ -1,0 +1,27 @@
+(** Applications: the process sets synthesis reasons about.
+
+    An application is one derivable product of a system with variants —
+    the common part plus one cluster per interface (Section 5's
+    "Application 1" and "Application 2").  Mutually exclusive variants
+    never run together, so schedulability is checked per application
+    while cost is paid over the union of all applications. *)
+
+type t = {
+  name : string;
+  procs : Spi.Ids.Process_id.Set.t;
+}
+
+val make : string -> Spi.Ids.Process_id.t list -> t
+val of_model : string -> Spi.Model.t -> t
+
+val of_system : Variants.System.t -> t list
+(** One application per variant combination, named after the chosen
+    clusters; process ids are the flattened ids, so processes of the
+    common part coincide across applications while cluster processes
+    are distinct per variant. *)
+
+val union_procs : t list -> Spi.Ids.Process_id.Set.t
+val shared_procs : t list -> Spi.Ids.Process_id.Set.t
+(** Intersection over all applications. *)
+
+val pp : Format.formatter -> t -> unit

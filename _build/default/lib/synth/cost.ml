@@ -1,0 +1,35 @@
+module I = Spi.Ids
+
+type breakdown = {
+  processor : int;
+  asics : (I.Process_id.t * int) list;
+  total : int;
+}
+
+let of_binding tech binding =
+  let sw = Binding.sw_processes binding in
+  let processor =
+    if I.Process_id.Set.is_empty sw then 0 else Tech.processor_cost tech
+  in
+  let asics =
+    I.Process_id.Set.fold
+      (fun pid acc ->
+        match (Tech.options_of tech pid).Tech.hw with
+        | Some { Tech.area } -> (pid, area) :: acc
+        | None -> raise Not_found)
+      (Binding.hw_processes binding)
+      []
+  in
+  let asics = List.rev asics in
+  let total = processor + List.fold_left (fun acc (_, a) -> acc + a) 0 asics in
+  { processor; asics; total }
+
+let total tech binding = (of_binding tech binding).total
+
+let pp ppf b =
+  Format.fprintf ppf "processor=%d asics=[%s] total=%d" b.processor
+    (String.concat "; "
+       (List.map
+          (fun (p, a) -> Format.asprintf "%a:%d" I.Process_id.pp p a)
+          b.asics))
+    b.total

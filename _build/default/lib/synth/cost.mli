@@ -1,0 +1,21 @@
+(** The cost model of Table 1.
+
+    Total system cost = processor cost (paid once when at least one
+    process runs in software) + the ASIC area of every
+    hardware-mapped process.  Because a process is one model element
+    even when it appears in several applications, shared hardware is
+    automatically counted once, while distinct variants in hardware
+    add up — the superposition penalty. *)
+
+type breakdown = {
+  processor : int;  (** 0 when nothing is in software *)
+  asics : (Spi.Ids.Process_id.t * int) list;
+  total : int;
+}
+
+val of_binding : Tech.t -> Binding.t -> breakdown
+(** @raise Not_found if a hardware-mapped process is missing from the
+    library or lacks a hardware option. *)
+
+val total : Tech.t -> Binding.t -> int
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,15 @@
+let decisions_independent apps =
+  List.fold_left
+    (fun acc (a : App.t) -> acc + Spi.Ids.Process_id.Set.cardinal a.App.procs)
+    0 apps
+
+let decisions_variant_aware apps =
+  Spi.Ids.Process_id.Set.cardinal (App.union_procs apps)
+
+let time ?(effort_per_decision = 6) ?(fixed_overhead = 1) ~decisions () =
+  fixed_overhead + (effort_per_decision * decisions)
+
+let speedup apps =
+  let ind = decisions_independent apps
+  and va = decisions_variant_aware apps in
+  if va = 0 then 1.0 else float_of_int ind /. float_of_int va

@@ -1,0 +1,23 @@
+(** The design-time model of Section 5.
+
+    "When synthesizing n systems individually, a process that occurs in
+    all applications … has to be considered n times.  In the proposed
+    approach, such processes need to be considered only once during the
+    synthesis of all applications."  Design time is therefore modeled as
+    the number of synthesis decisions — one per process considered —
+    scaled by a per-decision effort. *)
+
+val decisions_independent : App.t list -> int
+(** Sum over applications of their process counts. *)
+
+val decisions_variant_aware : App.t list -> int
+(** Size of the union of all applications' process sets. *)
+
+val time :
+  ?effort_per_decision:int -> ?fixed_overhead:int -> decisions:int -> unit -> int
+(** [fixed_overhead] models per-synthesis-run setup (defaults 6 and 1,
+    calibrated in the Table 1 bench). *)
+
+val speedup : App.t list -> float
+(** [decisions_independent / decisions_variant_aware] — expected
+    design-time ratio; > 1 whenever applications overlap. *)

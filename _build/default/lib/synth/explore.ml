@@ -1,0 +1,89 @@
+module I = Spi.Ids
+
+type solution = {
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  worst_load : int;
+  explored : int;
+}
+
+(* Branch and bound.  Search state: prefix of decided processes, per-
+   application accumulated software load, accumulated ASIC area, and
+   whether any process went to software (the processor cost trigger).
+   Lower bound of a partial assignment: area so far + processor cost if
+   any software so far — every completion only adds cost.  A partial
+   assignment dies as soon as one application's load exceeds capacity
+   (software loads only grow). *)
+let optimal ?(capacity = Schedule.default_capacity) ?(fixed = Binding.empty)
+    ?(accept = fun _ -> true) tech apps =
+  let procs = I.Process_id.Set.elements (App.union_procs apps) in
+  let apps = Array.of_list apps in
+  let membership pid =
+    Array.map (fun (a : App.t) -> I.Process_id.Set.mem pid a.App.procs) apps
+  in
+  let explored = ref 0 in
+  let best = ref None in
+  let best_cost = ref max_int in
+  let loads = Array.make (Array.length apps) 0 in
+  let rec search remaining binding area any_sw =
+    incr explored;
+    let lower = area + if any_sw then Tech.processor_cost tech else 0 in
+    if lower >= !best_cost then ()
+    else
+      match remaining with
+      | [] ->
+        let worst = Array.fold_left max 0 loads in
+        let cost = lower in
+        if cost < !best_cost && accept binding then begin
+          best_cost := cost;
+          best := Some (binding, worst)
+        end
+      | pid :: rest ->
+        let options = Tech.options_of tech pid in
+        let member = membership pid in
+        let allowed impl =
+          match Binding.impl_of pid fixed with
+          | None -> true
+          | Some f -> f = impl
+        in
+        (* Hardware first: it can only help schedulability, and trying
+           the cheaper completion early tightens the bound. *)
+        (match options.Tech.hw with
+        | Some { Tech.area = a } when allowed Binding.Hw ->
+          search rest (Binding.bind pid Binding.Hw binding) (area + a) any_sw
+        | Some _ | None -> ());
+        (match options.Tech.sw with
+        | Some { Tech.load } when allowed Binding.Sw ->
+          let ok = ref true in
+          Array.iteri
+            (fun i m ->
+              if m then begin
+                loads.(i) <- loads.(i) + load;
+                if loads.(i) > capacity then ok := false
+              end)
+            member;
+          if !ok then
+            search rest (Binding.bind pid Binding.Sw binding) area true;
+          Array.iteri (fun i m -> if m then loads.(i) <- loads.(i) - load) member
+        | Some _ | None -> ())
+  in
+  search procs Binding.empty 0 false;
+  match !best with
+  | None -> None
+  | Some (binding, worst_load) ->
+    Some
+      {
+        binding;
+        cost = Cost.of_binding tech binding;
+        worst_load;
+        explored = !explored;
+      }
+
+let optimal_exn ?capacity ?fixed ?accept tech apps =
+  match optimal ?capacity ?fixed ?accept tech apps with
+  | Some s -> s
+  | None -> failwith "Explore.optimal: no feasible binding"
+
+let pp_solution ppf s =
+  Format.fprintf ppf "@[<v>binding: %a@,cost: %a@,worst load: %d (explored %d)@]"
+    Binding.pp s.binding Cost.pp s.cost s.worst_load s.explored

@@ -1,0 +1,42 @@
+(** Design-space exploration: optimal HW/SW partitioning.
+
+    Branch-and-bound over the union of the applications' processes.
+    Feasibility (checked incrementally) is per application — mutually
+    exclusive variants never share a schedulability budget, which is
+    exactly where a variant-aware representation beats both independent
+    synthesis and superposition.  The explorer is exact: it returns a
+    cost-minimal feasible binding when one exists. *)
+
+type solution = {
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  worst_load : int;  (** highest per-application software load *)
+  explored : int;  (** branch-and-bound nodes visited *)
+}
+
+val optimal :
+  ?capacity:int ->
+  ?fixed:Binding.t ->
+  ?accept:(Binding.t -> bool) ->
+  Tech.t ->
+  App.t list ->
+  solution option
+(** [fixed] pins implementations for some processes (used by the
+    incremental baseline).  [accept] is an additional feasibility
+    filter evaluated on complete bindings — e.g.
+    {!Timing.all_satisfied} partially applied, to demand latency-path
+    constraints on top of schedulability.  [None] when no feasible
+    binding exists.
+    @raise Not_found when an application process is missing from the
+    technology library. *)
+
+val optimal_exn :
+  ?capacity:int ->
+  ?fixed:Binding.t ->
+  ?accept:(Binding.t -> bool) ->
+  Tech.t ->
+  App.t list ->
+  solution
+(** @raise Failure when infeasible. *)
+
+val pp_solution : Format.formatter -> solution -> unit

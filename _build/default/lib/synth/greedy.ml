@@ -1,0 +1,116 @@
+module I = Spi.Ids
+
+type result = {
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  moves : I.Process_id.t list;
+}
+
+let partition ?(capacity = Schedule.default_capacity) tech apps =
+  let union = I.Process_id.Set.elements (App.union_procs apps) in
+  (* processes without a software option start in hardware *)
+  let start =
+    List.fold_left
+      (fun b pid ->
+        let o = Tech.options_of tech pid in
+        let impl =
+          match o.Tech.sw with
+          | Some _ -> Binding.Sw
+          | None -> Binding.Hw
+        in
+        Binding.bind pid impl b)
+      Binding.empty union
+  in
+  let overloaded binding =
+    List.filter
+      (fun (a : App.t) -> Schedule.app_load tech binding a > capacity)
+      apps
+  in
+  let rec relax binding moves =
+    match overloaded binding with
+    | [] -> Some (binding, List.rev moves)
+    | over ->
+      (* candidates: software processes inside overloaded applications
+         that do have a hardware option *)
+      let candidates =
+        List.filter
+          (fun pid ->
+            Binding.impl_of pid binding = Some Binding.Sw
+            && Option.is_some (Tech.options_of tech pid).Tech.hw
+            && List.exists
+                 (fun (a : App.t) -> I.Process_id.Set.mem pid a.App.procs)
+                 over)
+          union
+      in
+      let score pid =
+        let o = Tech.options_of tech pid in
+        let load =
+          match o.Tech.sw with Some { Tech.load } -> load | None -> 0
+        in
+        let area =
+          match o.Tech.hw with Some { Tech.area } -> area | None -> max_int
+        in
+        (* relief per unit of cost; tie-break toward bigger relief *)
+        (float_of_int load /. float_of_int (max 1 area), load)
+      in
+      let best =
+        List.fold_left
+          (fun acc pid ->
+            match acc with
+            | None -> Some (pid, score pid)
+            | Some (_, best_score) ->
+              if score pid > best_score then Some (pid, score pid) else acc)
+          None candidates
+      in
+      (match best with
+      | None -> None (* nothing movable: infeasible under this scheme *)
+      | Some (pid, _) ->
+        relax (Binding.bind pid Binding.Hw binding) (pid :: moves))
+  in
+  (* improvement pass: hardware processes whose software twin still
+     fits move back — the processor is already paid, so every such move
+     strictly saves the ASIC area.  Largest areas first. *)
+  let improve binding =
+    let hw =
+      List.filter
+        (fun pid -> Binding.impl_of pid binding = Some Binding.Hw)
+        union
+    in
+    let with_sw_option =
+      List.filter
+        (fun pid -> Option.is_some (Tech.options_of tech pid).Tech.sw)
+        hw
+    in
+    let by_area_desc =
+      List.sort
+        (fun p1 p2 ->
+          let area p =
+            match (Tech.options_of tech p).Tech.hw with
+            | Some { Tech.area } -> area
+            | None -> 0
+          in
+          Int.compare (area p2) (area p1))
+        with_sw_option
+    in
+    List.fold_left
+      (fun binding pid ->
+        let candidate = Binding.bind pid Binding.Sw binding in
+        if overloaded candidate = [] then candidate else binding)
+      binding by_area_desc
+  in
+  match relax start [] with
+  | None -> None
+  | Some (binding, moves) ->
+    let binding = improve binding in
+    let moves =
+      List.filter
+        (fun pid -> Binding.impl_of pid binding = Some Binding.Hw)
+        moves
+    in
+    Some { binding; cost = Cost.of_binding tech binding; moves }
+
+let quality_gap ?capacity tech apps =
+  match partition ?capacity tech apps, Explore.optimal ?capacity tech apps with
+  | Some h, Some o ->
+    Some (h.cost.Cost.total, o.Explore.cost.Cost.total)
+  | _, _ -> None

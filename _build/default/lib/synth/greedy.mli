@@ -1,0 +1,28 @@
+(** A greedy heuristic partitioner for large instances.
+
+    The exact explorer ({!Explore}) visits up to 2^n bindings; past a
+    few dozen processes that stops being interactive.  This heuristic
+    runs in O(n log n): start all-software, and while some application
+    overloads the processor, move to hardware the process with the best
+    relief-per-cost ratio among those involved in overloaded
+    applications.  The result is always feasible when one exists under
+    this scheme, and never better than {!Explore.optimal} — the qcheck
+    suite pins both properties. *)
+
+type result = {
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  moves : Spi.Ids.Process_id.t list;
+      (** processes moved to hardware, in move order *)
+}
+
+val partition :
+  ?capacity:int -> Tech.t -> App.t list -> result option
+(** [None] when even the all-hardware fallback cannot satisfy an
+    application (a process without a hardware option keeps overloading).
+    @raise Not_found when a process is missing from the library. *)
+
+val quality_gap :
+  ?capacity:int -> Tech.t -> App.t list -> (int * int) option
+(** [(heuristic, optimal)] total costs for instances the exact explorer
+    can still handle; [None] when either fails. *)

@@ -1,0 +1,158 @@
+module I = Spi.Ids
+
+type entry = {
+  proc : I.Process_id.t;
+  impl : Binding.impl;
+  start : int;
+  finish : int;
+}
+
+type t = { entries : entry list; makespan : int; processor_busy : int }
+type error = Cyclic of I.Process_id.t list | Unbound of I.Process_id.t
+
+module Pnode = struct
+  type t = I.Process_id.t
+
+  let compare = I.Process_id.compare
+  let pp = I.Process_id.pp
+end
+
+module Pgraph = Graphlib.Digraph.Make (Pnode)
+module Ptraverse = Graphlib.Traverse.Make (Pgraph)
+
+let process_graph model =
+  List.fold_left
+    (fun g proc ->
+      let pid = Spi.Process.id proc in
+      let g = Pgraph.add_node pid g in
+      I.Channel_id.Set.fold
+        (fun cid g ->
+          match Spi.Model.reader_of cid model with
+          | Some reader -> Pgraph.add_edge pid reader g
+          | None -> g)
+        (Spi.Process.outputs proc) g)
+    Pgraph.empty (Spi.Model.processes model)
+
+let schedule ?latency_model tech binding model =
+  let latency pid = Timing.latency_of ?latency_model tech binding pid in
+  let g = process_graph model in
+  match Ptraverse.topological_sort g with
+  | Error cycle -> Error (Cyclic cycle)
+  | Ok order -> (
+    match
+      List.find_opt
+        (fun pid -> Option.is_none (Binding.impl_of pid binding))
+        order
+    with
+    | Some pid -> Error (Unbound pid)
+    | None ->
+      (* critical-path priority: latency of the longest downstream chain
+         (inclusive), computed over the transposed graph *)
+      let priority =
+        match
+          Ptraverse.longest_path_weights ~weight:latency (Pgraph.transpose g)
+        with
+        | Ok weights -> fun pid -> Pgraph.Node_map.find pid weights
+        | Error _ -> fun _ -> 0
+      in
+      let finished = Hashtbl.create 16 in
+      let scheduled = ref [] in
+      let cpu_free = ref 0 in
+      let is_done pid = Hashtbl.mem finished (I.Process_id.to_string pid) in
+      let preds_done pid =
+        Pgraph.Node_set.for_all is_done (Pgraph.preds pid g)
+      in
+      let data_ready pid =
+        Pgraph.Node_set.fold
+          (fun p acc ->
+            max acc (Hashtbl.find finished (I.Process_id.to_string p)))
+          (Pgraph.preds pid g) 0
+      in
+      let remaining = ref order in
+      while !remaining <> [] do
+        let ready, blocked = List.partition preds_done !remaining in
+        (* ready is never empty: the graph is acyclic *)
+        let best =
+          List.fold_left
+            (fun best pid ->
+              match best with
+              | None -> Some pid
+              | Some b -> if priority pid > priority b then Some pid else best)
+            None ready
+        in
+        match best with
+        | None -> remaining := [] (* unreachable *)
+        | Some pid ->
+          let impl =
+            match Binding.impl_of pid binding with
+            | Some impl -> impl
+            | None -> Binding.Hw (* excluded above *)
+          in
+          let earliest = data_ready pid in
+          let start =
+            match impl with
+            | Binding.Sw -> max earliest !cpu_free
+            | Binding.Hw -> earliest
+          in
+          let finish = start + latency pid in
+          if impl = Binding.Sw then cpu_free := finish;
+          Hashtbl.replace finished (I.Process_id.to_string pid) finish;
+          scheduled := { proc = pid; impl; start; finish } :: !scheduled;
+          remaining :=
+            blocked @ List.filter (fun q -> not (I.Process_id.equal q pid)) ready
+      done;
+      let entries =
+        List.sort
+          (fun a b ->
+            match Int.compare a.start b.start with
+            | 0 -> I.Process_id.compare a.proc b.proc
+            | c -> c)
+          !scheduled
+      in
+      let makespan = List.fold_left (fun acc e -> max acc e.finish) 0 entries in
+      let processor_busy =
+        List.fold_left
+          (fun acc e ->
+            if e.impl = Binding.Sw then acc + (e.finish - e.start) else acc)
+          0 entries
+      in
+      Ok { entries; makespan; processor_busy })
+
+let meets_deadline t deadline = t.makespan <= deadline
+
+let entry_of pid t =
+  List.find_opt (fun e -> I.Process_id.equal e.proc pid) t.entries
+
+let pp_gantt ppf t =
+  let width = 60 in
+  let scale =
+    if t.makespan = 0 then 1.0
+    else float_of_int width /. float_of_int t.makespan
+  in
+  let name_width =
+    List.fold_left
+      (fun acc e -> max acc (String.length (I.Process_id.to_string e.proc)))
+      4 t.entries
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      let lead = int_of_float (float_of_int e.start *. scale) in
+      let len =
+        max 1 (int_of_float (float_of_int (e.finish - e.start) *. scale))
+      in
+      Format.fprintf ppf "%-*s %s |%s%s| %d..%d@," name_width
+        (I.Process_id.to_string e.proc)
+        (match e.impl with Binding.Sw -> "SW" | Binding.Hw -> "HW")
+        (String.make lead ' ')
+        (String.make len (match e.impl with Binding.Sw -> '#' | Binding.Hw -> '='))
+        e.start e.finish)
+    t.entries;
+  Format.fprintf ppf "makespan %d, processor busy %d@]" t.makespan
+    t.processor_busy
+
+let pp_error ppf = function
+  | Cyclic procs ->
+    Format.fprintf ppf "cyclic process graph: %s"
+      (String.concat " -> " (List.map I.Process_id.to_string procs))
+  | Unbound pid -> Format.fprintf ppf "process %a unbound" I.Process_id.pp pid

@@ -1,0 +1,46 @@
+(** Static list scheduling on the partitioned architecture.
+
+    Once a binding is chosen, one iteration of the application (every
+    process executing once) is scheduled statically: data dependencies
+    follow the model's channels, software processes serialize on the
+    shared processor, hardware processes only wait for their inputs.
+    Priorities follow the longest remaining path (critical path first).
+    The resulting makespan refines the utilization-based schedulability
+    check with actual start times — and yields a Gantt chart. *)
+
+type entry = {
+  proc : Spi.Ids.Process_id.t;
+  impl : Binding.impl;
+  start : int;
+  finish : int;
+}
+
+type t = {
+  entries : entry list;  (** sorted by start time *)
+  makespan : int;
+  processor_busy : int;  (** summed software execution time *)
+}
+
+type error =
+  | Cyclic of Spi.Ids.Process_id.t list
+      (** the model's process graph has a cycle: no static one-shot
+          schedule exists *)
+  | Unbound of Spi.Ids.Process_id.t
+
+val schedule :
+  ?latency_model:Timing.latency_model ->
+  Tech.t ->
+  Binding.t ->
+  Spi.Model.t ->
+  (t, error) result
+(** Schedules one execution of every process of [model] under
+    [binding], with implementation latencies from {!Timing.latency_of}. *)
+
+val meets_deadline : t -> int -> bool
+
+val entry_of : Spi.Ids.Process_id.t -> t -> entry option
+
+val pp_gantt : Format.formatter -> t -> unit
+(** An ASCII Gantt chart, one row per process. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,143 @@
+module I = Spi.Ids
+
+type processor = { id : I.Resource_id.t; capacity : int; cost : int }
+
+let processor ~name ~capacity ~cost =
+  if capacity < 1 then invalid_arg "Multi.processor: capacity < 1";
+  if cost < 0 then invalid_arg "Multi.processor: negative cost";
+  { id = I.Resource_id.of_string name; capacity; cost }
+
+type placement = Hw | Sw_on of I.Resource_id.t
+type binding = placement I.Process_id.Map.t
+
+type solution = {
+  binding : binding;
+  total_cost : int;
+  processors_used : I.Resource_id.t list;
+  asic_area : int;
+  worst_load : (I.Resource_id.t * int) list;
+  explored : int;
+}
+
+let check_processors procs =
+  ignore
+    (List.fold_left
+       (fun seen p ->
+         if List.exists (I.Resource_id.equal p.id) seen then
+           invalid_arg
+             (Format.asprintf "Multi: duplicate processor %a" I.Resource_id.pp
+                p.id)
+         else p.id :: seen)
+       [] procs)
+
+(* Search state: per (application, processor) accumulated load, the set
+   of processors in use (bitmask over the processor array), and the
+   accumulated ASIC area.  Lower bound: area + cost of processors used
+   so far — placements only ever add processors and area. *)
+let optimal ?(accept = fun _ -> true) tech processors apps =
+  check_processors processors;
+  let procs_arr = Array.of_list processors in
+  let n_cpu = Array.length procs_arr in
+  let apps_arr = Array.of_list apps in
+  let n_app = Array.length apps_arr in
+  let union = I.Process_id.Set.elements (App.union_procs apps) in
+  let membership pid =
+    Array.map (fun (a : App.t) -> I.Process_id.Set.mem pid a.App.procs) apps_arr
+  in
+  let loads = Array.make_matrix n_app n_cpu 0 in
+  let used = Array.make n_cpu false in
+  let best = ref None and best_cost = ref max_int in
+  let explored = ref 0 in
+  let cpu_cost_used () =
+    let total = ref 0 in
+    Array.iteri (fun i u -> if u then total := !total + procs_arr.(i).cost) used;
+    !total
+  in
+  let rec search remaining binding area =
+    incr explored;
+    let lower = area + cpu_cost_used () in
+    if lower >= !best_cost then ()
+    else
+      match remaining with
+      | [] ->
+        if accept binding then begin
+          best_cost := lower;
+          let worst_load =
+            List.init n_cpu (fun c ->
+                let w = ref 0 in
+                for a = 0 to n_app - 1 do
+                  w := max !w loads.(a).(c)
+                done;
+                (procs_arr.(c).id, !w))
+          in
+          let processors_used =
+            List.filter_map
+              (fun c -> if used.(c) then Some procs_arr.(c).id else None)
+              (List.init n_cpu Fun.id)
+          in
+          best :=
+            Some
+              {
+                binding;
+                total_cost = lower;
+                processors_used;
+                asic_area = area;
+                worst_load;
+                explored = 0;
+              }
+        end
+      | pid :: rest ->
+        let options = Tech.options_of tech pid in
+        let member = membership pid in
+        (* hardware first: cheapest completions tighten the bound *)
+        (match options.Tech.hw with
+        | Some { Tech.area = a } ->
+          search rest (I.Process_id.Map.add pid Hw binding) (area + a)
+        | None -> ());
+        (match options.Tech.sw with
+        | Some { Tech.load } ->
+          for c = 0 to n_cpu - 1 do
+            let ok = ref true in
+            Array.iteri
+              (fun a m ->
+                if m then begin
+                  loads.(a).(c) <- loads.(a).(c) + load;
+                  if loads.(a).(c) > procs_arr.(c).capacity then ok := false
+                end)
+              member;
+            let was_used = used.(c) in
+            used.(c) <- true;
+            if !ok then
+              search rest
+                (I.Process_id.Map.add pid (Sw_on procs_arr.(c).id) binding)
+                area;
+            if not was_used then used.(c) <- false;
+            Array.iteri
+              (fun a m -> if m then loads.(a).(c) <- loads.(a).(c) - load)
+              member
+          done
+        | None -> ())
+  in
+  search union I.Process_id.Map.empty 0;
+  Option.map (fun s -> { s with explored = !explored }) !best
+
+let to_simple binding =
+  I.Process_id.Map.fold
+    (fun pid placement acc ->
+      let impl = match placement with Hw -> Binding.Hw | Sw_on _ -> Binding.Sw in
+      Binding.bind pid impl acc)
+    binding Binding.empty
+
+let pp_placement ppf = function
+  | Hw -> Format.pp_print_string ppf "HW"
+  | Sw_on r -> Format.fprintf ppf "SW@%a" I.Resource_id.pp r
+
+let pp_solution ppf s =
+  Format.fprintf ppf "@[<v>cost %d (asics %d, cpus: %s)@,%a@]" s.total_cost
+    s.asic_area
+    (String.concat ", " (List.map I.Resource_id.to_string s.processors_used))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (pid, p) ->
+         Format.fprintf ppf "%a:%a" I.Process_id.pp pid pp_placement p))
+    (I.Process_id.Map.bindings s.binding)

@@ -1,0 +1,50 @@
+(** Multi-processor HW/SW partitioning.
+
+    Generalizes {!Explore} from one shared processor to a heterogeneous
+    set: each software process is placed on a specific processor, each
+    processor has its own capacity and cost, and a processor is paid for
+    only when something runs on it.  Schedulability remains
+    per-application and per-processor — mutually exclusive variants
+    still share every processor they are placed on. *)
+
+type processor = {
+  id : Spi.Ids.Resource_id.t;
+  capacity : int;
+  cost : int;
+}
+
+val processor : name:string -> capacity:int -> cost:int -> processor
+
+type placement = Hw | Sw_on of Spi.Ids.Resource_id.t
+
+type binding = placement Spi.Ids.Process_id.Map.t
+
+type solution = {
+  binding : binding;
+  total_cost : int;
+  processors_used : Spi.Ids.Resource_id.t list;
+  asic_area : int;
+  worst_load : (Spi.Ids.Resource_id.t * int) list;
+      (** per processor, the highest per-application load *)
+  explored : int;
+}
+
+val optimal :
+  ?accept:(binding -> bool) ->
+  Tech.t ->
+  processor list ->
+  App.t list ->
+  solution option
+(** Cost-minimal feasible placement, exact (branch and bound).  The
+    [Tech.t] software load figures apply uniformly to every processor
+    (homogeneous execution times; heterogeneous costs/capacities).
+    @raise Invalid_argument when [processors] contains duplicate ids.
+    @raise Not_found when an application process is missing from the
+    technology library. *)
+
+val to_simple : binding -> Binding.t
+(** Forgets the placement, keeping SW/HW — for reuse of the single-
+    processor cost and timing helpers. *)
+
+val pp_placement : Format.formatter -> placement -> unit
+val pp_solution : Format.formatter -> solution -> unit

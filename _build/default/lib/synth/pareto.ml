@@ -1,0 +1,59 @@
+module I = Spi.Ids
+
+type point = { binding : Binding.t; total_cost : int; worst_load : int }
+
+let dominates a b =
+  a.total_cost <= b.total_cost && a.worst_load <= b.worst_load
+  && (a.total_cost < b.total_cost || a.worst_load < b.worst_load)
+
+let frontier ?(capacity = Schedule.default_capacity) tech apps =
+  let procs = I.Process_id.Set.elements (App.union_procs apps) in
+  let points = ref [] in
+  let rec enumerate remaining binding =
+    match remaining with
+    | [] -> (
+      match Schedule.check ~capacity tech binding apps with
+      | Schedule.Feasible { worst_load; _ } ->
+        points :=
+          { binding; total_cost = Cost.total tech binding; worst_load }
+          :: !points
+      | Schedule.Overload _ | Schedule.Unbound_process _
+      | Schedule.No_sw_option _ | Schedule.No_hw_option _ -> ())
+    | pid :: rest ->
+      let o = Tech.options_of tech pid in
+      (match o.Tech.sw with
+      | Some _ -> enumerate rest (Binding.bind pid Binding.Sw binding)
+      | None -> ());
+      (match o.Tech.hw with
+      | Some _ -> enumerate rest (Binding.bind pid Binding.Hw binding)
+      | None -> ())
+  in
+  enumerate procs Binding.empty;
+  let all = !points in
+  let non_dominated =
+    List.filter
+      (fun p -> not (List.exists (fun q -> dominates q p) all))
+      all
+  in
+  (* deduplicate equal objective vectors, keep one representative *)
+  let dedup =
+    List.fold_left
+      (fun acc p ->
+        if
+          List.exists
+            (fun q -> q.total_cost = p.total_cost && q.worst_load = p.worst_load)
+            acc
+        then acc
+        else p :: acc)
+      [] non_dominated
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare a.total_cost b.total_cost with
+      | 0 -> Int.compare a.worst_load b.worst_load
+      | c -> c)
+    dedup
+
+let pp_point ppf p =
+  Format.fprintf ppf "cost=%d load=%d [%a]" p.total_cost p.worst_load
+    Binding.pp p.binding

@@ -1,0 +1,40 @@
+(** Synthesis reports: one document per design decision.
+
+    Bundles the individual analyses — optimal binding, baselines,
+    Pareto frontier, per-application static schedules and timing
+    verdicts — into a single structured value with a printer, so tools
+    (the CLI, the bench harness, CI logs) present consistent output. *)
+
+type application_report = {
+  app : App.t;
+  model : Spi.Model.t option;
+      (** the flattened model, when available (enables scheduling and
+          timing sections) *)
+  schedule : (List_schedule.t, List_schedule.error) result option;
+  timing : (Spi.Constraint_.t * Spi.Constraint_.outcome) list;
+}
+
+type t = {
+  tech : Tech.t;
+  optimal : Explore.solution option;
+  superposition : Superpose.result option;
+  serial_spread : (int * int) option;
+      (** best/worst incremental serialization cost *)
+  frontier : Pareto.point list;
+  design_time_speedup : float;
+  applications : application_report list;
+}
+
+val build :
+  ?capacity:int ->
+  ?models:(string * Spi.Model.t) list ->
+  ?constraints:Spi.Constraint_.t list ->
+  Tech.t ->
+  App.t list ->
+  t
+(** Runs every analysis.  [models] associates application names with
+    flattened models (enabling the schedule and timing sections);
+    [constraints] are checked under the optimal binding's
+    implementation latencies. *)
+
+val pp : Format.formatter -> t -> unit

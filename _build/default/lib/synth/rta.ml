@@ -1,0 +1,94 @@
+module I = Spi.Ids
+
+type task = {
+  proc : I.Process_id.t;
+  period : int;
+  wcet : int;
+  response : int;
+  schedulable : bool;
+}
+
+type verdict = {
+  tasks : task list;
+  all_schedulable : bool;
+  utilization_percent : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Iterate R = C + Σ_hp ceil(R/T_j)·C_j; diverges past the period are cut
+   off (reported unschedulable with the last iterate). *)
+let response_time ~wcet ~higher_priority =
+  let rec iterate r =
+    let interference =
+      List.fold_left
+        (fun acc (period_j, wcet_j) -> acc + (ceil_div r period_j * wcet_j))
+        0 higher_priority
+    in
+    let r' = wcet + interference in
+    if r' = r then r
+    else if r' > 1_000_000 then r' (* diverged; caller checks the bound *)
+    else iterate r'
+  in
+  iterate wcet
+
+let analyse ~periods tech binding =
+  let entries =
+    List.filter_map
+      (fun (pid, period) ->
+        if period <= 0 then
+          invalid_arg
+            (Format.asprintf "Rta: non-positive period for %a" I.Process_id.pp
+               pid);
+        match Binding.impl_of pid binding with
+        | Some Binding.Sw -> (
+          match (Tech.options_of tech pid).Tech.sw with
+          | Some { Tech.load } -> Some (pid, period, load)
+          | None ->
+            invalid_arg
+              (Format.asprintf "Rta: %a has no software option"
+                 I.Process_id.pp pid))
+        | Some Binding.Hw | None -> None)
+      periods
+  in
+  (* rate-monotonic priority order *)
+  let ordered =
+    List.sort
+      (fun (p1, t1, _) (p2, t2, _) ->
+        match Int.compare t1 t2 with
+        | 0 -> I.Process_id.compare p1 p2
+        | c -> c)
+      entries
+  in
+  let tasks, _ =
+    List.fold_left
+      (fun (tasks, higher) (pid, period, wcet) ->
+        let response = response_time ~wcet ~higher_priority:higher in
+        let task =
+          { proc = pid; period; wcet; response; schedulable = response <= period }
+        in
+        (task :: tasks, (period, wcet) :: higher))
+      ([], []) ordered
+  in
+  let tasks = List.rev tasks in
+  let utilization =
+    List.fold_left
+      (fun acc t -> acc +. (float_of_int t.wcet /. float_of_int t.period))
+      0. tasks
+  in
+  {
+    tasks;
+    all_schedulable = List.for_all (fun t -> t.schedulable) tasks;
+    utilization_percent = int_of_float (100. *. utilization);
+  }
+
+let pp ppf v =
+  Format.fprintf ppf "@[<v>utilization %d%%, %s@," v.utilization_percent
+    (if v.all_schedulable then "schedulable" else "NOT schedulable");
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "%a: T=%d C=%d R=%d %s@," I.Process_id.pp t.proc
+        t.period t.wcet t.response
+        (if t.schedulable then "ok" else "MISS"))
+    v.tasks;
+  Format.fprintf ppf "@]"

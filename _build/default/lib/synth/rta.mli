@@ -1,0 +1,38 @@
+(** Response-time analysis for periodic software processes.
+
+    The utilization check of {!Schedule} answers "does it fit"; this
+    module answers "when does each process finish" under fixed-priority
+    preemptive scheduling on the shared processor.  Each software
+    process becomes a periodic task (period, WCET = its load figure);
+    priorities are rate-monotonic (shorter period = higher priority)
+    with ties broken by process id.  The classical recurrence
+
+    {v R = C + sum over higher-priority tasks of ceil(R / T_j) * C_j v}
+
+    is iterated to a fixed point.  Hardware processes run on their own
+    resources and are not analysed here. *)
+
+type task = {
+  proc : Spi.Ids.Process_id.t;
+  period : int;
+  wcet : int;
+  response : int;  (** fixed point of the recurrence *)
+  schedulable : bool;  (** response <= period (implicit deadline) *)
+}
+
+type verdict = {
+  tasks : task list;  (** highest priority first *)
+  all_schedulable : bool;
+  utilization_percent : int;
+}
+
+val analyse :
+  periods:(Spi.Ids.Process_id.t * int) list ->
+  Tech.t ->
+  Binding.t ->
+  verdict
+(** Analyses every software-bound process that has a period entry.
+    @raise Invalid_argument on non-positive periods or a period entry
+    whose process lacks a software option. *)
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,75 @@
+module I = Spi.Ids
+
+type verdict =
+  | Feasible of { worst_app : string; worst_load : int }
+  | Overload of { app : string; load : int; capacity : int }
+  | Unbound_process of I.Process_id.t
+  | No_sw_option of I.Process_id.t
+  | No_hw_option of I.Process_id.t
+
+let default_capacity = 100
+
+let app_load tech binding (app : App.t) =
+  I.Process_id.Set.fold
+    (fun pid acc ->
+      match Binding.impl_of pid binding with
+      | Some Binding.Sw -> (
+        match (Tech.options_of tech pid).Tech.sw with
+        | Some { Tech.load } -> acc + load
+        | None -> acc)
+      | Some Binding.Hw | None -> acc)
+    app.App.procs 0
+
+exception Bad of verdict
+
+let check ?(capacity = default_capacity) tech binding apps =
+  try
+    let worst =
+      List.fold_left
+        (fun worst (app : App.t) ->
+          I.Process_id.Set.iter
+            (fun pid ->
+              match Binding.impl_of pid binding with
+              | None -> raise (Bad (Unbound_process pid))
+              | Some Binding.Sw ->
+                if Option.is_none (Tech.options_of tech pid).Tech.sw then
+                  raise (Bad (No_sw_option pid))
+              | Some Binding.Hw ->
+                if Option.is_none (Tech.options_of tech pid).Tech.hw then
+                  raise (Bad (No_hw_option pid)))
+            app.App.procs;
+          let load = app_load tech binding app in
+          if load > capacity then
+            raise (Bad (Overload { app = app.App.name; load; capacity }));
+          match worst with
+          | Some (_, l) when l >= load -> worst
+          | Some _ | None -> Some (app.App.name, load))
+        None apps
+    in
+    match worst with
+    | None -> Feasible { worst_app = "-"; worst_load = 0 }
+    | Some (name, load) -> Feasible { worst_app = name; worst_load = load }
+  with
+  | Bad v -> v
+  | Not_found ->
+    (* a process absent from the technology library *)
+    Unbound_process
+      (I.Process_id.of_string "<process missing from technology library>")
+
+let is_feasible = function
+  | Feasible _ -> true
+  | Overload _ | Unbound_process _ | No_sw_option _ | No_hw_option _ -> false
+
+let pp_verdict ppf = function
+  | Feasible { worst_app; worst_load } ->
+    Format.fprintf ppf "feasible (worst app %s at load %d)" worst_app worst_load
+  | Overload { app; load; capacity } ->
+    Format.fprintf ppf "overload in %s: %d > %d" app load capacity
+  | Unbound_process p ->
+    Format.fprintf ppf "process %a unbound" I.Process_id.pp p
+  | No_sw_option p ->
+    Format.fprintf ppf "process %a mapped to SW without a SW option"
+      I.Process_id.pp p
+  | No_hw_option p ->
+    Format.fprintf ppf "process %a mapped to HW without a HW option"
+      I.Process_id.pp p

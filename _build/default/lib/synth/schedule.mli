@@ -1,0 +1,33 @@
+(** Schedulability on the shared processor.
+
+    Software processes of one application share the single processor;
+    the binding is feasible when, for {e every} application, the summed
+    software load stays within the processor capacity.  Mutually
+    exclusive variants are the paper's lever: their software loads are
+    never summed together ("since the clusters 1 and 2 are mutually
+    exclusive at run time, the available processor performance is not
+    exceeded"). *)
+
+type verdict =
+  | Feasible of { worst_app : string; worst_load : int }
+  | Overload of { app : string; load : int; capacity : int }
+  | Unbound_process of Spi.Ids.Process_id.t
+      (** an application process is missing from the binding *)
+  | No_sw_option of Spi.Ids.Process_id.t
+  | No_hw_option of Spi.Ids.Process_id.t
+
+val default_capacity : int
+(** 100 (loads are percentages). *)
+
+val check :
+  ?capacity:int -> Tech.t -> Binding.t -> App.t list -> verdict
+(** Verifies the binding against every application. *)
+
+val is_feasible : verdict -> bool
+
+val app_load : Tech.t -> Binding.t -> App.t -> int
+(** Summed software load of the application under the binding
+    (processes missing a software option count 0 — {!check} reports
+    them instead). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,53 @@
+module I = Spi.Ids
+
+type parameter = Hw_area | Sw_load
+
+type flip = { at : int; below : Binding.impl; above : Binding.impl option }
+
+let with_value parameter tech pid value =
+  let o = Tech.options_of tech pid in
+  let options =
+    match parameter with
+    | Hw_area -> { o with Tech.hw = Some { Tech.area = value } }
+    | Sw_load -> { o with Tech.sw = Some { Tech.load = value } }
+  in
+  Tech.with_options pid options tech
+
+let impl_at ?capacity parameter tech apps pid value =
+  match Explore.optimal ?capacity (with_value parameter tech pid value) apps with
+  | None -> None
+  | Some s -> Binding.impl_of pid s.Explore.binding
+
+let flip_point ?capacity ~parameter ~range:(lo, hi) tech apps pid =
+  if lo > hi then invalid_arg "Sensitivity.flip_point: empty range";
+  let has_option =
+    let o = try Some (Tech.options_of tech pid) with Not_found -> None in
+    match o, parameter with
+    | None, _ -> false
+    | Some o, Hw_area -> Option.is_some o.Tech.hw
+    | Some o, Sw_load -> Option.is_some o.Tech.sw
+  in
+  if not has_option then None
+  else
+    match impl_at ?capacity parameter tech apps pid lo with
+    | None -> None
+    | Some below ->
+      let differs v = impl_at ?capacity parameter tech apps pid v <> Some below in
+      if not (differs hi) then None
+      else begin
+        (* the decision is monotone in the swept parameter: binary
+           search the smallest differing value in (lo, hi] *)
+        let low = ref lo and high = ref hi in
+        while !high - !low > 1 do
+          let mid = !low + ((!high - !low) / 2) in
+          if differs mid then high := mid else low := mid
+        done;
+        Some
+          { at = !high; below; above = impl_at ?capacity parameter tech apps pid !high }
+      end
+
+let pp_flip ppf f =
+  Format.fprintf ppf "%a until %d, then %s" Binding.pp_impl f.below (f.at - 1)
+    (match f.above with
+    | Some impl -> Format.asprintf "%a" Binding.pp_impl impl
+    | None -> "infeasible")

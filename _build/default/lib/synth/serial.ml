@@ -1,0 +1,57 @@
+module I = Spi.Ids
+
+let all_in_one ?capacity tech apps =
+  let union = App.union_procs apps in
+  let merged =
+    { App.name = "serialized"; procs = union }
+  in
+  Explore.optimal ?capacity tech [ merged ]
+
+type incremental_result = {
+  order : string list;
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  feasible : bool;
+}
+
+let incremental ?capacity tech apps =
+  let order = List.map (fun (a : App.t) -> a.App.name) apps in
+  let binding, feasible =
+    List.fold_left
+      (fun (acc, feasible) app ->
+        if not feasible then (acc, false)
+        else
+          match Explore.optimal ?capacity ~fixed:acc tech [ app ] with
+          | None -> (acc, false)
+          | Some s -> (Binding.union_prefer_left acc s.Explore.binding, true))
+      (Binding.empty, true) apps
+  in
+  let cost =
+    try Cost.of_binding tech binding
+    with Not_found -> { Cost.processor = 0; asics = []; total = max_int }
+  in
+  { order; binding; cost; feasible }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun perm -> x :: perm) (permutations rest))
+      l
+
+let all_orders ?capacity tech apps =
+  List.map (incremental ?capacity tech) (permutations apps)
+
+let cost_spread results =
+  let feasible = List.filter (fun r -> r.feasible) results in
+  match feasible with
+  | [] -> None
+  | r :: rest ->
+    let init = (r.cost.Cost.total, r.cost.Cost.total) in
+    Some
+      (List.fold_left
+         (fun (best, worst) r ->
+           (min best r.cost.Cost.total, max worst r.cost.Cost.total))
+         init rest)

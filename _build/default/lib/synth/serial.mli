@@ -1,0 +1,36 @@
+(** Serialization baselines from the literature.
+
+    Two prior approaches the paper contrasts against (Section 1):
+
+    - {!all_in_one} follows Kim/Karri/Potkonjak [6]: every variant is
+      enumerated and serialized into a single large task, so all
+      processes must be schedulable {e together} — mutual exclusion
+      between variants is lost and the synthesis is over-constrained.
+    - {!incremental} follows Kavalade/Subrahmanyam [5]: applications
+      are synthesized one at a time; implementations chosen for
+      processes already seen are frozen for later applications.  Both
+      groups "report a dominant influence of the serialization order on
+      result quality" — exercised by {!all_orders}. *)
+
+val all_in_one : ?capacity:int -> Tech.t -> App.t list -> Explore.solution option
+(** Single pseudo-application over the union of all process sets. *)
+
+type incremental_result = {
+  order : string list;  (** application names in synthesis order *)
+  binding : Binding.t;
+  cost : Cost.breakdown;
+  feasible : bool;
+      (** false when a later application cannot be completed under the
+          frozen decisions *)
+}
+
+val incremental : ?capacity:int -> Tech.t -> App.t list -> incremental_result
+(** Synthesizes in the given list order. *)
+
+val all_orders : ?capacity:int -> Tech.t -> App.t list -> incremental_result list
+(** One result per permutation of the applications (n! orders — intended
+    for the small ablation instances). *)
+
+val cost_spread : incremental_result list -> (int * int) option
+(** [(best, worst)] total cost over the feasible orders; [None] when no
+    order is feasible. *)

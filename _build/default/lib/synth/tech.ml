@@ -1,0 +1,84 @@
+module I = Spi.Ids
+
+type sw_option = { load : int }
+type hw_option = { area : int }
+type options = { sw : sw_option option; hw : hw_option option }
+type t = { processor_cost : int; table : options I.Process_id.Map.t }
+
+let both ~load ~area = { sw = Some { load }; hw = Some { area } }
+let sw_only ~load = { sw = Some { load }; hw = None }
+let hw_only ~area = { sw = None; hw = Some { area } }
+
+let check_options pid o =
+  (match o.sw, o.hw with
+  | None, None ->
+    invalid_arg
+      (Format.asprintf "Tech: process %a has no implementation option"
+         I.Process_id.pp pid)
+  | _ -> ());
+  (match o.sw with
+  | Some { load } when load < 0 -> invalid_arg "Tech: negative load"
+  | Some _ | None -> ());
+  match o.hw with
+  | Some { area } when area < 0 -> invalid_arg "Tech: negative area"
+  | Some _ | None -> ()
+
+let make ?(processor_cost = 15) entries =
+  if processor_cost < 0 then invalid_arg "Tech: negative processor cost";
+  let table =
+    List.fold_left
+      (fun acc (pid, o) ->
+        if I.Process_id.Map.mem pid acc then
+          invalid_arg
+            (Format.asprintf "Tech: duplicate entry for %a" I.Process_id.pp pid)
+        else begin
+          check_options pid o;
+          I.Process_id.Map.add pid o acc
+        end)
+      I.Process_id.Map.empty entries
+  in
+  { processor_cost; table }
+
+let processor_cost t = t.processor_cost
+
+let options_of t pid =
+  match I.Process_id.Map.find_opt pid t.table with
+  | Some o -> o
+  | None -> raise Not_found
+
+let mem t pid = I.Process_id.Map.mem pid t.table
+let process_ids t = List.map fst (I.Process_id.Map.bindings t.table)
+
+let of_weights ?(processor_cost = 15) ~weight pids =
+  make ~processor_cost
+    (List.map
+       (fun pid ->
+         let w = weight pid in
+         (pid, both ~load:((w / 3) + 5) ~area:(w + 10)))
+       pids)
+
+let with_options pid options t =
+  check_options pid options;
+  { t with table = I.Process_id.Map.add pid options t.table }
+
+let restrict keep t =
+  {
+    t with
+    table = I.Process_id.Map.filter (fun pid _ -> I.Process_id.Set.mem pid keep) t.table;
+  }
+
+let pp ppf t =
+  let pp_entry ppf (pid, o) =
+    let pp_sw ppf = function
+      | None -> Format.pp_print_string ppf "-"
+      | Some { load } -> Format.fprintf ppf "load=%d" load
+    and pp_hw ppf = function
+      | None -> Format.pp_print_string ppf "-"
+      | Some { area } -> Format.fprintf ppf "area=%d" area
+    in
+    Format.fprintf ppf "%a: sw(%a) hw(%a)" I.Process_id.pp pid pp_sw o.sw pp_hw
+      o.hw
+  in
+  Format.fprintf ppf "@[<v>processor cost %d@,%a@]" t.processor_cost
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (I.Process_id.Map.bindings t.table)

@@ -1,0 +1,54 @@
+(** Technology library.
+
+    Each process has up to two implementation options: software on the
+    shared processor (with a worst-case execution load) and hardware as
+    a dedicated ASIC (with an area/cost figure).  The cost and load
+    units are the paper's unit-less numbers; see Table 1. *)
+
+type sw_option = {
+  load : int;
+      (** processor utilisation share (percent of capacity) the process
+          needs when mapped to software *)
+}
+
+type hw_option = { area : int  (** ASIC cost when mapped to hardware *) }
+
+type options = { sw : sw_option option; hw : hw_option option }
+
+type t
+
+val make :
+  ?processor_cost:int -> (Spi.Ids.Process_id.t * options) list -> t
+(** [processor_cost] (default 15, the paper's value) is paid once if any
+    process is mapped to software.
+    @raise Invalid_argument on duplicate entries, a process with no
+    option at all, or negative figures. *)
+
+val both : load:int -> area:int -> options
+val sw_only : load:int -> options
+val hw_only : area:int -> options
+
+val processor_cost : t -> int
+val options_of : t -> Spi.Ids.Process_id.t -> options
+(** @raise Not_found for processes absent from the library. *)
+
+val mem : t -> Spi.Ids.Process_id.t -> bool
+val process_ids : t -> Spi.Ids.Process_id.t list
+
+val of_weights :
+  ?processor_cost:int ->
+  weight:(Spi.Ids.Process_id.t -> int) ->
+  Spi.Ids.Process_id.t list ->
+  t
+(** Derives a deterministic library from a per-process weight: load is
+    [weight / 3 + 5] and area [weight + 10] — hardware is faster but
+    dearer, as usual.  Used with {!Variants.Generator.process_weight}
+    for the ablation sweeps. *)
+
+val restrict : Spi.Ids.Process_id.Set.t -> t -> t
+
+val with_options : Spi.Ids.Process_id.t -> options -> t -> t
+(** Replaces (or adds) one process's implementation options.
+    @raise Invalid_argument on invalid options. *)
+
+val pp : Format.formatter -> t -> unit

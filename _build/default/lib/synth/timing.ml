@@ -1,0 +1,33 @@
+type latency_model = {
+  sw_latency_of_load : int -> int;
+  hw_latency_of_area : int -> int;
+}
+
+let default_latency_model =
+  { sw_latency_of_load = (fun load -> load); hw_latency_of_area = (fun _ -> 1) }
+
+let latency_of ?(latency_model = default_latency_model) tech binding pid =
+  match Binding.impl_of pid binding with
+  | None -> 0
+  | Some impl -> (
+    match
+      (try Some (Tech.options_of tech pid) with Not_found -> None), impl
+    with
+    | None, _ -> 0
+    | Some o, Binding.Sw -> (
+      match o.Tech.sw with
+      | Some { Tech.load } -> latency_model.sw_latency_of_load load
+      | None -> 0)
+    | Some o, Binding.Hw -> (
+      match o.Tech.hw with
+      | Some { Tech.area } -> latency_model.hw_latency_of_area area
+      | None -> 0))
+
+let check ?latency_model tech binding model constraints =
+  Spi.Constraint_.check_all
+    ~latency_of:(latency_of ?latency_model tech binding)
+    model constraints
+
+let all_satisfied ?latency_model tech binding model constraints =
+  Spi.Constraint_.all_satisfied
+    (check ?latency_model tech binding model constraints)

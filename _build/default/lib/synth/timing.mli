@@ -1,0 +1,45 @@
+(** Binding-aware timing verification.
+
+    SPI timing constraints are checked constructively against
+    implementation latencies: a process mapped to hardware runs at its
+    ASIC latency, a software process at its worst-case execution time on
+    the shared processor.  This module derives the per-process latency
+    estimate from a binding and re-checks the model's latency-path
+    constraints — the "correct timing behavior can be guaranteed" side
+    of the optimization loop. *)
+
+type latency_model = {
+  sw_latency_of_load : int -> int;
+      (** WCET on the processor as a function of the technology load
+          figure (default: identity) *)
+  hw_latency_of_area : int -> int;
+      (** ASIC latency as a function of area (default: [fun _ -> 1] —
+          hardware is fast) *)
+}
+
+val default_latency_model : latency_model
+
+val latency_of :
+  ?latency_model:latency_model ->
+  Tech.t ->
+  Binding.t ->
+  Spi.Ids.Process_id.t ->
+  int
+(** Implementation latency of one process under the binding; processes
+    absent from binding or library fall back to latency 0. *)
+
+val check :
+  ?latency_model:latency_model ->
+  Tech.t ->
+  Binding.t ->
+  Spi.Model.t ->
+  Spi.Constraint_.t list ->
+  (Spi.Constraint_.t * Spi.Constraint_.outcome) list
+
+val all_satisfied :
+  ?latency_model:latency_model ->
+  Tech.t ->
+  Binding.t ->
+  Spi.Model.t ->
+  Spi.Constraint_.t list ->
+  bool

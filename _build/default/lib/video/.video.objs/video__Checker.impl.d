@@ -1,0 +1,1 @@
+lib/video/checker.ml: Format Frames List Option Sim Spi String System

@@ -1,0 +1,1 @@
+lib/video/checker.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/video/frames.ml: Option Spi

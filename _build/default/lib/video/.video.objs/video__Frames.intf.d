@@ -1,0 +1,1 @@
+lib/video/frames.mli: Spi

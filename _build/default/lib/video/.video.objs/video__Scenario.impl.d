@@ -1,0 +1,1 @@
+lib/video/scenario.ml: Frames List Sim Spi System

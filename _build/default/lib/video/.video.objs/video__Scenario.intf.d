@@ -1,0 +1,1 @@
+lib/video/scenario.mli: Sim

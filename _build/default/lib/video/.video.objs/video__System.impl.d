@@ -1,0 +1,1 @@
+lib/video/system.ml: Format Frames Interval List Spi String Variants

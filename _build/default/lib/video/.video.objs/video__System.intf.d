@@ -1,0 +1,1 @@
+lib/video/system.mli: Spi Variants

@@ -1,0 +1,137 @@
+module I = Spi.Ids
+
+type report = {
+  clean : int;
+  held : int;
+  invalid_clean : int list;
+  frames_in : int;
+  dropped : int;
+  reconfigurations : int;
+  reconfiguration_time : int;
+  frame_latencies : (int * int) list;
+}
+
+(* Which variant each stage used for each image, recovered from the
+   processing-mode names of completed executions.  Only tokens produced
+   on the stage's data output channel count: state and confirmation
+   tokens never carry the frame. *)
+let stage_variants trace pid out_chan =
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | Sim.Trace.Completed { process; firing; _ }
+        when I.Process_id.equal process pid -> (
+        match System.variant_of_mode firing.Spi.Semantics.mode with
+        | None -> acc
+        | Some v ->
+          List.fold_left
+            (fun acc (cid, tokens) ->
+              if not (I.Channel_id.equal cid out_chan) then acc
+              else
+              List.fold_left
+                (fun acc tok ->
+                  match Spi.Token.payload tok with
+                  | Some image -> (image, v) :: acc
+                  | None -> acc)
+                acc tokens)
+            acc firing.Spi.Semantics.produced)
+      | Sim.Trace.Completed _ | Sim.Trace.Injected _ | Sim.Trace.Started _
+      | Sim.Trace.Quiescent _ -> acc)
+    [] trace
+
+let check ?(stages = 2) (result : Sim.Engine.result) =
+  let trace = result.Sim.Engine.trace in
+  let per_stage =
+    List.init stages (fun i ->
+        let stage = i + 1 in
+        stage_variants trace
+          (System.stage_process stage)
+          (System.chain_channel (stage + 1)))
+  in
+  let variants_of image =
+    List.filter_map (fun table -> List.assoc_opt image table) per_stage
+  in
+  let outputs = Sim.Trace.tokens_produced_on System.c_vout trace in
+  let clean, held, invalid =
+    List.fold_left
+      (fun (clean, held, invalid) (_, tok) ->
+        if Spi.Token.has_tag Frames.held_tag tok then (clean, held + 1, invalid)
+        else
+          let invalid =
+            match Spi.Token.payload tok with
+            | None -> invalid
+            | Some image -> (
+              match variants_of image with
+              | [] | [ _ ] -> invalid
+              | v :: rest ->
+                if List.for_all (String.equal v) rest then invalid
+                else image :: invalid)
+          in
+          (clean + 1, held, invalid))
+      (0, 0, []) outputs
+  in
+  let frames_in =
+    List.length
+      (List.filter
+         (function
+           | Sim.Trace.Injected { channel; _ } ->
+             I.Channel_id.equal channel System.c_vin
+           | Sim.Trace.Started _ | Sim.Trace.Completed _
+           | Sim.Trace.Quiescent _ -> false)
+         trace)
+  in
+  let frames_in_list =
+    List.filter_map
+      (function
+        | Sim.Trace.Injected { time; channel; token }
+          when I.Channel_id.equal channel System.c_vin ->
+          Option.map (fun image -> (image, time)) (Spi.Token.payload token)
+        | Sim.Trace.Injected _ | Sim.Trace.Started _ | Sim.Trace.Completed _
+        | Sim.Trace.Quiescent _ -> None)
+      trace
+  in
+  let frame_latencies =
+    List.filter_map
+      (fun (time, tok) ->
+        if Spi.Token.has_tag Frames.held_tag tok then None
+        else
+          match Spi.Token.payload tok with
+          | None -> None
+          | Some image -> (
+            match List.assoc_opt image frames_in_list with
+            | Some injected -> Some (image, time - injected)
+            | None -> None))
+      outputs
+  in
+  let reconfs = Sim.Trace.reconfigurations trace in
+  {
+    clean;
+    held;
+    invalid_clean = List.rev invalid;
+    frames_in;
+    dropped = frames_in - clean - held;
+    reconfigurations = List.length reconfs;
+    reconfiguration_time = result.Sim.Engine.reconfiguration_time;
+    frame_latencies;
+  }
+
+let is_safe r = r.invalid_clean = []
+
+let latency_stats r =
+  match r.frame_latencies with
+  | [] -> None
+  | (_, first) :: rest ->
+    let n = List.length r.frame_latencies in
+    let total, worst =
+      List.fold_left
+        (fun (total, worst) (_, l) -> (total + l, max worst l))
+        (first, first) rest
+    in
+    Some (float_of_int total /. float_of_int n, worst)
+
+let pp ppf r =
+  Format.fprintf ppf
+    "in=%d clean=%d held=%d dropped=%d invalid=%d reconfs=%d (time %d)"
+    r.frames_in r.clean r.held r.dropped
+    (List.length r.invalid_clean)
+    r.reconfigurations r.reconfiguration_time

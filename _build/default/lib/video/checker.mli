@@ -1,0 +1,38 @@
+(** The invalid-image property.
+
+    "An image becomes invalid if either P1 or P2 or both are
+    reconfigured during processing that image."  In the model, a clean
+    (untagged) output frame is {e invalid} when the two stages processed
+    it under different variants, or when a stage reconfigured while the
+    frame sat between the stages.  The checker recovers, per output
+    frame, which variant each stage used (from the processing-mode names
+    in the trace) and classifies every token on [CVout]. *)
+
+type report = {
+  clean : int;  (** untagged output frames *)
+  held : int;  (** frames replaced by the last valid image while
+                   suspended *)
+  invalid_clean : int list;
+      (** image numbers emitted clean although inconsistently processed
+          — must be empty when the valves are active *)
+  frames_in : int;  (** frames injected on [CVin] *)
+  dropped : int;  (** frames destroyed by [PIn] or still in flight *)
+  reconfigurations : int;
+  reconfiguration_time : int;
+  frame_latencies : (int * int) list;
+      (** (image number, injection-to-clean-output latency) per frame
+          that made it through untouched *)
+}
+
+val check : ?stages:int -> Sim.Engine.result -> report
+(** [stages] is the chain length of the simulated system (default 2,
+    matching {!System.default_params}). *)
+
+val is_safe : report -> bool
+(** No invalid clean output. *)
+
+val latency_stats : report -> (float * int) option
+(** (mean, worst) end-to-end latency over the clean frames; [None] when
+    nothing came through. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,29 @@
+(** Video-stream tokens and tags.
+
+    Frames are tokens whose payload is the image number; the tags below
+    implement the suspend/resume protocol of the paper's Figure 4
+    discussion. *)
+
+val frame : int -> Spi.Token.t
+(** An untagged frame carrying image number [n]. *)
+
+val fresh_tag : Spi.Tag.t
+(** Attached by [PIn] to the first image passed after resuming; its
+    arrival at [POut] ends the suspension. *)
+
+val held_tag : Spi.Tag.t
+(** Marks an output token [POut] replaced by the last completely
+    modified image while the chain was suspended. *)
+
+val suspend_tag : Spi.Tag.t
+val resume_tag : Spi.Tag.t
+
+val variant_request_tag : string -> Spi.Tag.t
+(** Tag on a controller request naming the target variant, e.g.
+    [variant_request_tag "fB"] yields tag ["to:fB"]. *)
+
+val state_tag : string -> Spi.Tag.t
+(** Tags carried by self-loop state tokens ([st:...]). *)
+
+val is_frame : Spi.Token.t -> bool
+val image_number : Spi.Token.t -> int option

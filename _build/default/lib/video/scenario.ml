@@ -1,0 +1,43 @@
+let video_stream ?(start = 1) ~period ~frames () =
+  List.init frames (fun i ->
+      {
+        Sim.Engine.at = start + (i * period);
+        channel = System.c_vin;
+        token = Frames.frame (i + 1);
+      })
+
+let user_request ~at ~variant =
+  {
+    Sim.Engine.at;
+    channel = System.c_user;
+    token =
+      Spi.Token.make
+        ~tags:(Spi.Tag.Set.singleton (Frames.variant_request_tag variant))
+        ();
+  }
+
+let user_requests reqs =
+  List.map (fun (at, variant) -> user_request ~at ~variant) reqs
+
+let switching_demo ?(frames = 40) ?(period = 5) ~switches () =
+  video_stream ~period ~frames () @ user_requests switches
+
+let bursty_stream ?(start = 1) ~burst ~gap ~bursts () =
+  List.concat
+    (List.init bursts (fun b ->
+         List.init burst (fun i ->
+             {
+               Sim.Engine.at = start + (b * (burst + gap)) + i;
+               channel = System.c_vin;
+               token = Frames.frame ((b * burst) + i + 1);
+             })))
+
+let periodic_requests ~first ~every ~count ~variants =
+  match variants with
+  | [] -> invalid_arg "Scenario.periodic_requests: no variants"
+  | _ :: _ ->
+    let n = List.length variants in
+    List.init count (fun i ->
+        user_request
+          ~at:(first + (i * every))
+          ~variant:(List.nth variants (i mod n)))

@@ -1,0 +1,29 @@
+(** Scripted stimuli for the video system. *)
+
+val video_stream : ?start:int -> period:int -> frames:int -> unit -> Sim.Engine.stimulus list
+(** Injects frames [1..frames] on [CVin] every [period] time units,
+    beginning at [start] (default [1]). *)
+
+val user_request : at:int -> variant:string -> Sim.Engine.stimulus
+(** A user request token asking for [variant], injected on [CUser]. *)
+
+val user_requests : (int * string) list -> Sim.Engine.stimulus list
+
+val switching_demo :
+  ?frames:int -> ?period:int -> switches:(int * string) list -> unit ->
+  Sim.Engine.stimulus list
+(** A stream plus a series of variant switches — the default workload of
+    the Figure 4 experiments. *)
+
+val bursty_stream :
+  ?start:int -> burst:int -> gap:int -> bursts:int -> unit ->
+  Sim.Engine.stimulus list
+(** [bursts] groups of [burst] back-to-back frames separated by [gap]
+    idle time units — stresses queue high-water marks. *)
+
+val periodic_requests :
+  first:int -> every:int -> count:int -> variants:string list ->
+  Sim.Engine.stimulus list
+(** [count] user requests from [first] on, every [every] time units,
+    cycling through [variants] — a request storm for protocol stress
+    tests. *)

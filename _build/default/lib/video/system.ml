@@ -1,0 +1,424 @@
+module I = Spi.Ids
+
+type params = {
+  variants : (string * int * int) list;
+  with_valves : bool;
+  stages : int;
+}
+
+let default_params =
+  { variants = [ ("fA", 2, 4); ("fB", 3, 6) ]; with_valves = true; stages = 2 }
+
+type built = {
+  model : Spi.Model.t;
+  configurations : Variants.Configuration.t list;
+  params : params;
+}
+
+let chan = I.Channel_id.of_string
+let c_vin = chan "CVin"
+let c_vout = chan "CVout"
+let c_user = chan "CUser"
+let chain_channel i = chan (Format.sprintf "CV%d" i)
+let c_v1 = chain_channel 1
+let c_v2 = chain_channel 2
+let c_v3 = chain_channel 3
+let c_req stage = chan (Format.sprintf "CReq%d" stage)
+let c_con stage = chan (Format.sprintf "CCon%d" stage)
+let c_in = chan "CIn"
+let c_sus = chan "CSus"
+let c_conout = chan "CConOut"
+let c_ctrl = chan "CCTRL"
+let s_in = chan "SIn"
+let s_out = chan "SOut"
+let s_stage stage = chan (Format.sprintf "S%d" stage)
+
+let p_in = I.Process_id.of_string "PIn"
+let p_out = I.Process_id.of_string "POut"
+let p_control = I.Process_id.of_string "PControl"
+let stage_process i = I.Process_id.of_string (Format.sprintf "P%d" i)
+let p_stage1 = stage_process 1
+let p_stage2 = stage_process 2
+
+let proc_mode ~stage v = I.Mode_id.of_string (Format.sprintf "P%d.proc:%s" stage v)
+
+let variant_of_mode mid =
+  let s = I.Mode_id.to_string mid in
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let prefix = String.sub s 0 i in
+    if
+      String.length prefix >= 4
+      && (String.ends_with ~suffix:".proc" prefix
+         || String.ends_with ~suffix:".proc_fresh" prefix
+         || String.ends_with ~suffix:".ack" prefix)
+    then Some (String.sub s (i + 1) (String.length s - i - 1))
+    else None
+
+let one = Interval.point 1
+let state_token name = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (Frames.state_tag name)) ()
+
+let mode ?payload_policy name ~latency ~consumes ~produces =
+  Spi.Mode.make ?payload_policy ~latency:(Interval.point latency) ~consumes
+    ~produces
+    (I.Mode_id.of_string name)
+
+let produce1 ?tags () = Spi.Mode.produce ?tags one
+let tagset tag = Spi.Tag.Set.singleton tag
+let st name = Frames.state_tag name
+
+let rule name guard mode_name =
+  Spi.Activation.rule (I.Rule_id.of_string name) ~guard
+    ~mode:(I.Mode_id.of_string mode_name)
+
+open Spi.Predicate
+
+(* ------------------------------------------------------------------ *)
+(* PIn: the input valve.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let valve_in ~with_valves =
+  if not with_valves then
+    Spi.Process.simple ~latency:(Interval.point 1)
+      ~consumes:[ (c_vin, one) ]
+      ~produces:[ (c_v1, produce1 ()) ]
+      p_in
+  else
+    let modes =
+      [
+        mode ~payload_policy:Spi.Mode.Fresh "PIn.suspend" ~latency:0
+          ~consumes:[ (c_in, one); (s_in, one) ]
+          ~produces:[ (s_in, produce1 ~tags:(tagset (st "susp")) ()) ];
+        mode ~payload_policy:Spi.Mode.Fresh "PIn.resume" ~latency:0
+          ~consumes:[ (c_in, one); (s_in, one) ]
+          ~produces:[ (s_in, produce1 ~tags:(tagset (st "fresh1")) ()) ];
+        mode "PIn.pass_fresh" ~latency:1
+          ~consumes:[ (s_in, one); (c_vin, one) ]
+          ~produces:
+            [
+              (s_in, produce1 ~tags:(tagset (st "normal")) ());
+              (c_v1, produce1 ~tags:(tagset Frames.fresh_tag) ());
+            ];
+        mode ~payload_policy:Spi.Mode.Fresh "PIn.drop" ~latency:1
+          ~consumes:[ (s_in, one); (c_vin, one) ]
+          ~produces:[ (s_in, produce1 ~tags:(tagset (st "susp")) ()) ];
+        mode "PIn.pass" ~latency:1
+          ~consumes:[ (s_in, one); (c_vin, one) ]
+          ~produces:
+            [
+              (s_in, produce1 ~tags:(tagset (st "normal")) ());
+              (c_v1, produce1 ());
+            ];
+      ]
+    in
+    let activation =
+      Spi.Activation.make
+        [
+          rule "PIn.a_susp"
+            (conj [ num_at_least c_in 1; has_tag c_in Frames.suspend_tag ])
+            "PIn.suspend";
+          rule "PIn.a_res"
+            (conj [ num_at_least c_in 1; has_tag c_in Frames.resume_tag ])
+            "PIn.resume";
+          rule "PIn.a_fresh"
+            (conj [ has_tag s_in (st "fresh1"); num_at_least c_vin 1 ])
+            "PIn.pass_fresh";
+          rule "PIn.a_drop"
+            (conj [ has_tag s_in (st "susp"); num_at_least c_vin 1 ])
+            "PIn.drop";
+          rule "PIn.a_pass"
+            (conj [ has_tag s_in (st "normal"); num_at_least c_vin 1 ])
+            "PIn.pass";
+        ]
+    in
+    Spi.Process.make ~activation ~modes p_in
+
+(* ------------------------------------------------------------------ *)
+(* Stages P1 / P2: variant processes with configurations.              *)
+(* ------------------------------------------------------------------ *)
+
+let stage ~stage:(n : int) ~variants ~input ~output =
+  let pid = stage_process n in
+  let s = s_stage n and req = c_req n and con = c_con n in
+  let prefix = Format.sprintf "P%d" n in
+  let modes_of_variant (v, latency, _) =
+    [
+      mode ~payload_policy:Spi.Mode.Fresh
+        (Format.sprintf "%s.ack:%s" prefix v)
+        ~latency:1
+        ~consumes:[ (req, one); (s, one) ]
+        ~produces:
+          [
+            (s, produce1 ~tags:(tagset (st v)) ());
+            (con, produce1 ~tags:(tagset (Spi.Tag.make "done")) ());
+          ];
+      mode
+        (Format.sprintf "%s.proc_fresh:%s" prefix v)
+        ~latency
+        ~consumes:[ (s, one); (input, one) ]
+        ~produces:
+          [
+            (s, produce1 ~tags:(tagset (st v)) ());
+            (output, produce1 ~tags:(tagset Frames.fresh_tag) ());
+          ];
+      mode
+        (Format.sprintf "%s.proc:%s" prefix v)
+        ~latency
+        ~consumes:[ (s, one); (input, one) ]
+        ~produces:
+          [ (s, produce1 ~tags:(tagset (st v)) ()); (output, produce1 ()) ];
+    ]
+  in
+  let rules_of_variant (v, _, _) =
+    [
+      rule
+        (Format.sprintf "%s.a_ack:%s" prefix v)
+        (conj [ num_at_least req 1; has_tag req (Frames.variant_request_tag v) ])
+        (Format.sprintf "%s.ack:%s" prefix v);
+      rule
+        (Format.sprintf "%s.a_fresh:%s" prefix v)
+        (conj
+           [
+             has_tag s (st v); num_at_least input 1; has_tag input Frames.fresh_tag;
+           ])
+        (Format.sprintf "%s.proc_fresh:%s" prefix v);
+      rule
+        (Format.sprintf "%s.a_proc:%s" prefix v)
+        (conj [ has_tag s (st v); num_at_least input 1 ])
+        (Format.sprintf "%s.proc:%s" prefix v);
+    ]
+  in
+  (* Acknowledge rules of every variant come before any processing rule
+     so pending requests preempt the data stream. *)
+  let ack_rules, data_rules =
+    List.fold_right
+      (fun v (acks, datas) ->
+        match rules_of_variant v with
+        | [ a; f; p ] -> (a :: acks, f :: p :: datas)
+        | _ -> assert false)
+      variants ([], [])
+  in
+  let process =
+    Spi.Process.make
+      ~activation:(Spi.Activation.make (ack_rules @ data_rules))
+      ~modes:(List.concat_map modes_of_variant variants)
+      pid
+  in
+  let entries =
+    List.map
+      (fun (v, _, reconf_latency) ->
+        Variants.Configuration.entry ~reconf_latency
+          (Format.sprintf "%s.conf:%s" prefix v)
+          ~modes:
+            [
+              I.Mode_id.of_string (Format.sprintf "%s.ack:%s" prefix v);
+              I.Mode_id.of_string (Format.sprintf "%s.proc_fresh:%s" prefix v);
+              I.Mode_id.of_string (Format.sprintf "%s.proc:%s" prefix v);
+            ])
+      variants
+  in
+  let initial =
+    match variants with
+    | (v, _, _) :: _ ->
+      Some (I.Config_id.of_string (Format.sprintf "%s.conf:%s" prefix v))
+    | [] -> None
+  in
+  let configuration =
+    Variants.Configuration.make ?initial ~process:pid entries
+  in
+  (process, configuration)
+
+(* ------------------------------------------------------------------ *)
+(* POut: the output valve.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let valve_out ?(input = c_v3) ~with_valves () =
+  if not with_valves then
+    Spi.Process.simple ~latency:(Interval.point 1)
+      ~consumes:[ (input, one) ]
+      ~produces:[ (c_vout, produce1 ()) ]
+      p_out
+  else
+    let modes =
+      [
+        mode ~payload_policy:Spi.Mode.Fresh "POut.suspend" ~latency:0
+          ~consumes:[ (c_sus, one); (s_out, one) ]
+          ~produces:[ (s_out, produce1 ~tags:(tagset (st "susp")) ()) ];
+        mode "POut.resume_fwd" ~latency:1
+          ~consumes:[ (s_out, one); (input, one) ]
+          ~produces:
+            [
+              (s_out, produce1 ~tags:(tagset (st "normal")) ());
+              (c_vout, produce1 ());
+              (c_conout, produce1 ~tags:(tagset (Spi.Tag.make "resumed")) ());
+            ];
+        mode "POut.hold" ~latency:1
+          ~consumes:[ (s_out, one); (input, one) ]
+          ~produces:
+            [
+              (s_out, produce1 ~tags:(tagset (st "susp")) ());
+              (c_vout, produce1 ~tags:(tagset Frames.held_tag) ());
+            ];
+        mode "POut.fwd" ~latency:1
+          ~consumes:[ (s_out, one); (input, one) ]
+          ~produces:
+            [
+              (s_out, produce1 ~tags:(tagset (st "normal")) ());
+              (c_vout, produce1 ());
+            ];
+      ]
+    in
+    let activation =
+      Spi.Activation.make
+        [
+          rule "POut.a_susp"
+            (conj [ num_at_least c_sus 1; has_tag c_sus Frames.suspend_tag ])
+            "POut.suspend";
+          rule "POut.a_resume"
+            (conj
+               [
+                 has_tag s_out (st "susp");
+                 num_at_least input 1;
+                 has_tag input Frames.fresh_tag;
+               ])
+            "POut.resume_fwd";
+          rule "POut.a_hold"
+            (conj [ has_tag s_out (st "susp"); num_at_least input 1 ])
+            "POut.hold";
+          rule "POut.a_fwd"
+            (conj [ has_tag s_out (st "normal"); num_at_least input 1 ])
+            "POut.fwd";
+        ]
+    in
+    Spi.Process.make ~activation ~modes p_out
+
+(* ------------------------------------------------------------------ *)
+(* PControl.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let controller ~with_valves ~variants ~stages =
+  let stage_ids = List.init stages (fun i -> i + 1) in
+  let dispatch_produces v =
+    let requests =
+      List.map
+        (fun i ->
+          (c_req i, produce1 ~tags:(tagset (Frames.variant_request_tag v)) ()))
+        stage_ids
+      @ [ (c_ctrl, produce1 ~tags:(tagset (st "wait")) ()) ]
+    in
+    if with_valves then
+      (c_in, produce1 ~tags:(tagset Frames.suspend_tag) ())
+      :: (c_sus, produce1 ~tags:(tagset Frames.suspend_tag) ())
+      :: requests
+    else requests
+  in
+  let dispatch_mode (v, _, _) =
+    mode ~payload_policy:Spi.Mode.Fresh
+      (Format.sprintf "PControl.dispatch:%s" v)
+      ~latency:1
+      ~consumes:[ (c_user, one); (c_ctrl, one) ]
+      ~produces:(dispatch_produces v)
+  in
+  let finish_produces =
+    if with_valves then
+      [
+        (c_in, produce1 ~tags:(tagset Frames.resume_tag) ());
+        (c_ctrl, produce1 ~tags:(tagset (st "wait_out")) ());
+      ]
+    else [ (c_ctrl, produce1 ~tags:(tagset (st "idle")) ()) ]
+  in
+  let finish_mode =
+    mode ~payload_policy:Spi.Mode.Fresh "PControl.finish" ~latency:1
+      ~consumes:(List.map (fun i -> (c_con i, one)) stage_ids @ [ (c_ctrl, one) ])
+      ~produces:finish_produces
+  in
+  (* The round only closes once POut confirmed it resumed; accepting a
+     new user request earlier would let a stale fresh-tagged frame of
+     the previous round re-open the output valve mid-reconfiguration. *)
+  let complete_mode =
+    mode ~payload_policy:Spi.Mode.Fresh "PControl.complete" ~latency:0
+      ~consumes:[ (c_conout, one); (c_ctrl, one) ]
+      ~produces:[ (c_ctrl, produce1 ~tags:(tagset (st "idle")) ()) ]
+  in
+  let dispatch_rule (v, _, _) =
+    rule
+      (Format.sprintf "PControl.a_dispatch:%s" v)
+      (conj
+         [
+           has_tag c_ctrl (st "idle");
+           num_at_least c_user 1;
+           has_tag c_user (Frames.variant_request_tag v);
+         ])
+      (Format.sprintf "PControl.dispatch:%s" v)
+  in
+  let finish_rule =
+    rule "PControl.a_finish"
+      (conj
+         (has_tag c_ctrl (st "wait")
+          :: List.map (fun i -> num_at_least (c_con i) 1) stage_ids))
+      "PControl.finish"
+  in
+  let complete_rule =
+    rule "PControl.a_complete"
+      (conj [ has_tag c_ctrl (st "wait_out"); num_at_least c_conout 1 ])
+      "PControl.complete"
+  in
+  let rules, modes =
+    if with_valves then
+      ( List.map dispatch_rule variants @ [ finish_rule; complete_rule ],
+        List.map dispatch_mode variants @ [ finish_mode; complete_mode ] )
+    else
+      ( List.map dispatch_rule variants @ [ finish_rule ],
+        List.map dispatch_mode variants @ [ finish_mode ] )
+  in
+  Spi.Process.make ~activation:(Spi.Activation.make rules) ~modes p_control
+
+let build params =
+  (match params.variants with
+  | [] -> invalid_arg "Video.System.build: no variants"
+  | _ :: _ -> ());
+  let initial_variant =
+    match params.variants with (v, _, _) :: _ -> v | [] -> assert false
+  in
+  if params.stages < 1 then invalid_arg "Video.System.build: stages < 1";
+  let with_valves = params.with_valves in
+  let stage_ids = List.init params.stages (fun i -> i + 1) in
+  let built_stages =
+    List.map
+      (fun i ->
+        stage ~stage:i ~variants:params.variants ~input:(chain_channel i)
+          ~output:(chain_channel (i + 1)))
+      stage_ids
+  in
+  let processes =
+    [ valve_in ~with_valves ]
+    @ List.map fst built_stages
+    @ [
+        valve_out ~input:(chain_channel (params.stages + 1)) ~with_valves ();
+        controller ~with_valves ~variants:params.variants
+          ~stages:params.stages;
+      ]
+  in
+  let state_queue cid name = Spi.Chan.queue ~initial:[ state_token name ] cid in
+  let channels =
+    [ Spi.Chan.queue c_vin; Spi.Chan.queue c_vout; Spi.Chan.queue c_user ]
+    @ List.map (fun i -> Spi.Chan.queue (chain_channel i)) (List.init (params.stages + 1) (fun i -> i + 1))
+    @ List.concat_map
+        (fun i -> [ Spi.Chan.queue (c_req i); Spi.Chan.queue (c_con i) ])
+        stage_ids
+    @ [ state_queue c_ctrl "idle" ]
+    @ List.map (fun i -> state_queue (s_stage i) initial_variant) stage_ids
+    @
+    if with_valves then
+      [
+        Spi.Chan.queue c_in;
+        Spi.Chan.queue c_sus;
+        Spi.Chan.queue c_conout;
+        state_queue s_in "normal";
+        state_queue s_out "normal";
+      ]
+    else []
+  in
+  let model = Spi.Model.build_exn ~processes ~channels in
+  { model; configurations = List.map snd built_stages; params }

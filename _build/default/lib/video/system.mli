@@ -1,0 +1,68 @@
+(** The reconfigurable video system of Figure 4.
+
+    A two-stage processing chain [P1 -> P2] on a video stream, a
+    controller [PControl] that switches both stages between function
+    variants on user requests, and the valves [PIn]/[POut] that prevent
+    buffer overflows and invalid output images during reconfiguration:
+    [PIn] destroys input frames while suspended, [POut] replaces chain
+    output by the last completely modified image (tagged
+    {!Frames.held_tag}) until the first fresh frame arrives.
+
+    Stage variants are abstract processes with one configuration per
+    variant (Def. 4); switching variants costs the per-variant
+    reconfiguration latency.  The [~with_valves:false] ablation removes
+    the valves so the invalid-image property becomes falsifiable. *)
+
+type params = {
+  variants : (string * int * int) list;
+      (** (variant name, processing latency, reconfiguration latency);
+          the first variant is the initial configuration *)
+  with_valves : bool;
+  stages : int;
+      (** processing-chain length; the paper's example uses 2 ("to
+          simplify matters") *)
+}
+
+val default_params : params
+(** Two variants [fA] (latency 2, t_conf 4) and [fB] (latency 3,
+    t_conf 6), two stages, valves enabled. *)
+
+type built = {
+  model : Spi.Model.t;
+  configurations : Variants.Configuration.t list;
+  params : params;
+}
+
+val build : params -> built
+(** @raise Invalid_argument when [variants] is empty, [stages < 1], or
+    the model fails validation (cannot happen for sane parameters). *)
+
+(** Channel names used by scenarios and checkers. *)
+val c_vin : Spi.Ids.Channel_id.t
+val c_vout : Spi.Ids.Channel_id.t
+val c_user : Spi.Ids.Channel_id.t
+val c_v1 : Spi.Ids.Channel_id.t
+val c_v2 : Spi.Ids.Channel_id.t
+val c_v3 : Spi.Ids.Channel_id.t
+
+val p_in : Spi.Ids.Process_id.t
+val p_out : Spi.Ids.Process_id.t
+val p_control : Spi.Ids.Process_id.t
+
+val stage_process : int -> Spi.Ids.Process_id.t
+(** [stage_process i] is ["P<i>"] (1-based). *)
+
+val chain_channel : int -> Spi.Ids.Channel_id.t
+(** [chain_channel i] connects stage [i-1] (or [PIn] for [i = 1]) to
+    stage [i] (or [POut] for [i = stages + 1]). *)
+
+val p_stage1 : Spi.Ids.Process_id.t
+val p_stage2 : Spi.Ids.Process_id.t
+
+val proc_mode : stage:int -> string -> Spi.Ids.Mode_id.t
+(** The processing mode id of a stage variant (used by the checker to
+    recover which variant processed a frame). *)
+
+val variant_of_mode : Spi.Ids.Mode_id.t -> string option
+(** Inverse of the stage mode naming: the variant name encoded in a
+    processing/ack mode id, [None] for valve or controller modes. *)

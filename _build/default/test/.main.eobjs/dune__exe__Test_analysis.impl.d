@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Format Interval List Sim Spi

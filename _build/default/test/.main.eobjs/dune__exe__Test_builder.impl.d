@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Interval List Sim Spi

@@ -1,0 +1,1 @@
+test/test_cluster_interface.ml: Alcotest Format Interval List Option Spi Variants

@@ -1,0 +1,1 @@
+test/test_clusterize.ml: Alcotest Interval List Sim Spi Variants

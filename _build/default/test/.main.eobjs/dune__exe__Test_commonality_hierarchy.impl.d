@@ -1,0 +1,1 @@
+test/test_commonality_hierarchy.ml: Alcotest Interval List Paper Sim Spi String Variants

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest List Option Sim Spi

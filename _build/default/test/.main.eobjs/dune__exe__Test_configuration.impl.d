@@ -1,0 +1,1 @@
+test/test_configuration.ml: Alcotest Interval List Option Spi Variants

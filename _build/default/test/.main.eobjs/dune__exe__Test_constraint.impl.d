@@ -1,0 +1,1 @@
+test/test_constraint.ml: Alcotest Interval List Spi

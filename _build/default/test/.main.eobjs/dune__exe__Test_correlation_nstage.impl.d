@@ -1,0 +1,1 @@
+test/test_correlation_nstage.ml: Alcotest Format Interval List Option Paper Sim Spi Video

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Format List QCheck QCheck_alcotest Sim Spi Variants

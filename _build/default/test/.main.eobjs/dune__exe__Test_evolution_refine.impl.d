@@ -1,0 +1,1 @@
+test/test_evolution_refine.ml: Alcotest Interval List Option Paper Sim Spi Variants Video

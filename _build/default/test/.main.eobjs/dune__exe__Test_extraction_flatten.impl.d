@@ -1,0 +1,1 @@
+test/test_extraction_flatten.ml: Alcotest Format Interval List Option Paper QCheck QCheck_alcotest Spi String Variants

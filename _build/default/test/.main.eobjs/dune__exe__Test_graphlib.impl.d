@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Format Graphlib Int List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Format List Option Paper QCheck QCheck_alcotest Random Spi Synth Variants

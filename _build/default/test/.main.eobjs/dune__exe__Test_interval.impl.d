@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Format Interval Lang List Option Paper QCheck QCheck_alcotest Sim Spi String Synth Variants Video

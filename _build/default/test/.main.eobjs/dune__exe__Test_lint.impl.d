@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Format Interval List Paper Spi String Variants

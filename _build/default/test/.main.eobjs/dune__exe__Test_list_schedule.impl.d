@@ -1,0 +1,1 @@
+test/test_list_schedule.ml: Alcotest Format Interval List Option Paper Spi String Synth Variants

@@ -1,0 +1,1 @@
+test/test_mode_predicate.ml: Alcotest Format Interval List QCheck QCheck_alcotest Spi

@@ -1,0 +1,1 @@
+test/test_more_properties.ml: Format Interval Lang List Option QCheck QCheck_alcotest Random Sim Spi String Synth Variants

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest List Option Paper Sim Spi String Synth Video

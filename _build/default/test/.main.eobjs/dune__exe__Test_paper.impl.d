@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Interval List Paper Sim Spi Variants

@@ -1,0 +1,1 @@
+test/test_process_model.ml: Alcotest Interval List Option Spi

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format List Option Paper Spi String Synth Variants

@@ -1,0 +1,1 @@
+test/test_reuse_json.ml: Alcotest Format Interval List Paper Sim Spi String Variants Video

@@ -1,0 +1,1 @@
+test/test_rta.ml: Alcotest Format List QCheck QCheck_alcotest Spi Synth

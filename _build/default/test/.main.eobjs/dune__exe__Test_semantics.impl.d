@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Interval List Option QCheck QCheck_alcotest Spi

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Option Paper Spi Synth

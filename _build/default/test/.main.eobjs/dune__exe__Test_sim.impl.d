@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Interval List QCheck QCheck_alcotest Sim Spi Variants

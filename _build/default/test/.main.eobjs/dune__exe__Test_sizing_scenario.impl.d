@@ -1,0 +1,1 @@
+test/test_sizing_scenario.ml: Alcotest List Sim Spi Video

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Interval List Option Paper QCheck QCheck_alcotest Sim Spi Synth Variants

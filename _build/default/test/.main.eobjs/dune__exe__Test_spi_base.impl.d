@@ -1,0 +1,1 @@
+test/test_spi_base.ml: Alcotest List Spi

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Interval List Sim Spi Video

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Format List Option Paper QCheck QCheck_alcotest Random Spi Synth

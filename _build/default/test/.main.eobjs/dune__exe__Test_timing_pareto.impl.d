@@ -1,0 +1,1 @@
+test/test_timing_pareto.ml: Alcotest Interval List Paper Spi Synth

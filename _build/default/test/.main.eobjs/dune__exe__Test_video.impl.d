@@ -1,0 +1,1 @@
+test/test_video.ml: Alcotest List QCheck QCheck_alcotest Sim Spi Video

@@ -1,0 +1,210 @@
+(* Tests for the static analyses: rate balance, structural deadlock
+   candidates and queue bounds. *)
+
+module I = Spi.Ids
+module A = Spi.Analysis
+
+let cid = I.Channel_id.of_string
+let pid = I.Process_id.of_string
+let one = Interval.point 1
+
+let proc ?(latency = 1) ~consumes ~produces name =
+  Spi.Process.simple ~latency:(Interval.point latency)
+    ~consumes:(List.map (fun (c, n) -> (cid c, Interval.point n)) consumes)
+    ~produces:
+      (List.map (fun (c, n) -> (cid c, Spi.Mode.produce (Interval.point n))) produces)
+    (pid name)
+
+let model ~processes ~channels =
+  Spi.Model.build_exn ~processes
+    ~channels:(List.map (fun (c, init) -> Spi.Chan.queue ~initial:init (cid c)) channels)
+
+let test_balance_balanced () =
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 2) ] "p";
+          proc ~consumes:[ ("b", 2) ] ~produces:[] "q";
+        ]
+      ~channels:[ ("a", []); ("b", []) ]
+  in
+  (match A.channel_balance m (cid "b") with
+  | A.Balanced -> ()
+  | b -> Alcotest.failf "expected balanced, got %a" A.pp_balance b);
+  match A.channel_balance m (cid "a") with
+  | A.Boundary -> ()
+  | b -> Alcotest.failf "expected boundary, got %a" A.pp_balance b
+
+let test_balance_accumulating () =
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 3) ] "p";
+          proc ~consumes:[ ("b", 1) ] ~produces:[] "q";
+        ]
+      ~channels:[ ("a", []); ("b", []) ]
+  in
+  match A.channel_balance m (cid "b") with
+  | A.Accumulating { surplus } -> Alcotest.(check int) "surplus" 2 surplus
+  | b -> Alcotest.failf "expected accumulating, got %a" A.pp_balance b
+
+let test_balance_starving () =
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 1) ] "p";
+          proc ~consumes:[ ("b", 4) ] ~produces:[] "q";
+        ]
+      ~channels:[ ("a", []); ("b", []) ]
+  in
+  match A.channel_balance m (cid "b") with
+  | A.Starving { deficit } -> Alcotest.(check int) "deficit" 3 deficit
+  | b -> Alcotest.failf "expected starving, got %a" A.pp_balance b
+
+let test_balance_report_covers_all () =
+  let m =
+    model
+      ~processes:[ proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 1) ] "p" ]
+      ~channels:[ ("a", []); ("b", []) ]
+  in
+  Alcotest.(check int) "two channels" 2 (List.length (A.balance_report m))
+
+let test_deadlock_detected () =
+  (* u and v feed each other; both loops start empty: deadlock *)
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("ab", 1) ] ~produces:[ ("ba", 1) ] "v";
+          proc ~consumes:[ ("ba", 1) ] ~produces:[ ("ab", 1) ] "u";
+        ]
+      ~channels:[ ("ab", []); ("ba", []) ]
+  in
+  match A.deadlock_candidates m with
+  | [ comp ] ->
+    Alcotest.(check int) "two processes" 2 (List.length comp)
+  | l -> Alcotest.failf "expected one candidate, got %d" (List.length l)
+
+let test_deadlock_broken_by_initial_token () =
+  (* the SPI state-keeping idiom: self-loop primed with a token *)
+  let m =
+    model
+      ~processes:
+        [ proc ~consumes:[ ("self", 1); ("in", 1) ] ~produces:[ ("self", 1) ] "p" ]
+      ~channels:[ ("self", [ Spi.Token.plain ]); ("in", []) ]
+  in
+  Alcotest.(check int) "no candidates" 0 (List.length (A.deadlock_candidates m))
+
+let test_deadlock_empty_self_loop () =
+  let m =
+    model
+      ~processes:[ proc ~consumes:[ ("self", 1) ] ~produces:[ ("self", 1) ] "p" ]
+      ~channels:[ ("self", []) ]
+  in
+  Alcotest.(check int) "one candidate" 1 (List.length (A.deadlock_candidates m))
+
+let test_deadlock_externally_startable () =
+  (* a cycle whose processes can also fire from an external channel
+     alone is not reported *)
+  let mode_ext =
+    Spi.Mode.make ~latency:one
+      ~consumes:[ (cid "ext", one) ]
+      ~produces:[ (cid "ab", Spi.Mode.produce one) ]
+      (I.Mode_id.of_string "ext")
+  and mode_loop =
+    Spi.Mode.make ~latency:one
+      ~consumes:[ (cid "ba", one) ]
+      ~produces:[ (cid "ab", Spi.Mode.produce one) ]
+      (I.Mode_id.of_string "loop")
+  in
+  let u = Spi.Process.make ~modes:[ mode_ext; mode_loop ] (pid "u") in
+  let v = proc ~consumes:[ ("ab", 1) ] ~produces:[ ("ba", 1) ] "v" in
+  let m =
+    Spi.Model.build_exn ~processes:[ u; v ]
+      ~channels:
+        [ Spi.Chan.queue (cid "ext"); Spi.Chan.queue (cid "ab"); Spi.Chan.queue (cid "ba") ]
+  in
+  Alcotest.(check int) "not a candidate" 0 (List.length (A.deadlock_candidates m))
+
+let test_queue_bounds_chain () =
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 2) ] "p";
+          proc ~consumes:[ ("b", 1) ] ~produces:[ ("c", 3) ] "q";
+        ]
+      ~channels:[ ("a", []); ("b", []); ("c", []) ]
+  in
+  (* a: boundary, 4 env tokens; p fires <= 4; b <= 8; q fires <= 8; c <= 24 *)
+  Alcotest.(check (option int)) "a" (Some 4) (A.queue_bound ~source_executions:4 m (cid "a"));
+  Alcotest.(check (option int)) "b" (Some 8) (A.queue_bound ~source_executions:4 m (cid "b"));
+  Alcotest.(check (option int)) "c" (Some 24) (A.queue_bound ~source_executions:4 m (cid "c"));
+  Alcotest.(check (option int)) "unknown" None (A.queue_bound ~source_executions:4 m (cid "zz"))
+
+let test_queue_bounds_cyclic () =
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("ab", 1) ] ~produces:[ ("ba", 1) ] "v";
+          proc ~consumes:[ ("ba", 1) ] ~produces:[ ("ab", 1) ] "u";
+        ]
+      ~channels:[ ("ab", []); ("ba", []) ]
+  in
+  Alcotest.(check (option int)) "cyclic unbounded" None
+    (A.queue_bound ~source_executions:4 m (cid "ab"))
+
+let test_bound_is_sound_vs_simulation () =
+  (* the static bound dominates the simulated high-water mark *)
+  let m =
+    model
+      ~processes:
+        [
+          proc ~consumes:[ ("a", 1) ] ~produces:[ ("b", 2) ] "p";
+          proc ~latency:10 ~consumes:[ ("b", 1) ] ~produces:[] "q";
+        ]
+      ~channels:[ ("a", []); ("b", []) ]
+  in
+  let n = 6 in
+  let stimuli =
+    List.init n (fun i ->
+        { Sim.Engine.at = i + 1; channel = cid "a"; token = Spi.Token.plain })
+  in
+  let result = Sim.Engine.run ~stimuli m in
+  let stats = Sim.Stats.of_result m result in
+  let observed =
+    match Sim.Stats.channel (cid "b") stats with
+    | Some c -> c.Sim.Stats.high_water
+    | None -> Alcotest.fail "channel stats missing"
+  in
+  match A.queue_bound ~source_executions:n m (cid "b") with
+  | Some bound ->
+    Alcotest.(check bool)
+      (Format.sprintf "bound %d >= observed %d" bound observed)
+      true (bound >= observed)
+  | None -> Alcotest.fail "bound expected"
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "balance balanced/boundary" `Quick test_balance_balanced;
+      Alcotest.test_case "balance accumulating" `Quick test_balance_accumulating;
+      Alcotest.test_case "balance starving" `Quick test_balance_starving;
+      Alcotest.test_case "balance report coverage" `Quick
+        test_balance_report_covers_all;
+      Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      Alcotest.test_case "deadlock broken by initial token" `Quick
+        test_deadlock_broken_by_initial_token;
+      Alcotest.test_case "deadlock empty self loop" `Quick
+        test_deadlock_empty_self_loop;
+      Alcotest.test_case "deadlock externally startable" `Quick
+        test_deadlock_externally_startable;
+      Alcotest.test_case "queue bounds chain" `Quick test_queue_bounds_chain;
+      Alcotest.test_case "queue bounds cyclic" `Quick test_queue_bounds_cyclic;
+      Alcotest.test_case "bound sound vs simulation" `Quick
+        test_bound_is_sound_vs_simulation;
+    ] )

@@ -1,0 +1,110 @@
+(* Tests for the pipeline-style model builder. *)
+
+module B = Spi.Builder
+module I = Spi.Ids
+
+let pipeline =
+  B.(
+    empty
+    |> queue "in"
+    |> queue ~capacity:8 "mid"
+    |> queue "out"
+    |> stage "decode" ~latency:(2, 4) ~from:"in" ~into:"mid"
+    |> stage "render" ~latency:(fixed 1) ~from:"mid" ~into:"out")
+
+let test_build () =
+  let model = B.build_exn pipeline in
+  Alcotest.(check int) "channels" 3 (List.length (Spi.Model.channels model));
+  Alcotest.(check int) "processes" 2 (List.length (Spi.Model.processes model));
+  let decode = Spi.Model.get_process (I.Process_id.of_string "decode") model in
+  Alcotest.(check bool) "latency interval" true
+    (Interval.equal (Spi.Process.latency_hull decode) (Interval.make 2 4));
+  let mid = Spi.Model.get_channel (I.Channel_id.of_string "mid") model in
+  Alcotest.(check (option int)) "capacity kept" (Some 8) (Spi.Chan.capacity mid)
+
+let test_build_runs () =
+  let model = B.build_exn pipeline in
+  let stimuli =
+    List.init 3 (fun i ->
+        {
+          Sim.Engine.at = 1 + i;
+          channel = I.Channel_id.of_string "in";
+          token = Spi.Token.make ~payload:i ();
+        })
+  in
+  let result = Sim.Engine.run ~stimuli model in
+  Alcotest.(check int) "delivered" 3
+    (List.length
+       (Sim.Trace.tokens_produced_on (I.Channel_id.of_string "out")
+          result.Sim.Engine.trace))
+
+let test_state_queue_and_register () =
+  let model =
+    B.(
+      empty
+      |> state_queue "S" ~tag:"st:idle"
+      |> register "R"
+      |> queue "in"
+      |> worker "w" ~latency:(fixed 1)
+           ~consumes:[ ("in", 1); ("S", 1) ]
+           ~produces:[ ("S", 1) ]
+      |> build_exn)
+  in
+  let s = Spi.Model.get_channel (I.Channel_id.of_string "S") model in
+  Alcotest.(check int) "state token" 1 (List.length (Spi.Chan.initial s));
+  let r = Spi.Model.get_channel (I.Channel_id.of_string "R") model in
+  Alcotest.(check bool) "register" true (Spi.Chan.kind r = Spi.Chan.Register)
+
+let test_source_sink () =
+  let model =
+    B.(
+      empty
+      |> queue "c"
+      |> source "gen" ~latency:(fixed 1) ~into:"c" ~count:2 ()
+      |> sink "eat" ~latency:(fixed 1) ~from:"c" ()
+      |> build_exn)
+  in
+  let result =
+    Sim.Engine.run
+      ~firing_budget:[ (I.Process_id.of_string "gen", 3) ]
+      model
+  in
+  (* 3 source firings x 2 tokens = 6 sink firings *)
+  Alcotest.(check int) "firings" 9 result.Sim.Engine.firings
+
+let test_build_errors_propagate () =
+  let bad = B.(empty |> stage "p" ~latency:(fixed 1) ~from:"ghost" ~into:"also_ghost") in
+  match B.build bad with
+  | Ok _ -> Alcotest.fail "dangling channels accepted"
+  | Error errors ->
+    Alcotest.(check bool) "unknown channel" true
+      (List.exists
+         (function Spi.Model.Unknown_channel _ -> true | _ -> false)
+         errors)
+
+let test_prefix_reuse () =
+  (* the builder is persistent: a shared prefix yields two models *)
+  let base = B.(empty |> queue "a" |> queue "b") in
+  let one = B.(base |> stage "p" ~latency:(fixed 1) ~from:"a" ~into:"b" |> build_exn) in
+  let two =
+    B.(
+      base
+      |> stage "p" ~latency:(fixed 2) ~from:"a" ~into:"b"
+      |> build_exn)
+  in
+  let lat m =
+    Spi.Process.latency_hull (Spi.Model.get_process (I.Process_id.of_string "p") m)
+  in
+  Alcotest.(check bool) "independent" false (Interval.equal (lat one) (lat two))
+
+let suite =
+  ( "builder",
+    [
+      Alcotest.test_case "build" `Quick test_build;
+      Alcotest.test_case "built model runs" `Quick test_build_runs;
+      Alcotest.test_case "state queue / register" `Quick
+        test_state_queue_and_register;
+      Alcotest.test_case "source / sink" `Quick test_source_sink;
+      Alcotest.test_case "errors propagate" `Quick test_build_errors_propagate;
+      Alcotest.test_case "prefix reuse" `Quick test_prefix_reuse;
+    ] )

@@ -1,0 +1,311 @@
+(* Tests for ports, clusters (Def. 1), interfaces (Def. 2) and
+   selection functions (Def. 3). *)
+
+module I = Spi.Ids
+module V = Variants
+
+let cid = I.Channel_id.of_string
+let pid = I.Process_id.of_string
+let one = Interval.point 1
+
+let chain_proc ~from_ ~to_ name =
+  Spi.Process.simple ~latency:one
+    ~consumes:[ (from_, one) ]
+    ~produces:[ (to_, Spi.Mode.produce one) ]
+    (pid name)
+
+let port_i = V.Port.input "i"
+let port_o = V.Port.output "o"
+let chan_i = V.Port.channel_of (V.Port.id port_i)
+let chan_o = V.Port.channel_of (V.Port.id port_o)
+
+let good_cluster name =
+  let k = cid "k" in
+  V.Cluster.make
+    ~channels:[ Spi.Chan.queue k ]
+    ~ports:[ port_i; port_o ]
+    ~processes:
+      [ chain_proc ~from_:chan_i ~to_:k "u"; chain_proc ~from_:k ~to_:chan_o "v" ]
+    name
+
+(* ------------------------------- ports ------------------------------ *)
+
+let test_port_basics () =
+  Alcotest.(check bool) "input" true (V.Port.is_input port_i);
+  Alcotest.(check bool) "output" true (V.Port.is_output port_o);
+  Alcotest.(check string) "channel embedding" "i"
+    (I.Channel_id.to_string (V.Port.channel_of (V.Port.id port_i)))
+
+let test_port_signature () =
+  let ins, outs = V.Port.signature [ port_i; port_o ] in
+  Alcotest.(check int) "one in" 1 (I.Port_id.Set.cardinal ins);
+  Alcotest.(check int) "one out" 1 (I.Port_id.Set.cardinal outs);
+  Alcotest.(check bool) "same signature" true
+    (V.Port.same_signature [ port_i; port_o ] [ port_o; port_i ]);
+  Alcotest.(check bool) "different signature" false
+    (V.Port.same_signature [ port_i ] [ port_i; port_o ]);
+  try
+    ignore (V.Port.signature [ port_i; V.Port.input "i" ]);
+    Alcotest.fail "duplicate port accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------ clusters ---------------------------- *)
+
+let test_cluster_valid () =
+  Alcotest.(check (list string)) "no errors" []
+    (List.map
+       (Format.asprintf "%a" V.Cluster.pp_error)
+       (V.Cluster.validate (good_cluster "g")))
+
+let expect_cluster_error cluster pred name =
+  let errors = V.Cluster.validate cluster in
+  Alcotest.(check bool) name true (List.exists pred errors)
+
+let test_cluster_undeclared_channel () =
+  let bad =
+    V.Cluster.make
+      ~ports:[ port_i; port_o ]
+      ~processes:[ chain_proc ~from_:chan_i ~to_:(cid "ghost") "u" ]
+      "bad"
+  in
+  expect_cluster_error bad
+    (function V.Cluster.Undeclared_channel _ -> true | _ -> false)
+    "undeclared channel"
+
+let test_cluster_port_shadow () =
+  let bad =
+    V.Cluster.make
+      ~channels:[ Spi.Chan.queue chan_i ]
+      ~ports:[ port_i; port_o ]
+      ~processes:[ chain_proc ~from_:chan_i ~to_:chan_o "u" ]
+      "bad"
+  in
+  expect_cluster_error bad
+    (function V.Cluster.Port_channel_declared _ -> true | _ -> false)
+    "port shadowed"
+
+let test_cluster_input_fanout () =
+  let bad =
+    V.Cluster.make
+      ~channels:[ Spi.Chan.queue (cid "k1"); Spi.Chan.queue (cid "k2") ]
+      ~ports:[ port_i; port_o ]
+      ~processes:
+        [
+          chain_proc ~from_:chan_i ~to_:(cid "k1") "u";
+          chain_proc ~from_:chan_i ~to_:(cid "k2") "v";
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "k1", one); (cid "k2", one) ]
+            ~produces:[ (chan_o, Spi.Mode.produce one) ]
+            (pid "w");
+        ]
+      "bad"
+  in
+  expect_cluster_error bad
+    (function V.Cluster.Input_port_fanout _ -> true | _ -> false)
+    "input fanout"
+
+let test_cluster_port_direction_abuse () =
+  let writes_input =
+    V.Cluster.make
+      ~ports:[ port_i; port_o ]
+      ~processes:[ chain_proc ~from_:chan_o ~to_:chan_i "u" ]
+      "bad"
+  in
+  expect_cluster_error writes_input
+    (function V.Cluster.Input_port_written _ -> true | _ -> false)
+    "input written";
+  expect_cluster_error writes_input
+    (function V.Cluster.Output_port_read _ -> true | _ -> false)
+    "output read"
+
+let test_cluster_instantiate () =
+  let inst =
+    V.Cluster.instantiate ~prefix:"site1"
+      ~port_channels:[ (V.Port.id port_i, cid "HOSTIN"); (V.Port.id port_o, cid "HOSTOUT") ]
+      ~sub_choice:(fun _ -> Alcotest.fail "no sub-interfaces")
+      (good_cluster "g")
+  in
+  Alcotest.(check int) "processes" 2 (List.length inst.V.Cluster.inst_processes);
+  Alcotest.(check int) "channels" 1 (List.length inst.V.Cluster.inst_channels);
+  let names =
+    List.map
+      (fun p -> I.Process_id.to_string (Spi.Process.id p))
+      inst.V.Cluster.inst_processes
+  in
+  Alcotest.(check (list string)) "prefixed" [ "site1.u"; "site1.v" ] names;
+  let u = List.hd inst.V.Cluster.inst_processes in
+  Alcotest.(check bool) "port rewired" true
+    (I.Channel_id.Set.mem (cid "HOSTIN") (Spi.Process.inputs u));
+  (* missing port binding *)
+  try
+    ignore
+      (V.Cluster.instantiate ~prefix:"x" ~port_channels:[]
+         ~sub_choice:(fun _ -> assert false)
+         (good_cluster "g"));
+    Alcotest.fail "missing binding accepted"
+  with Invalid_argument _ -> ()
+
+let test_cluster_latency_paths () =
+  let lat = V.Cluster.latency_paths (good_cluster "g") in
+  (* chain of two latency-1 processes *)
+  Alcotest.(check bool) "chain latency" true (Interval.equal lat (Interval.point 2))
+
+let test_cluster_port_rates () =
+  let g = good_cluster "g" in
+  Alcotest.(check bool) "consumption" true
+    (Interval.equal (V.Cluster.port_consumption g (V.Port.id port_i)) one);
+  Alcotest.(check bool) "production" true
+    (Interval.equal (V.Cluster.port_production g (V.Port.id port_o)) one);
+  Alcotest.(check bool) "unused port" true
+    (Interval.equal
+       (V.Cluster.port_consumption g (I.Port_id.of_string "nope"))
+       Interval.zero)
+
+let test_cluster_entry_process () =
+  match V.Cluster.entry_process (good_cluster "g") with
+  | Some p -> Alcotest.(check string) "entry is u" "u" (I.Process_id.to_string (Spi.Process.id p))
+  | None -> Alcotest.fail "entry expected"
+
+(* ----------------------------- interfaces --------------------------- *)
+
+let test_interface_valid () =
+  let iface =
+    V.Interface.make ~ports:[ port_i; port_o ]
+      ~clusters:[ good_cluster "g1"; good_cluster "g2" ]
+      "iface"
+  in
+  Alcotest.(check (list string)) "no errors" []
+    (List.map (Format.asprintf "%a" V.Interface.pp_error) (V.Interface.validate iface));
+  Alcotest.(check int) "variant count" 2 (V.Interface.variant_count iface);
+  Alcotest.(check bool) "find" true
+    (Option.is_some (V.Interface.find_cluster (I.Cluster_id.of_string "g1") iface))
+
+let test_interface_errors () =
+  let no_clusters = V.Interface.make ~ports:[ port_i ] ~clusters:[] "empty" in
+  Alcotest.(check bool) "no clusters" true
+    (List.exists
+       (function V.Interface.No_clusters -> true | _ -> false)
+       (V.Interface.validate no_clusters));
+  let mismatched =
+    V.Interface.make ~ports:[ port_i ]
+      ~clusters:[ good_cluster "g" ]
+      "mismatch"
+  in
+  Alcotest.(check bool) "signature mismatch" true
+    (List.exists
+       (function V.Interface.Signature_mismatch _ -> true | _ -> false)
+       (V.Interface.validate mismatched));
+  let dup =
+    V.Interface.make ~ports:[ port_i; port_o ]
+      ~clusters:[ good_cluster "g"; good_cluster "g" ]
+      "dup"
+  in
+  Alcotest.(check bool) "duplicate cluster" true
+    (List.exists
+       (function V.Interface.Duplicate_cluster _ -> true | _ -> false)
+       (V.Interface.validate dup))
+
+let test_interface_selection_validation () =
+  let selection =
+    V.Selection.make
+      ~config_latencies:[ (I.Cluster_id.of_string "ghost", 3) ]
+      ~initial:(I.Cluster_id.of_string "ghost2")
+      [
+        V.Selection.rule "r" ~guard:Spi.Predicate.True
+          ~target:(I.Cluster_id.of_string "ghost3");
+      ]
+  in
+  let iface =
+    V.Interface.make ~selection ~ports:[ port_i; port_o ]
+      ~clusters:[ good_cluster "g" ]
+      "iface"
+  in
+  let errors = V.Interface.validate iface in
+  let has pred = List.exists pred errors in
+  Alcotest.(check bool) "unknown target" true
+    (has (function V.Interface.Selection_unknown_cluster _ -> true | _ -> false));
+  Alcotest.(check bool) "unknown latency entry" true
+    (has (function
+      | V.Interface.Selection_latency_unknown_cluster _ -> true
+      | _ -> false));
+  Alcotest.(check bool) "unknown initial" true
+    (has (function V.Interface.Selection_initial_unknown _ -> true | _ -> false))
+
+(* ----------------------------- selection ---------------------------- *)
+
+let selection_example =
+  V.Selection.make
+    ~config_latencies:[ (I.Cluster_id.of_string "g1", 5); (I.Cluster_id.of_string "g2", 7) ]
+    ~initial:(I.Cluster_id.of_string "g1")
+    [
+      V.Selection.rule "v1"
+        ~guard:(Spi.Predicate.has_tag (cid "CV") (Spi.Tag.make "V1"))
+        ~target:(I.Cluster_id.of_string "g1");
+      V.Selection.rule "v2"
+        ~guard:(Spi.Predicate.has_tag (cid "CV") (Spi.Tag.make "V2"))
+        ~target:(I.Cluster_id.of_string "g2");
+    ]
+
+let view_with_tag tag =
+  {
+    Spi.Predicate.tokens_available = (fun _ -> 1);
+    first_tags = (fun _ -> Some (Spi.Tag.set_of_list [ tag ]));
+  }
+
+let test_selection_select () =
+  (match V.Selection.select_cluster (view_with_tag "V2") selection_example with
+  | Some c -> Alcotest.(check string) "picks g2" "g2" (I.Cluster_id.to_string c)
+  | None -> Alcotest.fail "selection expected");
+  Alcotest.(check bool) "no rule fires" true
+    (Option.is_none
+       (V.Selection.select_cluster (view_with_tag "V9") selection_example))
+
+let test_selection_latency () =
+  Alcotest.(check int) "g2 latency" 7
+    (V.Selection.config_latency selection_example (I.Cluster_id.of_string "g2"));
+  Alcotest.(check int) "unknown latency 0" 0
+    (V.Selection.config_latency selection_example (I.Cluster_id.of_string "zz"))
+
+let test_selection_reconfiguration () =
+  let g1 = I.Cluster_id.of_string "g1" in
+  Alcotest.(check bool) "none -> any" true
+    (V.Selection.requires_reconfiguration None g1);
+  Alcotest.(check bool) "same" false
+    (V.Selection.requires_reconfiguration (Some g1) g1);
+  Alcotest.(check bool) "different" true
+    (V.Selection.requires_reconfiguration (Some g1) (I.Cluster_id.of_string "g2"))
+
+let test_selection_negative_latency () =
+  try
+    ignore
+      (V.Selection.make ~config_latencies:[ (I.Cluster_id.of_string "g", -1) ] []);
+    Alcotest.fail "negative latency accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  ( "cluster-interface-selection",
+    [
+      Alcotest.test_case "port basics" `Quick test_port_basics;
+      Alcotest.test_case "port signature" `Quick test_port_signature;
+      Alcotest.test_case "cluster valid" `Quick test_cluster_valid;
+      Alcotest.test_case "cluster undeclared channel" `Quick
+        test_cluster_undeclared_channel;
+      Alcotest.test_case "cluster port shadow" `Quick test_cluster_port_shadow;
+      Alcotest.test_case "cluster input fanout" `Quick test_cluster_input_fanout;
+      Alcotest.test_case "cluster port direction abuse" `Quick
+        test_cluster_port_direction_abuse;
+      Alcotest.test_case "cluster instantiate" `Quick test_cluster_instantiate;
+      Alcotest.test_case "cluster latency paths" `Quick test_cluster_latency_paths;
+      Alcotest.test_case "cluster port rates" `Quick test_cluster_port_rates;
+      Alcotest.test_case "cluster entry process" `Quick test_cluster_entry_process;
+      Alcotest.test_case "interface valid" `Quick test_interface_valid;
+      Alcotest.test_case "interface errors" `Quick test_interface_errors;
+      Alcotest.test_case "interface selection validation" `Quick
+        test_interface_selection_validation;
+      Alcotest.test_case "selection select" `Quick test_selection_select;
+      Alcotest.test_case "selection latency" `Quick test_selection_latency;
+      Alcotest.test_case "selection reconfiguration" `Quick
+        test_selection_reconfiguration;
+      Alcotest.test_case "selection negative latency" `Quick
+        test_selection_negative_latency;
+    ] )

@@ -1,0 +1,147 @@
+(* Tests for clusterization (the inverse of flattening). *)
+
+module I = Spi.Ids
+module V = Variants
+
+let pid = I.Process_id.of_string
+let cid = I.Channel_id.of_string
+
+(* src -> a -> f1 -> k -> f2 -> b -> snk, with a side channel f1 -> dbg *)
+let flat_model =
+  Spi.Builder.(
+    empty
+    |> queue "a" |> queue "k" |> queue "b" |> queue "in" |> queue "dbg"
+    |> stage "src" ~latency:(fixed 1) ~from:"in" ~into:"a"
+    |> worker "f1" ~latency:(1, 3)
+         ~consumes:[ ("a", 1) ]
+         ~produces:[ ("k", 1); ("dbg", 1) ]
+    |> stage "f2" ~latency:(fixed 2) ~from:"k" ~into:"b"
+    |> sink "snk" ~latency:(fixed 1) ~from:"b" ()
+    |> build_exn)
+
+let the_cut = I.Process_id.Set.of_list [ pid "f1"; pid "f2" ]
+
+let test_cut_ports () =
+  let { V.Clusterize.cluster; wiring } =
+    V.Clusterize.cut ~name:"filter" the_cut flat_model
+  in
+  let ins = V.Cluster.input_ports cluster in
+  let outs = V.Cluster.output_ports cluster in
+  Alcotest.(check (list string)) "inputs" [ "a" ]
+    (List.map I.Port_id.to_string (I.Port_id.Set.elements ins));
+  Alcotest.(check (list string)) "outputs" [ "b"; "dbg" ]
+    (List.map I.Port_id.to_string (I.Port_id.Set.elements outs));
+  Alcotest.(check int) "one internal channel" 1
+    (List.length cluster.V.Structure.channels);
+  Alcotest.(check int) "wiring covers ports" 3 (List.length wiring);
+  Alcotest.(check int) "cluster well-formed" 0
+    (List.length (V.Cluster.validate cluster))
+
+let test_cut_errors () =
+  (try
+     ignore (V.Clusterize.cut ~name:"x" I.Process_id.Set.empty flat_model);
+     Alcotest.fail "empty cut accepted"
+   with V.Clusterize.Clusterize_error _ -> ());
+  try
+    ignore
+      (V.Clusterize.cut ~name:"x"
+         (I.Process_id.Set.singleton (pid "ghost"))
+         flat_model);
+    Alcotest.fail "unknown process accepted"
+  with V.Clusterize.Clusterize_error _ -> ()
+
+let test_carve_round_trip () =
+  let system =
+    V.Clusterize.carve ~interface_name:"filter" ~cluster_name:"orig" the_cut
+      flat_model
+  in
+  Alcotest.(check int) "system validates" 0 (List.length (V.System.validate system));
+  let reflattened =
+    V.Flatten.flatten system (V.Flatten.choice_of_list [ ("filter", "orig") ])
+  in
+  let names m =
+    List.sort compare
+      (List.map (fun p -> I.Process_id.to_string (Spi.Process.id p))
+         (Spi.Model.processes m))
+  in
+  Alcotest.(check (list string)) "process set preserved (cut prefixed)"
+    [ "filter.f1"; "filter.f2"; "snk"; "src" ]
+    (names reflattened);
+  (* behaviour preserved: same end-to-end delivery *)
+  let stimuli =
+    List.init 4 (fun i ->
+        { Sim.Engine.at = 1 + i; channel = cid "in"; token = Spi.Token.make ~payload:i () })
+  in
+  let run m =
+    let r = Sim.Engine.run ~stimuli m in
+    ( List.length (Sim.Trace.tokens_produced_on (cid "b") r.Sim.Engine.trace),
+      r.Sim.Engine.firings )
+  in
+  Alcotest.(check (pair int int)) "same behaviour" (run flat_model) (run reflattened)
+
+let test_carve_then_add_variant () =
+  (* the point of the import: once carved, a second variant can be added *)
+  let system =
+    V.Clusterize.carve ~interface_name:"filter" ~cluster_name:"orig" the_cut
+      flat_model
+  in
+  let iface = List.hd (V.System.interfaces system) in
+  (* an alternative implementation with the same signature *)
+  let alt =
+    let p port = V.Port.channel_of (I.Port_id.of_string port) in
+    V.Cluster.make
+      ~ports:(V.Interface.ports iface)
+      ~processes:
+        [
+          Spi.Process.simple ~latency:(Interval.point 1)
+            ~consumes:[ (p "a", Interval.point 1) ]
+            ~produces:
+              [
+                (p "b", Spi.Mode.produce (Interval.point 1));
+                (p "dbg", Spi.Mode.produce (Interval.point 1));
+              ]
+            (pid "fast_path");
+        ]
+      "fast"
+  in
+  match V.Reuse.extend_interface iface alt with
+  | Error e -> Alcotest.failf "extension failed: %s" e
+  | Ok extended ->
+    let site = List.hd (V.System.sites system) in
+    let system2 =
+      V.System.make
+        ~processes:(V.System.processes system)
+        ~channels:(V.System.channels system)
+        ~sites:[ { site with V.Structure.iface = extended } ]
+        "with-variants"
+    in
+    Alcotest.(check int) "now two applications" 2
+      (List.length (V.Flatten.applications system2));
+    Alcotest.(check int) "validates" 0 (List.length (V.System.validate system2))
+
+let test_cut_boundary_to_environment () =
+  (* a cut touching an environment channel (no writer) gets an input port *)
+  let whole =
+    I.Process_id.Set.of_list [ pid "src"; pid "f1"; pid "f2"; pid "snk" ]
+  in
+  let { V.Clusterize.cluster; _ } =
+    V.Clusterize.cut ~name:"everything" whole flat_model
+  in
+  Alcotest.(check (list string)) "env input becomes port" [ "in" ]
+    (List.map I.Port_id.to_string
+       (I.Port_id.Set.elements (V.Cluster.input_ports cluster)));
+  Alcotest.(check (list string)) "dbg output remains a port" [ "dbg" ]
+    (List.map I.Port_id.to_string
+       (I.Port_id.Set.elements (V.Cluster.output_ports cluster)))
+
+let suite =
+  ( "clusterize",
+    [
+      Alcotest.test_case "cut ports" `Quick test_cut_ports;
+      Alcotest.test_case "cut errors" `Quick test_cut_errors;
+      Alcotest.test_case "carve round trip" `Quick test_carve_round_trip;
+      Alcotest.test_case "carve then add variant" `Quick
+        test_carve_then_add_variant;
+      Alcotest.test_case "boundary to environment" `Quick
+        test_cut_boundary_to_environment;
+    ] )

@@ -1,0 +1,104 @@
+(* Tests for model composition. *)
+
+module I = Spi.Ids
+
+let cid = I.Channel_id.of_string
+let pid = I.Process_id.of_string
+
+let producer =
+  Spi.Builder.(
+    empty |> queue "raw" |> queue "mid"
+    |> stage "front" ~latency:(fixed 1) ~from:"raw" ~into:"mid"
+    |> build_exn)
+
+let consumer =
+  Spi.Builder.(
+    empty |> queue "feed" |> queue "done"
+    |> stage "back" ~latency:(fixed 2) ~from:"feed" ~into:"done"
+    |> build_exn)
+
+let test_prefix () =
+  let p = Spi.Compose.prefix "lib" producer in
+  Alcotest.(check bool) "process renamed" true
+    (Option.is_some (Spi.Model.find_process (pid "lib.front") p));
+  Alcotest.(check bool) "channel renamed" true
+    (Option.is_some (Spi.Model.find_channel (cid "lib.mid") p));
+  Alcotest.(check bool) "old names gone" true
+    (Option.is_none (Spi.Model.find_process (pid "front") p));
+  (* wiring preserved *)
+  Alcotest.(check (option string))
+    "writer follows" (Some "lib.front")
+    (Option.map I.Process_id.to_string (Spi.Model.writer_of (cid "lib.mid") p))
+
+let test_rename_channel () =
+  let m = Spi.Compose.rename_channel ~from_:(cid "mid") ~to_:(cid "out") producer in
+  Alcotest.(check bool) "new name" true
+    (Option.is_some (Spi.Model.find_channel (cid "out") m));
+  Alcotest.(check (option string))
+    "writer follows" (Some "front")
+    (Option.map I.Process_id.to_string (Spi.Model.writer_of (cid "out") m));
+  (try
+     ignore (Spi.Compose.rename_channel ~from_:(cid "ghost") ~to_:(cid "x") producer);
+     Alcotest.fail "unknown channel accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Spi.Compose.rename_channel ~from_:(cid "mid") ~to_:(cid "raw") producer);
+    Alcotest.fail "collision accepted"
+  with Invalid_argument _ -> ()
+
+let test_connect () =
+  let m =
+    Spi.Compose.connect ~left:producer ~right:consumer
+      ~joins:[ (cid "mid", cid "feed") ]
+  in
+  Alcotest.(check int) "two processes" 2 (List.length (Spi.Model.processes m));
+  Alcotest.(check int) "three channels" 3 (List.length (Spi.Model.channels m));
+  (* data flows end to end through the fused channel *)
+  let stimuli =
+    List.init 3 (fun i ->
+        { Sim.Engine.at = 1 + i; channel = cid "raw"; token = Spi.Token.make ~payload:i () })
+  in
+  let result = Sim.Engine.run ~stimuli m in
+  Alcotest.(check int) "delivered" 3
+    (List.length (Sim.Trace.tokens_produced_on (cid "done") result.Sim.Engine.trace))
+
+let test_connect_checks () =
+  (* joining on a channel that already has a reader is rejected *)
+  (try
+     ignore
+       (Spi.Compose.connect ~left:producer ~right:consumer
+          ~joins:[ (cid "raw", cid "feed") ]);
+     Alcotest.fail "read channel accepted as join source"
+   with Spi.Compose.Compose_error _ -> ());
+  (* joining into a written channel is rejected *)
+  (try
+     ignore
+       (Spi.Compose.connect ~left:producer ~right:consumer
+          ~joins:[ (cid "mid", cid "done") ]);
+     Alcotest.fail "written channel accepted as join target"
+   with Spi.Compose.Compose_error _ -> ());
+  try
+    ignore
+      (Spi.Compose.connect ~left:producer ~right:consumer
+         ~joins:[ (cid "ghost", cid "feed") ]);
+    Alcotest.fail "unknown channel accepted"
+  with Spi.Compose.Compose_error _ -> ()
+
+let test_connect_with_prefix () =
+  (* two copies of the same library block, isolated by prefixes *)
+  let a = Spi.Compose.prefix "a" producer in
+  let b = Spi.Compose.prefix "b" consumer in
+  let m =
+    Spi.Compose.connect ~left:a ~right:b ~joins:[ (cid "a.mid", cid "b.feed") ]
+  in
+  Alcotest.(check bool) "valid" true (List.length (Spi.Model.processes m) = 2)
+
+let suite =
+  ( "compose",
+    [
+      Alcotest.test_case "prefix" `Quick test_prefix;
+      Alcotest.test_case "rename channel" `Quick test_rename_channel;
+      Alcotest.test_case "connect" `Quick test_connect;
+      Alcotest.test_case "connect checks" `Quick test_connect_checks;
+      Alcotest.test_case "connect with prefix" `Quick test_connect_with_prefix;
+    ] )

@@ -1,0 +1,129 @@
+(* Tests for Def. 4 configurations and the confcur transition logic. *)
+
+module I = Spi.Ids
+module V = Variants
+
+let mid = I.Mode_id.of_string
+let pid = I.Process_id.of_string
+
+let confs =
+  V.Configuration.make ~initial:(I.Config_id.of_string "cA") ~process:(pid "p")
+    [
+      V.Configuration.entry ~reconf_latency:4 "cA" ~modes:[ mid "a1"; mid "a2" ];
+      V.Configuration.entry ~reconf_latency:6 "cB" ~modes:[ mid "b1" ];
+    ]
+
+let test_accessors () =
+  Alcotest.(check int) "entries" 2 (List.length (V.Configuration.entries confs));
+  Alcotest.(check (option string))
+    "config of a2" (Some "cA")
+    (Option.map I.Config_id.to_string
+       (V.Configuration.config_of_mode (mid "a2") confs));
+  Alcotest.(check (option string))
+    "config of shared mode" None
+    (Option.map I.Config_id.to_string
+       (V.Configuration.config_of_mode (mid "zz") confs));
+  Alcotest.(check int) "latency cB" 6
+    (V.Configuration.reconf_latency (I.Config_id.of_string "cB") confs);
+  Alcotest.(check (option string))
+    "initial" (Some "cA")
+    (Option.map I.Config_id.to_string (V.Configuration.start confs))
+
+let test_make_validation () =
+  let entry = V.Configuration.entry in
+  (try
+     ignore
+       (V.Configuration.make ~process:(pid "p")
+          [ entry "c" ~modes:[ mid "m" ]; entry "c" ~modes:[ mid "n" ] ]);
+     Alcotest.fail "duplicate configs accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (V.Configuration.make ~process:(pid "p")
+          [ entry "c1" ~modes:[ mid "m" ]; entry "c2" ~modes:[ mid "m" ] ]);
+     Alcotest.fail "overlapping configs accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (V.Configuration.make ~process:(pid "p")
+          [ entry ~reconf_latency:(-1) "c" ~modes:[ mid "m" ] ]);
+     Alcotest.fail "negative latency accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (V.Configuration.make
+         ~initial:(I.Config_id.of_string "ghost")
+         ~process:(pid "p")
+         [ entry "c" ~modes:[ mid "m" ] ]);
+    Alcotest.fail "unknown initial accepted"
+  with Invalid_argument _ -> ()
+
+let test_on_activation () =
+  let start = V.Configuration.start confs in
+  (* mode inside the current configuration: stay *)
+  (match V.Configuration.on_activation confs start (mid "a1") with
+  | V.Configuration.Stay, cur ->
+    Alcotest.(check (option string))
+      "cur unchanged" (Some "cA")
+      (Option.map I.Config_id.to_string cur)
+  | V.Configuration.Reconfigure _, _ -> Alcotest.fail "unexpected reconfiguration");
+  (* switching variants: reconfigure with cB's latency *)
+  (match V.Configuration.on_activation confs start (mid "b1") with
+  | V.Configuration.Reconfigure { target; latency }, cur ->
+    Alcotest.(check string) "target" "cB" (I.Config_id.to_string target);
+    Alcotest.(check int) "latency" 6 latency;
+    Alcotest.(check (option string))
+      "cur updated" (Some "cB")
+      (Option.map I.Config_id.to_string cur)
+  | V.Configuration.Stay, _ -> Alcotest.fail "reconfiguration expected");
+  (* shared mode (in no configuration): stay whatever cur *)
+  (match V.Configuration.on_activation confs None (mid "shared") with
+  | V.Configuration.Stay, None -> ()
+  | _ -> Alcotest.fail "shared mode must not reconfigure");
+  (* no current configuration yet: first variant execution configures *)
+  match V.Configuration.on_activation confs None (mid "a1") with
+  | V.Configuration.Reconfigure { target; latency }, _ ->
+    Alcotest.(check string) "initial configure" "cA" (I.Config_id.to_string target);
+    Alcotest.(check int) "initial latency" 4 latency
+  | V.Configuration.Stay, _ -> Alcotest.fail "initial configuration expected"
+
+let test_validate_against () =
+  let one = Interval.point 1 in
+  let mk name = Spi.Mode.make ~latency:one ~consumes:[] ~produces:[] (mid name) in
+  let proc =
+    Spi.Process.make
+      ~activation:
+        (Spi.Activation.make
+           [
+             Spi.Activation.rule
+               (I.Rule_id.of_string "r")
+               ~guard:Spi.Predicate.False ~mode:(mid "a1");
+           ])
+      ~modes:[ mk "a1"; mk "a2"; mk "b1" ]
+      (pid "p")
+  in
+  Alcotest.(check int) "complete process ok" 0
+    (List.length (V.Configuration.validate_against proc confs));
+  let partial = Spi.Process.make ~modes:[ mk "a1" ] (pid "p") in
+  let errors = V.Configuration.validate_against partial confs in
+  Alcotest.(check bool) "unknown modes flagged" true
+    (List.exists
+       (function V.Configuration.Unknown_mode _ -> true | _ -> false)
+       errors);
+  let extra = Spi.Process.make ~modes:[ mk "a1"; mk "a2"; mk "b1"; mk "x" ] (pid "p") in
+  let errors = V.Configuration.validate_against extra confs in
+  Alcotest.(check bool) "uncovered mode flagged" true
+    (List.exists
+       (function V.Configuration.Uncovered_mode _ -> true | _ -> false)
+       errors);
+  Alcotest.(check int) "uncovered allowed when not complete" 0
+    (List.length (V.Configuration.validate_against ~complete:false extra confs))
+
+let suite =
+  ( "configuration",
+    [
+      Alcotest.test_case "accessors" `Quick test_accessors;
+      Alcotest.test_case "make validation" `Quick test_make_validation;
+      Alcotest.test_case "on_activation transitions" `Quick test_on_activation;
+      Alcotest.test_case "validate against process" `Quick test_validate_against;
+    ] )

@@ -1,0 +1,151 @@
+(* Tests for timing constraints and the constructive check. *)
+
+module I = Spi.Ids
+
+let cid = I.Channel_id.of_string
+let pid = I.Process_id.of_string
+let one = Interval.point 1
+
+let chain_proc ~latency ~from_ ~to_ name =
+  Spi.Process.simple ~latency:(Interval.point latency)
+    ~consumes:(match from_ with None -> [] | Some c -> [ (cid c, one) ])
+    ~produces:
+      (match to_ with None -> [] | Some c -> [ (cid c, Spi.Mode.produce one) ])
+    (pid name)
+
+(* a -> p(3) -> b -> q(4) -> c -> r(5) plus a side path p -> d -> s(10) -> e -> r *)
+let diamond_model =
+  Spi.Model.build_exn
+    ~processes:
+      [
+        Spi.Process.simple ~latency:(Interval.point 3)
+          ~consumes:[ (cid "a", one) ]
+          ~produces:
+            [ (cid "b", Spi.Mode.produce one); (cid "d", Spi.Mode.produce one) ]
+          (pid "p");
+        chain_proc ~latency:4 ~from_:(Some "b") ~to_:(Some "c") "q";
+        chain_proc ~latency:10 ~from_:(Some "d") ~to_:(Some "e") "s";
+        Spi.Process.simple ~latency:(Interval.point 5)
+          ~consumes:[ (cid "c", one); (cid "e", one) ]
+          ~produces:[] (pid "r");
+      ]
+    ~channels:
+      (List.map (fun c -> Spi.Chan.queue (cid c)) [ "a"; "b"; "c"; "d"; "e" ])
+
+let latency_of model p =
+  Interval.hi (Spi.Process.latency_hull (Spi.Model.get_process p model))
+
+let test_satisfied () =
+  let c =
+    Spi.Constraint_.latency_path ~name:"pr" ~from_:(pid "p") ~to_:(pid "r")
+      ~bound:20
+  in
+  match Spi.Constraint_.check ~latency_of:(latency_of diamond_model) diamond_model c with
+  | Spi.Constraint_.Satisfied { worst; slack } ->
+    (* worst path p(3) -> s(10) -> r(5) = 18 *)
+    Alcotest.(check int) "worst" 18 worst;
+    Alcotest.(check int) "slack" 2 slack
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let test_violated () =
+  let c =
+    Spi.Constraint_.latency_path ~name:"pr" ~from_:(pid "p") ~to_:(pid "r")
+      ~bound:15
+  in
+  match Spi.Constraint_.check ~latency_of:(latency_of diamond_model) diamond_model c with
+  | Spi.Constraint_.Violated { worst; excess } ->
+    Alcotest.(check int) "worst" 18 worst;
+    Alcotest.(check int) "excess" 3 excess
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let test_unreachable () =
+  let c =
+    Spi.Constraint_.latency_path ~name:"rp" ~from_:(pid "r") ~to_:(pid "p")
+      ~bound:100
+  in
+  match Spi.Constraint_.check ~latency_of:(latency_of diamond_model) diamond_model c with
+  | Spi.Constraint_.Unreachable -> ()
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let test_unknown_process_unreachable () =
+  let c =
+    Spi.Constraint_.latency_path ~name:"ghost" ~from_:(pid "ghost")
+      ~to_:(pid "r") ~bound:1
+  in
+  match Spi.Constraint_.check ~latency_of:(fun _ -> 0) diamond_model c with
+  | Spi.Constraint_.Unreachable -> ()
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let test_cyclic () =
+  let model =
+    Spi.Model.build_exn
+      ~processes:
+        [
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "a", one); (cid "loop2", one) ]
+            ~produces:[ (cid "loop1", Spi.Mode.produce one) ]
+            (pid "u");
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "loop1", one) ]
+            ~produces:
+              [
+                (cid "loop2", Spi.Mode.produce one);
+                (cid "out", Spi.Mode.produce one);
+              ]
+            (pid "v");
+          chain_proc ~latency:1 ~from_:(Some "out") ~to_:None "w";
+        ]
+      ~channels:
+        (List.map (fun c -> Spi.Chan.queue (cid c)) [ "a"; "loop1"; "loop2"; "out" ])
+  in
+  let c =
+    Spi.Constraint_.latency_path ~name:"uw" ~from_:(pid "u") ~to_:(pid "w")
+      ~bound:100
+  in
+  match Spi.Constraint_.check ~latency_of:(fun _ -> 1) model c with
+  | Spi.Constraint_.Cyclic procs ->
+    Alcotest.(check bool) "cycle nonempty" true (procs <> [])
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let test_check_all () =
+  let mk bound =
+    Spi.Constraint_.latency_path ~name:(string_of_int bound) ~from_:(pid "p")
+      ~to_:(pid "r") ~bound
+  in
+  let outcomes =
+    Spi.Constraint_.check_all ~latency_of:(latency_of diamond_model)
+      diamond_model [ mk 20; mk 18 ]
+  in
+  Alcotest.(check bool) "all satisfied" true
+    (Spi.Constraint_.all_satisfied outcomes);
+  let outcomes' =
+    Spi.Constraint_.check_all ~latency_of:(latency_of diamond_model)
+      diamond_model [ mk 20; mk 5 ]
+  in
+  Alcotest.(check bool) "one violated" false
+    (Spi.Constraint_.all_satisfied outcomes')
+
+let test_binding_dependent_latency () =
+  (* the same constraint flips when implementation WCETs change *)
+  let c =
+    Spi.Constraint_.latency_path ~name:"pr" ~from_:(pid "p") ~to_:(pid "r")
+      ~bound:10
+  in
+  let fast _ = 1 in
+  match Spi.Constraint_.check ~latency_of:fast diamond_model c with
+  | Spi.Constraint_.Satisfied { worst; _ } ->
+    Alcotest.(check int) "three hops" 3 worst
+  | o -> Alcotest.failf "unexpected outcome %a" Spi.Constraint_.pp_outcome o
+
+let suite =
+  ( "constraint",
+    [
+      Alcotest.test_case "satisfied" `Quick test_satisfied;
+      Alcotest.test_case "violated" `Quick test_violated;
+      Alcotest.test_case "unreachable" `Quick test_unreachable;
+      Alcotest.test_case "unknown process" `Quick test_unknown_process_unreachable;
+      Alcotest.test_case "cyclic" `Quick test_cyclic;
+      Alcotest.test_case "check_all" `Quick test_check_all;
+      Alcotest.test_case "binding-dependent latency" `Quick
+        test_binding_dependent_latency;
+    ] )

@@ -1,0 +1,146 @@
+(* Determinism and consistency properties of the simulator. *)
+
+module I = Spi.Ids
+
+let trace_signature (result : Sim.Engine.result) =
+  List.map
+    (fun entry ->
+      match entry with
+      | Sim.Trace.Injected { time; channel; _ } ->
+        Format.asprintf "i:%d:%a" time I.Channel_id.pp channel
+      | Sim.Trace.Started { time; process; mode; _ } ->
+        Format.asprintf "s:%d:%a:%a" time I.Process_id.pp process
+          I.Mode_id.pp mode
+      | Sim.Trace.Completed { time; process; _ } ->
+        Format.asprintf "c:%d:%a" time I.Process_id.pp process
+      | Sim.Trace.Quiescent { time } -> Format.sprintf "q:%d" time)
+    result.Sim.Engine.trace
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine is deterministic" ~count:30
+    QCheck.(pair (int_range 0 999) (int_range 1 3))
+    (fun (seed, sites) ->
+      let system =
+        Variants.Generator.generate
+          {
+            Variants.Generator.seed;
+            shared_processes = 2;
+            sites;
+            variants_per_site = 2;
+            cluster_processes = 2;
+            latency_range = (1, 8);
+          }
+      in
+      let model =
+        Variants.Flatten.flatten system (Variants.Flatten.first_cluster system)
+      in
+      let inputs = Spi.Model.unwritten_channels model in
+      let stimuli =
+        List.concat_map
+          (fun cid ->
+            List.init 3 (fun i ->
+                {
+                  Sim.Engine.at = 1 + (4 * i);
+                  channel = cid;
+                  token = Spi.Token.make ~payload:i ();
+                }))
+          (I.Channel_id.Set.elements inputs)
+      in
+      let run () = Sim.Engine.run ~stimuli model in
+      trace_signature (run ()) = trace_signature (run ()))
+
+let prop_sim_matches_untimed_firing_count =
+  (* for an acyclic single-token pipeline, the timed engine performs the
+     same number of firings as repeatedly applying the untimed update
+     rules to saturation *)
+  QCheck.Test.make ~name:"timed firings = untimed firings" ~count:30
+    QCheck.(pair (int_range 0 999) (int_range 1 4))
+    (fun (seed, cluster_processes) ->
+      let system =
+        Variants.Generator.generate
+          {
+            Variants.Generator.seed;
+            shared_processes = 2;
+            sites = 1;
+            variants_per_site = 2;
+            cluster_processes;
+            latency_range = (1, 5);
+          }
+      in
+      let model =
+        Variants.Flatten.flatten system (Variants.Flatten.first_cluster system)
+      in
+      let inputs = Spi.Model.unwritten_channels model in
+      let n_tokens = 2 in
+      let stimuli =
+        List.concat_map
+          (fun cid ->
+            List.init n_tokens (fun i ->
+                { Sim.Engine.at = 1 + i; channel = cid; token = Spi.Token.plain }))
+          (I.Channel_id.Set.elements inputs)
+      in
+      let timed = (Sim.Engine.run ~stimuli model).Sim.Engine.firings in
+      (* untimed: inject everything, then fire any enabled process until
+         quiescence *)
+      let state =
+        ref
+          (List.fold_left
+             (fun st s -> Spi.Semantics.inject model s.Sim.Engine.channel s.Sim.Engine.token st)
+             (Spi.Semantics.initial model)
+             stimuli)
+      in
+      let fired = ref 0 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        List.iter
+          (fun proc ->
+            let pid = Spi.Process.id proc in
+            match Spi.Semantics.enabled_mode model !state pid with
+            | Some mode ->
+              let st, _ = Spi.Semantics.fire model pid mode !state in
+              state := st;
+              incr fired;
+              progress := true
+            | None -> ())
+          (Spi.Model.processes model)
+      done;
+      timed = !fired)
+
+let prop_policy_monotone_makespan =
+  QCheck.Test.make ~name:"best <= typical <= worst makespan" ~count:30
+    QCheck.(int_range 0 999)
+    (fun seed ->
+      let system =
+        Variants.Generator.generate
+          {
+            Variants.Generator.seed;
+            shared_processes = 3;
+            sites = 1;
+            variants_per_site = 2;
+            cluster_processes = 3;
+            latency_range = (1, 20);
+          }
+      in
+      let model =
+        Variants.Flatten.flatten system (Variants.Flatten.first_cluster system)
+      in
+      let inputs = Spi.Model.unwritten_channels model in
+      let stimuli =
+        List.map
+          (fun cid -> { Sim.Engine.at = 1; channel = cid; token = Spi.Token.plain })
+          (I.Channel_id.Set.elements inputs)
+      in
+      let span policy = (Sim.Engine.run ~policy ~stimuli model).Sim.Engine.end_time in
+      let b = span Sim.Engine.Best_case
+      and t = span Sim.Engine.Typical
+      and w = span Sim.Engine.Worst_case in
+      b <= t && t <= w)
+
+let suite =
+  ( "determinism",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_engine_deterministic;
+      QCheck_alcotest.to_alcotest ~long:false prop_sim_matches_untimed_firing_count;
+      QCheck_alcotest.to_alcotest ~long:false prop_policy_monotone_makespan;
+    ] )

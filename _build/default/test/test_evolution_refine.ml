@@ -1,0 +1,233 @@
+(* Tests for product-generation evolution, overflow policies, and
+   trace-based interval refinement. *)
+
+module I = Spi.Ids
+module V = Variants
+module F2 = Paper.Figure2
+
+(* ----------------------------- evolution ---------------------------- *)
+
+let test_fix_variant () =
+  let fixed = V.Evolution.fix_variant F2.iface1 F2.g1 F2.system in
+  Alcotest.(check int) "no sites left" 0 (V.System.site_count fixed);
+  Alcotest.(check int) "validates" 0 (List.length (V.System.validate fixed));
+  (* the inlined processes joined the common part *)
+  let names =
+    List.sort compare
+      (List.map (fun p -> I.Process_id.to_string (Spi.Process.id p))
+         (V.System.processes fixed))
+  in
+  Alcotest.(check (list string)) "inlined"
+    [ "PA"; "PB"; "iface1.x1"; "iface1.x2" ]
+    names;
+  (* a fixed system has exactly one application *)
+  Alcotest.(check int) "one application" 1
+    (List.length (V.Flatten.applications fixed))
+
+let test_fix_variant_partial () =
+  (* two-site generated system: fixing one leaves the other variable *)
+  let system =
+    V.Generator.generate { V.Generator.default with sites = 2; variants_per_site = 3 }
+  in
+  let fixed =
+    V.Evolution.fix_variant (I.Interface_id.of_string "iface1")
+      (I.Cluster_id.of_string "site1_var2")
+      system
+  in
+  Alcotest.(check int) "one site left" 1 (V.System.site_count fixed);
+  Alcotest.(check int) "validates" 0 (List.length (V.System.validate fixed));
+  Alcotest.(check int) "three applications remain" 3
+    (List.length (V.Flatten.applications fixed))
+
+let test_fix_variant_errors () =
+  (try
+     ignore
+       (V.Evolution.fix_variant (I.Interface_id.of_string "ghost") F2.g1 F2.system);
+     Alcotest.fail "unknown interface accepted"
+   with V.Evolution.Evolution_error _ -> ());
+  try
+    ignore
+      (V.Evolution.fix_variant F2.iface1 (I.Cluster_id.of_string "ghost") F2.system);
+    Alcotest.fail "unknown cluster accepted"
+  with V.Evolution.Evolution_error _ -> ()
+
+let test_make_runtime_and_back () =
+  (* figure2 has no selection; attach figure3's and strip it again *)
+  let selection =
+    V.Selection.make ~initial:F2.g1
+      [
+        V.Selection.rule "v1"
+          ~guard:Spi.Predicate.(has_tag F2.cv F2.tag_v1)
+          ~target:F2.g1;
+      ]
+  in
+  let runtime = V.Evolution.make_runtime F2.iface1 selection F2.system in
+  (match V.System.interfaces runtime with
+  | [ iface ] ->
+    Alcotest.(check bool) "selection attached" true
+      (Option.is_some (V.Interface.selection iface))
+  | _ -> Alcotest.fail "one interface expected");
+  let production = V.Evolution.make_production F2.iface1 runtime in
+  match V.System.interfaces production with
+  | [ iface ] ->
+    Alcotest.(check bool) "selection stripped" true
+      (Option.is_none (V.Interface.selection iface));
+    Alcotest.(check int) "variants kept" 2 (V.Interface.variant_count iface)
+  | _ -> Alcotest.fail "one interface expected"
+
+(* ----------------------------- overflow ----------------------------- *)
+
+let bounded_model =
+  let cid = I.Channel_id.of_string in
+  let p =
+    Spi.Process.simple ~latency:(Interval.point 10)
+      ~consumes:[ (cid "q", Interval.point 1) ]
+      ~produces:[] (I.Process_id.of_string "slow")
+  in
+  Spi.Model.build_exn ~processes:[ p ]
+    ~channels:[ Spi.Chan.queue ~capacity:2 (cid "q") ]
+
+let burst =
+  List.init 5 (fun i ->
+      {
+        Sim.Engine.at = 1 + i;
+        channel = I.Channel_id.of_string "q";
+        token = Spi.Token.make ~payload:i ();
+      })
+
+let test_overflow_reject_raises () =
+  Alcotest.check_raises "overflow propagates"
+    (Spi.Semantics.Channel_overflow (I.Channel_id.of_string "q"))
+    (fun () -> ignore (Sim.Engine.run ~stimuli:burst bounded_model))
+
+let test_overflow_drop_runs () =
+  let result =
+    Sim.Engine.run ~overflow:Spi.Semantics.Drop_newest ~stimuli:burst bounded_model
+  in
+  Alcotest.(check bool) "completes" true
+    (result.Sim.Engine.outcome = Sim.Engine.Quiescent);
+  (* capacity 2 + one consumed during the burst: some tokens were lost *)
+  Alcotest.(check bool) "fewer firings than injections" true
+    (result.Sim.Engine.firings < 5)
+
+(* ---------------------------- refinement ---------------------------- *)
+
+let wide_process =
+  let cid = I.Channel_id.of_string in
+  Spi.Process.simple
+    ~latency:(Interval.make 1 100)
+    ~consumes:[ (cid "a", Interval.point 1) ]
+    ~produces:[ (cid "b", Spi.Mode.produce (Interval.point 1)) ]
+    (I.Process_id.of_string "wide")
+
+let wide_model =
+  let cid = I.Channel_id.of_string in
+  Spi.Model.build_exn ~processes:[ wide_process ]
+    ~channels:[ Spi.Chan.queue (cid "a"); Spi.Chan.queue (cid "b") ]
+
+let run_wide policy n =
+  let stimuli =
+    List.init n (fun i ->
+        {
+          Sim.Engine.at = 1 + (200 * i);
+          channel = I.Channel_id.of_string "a";
+          token = Spi.Token.plain;
+        })
+  in
+  Sim.Engine.run ~policy ~stimuli wide_model
+
+let test_observe () =
+  let result = run_wide Sim.Engine.Typical 4 in
+  match Sim.Refine.observe result (I.Process_id.of_string "wide") with
+  | [ o ] ->
+    Alcotest.(check int) "executions" 4 o.Sim.Refine.executions;
+    (* typical policy resolves [1,100] to its midpoint 50 *)
+    Alcotest.(check bool) "latency observed" true
+      (Interval.equal o.Sim.Refine.latency (Interval.point 50));
+    Alcotest.(check int) "consumed channels" 1 (List.length o.Sim.Refine.consumed)
+  | l -> Alcotest.failf "expected one observation, got %d" (List.length l)
+
+let test_refine_narrows () =
+  let result = run_wide Sim.Engine.Typical 4 in
+  let refined = Sim.Refine.refine_process result wide_process in
+  Alcotest.(check bool) "narrowed to the observation" true
+    (Interval.equal (Spi.Process.latency_hull refined) (Interval.point 50));
+  (* refinement never widens: meet of declared and observed *)
+  Alcotest.(check bool) "inside declared" true
+    (Interval.subset
+       (Spi.Process.latency_hull refined)
+       (Spi.Process.latency_hull wide_process))
+
+let test_refine_model_and_reuse () =
+  let result = run_wide Sim.Engine.Worst_case 3 in
+  let refined = Sim.Refine.refine_model result wide_model in
+  let p = Spi.Model.get_process (I.Process_id.of_string "wide") refined in
+  Alcotest.(check bool) "worst-case observation" true
+    (Interval.equal (Spi.Process.latency_hull p) (Interval.point 100));
+  (* the refined model is a valid model: it simulates again *)
+  let again =
+    Sim.Engine.run
+      ~stimuli:
+        [ { Sim.Engine.at = 1; channel = I.Channel_id.of_string "a"; token = Spi.Token.plain } ]
+      refined
+  in
+  Alcotest.(check int) "refined model runs" 1 again.Sim.Engine.firings
+
+let test_refine_unexecuted_mode_untouched () =
+  (* no stimuli: nothing observed, intervals unchanged *)
+  let result = Sim.Engine.run wide_model in
+  let refined = Sim.Refine.refine_process result wide_process in
+  Alcotest.(check bool) "unchanged" true
+    (Interval.equal
+       (Spi.Process.latency_hull refined)
+       (Spi.Process.latency_hull wide_process))
+
+let test_suspicious_empty_for_simulated () =
+  let result = run_wide Sim.Engine.Typical 3 in
+  Alcotest.(check int) "nothing suspicious" 0
+    (List.length (Sim.Refine.suspicious result wide_model))
+
+let test_refine_excludes_reconfiguration () =
+  (* a reconfiguring execution's latency observation excludes t_conf *)
+  let built = Video.System.build Video.System.default_params in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:10 ~period:5 ~switches:[ (22, "fB") ] ()
+  in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  let observations = Sim.Refine.observe result Video.System.p_stage1 in
+  (* the fB ack mode executed once, with reconfiguration; its observed
+     latency must be the declared mode latency (1), not 1 + t_conf *)
+  match
+    List.find_opt
+      (fun o -> I.Mode_id.to_string o.Sim.Refine.mode = "P1.ack:fB")
+      observations
+  with
+  | Some o ->
+    Alcotest.(check bool) "t_conf excluded" true
+      (Interval.equal o.Sim.Refine.latency (Interval.point 1))
+  | None -> Alcotest.fail "ack observation expected"
+
+let suite =
+  ( "evolution-refine",
+    [
+      Alcotest.test_case "fix variant" `Quick test_fix_variant;
+      Alcotest.test_case "fix variant partial" `Quick test_fix_variant_partial;
+      Alcotest.test_case "fix variant errors" `Quick test_fix_variant_errors;
+      Alcotest.test_case "make runtime and back" `Quick test_make_runtime_and_back;
+      Alcotest.test_case "overflow reject raises" `Quick
+        test_overflow_reject_raises;
+      Alcotest.test_case "overflow drop runs" `Quick test_overflow_drop_runs;
+      Alcotest.test_case "observe" `Quick test_observe;
+      Alcotest.test_case "refine narrows" `Quick test_refine_narrows;
+      Alcotest.test_case "refine model and reuse" `Quick
+        test_refine_model_and_reuse;
+      Alcotest.test_case "refine unexecuted untouched" `Quick
+        test_refine_unexecuted_mode_untouched;
+      Alcotest.test_case "suspicious empty" `Quick
+        test_suspicious_empty_for_simulated;
+      Alcotest.test_case "refine excludes reconfiguration" `Quick
+        test_refine_excludes_reconfiguration;
+    ] )

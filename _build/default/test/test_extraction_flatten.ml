@@ -1,0 +1,291 @@
+(* Tests for parameter extraction (Section 4), flattening, variant
+   spaces and the generator, driven by the paper's Figure 2/3 system. *)
+
+module I = Spi.Ids
+module V = Variants
+module F2 = Paper.Figure2
+
+let site () =
+  match V.System.find_site F2.iface1 F2.system_with_selection with
+  | Some site -> site
+  | None -> Alcotest.fail "site missing"
+
+let extraction ?granularity () =
+  let site = site () in
+  V.Extraction.extract ?granularity ~process_name:"PVar"
+    ~wiring:site.V.Structure.wiring site.V.Structure.iface
+
+(* ----------------------------- extraction --------------------------- *)
+
+let test_extract_mode_counts () =
+  let r = extraction () in
+  (* per-entry-mode granularity: entry processes are single-mode chains,
+     so one mode per cluster *)
+  Alcotest.(check int) "modes" 2
+    (List.length (Spi.Process.modes r.V.Extraction.abstract_process));
+  Alcotest.(check int) "origins" 2 (List.length r.V.Extraction.mode_origin);
+  let origins = List.map (fun (_, c) -> I.Cluster_id.to_string c) r.V.Extraction.mode_origin in
+  Alcotest.(check (list string)) "one per cluster" [ "g1"; "g2" ]
+    (List.sort compare origins)
+
+let test_extract_configurations () =
+  let r = extraction () in
+  let confs = r.V.Extraction.configurations in
+  Alcotest.(check int) "two configurations" 2
+    (List.length (V.Configuration.entries confs));
+  Alcotest.(check int) "t_conf g1" 5
+    (V.Configuration.reconf_latency (I.Config_id.of_string "conf.g1") confs);
+  Alcotest.(check int) "t_conf g2" 7
+    (V.Configuration.reconf_latency (I.Config_id.of_string "conf.g2") confs);
+  Alcotest.(check (option string))
+    "initial follows selection" (Some "conf.g1")
+    (Option.map I.Config_id.to_string (V.Configuration.start confs));
+  (* configurations match the abstracted process *)
+  Alcotest.(check int) "consistent with process" 0
+    (List.length
+       (V.Configuration.validate_against r.V.Extraction.abstract_process confs))
+
+let test_extract_latency_hull () =
+  let r = extraction () in
+  let p = r.V.Extraction.abstract_process in
+  (* g1 chain: 4 + 3 = 7; g2 chain: 2 + 5 + 2 = 9; entry latencies join in *)
+  let hull = Spi.Process.latency_hull p in
+  Alcotest.(check bool) "hull covers both chains" true
+    (Interval.mem 7 hull && Interval.mem 9 hull)
+
+let test_extract_guards_select_variant () =
+  let r = extraction () in
+  let p = r.V.Extraction.abstract_process in
+  (* a view with a V2-tagged token on CV and data on CA *)
+  let view tag =
+    {
+      Spi.Predicate.tokens_available = (fun _ -> 3);
+      first_tags =
+        (fun c ->
+          if I.Channel_id.equal c F2.cv then Some (Spi.Tag.set_of_list [ tag ])
+          else Some Spi.Tag.Set.empty);
+    }
+  in
+  (match Spi.Activation.select (view "V2") (Spi.Process.activation p) with
+  | Some rule ->
+    let conf =
+      V.Configuration.config_of_mode
+        (Spi.Activation.target_mode rule)
+        r.V.Extraction.configurations
+    in
+    Alcotest.(check (option string))
+      "V2 tag picks g2" (Some "conf.g2")
+      (Option.map I.Config_id.to_string conf)
+  | None -> Alcotest.fail "V2 rule expected");
+  match Spi.Activation.select (view "V1") (Spi.Process.activation p) with
+  | Some rule ->
+    let conf =
+      V.Configuration.config_of_mode
+        (Spi.Activation.target_mode rule)
+        r.V.Extraction.configurations
+    in
+    Alcotest.(check (option string))
+      "V1 tag picks g1" (Some "conf.g1")
+      (Option.map I.Config_id.to_string conf)
+  | None -> Alcotest.fail "V1 rule expected"
+
+let test_extract_consumes_selection_token () =
+  let r = extraction () in
+  let p = r.V.Extraction.abstract_process in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Format.asprintf "mode %a consumes CV" I.Mode_id.pp (Spi.Mode.id m))
+        true
+        (Interval.equal (Spi.Mode.consumption m F2.cv) (Interval.point 1)))
+    (Spi.Process.modes p)
+
+let test_extract_coarse () =
+  let r = extraction ~granularity:V.Extraction.Coarse () in
+  Alcotest.(check int) "coarse also one mode per cluster here" 2
+    (List.length (Spi.Process.modes r.V.Extraction.abstract_process))
+
+let test_extract_missing_wiring () =
+  let site = site () in
+  try
+    ignore
+      (V.Extraction.extract ~process_name:"PVar" ~wiring:[]
+         site.V.Structure.iface);
+    Alcotest.fail "unwired extraction accepted"
+  with V.Extraction.Extraction_error _ -> ()
+
+(* ------------------------------ flatten ----------------------------- *)
+
+let test_flatten_applications () =
+  let apps = V.Flatten.applications F2.system in
+  Alcotest.(check int) "two applications" 2 (List.length apps);
+  let sizes =
+    List.map (fun (_, m) -> List.length (Spi.Model.processes m)) apps
+  in
+  (* PA + PB + (2 | 3) cluster processes *)
+  Alcotest.(check (list int)) "model sizes" [ 4; 5 ] (List.sort compare sizes)
+
+let test_flatten_prefixing () =
+  let model =
+    V.Flatten.flatten F2.system (V.Flatten.choice_of_list [ ("iface1", "g1") ])
+  in
+  Alcotest.(check bool) "prefixed process present" true
+    (Option.is_some
+       (Spi.Model.find_process (I.Process_id.of_string "iface1.x1") model));
+  (* the shared process is untouched *)
+  Alcotest.(check bool) "shared kept" true
+    (Option.is_some (Spi.Model.find_process F2.pa model));
+  (* the flattened model is a correct SPI model: writer/reader wiring *)
+  Alcotest.(check (option string))
+    "cluster reads CA" (Some "iface1.x1")
+    (Option.map I.Process_id.to_string (Spi.Model.reader_of F2.ca model));
+  Alcotest.(check (option string))
+    "cluster writes CB" (Some "iface1.x2")
+    (Option.map I.Process_id.to_string (Spi.Model.writer_of F2.cb model))
+
+let test_flatten_unknown_cluster () =
+  try
+    ignore
+      (V.Flatten.flatten F2.system (V.Flatten.choice_of_list [ ("iface1", "zz") ]));
+    Alcotest.fail "unknown cluster accepted"
+  with V.Flatten.Flatten_error _ -> ()
+
+let test_abstract () =
+  let model, confs = V.Flatten.abstract F2.system_with_selection in
+  Alcotest.(check int) "one configuration set" 1 (List.length confs);
+  Alcotest.(check bool) "abstract process named after interface" true
+    (Option.is_some
+       (Spi.Model.find_process (I.Process_id.of_string "iface1") model));
+  (* cluster internals are gone *)
+  Alcotest.(check bool) "no cluster process" true
+    (Option.is_none
+       (Spi.Model.find_process (I.Process_id.of_string "iface1.x1") model))
+
+(* --------------------------- variant space -------------------------- *)
+
+let two_site_system =
+  (* reuse the generator for a 2-site system with 3 and 3 variants *)
+  V.Generator.generate
+    { V.Generator.default with sites = 2; variants_per_site = 3 }
+
+let test_variant_space_counts () =
+  Alcotest.(check int) "figure2 count" 2
+    (V.Variant_space.independent_count F2.system);
+  Alcotest.(check int) "two sites" 9
+    (V.Variant_space.independent_count two_site_system);
+  Alcotest.(check int) "enumerate matches count" 9
+    (List.length (V.Variant_space.enumerate two_site_system))
+
+let test_variant_space_linkage () =
+  let linkage =
+    [ [ I.Interface_id.of_string "iface1"; I.Interface_id.of_string "iface2" ] ]
+  in
+  Alcotest.(check int) "linked count" 3
+    (V.Variant_space.count ~linkage two_site_system);
+  let assignments = V.Variant_space.enumerate ~linkage two_site_system in
+  Alcotest.(check int) "linked enumerate" 3 (List.length assignments);
+  (* each assignment picks the same index in both interfaces *)
+  List.iter
+    (fun assignment ->
+      match assignment with
+      | [ (_, c1); (_, c2) ] ->
+        let index_of c =
+          let s = I.Cluster_id.to_string c in
+          String.sub s (String.length s - 1) 1
+        in
+        Alcotest.(check string) "same index" (index_of c1) (index_of c2)
+      | _ -> Alcotest.fail "two entries expected")
+    assignments
+
+let test_variant_space_unknown_linkage () =
+  try
+    ignore
+      (V.Variant_space.enumerate
+         ~linkage:[ [ I.Interface_id.of_string "nope" ] ]
+         two_site_system);
+    Alcotest.fail "unknown interface accepted"
+  with Invalid_argument _ -> ()
+
+let test_variant_space_choice () =
+  let assignments = V.Variant_space.enumerate F2.system in
+  List.iter
+    (fun assignment ->
+      let choice = V.Variant_space.to_choice assignment in
+      let model = V.Flatten.flatten F2.system choice in
+      Alcotest.(check bool) "flattens" true
+        (List.length (Spi.Model.processes model) >= 4))
+    assignments
+
+(* ----------------------------- generator ---------------------------- *)
+
+let prop_generator_valid =
+  QCheck.Test.make ~name:"generated systems validate" ~count:50
+    QCheck.(
+      quad (int_range 1 4) (int_range 0 3) (int_range 1 3) (int_range 1 4))
+    (fun (shared, sites, variants, cluster_size) ->
+      let system =
+        V.Generator.generate
+          {
+            V.Generator.seed = shared + (sites * 7) + (variants * 13);
+            shared_processes = shared;
+            sites;
+            variants_per_site = variants;
+            cluster_processes = cluster_size;
+            latency_range = (1, 10);
+          }
+      in
+      V.System.validate system = []
+      &&
+      (* every application flattens to a valid model *)
+      List.for_all
+        (fun (_, model) -> List.length (Spi.Model.processes model) > 0)
+        (V.Flatten.applications system))
+
+let test_generator_deterministic () =
+  let a = V.Generator.generate V.Generator.default in
+  let b = V.Generator.generate V.Generator.default in
+  Alcotest.(check string) "same name" (V.System.name a) (V.System.name b);
+  let lat system =
+    List.map
+      (fun p -> Interval.to_string (Spi.Process.latency_hull p))
+      (V.System.processes system)
+  in
+  Alcotest.(check (list string)) "same latencies" (lat a) (lat b)
+
+let test_process_weight_stable () =
+  let w1 = V.Generator.process_weight F2.pa in
+  let w2 = V.Generator.process_weight F2.pa in
+  Alcotest.(check int) "deterministic" w1 w2;
+  Alcotest.(check bool) "in range" true (w1 >= 1 && w1 <= 100)
+
+let suite =
+  ( "extraction-flatten-space",
+    [
+      Alcotest.test_case "extraction mode counts" `Quick test_extract_mode_counts;
+      Alcotest.test_case "extraction configurations" `Quick
+        test_extract_configurations;
+      Alcotest.test_case "extraction latency hull" `Quick
+        test_extract_latency_hull;
+      Alcotest.test_case "extraction guards select variant" `Quick
+        test_extract_guards_select_variant;
+      Alcotest.test_case "extraction consumes selection token" `Quick
+        test_extract_consumes_selection_token;
+      Alcotest.test_case "extraction coarse" `Quick test_extract_coarse;
+      Alcotest.test_case "extraction missing wiring" `Quick
+        test_extract_missing_wiring;
+      Alcotest.test_case "flatten applications" `Quick test_flatten_applications;
+      Alcotest.test_case "flatten prefixing/wiring" `Quick test_flatten_prefixing;
+      Alcotest.test_case "flatten unknown cluster" `Quick
+        test_flatten_unknown_cluster;
+      Alcotest.test_case "abstract" `Quick test_abstract;
+      Alcotest.test_case "variant space counts" `Quick test_variant_space_counts;
+      Alcotest.test_case "variant space linkage" `Quick test_variant_space_linkage;
+      Alcotest.test_case "variant space unknown linkage" `Quick
+        test_variant_space_unknown_linkage;
+      Alcotest.test_case "variant space choice flattens" `Quick
+        test_variant_space_choice;
+      Alcotest.test_case "generator deterministic" `Quick
+        test_generator_deterministic;
+      Alcotest.test_case "process weight stable" `Quick test_process_weight_stable;
+      QCheck_alcotest.to_alcotest ~long:false prop_generator_valid;
+    ] )

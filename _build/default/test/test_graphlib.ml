@@ -1,0 +1,252 @@
+(* Tests for the graph substrate: digraph operations, traversals,
+   strongly connected components and dot export. *)
+
+module G = Graphlib.Digraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+module T = Graphlib.Traverse.Make (G)
+module Scc = Graphlib.Scc.Make (G)
+module Dot = Graphlib.Dot.Make (G)
+
+let of_edges = G.of_edges
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (G.is_empty G.empty);
+  Alcotest.(check int) "no nodes" 0 (G.node_count G.empty);
+  Alcotest.(check int) "no edges" 0 (G.edge_count G.empty)
+
+let test_add_remove () =
+  let g = of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  Alcotest.(check int) "nodes" 3 (G.node_count g);
+  Alcotest.(check int) "edges" 3 (G.edge_count g);
+  Alcotest.(check bool) "mem edge" true (G.mem_edge 1 2 g);
+  Alcotest.(check bool) "no reverse edge" false (G.mem_edge 2 1 g);
+  let g = G.remove_edge 1 2 g in
+  Alcotest.(check bool) "edge removed" false (G.mem_edge 1 2 g);
+  Alcotest.(check int) "nodes kept" 3 (G.node_count g);
+  let g = G.remove_node 3 g in
+  Alcotest.(check int) "node gone" 2 (G.node_count g);
+  Alcotest.(check int) "incident edges gone" 0 (G.edge_count g)
+
+let test_parallel_edges_collapse () =
+  let g = of_edges [ (1, 2); (1, 2) ] in
+  Alcotest.(check int) "one edge" 1 (G.edge_count g)
+
+let test_degrees () =
+  let g = of_edges [ (1, 2); (1, 3); (4, 1) ] in
+  Alcotest.(check int) "out" 2 (G.out_degree 1 g);
+  Alcotest.(check int) "in" 1 (G.in_degree 1 g);
+  Alcotest.(check int) "isolated out" 0 (G.out_degree 3 g)
+
+let test_transpose () =
+  let g = of_edges [ (1, 2); (2, 3) ] in
+  let t = G.transpose g in
+  Alcotest.(check bool) "reversed" true (G.mem_edge 2 1 t);
+  Alcotest.(check bool) "old gone" false (G.mem_edge 1 2 t);
+  Alcotest.(check int) "same nodes" (G.node_count g) (G.node_count t)
+
+let test_union () =
+  let g = G.union (of_edges [ (1, 2) ]) (of_edges [ (2, 3) ]) in
+  Alcotest.(check int) "nodes" 3 (G.node_count g);
+  Alcotest.(check bool) "both edges" true (G.mem_edge 1 2 g && G.mem_edge 2 3 g)
+
+let test_topological_sort () =
+  let g = of_edges [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  match T.topological_sort g with
+  | Error _ -> Alcotest.fail "expected acyclic"
+  | Ok order ->
+    Alcotest.(check int) "covers all" 4 (List.length order);
+    let pos n =
+      let rec go i = function
+        | [] -> Alcotest.fail "missing node"
+        | x :: rest -> if x = n then i else go (i + 1) rest
+      in
+      go 0 order
+    in
+    List.iter
+      (fun (u, v) ->
+        Alcotest.(check bool)
+          (Format.sprintf "%d before %d" u v)
+          true
+          (pos u < pos v))
+      (G.edges g)
+
+let test_cycle_detection () =
+  let g = of_edges [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  (match T.topological_sort g with
+  | Ok _ -> Alcotest.fail "expected cycle"
+  | Error cycle ->
+    Alcotest.(check bool) "cycle non-empty" true (cycle <> []);
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) "cycle node in graph" true (G.mem_node n g))
+      cycle);
+  Alcotest.(check bool) "is_acyclic false" false (T.is_acyclic g);
+  Alcotest.(check bool) "is_acyclic true" true
+    (T.is_acyclic (of_edges [ (1, 2) ]))
+
+let test_reachable () =
+  let g = of_edges [ (1, 2); (2, 3); (4, 5) ] in
+  let r = T.reachable 1 g in
+  Alcotest.(check int) "three reachable" 3 (G.Node_set.cardinal r);
+  Alcotest.(check bool) "not across components" false (G.Node_set.mem 4 r)
+
+let test_bfs_dfs () =
+  let g = of_edges [ (1, 2); (1, 3); (2, 4) ] in
+  (match T.bfs_from 1 g with
+  | 1 :: _ as order ->
+    Alcotest.(check int) "bfs covers" 4 (List.length order)
+  | _ -> Alcotest.fail "bfs must start at root");
+  let post = T.dfs_postorder g in
+  Alcotest.(check int) "postorder covers" 4 (List.length post)
+
+let test_longest_path () =
+  let g = of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  match T.longest_path_weights ~weight:(fun n -> n * 10) g with
+  | Error _ -> Alcotest.fail "acyclic expected"
+  | Ok w ->
+    (* longest to 3: 1 -> 2 -> 3 = 10 + 20 + 30 *)
+    Alcotest.(check int) "longest at 3" 60 (G.Node_map.find 3 w);
+    Alcotest.(check int) "longest at 1" 10 (G.Node_map.find 1 w)
+
+let test_scc () =
+  let g = of_edges [ (1, 2); (2, 1); (2, 3); (3, 4); (4, 3); (5, 5) ] in
+  let comps = Scc.components g in
+  let sorted =
+    List.sort compare (List.map (fun c -> List.sort compare c) comps)
+  in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ] sorted;
+  let comps, edges = Scc.condensation g in
+  Alcotest.(check int) "condensation size" 3 (List.length comps);
+  Alcotest.(check int) "condensation edges" 1 (List.length edges)
+
+let test_dot () =
+  let g = of_edges [ (1, 2) ] in
+  let s = Dot.to_string ~node_label:string_of_int g in
+  Alcotest.(check bool) "digraph" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has edge" true (contains ~needle:"->" s)
+
+(* ---------------------------- properties --------------------------- *)
+
+let gen_edges =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (pair (int_range 0 15) (int_range 0 15)))
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat ";"
+        (List.map (fun (u, v) -> Format.sprintf "%d->%d" u v) edges))
+    gen_edges
+
+let properties =
+  [
+    QCheck.Test.make ~name:"transpose involutive" ~count:200 arb_graph
+      (fun edges ->
+        let g = of_edges edges in
+        let tt = G.transpose (G.transpose g) in
+        G.edges g = G.edges tt && G.nodes g = G.nodes tt);
+    QCheck.Test.make ~name:"edge count matches list" ~count:200 arb_graph
+      (fun edges ->
+        let g = of_edges edges in
+        G.edge_count g = List.length (G.edges g));
+    QCheck.Test.make ~name:"topo order covers acyclic graphs" ~count:200
+      arb_graph (fun edges ->
+        (* force acyclicity by orienting edges upward *)
+        let acyclic =
+          List.filter_map
+            (fun (u, v) -> if u < v then Some (u, v) else if v < u then Some (v, u) else None)
+            edges
+        in
+        let g = of_edges acyclic in
+        match T.topological_sort g with
+        | Error _ -> false
+        | Ok order -> List.length order = G.node_count g);
+    QCheck.Test.make ~name:"scc partitions nodes" ~count:200 arb_graph
+      (fun edges ->
+        let g = of_edges edges in
+        let comps = Scc.components g in
+        let all = List.concat comps in
+        List.length all = G.node_count g
+        && List.sort compare all = List.sort compare (G.nodes g));
+    QCheck.Test.make ~name:"condensation is acyclic" ~count:200 arb_graph
+      (fun edges ->
+        let g = of_edges edges in
+        let _, cedges = Scc.condensation g in
+        let cg = of_edges cedges in
+        T.is_acyclic cg);
+    QCheck.Test.make ~name:"reachable contains root and succs" ~count:200
+      arb_graph (fun edges ->
+        match edges with
+        | [] -> true
+        | (u, v) :: _ ->
+          let g = of_edges edges in
+          let r = T.reachable u g in
+          G.Node_set.mem u r && G.Node_set.mem v r);
+  ]
+
+let suite =
+  ( "graphlib",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "add/remove" `Quick test_add_remove;
+      Alcotest.test_case "parallel edges collapse" `Quick
+        test_parallel_edges_collapse;
+      Alcotest.test_case "degrees" `Quick test_degrees;
+      Alcotest.test_case "transpose" `Quick test_transpose;
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "topological sort" `Quick test_topological_sort;
+      Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+      Alcotest.test_case "reachable" `Quick test_reachable;
+      Alcotest.test_case "bfs/dfs" `Quick test_bfs_dfs;
+      Alcotest.test_case "longest path" `Quick test_longest_path;
+      Alcotest.test_case "scc" `Quick test_scc;
+      Alcotest.test_case "dot export" `Quick test_dot;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) properties )
+
+(* appended: distinct nodes sharing a label stay distinct in dot *)
+module Labeled = Graphlib.Digraph.Make (struct
+  type t = int * string
+
+  let compare = compare
+  let pp ppf (i, s) = Format.fprintf ppf "%d%s" i s
+end)
+
+module Labeled_dot = Graphlib.Dot.Make (Labeled)
+
+let test_dot_same_labels () =
+  let g =
+    Labeled.add_edge (1, "x") (2, "x") Labeled.empty
+  in
+  (* both nodes are labeled "x"; they must still be two dot nodes *)
+  let s = Labeled_dot.to_string ~node_label:(fun (_, l) -> l) g in
+  let count needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i acc =
+      if i + n > h then acc
+      else if String.sub haystack i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two label statements" 2 (count "label=\"x\"" s);
+  Alcotest.(check int) "one edge" 1 (count "->" s)
+
+let suite =
+  let name, tests = suite in
+  ( name,
+    tests
+    @ [ Alcotest.test_case "dot distinct nodes same label" `Quick test_dot_same_labels ] )

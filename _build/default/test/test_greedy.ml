@@ -1,0 +1,152 @@
+(* Tests for the greedy heuristic partitioner. *)
+
+module I = Spi.Ids
+module F2 = Paper.Figure2
+
+let pid = I.Process_id.of_string
+
+let test_table1 () =
+  match Synth.Greedy.partition F2.table1_tech [ F2.app1; F2.app2 ] with
+  | None -> Alcotest.fail "feasible instance"
+  | Some r ->
+    (* feasible, and not better than the exact optimum (41) *)
+    Alcotest.(check bool) "feasible" true
+      (Synth.Schedule.is_feasible
+         (Synth.Schedule.check F2.table1_tech r.Synth.Greedy.binding
+            [ F2.app1; F2.app2 ]));
+    Alcotest.(check bool) "not better than optimal" true
+      (r.Synth.Greedy.cost.Synth.Cost.total >= 41);
+    Alcotest.(check bool) "moved something" true (r.Synth.Greedy.moves <> [])
+
+let test_no_moves_when_fits () =
+  let tech =
+    Synth.Tech.make
+      [ (pid "a", Synth.Tech.both ~load:30 ~area:50); (pid "b", Synth.Tech.both ~load:40 ~area:50) ]
+  in
+  match Synth.Greedy.partition tech [ Synth.App.make "x" [ pid "a"; pid "b" ] ] with
+  | Some r ->
+    Alcotest.(check int) "no hardware" 0 (List.length r.Synth.Greedy.moves);
+    Alcotest.(check int) "processor only" (Synth.Tech.processor_cost tech)
+      r.Synth.Greedy.cost.Synth.Cost.total
+  | None -> Alcotest.fail "trivially feasible"
+
+let test_infeasible () =
+  let tech = Synth.Tech.make [ (pid "x", Synth.Tech.sw_only ~load:200) ] in
+  Alcotest.(check bool) "no way out" true
+    (Option.is_none
+       (Synth.Greedy.partition tech [ Synth.App.make "a" [ pid "x" ] ]))
+
+let test_hw_only_processes_start_in_hw () =
+  let tech =
+    Synth.Tech.make
+      [ (pid "asic", Synth.Tech.hw_only ~area:9); (pid "cpu", Synth.Tech.sw_only ~load:10) ]
+  in
+  match Synth.Greedy.partition tech [ Synth.App.make "a" [ pid "asic"; pid "cpu" ] ] with
+  | Some r ->
+    Alcotest.(check (option bool))
+      "asic in hw" (Some true)
+      (Option.map (fun i -> i = Synth.Binding.Hw)
+         (Synth.Binding.impl_of (pid "asic") r.Synth.Greedy.binding))
+  | None -> Alcotest.fail "feasible"
+
+let prop_greedy_sound =
+  QCheck.Test.make
+    ~name:"greedy is feasible and never beats the exact optimum" ~count:80
+    QCheck.(pair (int_range 2 7) (int_range 0 3000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let pids = List.init n (fun i -> pid (Format.sprintf "g%d" i)) in
+      let tech =
+        Synth.Tech.make
+          (List.map
+             (fun p ->
+               ( p,
+                 Synth.Tech.both
+                   ~load:(5 + Random.State.int rng 60)
+                   ~area:(5 + Random.State.int rng 60) ))
+             pids)
+      in
+      let subset () =
+        match List.filter (fun _ -> Random.State.bool rng) pids with
+        | [] -> [ List.hd pids ]
+        | s -> s
+      in
+      let apps = [ Synth.App.make "a" (subset ()); Synth.App.make "b" (subset ()) ] in
+      match Synth.Greedy.quality_gap tech apps with
+      | None -> true (* both infeasible is consistent *)
+      | Some (heuristic, optimal) ->
+        heuristic >= optimal
+        && (match Synth.Greedy.partition tech apps with
+           | Some r ->
+             Synth.Schedule.is_feasible
+               (Synth.Schedule.check tech r.Synth.Greedy.binding apps)
+           | None -> false))
+
+let test_scales_beyond_exact () =
+  (* 60 processes: the heuristic answers immediately *)
+  let pids = List.init 60 (fun i -> pid (Format.sprintf "big%d" i)) in
+  let tech =
+    Synth.Tech.of_weights ~weight:Variants.Generator.process_weight pids
+  in
+  let apps =
+    [
+      Synth.App.make "a" (List.filteri (fun i _ -> i < 40) pids);
+      Synth.App.make "b" (List.filteri (fun i _ -> i >= 20) pids);
+    ]
+  in
+  match Synth.Greedy.partition tech apps with
+  | Some r ->
+    Alcotest.(check bool) "feasible at scale" true
+      (Synth.Schedule.is_feasible
+         (Synth.Schedule.check tech r.Synth.Greedy.binding apps))
+  | None -> Alcotest.fail "expected feasible"
+
+let suite =
+  ( "greedy",
+    [
+      Alcotest.test_case "table1" `Quick test_table1;
+      Alcotest.test_case "no moves when fits" `Quick test_no_moves_when_fits;
+      Alcotest.test_case "infeasible" `Quick test_infeasible;
+      Alcotest.test_case "hw-only starts in hw" `Quick
+        test_hw_only_processes_start_in_hw;
+      Alcotest.test_case "scales beyond exact" `Quick test_scales_beyond_exact;
+      QCheck_alcotest.to_alcotest ~long:false prop_greedy_sound;
+    ] )
+
+(* appended: the improvement pass never breaks feasibility *)
+let prop_improvement_feasible =
+  QCheck.Test.make ~name:"greedy result has no redundant hardware" ~count:60
+    QCheck.(pair (int_range 2 6) (int_range 0 3000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let pids = List.init n (fun i -> pid (Format.sprintf "h%d" i)) in
+      let tech =
+        Synth.Tech.make
+          (List.map
+             (fun p ->
+               ( p,
+                 Synth.Tech.both
+                   ~load:(5 + Random.State.int rng 60)
+                   ~area:(5 + Random.State.int rng 60) ))
+             pids)
+      in
+      let apps = [ Synth.App.make "a" pids ] in
+      match Synth.Greedy.partition tech apps with
+      | None -> true
+      | Some r ->
+        (* local optimality: no single hardware process can return to
+           software without overloading *)
+        List.for_all
+          (fun p ->
+            match Synth.Binding.impl_of p r.Synth.Greedy.binding with
+            | Some Synth.Binding.Hw ->
+              let back =
+                Synth.Binding.bind p Synth.Binding.Sw r.Synth.Greedy.binding
+              in
+              not (Synth.Schedule.is_feasible (Synth.Schedule.check tech back apps))
+            | Some Synth.Binding.Sw | None -> true)
+          pids)
+
+let suite =
+  let name, tests = suite in
+  (name, tests @ [ QCheck_alcotest.to_alcotest ~long:false prop_improvement_feasible ])

@@ -1,0 +1,125 @@
+(* Unit and property tests for the interval domain. *)
+
+let iv lo hi = Interval.make lo hi
+
+let check_iv = Alcotest.testable Interval.pp Interval.equal
+
+let test_make_valid () =
+  Alcotest.(check int) "lo" 2 (Interval.lo (iv 2 5));
+  Alcotest.(check int) "hi" 5 (Interval.hi (iv 2 5));
+  Alcotest.(check int) "width" 3 (Interval.width (iv 2 5));
+  Alcotest.(check bool) "point" true (Interval.is_point (Interval.point 7))
+
+let test_make_invalid () =
+  Alcotest.check_raises "reversed bounds"
+    (Interval.Empty_interval (5, 2))
+    (fun () -> ignore (iv 5 2))
+
+let test_mem () =
+  Alcotest.(check bool) "inside" true (Interval.mem 3 (iv 2 5));
+  Alcotest.(check bool) "lower edge" true (Interval.mem 2 (iv 2 5));
+  Alcotest.(check bool) "upper edge" true (Interval.mem 5 (iv 2 5));
+  Alcotest.(check bool) "below" false (Interval.mem 1 (iv 2 5));
+  Alcotest.(check bool) "above" false (Interval.mem 6 (iv 2 5))
+
+let test_arithmetic () =
+  Alcotest.check check_iv "add" (iv 5 9) (Interval.add (iv 2 4) (iv 3 5));
+  Alcotest.check check_iv "sub" (iv (-3) 1) (Interval.sub (iv 2 4) (iv 3 5));
+  Alcotest.check check_iv "mul mixed" (iv (-8) 12)
+    (Interval.mul (iv (-2) 3) (iv 1 4));
+  Alcotest.check check_iv "neg" (iv (-4) (-2)) (Interval.neg (iv 2 4));
+  Alcotest.check check_iv "scale" (iv 4 8) (Interval.scale 2 (iv 2 4));
+  Alcotest.check check_iv "scale negative" (iv (-8) (-4))
+    (Interval.scale (-2) (iv 2 4));
+  Alcotest.check check_iv "sum" (iv 6 12)
+    (Interval.sum [ iv 1 2; iv 2 4; iv 3 6 ]);
+  Alcotest.check check_iv "sum empty" Interval.zero (Interval.sum [])
+
+let test_lattice () =
+  Alcotest.check check_iv "join" (iv 1 8) (Interval.join (iv 1 3) (iv 5 8));
+  Alcotest.(check (option check_iv))
+    "meet overlap"
+    (Some (iv 3 4))
+    (Interval.meet (iv 1 4) (iv 3 8));
+  Alcotest.(check (option check_iv)) "meet disjoint" None
+    (Interval.meet (iv 1 2) (iv 4 8));
+  Alcotest.(check bool) "subset yes" true (Interval.subset (iv 2 3) (iv 1 4));
+  Alcotest.(check bool) "subset no" false (Interval.subset (iv 0 3) (iv 1 4));
+  Alcotest.(check (option check_iv))
+    "join_list"
+    (Some (iv 0 9))
+    (Interval.join_list [ iv 3 4; iv 0 1; iv 8 9 ]);
+  Alcotest.(check (option check_iv)) "join_list empty" None (Interval.join_list [])
+
+let test_clamp_pick () =
+  Alcotest.(check int) "clamp below" 2 (Interval.clamp 0 (iv 2 5));
+  Alcotest.(check int) "clamp above" 5 (Interval.clamp 9 (iv 2 5));
+  Alcotest.(check int) "clamp inside" 4 (Interval.clamp 4 (iv 2 5));
+  Alcotest.(check int) "midpoint" 3 (Interval.midpoint (iv 2 5));
+  Alcotest.(check int) "pick 0" 2 (Interval.pick ~position:0. (iv 2 6));
+  Alcotest.(check int) "pick 1" 6 (Interval.pick ~position:1. (iv 2 6));
+  Alcotest.(check int) "pick clamped" 6 (Interval.pick ~position:2. (iv 2 6))
+
+let test_pp () =
+  Alcotest.(check string) "point" "4" (Interval.to_string (Interval.point 4));
+  Alcotest.(check string) "range" "[2,5]" (Interval.to_string (iv 2 5))
+
+(* ---------------------------- properties --------------------------- *)
+
+let gen_interval =
+  QCheck.Gen.(
+    map2
+      (fun lo w -> Interval.make lo (lo + w))
+      (int_range (-1000) 1000) (int_range 0 500))
+
+let arb_interval =
+  QCheck.make ~print:Interval.to_string gen_interval
+
+let arb_pair = QCheck.pair arb_interval arb_interval
+
+let prop name count arb f = QCheck.Test.make ~name ~count arb f
+
+let properties =
+  [
+    prop "add is sound pointwise" 500 arb_pair (fun (a, b) ->
+        let x = Interval.clamp 0 a and y = Interval.clamp 0 b in
+        Interval.mem (x + y) (Interval.add a b));
+    prop "mul is sound pointwise" 500 arb_pair (fun (a, b) ->
+        let x = Interval.midpoint a and y = Interval.midpoint b in
+        Interval.mem (x * y) (Interval.mul a b));
+    prop "sub then add over-approximates" 500 arb_pair (fun (a, b) ->
+        Interval.subset a (Interval.add (Interval.sub a b) b));
+    prop "join commutative" 500 arb_pair (fun (a, b) ->
+        Interval.equal (Interval.join a b) (Interval.join b a));
+    prop "join upper bound" 500 arb_pair (fun (a, b) ->
+        let j = Interval.join a b in
+        Interval.subset a j && Interval.subset b j);
+    prop "meet lower bound" 500 arb_pair (fun (a, b) ->
+        match Interval.meet a b with
+        | None -> not (Interval.overlaps a b)
+        | Some m -> Interval.subset m a && Interval.subset m b);
+    prop "meet then join identity on overlap" 500 arb_pair (fun (a, b) ->
+        match Interval.meet a b with
+        | None -> true
+        | Some m -> Interval.subset m (Interval.join a b));
+    prop "midpoint is a member" 500 arb_interval (fun a ->
+        Interval.mem (Interval.midpoint a) a);
+    prop "pick stays inside" 500
+      (QCheck.pair arb_interval (QCheck.float_range 0. 1.))
+      (fun (a, position) -> Interval.mem (Interval.pick ~position a) a);
+    prop "compare total order consistent with equal" 500 arb_pair
+      (fun (a, b) -> Interval.compare a b = 0 = Interval.equal a b);
+  ]
+
+let suite =
+  ( "interval",
+    [
+      Alcotest.test_case "make valid" `Quick test_make_valid;
+      Alcotest.test_case "make invalid" `Quick test_make_invalid;
+      Alcotest.test_case "mem" `Quick test_mem;
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "lattice" `Quick test_lattice;
+      Alcotest.test_case "clamp/pick" `Quick test_clamp_pick;
+      Alcotest.test_case "pretty-printing" `Quick test_pp;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) properties )

@@ -1,0 +1,149 @@
+(* Tests for the aggregate design lint. *)
+
+module I = Spi.Ids
+module V = Variants
+
+let one = Interval.point 1
+
+let test_figure2_clean () =
+  let r = V.Lint.run Paper.Figure2.system in
+  Alcotest.(check bool) "clean" true (V.Lint.is_clean r);
+  Alcotest.(check int) "no errors" 0 r.V.Lint.errors
+
+let test_figure3_warns_ambiguity () =
+  (* tags V1/V2 are not provably exclusive: a warning, not an error *)
+  let r = V.Lint.run Paper.Figure2.system_with_selection in
+  Alcotest.(check bool) "clean (warnings only)" true (V.Lint.is_clean r);
+  Alcotest.(check bool) "ambiguity warning present" true
+    (List.exists
+       (fun f ->
+         f.V.Lint.severity = V.Lint.Warning
+         &&
+         let contains needle haystack =
+           let n = String.length needle and h = String.length haystack in
+           let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+           go 0
+         in
+         contains "not provably disjoint" f.V.Lint.message)
+       r.V.Lint.findings)
+
+let test_structural_error_reported () =
+  (* a site wired to a channel the system does not declare *)
+  let iface =
+    V.Interface.make
+      ~ports:[ V.Port.input "i" ]
+      ~clusters:
+        [
+          V.Cluster.make
+            ~ports:[ V.Port.input "i" ]
+            ~processes:
+              [
+                Spi.Process.simple ~latency:one
+                  ~consumes:[ (V.Port.channel_of (I.Port_id.of_string "i"), one) ]
+                  ~produces:[]
+                  (I.Process_id.of_string "p");
+              ]
+            "c";
+        ]
+      "broken"
+  in
+  let system =
+    V.System.make
+      ~sites:
+        [ { V.Structure.iface; wiring = [ (I.Port_id.of_string "i", I.Channel_id.of_string "ghost") ] } ]
+      "bad"
+  in
+  let r = V.Lint.run system in
+  Alcotest.(check bool) "has errors" false (V.Lint.is_clean r);
+  Alcotest.(check bool) "structural scope" true
+    (List.exists (fun f -> f.V.Lint.scope = "system") r.V.Lint.findings)
+
+let test_rate_anomaly_warning () =
+  let cid = I.Channel_id.of_string in
+  let system =
+    V.System.make
+      ~processes:
+        [
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "a", one) ]
+            ~produces:[ (cid "b", Spi.Mode.produce (Interval.point 5)) ]
+            (I.Process_id.of_string "burst");
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "b", one) ]
+            ~produces:[]
+            (I.Process_id.of_string "sip");
+        ]
+      ~channels:[ Spi.Chan.queue (cid "a"); Spi.Chan.queue (cid "b") ]
+      "unbalanced"
+  in
+  let r = V.Lint.run system in
+  Alcotest.(check bool) "warning, still clean" true (V.Lint.is_clean r);
+  Alcotest.(check bool) "accumulation flagged" true
+    (List.exists
+       (fun f -> f.V.Lint.severity = V.Lint.Warning)
+       r.V.Lint.findings)
+
+let test_deadline_violation_error () =
+  let cid = I.Channel_id.of_string and pid = I.Process_id.of_string in
+  let system =
+    V.System.make
+      ~processes:
+        [
+          Spi.Process.simple ~latency:(Interval.point 50)
+            ~consumes:[ (cid "a", one) ]
+            ~produces:[ (cid "b", Spi.Mode.produce one) ]
+            (pid "p");
+          Spi.Process.simple ~latency:(Interval.point 50)
+            ~consumes:[ (cid "b", one) ]
+            ~produces:[] (pid "q");
+        ]
+      ~channels:[ Spi.Chan.queue (cid "a"); Spi.Chan.queue (cid "b") ]
+      ~constraints:
+        [
+          Spi.Constraint_.latency_path ~name:"tight" ~from_:(pid "p")
+            ~to_:(pid "q") ~bound:10;
+        ]
+      "late"
+  in
+  let r = V.Lint.run system in
+  Alcotest.(check bool) "deadline violation is an error" false (V.Lint.is_clean r)
+
+let test_deadlock_error () =
+  let cid = I.Channel_id.of_string and pid = I.Process_id.of_string in
+  let system =
+    V.System.make
+      ~processes:
+        [
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "x", one) ]
+            ~produces:[ (cid "y", Spi.Mode.produce one) ]
+            (pid "u");
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "y", one) ]
+            ~produces:[ (cid "x", Spi.Mode.produce one) ]
+            (pid "v");
+        ]
+      ~channels:[ Spi.Chan.queue (cid "x"); Spi.Chan.queue (cid "y") ]
+      "deadlocked"
+  in
+  let r = V.Lint.run system in
+  Alcotest.(check bool) "deadlock is an error" false (V.Lint.is_clean r)
+
+let test_lint_renders () =
+  let r = V.Lint.run Paper.Figure2.system_with_selection in
+  let text = Format.asprintf "%a" V.Lint.pp r in
+  Alcotest.(check bool) "mentions counts" true (String.length text > 10)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "figure2 clean" `Quick test_figure2_clean;
+      Alcotest.test_case "figure3 warns ambiguity" `Quick
+        test_figure3_warns_ambiguity;
+      Alcotest.test_case "structural error" `Quick test_structural_error_reported;
+      Alcotest.test_case "rate anomaly warning" `Quick test_rate_anomaly_warning;
+      Alcotest.test_case "deadline violation error" `Quick
+        test_deadline_violation_error;
+      Alcotest.test_case "deadlock error" `Quick test_deadlock_error;
+      Alcotest.test_case "renders" `Quick test_lint_renders;
+    ] )

@@ -1,0 +1,192 @@
+(* Tests for the static list scheduler. *)
+
+module I = Spi.Ids
+module LS = Synth.List_schedule
+
+let pid = I.Process_id.of_string
+let cid = I.Channel_id.of_string
+let one = Interval.point 1
+
+let proc ~consumes ~produces name =
+  Spi.Process.simple ~latency:one
+    ~consumes:(List.map (fun c -> (cid c, one)) consumes)
+    ~produces:(List.map (fun c -> (cid c, Spi.Mode.produce one)) produces)
+    (pid name)
+
+(* fork-join: src -> (l, r) -> join *)
+let diamond =
+  Spi.Model.build_exn
+    ~processes:
+      [
+        proc ~consumes:[ "in" ] ~produces:[ "a"; "b" ] "src";
+        proc ~consumes:[ "a" ] ~produces:[ "c" ] "l";
+        proc ~consumes:[ "b" ] ~produces:[ "d" ] "r";
+        Spi.Process.simple ~latency:one
+          ~consumes:[ (cid "c", one); (cid "d", one) ]
+          ~produces:[] (pid "join");
+      ]
+    ~channels:(List.map (fun c -> Spi.Chan.queue (cid c)) [ "in"; "a"; "b"; "c"; "d" ])
+
+let tech =
+  Synth.Tech.make
+    [
+      (pid "src", Synth.Tech.both ~load:10 ~area:10);
+      (pid "l", Synth.Tech.both ~load:20 ~area:10);
+      (pid "r", Synth.Tech.both ~load:30 ~area:10);
+      (pid "join", Synth.Tech.both ~load:10 ~area:10);
+    ]
+
+let all impl =
+  Synth.Binding.of_list
+    (List.map (fun n -> (pid n, impl)) [ "src"; "l"; "r"; "join" ])
+
+let test_all_hw_parallel () =
+  (* hardware latency 1 each: l and r run in parallel *)
+  match LS.schedule tech (all Synth.Binding.Hw) diamond with
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok s ->
+    Alcotest.(check int) "makespan 3" 3 s.LS.makespan;
+    Alcotest.(check int) "no cpu time" 0 s.LS.processor_busy;
+    let l = Option.get (LS.entry_of (pid "l") s) in
+    let r = Option.get (LS.entry_of (pid "r") s) in
+    Alcotest.(check int) "parallel starts" l.LS.start r.LS.start
+
+let test_all_sw_serialized () =
+  (* software latencies = loads: the CPU serializes l and r *)
+  match LS.schedule tech (all Synth.Binding.Sw) diamond with
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok s ->
+    (* src 10, then r (higher priority, 30) and l (20) serialized,
+       then join 10: makespan = 10 + 30 + 20 + 10 = 70 *)
+    Alcotest.(check int) "makespan" 70 s.LS.makespan;
+    Alcotest.(check int) "cpu busy = total sw work" 70 s.LS.processor_busy;
+    let l = Option.get (LS.entry_of (pid "l") s) in
+    let r = Option.get (LS.entry_of (pid "r") s) in
+    Alcotest.(check bool) "no overlap on cpu" true
+      (l.LS.finish <= r.LS.start || r.LS.finish <= l.LS.start);
+    (* critical path first: r (longer chain) scheduled before l *)
+    Alcotest.(check bool) "r before l" true (r.LS.start < l.LS.start)
+
+let test_mixed_binding () =
+  let binding =
+    Synth.Binding.of_list
+      [
+        (pid "src", Synth.Binding.Sw);
+        (pid "l", Synth.Binding.Hw);
+        (pid "r", Synth.Binding.Sw);
+        (pid "join", Synth.Binding.Sw);
+      ]
+  in
+  match LS.schedule tech binding diamond with
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok s ->
+    (* src 0-10 (SW); l HW 10-11 in parallel with r SW 10-40;
+       join SW at 40-50 *)
+    Alcotest.(check int) "makespan" 50 s.LS.makespan;
+    let l = Option.get (LS.entry_of (pid "l") s) in
+    let r = Option.get (LS.entry_of (pid "r") s) in
+    Alcotest.(check bool) "hw overlaps sw" true
+      (l.LS.start < r.LS.finish && r.LS.start < l.LS.finish);
+    Alcotest.(check bool) "deadline 50 met" true (LS.meets_deadline s 50);
+    Alcotest.(check bool) "deadline 49 missed" false (LS.meets_deadline s 49)
+
+let test_dependencies_respected () =
+  match LS.schedule tech (all Synth.Binding.Sw) diamond with
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok s ->
+    let get n = Option.get (LS.entry_of (pid n) s) in
+    Alcotest.(check bool) "src before l" true
+      ((get "src").LS.finish <= (get "l").LS.start);
+    Alcotest.(check bool) "src before r" true
+      ((get "src").LS.finish <= (get "r").LS.start);
+    Alcotest.(check bool) "both before join" true
+      ((get "l").LS.finish <= (get "join").LS.start
+      && (get "r").LS.finish <= (get "join").LS.start)
+
+let test_cyclic_rejected () =
+  let cyclic =
+    Spi.Model.build_exn
+      ~processes:
+        [ proc ~consumes:[ "x" ] ~produces:[ "y" ] "u";
+          proc ~consumes:[ "y" ] ~produces:[ "x" ] "v" ]
+      ~channels:[ Spi.Chan.queue (cid "x"); Spi.Chan.queue (cid "y") ]
+  in
+  let tech2 =
+    Synth.Tech.make
+      [ (pid "u", Synth.Tech.sw_only ~load:1); (pid "v", Synth.Tech.sw_only ~load:1) ]
+  in
+  let binding =
+    Synth.Binding.of_list [ (pid "u", Synth.Binding.Sw); (pid "v", Synth.Binding.Sw) ]
+  in
+  match LS.schedule tech2 binding cyclic with
+  | Error (LS.Cyclic _) -> ()
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
+let test_unbound_rejected () =
+  match LS.schedule tech Synth.Binding.empty diamond with
+  | Error (LS.Unbound _) -> ()
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok _ -> Alcotest.fail "unbound accepted"
+
+let test_gantt_renders () =
+  match LS.schedule tech (all Synth.Binding.Sw) diamond with
+  | Error _ -> Alcotest.fail "schedule expected"
+  | Ok s ->
+    let text = Format.asprintf "%a" LS.pp_gantt s in
+    Alcotest.(check bool) "mentions makespan" true
+      (String.length text > 0
+      &&
+      let contains needle haystack =
+        let n = String.length needle and h = String.length haystack in
+        let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+        go 0
+      in
+      contains "makespan 70" text && contains "join" text)
+
+let test_table1_schedule () =
+  (* schedule the flattened application 1 under its optimal binding:
+     cluster g1 in hardware, PA/PB in software *)
+  let model =
+    Variants.Flatten.flatten Paper.Figure2.system
+      (Variants.Flatten.choice_of_list [ ("iface1", "g1") ])
+  in
+  let tech =
+    Synth.Tech.make
+      [
+        (pid "PA", Synth.Tech.both ~load:40 ~area:26);
+        (pid "PB", Synth.Tech.both ~load:30 ~area:30);
+        (pid "iface1.x1", Synth.Tech.both ~load:30 ~area:10);
+        (pid "iface1.x2", Synth.Tech.both ~load:30 ~area:9);
+      ]
+  in
+  let binding =
+    Synth.Binding.of_list
+      [
+        (pid "PA", Synth.Binding.Sw);
+        (pid "PB", Synth.Binding.Sw);
+        (pid "iface1.x1", Synth.Binding.Hw);
+        (pid "iface1.x2", Synth.Binding.Hw);
+      ]
+  in
+  match LS.schedule tech binding model with
+  | Error e -> Alcotest.failf "unexpected %a" LS.pp_error e
+  | Ok s ->
+    (* PA 40 SW, x1/x2 HW 1+1, PB 30 SW: chain = 40+1+1+30 = 72 *)
+    Alcotest.(check int) "makespan" 72 s.LS.makespan;
+    Alcotest.(check int) "cpu busy" 70 s.LS.processor_busy
+
+let suite =
+  ( "list-schedule",
+    [
+      Alcotest.test_case "all hardware parallel" `Quick test_all_hw_parallel;
+      Alcotest.test_case "all software serialized" `Quick test_all_sw_serialized;
+      Alcotest.test_case "mixed binding" `Quick test_mixed_binding;
+      Alcotest.test_case "dependencies respected" `Quick
+        test_dependencies_respected;
+      Alcotest.test_case "cyclic rejected" `Quick test_cyclic_rejected;
+      Alcotest.test_case "unbound rejected" `Quick test_unbound_rejected;
+      Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+      Alcotest.test_case "table1 application schedule" `Quick
+        test_table1_schedule;
+    ] )

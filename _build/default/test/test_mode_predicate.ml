@@ -1,0 +1,291 @@
+(* Tests for modes, predicates and activation functions. *)
+
+module I = Spi.Ids
+open Spi.Predicate
+
+let cid = I.Channel_id.of_string
+let mid = I.Mode_id.of_string
+let one = Interval.point 1
+let tag = Spi.Tag.make
+
+let mk_mode ?payload_policy name ~latency ~consumes ~produces =
+  Spi.Mode.make ?payload_policy ~latency ~consumes ~produces (mid name)
+
+let sample_mode =
+  mk_mode "m" ~latency:(Interval.make 3 5)
+    ~consumes:[ (cid "a", Interval.make 1 3) ]
+    ~produces:
+      [ (cid "b", Spi.Mode.produce ~tags:(Spi.Tag.Set.singleton (tag "t")) (Interval.make 2 5)) ]
+
+(* ------------------------------ modes ------------------------------ *)
+
+let test_mode_accessors () =
+  Alcotest.(check bool) "latency" true
+    (Interval.equal (Spi.Mode.latency sample_mode) (Interval.make 3 5));
+  Alcotest.(check bool) "consumption" true
+    (Interval.equal (Spi.Mode.consumption sample_mode (cid "a")) (Interval.make 1 3));
+  Alcotest.(check bool) "consumption absent is zero" true
+    (Interval.equal (Spi.Mode.consumption sample_mode (cid "zz")) Interval.zero);
+  (match Spi.Mode.production_on sample_mode (cid "b") with
+  | None -> Alcotest.fail "production expected"
+  | Some p ->
+    Alcotest.(check bool) "rate" true (Interval.equal p.Spi.Mode.rate (Interval.make 2 5));
+    Alcotest.(check bool) "tags" true
+      (Spi.Tag.Set.mem (tag "t") p.Spi.Mode.tags));
+  Alcotest.(check int) "consumed channels" 1
+    (I.Channel_id.Set.cardinal (Spi.Mode.consumed_channels sample_mode));
+  Alcotest.(check int) "produced channels" 1
+    (I.Channel_id.Set.cardinal (Spi.Mode.produced_channels sample_mode))
+
+let test_mode_validation () =
+  let dup () =
+    ignore
+      (mk_mode "bad" ~latency:one
+         ~consumes:[ (cid "a", one); (cid "a", one) ]
+         ~produces:[])
+  in
+  (try
+     dup ();
+     Alcotest.fail "duplicate channel accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (mk_mode "bad" ~latency:(Interval.make (-1) 2) ~consumes:[] ~produces:[]);
+    Alcotest.fail "negative latency accepted"
+  with Invalid_argument _ -> ()
+
+let test_mode_join () =
+  let other =
+    mk_mode "n" ~latency:(Interval.make 1 2)
+      ~consumes:[ (cid "c", one) ]
+      ~produces:[ (cid "b", Spi.Mode.produce (Interval.point 1)) ]
+  in
+  let j = Spi.Mode.join (mid "j") sample_mode other in
+  Alcotest.(check bool) "latency hull" true
+    (Interval.equal (Spi.Mode.latency j) (Interval.make 1 5));
+  (* channel only on one side gets a zero lower bound *)
+  Alcotest.(check bool) "one-sided consumption" true
+    (Interval.equal (Spi.Mode.consumption j (cid "c")) (Interval.make 0 1));
+  Alcotest.(check bool) "shared production hull" true
+    (match Spi.Mode.production_on j (cid "b") with
+    | Some p -> Interval.equal p.Spi.Mode.rate (Interval.make 1 5)
+    | None -> false)
+
+let test_mode_map_channels () =
+  let renamed =
+    Spi.Mode.map_channels
+      (fun c -> cid (I.Channel_id.to_string c ^ "!"))
+      sample_mode
+  in
+  Alcotest.(check bool) "consumption moved" true
+    (Interval.equal (Spi.Mode.consumption renamed (cid "a!")) (Interval.make 1 3));
+  Alcotest.(check bool) "old name gone" true
+    (Interval.equal (Spi.Mode.consumption renamed (cid "a")) Interval.zero);
+  (* collapsing two channels onto one must be rejected *)
+  let two =
+    mk_mode "two" ~latency:one
+      ~consumes:[ (cid "a", one); (cid "b", one) ]
+      ~produces:[]
+  in
+  try
+    ignore (Spi.Mode.map_channels (fun _ -> cid "same") two);
+    Alcotest.fail "collision accepted"
+  with Invalid_argument _ -> ()
+
+let test_mode_scale_latency () =
+  let m = Spi.Mode.scale_latency 3 sample_mode in
+  Alcotest.(check bool) "scaled" true
+    (Interval.equal (Spi.Mode.latency m) (Interval.make 9 15))
+
+(* ---------------------------- predicates --------------------------- *)
+
+let view_of assoc =
+  {
+    tokens_available =
+      (fun c ->
+        match List.assoc_opt (I.Channel_id.to_string c) assoc with
+        | Some (n, _) -> n
+        | None -> 0);
+    first_tags =
+      (fun c ->
+        match List.assoc_opt (I.Channel_id.to_string c) assoc with
+        | Some (n, tags) when n > 0 -> Some (Spi.Tag.set_of_list tags)
+        | Some _ | None -> None);
+  }
+
+let test_predicate_eval () =
+  let view = view_of [ ("a", (2, [ "x" ])); ("b", (0, [])) ] in
+  Alcotest.(check bool) "num sat" true (eval view (num_at_least (cid "a") 2));
+  Alcotest.(check bool) "num unsat" false (eval view (num_at_least (cid "a") 3));
+  Alcotest.(check bool) "tag sat" true (eval view (has_tag (cid "a") (tag "x")));
+  Alcotest.(check bool) "tag unsat" false (eval view (has_tag (cid "a") (tag "y")));
+  Alcotest.(check bool) "tag on empty channel" false
+    (eval view (has_tag (cid "b") (tag "x")));
+  Alcotest.(check bool) "conj" true
+    (eval view (conj [ num_at_least (cid "a") 1; has_tag (cid "a") (tag "x") ]));
+  Alcotest.(check bool) "conj empty is true" true (eval view (conj []));
+  Alcotest.(check bool) "disj empty is false" false (eval view (disj []));
+  Alcotest.(check bool) "negation" true
+    (eval view (Not (num_at_least (cid "a") 5)));
+  Alcotest.(check bool) "true" true (eval view True);
+  Alcotest.(check bool) "false" false (eval view False)
+
+let test_predicate_channels_tags () =
+  let p =
+    conj
+      [ num_at_least (cid "a") 1; has_tag (cid "b") (tag "x"); Not (has_tag (cid "c") (tag "y")) ]
+  in
+  Alcotest.(check int) "channels" 3 (I.Channel_id.Set.cardinal (channels p));
+  Alcotest.(check int) "tags" 2 (Spi.Tag.Set.cardinal (tags_tested p))
+
+let test_predicate_disjoint () =
+  let p = has_tag (cid "a") (tag "x") in
+  let q = Not (has_tag (cid "a") (tag "x")) in
+  Alcotest.(check bool) "complementary tags" true (syntactically_disjoint p q);
+  let r = has_tag (cid "a") (tag "y") in
+  (* different tags may coexist in one tag set: NOT provably disjoint *)
+  Alcotest.(check bool) "different tags not disjoint" false
+    (syntactically_disjoint p r);
+  let n1 = num_at_least (cid "a") 3 and n2 = Not (num_at_least (cid "a") 2) in
+  Alcotest.(check bool) "numeric contradiction" true
+    (syntactically_disjoint n1 n2);
+  Alcotest.(check bool) "disjunction opaque" false
+    (syntactically_disjoint (disj [ p; r ]) q)
+
+let test_predicate_map_channels () =
+  let p = conj [ num_at_least (cid "a") 1; has_tag (cid "b") (tag "x") ] in
+  let q = map_channels (fun _ -> cid "z") p in
+  Alcotest.(check int) "all renamed" 1 (I.Channel_id.Set.cardinal (channels q))
+
+(* --------------------------- activation ---------------------------- *)
+
+let rule name guard mode = Spi.Activation.rule (I.Rule_id.of_string name) ~guard ~mode:(mid mode)
+
+let test_activation_select_order () =
+  let act =
+    Spi.Activation.make
+      [
+        rule "r1" (num_at_least (cid "a") 3) "m1";
+        rule "r2" (num_at_least (cid "a") 1) "m2";
+      ]
+  in
+  let view3 = view_of [ ("a", (3, [])) ] in
+  let view1 = view_of [ ("a", (1, [])) ] in
+  (match Spi.Activation.select view3 act with
+  | Some r ->
+    Alcotest.(check string) "first wins" "m1"
+      (I.Mode_id.to_string (Spi.Activation.target_mode r))
+  | None -> Alcotest.fail "rule expected");
+  (match Spi.Activation.select view1 act with
+  | Some r ->
+    Alcotest.(check string) "fallback" "m2"
+      (I.Mode_id.to_string (Spi.Activation.target_mode r))
+  | None -> Alcotest.fail "rule expected");
+  Alcotest.(check int) "both enabled at 3" 2
+    (List.length (Spi.Activation.enabled view3 act))
+
+let test_activation_validation () =
+  try
+    ignore
+      (Spi.Activation.make
+         [ rule "r" True "m"; rule "r" True "m" ]);
+    Alcotest.fail "duplicate rule ids accepted"
+  with Invalid_argument _ -> ()
+
+let test_activation_ambiguity () =
+  let act =
+    Spi.Activation.make
+      [
+        rule "r1" (has_tag (cid "a") (tag "x")) "m1";
+        rule "r2" (Not (has_tag (cid "a") (tag "x"))) "m2";
+        rule "r3" (has_tag (cid "a") (tag "y")) "m3";
+      ]
+  in
+  let pairs = Spi.Activation.ambiguous_pairs act in
+  (* r1/r2 are provably disjoint; r1/r3 and r2/r3 are not *)
+  Alcotest.(check int) "ambiguous pairs" 2 (List.length pairs)
+
+let test_activation_maps () =
+  let act = Spi.Activation.make [ rule "r" (num_at_least (cid "a") 1) "m" ] in
+  let act2 = Spi.Activation.map_modes (fun _ -> mid "m2") act in
+  Alcotest.(check bool) "mode renamed" true
+    (I.Mode_id.Set.mem (mid "m2") (Spi.Activation.modes act2));
+  let act3 = Spi.Activation.map_channels (fun _ -> cid "zz") act in
+  Alcotest.(check bool) "channel renamed" true
+    (I.Channel_id.Set.mem (cid "zz") (Spi.Activation.channels act3))
+
+(* ---------------------------- properties --------------------------- *)
+
+let gen_pred =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun n -> num_at_least (cid "a") n) (int_range 0 5);
+        map
+          (fun i -> has_tag (cid "a") (tag (Format.sprintf "t%d" i)))
+          (int_range 0 3);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map2 (fun p q -> And (p, q)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun p q -> Or (p, q)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun p -> Not p) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let arb_pred = QCheck.make ~print:(Format.asprintf "%a" pp) gen_pred
+
+let arb_view =
+  QCheck.make
+    QCheck.Gen.(
+      map2
+        (fun n tags -> (n, List.map (Format.sprintf "t%d") tags))
+        (int_range 0 5)
+        (list_size (int_range 0 3) (int_range 0 3)))
+
+let properties =
+  [
+    QCheck.Test.make ~name:"negation involutive under eval" ~count:300
+      (QCheck.pair arb_pred arb_view) (fun (p, (n, tags)) ->
+        let view = view_of [ ("a", (n, tags)) ] in
+        eval view (Not (Not p)) = eval view p);
+    QCheck.Test.make ~name:"syntactic disjointness is sound" ~count:300
+      (QCheck.triple arb_pred arb_pred arb_view) (fun (p, q, (n, tags)) ->
+        let view = view_of [ ("a", (n, tags)) ] in
+        (not (syntactically_disjoint p q)) || not (eval view p && eval view q));
+    QCheck.Test.make ~name:"map_channels preserves truth modulo view"
+      ~count:300 (QCheck.pair arb_pred arb_view) (fun (p, (n, tags)) ->
+        let view = view_of [ ("a", (n, tags)) ] in
+        let view_b = view_of [ ("b", (n, tags)) ] in
+        eval view p = eval view_b (map_channels (fun _ -> cid "b") p));
+  ]
+
+let suite =
+  ( "mode-predicate-activation",
+    [
+      Alcotest.test_case "mode accessors" `Quick test_mode_accessors;
+      Alcotest.test_case "mode validation" `Quick test_mode_validation;
+      Alcotest.test_case "mode join" `Quick test_mode_join;
+      Alcotest.test_case "mode map_channels" `Quick test_mode_map_channels;
+      Alcotest.test_case "mode scale_latency" `Quick test_mode_scale_latency;
+      Alcotest.test_case "predicate eval" `Quick test_predicate_eval;
+      Alcotest.test_case "predicate channels/tags" `Quick
+        test_predicate_channels_tags;
+      Alcotest.test_case "predicate disjointness" `Quick test_predicate_disjoint;
+      Alcotest.test_case "predicate map_channels" `Quick
+        test_predicate_map_channels;
+      Alcotest.test_case "activation select order" `Quick
+        test_activation_select_order;
+      Alcotest.test_case "activation validation" `Quick
+        test_activation_validation;
+      Alcotest.test_case "activation ambiguity" `Quick test_activation_ambiguity;
+      Alcotest.test_case "activation maps" `Quick test_activation_maps;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) properties )

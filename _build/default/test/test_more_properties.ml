@@ -1,0 +1,191 @@
+(* A second round of cross-module properties: printer idempotence,
+   budget monotonicity, multi/single-processor agreement, Pareto
+   consistency, clusterize round-trips on random cuts. *)
+
+module I = Spi.Ids
+module V = Variants
+
+let gen_system (seed, sites, cluster_processes) =
+  V.Generator.generate
+    {
+      V.Generator.seed;
+      shared_processes = 2;
+      sites;
+      variants_per_site = 2;
+      cluster_processes;
+      latency_range = (1, 9);
+    }
+
+let arb_system_params =
+  QCheck.triple
+    (QCheck.int_range 0 999)
+    (QCheck.int_range 1 2)
+    (QCheck.int_range 1 3)
+
+let prop_printer_idempotent =
+  QCheck.Test.make ~name:"printer is a fixpoint after one round trip" ~count:25
+    arb_system_params
+    (fun params ->
+      let system = gen_system params in
+      let once = Lang.Printer.to_string system in
+      let twice =
+        Lang.Printer.to_string (Lang.Parser.system_of_string once)
+      in
+      String.equal once twice)
+
+let prop_budget_monotone =
+  QCheck.Test.make ~name:"larger firing budgets never reduce firings"
+    ~count:30
+    (QCheck.pair (QCheck.int_range 0 5) (QCheck.int_range 0 5))
+    (fun (b1, b2) ->
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let model =
+        Spi.Builder.(
+          empty |> queue "c"
+          |> source "gen" ~latency:(fixed 1) ~into:"c" ()
+          |> sink "eat" ~latency:(fixed 1) ~from:"c" ()
+          |> build_exn)
+      in
+      let firings budget =
+        (Sim.Engine.run
+           ~firing_budget:[ (I.Process_id.of_string "gen", budget) ]
+           model)
+          .Sim.Engine.firings
+      in
+      firings lo <= firings hi)
+
+let random_tech rng pids =
+  Synth.Tech.make
+    (List.map
+       (fun p ->
+         ( p,
+           Synth.Tech.both
+             ~load:(5 + Random.State.int rng 60)
+             ~area:(5 + Random.State.int rng 60) ))
+       pids)
+
+let prop_multi_matches_single =
+  QCheck.Test.make ~name:"Multi with one default CPU = Explore" ~count:40
+    (QCheck.int_range 0 2000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let pids =
+        List.init (2 + Random.State.int rng 4) (fun i ->
+            I.Process_id.of_string (Format.sprintf "p%d" i))
+      in
+      let tech = random_tech rng pids in
+      let apps =
+        [
+          Synth.App.make "a" (List.filteri (fun i _ -> i mod 2 = 0) pids @ [ List.hd pids ]);
+          Synth.App.make "b" pids;
+        ]
+      in
+      let cpu =
+        Synth.Multi.processor ~name:"cpu" ~capacity:Synth.Schedule.default_capacity
+          ~cost:(Synth.Tech.processor_cost tech)
+      in
+      let single =
+        Option.map
+          (fun (s : Synth.Explore.solution) -> s.Synth.Explore.cost.Synth.Cost.total)
+          (Synth.Explore.optimal tech apps)
+      in
+      let multi =
+        Option.map
+          (fun (s : Synth.Multi.solution) -> s.Synth.Multi.total_cost)
+          (Synth.Multi.optimal tech [ cpu ] apps)
+      in
+      single = multi)
+
+let prop_pareto_contains_optimum =
+  QCheck.Test.make ~name:"Pareto frontier starts at the cost optimum" ~count:40
+    (QCheck.int_range 0 2000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let pids =
+        List.init (2 + Random.State.int rng 3) (fun i ->
+            I.Process_id.of_string (Format.sprintf "q%d" i))
+      in
+      let tech = random_tech rng pids in
+      let apps = [ Synth.App.make "a" pids ] in
+      match Synth.Explore.optimal tech apps, Synth.Pareto.frontier tech apps with
+      | None, [] -> true
+      | Some s, first :: _ ->
+        first.Synth.Pareto.total_cost = s.Synth.Explore.cost.Synth.Cost.total
+      | Some _, [] | None, _ :: _ -> false)
+
+let prop_clusterize_roundtrip =
+  QCheck.Test.make ~name:"carve + flatten preserves behaviour on random cuts"
+    ~count:25
+    (QCheck.pair arb_system_params (QCheck.int_range 0 100))
+    (fun (params, cut_seed) ->
+      let system = gen_system params in
+      let model = V.Flatten.flatten system (V.Flatten.first_cluster system) in
+      let procs = List.map Spi.Process.id (Spi.Model.processes model) in
+      let rng = Random.State.make [| cut_seed |] in
+      let inside =
+        I.Process_id.Set.of_list
+          (List.filter (fun _ -> Random.State.bool rng) procs)
+      in
+      if I.Process_id.Set.is_empty inside then true
+      else
+        let carved =
+          V.Clusterize.carve ~interface_name:"cut" ~cluster_name:"orig" inside
+            model
+        in
+        V.System.validate carved = []
+        &&
+        let reflat =
+          V.Flatten.flatten carved (V.Flatten.first_cluster carved)
+        in
+        let inputs = Spi.Model.unwritten_channels model in
+        let stimuli m =
+          List.concat_map
+            (fun cid ->
+              if
+                Option.is_some (Spi.Model.find_channel cid m)
+              then
+                List.init 2 (fun i ->
+                    { Sim.Engine.at = 1 + i; channel = cid; token = Spi.Token.plain })
+              else [])
+            (I.Channel_id.Set.elements inputs)
+        in
+        let firings m = (Sim.Engine.run ~stimuli:(stimuli m) m).Sim.Engine.firings in
+        firings model = firings reflat)
+
+let prop_refine_never_widens =
+  QCheck.Test.make ~name:"refinement never widens intervals" ~count:25
+    arb_system_params
+    (fun params ->
+      let system = gen_system params in
+      let model = V.Flatten.flatten system (V.Flatten.first_cluster system) in
+      let inputs = Spi.Model.unwritten_channels model in
+      let stimuli =
+        List.concat_map
+          (fun cid ->
+            List.init 3 (fun i ->
+                { Sim.Engine.at = 1 + (3 * i); channel = cid; token = Spi.Token.plain }))
+          (I.Channel_id.Set.elements inputs)
+      in
+      let result = Sim.Engine.run ~stimuli model in
+      let refined = Sim.Refine.refine_model result model in
+      List.for_all
+        (fun proc ->
+          let pid = Spi.Process.id proc in
+          let original = Spi.Model.get_process pid model in
+          Interval.subset
+            (Spi.Process.latency_hull (Spi.Model.get_process pid refined))
+            (Spi.Process.latency_hull original))
+        (Spi.Model.processes model))
+
+let suite =
+  ( "more-properties",
+    List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        prop_printer_idempotent;
+        prop_budget_monotone;
+        prop_multi_matches_single;
+        prop_pareto_contains_optimum;
+        prop_clusterize_roundtrip;
+        prop_refine_never_widens;
+      ] )

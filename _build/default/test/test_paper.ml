@@ -1,0 +1,169 @@
+(* End-to-end tests against the paper's own artifacts: the Figure 1
+   numbers, the Figure 2/3 system behaviour, and run-time variant
+   selection semantics. *)
+
+module I = Spi.Ids
+module F1 = Paper.Figure1
+module F2 = Paper.Figure2
+
+let test_figure1_parameters () =
+  let model = F1.model in
+  let p2 = Spi.Model.get_process F1.p2 model in
+  Alcotest.(check int) "p2 has two modes" 2 (List.length (Spi.Process.modes p2));
+  Alcotest.(check bool) "latency [3,5]" true
+    (Interval.equal (Spi.Process.latency_hull p2) (Interval.make 3 5));
+  Alcotest.(check bool) "consumption [1,3]" true
+    (Interval.equal (Spi.Process.consumption_hull p2 F1.c1) (Interval.make 1 3));
+  Alcotest.(check bool) "production [2,5]" true
+    (Interval.equal (Spi.Process.production_hull p2 F1.c2) (Interval.make 2 5));
+  let p1 = Spi.Model.get_process F1.p1 model in
+  Alcotest.(check bool) "p1 latency 1" true
+    (Interval.equal (Spi.Process.latency_hull p1) (Interval.point 1));
+  Alcotest.(check bool) "p1 produces 2" true
+    (Interval.equal (Spi.Process.production_hull p1 F1.c1) (Interval.point 2))
+
+let test_figure1_mode_selection () =
+  (* 'a'-tagged data activates m1, 'b'-tagged (3 tokens) activates m2 *)
+  let result =
+    Sim.Engine.run ~policy:Sim.Engine.Worst_case ~stimuli:(F1.stimuli_mixed ~n:6)
+      F1.model
+  in
+  let p2_modes =
+    List.filter_map
+      (function
+        | Sim.Trace.Started { process; mode; _ }
+          when I.Process_id.equal process F1.p2 ->
+          Some (I.Mode_id.to_string mode)
+        | Sim.Trace.Started _ | Sim.Trace.Injected _ | Sim.Trace.Completed _
+        | Sim.Trace.Quiescent _ -> None)
+      result.Sim.Engine.trace
+  in
+  Alcotest.(check bool) "m1 used" true (List.mem "m1" p2_modes);
+  Alcotest.(check bool) "m2 used" true (List.mem "m2" p2_modes);
+  Alcotest.(check bool) "quiescent" true
+    (result.Sim.Engine.outcome = Sim.Engine.Quiescent)
+
+let test_figure1_no_tag_no_activation () =
+  (* untagged tokens never activate p2 ("no activation rule is enabled
+     and the process is not activated") *)
+  let stimuli =
+    [ { Sim.Engine.at = 1; channel = F1.c0; token = Spi.Token.plain } ]
+  in
+  let result = Sim.Engine.run ~stimuli F1.model in
+  Alcotest.(check int) "p1 never fires on untagged input" 0
+    (List.length (Sim.Trace.starts ~process:F1.p1 result.Sim.Engine.trace))
+
+let test_figure2_system_validates () =
+  Alcotest.(check int) "figure2 valid" 0
+    (List.length (Variants.System.validate F2.system));
+  Alcotest.(check int) "figure3 valid" 0
+    (List.length (Variants.System.validate F2.system_with_selection))
+
+let test_figure3_runtime_selection_v1 () =
+  let model, configurations = Variants.Flatten.abstract F2.system_with_selection in
+  let stimuli =
+    {
+      Sim.Engine.at = 0;
+      channel = F2.cv;
+      token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton F2.tag_v1) ();
+    }
+    :: List.init 4 (fun i ->
+           {
+             Sim.Engine.at = 2 + (4 * i);
+             channel = F2.cx;
+             token = Spi.Token.make ~payload:(i + 1) ();
+           })
+  in
+  let result =
+    Sim.Engine.run ~configurations ~stimuli ~firing_budget:[ (F2.p_user, 0) ] model
+  in
+  (* initial configuration is already g1: selecting V1 never reconfigures *)
+  Alcotest.(check int) "no reconfiguration" 0
+    (List.length (Sim.Trace.reconfigurations result.Sim.Engine.trace));
+  Alcotest.(check int) "all data delivered" 4
+    (List.length (Sim.Trace.tokens_produced_on F2.cy result.Sim.Engine.trace))
+
+let test_figure3_runtime_selection_v2 () =
+  let model, configurations = Variants.Flatten.abstract F2.system_with_selection in
+  let stimuli =
+    {
+      Sim.Engine.at = 0;
+      channel = F2.cv;
+      token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton F2.tag_v2) ();
+    }
+    :: List.init 4 (fun i ->
+           {
+             Sim.Engine.at = 2 + (4 * i);
+             channel = F2.cx;
+             token = Spi.Token.make ~payload:(i + 1) ();
+           })
+  in
+  let result =
+    Sim.Engine.run ~configurations ~stimuli ~firing_budget:[ (F2.p_user, 0) ] model
+  in
+  (* switching to g2 pays t_conf = 7 exactly once (run-time variant:
+     selected at start-up, then fixed) *)
+  (match Sim.Trace.reconfigurations result.Sim.Engine.trace with
+  | [ (_, _, config, latency) ] ->
+    Alcotest.(check string) "to conf.g2" "conf.g2" (I.Config_id.to_string config);
+    Alcotest.(check int) "t_conf 7" 7 latency
+  | l -> Alcotest.failf "expected one reconfiguration, got %d" (List.length l));
+  Alcotest.(check int) "reconf time" 7 result.Sim.Engine.reconfiguration_time;
+  Alcotest.(check int) "all data delivered" 4
+    (List.length (Sim.Trace.tokens_produced_on F2.cy result.Sim.Engine.trace))
+
+let test_figure2_flatten_equals_direct_build () =
+  (* flattening with g1 produces exactly the application-1 process set *)
+  let model =
+    Variants.Flatten.flatten F2.system
+      (Variants.Flatten.choice_of_list [ ("iface1", "g1") ])
+  in
+  let names =
+    List.sort compare
+      (List.map (fun p -> I.Process_id.to_string (Spi.Process.id p))
+         (Spi.Model.processes model))
+  in
+  Alcotest.(check (list string)) "process set"
+    [ "PA"; "PB"; "iface1.x1"; "iface1.x2" ]
+    names
+
+let test_figure2_app_data_flow () =
+  (* the derived application actually computes: tokens flow CX -> CY *)
+  let model =
+    Variants.Flatten.flatten F2.system
+      (Variants.Flatten.choice_of_list [ ("iface1", "g2") ])
+  in
+  let stimuli =
+    List.init 3 (fun i ->
+        {
+          Sim.Engine.at = 1 + (2 * i);
+          channel = F2.cx;
+          token = Spi.Token.make ~payload:(i + 1) ();
+        })
+  in
+  let result = Sim.Engine.run ~stimuli model in
+  let payloads =
+    List.filter_map
+      (fun (_, tok) -> Spi.Token.payload tok)
+      (Sim.Trace.tokens_produced_on F2.cy result.Sim.Engine.trace)
+  in
+  Alcotest.(check (list int)) "pipeline order preserved" [ 1; 2; 3 ] payloads
+
+let suite =
+  ( "paper",
+    [
+      Alcotest.test_case "figure1 parameters" `Quick test_figure1_parameters;
+      Alcotest.test_case "figure1 mode selection" `Quick
+        test_figure1_mode_selection;
+      Alcotest.test_case "figure1 no tag, no activation" `Quick
+        test_figure1_no_tag_no_activation;
+      Alcotest.test_case "figure2 validates" `Quick test_figure2_system_validates;
+      Alcotest.test_case "figure3 select V1 (no reconf)" `Quick
+        test_figure3_runtime_selection_v1;
+      Alcotest.test_case "figure3 select V2 (one reconf)" `Quick
+        test_figure3_runtime_selection_v2;
+      Alcotest.test_case "figure2 flatten process set" `Quick
+        test_figure2_flatten_equals_direct_build;
+      Alcotest.test_case "figure2 application data flow" `Quick
+        test_figure2_app_data_flow;
+    ] )

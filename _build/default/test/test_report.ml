@@ -1,0 +1,72 @@
+(* Tests for the synthesis report. *)
+
+module F2 = Paper.Figure2
+module V = Variants
+
+let models () =
+  List.map
+    (fun (clusters, model) ->
+      let name =
+        match clusters with
+        | [ c ] when Spi.Ids.Cluster_id.to_string c = "g1" -> "Application 1"
+        | _ -> "Application 2"
+      in
+      (name, model))
+    (V.Flatten.applications F2.system)
+
+let test_report_contents () =
+  let r =
+    Synth.Report.build ~models:(models ()) F2.table1_tech [ F2.app1; F2.app2 ]
+  in
+  (match r.Synth.Report.optimal with
+  | Some s -> Alcotest.(check int) "optimal 41" 41 s.Synth.Explore.cost.Synth.Cost.total
+  | None -> Alcotest.fail "optimal expected");
+  (match r.Synth.Report.superposition with
+  | Some s -> Alcotest.(check int) "superposition 57" 57 s.Synth.Superpose.cost.Synth.Cost.total
+  | None -> Alcotest.fail "superposition expected");
+  Alcotest.(check bool) "frontier nonempty" true (r.Synth.Report.frontier <> []);
+  Alcotest.(check bool) "speedup" true (r.Synth.Report.design_time_speedup > 1.0);
+  Alcotest.(check int) "two application sections" 2
+    (List.length r.Synth.Report.applications);
+  (* the models were attached, so schedules exist... but the optimal
+     binding covers synthesis units (cluster:g1), not the flattened
+     process ids, so scheduling reports unbound processes — an honest
+     signal that Table 1's granularity is cluster-atomic *)
+  List.iter
+    (fun ar ->
+      match ar.Synth.Report.schedule with
+      | Some (Error (Synth.List_schedule.Unbound _)) -> ()
+      | Some (Ok _) -> Alcotest.fail "expected unbound under unit granularity"
+      | Some (Error e) ->
+        Alcotest.failf "unexpected error %a" Synth.List_schedule.pp_error e
+      | None -> Alcotest.fail "schedule section expected")
+    r.Synth.Report.applications
+
+let test_report_renders () =
+  let r = Synth.Report.build F2.table1_tech [ F2.app1; F2.app2 ] in
+  let text = Format.asprintf "%a" Synth.Report.pp r in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains "Synthesis report");
+  Alcotest.(check bool) "optimal line" true (contains "total=41");
+  Alcotest.(check bool) "superposition line" true (contains "superposition baseline: total 57");
+  Alcotest.(check bool) "pareto section" true (contains "pareto frontier")
+
+let test_report_infeasible () =
+  let pid = Spi.Ids.Process_id.of_string in
+  let tech = Synth.Tech.make [ (pid "x", Synth.Tech.sw_only ~load:500) ] in
+  let r = Synth.Report.build tech [ Synth.App.make "a" [ pid "x" ] ] in
+  Alcotest.(check bool) "no optimal" true (Option.is_none r.Synth.Report.optimal);
+  let text = Format.asprintf "%a" Synth.Report.pp r in
+  Alcotest.(check bool) "renders anyway" true (String.length text > 0)
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "contents" `Quick test_report_contents;
+      Alcotest.test_case "renders" `Quick test_report_renders;
+      Alcotest.test_case "infeasible" `Quick test_report_infeasible;
+    ] )

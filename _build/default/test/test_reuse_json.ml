@@ -1,0 +1,246 @@
+(* Tests for the reuse analysis and JSON export. *)
+
+module I = Spi.Ids
+module V = Variants
+module F2 = Paper.Figure2
+
+let one = Interval.point 1
+
+let chain_proc ~from_ ~to_ name =
+  Spi.Process.simple ~latency:one
+    ~consumes:[ (from_, one) ]
+    ~produces:[ (to_, Spi.Mode.produce one) ]
+    (I.Process_id.of_string name)
+
+(* a cluster with figure2's i/o signature *)
+let compatible_cluster =
+  let pi = V.Port.input "i" and po = V.Port.output "o" in
+  V.Cluster.make ~ports:[ pi; po ]
+    ~processes:
+      [
+        chain_proc
+          ~from_:(V.Port.channel_of (V.Port.id pi))
+          ~to_:(V.Port.channel_of (V.Port.id po))
+          "g3core";
+      ]
+    "g3"
+
+let incompatible_cluster =
+  let pi = V.Port.input "other_in" and po = V.Port.output "o" in
+  V.Cluster.make ~ports:[ pi; po ]
+    ~processes:
+      [
+        chain_proc
+          ~from_:(V.Port.channel_of (V.Port.id pi))
+          ~to_:(V.Port.channel_of (V.Port.id po))
+          "weird";
+      ]
+    "weird"
+
+let iface1 () = List.hd (V.System.interfaces F2.system)
+
+let test_compatible () =
+  Alcotest.(check bool) "signature matches" true
+    (V.Reuse.is_compatible (iface1 ()) compatible_cluster)
+
+let test_incompatible () =
+  match V.Reuse.check (iface1 ()) incompatible_cluster with
+  | V.Reuse.Compatible -> Alcotest.fail "mismatch expected"
+  | V.Reuse.Port_mismatch m ->
+    Alcotest.(check int) "missing input i" 1
+      (I.Port_id.Set.cardinal m.V.Reuse.missing_inputs);
+    Alcotest.(check int) "extra input other_in" 1
+      (I.Port_id.Set.cardinal m.V.Reuse.extra_inputs);
+    Alcotest.(check int) "outputs fine" 0
+      (I.Port_id.Set.cardinal m.V.Reuse.missing_outputs)
+
+let test_host_interfaces () =
+  let hosts = V.Reuse.host_interfaces F2.system compatible_cluster in
+  Alcotest.(check (list string)) "iface1 hosts it" [ "iface1" ]
+    (List.map I.Interface_id.to_string hosts);
+  Alcotest.(check int) "nothing hosts the weird one" 0
+    (List.length (V.Reuse.host_interfaces F2.system incompatible_cluster))
+
+let test_extend_interface () =
+  match V.Reuse.extend_interface (iface1 ()) compatible_cluster with
+  | Error e -> Alcotest.failf "extension failed: %s" e
+  | Ok extended ->
+    Alcotest.(check int) "three variants now" 3 (V.Interface.variant_count extended);
+    Alcotest.(check int) "still validates" 0
+      (List.length (V.Interface.validate extended));
+    (* adding it again collides *)
+    (match V.Reuse.extend_interface extended compatible_cluster with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "duplicate accepted");
+    (* incompatible clusters are rejected *)
+    match V.Reuse.extend_interface (iface1 ()) incompatible_cluster with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "mismatch accepted"
+
+let test_extended_interface_synthesizes () =
+  (* the reused part becomes a third derivable application *)
+  match V.Reuse.extend_interface (iface1 ()) compatible_cluster with
+  | Error e -> Alcotest.failf "extension failed: %s" e
+  | Ok extended ->
+    let site =
+      match V.System.find_site F2.iface1 F2.system with
+      | Some s -> { s with V.Structure.iface = extended }
+      | None -> Alcotest.fail "site missing"
+    in
+    let system =
+      V.System.make
+        ~processes:(V.System.processes F2.system)
+        ~channels:(V.System.channels F2.system)
+        ~sites:[ site ] "figure2-extended"
+    in
+    Alcotest.(check int) "three applications" 3
+      (List.length (V.Flatten.applications system))
+
+(* ------------------------------- JSON ------------------------------- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_json_export () =
+  let model = Paper.Figure1.model in
+  let result = Sim.Engine.run ~stimuli:(Paper.Figure1.stimuli_mixed ~n:4) model in
+  let json = Sim.Json.result_to_string model result in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Format.sprintf "contains %s" needle) true
+        (contains ~needle json))
+    [
+      "\"summary\"";
+      "\"outcome\":\"quiescent\"";
+      "\"trace\"";
+      "\"kind\":\"inject\"";
+      "\"kind\":\"complete\"";
+      "\"process\":\"p2\"";
+      "\"high_water\"";
+      "\"utilization\"";
+    ];
+  (* crude balance check on the emitted document *)
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+
+let test_json_escaping () =
+  (* ids with quotes are not constructible (our ids are plain), but tag
+     names with backslashes are *)
+  let cid = I.Channel_id.of_string "c" in
+  let p =
+    Spi.Process.simple ~latency:one
+      ~consumes:[ (cid, one) ]
+      ~produces:[] (I.Process_id.of_string "p")
+  in
+  let model = Spi.Model.build_exn ~processes:[ p ] ~channels:[ Spi.Chan.queue cid ] in
+  let tok = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (Spi.Tag.make {|a\b|})) () in
+  let result =
+    Sim.Engine.run ~stimuli:[ { Sim.Engine.at = 1; channel = cid; token = tok } ] model
+  in
+  let json = Sim.Json.result_to_string model result in
+  Alcotest.(check bool) "backslash escaped" true
+    (contains ~needle:{|a\\b|} json)
+
+let test_json_reconfiguration_fields () =
+  let built = Video.System.build Video.System.default_params in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:10 ~period:5 ~switches:[ (22, "fB") ] ()
+  in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  let json = Sim.Json.result_to_string built.Video.System.model result in
+  Alcotest.(check bool) "reconfigure_to present" true
+    (contains ~needle:"\"reconfigure_to\"" json)
+
+let suite =
+  ( "reuse-json",
+    [
+      Alcotest.test_case "compatible" `Quick test_compatible;
+      Alcotest.test_case "incompatible" `Quick test_incompatible;
+      Alcotest.test_case "host interfaces" `Quick test_host_interfaces;
+      Alcotest.test_case "extend interface" `Quick test_extend_interface;
+      Alcotest.test_case "extended interface synthesizes" `Quick
+        test_extended_interface_synthesizes;
+      Alcotest.test_case "json export" `Quick test_json_export;
+      Alcotest.test_case "json escaping" `Quick test_json_escaping;
+      Alcotest.test_case "json reconfiguration fields" `Quick
+        test_json_reconfiguration_fields;
+    ] )
+
+(* appended: variant-structure dot export *)
+let test_dot_system () =
+  let dot = V.Dot_system.to_string F2.system_with_selection in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Format.sprintf "contains %s" needle) true
+        (contains ~needle dot))
+    [
+      "digraph variants";
+      "interface iface1";
+      "cluster g1";
+      "cluster g2";
+      "shape=diamond";
+      "style=\"dashed\"";
+      "CV (reg)";
+    ];
+  (* nested systems render too *)
+  let nested =
+    V.Generator.generate { V.Generator.default with sites = 2 }
+  in
+  Alcotest.(check bool) "generated renders" true
+    (String.length (V.Dot_system.to_string nested) > 100)
+
+let suite =
+  let name, tests = suite in
+  (name, tests @ [ Alcotest.test_case "dot system" `Quick test_dot_system ])
+
+(* appended: CSV export *)
+let test_csv_export () =
+  let model = Paper.Figure1.model in
+  let result = Sim.Engine.run ~stimuli:(Paper.Figure1.stimuli_mixed ~n:3) model in
+  let trace_csv = Sim.Csv.trace_to_string result in
+  let lines = String.split_on_char '\n' trace_csv in
+  (match lines with
+  | header :: _ ->
+    Alcotest.(check string) "header" "time,kind,subject,mode,detail" header
+  | [] -> Alcotest.fail "empty csv");
+  (* one row per trace entry plus header and trailing newline *)
+  Alcotest.(check int) "row count"
+    (List.length result.Sim.Engine.trace)
+    (List.length (List.filter (fun l -> l <> "") lines) - 1);
+  let pstats = Sim.Csv.process_stats_to_string model result in
+  Alcotest.(check bool) "process stats rows" true
+    (List.length (String.split_on_char '\n' pstats) >= 4);
+  let cstats = Sim.Csv.channel_stats_to_string model result in
+  Alcotest.(check bool) "channel stats rows" true
+    (List.length (String.split_on_char '\n' cstats) >= 4);
+  (* quoting: a field with a comma round-trips quoted *)
+  Alcotest.(check bool) "quoting" true
+    (let q =
+       Sim.Csv.trace_to_string
+         {
+           result with
+           Sim.Engine.trace =
+             [
+               Sim.Trace.Injected
+                 {
+                   time = 1;
+                   channel = Spi.Ids.Channel_id.of_string "c";
+                   token =
+                     Spi.Token.make
+                       ~tags:(Spi.Tag.Set.singleton (Spi.Tag.make "a,b"))
+                       ();
+                 };
+             ];
+         }
+     in
+     contains ~needle:"\"" q)
+
+let suite =
+  let name, tests = suite in
+  (name, tests @ [ Alcotest.test_case "csv export" `Quick test_csv_export ])

@@ -1,0 +1,113 @@
+(* Tests for the response-time analysis. *)
+
+module I = Spi.Ids
+
+let pid = I.Process_id.of_string
+
+let tech =
+  Synth.Tech.make
+    [
+      (pid "hi", Synth.Tech.sw_only ~load:1);
+      (pid "mid", Synth.Tech.sw_only ~load:2);
+      (pid "lo", Synth.Tech.sw_only ~load:3);
+      (pid "hw", Synth.Tech.hw_only ~area:5);
+    ]
+
+let binding =
+  Synth.Binding.of_list
+    [
+      (pid "hi", Synth.Binding.Sw);
+      (pid "mid", Synth.Binding.Sw);
+      (pid "lo", Synth.Binding.Sw);
+      (pid "hw", Synth.Binding.Hw);
+    ]
+
+(* the classical textbook example: C=(1,2,3), T=(4,6,10) *)
+let periods = [ (pid "lo", 10); (pid "hi", 4); (pid "mid", 6) ]
+
+let test_classic_taskset () =
+  let v = Synth.Rta.analyse ~periods tech binding in
+  Alcotest.(check bool) "schedulable" true v.Synth.Rta.all_schedulable;
+  (match v.Synth.Rta.tasks with
+  | [ hi; mid; lo ] ->
+    Alcotest.(check string) "priority order" "hi"
+      (I.Process_id.to_string hi.Synth.Rta.proc);
+    Alcotest.(check int) "R(hi) = C" 1 hi.Synth.Rta.response;
+    (* R(mid) = 2 + ceil(R/4)*1 -> 3 *)
+    Alcotest.(check int) "R(mid)" 3 mid.Synth.Rta.response;
+    (* R(lo) = 3 + ceil(R/4)*1 + ceil(R/6)*2 -> iterates to 10 *)
+    Alcotest.(check int) "R(lo)" 10 lo.Synth.Rta.response;
+    Alcotest.(check bool) "lo exactly meets its period" true
+      lo.Synth.Rta.schedulable
+  | l -> Alcotest.failf "expected 3 tasks, got %d" (List.length l));
+  (* U = 1/4 + 2/6 + 3/10 = 0.8833 *)
+  Alcotest.(check int) "utilization" 88 v.Synth.Rta.utilization_percent
+
+let test_unschedulable () =
+  let tight = [ (pid "hi", 2); (pid "mid", 3); (pid "lo", 4) ] in
+  let v = Synth.Rta.analyse ~periods:tight tech binding in
+  Alcotest.(check bool) "not schedulable" false v.Synth.Rta.all_schedulable;
+  (* the lowest-priority task misses *)
+  match List.rev v.Synth.Rta.tasks with
+  | last :: _ -> Alcotest.(check bool) "lo misses" false last.Synth.Rta.schedulable
+  | [] -> Alcotest.fail "tasks expected"
+
+let test_hw_ignored () =
+  let v = Synth.Rta.analyse ~periods:[ (pid "hw", 5); (pid "hi", 4) ] tech binding in
+  Alcotest.(check int) "only sw analysed" 1 (List.length v.Synth.Rta.tasks)
+
+let test_validation () =
+  (try
+     ignore (Synth.Rta.analyse ~periods:[ (pid "hi", 0) ] tech binding);
+     Alcotest.fail "period 0 accepted"
+   with Invalid_argument _ -> ());
+  let bad_binding = Synth.Binding.of_list [ (pid "hw", Synth.Binding.Sw) ] in
+  try
+    ignore (Synth.Rta.analyse ~periods:[ (pid "hw", 5) ] tech bad_binding);
+    Alcotest.fail "sw-bound process without sw option accepted"
+  with Invalid_argument _ -> ()
+
+let prop_response_at_least_wcet =
+  QCheck.Test.make ~name:"response >= wcet, monotone in priority load"
+    ~count:100
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 1 6)
+        (pair (int_range 1 10) (int_range 5 50)))
+    (fun raw ->
+      let entries =
+        List.mapi
+          (fun i (c, t) ->
+            let c = max 1 c in
+            (pid (Format.sprintf "t%d" i), c, max (max t 2) (c + 1)))
+          raw
+      in
+      let tech =
+        Synth.Tech.make
+          (List.map (fun (p, c, _) -> (p, Synth.Tech.sw_only ~load:c)) entries)
+      in
+      let binding =
+        Synth.Binding.of_list
+          (List.map (fun (p, _, _) -> (p, Synth.Binding.Sw)) entries)
+      in
+      let periods = List.map (fun (p, _, t) -> (p, t)) entries in
+      let v = Synth.Rta.analyse ~periods tech binding in
+      (* response is at least the task's own execution time, and the
+         highest-priority task suffers no interference at all *)
+      List.for_all (fun t -> t.Synth.Rta.response >= t.Synth.Rta.wcet)
+        v.Synth.Rta.tasks
+      && (match v.Synth.Rta.tasks with
+         | first :: _ -> first.Synth.Rta.response = first.Synth.Rta.wcet
+         | [] -> true)
+      &&
+      (* utilization > 100% is never declared schedulable *)
+      (v.Synth.Rta.utilization_percent <= 100 || not v.Synth.Rta.all_schedulable))
+
+let suite =
+  ( "rta",
+    [
+      Alcotest.test_case "classic task set" `Quick test_classic_taskset;
+      Alcotest.test_case "unschedulable" `Quick test_unschedulable;
+      Alcotest.test_case "hardware ignored" `Quick test_hw_ignored;
+      Alcotest.test_case "validation" `Quick test_validation;
+      QCheck_alcotest.to_alcotest ~long:false prop_response_at_least_wcet;
+    ] )

@@ -1,0 +1,255 @@
+(* Tests for the event heap, traces and the discrete-event engine. *)
+
+module I = Spi.Ids
+
+(* ------------------------------- heap ------------------------------- *)
+
+let test_heap_order () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  List.iter (fun (t, v) -> Sim.Heap.push ~time:t v h) [ (5, "e"); (1, "a"); (3, "c"); (1, "b") ];
+  Alcotest.(check int) "size" 4 (Sim.Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek_time h);
+  let drained = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop_min h with
+    | None -> ()
+    | Some (t, v) ->
+      drained := (t, v) :: !drained;
+      drain ()
+  in
+  drain ();
+  (* time order, FIFO among equal times *)
+  Alcotest.(check (list (pair int string)))
+    "sorted with stable ties"
+    [ (1, "a"); (1, "b"); (3, "c"); (5, "e") ]
+    (List.rev !drained)
+
+let prop_heap_direct =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (int_range 0 1000))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iter (fun t -> Sim.Heap.push ~time:t () h) times;
+      let rec drain acc =
+        match Sim.Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let prop_heap_via_engine =
+  (* injections at random times must appear in the trace sorted *)
+  QCheck.Test.make ~name:"stimuli processed in time order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) (int_range 0 500))
+    (fun times ->
+      let cidr = I.Channel_id.of_string "in" in
+      let sink =
+        Spi.Process.simple ~latency:(Interval.point 1)
+          ~consumes:[ (cidr, Interval.point 1) ]
+          ~produces:[]
+          (I.Process_id.of_string "sink")
+      in
+      let model =
+        Spi.Model.build_exn ~processes:[ sink ] ~channels:[ Spi.Chan.queue cidr ]
+      in
+      let stimuli =
+        List.map (fun at -> { Sim.Engine.at; channel = cidr; token = Spi.Token.plain }) times
+      in
+      let result = Sim.Engine.run ~stimuli model in
+      let inject_times =
+        List.filter_map
+          (function
+            | Sim.Trace.Injected { time; _ } -> Some time
+            | Sim.Trace.Started _ | Sim.Trace.Completed _ | Sim.Trace.Quiescent _ ->
+              None)
+          result.Sim.Engine.trace
+      in
+      inject_times = List.sort compare times)
+
+(* ------------------------------ engine ------------------------------ *)
+
+let chain_model () =
+  let cid = I.Channel_id.of_string and pid = I.Process_id.of_string in
+  let one = Interval.point 1 in
+  let a = cid "a" and b = cid "b" and c = cid "c" in
+  let p =
+    Spi.Process.simple ~latency:(Interval.make 2 4)
+      ~consumes:[ (a, one) ]
+      ~produces:[ (b, Spi.Mode.produce one) ]
+      (pid "p")
+  and q =
+    Spi.Process.simple ~latency:(Interval.make 1 3)
+      ~consumes:[ (b, one) ]
+      ~produces:[ (c, Spi.Mode.produce one) ]
+      (pid "q")
+  in
+  Spi.Model.build_exn ~processes:[ p; q ]
+    ~channels:[ Spi.Chan.queue a; Spi.Chan.queue b; Spi.Chan.queue c ]
+
+let inject_a n =
+  List.init n (fun i ->
+      {
+        Sim.Engine.at = i * 10;
+        channel = I.Channel_id.of_string "a";
+        token = Spi.Token.make ~payload:(i + 1) ();
+      })
+
+let test_engine_policies () =
+  let model = chain_model () in
+  let run policy = (Sim.Engine.run ~policy ~stimuli:(inject_a 1) model).Sim.Engine.end_time in
+  (* best case: 2 + 1 = 3; worst: 4 + 3 = 7; typical: 3 + 2 = 5 *)
+  Alcotest.(check int) "best" 3 (run Sim.Engine.Best_case);
+  Alcotest.(check int) "worst" 7 (run Sim.Engine.Worst_case);
+  Alcotest.(check int) "typical" 5 (run Sim.Engine.Typical)
+
+let test_engine_pipeline_throughput () =
+  let model = chain_model () in
+  let result = Sim.Engine.run ~policy:Sim.Engine.Worst_case ~stimuli:(inject_a 5) model in
+  Alcotest.(check int) "all delivered" 5
+    (List.length
+       (Sim.Trace.tokens_produced_on (I.Channel_id.of_string "c")
+          result.Sim.Engine.trace));
+  Alcotest.(check int) "10 firings" 10 result.Sim.Engine.firings;
+  Alcotest.(check bool) "quiescent" true
+    (result.Sim.Engine.outcome = Sim.Engine.Quiescent)
+
+let test_engine_budget () =
+  (* a source with no inputs only fires when budgeted *)
+  let pid = I.Process_id.of_string "src" in
+  let cid = I.Channel_id.of_string "out" in
+  let src =
+    Spi.Process.simple ~latency:(Interval.point 1) ~consumes:[]
+      ~produces:[ (cid, Spi.Mode.produce (Interval.point 1)) ]
+      pid
+  in
+  let model = Spi.Model.build_exn ~processes:[ src ] ~channels:[ Spi.Chan.queue cid ] in
+  let silent = Sim.Engine.run model in
+  Alcotest.(check int) "no spontaneous firing" 0 silent.Sim.Engine.firings;
+  let budgeted = Sim.Engine.run ~firing_budget:[ (pid, 3) ] model in
+  Alcotest.(check int) "three firings" 3 budgeted.Sim.Engine.firings
+
+let test_engine_firing_limit () =
+  (* unbounded self-feeding process trips the firing limit, not a hang *)
+  let pid = I.Process_id.of_string "loop" in
+  let cid = I.Channel_id.of_string "self" in
+  let p =
+    Spi.Process.simple ~latency:(Interval.point 1)
+      ~consumes:[ (cid, Interval.point 1) ]
+      ~produces:[ (cid, Spi.Mode.produce (Interval.point 1)) ]
+      pid
+  in
+  let model =
+    Spi.Model.build_exn ~processes:[ p ]
+      ~channels:[ Spi.Chan.queue ~initial:[ Spi.Token.plain ] cid ]
+  in
+  let result =
+    Sim.Engine.run ~limits:{ Sim.Engine.max_time = 1000; max_firings = 50 } model
+  in
+  Alcotest.(check bool) "limit reached" true
+    (result.Sim.Engine.outcome = Sim.Engine.Firing_limit_reached)
+
+let test_engine_time_limit () =
+  let model = chain_model () in
+  let result =
+    Sim.Engine.run
+      ~limits:{ Sim.Engine.max_time = 5; max_firings = 1000 }
+      ~stimuli:(inject_a 5) model
+  in
+  Alcotest.(check bool) "time limit" true
+    (result.Sim.Engine.outcome = Sim.Engine.Time_limit_reached)
+
+let test_engine_reconfiguration_accounting () =
+  (* two modes in two configurations; alternating tags force a
+     reconfiguration on every other execution *)
+  let pid = I.Process_id.of_string "p" in
+  let cid = I.Channel_id.of_string "in" in
+  let mk_mode name =
+    Spi.Mode.make ~latency:(Interval.point 1)
+      ~consumes:[ (cid, Interval.point 1) ]
+      ~produces:[]
+      (I.Mode_id.of_string name)
+  in
+  let tag name = Spi.Tag.make name in
+  let rule name t mode =
+    Spi.Activation.rule (I.Rule_id.of_string name)
+      ~guard:Spi.Predicate.(conj [ num_at_least cid 1; has_tag cid (tag t) ])
+      ~mode:(I.Mode_id.of_string mode)
+  in
+  let p =
+    Spi.Process.make
+      ~activation:(Spi.Activation.make [ rule "ra" "a" "ma"; rule "rb" "b" "mb" ])
+      ~modes:[ mk_mode "ma"; mk_mode "mb" ]
+      pid
+  in
+  let model = Spi.Model.build_exn ~processes:[ p ] ~channels:[ Spi.Chan.queue cid ] in
+  let confs =
+    Variants.Configuration.make ~process:pid
+      [
+        Variants.Configuration.entry ~reconf_latency:10 "ca"
+          ~modes:[ I.Mode_id.of_string "ma" ];
+        Variants.Configuration.entry ~reconf_latency:20 "cb"
+          ~modes:[ I.Mode_id.of_string "mb" ];
+      ]
+  in
+  let stimuli =
+    List.mapi
+      (fun i t ->
+        {
+          Sim.Engine.at = i * 50;
+          channel = cid;
+          token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (tag t)) ();
+        })
+      [ "a"; "b"; "b"; "a" ]
+  in
+  let result = Sim.Engine.run ~configurations:[ confs ] ~stimuli model in
+  (* reconfigurations: ->ca (10), ->cb (20), stay, ->ca (10) *)
+  Alcotest.(check int) "reconf time" 40 result.Sim.Engine.reconfiguration_time;
+  Alcotest.(check int) "three reconfigurations" 3
+    (List.length (Sim.Trace.reconfigurations result.Sim.Engine.trace))
+
+let test_engine_bad_configuration () =
+  let model = chain_model () in
+  let confs =
+    Variants.Configuration.make ~process:(I.Process_id.of_string "ghost")
+      [ Variants.Configuration.entry "c" ~modes:[] ]
+  in
+  try
+    ignore (Sim.Engine.run ~configurations:[ confs ] model);
+    Alcotest.fail "unknown process accepted"
+  with Invalid_argument _ -> ()
+
+let test_trace_helpers () =
+  let model = chain_model () in
+  let result = Sim.Engine.run ~stimuli:(inject_a 2) model in
+  let trace = result.Sim.Engine.trace in
+  Alcotest.(check int) "completions of p" 2
+    (List.length (Sim.Trace.completions ~process:(I.Process_id.of_string "p") trace));
+  Alcotest.(check int) "all completions" 4 (Sim.Trace.firing_count trace);
+  Alcotest.(check bool) "end_time positive" true (Sim.Trace.end_time trace > 0);
+  (* payloads travel the pipeline *)
+  let payloads =
+    List.filter_map
+      (fun (_, tok) -> Spi.Token.payload tok)
+      (Sim.Trace.tokens_produced_on (I.Channel_id.of_string "c") trace)
+  in
+  Alcotest.(check (list int)) "payloads in order" [ 1; 2 ] payloads
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "heap order" `Quick test_heap_order;
+      QCheck_alcotest.to_alcotest ~long:false prop_heap_direct;
+      Alcotest.test_case "engine policies" `Quick test_engine_policies;
+      Alcotest.test_case "pipeline throughput" `Quick
+        test_engine_pipeline_throughput;
+      Alcotest.test_case "firing budgets" `Quick test_engine_budget;
+      Alcotest.test_case "firing limit" `Quick test_engine_firing_limit;
+      Alcotest.test_case "time limit" `Quick test_engine_time_limit;
+      Alcotest.test_case "reconfiguration accounting" `Quick
+        test_engine_reconfiguration_accounting;
+      Alcotest.test_case "bad configuration rejected" `Quick
+        test_engine_bad_configuration;
+      Alcotest.test_case "trace helpers" `Quick test_trace_helpers;
+      QCheck_alcotest.to_alcotest ~long:false prop_heap_via_engine;
+    ] )

@@ -1,0 +1,152 @@
+(* Tests for empirical buffer sizing, the bottleneck analysis, and the
+   extended video scenarios. *)
+
+module I = Spi.Ids
+
+let cid = I.Channel_id.of_string
+
+(* fast producer, slow consumer: tokens pile up on "mid" *)
+let unbalanced =
+  Spi.Builder.(
+    empty
+    |> queue "in" |> queue "mid" |> queue "out"
+    |> stage "fast" ~latency:(fixed 1) ~from:"in" ~into:"mid"
+    |> stage "slow" ~latency:(fixed 7) ~from:"mid" ~into:"out"
+    |> build_exn)
+
+let workload n =
+  List.init n (fun i ->
+      { Sim.Engine.at = 1 + i; channel = cid "in"; token = Spi.Token.make ~payload:i () })
+
+let test_suggest () =
+  let suggestions =
+    Sim.Sizing.suggest ~stimuli:[ workload 6 ] unbalanced
+  in
+  let find c =
+    List.find (fun s -> I.Channel_id.equal s.Sim.Sizing.chan (cid c)) suggestions
+  in
+  Alcotest.(check bool) "mid piles up" true ((find "mid").Sim.Sizing.observed > 1);
+  Alcotest.(check int) "capacity = observed without margin"
+    (find "mid").Sim.Sizing.observed (find "mid").Sim.Sizing.capacity;
+  let padded = Sim.Sizing.suggest ~margin:2 ~stimuli:[ workload 6 ] unbalanced in
+  let find2 c =
+    List.find (fun s -> I.Channel_id.equal s.Sim.Sizing.chan (cid c)) padded
+  in
+  Alcotest.(check int) "margin added"
+    ((find "mid").Sim.Sizing.observed + 2)
+    (find2 "mid").Sim.Sizing.capacity
+
+let test_suggest_max_over_workloads () =
+  let small = Sim.Sizing.suggest ~stimuli:[ workload 2 ] unbalanced in
+  let both = Sim.Sizing.suggest ~stimuli:[ workload 2; workload 8 ] unbalanced in
+  let get l c =
+    (List.find (fun s -> I.Channel_id.equal s.Sim.Sizing.chan (cid c)) l)
+      .Sim.Sizing.observed
+  in
+  Alcotest.(check bool) "bigger workload dominates" true
+    (get both "mid" >= get small "mid")
+
+let test_apply_and_verify () =
+  let suggestions = Sim.Sizing.suggest ~stimuli:[ workload 6 ] unbalanced in
+  let sized = Sim.Sizing.apply suggestions unbalanced in
+  (* the sized model handles the same workload without overflow *)
+  (match Sim.Sizing.verify ~stimuli:[ workload 6 ] sized with
+  | Ok () -> ()
+  | Error c -> Alcotest.failf "unexpected overflow on %a" I.Channel_id.pp c);
+  (* but a heavier workload overflows the bounded queues *)
+  match Sim.Sizing.verify ~stimuli:[ workload 20 ] sized with
+  | Error c -> Alcotest.(check string) "mid overflows" "mid" (I.Channel_id.to_string c)
+  | Ok () -> Alcotest.fail "expected overflow under heavier load"
+
+let test_apply_preserves_behaviour () =
+  let suggestions = Sim.Sizing.suggest ~stimuli:[ workload 6 ] unbalanced in
+  let sized = Sim.Sizing.apply suggestions unbalanced in
+  let run m =
+    (Sim.Engine.run ~stimuli:(workload 6) m).Sim.Engine.firings
+  in
+  Alcotest.(check int) "same firings" (run unbalanced) (run sized)
+
+let test_bottleneck () =
+  match Spi.Analysis.bottleneck unbalanced with
+  | Some (pid, latency) ->
+    Alcotest.(check string) "slow is the bottleneck" "slow"
+      (I.Process_id.to_string pid);
+    Alcotest.(check int) "latency" 7 latency;
+    Alcotest.(check int) "initiation interval" 7
+      (Spi.Analysis.min_initiation_interval unbalanced)
+  | None -> Alcotest.fail "bottleneck expected"
+
+let test_bottleneck_vs_throughput () =
+  (* observed steady-state spacing of outputs >= the analytic bound *)
+  let result = Sim.Engine.run ~stimuli:(workload 8) unbalanced in
+  let times =
+    List.map fst (Sim.Trace.tokens_produced_on (cid "out") result.Sim.Engine.trace)
+  in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | [ _ ] | [] -> []
+  in
+  let bound = Spi.Analysis.min_initiation_interval unbalanced in
+  List.iter
+    (fun gap -> Alcotest.(check bool) "gap >= bound" true (gap >= bound))
+    (gaps times)
+
+(* ------------------------------ scenarios --------------------------- *)
+
+let test_bursty_stream () =
+  let stims = Video.Scenario.bursty_stream ~burst:5 ~gap:20 ~bursts:3 () in
+  Alcotest.(check int) "15 frames" 15 (List.length stims);
+  (* payloads are consecutive and unique *)
+  let payloads =
+    List.sort compare
+      (List.filter_map (fun s -> Spi.Token.payload s.Sim.Engine.token) stims)
+  in
+  Alcotest.(check (list int)) "payloads" (List.init 15 (fun i -> i + 1)) payloads;
+  (* bursty traffic needs deeper buffers than a smooth stream *)
+  let built = Video.System.build Video.System.default_params in
+  let smooth = Video.Scenario.video_stream ~period:5 ~frames:15 () in
+  (* compare the first chain queue: CVout is unread and grows with the
+     frame count in both runs, so the global maximum is uninformative *)
+  let deep l =
+    let s =
+      Sim.Sizing.suggest ~configurations:built.Video.System.configurations
+        ~stimuli:[ l ] built.Video.System.model
+    in
+    (List.find
+       (fun x -> I.Channel_id.equal x.Sim.Sizing.chan Video.System.c_v1)
+       s)
+      .Sim.Sizing.observed
+  in
+  Alcotest.(check bool) "bursts need deeper queues" true (deep stims > deep smooth)
+
+let test_periodic_requests () =
+  let reqs =
+    Video.Scenario.periodic_requests ~first:30 ~every:40 ~count:4
+      ~variants:[ "fA"; "fB" ]
+  in
+  Alcotest.(check int) "four requests" 4 (List.length reqs);
+  (* a request storm keeps the protocol safe *)
+  let built = Video.System.build Video.System.default_params in
+  let stimuli = Video.Scenario.video_stream ~period:5 ~frames:40 () @ reqs in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  let report = Video.Checker.check result in
+  Alcotest.(check bool) "storm safe" true (Video.Checker.is_safe report)
+
+let suite =
+  ( "sizing-scenario",
+    [
+      Alcotest.test_case "suggest" `Quick test_suggest;
+      Alcotest.test_case "suggest max over workloads" `Quick
+        test_suggest_max_over_workloads;
+      Alcotest.test_case "apply and verify" `Quick test_apply_and_verify;
+      Alcotest.test_case "apply preserves behaviour" `Quick
+        test_apply_preserves_behaviour;
+      Alcotest.test_case "bottleneck" `Quick test_bottleneck;
+      Alcotest.test_case "bottleneck vs throughput" `Quick
+        test_bottleneck_vs_throughput;
+      Alcotest.test_case "bursty stream" `Quick test_bursty_stream;
+      Alcotest.test_case "periodic requests" `Quick test_periodic_requests;
+    ] )

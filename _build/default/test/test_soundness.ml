@@ -1,0 +1,142 @@
+(* Cross-cutting soundness properties:
+
+   - extraction soundness: the abstracted process's latency interval
+     brackets the end-to-end behaviour of the flattened cluster, so the
+     abstract model's best/worst-case makespans sandwich the flattened
+     model's;
+   - timing-constrained exploration: the [accept] hook makes the
+     explorer trade cost for latency. *)
+
+module I = Spi.Ids
+module V = Variants
+
+let single_stimulus system =
+  (* inject one token into each boundary input channel of the flattened
+     first application *)
+  let model = V.Flatten.flatten system (V.Flatten.first_cluster system) in
+  let inputs = Spi.Model.unwritten_channels model in
+  List.map
+    (fun cid -> { Sim.Engine.at = 1; channel = cid; token = Spi.Token.make ~payload:1 () })
+    (I.Channel_id.Set.elements inputs)
+
+let makespan ~policy model stimuli =
+  (Sim.Engine.run ~policy ~stimuli model).Sim.Engine.end_time
+
+let prop_extraction_brackets_flattened =
+  QCheck.Test.make
+    ~name:"abstract best/worst-case makespans bracket the flattened model"
+    ~count:40
+    QCheck.(pair (int_range 1 4) (int_range 0 999))
+    (fun (cluster_processes, seed) ->
+      let system =
+        V.Generator.generate
+          {
+            V.Generator.seed;
+            shared_processes = 2;
+            sites = 1;
+            variants_per_site = 2;
+            cluster_processes;
+            latency_range = (1, 12);
+          }
+      in
+      let stimuli = single_stimulus system in
+      let flattened =
+        V.Flatten.flatten system (V.Flatten.first_cluster system)
+      in
+      (* abstraction without selection always behaves as the first
+         cluster (its guard comes first) *)
+      let abstract, _ = V.Flatten.abstract system in
+      let f_best = makespan ~policy:Sim.Engine.Best_case flattened stimuli in
+      let f_worst = makespan ~policy:Sim.Engine.Worst_case flattened stimuli in
+      let a_best = makespan ~policy:Sim.Engine.Best_case abstract stimuli in
+      let a_worst = makespan ~policy:Sim.Engine.Worst_case abstract stimuli in
+      a_best <= f_best && f_worst <= a_worst)
+
+let test_extraction_brackets_figure2 () =
+  let system = Paper.Figure2.system in
+  let stimuli =
+    [ { Sim.Engine.at = 1; channel = Paper.Figure2.cx; token = Spi.Token.make ~payload:1 () } ]
+  in
+  let flattened =
+    V.Flatten.flatten system (V.Flatten.choice_of_list [ ("iface1", "g1") ])
+  in
+  let abstract, _ = V.Flatten.abstract system in
+  (* all figure-2 latencies are points: the chain g1 has latency 4+3=7,
+     so flattened end-to-end is 1 + 3 + 7 + 2 = 13 under any policy *)
+  Alcotest.(check int) "flattened makespan" 13
+    (makespan ~policy:Sim.Engine.Typical flattened stimuli);
+  Alcotest.(check bool) "abstract best <= 13" true
+    (makespan ~policy:Sim.Engine.Best_case abstract stimuli <= 13);
+  Alcotest.(check bool) "abstract worst >= 13" true
+    (makespan ~policy:Sim.Engine.Worst_case abstract stimuli >= 13)
+
+(* ------------------- timing-constrained exploration ------------------ *)
+
+let pid = I.Process_id.of_string
+let cid = I.Channel_id.of_string
+let one = Interval.point 1
+
+let chain2 =
+  Spi.Model.build_exn
+    ~processes:
+      [
+        Spi.Process.simple ~latency:one
+          ~consumes:[ (cid "a", one) ]
+          ~produces:[ (cid "b", Spi.Mode.produce one) ]
+          (pid "p");
+        Spi.Process.simple ~latency:one
+          ~consumes:[ (cid "b", one) ]
+          ~produces:[ (cid "c", Spi.Mode.produce one) ]
+          (pid "q");
+      ]
+    ~channels:[ Spi.Chan.queue (cid "a"); Spi.Chan.queue (cid "b"); Spi.Chan.queue (cid "c") ]
+
+let chain2_tech =
+  (* software is cheap and slow, hardware dear and fast *)
+  Synth.Tech.make ~processor_cost:10
+    [
+      (pid "p", Synth.Tech.both ~load:20 ~area:50);
+      (pid "q", Synth.Tech.both ~load:25 ~area:60);
+    ]
+
+let app = Synth.App.make "chain" [ pid "p"; pid "q" ]
+
+let test_accept_trades_cost_for_latency () =
+  (* unconstrained: everything in software, cost 10 *)
+  let free = Synth.Explore.optimal_exn chain2_tech [ app ] in
+  Alcotest.(check int) "unconstrained cost" 10 free.Synth.Explore.cost.Synth.Cost.total;
+  (* a path deadline of 30 forces at least one stage into hardware *)
+  let deadline =
+    Spi.Constraint_.latency_path ~name:"pq" ~from_:(pid "p") ~to_:(pid "q")
+      ~bound:30
+  in
+  let accept binding =
+    Synth.Timing.all_satisfied chain2_tech binding chain2 [ deadline ]
+  in
+  let constrained = Synth.Explore.optimal_exn ~accept chain2_tech [ app ] in
+  Alcotest.(check bool) "more expensive" true
+    (constrained.Synth.Explore.cost.Synth.Cost.total > 10);
+  Alcotest.(check bool) "deadline met" true
+    (accept constrained.Synth.Explore.binding);
+  (* cheapest compliant mapping: q (load 25) to hardware -> 10 + 60;
+     p to hardware would give 10 + 50 but leaves q at 25 > 30 - 1?
+     20 (p SW) + 1 (q HW) = 21 <= 30: q-in-HW works at 70;
+     p-in-HW: 1 + 25 = 26 <= 30: works at 60 - the optimum *)
+  Alcotest.(check int) "optimal constrained cost" 60
+    constrained.Synth.Explore.cost.Synth.Cost.total
+
+let test_accept_unsatisfiable () =
+  let accept _ = false in
+  Alcotest.(check bool) "no solution" true
+    (Option.is_none (Synth.Explore.optimal ~accept chain2_tech [ app ]))
+
+let suite =
+  ( "soundness",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_extraction_brackets_flattened;
+      Alcotest.test_case "extraction brackets figure2" `Quick
+        test_extraction_brackets_figure2;
+      Alcotest.test_case "accept trades cost for latency" `Quick
+        test_accept_trades_cost_for_latency;
+      Alcotest.test_case "accept unsatisfiable" `Quick test_accept_unsatisfiable;
+    ] )

@@ -1,0 +1,90 @@
+(* Tests for the small SPI building blocks: ids, tags, tokens,
+   channels, rates. *)
+
+module I = Spi.Ids
+
+let test_ids_distinct_types () =
+  let p = I.Process_id.of_string "x" in
+  let c = I.Channel_id.of_string "x" in
+  Alcotest.(check string) "round trip" "x" (I.Process_id.to_string p);
+  Alcotest.(check string) "round trip" "x" (I.Channel_id.to_string c);
+  Alcotest.(check bool) "equal" true
+    (I.Process_id.equal p (I.Process_id.of_string "x"))
+
+let test_ids_empty_rejected () =
+  Alcotest.check_raises "empty id" (Invalid_argument "Ids: empty identifier")
+    (fun () -> ignore (I.Process_id.of_string ""))
+
+let test_id_containers () =
+  let set =
+    I.Process_id.Set.of_list
+      (List.map I.Process_id.of_string [ "b"; "a"; "b" ])
+  in
+  Alcotest.(check int) "set dedups" 2 (I.Process_id.Set.cardinal set)
+
+let test_tags () =
+  let a = Spi.Tag.make "a" and b = Spi.Tag.make "b" in
+  Alcotest.(check bool) "distinct" false (Spi.Tag.equal a b);
+  Alcotest.(check string) "name" "a" (Spi.Tag.name a);
+  let set = Spi.Tag.set_of_list [ "x"; "y"; "x" ] in
+  Alcotest.(check int) "set dedups" 2 (Spi.Tag.Set.cardinal set);
+  Alcotest.check_raises "empty tag" (Invalid_argument "Tag.make: empty tag")
+    (fun () -> ignore (Spi.Tag.make ""))
+
+let test_tokens () =
+  let t = Spi.Token.make ~payload:7 () in
+  Alcotest.(check (option int)) "payload" (Some 7) (Spi.Token.payload t);
+  Alcotest.(check bool) "no tags" true (Spi.Tag.Set.is_empty (Spi.Token.tags t));
+  let tagged = Spi.Token.add_tag (Spi.Tag.make "v") t in
+  Alcotest.(check bool) "has tag" true
+    (Spi.Token.has_tag (Spi.Tag.make "v") tagged);
+  Alcotest.(check bool) "original unchanged" false
+    (Spi.Token.has_tag (Spi.Tag.make "v") t);
+  Alcotest.(check int) "replicate" 3
+    (List.length (Spi.Token.replicate 3 Spi.Token.plain));
+  Alcotest.(check bool) "equal" true
+    (Spi.Token.equal t (Spi.Token.make ~payload:7 ()));
+  Alcotest.(check bool) "unequal payload" false
+    (Spi.Token.equal t (Spi.Token.make ~payload:8 ()));
+  Alcotest.check_raises "negative replicate"
+    (Invalid_argument "Token.replicate: negative count") (fun () ->
+      ignore (Spi.Token.replicate (-1) Spi.Token.plain))
+
+let test_channels () =
+  let q = Spi.Chan.queue ~capacity:4 (I.Channel_id.of_string "q") in
+  Alcotest.(check bool) "queue kind" true (Spi.Chan.kind q = Spi.Chan.Queue);
+  Alcotest.(check (option int)) "capacity" (Some 4) (Spi.Chan.capacity q);
+  let r = Spi.Chan.register (I.Channel_id.of_string "r") in
+  Alcotest.(check bool) "register kind" true
+    (Spi.Chan.kind r = Spi.Chan.Register);
+  Alcotest.(check (option int)) "register cap" (Some 1) (Spi.Chan.capacity r);
+  let preloaded =
+    Spi.Chan.queue
+      ~initial:[ Spi.Token.plain; Spi.Token.plain ]
+      (I.Channel_id.of_string "p")
+  in
+  Alcotest.(check int) "initial" 2 (List.length (Spi.Chan.initial preloaded));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Chan.queue: capacity < 1") (fun () ->
+      ignore (Spi.Chan.queue ~capacity:0 (I.Channel_id.of_string "x")));
+  Alcotest.check_raises "overfull initial"
+    (Invalid_argument "Chan.queue: initial contents exceed capacity")
+    (fun () ->
+      ignore
+        (Spi.Chan.queue ~capacity:1
+           ~initial:[ Spi.Token.plain; Spi.Token.plain ]
+           (I.Channel_id.of_string "x")));
+  let renamed = Spi.Chan.rename (I.Channel_id.of_string "q2") q in
+  Alcotest.(check string) "rename" "q2"
+    (I.Channel_id.to_string (Spi.Chan.id renamed))
+
+let suite =
+  ( "spi-base",
+    [
+      Alcotest.test_case "typed ids" `Quick test_ids_distinct_types;
+      Alcotest.test_case "empty ids rejected" `Quick test_ids_empty_rejected;
+      Alcotest.test_case "id containers" `Quick test_id_containers;
+      Alcotest.test_case "tags" `Quick test_tags;
+      Alcotest.test_case "tokens" `Quick test_tokens;
+      Alcotest.test_case "channels" `Quick test_channels;
+    ] )

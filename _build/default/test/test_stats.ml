@@ -1,0 +1,117 @@
+(* Tests for post-simulation statistics. *)
+
+module I = Spi.Ids
+
+let cid = I.Channel_id.of_string
+let pid = I.Process_id.of_string
+let one = Interval.point 1
+
+let pipeline =
+  Spi.Model.build_exn
+    ~processes:
+      [
+        Spi.Process.simple ~latency:(Interval.point 2)
+          ~consumes:[ (cid "a", one) ]
+          ~produces:[ (cid "b", Spi.Mode.produce one) ]
+          (pid "p");
+        Spi.Process.simple ~latency:(Interval.point 4)
+          ~consumes:[ (cid "b", one) ]
+          ~produces:[ (cid "c", Spi.Mode.produce one) ]
+          (pid "q");
+      ]
+    ~channels:[ Spi.Chan.queue (cid "a"); Spi.Chan.queue (cid "b"); Spi.Chan.queue (cid "c") ]
+
+let run n =
+  let stimuli =
+    List.init n (fun i ->
+        { Sim.Engine.at = 1 + i; channel = cid "a"; token = Spi.Token.make ~payload:i () })
+  in
+  let result = Sim.Engine.run ~stimuli pipeline in
+  (result, Sim.Stats.of_result pipeline result)
+
+let test_process_stats () =
+  let _, stats = run 5 in
+  (match Sim.Stats.process (pid "p") stats with
+  | Some p ->
+    Alcotest.(check int) "p firings" 5 p.Sim.Stats.firings;
+    Alcotest.(check int) "p busy" 10 p.Sim.Stats.busy_time
+  | None -> Alcotest.fail "p stats missing");
+  match Sim.Stats.process (pid "q") stats with
+  | Some q ->
+    Alcotest.(check int) "q firings" 5 q.Sim.Stats.firings;
+    Alcotest.(check int) "q busy" 20 q.Sim.Stats.busy_time;
+    Alcotest.(check bool) "q utilization dominant" true
+      (q.Sim.Stats.utilization > 0.5)
+  | None -> Alcotest.fail "q stats missing"
+
+let test_channel_stats () =
+  let _, stats = run 5 in
+  (match Sim.Stats.channel (cid "b") stats with
+  | Some b ->
+    Alcotest.(check int) "b through" 5 b.Sim.Stats.tokens_through;
+    (* q is slower than p: tokens pile up on b *)
+    Alcotest.(check bool) "b high-water > 1" true (b.Sim.Stats.high_water > 1);
+    Alcotest.(check int) "b drained" 0 b.Sim.Stats.final_occupancy
+  | None -> Alcotest.fail "b stats missing");
+  match Sim.Stats.channel (cid "c") stats with
+  | Some c ->
+    Alcotest.(check int) "c final" 5 c.Sim.Stats.final_occupancy;
+    Alcotest.(check int) "c high-water" 5 c.Sim.Stats.high_water
+  | None -> Alcotest.fail "c stats missing"
+
+let test_makespan_and_totals () =
+  let result, stats = run 3 in
+  Alcotest.(check int) "makespan" result.Sim.Engine.end_time stats.Sim.Stats.makespan;
+  Alcotest.(check int) "total firings" 6 stats.Sim.Stats.total_firings
+
+let test_register_high_water () =
+  let m =
+    Spi.Model.build_exn
+      ~processes:
+        [
+          Spi.Process.simple ~latency:one
+            ~consumes:[ (cid "r", one); (cid "t", one) ]
+            ~produces:[] (pid "s");
+        ]
+      ~channels:[ Spi.Chan.register (cid "r"); Spi.Chan.queue (cid "t") ]
+  in
+  let stimuli =
+    List.init 4 (fun i ->
+        { Sim.Engine.at = i + 1; channel = cid "r"; token = Spi.Token.plain })
+    @ [ { Sim.Engine.at = 6; channel = cid "t"; token = Spi.Token.plain } ]
+  in
+  let result = Sim.Engine.run ~stimuli m in
+  let stats = Sim.Stats.of_result m result in
+  match Sim.Stats.channel (cid "r") stats with
+  | Some r ->
+    Alcotest.(check int) "register high-water capped" 1 r.Sim.Stats.high_water;
+    Alcotest.(check int) "register through counts writes" 4
+      r.Sim.Stats.tokens_through
+  | None -> Alcotest.fail "register stats missing"
+
+let test_reconfiguration_stats () =
+  let built = Video.System.build Video.System.default_params in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:20 ~period:5 ~switches:[ (30, "fB") ] ()
+  in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  let stats = Sim.Stats.of_result built.Video.System.model result in
+  match Sim.Stats.process Video.System.p_stage1 stats with
+  | Some p1 ->
+    Alcotest.(check int) "one reconfiguration" 1 p1.Sim.Stats.reconfigurations;
+    Alcotest.(check int) "t_conf accounted" 6 p1.Sim.Stats.reconfiguration_time
+  | None -> Alcotest.fail "P1 stats missing"
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "process stats" `Quick test_process_stats;
+      Alcotest.test_case "channel stats" `Quick test_channel_stats;
+      Alcotest.test_case "makespan and totals" `Quick test_makespan_and_totals;
+      Alcotest.test_case "register high-water" `Quick test_register_high_water;
+      Alcotest.test_case "reconfiguration stats" `Quick
+        test_reconfiguration_stats;
+    ] )

@@ -1,0 +1,157 @@
+(* Tests for the Figure 4 reconfigurable video system: the suspend /
+   resume protocol, the invalid-image property with and without
+   valves, and frame accounting. *)
+
+let run ?(with_valves = true) ?(frames = 30) ?(period = 5) switches =
+  let built =
+    Video.System.build { Video.System.default_params with with_valves }
+  in
+  let stimuli = Video.Scenario.switching_demo ~frames ~period ~switches () in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  (result, Video.Checker.check result)
+
+let test_no_switch_passthrough () =
+  let result, report = run [] in
+  Alcotest.(check int) "all frames in" 30 report.Video.Checker.frames_in;
+  Alcotest.(check int) "all clean" 30 report.Video.Checker.clean;
+  Alcotest.(check int) "none held" 0 report.Video.Checker.held;
+  Alcotest.(check int) "none dropped" 0 report.Video.Checker.dropped;
+  Alcotest.(check int) "no reconfigurations" 0
+    report.Video.Checker.reconfigurations;
+  Alcotest.(check bool) "safe" true (Video.Checker.is_safe report);
+  Alcotest.(check bool) "quiescent" true
+    (result.Sim.Engine.outcome = Sim.Engine.Quiescent)
+
+let test_single_switch_safe () =
+  let result, report = run [ (52, "fB") ] in
+  Alcotest.(check bool) "safe" true (Video.Checker.is_safe report);
+  Alcotest.(check int) "two stage reconfigurations" 2
+    report.Video.Checker.reconfigurations;
+  (* t_conf(fB) = 6 per stage *)
+  Alcotest.(check int) "reconfiguration time" 12
+    report.Video.Checker.reconfiguration_time;
+  (* suspension loses some frames: dropped + held > 0 *)
+  Alcotest.(check bool) "protocol engaged" true
+    (report.Video.Checker.dropped + report.Video.Checker.held > 0);
+  (* accounting closes *)
+  Alcotest.(check int) "accounting" report.Video.Checker.frames_in
+    (report.Video.Checker.clean + report.Video.Checker.held
+   + report.Video.Checker.dropped);
+  ignore result
+
+let test_double_switch_safe () =
+  let _, report = run [ (52, "fB"); (120, "fA") ] in
+  Alcotest.(check bool) "safe" true (Video.Checker.is_safe report);
+  Alcotest.(check int) "four reconfigurations" 4
+    report.Video.Checker.reconfigurations;
+  (* 2 * 6 (to fB) + 2 * 4 (back to fA) *)
+  Alcotest.(check int) "reconfiguration time" 20
+    report.Video.Checker.reconfiguration_time
+
+let test_without_valves_violation () =
+  let _, report = run ~with_valves:false [ (52, "fB") ] in
+  Alcotest.(check bool) "violation observed" false (Video.Checker.is_safe report);
+  Alcotest.(check int) "nothing held without POut valve" 0
+    report.Video.Checker.held;
+  Alcotest.(check int) "nothing dropped without PIn valve" 0
+    report.Video.Checker.dropped
+
+let test_output_resumes_clean () =
+  (* after the protocol completes, later frames flow clean again *)
+  let result, report = run ~frames:40 [ (52, "fB") ] in
+  Alcotest.(check bool) "safe" true (Video.Checker.is_safe report);
+  let outputs =
+    Sim.Trace.tokens_produced_on Video.System.c_vout result.Sim.Engine.trace
+  in
+  (* the last emitted frame is clean (not held) *)
+  (match List.rev outputs with
+  | (_, last) :: _ ->
+    Alcotest.(check bool) "last clean" false
+      (Spi.Token.has_tag Video.Frames.held_tag last)
+  | [] -> Alcotest.fail "outputs expected");
+  (* frames after the switch were processed by fB on both stages *)
+  Alcotest.(check bool) "clean majority" true (report.Video.Checker.clean > 25)
+
+let test_requests_while_busy_queue () =
+  (* two requests in quick succession: the second waits for the first
+     protocol round; the system stays safe and ends in fA *)
+  let result, report = run [ (52, "fB"); (54, "fA") ] in
+  Alcotest.(check bool) "safe" true (Video.Checker.is_safe report);
+  Alcotest.(check int) "four reconfigurations" 4
+    report.Video.Checker.reconfigurations;
+  Alcotest.(check bool) "quiescent" true
+    (result.Sim.Engine.outcome = Sim.Engine.Quiescent)
+
+let prop_random_switches_safe =
+  QCheck.Test.make ~name:"valves keep any switching schedule safe" ~count:40
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 0 4)
+        (pair (int_range 10 180) (int_range 0 1)))
+    (fun raw_switches ->
+      let switches =
+        List.sort compare
+          (List.map (fun (t, v) -> (t, if v = 0 then "fA" else "fB")) raw_switches)
+      in
+      let _, report = run ~frames:40 switches in
+      Video.Checker.is_safe report
+      && report.Video.Checker.frames_in
+         = report.Video.Checker.clean + report.Video.Checker.held
+           + report.Video.Checker.dropped)
+
+let test_variant_of_mode () =
+  Alcotest.(check (option string))
+    "proc mode" (Some "fB")
+    (Video.System.variant_of_mode (Video.System.proc_mode ~stage:1 "fB"));
+  Alcotest.(check (option string))
+    "valve mode" None
+    (Video.System.variant_of_mode (Spi.Ids.Mode_id.of_string "PIn.pass"))
+
+let test_build_validation () =
+  try
+    ignore (Video.System.build { Video.System.default_params with variants = [] });
+    Alcotest.fail "empty variants accepted"
+  with Invalid_argument _ -> ()
+
+let test_three_variants () =
+  let params =
+    {
+      Video.System.variants = [ ("fA", 2, 4); ("fB", 3, 6); ("fC", 1, 2) ];
+      with_valves = true;
+      stages = 2;
+    }
+  in
+  let built = Video.System.build params in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:30 ~period:5
+      ~switches:[ (40, "fC"); (90, "fB") ]
+      ()
+  in
+  let result =
+    Sim.Engine.run ~configurations:built.Video.System.configurations ~stimuli
+      built.Video.System.model
+  in
+  let report = Video.Checker.check result in
+  Alcotest.(check bool) "safe with three variants" true
+    (Video.Checker.is_safe report);
+  Alcotest.(check int) "reconf time 2*2 + 2*6" 16
+    report.Video.Checker.reconfiguration_time
+
+let suite =
+  ( "video",
+    [
+      Alcotest.test_case "no switch passthrough" `Quick test_no_switch_passthrough;
+      Alcotest.test_case "single switch safe" `Quick test_single_switch_safe;
+      Alcotest.test_case "double switch safe" `Quick test_double_switch_safe;
+      Alcotest.test_case "without valves violation" `Quick
+        test_without_valves_violation;
+      Alcotest.test_case "output resumes clean" `Quick test_output_resumes_clean;
+      Alcotest.test_case "requests while busy" `Quick
+        test_requests_while_busy_queue;
+      Alcotest.test_case "variant_of_mode" `Quick test_variant_of_mode;
+      Alcotest.test_case "build validation" `Quick test_build_validation;
+      Alcotest.test_case "three variants" `Quick test_three_variants;
+      QCheck_alcotest.to_alcotest ~long:false prop_random_switches_safe;
+    ] )
