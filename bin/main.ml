@@ -398,6 +398,17 @@ let vcd_arg =
     & opt (some string) None
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a VCD waveform dump to $(docv)")
 
+(* Distinct exit codes so scripts can tell a clean quiescent run from a
+   simulation cut short by a limit. *)
+let exit_code_of_outcome = function
+  | Sim.Engine.Quiescent -> 0
+  | Sim.Engine.Time_limit_reached -> 2
+  | Sim.Engine.Firing_limit_reached -> 3
+
+let exit_on_outcome outcome =
+  let code = exit_code_of_outcome outcome in
+  if code <> 0 then exit code
+
 let simulate_cmd =
   let run bundled policy show_trace vcd_path =
     let model = bundled.model () in
@@ -411,15 +422,175 @@ let simulate_cmd =
     let stats = Sim.Stats.of_result model result in
     Format.printf "@.%a@." Sim.Stats.pp stats;
     if show_trace then Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
-    match vcd_path with
+    (match vcd_path with
     | None -> ()
     | Some path ->
       Sim.Vcd.to_file path model result;
-      Format.printf "@.VCD written to %s@." path
+      Format.printf "@.VCD written to %s@." path);
+    exit_on_outcome result.Sim.Engine.outcome
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Simulate a bundled model")
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate a bundled model (exits 0 when quiescent, 2 on the time \
+          limit, 3 on the firing limit)")
     Term.(const run $ model_arg $ policy_arg $ trace_flag $ vcd_arg)
+
+let faultsim_cmd =
+  let model_name_arg =
+    Arg.(
+      value & opt string "video"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"video or video-novalves")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeded fault scenarios")
+  in
+  let no_faults_flag =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Run the same campaign without injecting any fault (baseline)")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "deadline" ] ~docv:"D"
+          ~doc:"Frame latency budget counted as missed when exceeded")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "drop" ] ~docv:"P" ~doc:"Frame loss probability on CVin")
+  in
+  let transient_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "transient" ] ~docv:"P"
+          ~doc:"Transient firing-failure probability per stage attempt")
+  in
+  let trace_seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "trace-seed" ] ~docv:"SEED"
+          ~doc:"Also print the full trace of this seed's run")
+  in
+  let run model_name seeds no_faults deadline drop transient trace_seed =
+    let with_valves =
+      match model_name with
+      | "video" -> true
+      | "video-novalves" -> false
+      | other ->
+        Format.eprintf
+          "faultsim: unknown model %s (available: video, video-novalves)@."
+          other;
+        exit 1
+    in
+    if seeds < 1 then begin
+      Format.eprintf "faultsim: --seeds must be positive@.";
+      exit 1
+    end;
+    let built =
+      Video.System.build { Video.System.default_params with with_valves }
+    in
+    let stimuli =
+      Video.Scenario.switching_demo ~frames:40 ~period:5
+        ~switches:[ (52, "fB"); (120, "fA") ]
+        ()
+    in
+    Format.printf "fault campaign: %s, %d seeds%s@." model_name seeds
+      (if no_faults then " (faults disabled)" else "");
+    Format.printf "%4s  %-9s %7s %6s %5s %5s %4s %4s %4s %4s  %s@." "seed"
+      "outcome" "firings" "faults" "degr" "clean" "held" "drop" "miss" "inv"
+      "reconf";
+    let survived = ref 0
+    and total_faults = ref 0
+    and total_degr = ref 0
+    and total_clean = ref 0
+    and total_held = ref 0
+    and total_drop = ref 0
+    and total_miss = ref 0
+    and unsafe_seeds = ref []
+    and worst_code = ref 0 in
+    for seed = 1 to seeds do
+      let faults =
+        if no_faults then None
+        else
+          Some
+            (Video.Scenario.fault_plan ~drop_probability:drop
+               ~transient_probability:transient ~seed built)
+      in
+      let result =
+        Sim.Engine.run
+          ~configurations:built.Video.System.configurations
+          ~stimuli ?faults built.Video.System.model
+      in
+      let report = Video.Checker.check result in
+      let stats = Sim.Stats.of_result built.Video.System.model result in
+      let misses =
+        List.length
+          (List.filter
+             (fun (_, l) -> l > deadline)
+             report.Video.Checker.frame_latencies)
+      in
+      let safe = Video.Checker.is_safe report in
+      let alive =
+        result.Sim.Engine.outcome = Sim.Engine.Quiescent
+        && report.Video.Checker.clean > 0
+        && safe
+      in
+      if alive then incr survived;
+      if not safe then unsafe_seeds := seed :: !unsafe_seeds;
+      total_faults := !total_faults + Sim.Stats.total_faults stats.Sim.Stats.faults;
+      total_degr :=
+        !total_degr + stats.Sim.Stats.faults.Sim.Stats.degradations;
+      total_clean := !total_clean + report.Video.Checker.clean;
+      total_held := !total_held + report.Video.Checker.held;
+      total_drop := !total_drop + report.Video.Checker.dropped;
+      total_miss := !total_miss + misses;
+      worst_code :=
+        max !worst_code (exit_code_of_outcome result.Sim.Engine.outcome);
+      let outcome_label =
+        match result.Sim.Engine.outcome with
+        | Sim.Engine.Quiescent -> "ok"
+        | Sim.Engine.Time_limit_reached -> "time-lim"
+        | Sim.Engine.Firing_limit_reached -> "fire-lim"
+      in
+      Format.printf "%4d  %-9s %7d %6d %5d %5d %4d %4d %4d %4d  %d@." seed
+        outcome_label result.Sim.Engine.firings
+        (Sim.Stats.total_faults stats.Sim.Stats.faults)
+        stats.Sim.Stats.faults.Sim.Stats.degradations
+        report.Video.Checker.clean report.Video.Checker.held
+        report.Video.Checker.dropped misses
+        (List.length report.Video.Checker.invalid_clean)
+        report.Video.Checker.reconfiguration_time;
+      if trace_seed = Some seed then
+        Format.printf "@.--- trace of seed %d ---@.%a@.@." seed Sim.Trace.pp
+          result.Sim.Engine.trace
+    done;
+    Format.printf "@.survival: %d/%d seeds quiescent, safe and producing@."
+      !survived seeds;
+    Format.printf
+      "totals: %d faults, %d degradations, frames clean=%d held=%d dropped=%d \
+       deadline-misses=%d@."
+      !total_faults !total_degr !total_clean !total_held !total_drop !total_miss;
+    (match List.rev !unsafe_seeds with
+    | [] -> ()
+    | seeds ->
+      Format.printf "unsafe seeds (invalid clean output): %s@."
+        (String.concat ", " (List.map string_of_int seeds)));
+    if !worst_code <> 0 then exit !worst_code
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Run seeded fault-injection scenarios over the video system and \
+          print a survival report (exits 0 when every seed quiesces, 2/3 \
+          when one hits the time/firing limit)")
+    Term.(
+      const run $ model_name_arg $ seeds_arg $ no_faults_flag $ deadline_arg
+      $ drop_arg $ transient_arg $ trace_seed_arg)
 
 let simulate_file_cmd =
   let variant_arg =
@@ -459,7 +630,13 @@ let simulate_file_cmd =
           | Some c -> Spi.Ids.Cluster_id.of_string c
           | None -> V.Flatten.first_cluster system iid
         in
-        let model = V.Flatten.flatten system choice in
+        let model =
+          match V.Flatten.flatten_result system choice with
+          | Ok m -> m
+          | Error d ->
+            Format.eprintf "%s: %a@." path V.Diagnostic.pp d;
+            exit 1
+        in
         let inputs = Spi.Model.unwritten_channels model in
         let stimuli =
           List.concat_map
@@ -479,11 +656,15 @@ let simulate_file_cmd =
           Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
         Option.iter (fun p -> Sim.Vcd.to_file p model result) vcd_path;
         Option.iter (fun p -> Sim.Json.to_file p model result) json_path;
-        Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path)
+        Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path;
+        exit_on_outcome result.Sim.Engine.outcome)
   in
   Cmd.v
     (Cmd.info "simulate-file"
-       ~doc:"Flatten and simulate a .spi file, optionally exporting the run")
+       ~doc:
+         "Flatten and simulate a .spi file, optionally exporting the run \
+          (exits 0 when quiescent, 2 on the time limit, 3 on the firing \
+          limit)")
     Term.(
       const run $ file_arg $ variant_arg $ drive_arg $ policy_arg $ trace_flag
       $ vcd_arg $ json_arg $ csv_arg)
@@ -691,6 +872,7 @@ let () =
             models_cmd;
             validate_cmd;
             simulate_cmd;
+            faultsim_cmd;
             analyze_cmd;
             dot_cmd;
             dot_system_cmd;

@@ -41,7 +41,8 @@ let () =
     (function
       | Sim.Trace.Started { time; mode; _ } ->
         Format.printf "  t=%d mode %a@." time Spi.Ids.Mode_id.pp mode
-      | Sim.Trace.Injected _ | Sim.Trace.Completed _ | Sim.Trace.Quiescent _ ->
+      | Sim.Trace.Injected _ | Sim.Trace.Completed _ | Sim.Trace.Faulted _
+      | Sim.Trace.Quiescent _ ->
         ())
     p2_starts;
   Format.printf "@.Full trace:@.%a@." Sim.Trace.pp result.trace

@@ -5,9 +5,12 @@ type cut = {
   wiring : (I.Port_id.t * I.Channel_id.t) list;
 }
 
-exception Clusterize_error of string
+exception Clusterize_error of Diagnostic.t
 
-let error fmt = Format.kasprintf (fun m -> raise (Clusterize_error m)) fmt
+let error ?subject fmt =
+  Format.kasprintf
+    (fun message -> raise (Clusterize_error (Diagnostic.make ?subject message)))
+    fmt
 
 type role = Internal | Input_port | Output_port | Unrelated
 
@@ -25,11 +28,13 @@ let classify model inside cid =
   | false, false -> Unrelated
 
 let cut ~name inside model =
-  if I.Process_id.Set.is_empty inside then error "empty process set";
+  if I.Process_id.Set.is_empty inside then
+    error ~subject:name "empty process set";
   I.Process_id.Set.iter
     (fun pid ->
       if Option.is_none (Spi.Model.find_process pid model) then
-        error "unknown process %a" I.Process_id.pp pid)
+        error ~subject:(I.Process_id.to_string pid) "unknown process %a"
+          I.Process_id.pp pid)
     inside;
   let processes =
     List.filter
@@ -61,7 +66,7 @@ let cut ~name inside model =
   (match Cluster.validate cluster with
   | [] -> ()
   | errors ->
-    error "extracted cluster is malformed: %s"
+    error ~subject:name "extracted cluster is malformed: %s"
       (String.concat "; "
          (List.map (Format.asprintf "%a" Cluster.pp_error) errors)));
   { cluster; wiring = List.rev wiring }
@@ -91,3 +96,16 @@ let carve ~interface_name ~cluster_name inside model =
   System.make ~processes:host_processes ~channels:host_channels
     ~sites:[ { Structure.iface; wiring } ]
     (interface_name ^ "-carved")
+
+let cut_result ~name inside model =
+  match cut ~name inside model with
+  | c -> Ok c
+  | exception Clusterize_error d -> Error d
+  | exception Invalid_argument m -> Error (Diagnostic.make ~subject:name m)
+
+let carve_result ~interface_name ~cluster_name inside model =
+  match carve ~interface_name ~cluster_name inside model with
+  | s -> Ok s
+  | exception Clusterize_error d -> Error d
+  | exception Invalid_argument m ->
+    Error (Diagnostic.make ~subject:interface_name m)

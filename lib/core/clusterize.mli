@@ -20,7 +20,9 @@ type cut = {
       (** port -> original boundary channel *)
 }
 
-exception Clusterize_error of string
+exception Clusterize_error of Diagnostic.t
+(** The diagnostic's [subject] names the offending process or the
+    would-be cluster. *)
 
 val cut :
   name:string -> Spi.Ids.Process_id.Set.t -> Spi.Model.t -> cut
@@ -42,3 +44,18 @@ val carve :
     [Flatten.flatten ~choice:(fun _ -> cluster)] yields a model with the
     same process set as the original (cut processes prefixed with the
     interface name). *)
+
+val cut_result :
+  name:string ->
+  Spi.Ids.Process_id.Set.t ->
+  Spi.Model.t ->
+  (cut, Diagnostic.t) result
+(** {!cut} with errors returned as diagnostics. *)
+
+val carve_result :
+  interface_name:string ->
+  cluster_name:string ->
+  Spi.Ids.Process_id.Set.t ->
+  Spi.Model.t ->
+  (System.t, Diagnostic.t) result
+(** {!carve} with errors returned as diagnostics. *)

@@ -110,6 +110,14 @@ let on_activation t confcur mid =
 
 let start t = t.initial
 
+let fallback ?avoid t =
+  let differs e =
+    match avoid with
+    | None -> true
+    | Some cid -> not (I.Config_id.equal e.config_id cid)
+  in
+  Option.map (fun e -> e.config_id) (List.find_opt differs t.entries)
+
 let pp ppf t =
   let pp_entry ppf e =
     Format.fprintf ppf "%a (t_conf=%d): {%s}" I.Config_id.pp e.config_id

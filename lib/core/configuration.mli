@@ -71,4 +71,10 @@ val on_activation : t -> confcur -> Spi.Ids.Mode_id.t -> transition * confcur
 val start : t -> confcur
 (** Initial [confcur]: the declared initial configuration, if any. *)
 
+val fallback : ?avoid:Spi.Ids.Config_id.t -> t -> Spi.Ids.Config_id.t option
+(** The designated fallback variant for watchdog degradation: the first
+    configuration (in declaration order) different from [avoid] —
+    mirroring {!Selection.fallback_cluster} at the abstracted level.
+    [None] when the process has no other variant to fall back to. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = { subject : string option; message : string }
+
+let make ?subject message = { subject; message }
+
+let msgf ?subject fmt =
+  Format.kasprintf (fun message -> { subject; message }) fmt
+
+let subject t = t.subject
+let message t = t.message
+
+let to_string t =
+  match t.subject with
+  | None -> t.message
+  | Some s -> Format.sprintf "%s: %s" s t.message
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,12 +1,17 @@
 module I = Spi.Ids
 
-exception Evolution_error of string
+exception Evolution_error of Diagnostic.t
 
-let error fmt = Format.kasprintf (fun m -> raise (Evolution_error m)) fmt
+let error ?subject fmt =
+  Format.kasprintf
+    (fun message -> raise (Evolution_error (Diagnostic.make ?subject message)))
+    fmt
 
 let split_site iid system =
   match System.find_site iid system with
-  | None -> error "unknown interface %a" I.Interface_id.pp iid
+  | None ->
+    error ~subject:(I.Interface_id.to_string iid) "unknown interface %a"
+      I.Interface_id.pp iid
   | Some site ->
     let others =
       List.filter
@@ -28,15 +33,16 @@ let fix_variant iid cid system =
     with
     | Some c -> c
     | None ->
-      error "interface %a has no cluster %a" I.Interface_id.pp iid
-        I.Cluster_id.pp cid
+      error ~subject:(I.Cluster_id.to_string cid)
+        "interface %a has no cluster %a" I.Interface_id.pp iid I.Cluster_id.pp
+        cid
   in
   (* nested interfaces stay variable only if they were lifted; inlining
      commits them too, taking their first cluster unless the caller
      fixes them separately beforehand — so reject clusters with
      sub-sites to keep the operation predictable *)
   if cluster.Structure.sub_sites <> [] then
-    error
+    error ~subject:(I.Cluster_id.to_string cid)
       "cluster %a embeds interfaces; fix the nested variants first"
       I.Cluster_id.pp cid;
   let instance =
@@ -44,7 +50,8 @@ let fix_variant iid cid system =
       ~prefix:(I.Interface_id.to_string iid)
       ~port_channels:site.Structure.wiring
       ~sub_choice:(fun sub ->
-        error "unexpected nested interface %a" I.Interface_id.pp sub)
+        error ~subject:(I.Interface_id.to_string sub)
+          "unexpected nested interface %a" I.Interface_id.pp sub)
       cluster
   in
   System.make
@@ -56,7 +63,8 @@ let fix_variant iid cid system =
 
 let update_selection iid selection system =
   if Option.is_none (System.find_site iid system) then
-    error "unknown interface %a" I.Interface_id.pp iid;
+    error ~subject:(I.Interface_id.to_string iid) "unknown interface %a"
+      I.Interface_id.pp iid;
   let sites =
     List.map
       (fun site ->
@@ -81,3 +89,13 @@ let update_selection iid selection system =
 
 let make_runtime iid selection system = update_selection iid (Some selection) system
 let make_production iid system = update_selection iid None system
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Evolution_error d -> Error d
+  | exception Invalid_argument m -> Error (Diagnostic.make m)
+
+let fix_variant_result iid cid system = wrap (fun () -> fix_variant iid cid system)
+let make_runtime_result iid sel system = wrap (fun () -> make_runtime iid sel system)
+let make_production_result iid system = wrap (fun () -> make_production iid system)

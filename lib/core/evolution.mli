@@ -17,7 +17,9 @@
       remain in the representation but selection moves back to the
       designer. *)
 
-exception Evolution_error of string
+exception Evolution_error of Diagnostic.t
+(** The diagnostic's [subject] names the offending interface or
+    cluster. *)
 
 val fix_variant :
   Spi.Ids.Interface_id.t -> Spi.Ids.Cluster_id.t -> System.t -> System.t
@@ -33,3 +35,20 @@ val make_runtime :
 
 val make_production : Spi.Ids.Interface_id.t -> System.t -> System.t
 (** @raise Evolution_error on unknown interface. *)
+
+(** {2 Non-raising wrappers} *)
+
+val fix_variant_result :
+  Spi.Ids.Interface_id.t ->
+  Spi.Ids.Cluster_id.t ->
+  System.t ->
+  (System.t, Diagnostic.t) result
+
+val make_runtime_result :
+  Spi.Ids.Interface_id.t ->
+  Structure.selection ->
+  System.t ->
+  (System.t, Diagnostic.t) result
+
+val make_production_result :
+  Spi.Ids.Interface_id.t -> System.t -> (System.t, Diagnostic.t) result

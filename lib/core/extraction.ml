@@ -8,9 +8,12 @@ type result = {
   mode_origin : (I.Mode_id.t * I.Cluster_id.t) list;
 }
 
-exception Extraction_error of string
+exception Extraction_error of Diagnostic.t
 
-let error fmt = Format.kasprintf (fun msg -> raise (Extraction_error msg)) fmt
+let error ?subject fmt =
+  Format.kasprintf
+    (fun message -> raise (Extraction_error (Diagnostic.make ?subject message)))
+    fmt
 
 (* One extracted mode candidate before activation-rule synthesis. *)
 type candidate = {
@@ -23,8 +26,10 @@ let host_of_port wiring iface pid =
   match List.find_opt (fun (p, _) -> I.Port_id.equal p pid) wiring with
   | Some (_, host) -> host
   | None ->
-    error "interface %a: port %a not wired"
-      I.Interface_id.pp (Interface.id iface) I.Port_id.pp pid
+    error
+      ~subject:(I.Interface_id.to_string (Interface.id iface))
+      "interface %a: port %a not wired" I.Interface_id.pp (Interface.id iface)
+      I.Port_id.pp pid
 
 (* Selection guards are written against port placeholder channels; map
    them into host-channel space.  Guards may also reference host
@@ -161,7 +166,9 @@ let availability_guard mode =
 
 let extract ?(granularity = Per_entry_mode) ~process_name ~wiring iface =
   if Interface.clusters iface = [] then
-    error "interface %a has no clusters" I.Interface_id.pp (Interface.id iface);
+    error
+      ~subject:(I.Interface_id.to_string (Interface.id iface))
+      "interface %a has no clusters" I.Interface_id.pp (Interface.id iface);
   let selection = Interface.selection iface in
   let candidates =
     List.concat_map
@@ -221,6 +228,16 @@ let extract ?(granularity = Per_entry_mode) ~process_name ~wiring iface =
     configurations;
     mode_origin = List.map (fun c -> (Spi.Mode.id c.mode, c.cluster)) candidates;
   }
+
+let extract_result ?granularity ~process_name ~wiring iface =
+  match extract ?granularity ~process_name ~wiring iface with
+  | r -> Ok r
+  | exception Extraction_error d -> Error d
+  | exception Invalid_argument m ->
+    Error
+      (Diagnostic.make
+         ~subject:(I.Interface_id.to_string (Interface.id iface))
+         m)
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]" Spi.Process.pp r.abstract_process

@@ -29,7 +29,8 @@ type result = {
       (** which cluster each extracted mode came from *)
 }
 
-exception Extraction_error of string
+exception Extraction_error of Diagnostic.t
+(** The diagnostic's [subject] names the offending interface. *)
 
 val extract :
   ?granularity:granularity ->
@@ -43,6 +44,15 @@ val extract :
     @raise Extraction_error when a port is unbound, the interface has no
     clusters, or a selection rule observes a channel that is neither a
     port nor a host channel. *)
+
+val extract_result :
+  ?granularity:granularity ->
+  process_name:string ->
+  wiring:(Spi.Ids.Port_id.t * Spi.Ids.Channel_id.t) list ->
+  Interface.t ->
+  (result, Diagnostic.t) Stdlib.result
+(** {!extract} with errors (including [Invalid_argument] from process
+    construction) returned as diagnostics. *)
 
 val cluster_latency : Cluster.t -> Interval.t
 (** Re-export of {!Cluster.latency_paths} under its extraction role. *)

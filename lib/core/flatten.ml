@@ -2,23 +2,32 @@ module I = Spi.Ids
 
 type choice = I.Interface_id.t -> I.Cluster_id.t
 
-exception Flatten_error of string
+exception Flatten_error of Diagnostic.t
 
-let error fmt = Format.kasprintf (fun msg -> raise (Flatten_error msg)) fmt
+let error ?subject fmt =
+  Format.kasprintf
+    (fun message -> raise (Flatten_error (Diagnostic.make ?subject message)))
+    fmt
 
 let choice_of_list pairs iid =
   match
     List.find_opt (fun (i, _) -> String.equal i (I.Interface_id.to_string iid)) pairs
   with
   | Some (_, c) -> I.Cluster_id.of_string c
-  | None -> error "no cluster chosen for interface %a" I.Interface_id.pp iid
+  | None ->
+    error ~subject:(I.Interface_id.to_string iid)
+      "no cluster chosen for interface %a" I.Interface_id.pp iid
 
 let first_cluster system iid =
   match System.find_site iid system with
-  | None -> error "unknown interface %a" I.Interface_id.pp iid
+  | None ->
+    error ~subject:(I.Interface_id.to_string iid) "unknown interface %a"
+      I.Interface_id.pp iid
   | Some site -> (
     match site.Structure.iface.Structure.clusters with
-    | [] -> error "interface %a has no clusters" I.Interface_id.pp iid
+    | [] ->
+      error ~subject:(I.Interface_id.to_string iid)
+        "interface %a has no clusters" I.Interface_id.pp iid
     | c :: _ -> Cluster.id c)
 
 let instantiate_site ~choice site =
@@ -33,14 +42,16 @@ let instantiate_site ~choice site =
     with
     | Some c -> c
     | None ->
-      error "interface %a has no cluster %a" I.Interface_id.pp iid
+      error ~subject:(I.Interface_id.to_string iid)
+        "interface %a has no cluster %a" I.Interface_id.pp iid
         I.Cluster_id.pp chosen_id
   in
   try
     Cluster.instantiate
       ~prefix:(I.Interface_id.to_string iid)
       ~port_channels:site.Structure.wiring ~sub_choice:choice chosen
-  with Invalid_argument msg -> error "%s" msg
+  with Invalid_argument msg ->
+    error ~subject:(I.Interface_id.to_string iid) "%s" msg
 
 let flatten system choice =
   let instances = List.map (instantiate_site ~choice) (System.sites system) in
@@ -89,7 +100,9 @@ let applications system =
       let choice iid =
         match List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) combo with
         | Some (_, cid) -> cid
-        | None -> error "no cluster chosen for interface %a" I.Interface_id.pp iid
+        | None ->
+          error ~subject:(I.Interface_id.to_string iid)
+            "no cluster chosen for interface %a" I.Interface_id.pp iid
       in
       (List.map snd combo, flatten system choice))
     (product per_site)
@@ -112,3 +125,22 @@ let abstract ?granularity system =
     Spi.Model.build_exn ~processes ~channels:(System.channels system)
   in
   (model, List.map (fun r -> r.Extraction.configurations) results)
+
+let flatten_result system choice =
+  match flatten system choice with
+  | model -> Ok model
+  | exception Flatten_error d -> Error d
+  | exception Invalid_argument m -> Error (Diagnostic.make m)
+
+let applications_result system =
+  match applications system with
+  | apps -> Ok apps
+  | exception Flatten_error d -> Error d
+  | exception Invalid_argument m -> Error (Diagnostic.make m)
+
+let abstract_result ?granularity system =
+  match abstract ?granularity system with
+  | r -> Ok r
+  | exception Flatten_error d -> Error d
+  | exception Extraction.Extraction_error d -> Error d
+  | exception Invalid_argument m -> Error (Diagnostic.make m)

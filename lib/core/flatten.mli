@@ -14,7 +14,8 @@
 
 type choice = Spi.Ids.Interface_id.t -> Spi.Ids.Cluster_id.t
 
-exception Flatten_error of string
+exception Flatten_error of Diagnostic.t
+(** The diagnostic's [subject] names the offending interface. *)
 
 val choice_of_list : (string * string) list -> choice
 (** Builds a choice function from interface-name/cluster-name pairs.
@@ -45,3 +46,20 @@ val abstract :
   Spi.Model.t * Configuration.t list
 (** Replaces every site by its extracted abstract process (named after
     the interface).  Top-level processes and channels are kept as-is. *)
+
+(** {2 Non-raising wrappers}
+
+    The same derivations with errors returned as {!Diagnostic.t} values
+    ([Invalid_argument] from model validation included). *)
+
+val flatten_result :
+  System.t -> choice -> (Spi.Model.t, Diagnostic.t) result
+
+val applications_result :
+  System.t ->
+  ((Spi.Ids.Cluster_id.t list * Spi.Model.t) list, Diagnostic.t) result
+
+val abstract_result :
+  ?granularity:Extraction.granularity ->
+  System.t ->
+  (Spi.Model.t * Configuration.t list, Diagnostic.t) result

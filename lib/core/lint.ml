@@ -74,8 +74,8 @@ let extraction_checks system =
             (Spi.Activation.ambiguous_pairs
                (Spi.Process.activation r.Extraction.abstract_process))
       with
-      | Extraction.Extraction_error m ->
-        [ finding Error scope "extraction failed: %s" m ]
+      | Extraction.Extraction_error d ->
+        [ finding Error scope "extraction failed: %s" (Diagnostic.to_string d) ]
       | Invalid_argument m ->
         [ finding Error scope "extraction failed: %s" m ])
     (System.sites system)
@@ -141,7 +141,13 @@ let application_checks system =
         in
         balance @ deadlocks @ timing)
       (Flatten.applications system)
-  with Flatten.Flatten_error m | Invalid_argument m ->
+  with
+  | Flatten.Flatten_error d ->
+    [
+      finding Error "system" "could not derive applications: %s"
+        (Diagnostic.to_string d);
+    ]
+  | Invalid_argument m ->
     [ finding Error "system" "could not derive applications: %s" m ]
 
 let run system =

@@ -43,6 +43,25 @@ let requires_reconfiguration cur next =
   | None -> true
   | Some current -> not (I.Cluster_id.equal current next)
 
+let fallback_cluster ?avoid (s : Structure.selection) =
+  let differs cid =
+    match avoid with
+    | None -> true
+    | Some c -> not (I.Cluster_id.equal c cid)
+  in
+  let rule_target =
+    List.find_map
+      (fun r ->
+        if differs r.Structure.target then Some r.Structure.target else None)
+      s.Structure.rules
+  in
+  match rule_target with
+  | Some _ as t -> t
+  | None -> (
+    match s.Structure.initial with
+    | Some cid when differs cid -> Some cid
+    | Some _ | None -> None)
+
 let observed_channels s =
   List.fold_left
     (fun acc r ->

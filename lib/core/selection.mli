@@ -39,6 +39,15 @@ val requires_reconfiguration : cur -> Spi.Ids.Cluster_id.t -> bool
 (** True when selecting [next] differs from the current cluster — a
     (re)configuration step with latency [t_conf] must be inserted. *)
 
+val fallback_cluster :
+  ?avoid:Spi.Ids.Cluster_id.t -> Structure.selection -> Spi.Ids.Cluster_id.t option
+(** The designated fallback cluster for graceful degradation: when the
+    currently selected cluster ([avoid]) fails, the watchdog consults
+    the selection function and reconfigures the interface to the first
+    rule target different from it (falling back to the declared initial
+    cluster).  Mirrored at the abstracted level by
+    {!Configuration.fallback}. *)
+
 val observed_channels : Structure.selection -> Spi.Ids.Channel_id.Set.t
 
 val map_channels :

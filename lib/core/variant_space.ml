@@ -110,8 +110,9 @@ let to_choice assignment iid =
   | None ->
     raise
       (Flatten.Flatten_error
-         (Format.asprintf "no cluster assigned for interface %a"
-            I.Interface_id.pp iid))
+         (Diagnostic.msgf
+            ~subject:(I.Interface_id.to_string iid)
+            "no cluster assigned for interface %a" I.Interface_id.pp iid))
 
 let pp_assignment ppf assignment =
   Format.pp_print_list

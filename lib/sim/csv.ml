@@ -63,6 +63,50 @@ let trace_to_string (result : Engine.result) =
               (moved_detail firing.Spi.Semantics.consumed)
               (moved_detail firing.Spi.Semantics.produced);
           ]
+        | Trace.Faulted { time; fault } ->
+          let subject, mode, detail =
+            match fault with
+            | Fault.Token_dropped { channel; token }
+            | Fault.Token_corrupted { channel; token }
+            | Fault.Token_duplicated { channel; token } ->
+              ( I.Channel_id.to_string channel,
+                "",
+                Format.asprintf "%a" Spi.Token.pp token )
+            | Fault.Transient_failure { process; mode; retry; backoff } ->
+              ( I.Process_id.to_string process,
+                I.Mode_id.to_string mode,
+                Format.sprintf "retry=%d;backoff=%d" retry backoff )
+            | Fault.Retries_exhausted { process; mode } ->
+              (I.Process_id.to_string process, I.Mode_id.to_string mode, "")
+            | Fault.Crashed { process } ->
+              (I.Process_id.to_string process, "", "")
+            | Fault.Latency_overrun { process; mode; extra } ->
+              ( I.Process_id.to_string process,
+                I.Mode_id.to_string mode,
+                Format.sprintf "extra=%d" extra )
+            | Fault.Reconfiguration_failed { process; target; latency } ->
+              ( I.Process_id.to_string process,
+                "",
+                Format.sprintf "target=%s;latency=%d"
+                  (I.Config_id.to_string target)
+                  latency )
+            | Fault.Degraded { process; from_; to_; latency } ->
+              ( I.Process_id.to_string process,
+                "",
+                Format.sprintf "from=%s;to=%s;latency=%d"
+                  (match from_ with
+                  | None -> ""
+                  | Some c -> I.Config_id.to_string c)
+                  (I.Config_id.to_string to_)
+                  latency )
+          in
+          [
+            string_of_int time;
+            "fault:" ^ Fault.event_kind fault;
+            subject;
+            mode;
+            detail;
+          ]
         | Trace.Quiescent { time } ->
           [ string_of_int time; "quiescent"; ""; ""; "" ]
       in
@@ -77,7 +121,7 @@ let process_stats_to_string model result =
     (row
        [
          "process"; "firings"; "busy_time"; "utilization"; "reconfigurations";
-         "reconfiguration_time";
+         "reconfiguration_time"; "retries"; "degraded";
        ]);
   List.iter
     (fun (p : Stats.process_stats) ->
@@ -90,6 +134,8 @@ let process_stats_to_string model result =
              Format.sprintf "%.4f" p.Stats.utilization;
              string_of_int p.Stats.reconfigurations;
              string_of_int p.Stats.reconfiguration_time;
+             string_of_int p.Stats.retries;
+             (if p.Stats.degraded then "yes" else "no");
            ]))
     stats.Stats.processes;
   Buffer.contents buf

@@ -28,6 +28,9 @@ let pick policy interval =
 type event =
   | Inject of I.Channel_id.t * Spi.Token.t
   | Complete of completion
+  | Recover of I.Process_id.t
+      (** end of a fault backoff or forced-reconfiguration pause *)
+  | Crash of I.Process_id.t  (** scripted permanent crash *)
 
 and completion = {
   proc : I.Process_id.t;
@@ -41,12 +44,16 @@ type process_state = {
   mutable busy : bool;
   mutable budget : int option;  (** [None] = unlimited *)
   mutable confcur : Variants.Configuration.confcur;
+  mutable allowed : I.Mode_id.Set.t option;
+      (** after degradation: only these modes may fire *)
+  mutable recover_at : int;
+      (** nonzero while a fault pause is pending: the instant it ends *)
   config : Variants.Configuration.t option;
 }
 
 let run ?(policy = Typical) ?(limits = default_limits)
     ?(overflow = Spi.Semantics.Reject) ?(configurations = []) ?(stimuli = [])
-    ?(firing_budget = []) model =
+    ?(firing_budget = []) ?faults model =
   let config_of pid =
     List.find_opt
       (fun c -> I.Process_id.equal (Variants.Configuration.process c) pid)
@@ -78,6 +85,7 @@ let run ?(policy = Typical) ?(limits = default_limits)
     | None ->
       if I.Channel_id.Set.is_empty (Spi.Process.inputs p) then Some 0 else None
   in
+  let fstate = Option.map Fault.start faults in
   let proc_states = Hashtbl.create 16 in
   List.iter
     (fun p ->
@@ -91,6 +99,8 @@ let run ?(policy = Typical) ?(limits = default_limits)
             (match config with
             | None -> None
             | Some c -> Variants.Configuration.start c);
+          allowed = None;
+          recover_at = 0;
           config;
         })
     (Spi.Model.processes model);
@@ -99,6 +109,12 @@ let run ?(policy = Typical) ?(limits = default_limits)
   List.iter
     (fun s -> Heap.push ~time:s.at (Inject (s.channel, s.token)) heap)
     stimuli;
+  (match fstate with
+  | None -> ()
+  | Some fs ->
+    List.iter
+      (fun (pid, at) -> Heap.push ~time:at (Crash pid) heap)
+      (Fault.crash_schedule fs));
   let state = ref (Spi.Semantics.initial model) in
   let trace = ref [] in
   let emit e = trace := e :: !trace in
@@ -106,6 +122,99 @@ let run ?(policy = Typical) ?(limits = default_limits)
   let reconf_time = ref 0 in
   let choose_rate = pick policy in
   let processes = Spi.Model.processes model in
+  let process_crashed pid =
+    match fstate with Some fs -> Fault.crashed fs pid | None -> false
+  in
+  (* First enabled activation rule whose target survives the degradation
+     mask. *)
+  let enabled_rule pid allowed =
+    match allowed with
+    | None -> Spi.Semantics.enabled_rule model !state pid
+    | Some ok -> (
+      match Spi.Model.find_process pid model with
+      | None -> None
+      | Some p ->
+        List.find_opt
+          (fun r -> I.Mode_id.Set.mem (Spi.Activation.target_mode r) ok)
+          (Spi.Activation.enabled
+             (Spi.Semantics.view !state)
+             (Spi.Process.activation p)))
+  in
+  (* Fault pause: the process is unavailable until [now + latency] (at
+     least one time unit so zero-latency faults cannot spin). *)
+  let back_off now pid latency =
+    let ps = pstate pid in
+    let until = now + max 1 latency in
+    ps.busy <- true;
+    ps.recover_at <- until;
+    Heap.push ~time:until (Recover pid) heap
+  in
+  (* Modes the process may still run once degraded to [target]: the
+     fallback configuration's own modes plus shared modes outside every
+     configuration. *)
+  let allowed_after_degradation pid conf target =
+    let entry_modes =
+      match Variants.Configuration.find target conf with
+      | Some e -> e.Variants.Configuration.modes
+      | None -> I.Mode_id.Set.empty
+    in
+    let shared =
+      match Spi.Model.find_process pid model with
+      | None -> I.Mode_id.Set.empty
+      | Some p ->
+        I.Mode_id.Set.filter
+          (fun mid ->
+            Option.is_none (Variants.Configuration.config_of_mode mid conf))
+          (Spi.Process.mode_ids p)
+    in
+    I.Mode_id.Set.union entry_modes shared
+  in
+  (* Watchdog: past the failure threshold, force a reconfiguration to
+     the fallback configuration (Def. 3's selection function decides the
+     fallback cluster; here its abstracted image decides the fallback
+     configuration), pay its t_conf, and restrict the process to the
+     fallback's modes. *)
+  let degrade now pid =
+    match fstate with
+    | None -> ()
+    | Some fs ->
+      if Fault.should_degrade fs pid then begin
+        match (Fault.plan_of fs).Fault.degrade with
+        | None -> ()
+        | Some d -> (
+          let ps = pstate pid in
+          let from_ = ps.confcur in
+          match d.Fault.fallback pid from_ with
+          | None -> ()
+          | Some target
+            when (match from_ with
+                 | Some cur -> not (I.Config_id.equal cur target)
+                 | None -> true) -> (
+            let latency =
+              match ps.config with
+              | Some conf -> Variants.Configuration.reconf_latency target conf
+              | None -> 0
+            in
+            reconf_time := !reconf_time + latency;
+            ps.confcur <- Some target;
+            (match ps.config with
+            | Some conf ->
+              ps.allowed <- Some (allowed_after_degradation pid conf target)
+            | None -> ());
+            Fault.mark_degraded fs pid;
+            emit
+              (Trace.Faulted
+                 {
+                   time = now;
+                   fault = Fault.Degraded { process = pid; from_; to_ = target; latency };
+                 });
+            List.iter
+              (fun (cid, tok) -> Heap.push ~time:now (Inject (cid, tok)) heap)
+              (d.Fault.recovery_stimuli pid target);
+            back_off now pid latency)
+          | Some _ -> ())
+      end
+  in
   (* One scheduling sweep: start every idle process whose activation is
      enabled.  Consumption can only disable other processes, never
      enable them, so a single pass per event batch suffices; newly
@@ -116,52 +225,161 @@ let run ?(policy = Typical) ?(limits = default_limits)
       (fun p ->
         let pid = Spi.Process.id p in
         let ps = pstate pid in
-        let may_fire = (not ps.busy) && ps.budget <> Some 0 in
+        let may_fire =
+          (not ps.busy) && ps.budget <> Some 0 && not (process_crashed pid)
+        in
         if may_fire then
-          match Spi.Semantics.enabled_rule model !state pid with
+          match enabled_rule pid ps.allowed with
           | None -> ()
           | Some rule -> (
             match Spi.Process.find_mode (Spi.Activation.target_mode rule) p with
             | None -> ()
-            | Some mode ->
-              let reconfiguration =
-                match ps.config with
-                | None -> None
-                | Some conf -> (
-                  match
-                    Variants.Configuration.on_activation conf ps.confcur
-                      (Spi.Mode.id mode)
-                  with
-                  | Variants.Configuration.Stay, confcur ->
-                    ps.confcur <- confcur;
-                    None
-                  | ( Variants.Configuration.Reconfigure { target; latency },
-                      confcur ) ->
-                    ps.confcur <- confcur;
-                    Some (target, latency))
+            | Some mode -> (
+              let mid = Spi.Mode.id mode in
+              (* Configuration transition this activation would take —
+                 committed only if the firing actually starts. *)
+              let transition =
+                Option.map
+                  (fun conf ->
+                    Variants.Configuration.on_activation conf ps.confcur mid)
+                  ps.config
               in
-              let state', consumed =
-                Spi.Semantics.consume ~choose_rate mode !state
+              let aborted_reconf =
+                match (transition, fstate) with
+                | ( Some (Variants.Configuration.Reconfigure { target; latency }, _),
+                    Some fs )
+                  when Fault.reconf_fails fs ~time:now pid ->
+                  Some (target, latency)
+                | _ -> None
               in
-              state := state';
-              let payload = Spi.Semantics.inherited_payload mode consumed in
-              let reconf_latency =
-                match reconfiguration with
-                | None -> 0
-                | Some (_, latency) -> latency
-              in
-              reconf_time := !reconf_time + reconf_latency;
-              let latency = reconf_latency + pick policy (Spi.Mode.latency mode) in
-              ps.busy <- true;
-              ps.budget <- Option.map (fun n -> n - 1) ps.budget;
-              incr firings;
-              emit
-                (Trace.Started
-                   { time = now; process = pid; mode = Spi.Mode.id mode; reconfiguration });
-              Heap.push ~time:(now + latency)
-                (Complete { proc = pid; mode; started_at = now; payload; consumed })
-                heap))
+              match aborted_reconf with
+              | Some (target, latency) ->
+                (* the switch aborts after paying t_conf; confcur keeps
+                   its old value and the mode does not execute *)
+                reconf_time := !reconf_time + latency;
+                emit
+                  (Trace.Faulted
+                     {
+                       time = now;
+                       fault =
+                         Fault.Reconfiguration_failed
+                           { process = pid; target; latency };
+                     });
+                (match fstate with
+                | Some fs -> Fault.note_failure fs pid
+                | None -> ());
+                back_off now pid latency;
+                degrade now pid
+              | None -> (
+                let attempt =
+                  match fstate with
+                  | None -> Fault.Proceed { overrun = None }
+                  | Some fs -> Fault.on_attempt fs ~time:now pid mid
+                in
+                match attempt with
+                | Fault.Retry { retry; backoff } ->
+                  emit
+                    (Trace.Faulted
+                       {
+                         time = now;
+                         fault =
+                           Fault.Transient_failure
+                             { process = pid; mode = mid; retry; backoff };
+                       });
+                  back_off now pid backoff;
+                  degrade now pid
+                | Fault.Exhausted ->
+                  emit
+                    (Trace.Faulted
+                       {
+                         time = now;
+                         fault = Fault.Retries_exhausted { process = pid; mode = mid };
+                       });
+                  degrade now pid
+                | Fault.Proceed { overrun } ->
+                  let reconfiguration =
+                    match transition with
+                    | None -> None
+                    | Some (Variants.Configuration.Stay, confcur) ->
+                      ps.confcur <- confcur;
+                      None
+                    | Some
+                        ( Variants.Configuration.Reconfigure { target; latency },
+                          confcur ) ->
+                      ps.confcur <- confcur;
+                      Some (target, latency)
+                  in
+                  let state', consumed =
+                    Spi.Semantics.consume ~choose_rate mode !state
+                  in
+                  state := state';
+                  let payload = Spi.Semantics.inherited_payload mode consumed in
+                  let reconf_latency =
+                    match reconfiguration with
+                    | None -> 0
+                    | Some (_, latency) -> latency
+                  in
+                  reconf_time := !reconf_time + reconf_latency;
+                  let extra = Option.value ~default:0 overrun in
+                  let latency =
+                    reconf_latency + pick policy (Spi.Mode.latency mode) + extra
+                  in
+                  ps.busy <- true;
+                  ps.budget <- Option.map (fun n -> n - 1) ps.budget;
+                  incr firings;
+                  emit
+                    (Trace.Started
+                       { time = now; process = pid; mode = mid; reconfiguration });
+                  (match overrun with
+                  | Some extra ->
+                    emit
+                      (Trace.Faulted
+                         {
+                           time = now;
+                           fault =
+                             Fault.Latency_overrun
+                               { process = pid; mode = mid; extra };
+                         })
+                  | None -> ());
+                  Heap.push ~time:(now + latency)
+                    (Complete
+                       { proc = pid; mode; started_at = now; payload; consumed })
+                    heap))))
       processes
+  in
+  let inject_token time cid tok =
+    let outcome =
+      match fstate with
+      | None -> Fault.Deliver
+      | Some fs -> Fault.on_token fs ~time cid tok
+    in
+    let deliver tok =
+      state := Spi.Semantics.inject ~overflow model cid tok !state;
+      emit (Trace.Injected { time; channel = cid; token = tok })
+    in
+    match outcome with
+    | Fault.Deliver -> deliver tok
+    | Fault.Dropped ->
+      emit
+        (Trace.Faulted
+           { time; fault = Fault.Token_dropped { channel = cid; token = tok } })
+    | Fault.Corrupted tok' ->
+      emit
+        (Trace.Faulted
+           {
+             time;
+             fault = Fault.Token_corrupted { channel = cid; token = tok' };
+           });
+      deliver tok'
+    | Fault.Duplicated ->
+      emit
+        (Trace.Faulted
+           {
+             time;
+             fault = Fault.Token_duplicated { channel = cid; token = tok };
+           });
+      deliver tok;
+      deliver tok
   in
   let now = ref 0 in
   let outcome = ref Quiescent in
@@ -178,9 +396,7 @@ let run ?(policy = Typical) ?(limits = default_limits)
       | Some (time, event) ->
         now := time;
         (match event with
-        | Inject (cid, tok) ->
-          state := Spi.Semantics.inject ~overflow model cid tok !state;
-          emit (Trace.Injected { time; channel = cid; token = tok })
+        | Inject (cid, tok) -> inject_token time cid tok
         | Complete { proc; mode; started_at; payload; consumed } ->
           let state', produced =
             Spi.Semantics.produce ~overflow ~choose_rate model mode
@@ -188,11 +404,27 @@ let run ?(policy = Typical) ?(limits = default_limits)
           in
           state := state';
           let ps = pstate proc in
-          ps.busy <- false;
+          if ps.recover_at = 0 then ps.busy <- false;
           let firing =
             { Spi.Semantics.process = proc; mode = Spi.Mode.id mode; consumed; produced }
           in
-          emit (Trace.Completed { time; started_at; process = proc; firing }));
+          emit (Trace.Completed { time; started_at; process = proc; firing })
+        | Recover pid ->
+          let ps = pstate pid in
+          if ps.recover_at <= time then begin
+            ps.recover_at <- 0;
+            ps.busy <- false
+          end
+        | Crash pid -> (
+          match fstate with
+          | Some fs when not (Fault.crashed fs pid) ->
+            Fault.mark_crashed fs pid;
+            Fault.note_failure fs pid;
+            emit
+              (Trace.Faulted
+                 { time; fault = Fault.Crashed { process = pid } });
+            degrade time pid
+          | Some _ | None -> ()));
         try_start time;
         loop ()
   in

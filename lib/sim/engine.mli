@@ -51,9 +51,23 @@ val run :
   ?configurations:Variants.Configuration.t list ->
   ?stimuli:stimulus list ->
   ?firing_budget:(Spi.Ids.Process_id.t * int) list ->
+  ?faults:Fault.plan ->
   Spi.Model.t ->
   result
 (** Runs the model to quiescence or a limit.
+
+    [faults] attaches a deterministic fault-injection plan
+    (see {!Fault}): channel faults filter environment injections, process
+    faults fail firing attempts before consumption (retry with backoff
+    until the budget runs out), scripted crashes silence a process
+    permanently, and reconfiguration failures pay [t_conf] without
+    switching.  When the plan carries a degradation policy, a watchdog
+    counts failures per process and — at the threshold — forces a
+    reconfiguration to the fallback configuration: its [t_conf] is added
+    to [reconfiguration_time], the process is thereafter restricted to
+    the fallback configuration's modes (plus modes outside every
+    configuration), and a {!Fault.Degraded} event is recorded.  The same
+    plan always yields the same trace.
 
     [overflow] (default {!Spi.Semantics.Reject}) decides what happens
     when a bounded queue is written while full: [Reject] propagates

@@ -1,0 +1,327 @@
+module I = Spi.Ids
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix64: tiny, fast, and fully determined by the seed.           *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable s : int64 }
+
+let rng seed = { s = Int64.of_int seed }
+
+let next r =
+  r.s <- Int64.add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_float r =
+  (* 53 high bits into [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next r) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let rng_int r ~bound =
+  if bound <= 0 then invalid_arg "Fault.rng_int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int bound))
+
+(* ------------------------------------------------------------------ *)
+(* Triggers.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type trigger =
+  | Never
+  | Probability of float
+  | Windows of (int * int) list
+
+let fires r ~time = function
+  | Never -> false
+  | Probability p -> rng_float r < p
+  | Windows ws -> List.exists (fun (a, b) -> time >= a && time < b) ws
+
+(* ------------------------------------------------------------------ *)
+(* Plans.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token_fault = Drop | Corrupt | Duplicate
+
+type channel_plan = {
+  channel : I.Channel_id.t;
+  token_fault : token_fault;
+  trigger : trigger;
+}
+
+type process_plan = {
+  process : I.Process_id.t;
+  transient : trigger;
+  max_retries : int;
+  backoff : int;
+  crash_at : int option;
+  overrun : (trigger * int) option;
+  reconf_failure : trigger;
+}
+
+let on_channel channel token_fault trigger = { channel; token_fault; trigger }
+
+let on_process ?(transient = Never) ?(max_retries = 3) ?(backoff = 1) ?crash_at
+    ?overrun ?(reconf_failure = Never) process =
+  if max_retries < 0 then invalid_arg "Fault.on_process: negative max_retries";
+  if backoff < 0 then invalid_arg "Fault.on_process: negative backoff";
+  (match crash_at with
+  | Some t when t < 0 -> invalid_arg "Fault.on_process: negative crash_at"
+  | Some _ | None -> ());
+  { process; transient; max_retries; backoff; crash_at; overrun; reconf_failure }
+
+type degradation = {
+  failure_threshold : int;
+  fallback : I.Process_id.t -> I.Config_id.t option -> I.Config_id.t option;
+  recovery_stimuli :
+    I.Process_id.t -> I.Config_id.t -> (I.Channel_id.t * Spi.Token.t) list;
+}
+
+let degradation ?(failure_threshold = 1) ?(recovery_stimuli = fun _ _ -> [])
+    ~fallback () =
+  if failure_threshold < 1 then
+    invalid_arg "Fault.degradation: failure_threshold < 1";
+  { failure_threshold; fallback; recovery_stimuli }
+
+let fallback_of_configurations configurations pid cur =
+  match
+    List.find_opt
+      (fun c -> I.Process_id.equal (Variants.Configuration.process c) pid)
+      configurations
+  with
+  | None -> None
+  | Some conf -> Variants.Configuration.fallback ?avoid:cur conf
+
+type plan = {
+  seed : int;
+  channels : channel_plan list;
+  processes : process_plan list;
+  degrade : degradation option;
+}
+
+let plan ?(channels = []) ?(processes = []) ?degrade ~seed () =
+  { seed; channels; processes; degrade }
+
+(* ------------------------------------------------------------------ *)
+(* Events.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Token_dropped of { channel : I.Channel_id.t; token : Spi.Token.t }
+  | Token_corrupted of { channel : I.Channel_id.t; token : Spi.Token.t }
+  | Token_duplicated of { channel : I.Channel_id.t; token : Spi.Token.t }
+  | Transient_failure of {
+      process : I.Process_id.t;
+      mode : I.Mode_id.t;
+      retry : int;
+      backoff : int;
+    }
+  | Retries_exhausted of { process : I.Process_id.t; mode : I.Mode_id.t }
+  | Crashed of { process : I.Process_id.t }
+  | Latency_overrun of {
+      process : I.Process_id.t;
+      mode : I.Mode_id.t;
+      extra : int;
+    }
+  | Reconfiguration_failed of {
+      process : I.Process_id.t;
+      target : I.Config_id.t;
+      latency : int;
+    }
+  | Degraded of {
+      process : I.Process_id.t;
+      from_ : I.Config_id.t option;
+      to_ : I.Config_id.t;
+      latency : int;
+    }
+
+let event_kind = function
+  | Token_dropped _ -> "token_dropped"
+  | Token_corrupted _ -> "token_corrupted"
+  | Token_duplicated _ -> "token_duplicated"
+  | Transient_failure _ -> "transient_failure"
+  | Retries_exhausted _ -> "retries_exhausted"
+  | Crashed _ -> "crashed"
+  | Latency_overrun _ -> "latency_overrun"
+  | Reconfiguration_failed _ -> "reconfiguration_failed"
+  | Degraded _ -> "degraded"
+
+let pp_event ppf = function
+  | Token_dropped { channel; token } ->
+    Format.fprintf ppf "dropped %a on %a" Spi.Token.pp token I.Channel_id.pp
+      channel
+  | Token_corrupted { channel; token } ->
+    Format.fprintf ppf "corrupted to %a on %a" Spi.Token.pp token
+      I.Channel_id.pp channel
+  | Token_duplicated { channel; token } ->
+    Format.fprintf ppf "duplicated %a on %a" Spi.Token.pp token I.Channel_id.pp
+      channel
+  | Transient_failure { process; mode; retry; backoff } ->
+    Format.fprintf ppf "%a failed in %a (retry %d, backoff %d)" I.Process_id.pp
+      process I.Mode_id.pp mode retry backoff
+  | Retries_exhausted { process; mode } ->
+    Format.fprintf ppf "%a exhausted retries in %a" I.Process_id.pp process
+      I.Mode_id.pp mode
+  | Crashed { process } ->
+    Format.fprintf ppf "%a crashed" I.Process_id.pp process
+  | Latency_overrun { process; mode; extra } ->
+    Format.fprintf ppf "%a overran in %a (+%d)" I.Process_id.pp process
+      I.Mode_id.pp mode extra
+  | Reconfiguration_failed { process; target; latency } ->
+    Format.fprintf ppf "%a failed to reconfigure to %a (paid %d)"
+      I.Process_id.pp process I.Config_id.pp target latency
+  | Degraded { process; from_; to_; latency } ->
+    Format.fprintf ppf "%a degraded %s-> %a (+%d)" I.Process_id.pp process
+      (match from_ with
+      | None -> ""
+      | Some c -> Format.asprintf "from %a " I.Config_id.pp c)
+      I.Config_id.pp to_ latency
+
+let corrupt_tag = Spi.Tag.make "corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = {
+  pplan : process_plan;
+  mutable retries : int;
+  mutable fails : int;
+  mutable dead : bool;
+  mutable degraded : bool;
+}
+
+type state = {
+  the_plan : plan;
+  r : rng;
+  procs : (string, pstate) Hashtbl.t;
+  chans : (string, channel_plan) Hashtbl.t;
+}
+
+let start the_plan =
+  let procs = Hashtbl.create 8 in
+  List.iter
+    (fun pplan ->
+      Hashtbl.replace procs
+        (I.Process_id.to_string pplan.process)
+        { pplan; retries = 0; fails = 0; dead = false; degraded = false })
+    the_plan.processes;
+  let chans = Hashtbl.create 8 in
+  List.iter
+    (fun cp -> Hashtbl.replace chans (I.Channel_id.to_string cp.channel) cp)
+    the_plan.channels;
+  { the_plan; r = rng the_plan.seed; procs; chans }
+
+let plan_of t = t.the_plan
+let find_proc t pid = Hashtbl.find_opt t.procs (I.Process_id.to_string pid)
+
+(* A process that fails without a scripted plan (only possible through
+   external bookkeeping) still needs somewhere to count. *)
+let force_proc t pid =
+  match find_proc t pid with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      {
+        pplan = on_process pid;
+        retries = 0;
+        fails = 0;
+        dead = false;
+        degraded = false;
+      }
+    in
+    Hashtbl.replace t.procs (I.Process_id.to_string pid) ps;
+    ps
+
+type token_outcome =
+  | Deliver
+  | Dropped
+  | Corrupted of Spi.Token.t
+  | Duplicated
+
+let corrupt t token =
+  (* content information (the tag set) is destroyed; the payload is
+     scrambled so observers can tell the frame is damaged *)
+  let payload =
+    Option.map (fun p -> p lxor (1 + rng_int t.r ~bound:0xFFFF)) (Spi.Token.payload token)
+  in
+  Spi.Token.make ~tags:(Spi.Tag.Set.singleton corrupt_tag) ?payload ()
+
+let on_token t ~time cid token =
+  match Hashtbl.find_opt t.chans (I.Channel_id.to_string cid) with
+  | None -> Deliver
+  | Some cp ->
+    if not (fires t.r ~time cp.trigger) then Deliver
+    else (
+      match cp.token_fault with
+      | Drop -> Dropped
+      | Corrupt -> Corrupted (corrupt t token)
+      | Duplicate -> Duplicated)
+
+type attempt =
+  | Proceed of { overrun : int option }
+  | Retry of { retry : int; backoff : int }
+  | Exhausted
+
+let overrun_of t ~time ps =
+  match ps.pplan.overrun with
+  | None -> None
+  | Some (trigger, extra) ->
+    if fires t.r ~time trigger then Some extra else None
+
+let on_attempt t ~time pid _mid =
+  match find_proc t pid with
+  | None -> Proceed { overrun = None }
+  | Some ps ->
+    if fires t.r ~time ps.pplan.transient then
+      if ps.retries < ps.pplan.max_retries then begin
+        ps.retries <- ps.retries + 1;
+        ps.fails <- ps.fails + 1;
+        Retry { retry = ps.retries; backoff = ps.pplan.backoff }
+      end
+      else begin
+        ps.dead <- true;
+        ps.fails <- ps.fails + 1;
+        Exhausted
+      end
+    else Proceed { overrun = overrun_of t ~time ps }
+
+let reconf_fails t ~time pid =
+  match find_proc t pid with
+  | None -> false
+  | Some ps -> fires t.r ~time ps.pplan.reconf_failure
+
+let crashed t pid =
+  match find_proc t pid with None -> false | Some ps -> ps.dead
+
+let mark_crashed t pid = (force_proc t pid).dead <- true
+
+let crash_schedule t =
+  List.filter_map
+    (fun pp -> Option.map (fun at -> (pp.process, at)) pp.crash_at)
+    t.the_plan.processes
+
+let note_failure t pid =
+  let ps = force_proc t pid in
+  ps.fails <- ps.fails + 1
+
+let failures t pid =
+  match find_proc t pid with None -> 0 | Some ps -> ps.fails
+
+let retries_used t pid =
+  match find_proc t pid with None -> 0 | Some ps -> ps.retries
+
+let should_degrade t pid =
+  match t.the_plan.degrade with
+  | None -> false
+  | Some d -> (
+    match find_proc t pid with
+    | None -> false
+    | Some ps -> (not ps.degraded) && ps.fails >= d.failure_threshold)
+
+let mark_degraded t pid =
+  let ps = force_proc t pid in
+  ps.degraded <- true;
+  ps.dead <- false;
+  ps.fails <- 0

@@ -79,6 +79,61 @@ let entry_json = function
         field "consumed" (arr (List.map moved_json firing.Spi.Semantics.consumed));
         field "produced" (arr (List.map moved_json firing.Spi.Semantics.produced));
       ]
+  | Trace.Faulted { time; fault } ->
+    let base =
+      [
+        field "kind" (str "fault");
+        field "time" (string_of_int time);
+        field "fault" (str (Fault.event_kind fault));
+      ]
+    in
+    let detail =
+      match fault with
+      | Fault.Token_dropped { channel; token }
+      | Fault.Token_corrupted { channel; token }
+      | Fault.Token_duplicated { channel; token } ->
+        [
+          field "channel" (str (I.Channel_id.to_string channel));
+          field "token" (token_json token);
+        ]
+      | Fault.Transient_failure { process; mode; retry; backoff } ->
+        [
+          field "process" (str (I.Process_id.to_string process));
+          field "mode" (str (I.Mode_id.to_string mode));
+          field "retry" (string_of_int retry);
+          field "backoff" (string_of_int backoff);
+        ]
+      | Fault.Retries_exhausted { process; mode } ->
+        [
+          field "process" (str (I.Process_id.to_string process));
+          field "mode" (str (I.Mode_id.to_string mode));
+        ]
+      | Fault.Crashed { process } ->
+        [ field "process" (str (I.Process_id.to_string process)) ]
+      | Fault.Latency_overrun { process; mode; extra } ->
+        [
+          field "process" (str (I.Process_id.to_string process));
+          field "mode" (str (I.Mode_id.to_string mode));
+          field "extra" (string_of_int extra);
+        ]
+      | Fault.Reconfiguration_failed { process; target; latency } ->
+        [
+          field "process" (str (I.Process_id.to_string process));
+          field "target" (str (I.Config_id.to_string target));
+          field "latency" (string_of_int latency);
+        ]
+      | Fault.Degraded { process; from_; to_; latency } ->
+        [
+          field "process" (str (I.Process_id.to_string process));
+          field "from"
+            (match from_ with
+            | None -> "null"
+            | Some c -> str (I.Config_id.to_string c));
+          field "to" (str (I.Config_id.to_string to_));
+          field "latency" (string_of_int latency);
+        ]
+    in
+    obj (base @ detail)
   | Trace.Quiescent { time } ->
     obj [ field "kind" (str "quiescent"); field "time" (string_of_int time) ]
 
@@ -89,6 +144,19 @@ let outcome_string = function
 
 let result_to_string model (result : Engine.result) =
   let stats = Stats.of_result model result in
+  let fault_summary (f : Stats.fault_stats) =
+    obj
+      [
+        field "token_faults" (string_of_int f.Stats.token_faults);
+        field "transient_failures" (string_of_int f.Stats.transient_failures);
+        field "retries_exhausted" (string_of_int f.Stats.retries_exhausted);
+        field "crashes" (string_of_int f.Stats.crashes);
+        field "latency_overruns" (string_of_int f.Stats.latency_overruns);
+        field "reconfiguration_failures"
+          (string_of_int f.Stats.reconfiguration_failures);
+        field "degradations" (string_of_int f.Stats.degradations);
+      ]
+  in
   let summary =
     obj
       [
@@ -97,6 +165,7 @@ let result_to_string model (result : Engine.result) =
         field "reconfiguration_time"
           (string_of_int result.Engine.reconfiguration_time);
         field "outcome" (str (outcome_string result.Engine.outcome));
+        field "faults" (fault_summary stats.Stats.faults);
       ]
   in
   let processes =

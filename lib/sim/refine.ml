@@ -25,7 +25,7 @@ let samples (result : Engine.result) pid =
         when I.Process_id.equal process pid ->
         Hashtbl.replace reconf time latency
       | Trace.Started _ | Trace.Injected _ | Trace.Completed _
-      | Trace.Quiescent _ -> ())
+      | Trace.Faulted _ | Trace.Quiescent _ -> ())
     result.Engine.trace;
   List.filter_map
     (function
@@ -48,7 +48,7 @@ let samples (result : Engine.result) pid =
                 firing.Spi.Semantics.produced;
           }
       | Trace.Completed _ | Trace.Injected _ | Trace.Started _
-      | Trace.Quiescent _ -> None)
+      | Trace.Faulted _ | Trace.Quiescent _ -> None)
     result.Engine.trace
 
 let hull_of_counts entries =

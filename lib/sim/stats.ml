@@ -7,6 +7,8 @@ type process_stats = {
   utilization : float;
   reconfigurations : int;
   reconfiguration_time : int;
+  retries : int;
+  degraded : bool;
 }
 
 type channel_stats = {
@@ -16,11 +18,33 @@ type channel_stats = {
   final_occupancy : int;
 }
 
+type fault_stats = {
+  token_faults : int;
+  transient_failures : int;
+  retries_exhausted : int;
+  crashes : int;
+  latency_overruns : int;
+  reconfiguration_failures : int;
+  degradations : int;
+}
+
+let no_faults =
+  {
+    token_faults = 0;
+    transient_failures = 0;
+    retries_exhausted = 0;
+    crashes = 0;
+    latency_overruns = 0;
+    reconfiguration_failures = 0;
+    degradations = 0;
+  }
+
 type t = {
   processes : process_stats list;
   channels : channel_stats list;
   makespan : int;
   total_firings : int;
+  faults : fault_stats;
 }
 
 let of_result model (result : Engine.result) =
@@ -40,6 +64,8 @@ let of_result model (result : Engine.result) =
     Hashtbl.replace events key
       ((time, delta) :: Option.value ~default:[] (Hashtbl.find_opt events key))
   in
+  let retries = Hashtbl.create 16 and degraded_procs = Hashtbl.create 16 in
+  let fstats = ref no_faults in
   List.iter
     (fun entry ->
       match entry with
@@ -59,6 +85,30 @@ let of_result model (result : Engine.result) =
         List.iter
           (fun (cid, toks) -> push_event cid time (List.length toks))
           firing.Spi.Semantics.produced
+      | Trace.Faulted { fault; _ } ->
+        (* corrupt/duplicate deliveries are followed by their own
+           Injected entries, so channel occupancy needs nothing here *)
+        let f = !fstats in
+        fstats :=
+          (match fault with
+          | Fault.Token_dropped _ | Fault.Token_corrupted _
+          | Fault.Token_duplicated _ ->
+            { f with token_faults = f.token_faults + 1 }
+          | Fault.Transient_failure { process; _ } ->
+            bump retries process 1;
+            { f with transient_failures = f.transient_failures + 1 }
+          | Fault.Retries_exhausted _ ->
+            { f with retries_exhausted = f.retries_exhausted + 1 }
+          | Fault.Crashed _ -> { f with crashes = f.crashes + 1 }
+          | Fault.Latency_overrun _ ->
+            { f with latency_overruns = f.latency_overruns + 1 }
+          | Fault.Reconfiguration_failed _ ->
+            { f with
+              reconfiguration_failures = f.reconfiguration_failures + 1
+            }
+          | Fault.Degraded { process; _ } ->
+            Hashtbl.replace degraded_procs (I.Process_id.to_string process) ();
+            { f with degradations = f.degradations + 1 })
       | Trace.Quiescent _ -> ())
     trace;
   let find table pid =
@@ -78,6 +128,8 @@ let of_result model (result : Engine.result) =
              else float_of_int busy_time /. float_of_int makespan);
           reconfigurations = find reconfs pid;
           reconfiguration_time = find reconf_time pid;
+          retries = find retries pid;
+          degraded = Hashtbl.mem degraded_procs (I.Process_id.to_string pid);
         })
       (Spi.Model.processes model)
   in
@@ -128,7 +180,13 @@ let of_result model (result : Engine.result) =
         })
       (Spi.Model.channels model)
   in
-  { processes; channels; makespan; total_firings = result.Engine.firings }
+  {
+    processes;
+    channels;
+    makespan;
+    total_firings = result.Engine.firings;
+    faults = !fstats;
+  }
 
 let process pid t =
   List.find_opt (fun p -> I.Process_id.equal p.proc pid) t.processes
@@ -136,13 +194,28 @@ let process pid t =
 let channel cid t =
   List.find_opt (fun c -> I.Channel_id.equal c.chan cid) t.channels
 
+let total_faults f =
+  f.token_faults + f.transient_failures + f.retries_exhausted + f.crashes
+  + f.latency_overruns + f.reconfiguration_failures + f.degradations
+
+let pp_fault_stats ppf f =
+  Format.fprintf ppf
+    "faults: %d token, %d transient (%d exhausted), %d crashes, %d overruns, \
+     %d reconf failures, %d degradations"
+    f.token_faults f.transient_failures f.retries_exhausted f.crashes
+    f.latency_overruns f.reconfiguration_failures f.degradations
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>makespan %d, %d firings@," t.makespan t.total_firings;
+  if total_faults t.faults > 0 then
+    Format.fprintf ppf "%a@," pp_fault_stats t.faults;
   List.iter
     (fun p ->
-      Format.fprintf ppf "%a: %d firings, busy %d (%.0f%%), %d reconfs (+%d)@,"
+      Format.fprintf ppf "%a: %d firings, busy %d (%.0f%%), %d reconfs (+%d)%s%s@,"
         I.Process_id.pp p.proc p.firings p.busy_time (100. *. p.utilization)
-        p.reconfigurations p.reconfiguration_time)
+        p.reconfigurations p.reconfiguration_time
+        (if p.retries > 0 then Format.sprintf ", %d retries" p.retries else "")
+        (if p.degraded then " [degraded]" else ""))
     t.processes;
   List.iter
     (fun c ->

@@ -13,6 +13,8 @@ type process_stats = {
   utilization : float;  (** busy time / simulated end time *)
   reconfigurations : int;
   reconfiguration_time : int;
+  retries : int;  (** transient-fault retry attempts taken *)
+  degraded : bool;  (** the watchdog forced this process to its fallback *)
 }
 
 type channel_stats = {
@@ -22,14 +24,33 @@ type channel_stats = {
   final_occupancy : int;
 }
 
+(** Counts of fault events observed in the trace, by kind. *)
+type fault_stats = {
+  token_faults : int;  (** dropped + corrupted + duplicated tokens *)
+  transient_failures : int;
+  retries_exhausted : int;
+  crashes : int;
+  latency_overruns : int;
+  reconfiguration_failures : int;
+  degradations : int;
+}
+
+val no_faults : fault_stats
+(** All counters zero — what a fault-free run reports. *)
+
 type t = {
   processes : process_stats list;
   channels : channel_stats list;
   makespan : int;
   total_firings : int;
+  faults : fault_stats;
 }
 
 val of_result : Spi.Model.t -> Engine.result -> t
 val process : Spi.Ids.Process_id.t -> t -> process_stats option
 val channel : Spi.Ids.Channel_id.t -> t -> channel_stats option
+
+val total_faults : fault_stats -> int
+
+val pp_fault_stats : Format.formatter -> fault_stats -> unit
 val pp : Format.formatter -> t -> unit

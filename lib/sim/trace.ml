@@ -12,6 +12,7 @@ type entry =
       process : Spi.Ids.Process_id.t;
       firing : Spi.Semantics.firing;
     }
+  | Faulted of { time : int; fault : Fault.event }
   | Quiescent of { time : int }
 
 type t = entry list
@@ -32,6 +33,8 @@ let pp_entry ppf = function
   | Completed { time; started_at; process; firing } ->
     Format.fprintf ppf "%5d done   %a (started %d): %a" time
       Spi.Ids.Process_id.pp process started_at Spi.Semantics.pp_firing firing
+  | Faulted { time; fault } ->
+    Format.fprintf ppf "%5d fault  %a" time Fault.pp_event fault
   | Quiescent { time } -> Format.fprintf ppf "%5d quiescent" time
 
 let pp ppf t =
@@ -46,14 +49,14 @@ let completions ?process t =
   List.filter
     (function
       | Completed { process = p; _ } -> matches_process process p
-      | Injected _ | Started _ | Quiescent _ -> false)
+      | Injected _ | Started _ | Faulted _ | Quiescent _ -> false)
     t
 
 let starts ?process t =
   List.filter
     (function
       | Started { process = p; _ } -> matches_process process p
-      | Injected _ | Completed _ | Quiescent _ -> false)
+      | Injected _ | Completed _ | Faulted _ | Quiescent _ -> false)
     t
 
 let reconfigurations t =
@@ -61,7 +64,23 @@ let reconfigurations t =
     (function
       | Started { time; process; reconfiguration = Some (config, latency); _ } ->
         Some (time, process, config, latency)
-      | Started _ | Injected _ | Completed _ | Quiescent _ -> None)
+      | Started _ | Injected _ | Completed _ | Faulted _ | Quiescent _ -> None)
+    t
+
+let faults t =
+  List.filter_map
+    (function
+      | Faulted { time; fault } -> Some (time, fault)
+      | Injected _ | Started _ | Completed _ | Quiescent _ -> None)
+    t
+
+let degradations t =
+  List.filter_map
+    (function
+      | Faulted
+          { time; fault = Fault.Degraded { process; from_; to_; latency } } ->
+        Some (time, process, from_, to_, latency)
+      | Faulted _ | Injected _ | Started _ | Completed _ | Quiescent _ -> None)
     t
 
 let tokens_produced_on channel t =
@@ -74,17 +93,19 @@ let tokens_produced_on channel t =
               List.map (fun tok -> (time, tok)) tokens
             else [])
           firing.Spi.Semantics.produced
-      | Injected _ | Started _ | Quiescent _ -> [])
+      | Injected _ | Started _ | Faulted _ | Quiescent _ -> [])
     t
 
 let entry_time = function
   | Injected { time; _ } | Started { time; _ } | Completed { time; _ }
-  | Quiescent { time } -> time
+  | Faulted { time; _ } | Quiescent { time } -> time
 
 let end_time t = List.fold_left (fun acc e -> max acc (entry_time e)) 0 t
 
 let firing_count t =
   List.length
     (List.filter
-       (function Completed _ -> true | Injected _ | Started _ | Quiescent _ -> false)
+       (function
+         | Completed _ -> true
+         | Injected _ | Started _ | Faulted _ | Quiescent _ -> false)
        t)

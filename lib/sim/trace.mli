@@ -20,6 +20,9 @@ type entry =
       process : Spi.Ids.Process_id.t;
       firing : Spi.Semantics.firing;
     }
+  | Faulted of { time : int; fault : Fault.event }
+      (** an injected fault fired, a retry/backoff was taken, or the
+          watchdog degraded a process to its fallback configuration *)
   | Quiescent of { time : int }
       (** no process activable and no pending event: simulation ended *)
 
@@ -35,6 +38,20 @@ val starts : ?process:Spi.Ids.Process_id.t -> t -> entry list
 val reconfigurations : t -> (int * Spi.Ids.Process_id.t * Spi.Ids.Config_id.t * int) list
 (** [(start_time, process, configuration, latency)] for every execution
     that triggered a reconfiguration. *)
+
+val faults : t -> (int * Fault.event) list
+(** Every fault event, chronologically. *)
+
+val degradations :
+  t ->
+  (int
+  * Spi.Ids.Process_id.t
+  * Spi.Ids.Config_id.t option
+  * Spi.Ids.Config_id.t
+  * int)
+  list
+(** [(time, process, from, to, t_conf)] for every watchdog-forced
+    fallback reconfiguration. *)
 
 val tokens_produced_on : Spi.Ids.Channel_id.t -> t -> (int * Spi.Token.t) list
 (** [(completion_time, token)] for every token put on the channel. *)

@@ -36,7 +36,7 @@ let stage_variants trace pid out_chan =
                 acc tokens)
             acc firing.Spi.Semantics.produced)
       | Sim.Trace.Completed _ | Sim.Trace.Injected _ | Sim.Trace.Started _
-      | Sim.Trace.Quiescent _ -> acc)
+      | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> acc)
     [] trace
 
 let check ?(stages = 2) (result : Sim.Engine.result) =
@@ -77,7 +77,7 @@ let check ?(stages = 2) (result : Sim.Engine.result) =
            | Sim.Trace.Injected { channel; _ } ->
              I.Channel_id.equal channel System.c_vin
            | Sim.Trace.Started _ | Sim.Trace.Completed _
-           | Sim.Trace.Quiescent _ -> false)
+           | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> false)
          trace)
   in
   let frames_in_list =
@@ -87,7 +87,7 @@ let check ?(stages = 2) (result : Sim.Engine.result) =
           when I.Channel_id.equal channel System.c_vin ->
           Option.map (fun image -> (image, time)) (Spi.Token.payload token)
         | Sim.Trace.Injected _ | Sim.Trace.Started _ | Sim.Trace.Completed _
-        | Sim.Trace.Quiescent _ -> None)
+        | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> None)
       trace
   in
   let frame_latencies =

@@ -32,6 +32,45 @@ let bursty_stream ?(start = 1) ~burst ~gap ~bursts () =
                token = Frames.frame ((b * burst) + i + 1);
              })))
 
+let degradation_policy (built : System.built) =
+  let fallback =
+    Sim.Fault.fallback_of_configurations built.System.configurations
+  in
+  let recovery _pid target =
+    match System.variant_of_config target with
+    | None -> []
+    | Some v ->
+      (* let the controller's own protocol perform the switch: valves
+         close, both stages acknowledge the fallback variant, valves
+         reopen *)
+      [
+        ( System.c_user,
+          Spi.Token.make
+            ~tags:(Spi.Tag.Set.singleton (Frames.variant_request_tag v))
+            () );
+      ]
+  in
+  Sim.Fault.degradation ~failure_threshold:2 ~recovery_stimuli:recovery
+    ~fallback ()
+
+let fault_plan ?(drop_probability = 0.02) ?(transient_probability = 0.05)
+    ?(max_retries = 2) ?(backoff = 2) ~seed (built : System.built) =
+  let channels =
+    [
+      Sim.Fault.on_channel System.c_vin Sim.Fault.Drop
+        (Sim.Fault.Probability drop_probability);
+    ]
+  in
+  let processes =
+    List.init built.System.params.System.stages (fun i ->
+        Sim.Fault.on_process
+          ~transient:(Sim.Fault.Probability transient_probability)
+          ~max_retries ~backoff
+          (System.stage_process (i + 1)))
+  in
+  Sim.Fault.plan ~channels ~processes ~degrade:(degradation_policy built)
+    ~seed ()
+
 let periodic_requests ~first ~every ~count ~variants =
   match variants with
   | [] -> invalid_arg "Scenario.periodic_requests: no variants"

@@ -21,6 +21,29 @@ val bursty_stream :
 (** [bursts] groups of [burst] back-to-back frames separated by [gap]
     idle time units — stresses queue high-water marks. *)
 
+val degradation_policy : System.built -> Sim.Fault.degradation
+(** The video system's watchdog policy: after two failures a stage is
+    degraded to its other variant configuration
+    ({!Sim.Fault.fallback_of_configurations}), and a user request for
+    the fallback variant is injected on [CUser] so the controller's own
+    switching protocol — valves closed, stages acknowledged, valves
+    reopened — completes the recovery. *)
+
+val fault_plan :
+  ?drop_probability:float ->
+  ?transient_probability:float ->
+  ?max_retries:int ->
+  ?backoff:int ->
+  seed:int ->
+  System.built ->
+  Sim.Fault.plan
+(** The standard fault campaign for one seed: frames lost on [CVin] with
+    [drop_probability] (default 0.02) and transient firing failures on
+    every stage with [transient_probability] (default 0.05), retried up
+    to [max_retries] (default 2) times with [backoff] (default 2) time
+    units each, under {!degradation_policy}.  The same seed reproduces
+    the same run exactly. *)
+
 val periodic_requests :
   first:int -> every:int -> count:int -> variants:string list ->
   Sim.Engine.stimulus list

@@ -56,6 +56,18 @@ let variant_of_mode mid =
     then Some (String.sub s (i + 1) (String.length s - i - 1))
     else None
 
+let stage_config ~stage v =
+  I.Config_id.of_string (Format.sprintf "P%d.conf:%s" stage v)
+
+let variant_of_config cid =
+  let s = I.Config_id.to_string cid in
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    if String.ends_with ~suffix:".conf" (String.sub s 0 i) then
+      Some (String.sub s (i + 1) (String.length s - i - 1))
+    else None
+
 let one = Interval.point 1
 let state_token name = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (Frames.state_tag name)) ()
 

@@ -66,3 +66,10 @@ val proc_mode : stage:int -> string -> Spi.Ids.Mode_id.t
 val variant_of_mode : Spi.Ids.Mode_id.t -> string option
 (** Inverse of the stage mode naming: the variant name encoded in a
     processing/ack mode id, [None] for valve or controller modes. *)
+
+val stage_config : stage:int -> string -> Spi.Ids.Config_id.t
+(** The configuration id of a stage variant: ["P<i>.conf:<variant>"]. *)
+
+val variant_of_config : Spi.Ids.Config_id.t -> string option
+(** Inverse of {!stage_config}: the variant a stage configuration
+    implements. *)

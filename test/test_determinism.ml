@@ -13,6 +13,8 @@ let trace_signature (result : Sim.Engine.result) =
           I.Mode_id.pp mode
       | Sim.Trace.Completed { time; process; _ } ->
         Format.asprintf "c:%d:%a" time I.Process_id.pp process
+      | Sim.Trace.Faulted { time; fault } ->
+        Format.asprintf "f:%d:%s" time (Sim.Fault.event_kind fault)
       | Sim.Trace.Quiescent { time } -> Format.sprintf "q:%d" time)
     result.Sim.Engine.trace
 

@@ -1,0 +1,284 @@
+(* Tests for deterministic fault injection, retry budgets and
+   watchdog-forced fallback degradation. *)
+
+module I = Spi.Ids
+
+let trace_string trace = Format.asprintf "%a" Sim.Trace.pp trace
+
+(* ---------------------- determinism of campaigns --------------------- *)
+
+let video_run seed =
+  let built = Video.System.build Video.System.default_params in
+  let stimuli =
+    Video.Scenario.switching_demo ~frames:40 ~period:5
+      ~switches:[ (52, "fB"); (120, "fA") ]
+      ()
+  in
+  let faults = Video.Scenario.fault_plan ~seed built in
+  Sim.Engine.run
+    ~configurations:built.Video.System.configurations
+    ~stimuli ~faults built.Video.System.model
+
+let test_same_seed_same_trace () =
+  let r1 = video_run 11 and r2 = video_run 11 in
+  Alcotest.(check string)
+    "identical traces"
+    (trace_string r1.Sim.Engine.trace)
+    (trace_string r2.Sim.Engine.trace);
+  Alcotest.(check int) "identical end times" r1.Sim.Engine.end_time
+    r2.Sim.Engine.end_time;
+  (* the campaign must actually exercise the fault layer *)
+  let built = Video.System.build Video.System.default_params in
+  let stats = Sim.Stats.of_result built.Video.System.model r1 in
+  Alcotest.(check bool) "faults observed" true
+    (Sim.Stats.total_faults stats.Sim.Stats.faults > 0)
+
+let test_different_seed_different_trace () =
+  let r1 = video_run 11 and r2 = video_run 12 in
+  Alcotest.(check bool) "seeds distinguish runs" false
+    (String.equal
+       (trace_string r1.Sim.Engine.trace)
+       (trace_string r2.Sim.Engine.trace))
+
+(* -------------------- crash and fallback fallback -------------------- *)
+
+(* One process with two tag-selected modes, one per configuration:
+   [c1 = {m1}] (t_conf 0) and [c2 = {m2}] (t_conf 4). *)
+let two_config_fixture () =
+  let pid = I.Process_id.of_string "p" in
+  let cin = I.Channel_id.of_string "in" in
+  let mk_mode name =
+    Spi.Mode.make ~latency:(Interval.point 1)
+      ~consumes:[ (cin, Interval.point 1) ]
+      ~produces:[]
+      (I.Mode_id.of_string name)
+  in
+  let tag name = Spi.Tag.make name in
+  let rule name t mode =
+    Spi.Activation.rule (I.Rule_id.of_string name)
+      ~guard:Spi.Predicate.(conj [ num_at_least cin 1; has_tag cin (tag t) ])
+      ~mode:(I.Mode_id.of_string mode)
+  in
+  let p =
+    Spi.Process.make
+      ~activation:(Spi.Activation.make [ rule "ra" "a" "m1"; rule "rb" "b" "m2" ])
+      ~modes:[ mk_mode "m1"; mk_mode "m2" ]
+      pid
+  in
+  let model =
+    Spi.Model.build_exn ~processes:[ p ] ~channels:[ Spi.Chan.queue cin ]
+  in
+  let confs =
+    Variants.Configuration.make ~process:pid
+      [
+        Variants.Configuration.entry ~reconf_latency:0 "c1"
+          ~modes:[ I.Mode_id.of_string "m1" ];
+        Variants.Configuration.entry ~reconf_latency:4 "c2"
+          ~modes:[ I.Mode_id.of_string "m2" ];
+      ]
+  in
+  let stim at t =
+    {
+      Sim.Engine.at;
+      channel = cin;
+      token = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (tag t)) ();
+    }
+  in
+  (pid, model, confs, stim)
+
+let test_crash_triggers_one_fallback () =
+  let pid, model, confs, stim = two_config_fixture () in
+  let degrade =
+    Sim.Fault.degradation ~failure_threshold:1
+      ~fallback:(Sim.Fault.fallback_of_configurations [ confs ])
+      ()
+  in
+  let faults =
+    Sim.Fault.plan
+      ~processes:[ Sim.Fault.on_process ~crash_at:5 pid ]
+      ~degrade ~seed:1 ()
+  in
+  (* the "a" token commits c1 before the crash; the "b" token checks that
+     the revived process runs in the fallback configuration *)
+  let result =
+    Sim.Engine.run ~configurations:[ confs ] ~faults
+      ~stimuli:[ stim 0 "a"; stim 10 "b" ]
+      model
+  in
+  let degradations = Sim.Trace.degradations result.Sim.Engine.trace in
+  Alcotest.(check int) "exactly one fallback reconfiguration" 1
+    (List.length degradations);
+  (match degradations with
+  | [ (_, dpid, from_, to_, latency) ] ->
+    Alcotest.(check bool) "degraded process" true (I.Process_id.equal dpid pid);
+    Alcotest.(check (option string))
+      "from the active configuration" (Some "c1")
+      (Option.map I.Config_id.to_string from_);
+    Alcotest.(check string) "to the fallback" "c2" (I.Config_id.to_string to_);
+    Alcotest.(check int) "fallback t_conf" 4 latency
+  | _ -> Alcotest.fail "expected one degradation");
+  (* the aborted configuration switch pays t_conf: 0 for the initial
+     commit of c1, plus 4 for the forced switch to c2 *)
+  Alcotest.(check int) "t_conf accounted" 4
+    result.Sim.Engine.reconfiguration_time;
+  (* the process is revived in the fallback and serves the second token *)
+  Alcotest.(check int) "both tokens served" 2 result.Sim.Engine.firings;
+  let stats = Sim.Stats.of_result model result in
+  Alcotest.(check int) "one crash" 1 stats.Sim.Stats.faults.Sim.Stats.crashes;
+  Alcotest.(check int) "one degradation" 1
+    stats.Sim.Stats.faults.Sim.Stats.degradations;
+  match Sim.Stats.process pid stats with
+  | Some ps -> Alcotest.(check bool) "marked degraded" true ps.Sim.Stats.degraded
+  | None -> Alcotest.fail "missing process stats"
+
+let test_crash_without_watchdog_stays_down () =
+  let pid, model, confs, stim = two_config_fixture () in
+  let faults =
+    Sim.Fault.plan ~processes:[ Sim.Fault.on_process ~crash_at:5 pid ] ~seed:1 ()
+  in
+  let result =
+    Sim.Engine.run ~configurations:[ confs ] ~faults
+      ~stimuli:[ stim 0 "a"; stim 10 "b" ]
+      model
+  in
+  Alcotest.(check int) "no degradation" 0
+    (List.length (Sim.Trace.degradations result.Sim.Engine.trace));
+  Alcotest.(check int) "only the pre-crash firing" 1 result.Sim.Engine.firings
+
+(* --------------------------- retry budgets --------------------------- *)
+
+let sink_fixture () =
+  let pid = I.Process_id.of_string "sink" in
+  let cin = I.Channel_id.of_string "in" in
+  let p =
+    Spi.Process.simple ~latency:(Interval.point 1)
+      ~consumes:[ (cin, Interval.point 1) ]
+      ~produces:[] pid
+  in
+  let model =
+    Spi.Model.build_exn ~processes:[ p ] ~channels:[ Spi.Chan.queue cin ]
+  in
+  (pid, cin, model)
+
+let transient_events trace =
+  List.filter_map
+    (fun (_, e) ->
+      match e with
+      | Sim.Fault.Transient_failure { retry; backoff; _ } ->
+        Some (retry, backoff)
+      | _ -> None)
+    (Sim.Trace.faults trace)
+
+let exhausted_count trace =
+  List.length
+    (List.filter
+       (fun (_, e) ->
+         match e with Sim.Fault.Retries_exhausted _ -> true | _ -> false)
+       (Sim.Trace.faults trace))
+
+let test_retry_budget_exhausted () =
+  let pid, cin, model = sink_fixture () in
+  let faults =
+    Sim.Fault.plan
+      ~processes:
+        [
+          Sim.Fault.on_process
+            ~transient:(Sim.Fault.Windows [ (0, 1000) ])
+            ~max_retries:2 ~backoff:3 pid;
+        ]
+      ~seed:1 ()
+  in
+  let result =
+    Sim.Engine.run ~faults
+      ~stimuli:[ { Sim.Engine.at = 0; channel = cin; token = Spi.Token.plain } ]
+      model
+  in
+  let trace = result.Sim.Engine.trace in
+  Alcotest.(check (list (pair int int)))
+    "two retries, each backing off 3"
+    [ (1, 3); (2, 3) ]
+    (transient_events trace);
+  Alcotest.(check int) "budget exhausted once" 1 (exhausted_count trace);
+  Alcotest.(check int) "never fired" 0 result.Sim.Engine.firings;
+  let stats = Sim.Stats.of_result model result in
+  Alcotest.(check int) "transient failures in stats" 2
+    stats.Sim.Stats.faults.Sim.Stats.transient_failures;
+  Alcotest.(check int) "exhaustion in stats" 1
+    stats.Sim.Stats.faults.Sim.Stats.retries_exhausted;
+  (match Sim.Stats.process pid stats with
+  | Some ps -> Alcotest.(check int) "per-process retries" 2 ps.Sim.Stats.retries
+  | None -> Alcotest.fail "missing process stats");
+  (* the failed attempts never consumed the token *)
+  match Sim.Stats.channel cin stats with
+  | Some cs ->
+    Alcotest.(check int) "token still queued" 1 cs.Sim.Stats.final_occupancy
+  | None -> Alcotest.fail "missing channel stats"
+
+let test_retry_recovers_inside_budget () =
+  let pid, cin, model = sink_fixture () in
+  let faults =
+    Sim.Fault.plan
+      ~processes:
+        [
+          (* the fault clears at t = 5: attempts at 0 and 3 fail, the one
+             at 6 proceeds with one retry still in the budget *)
+          Sim.Fault.on_process
+            ~transient:(Sim.Fault.Windows [ (0, 5) ])
+            ~max_retries:3 ~backoff:3 pid;
+        ]
+      ~seed:1 ()
+  in
+  let result =
+    Sim.Engine.run ~faults
+      ~stimuli:[ { Sim.Engine.at = 0; channel = cin; token = Spi.Token.plain } ]
+      model
+  in
+  let trace = result.Sim.Engine.trace in
+  Alcotest.(check (list (pair int int)))
+    "two retries before recovery"
+    [ (1, 3); (2, 3) ]
+    (transient_events trace);
+  Alcotest.(check int) "no exhaustion" 0 (exhausted_count trace);
+  Alcotest.(check int) "fired after backing off" 1 result.Sim.Engine.firings;
+  Alcotest.(check int) "completed at 7" 7 result.Sim.Engine.end_time
+
+(* -------------------------- token windows ---------------------------- *)
+
+let test_window_drop_is_deterministic () =
+  let _, cin, model = sink_fixture () in
+  let faults =
+    Sim.Fault.plan
+      ~channels:[ Sim.Fault.on_channel cin Sim.Fault.Drop (Sim.Fault.Windows [ (0, 10) ]) ]
+      ~seed:1 ()
+  in
+  let stim at = { Sim.Engine.at; channel = cin; token = Spi.Token.plain } in
+  let result =
+    Sim.Engine.run ~faults ~stimuli:[ stim 5; stim 15 ] model
+  in
+  let dropped =
+    List.filter
+      (fun (_, e) ->
+        match e with Sim.Fault.Token_dropped _ -> true | _ -> false)
+      (Sim.Trace.faults result.Sim.Engine.trace)
+  in
+  Alcotest.(check int) "token inside the window is lost" 1 (List.length dropped);
+  Alcotest.(check int) "token outside the window is served" 1
+    result.Sim.Engine.firings
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "same seed, same trace" `Quick test_same_seed_same_trace;
+      Alcotest.test_case "different seed, different trace" `Quick
+        test_different_seed_different_trace;
+      Alcotest.test_case "crash triggers one fallback" `Quick
+        test_crash_triggers_one_fallback;
+      Alcotest.test_case "crash without watchdog stays down" `Quick
+        test_crash_without_watchdog_stays_down;
+      Alcotest.test_case "retry budget exhausted" `Quick
+        test_retry_budget_exhausted;
+      Alcotest.test_case "retry recovers inside budget" `Quick
+        test_retry_recovers_inside_budget;
+      Alcotest.test_case "window drop deterministic" `Quick
+        test_window_drop_is_deterministic;
+    ] )

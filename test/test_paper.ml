@@ -35,7 +35,7 @@ let test_figure1_mode_selection () =
           when I.Process_id.equal process F1.p2 ->
           Some (I.Mode_id.to_string mode)
         | Sim.Trace.Started _ | Sim.Trace.Injected _ | Sim.Trace.Completed _
-        | Sim.Trace.Quiescent _ -> None)
+        | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> None)
       result.Sim.Engine.trace
   in
   Alcotest.(check bool) "m1 used" true (List.mem "m1" p2_modes);

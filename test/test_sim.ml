@@ -61,7 +61,8 @@ let prop_heap_via_engine =
         List.filter_map
           (function
             | Sim.Trace.Injected { time; _ } -> Some time
-            | Sim.Trace.Started _ | Sim.Trace.Completed _ | Sim.Trace.Quiescent _ ->
+            | Sim.Trace.Started _ | Sim.Trace.Completed _ | Sim.Trace.Faulted _
+            | Sim.Trace.Quiescent _ ->
               None)
           result.Sim.Engine.trace
       in
