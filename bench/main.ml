@@ -8,12 +8,23 @@
    Experiments: table1, figure1, figure2, figure3, figure4,
    ablation-serial, ablation-designtime, ablation-overlap,
    ablation-reconf, ablation-stages, ablation-correlation,
-   ablation-sensitivity, ablation-heuristic. *)
+   ablation-sensitivity, ablation-heuristic, explore-json.
+
+   Options: --no-perf skips the Bechamel suite, --jobs N runs the
+   synthesis explorers on N domains, and explore-json (with optional
+   --json FILE, --tiny, --label TEXT) appends a machine-readable perf
+   record to the benchmark trajectory (see docs/BENCH.md). *)
 
 module I = Spi.Ids
 module F1 = Paper.Figure1
 module F2 = Paper.Figure2
 module V = Variants
+
+(* Global knobs, set once by the argv parse below. *)
+let jobs = ref 1
+let json_path = ref "BENCH_explore.json"
+let tiny = ref false
+let label = ref ""
 
 let header title =
   Format.printf "@.==================================================@.";
@@ -24,16 +35,16 @@ let header title =
 (* Table 1: system cost.                                               *)
 (* ------------------------------------------------------------------ *)
 
-let table1_solutions () =
+let table1_solutions ?(jobs = 1) () =
   let tech = F2.table1_tech in
-  let s1 = Synth.Explore.optimal_exn tech [ F2.app1 ] in
-  let s2 = Synth.Explore.optimal_exn tech [ F2.app2 ] in
+  let s1 = Synth.Explore.optimal_exn ~jobs tech [ F2.app1 ] in
+  let s2 = Synth.Explore.optimal_exn ~jobs tech [ F2.app2 ] in
   let sup =
-    match Synth.Superpose.superpose tech [ F2.app1; F2.app2 ] with
+    match Synth.Superpose.superpose ~jobs tech [ F2.app1; F2.app2 ] with
     | Some r -> r
     | None -> failwith "superposition infeasible"
   in
-  let var = Synth.Explore.optimal_exn tech [ F2.app1; F2.app2 ] in
+  let var = Synth.Explore.optimal_exn ~jobs tech [ F2.app1; F2.app2 ] in
   (s1, s2, sup, var)
 
 let names_of set =
@@ -42,7 +53,7 @@ let names_of set =
 
 let table1 () =
   header "Table 1: System Cost (paper: 34 / 38 / 57 / 41)";
-  let s1, s2, sup, var = table1_solutions () in
+  let s1, s2, sup, var = table1_solutions ~jobs:!jobs () in
   let apps = [ F2.app1; F2.app2 ] in
   Format.printf "%-14s | %-26s | %-22s | %5s | %5s@." "" "Software" "Hardware"
     "Total" "Time";
@@ -206,15 +217,16 @@ let figure4 () =
 (* Ablation A1: serialization-order sensitivity ([5], [6]).            *)
 (* ------------------------------------------------------------------ *)
 
-let generated_apps_and_tech ~seed ~sites ~variants =
+let generated_apps_and_tech ?(shared = 3) ?(cluster = 2) ~seed ~sites ~variants
+    () =
   let system =
     V.Generator.generate
       {
         V.Generator.seed;
-        shared_processes = 3;
+        shared_processes = shared;
         sites;
         variants_per_site = variants;
-        cluster_processes = 2;
+        cluster_processes = cluster;
         latency_range = (1, 10);
       }
   in
@@ -235,7 +247,7 @@ let ablation_serial () =
   let spread_count = ref 0 and total = ref 0 in
   List.iter
     (fun seed ->
-      let apps, tech = generated_apps_and_tech ~seed ~sites:2 ~variants:2 in
+      let apps, tech = generated_apps_and_tech ~seed ~sites:2 ~variants:2 () in
       let orders = Synth.Serial.all_orders tech apps in
       let var = Synth.Explore.optimal tech apps in
       let aio = Synth.Serial.all_in_one tech apps in
@@ -481,7 +493,7 @@ let ablation_heuristic () =
     "optimal" "gap";
   List.iter
     (fun seed ->
-      let apps, tech = generated_apps_and_tech ~seed ~sites:2 ~variants:2 in
+      let apps, tech = generated_apps_and_tech ~seed ~sites:2 ~variants:2 () in
       let procs =
         I.Process_id.Set.cardinal (Synth.App.union_procs apps)
       in
@@ -496,6 +508,271 @@ let ablation_heuristic () =
     [ 1; 2; 3; 4; 5; 6; 7; 8 ];
   Format.printf
     "@.The greedy relief-per-cost heuristic stays within a modest gap of      the exact optimum while scaling linearly; use it past ~30      processes where 2^n search stops being interactive.@."
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark trajectory: the explore-json experiment times the         *)
+(* branch-and-bound exploration workloads at several domain counts and *)
+(* appends one machine-readable record per invocation to a JSON file   *)
+(* (default BENCH_explore.json), so runs stay comparable across PRs.   *)
+(* Schema: docs/BENCH.md.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type explore_run = {
+  run_jobs : int;
+  wall_s : float;
+  run_cost : int option;
+  run_explored : int;
+  run_pruned : int;
+}
+
+let time_explore ~reps f =
+  (* min-of-reps wall time; the cost/counters come from the last run *)
+  let best_wall = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best_wall then best_wall := dt;
+    last := Some r
+  done;
+  (!best_wall, Option.get !last)
+
+(* Front-loaded technology for the exploration workloads: the first
+   [heads] processes in pid order (= the explorer's decision order) get
+   a large hardware area and a small software load, modelling a system
+   whose front-end blocks are ASIC-expensive but cheap to schedule.
+   This is the regime where branch order matters: the hw-first
+   sequential reference pays the full cost bound shell once per wrong
+   early hardware commitment, while the greedy-seeded best-first
+   parallel search discards those subtrees against the shared
+   incumbent. *)
+let skewed_apps_and_tech ~heads ~head_area ~shared ~cluster ~seed ~sites
+    ~variants () =
+  let apps, _ =
+    generated_apps_and_tech ~shared ~cluster ~seed ~sites ~variants ()
+  in
+  let pids = I.Process_id.Set.elements (Synth.App.union_procs apps) in
+  let weight pid =
+    1 + (((V.Generator.process_weight pid * 31) + (seed * 53)) mod 100)
+  in
+  let tech =
+    Synth.Tech.make ~processor_cost:15
+      (List.mapi
+         (fun i pid ->
+           let w = weight pid in
+           if i < heads then
+             (pid, Synth.Tech.both ~load:(4 + (w mod 5)) ~area:(head_area + w))
+           else (pid, Synth.Tech.both ~load:((w / 3) + 5) ~area:(w + 10)))
+         pids)
+  in
+  (apps, tech)
+
+(* Exploration workloads: the Table 1 system plus Figure-2-style
+   generated variant systems large enough that the search tree is the
+   dominant cost.  Each workload carries its own processor capacity,
+   tuned so the optimum mixes hardware and software placements (an
+   all-software optimum collapses the tree; an all-hardware one makes
+   the bound exact).  [--tiny] keeps only small instances for CI
+   smoke. *)
+let explore_workloads () =
+  let table1 =
+    ("table1", F2.table1_tech, [ F2.app1; F2.app2 ], Synth.Schedule.default_capacity)
+  in
+  let gen name ~seed ~sites ~variants ~shared ~cluster ~capacity =
+    let apps, tech =
+      skewed_apps_and_tech ~heads:6 ~head_area:300 ~shared ~cluster ~seed
+        ~sites ~variants ()
+    in
+    (name, tech, apps, capacity)
+  in
+  if !tiny then
+    [
+      table1;
+      gen "figure2-gen-tiny" ~seed:5 ~sites:2 ~variants:2 ~shared:3 ~cluster:2
+        ~capacity:120;
+    ]
+  else
+    [
+      table1;
+      gen "figure2-gen-medium" ~seed:9 ~sites:3 ~variants:2 ~shared:8
+        ~cluster:3 ~capacity:120;
+      gen "figure2-gen-wide" ~seed:13 ~sites:2 ~variants:4 ~shared:7 ~cluster:3
+        ~capacity:120;
+      gen "figure2-gen-large" ~seed:9 ~sites:3 ~variants:3 ~shared:8 ~cluster:3
+        ~capacity:140;
+    ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Format.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_to_json ~timestamp ~label ~max_jobs workload_rows =
+  let b = Buffer.create 1024 in
+  let add fmt = Format.ksprintf (Buffer.add_string b) fmt in
+  add "  {\n";
+  add "    \"schema\": \"bench-explore/v1\",\n";
+  add "    \"timestamp\": %.0f,\n" timestamp;
+  if label <> "" then add "    \"label\": \"%s\",\n" (json_escape label);
+  add "    \"max_jobs\": %d,\n" max_jobs;
+  add "    \"workloads\": [\n";
+  let n = List.length workload_rows in
+  List.iteri
+    (fun i (name, processes, applications, capacity, runs, speedup, identical) ->
+      add "      {\n";
+      add "        \"name\": \"%s\",\n" (json_escape name);
+      add "        \"processes\": %d,\n" processes;
+      add "        \"applications\": %d,\n" applications;
+      add "        \"capacity\": %d,\n" capacity;
+      add "        \"runs\": [\n";
+      let m = List.length runs in
+      List.iteri
+        (fun j r ->
+          add
+            "          {\"jobs\": %d, \"wall_s\": %.6f, \"cost\": %s, \
+             \"explored\": %d, \"pruned\": %d}%s\n"
+            r.run_jobs r.wall_s
+            (match r.run_cost with
+            | Some c -> string_of_int c
+            | None -> "null")
+            r.run_explored r.run_pruned
+            (if j = m - 1 then "" else ","))
+        runs;
+      add "        ],\n";
+      add "        \"speedup_max_jobs\": %.3f,\n" speedup;
+      add "        \"costs_identical\": %b\n" identical;
+      add "      }%s\n" (if i = n - 1 then "" else ","))
+    workload_rows;
+  add "    ],\n";
+  let total j =
+    List.fold_left
+      (fun acc (_, _, _, _, runs, _, _) ->
+        match List.find_opt (fun r -> r.run_jobs = j) runs with
+        | Some r -> acc +. r.wall_s
+        | None -> acc)
+      0. workload_rows
+  in
+  let t1 = total 1 and tm = total max_jobs in
+  add "    \"aggregate\": {\"wall_s_jobs1\": %.6f, \"wall_s_max_jobs\": %.6f, \
+       \"speedup_max_jobs\": %.3f}\n"
+    t1 tm
+    (if tm > 0. then t1 /. tm else 1.);
+  add "  }";
+  Buffer.contents b
+
+(* The trajectory file is a JSON array of records; appending rewrites
+   the closing bracket instead of parsing the document. *)
+let append_record path record =
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let trimmed = String.trim s in
+      if trimmed = "" || trimmed = "[]" then None
+      else if String.length trimmed > 0
+              && trimmed.[String.length trimmed - 1] = ']' then
+        Some (String.sub trimmed 0 (String.length trimmed - 1))
+      else None (* malformed: start a fresh array *)
+    end
+    else None
+  in
+  let oc = open_out_bin path in
+  (match existing with
+  | Some prefix ->
+    output_string oc (String.trim prefix);
+    output_string oc ",\n";
+    output_string oc record;
+    output_string oc "\n]\n"
+  | None ->
+    output_string oc "[\n";
+    output_string oc record;
+    output_string oc "\n]\n");
+  close_out oc
+
+let explore_json () =
+  header "explore-json: parallel exploration perf trajectory";
+  let job_counts = [ 1; 2; 4 ] in
+  let max_jobs = List.fold_left max 1 job_counts in
+  let reps = if !tiny then 1 else 3 in
+  let rows =
+    List.map
+      (fun (name, tech, apps, capacity) ->
+        let processes =
+          I.Process_id.Set.cardinal (Synth.App.union_procs apps)
+        in
+        let runs =
+          List.map
+            (fun jobs ->
+              let wall, sol =
+                time_explore ~reps (fun () ->
+                    Synth.Explore.optimal ~jobs ~capacity tech apps)
+              in
+              {
+                run_jobs = jobs;
+                wall_s = wall;
+                run_cost =
+                  Option.map
+                    (fun (s : Synth.Explore.solution) ->
+                      s.Synth.Explore.cost.Synth.Cost.total)
+                    sol;
+                run_explored =
+                  (match sol with
+                  | Some s -> s.Synth.Explore.explored
+                  | None -> 0);
+                run_pruned =
+                  (match sol with
+                  | Some s -> s.Synth.Explore.pruned
+                  | None -> 0);
+              })
+            job_counts
+        in
+        let wall_of j =
+          match List.find_opt (fun r -> r.run_jobs = j) runs with
+          | Some r -> r.wall_s
+          | None -> nan
+        in
+        let speedup = wall_of 1 /. wall_of max_jobs in
+        let identical =
+          match runs with
+          | [] -> true
+          | r :: rest -> List.for_all (fun q -> q.run_cost = r.run_cost) rest
+        in
+        if not identical then begin
+          Format.eprintf "explore-json: OPTIMAL COSTS DIVERGE on %s@." name;
+          exit 1
+        end;
+        Format.printf
+          "%-20s | %2d procs | %2d apps | jobs=1 %8.4fs | jobs=%d %8.4fs | \
+           speedup %.2fx | cost %s@."
+          name processes (List.length apps) (wall_of 1) max_jobs
+          (wall_of max_jobs) speedup
+          (match (List.hd runs).run_cost with
+          | Some c -> string_of_int c
+          | None -> "infeas");
+        ( name,
+          processes,
+          List.length apps,
+          capacity,
+          runs,
+          speedup,
+          identical ))
+      (explore_workloads ())
+  in
+  let record =
+    record_to_json ~timestamp:(Unix.time ()) ~label:!label ~max_jobs rows
+  in
+  append_record !json_path record;
+  Format.printf "@.appended record to %s@." !json_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel performance suite: one Test.make per experiment.           *)
@@ -520,7 +797,7 @@ let perf_tests =
       (Staged.stage (fun () -> ignore (figure4_run ~with_valves:true)));
     Test.make ~name:"ablation/serial-all-orders"
       (Staged.stage (fun () ->
-           let apps, tech = generated_apps_and_tech ~seed:3 ~sites:2 ~variants:2 in
+           let apps, tech = generated_apps_and_tech ~seed:3 ~sites:2 ~variants:2 () in
            ignore (Synth.Serial.all_orders tech apps)));
     Test.make ~name:"ablation/generator"
       (Staged.stage (fun () ->
@@ -579,27 +856,55 @@ let experiments =
     ("ablation-correlation", ablation_correlation);
     ("ablation-sensitivity", ablation_sensitivity);
     ("ablation-heuristic", ablation_heuristic);
+    ("explore-json", explore_json);
   ]
+
+let usage () =
+  Format.eprintf
+    "usage: main.exe [EXPERIMENT...] [--no-perf] [--jobs N] [--tiny] [--json \
+     FILE] [--label TEXT]@.available experiments: %s, perf@."
+    (String.concat ", " (List.map fst experiments));
+  exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  let int_of name v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      Format.eprintf "%s expects an integer, got %s@." name v;
+      exit 1
+  in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--no-perf" :: rest -> parse names rest (* handled below *)
+    | "--tiny" :: rest ->
+      tiny := true;
+      parse names rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of "--jobs" v;
+      parse names rest
+    | "--json" :: v :: rest ->
+      json_path := v;
+      parse names rest
+    | "--label" :: v :: rest ->
+      label := v;
+      parse names rest
+    | ("--jobs" | "--json" | "--label") :: [] -> usage ()
+    | a :: _ when String.length a > 2 && String.sub a 0 2 = "--" -> usage ()
+    | name :: rest -> parse (name :: names) rest
+  in
   let no_perf = List.mem "--no-perf" args in
-  let args = List.filter (fun a -> a <> "--no-perf") args in
-  match args with
+  let names = parse [] args in
+  match names with
   | [] ->
-    List.iter (fun (_, f) -> f ()) experiments;
+    List.iter (fun (name, f) -> if name <> "explore-json" then f ()) experiments;
     if not no_perf then run_perf ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
-        | None ->
-          if name = "perf" then run_perf ()
-          else begin
-            Format.eprintf "unknown experiment %s; available: %s, perf@." name
-              (String.concat ", " (List.map fst experiments));
-            exit 1
-          end)
+        | None -> if name = "perf" then run_perf () else usage ())
       names

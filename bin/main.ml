@@ -739,23 +739,31 @@ let dot_system_cmd =
        ~doc:"Graphviz of the variant structure (interfaces and clusters as boxes)")
     Term.(const run $ name_arg)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the exploration (1 = sequential reference, 0 = \
+           one per recommended domain).")
+
 let synthesize_cmd =
-  let run () =
+  let run jobs =
     let tech = F2.table1_tech in
     let apps = [ F2.app1; F2.app2 ] in
     let print name (s : Synth.Explore.solution) =
       Format.printf "%-14s %a@." name Synth.Cost.pp s.Synth.Explore.cost
     in
-    print "Application 1" (Synth.Explore.optimal_exn tech [ F2.app1 ]);
-    print "Application 2" (Synth.Explore.optimal_exn tech [ F2.app2 ]);
-    (match Synth.Superpose.superpose tech apps with
+    print "Application 1" (Synth.Explore.optimal_exn ~jobs tech [ F2.app1 ]);
+    print "Application 2" (Synth.Explore.optimal_exn ~jobs tech [ F2.app2 ]);
+    (match Synth.Superpose.superpose ~jobs tech apps with
     | Some r -> Format.printf "%-14s %a@." "Superposition" Synth.Cost.pp r.Synth.Superpose.cost
     | None -> Format.printf "superposition infeasible@.");
-    print "With variants" (Synth.Explore.optimal_exn tech apps)
+    print "With variants" (Synth.Explore.optimal_exn ~jobs tech apps)
   in
   Cmd.v
     (Cmd.info "synthesize" ~doc:"Run the Table 1 synthesis flows")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let schedule_cmd =
   let run () =
@@ -796,14 +804,16 @@ let schedule_cmd =
     Term.(const run $ const ())
 
 let pareto_cmd =
-  let run () =
-    let points = Synth.Pareto.frontier F2.table1_tech [ F2.app1; F2.app2 ] in
+  let run jobs =
+    let points =
+      Synth.Pareto.frontier ~jobs F2.table1_tech [ F2.app1; F2.app2 ]
+    in
     Format.printf "cost/load Pareto frontier (%d points):@." (List.length points);
     List.iter (fun p -> Format.printf "  %a@." Synth.Pareto.pp_point p) points
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Cost/load frontier for the Table 1 example")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let report_cmd =
   let run () =

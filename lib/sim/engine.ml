@@ -86,25 +86,35 @@ let run ?(policy = Typical) ?(limits = default_limits)
       if I.Channel_id.Set.is_empty (Spi.Process.inputs p) then Some 0 else None
   in
   let fstate = Option.map Fault.start faults in
-  let proc_states = Hashtbl.create 16 in
-  List.iter
-    (fun p ->
-      let pid = Spi.Process.id p in
-      let config = config_of pid in
-      Hashtbl.replace proc_states (I.Process_id.to_string pid)
-        {
-          busy = false;
-          budget = budget_of pid p;
-          confcur =
-            (match config with
-            | None -> None
-            | Some c -> Variants.Configuration.start c);
-          allowed = None;
-          recover_at = 0;
-          config;
-        })
-    (Spi.Model.processes model);
-  let pstate pid = Hashtbl.find proc_states (I.Process_id.to_string pid) in
+  let processes = Spi.Model.processes model in
+  (* Process states live in an array; ids resolve through an index map
+     built once, so per-event lookups never convert ids to strings. *)
+  let proc_index =
+    List.fold_left
+      (fun (i, acc) p -> (i + 1, I.Process_id.Map.add (Spi.Process.id p) i acc))
+      (0, I.Process_id.Map.empty) processes
+    |> snd
+  in
+  let proc_states =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let pid = Spi.Process.id p in
+           let config = config_of pid in
+           {
+             busy = false;
+             budget = budget_of pid p;
+             confcur =
+               (match config with
+               | None -> None
+               | Some c -> Variants.Configuration.start c);
+             allowed = None;
+             recover_at = 0;
+             config;
+           })
+         processes)
+  in
+  let pstate pid = proc_states.(I.Process_id.Map.find pid proc_index) in
   let heap = Heap.create () in
   List.iter
     (fun s -> Heap.push ~time:s.at (Inject (s.channel, s.token)) heap)
@@ -121,7 +131,6 @@ let run ?(policy = Typical) ?(limits = default_limits)
   let firings = ref 0 in
   let reconf_time = ref 0 in
   let choose_rate = pick policy in
-  let processes = Spi.Model.processes model in
   let process_crashed pid =
     match fstate with Some fs -> Fault.crashed fs pid | None -> false
   in

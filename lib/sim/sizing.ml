@@ -4,16 +4,21 @@ type suggestion = { chan : I.Channel_id.t; observed : int; capacity : int }
 
 let suggest ?(margin = 0) ?policy ?configurations ~stimuli model =
   if margin < 0 then invalid_arg "Sizing.suggest: negative margin";
-  let high = Hashtbl.create 16 in
+  (* keyed by channel ids directly — no per-lookup string conversion *)
+  let high = ref I.Channel_id.Map.empty in
   List.iter
     (fun stims ->
       let result = Engine.run ?policy ?configurations ~stimuli:stims model in
       let stats = Stats.of_result model result in
       List.iter
         (fun (c : Stats.channel_stats) ->
-          let key = I.Channel_id.to_string c.Stats.chan in
-          let current = Option.value ~default:0 (Hashtbl.find_opt high key) in
-          Hashtbl.replace high key (max current c.Stats.high_water))
+          let current =
+            Option.value ~default:0 (I.Channel_id.Map.find_opt c.Stats.chan !high)
+          in
+          high :=
+            I.Channel_id.Map.add c.Stats.chan
+              (max current c.Stats.high_water)
+              !high)
         stats.Stats.channels)
     stimuli;
   List.filter_map
@@ -23,8 +28,7 @@ let suggest ?(margin = 0) ?policy ?configurations ~stimuli model =
       | Spi.Chan.Queue ->
         let cid = Spi.Chan.id chan in
         let observed =
-          Option.value ~default:0
-            (Hashtbl.find_opt high (I.Channel_id.to_string cid))
+          Option.value ~default:0 (I.Channel_id.Map.find_opt cid !high)
         in
         Some { chan = cid; observed; capacity = max 1 (observed + margin) })
     (Spi.Model.channels model)

@@ -5,85 +5,420 @@ type solution = {
   cost : Cost.breakdown;
   worst_load : int;
   explored : int;
+  pruned : int;
 }
 
-(* Branch and bound.  Search state: prefix of decided processes, per-
-   application accumulated software load, accumulated ASIC area, and
-   whether any process went to software (the processor cost trigger).
-   Lower bound of a partial assignment: area so far + processor cost if
-   any software so far — every completion only adds cost.  A partial
-   assignment dies as soon as one application's load exceeds capacity
-   (software loads only grow). *)
-let optimal ?(capacity = Schedule.default_capacity) ?(fixed = Binding.empty)
-    ?(accept = fun _ -> true) tech apps =
-  let procs = I.Process_id.Set.elements (App.union_procs apps) in
-  let apps = Array.of_list apps in
-  let membership pid =
-    Array.map (fun (a : App.t) -> I.Process_id.Set.mem pid a.App.procs) apps
-  in
-  let explored = ref 0 in
-  let best = ref None in
-  let best_cost = ref max_int in
-  let loads = Array.make (Array.length apps) 0 in
-  let rec search remaining binding area any_sw =
-    incr explored;
-    let lower = area + if any_sw then Tech.processor_cost tech else 0 in
-    if lower >= !best_cost then ()
-    else
-      match remaining with
-      | [] ->
-        let worst = Array.fold_left max 0 loads in
-        let cost = lower in
-        if cost < !best_cost && accept binding then begin
-          best_cost := cost;
-          best := Some (binding, worst)
-        end
-      | pid :: rest ->
-        let options = Tech.options_of tech pid in
-        let member = membership pid in
-        let allowed impl =
-          match Binding.impl_of pid fixed with
-          | None -> true
-          | Some f -> f = impl
-        in
-        (* Hardware first: it can only help schedulability, and trying
-           the cheaper completion early tightens the bound. *)
-        (match options.Tech.hw with
-        | Some { Tech.area = a } when allowed Binding.Hw ->
-          search rest (Binding.bind pid Binding.Hw binding) (area + a) any_sw
-        | Some _ | None -> ());
-        (match options.Tech.sw with
-        | Some { Tech.load } when allowed Binding.Sw ->
-          let ok = ref true in
-          Array.iteri
-            (fun i m ->
-              if m then begin
-                loads.(i) <- loads.(i) + load;
-                if loads.(i) > capacity then ok := false
-              end)
-            member;
-          if !ok then
-            search rest (Binding.bind pid Binding.Sw binding) area true;
-          Array.iteri (fun i m -> if m then loads.(i) <- loads.(i) - load) member
-        | Some _ | None -> ())
-  in
-  search procs Binding.empty 0 false;
-  match !best with
-  | None -> None
-  | Some (binding, worst_load) ->
-    Some
-      {
-        binding;
-        cost = Cost.of_binding tech binding;
-        worst_load;
-        explored = !explored;
-      }
+type diagnostic =
+  | Pinned_impl_unavailable of {
+      process : I.Process_id.t;
+      impl : Binding.impl;
+    }
+  | Infeasible
 
-let optimal_exn ?capacity ?fixed ?accept tech apps =
-  match optimal ?capacity ?fixed ?accept tech apps with
-  | Some s -> s
-  | None -> failwith "Explore.optimal: no feasible binding"
+let pp_diagnostic ppf = function
+  | Pinned_impl_unavailable { process; impl } ->
+    Format.fprintf ppf
+      "process %a is pinned to %a but its technology entry offers no %a option"
+      I.Process_id.pp process Binding.pp_impl impl Binding.pp_impl impl
+  | Infeasible -> Format.pp_print_string ppf "no feasible binding"
+
+(* Per-process search data, memoized once per [solve] call: technology
+   options with any [fixed] pin already applied, and application
+   membership as an index list — the inner loop touches only the
+   applications a process actually belongs to, instead of re-deriving
+   membership and re-querying the technology map at every node. *)
+type node = {
+  pid : I.Process_id.t;
+  sw : int option;  (** software load, [None] when unavailable or pinned HW *)
+  hw : int option;  (** hardware area, [None] when unavailable or pinned SW *)
+  members : int array;  (** indices of the applications containing [pid] *)
+}
+
+type counters = { mutable explored : int; mutable pruned : int }
+
+exception Diagnosed of diagnostic
+
+let compile ~fixed tech apps procs =
+  let member_indices pid =
+    let hits = ref [] in
+    Array.iteri
+      (fun i (a : App.t) ->
+        if I.Process_id.Set.mem pid a.App.procs then hits := i :: !hits)
+      apps;
+    Array.of_list (List.rev !hits)
+  in
+  Array.map
+    (fun pid ->
+      let o = Tech.options_of tech pid in
+      let pin = Binding.impl_of pid fixed in
+      (match pin with
+      | Some Binding.Hw when Option.is_none o.Tech.hw ->
+        raise (Diagnosed (Pinned_impl_unavailable { process = pid; impl = Binding.Hw }))
+      | Some Binding.Sw when Option.is_none o.Tech.sw ->
+        raise (Diagnosed (Pinned_impl_unavailable { process = pid; impl = Binding.Sw }))
+      | Some _ | None -> ());
+      let sw =
+        match pin with
+        | Some Binding.Hw -> None
+        | Some Binding.Sw | None ->
+          Option.map (fun s -> s.Tech.load) o.Tech.sw
+      and hw =
+        match pin with
+        | Some Binding.Sw -> None
+        | Some Binding.Hw | None ->
+          Option.map (fun h -> h.Tech.area) o.Tech.hw
+      in
+      { pid; sw; hw; members = member_indices pid })
+    procs
+
+(* The branch-and-bound core, shared by the sequential and the parallel
+   path.  Search state: index into [nodes], the binding prefix,
+   accumulated ASIC area, whether any process went to software (the
+   processor cost trigger), and the per-application software loads in
+   [loads].  Lower bound of a partial assignment: area so far +
+   processor cost if any software so far — every completion only adds
+   cost.  A partial assignment dies as soon as one application's load
+   exceeds capacity (software loads only grow).
+
+   Child order: the sequential reference visits the hardware child
+   first (the historical order of the seed implementation).  The
+   parallel path sets [sw_first] and visits the software child first —
+   the software child always carries the lower bound (software adds no
+   area), so this is best-first descent, and it is what lets the
+   bound-sorted task schedule establish a tight incumbent early.
+
+   Counter semantics: [explored] counts decision nodes expanded — nodes
+   that survive the bound check and branch on a process.  [pruned]
+   counts subtrees cut, whether by the incumbent bound or by a capacity
+   overload; complete leaves count as neither.  Hardware and software
+   children are treated identically, so the totals are comparable
+   across search orders and domain counts. *)
+let choice_hw = 1
+let choice_sw = 2
+
+(* Rebuild a [Binding.t] from the mutable decision vector.  Called only
+   at leaves that survive the bound check — those are incumbent
+   improvements, so this stays off the hot path and the search loop
+   itself allocates nothing.  (With several domains time-slicing few
+   cores, per-node allocation is poison: every minor collection is a
+   stop-the-world rendezvous across all domains.) *)
+let materialize ~nodes ~n choices =
+  let b = ref Binding.empty in
+  for j = 0 to n - 1 do
+    if choices.(j) = choice_hw then
+      b := Binding.bind nodes.(j).pid Binding.Hw !b
+    else if choices.(j) = choice_sw then
+      b := Binding.bind nodes.(j).pid Binding.Sw !b
+  done;
+  !b
+
+(* The recursion is written with mutually recursive child functions and
+   index loops rather than local closures or [Array.iter]: the body
+   must not allocate per node, or minor collections (stop-the-world
+   rendezvous across domains) dominate the parallel run time. *)
+let search ~sw_first ~capacity ~processor_cost ~accept ~nodes ~n ~loads
+    ~choices ~counters ~current_bound ~improve start area0 any_sw0 =
+  (* hoisted so the recursive closures are allocated once per call, not
+     once per node *)
+  let rec add_loads members m load k ok =
+    if k = m then ok
+    else begin
+      let ai = members.(k) in
+      let v = loads.(ai) + load in
+      loads.(ai) <- v;
+      add_loads members m load (k + 1) (ok && v <= capacity)
+    end
+  in
+  let rec go i area any_sw =
+    let lower = area + if any_sw then processor_cost else 0 in
+    if lower >= current_bound () then counters.pruned <- counters.pruned + 1
+    else if i = n then begin
+      let binding = materialize ~nodes ~n choices in
+      if accept binding then begin
+        let worst = ref 0 in
+        for a = 0 to Array.length loads - 1 do
+          if loads.(a) > !worst then worst := loads.(a)
+        done;
+        improve lower binding !worst
+      end
+    end
+    else begin
+      counters.explored <- counters.explored + 1;
+      if sw_first then begin
+        sw_child i area any_sw;
+        hw_child i area any_sw
+      end
+      else begin
+        hw_child i area any_sw;
+        sw_child i area any_sw
+      end
+    end
+  and hw_child i area any_sw =
+    match nodes.(i).hw with
+    | Some a ->
+      choices.(i) <- choice_hw;
+      go (i + 1) (area + a) any_sw
+    | None -> ()
+  and sw_child i area _any_sw =
+    match nodes.(i).sw with
+    | Some load ->
+      let members = nodes.(i).members in
+      let m = Array.length members in
+      if add_loads members m load 0 true then begin
+        choices.(i) <- choice_sw;
+        go (i + 1) area true
+      end
+      else counters.pruned <- counters.pruned + 1;
+      for k = 0 to m - 1 do
+        loads.(members.(k)) <- loads.(members.(k)) - load
+      done
+    | None -> ()
+  in
+  go start area0 any_sw0
+
+let solve_seq ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+  let n = Array.length nodes in
+  let loads = Array.make n_apps 0 in
+  let choices = Array.make n 0 in
+  let counters = { explored = 0; pruned = 0 } in
+  let best = ref None and best_cost = ref max_int in
+  search ~sw_first:false ~capacity ~processor_cost ~accept ~nodes ~n ~loads
+    ~choices ~counters
+    ~current_bound:(fun () -> !best_cost)
+    ~improve:(fun cost binding worst ->
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Some (binding, worst)
+      end)
+    0 0 false;
+  (!best, counters)
+
+(* Parallel path: enumerate the decision tree down to a split depth
+   into independent subtree tasks (each carrying its own loads
+   snapshot), order the tasks by the cost of a greedy completion of
+   their prefix, and run them on a domain pool with a shared atomic
+   incumbent for cross-domain pruning.  The search is best-first at
+   both levels: tasks are claimed cheapest-estimate-first through the
+   pool's cursor, and inside a task the lower-bound child (software) is
+   descended first.  The cheapest greedy completion also seeds the
+   incumbent, so the most promising subtrees run against a tight bound
+   from the first node and the expensive subtrees are pruned wholesale
+   — this helps even when the domains outnumber the cores. *)
+type task = {
+  t_choices : int array;  (** full-length decision vector, prefix filled *)
+  t_area : int;
+  t_any_sw : bool;
+  t_loads : int array;
+  t_bound : int;
+}
+
+let split_depth ~jobs ~n =
+  let target = jobs * 32 in
+  let rec depth d = if 1 lsl d >= target || d >= 14 then d else depth (d + 1) in
+  min (n - 2) (depth 0)
+
+let solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+  let n = Array.length nodes in
+  let depth = split_depth ~jobs ~n in
+  let prefix_counters = { explored = 0; pruned = 0 } in
+  let tasks = ref [] in
+  let loads = Array.make n_apps 0 in
+  let choices = Array.make n 0 in
+  (* No incumbent exists yet, so enumeration prunes on capacity only;
+     its node counts fold into the totals. *)
+  let rec enumerate i area any_sw =
+    if i = depth then
+      let bound = area + if any_sw then processor_cost else 0 in
+      tasks :=
+        {
+          t_choices = Array.copy choices;
+          t_area = area;
+          t_any_sw = any_sw;
+          t_loads = Array.copy loads;
+          t_bound = bound;
+        }
+        :: !tasks
+    else begin
+      prefix_counters.explored <- prefix_counters.explored + 1;
+      let nd = nodes.(i) in
+      (match nd.hw with
+      | Some a ->
+        choices.(i) <- choice_hw;
+        enumerate (i + 1) (area + a) any_sw
+      | None -> ());
+      match nd.sw with
+      | Some load ->
+        let ok = ref true in
+        Array.iter
+          (fun ai ->
+            loads.(ai) <- loads.(ai) + load;
+            if loads.(ai) > capacity then ok := false)
+          nd.members;
+        if !ok then begin
+          choices.(i) <- choice_sw;
+          enumerate (i + 1) area true
+        end
+        else prefix_counters.pruned <- prefix_counters.pruned + 1;
+        Array.iter (fun ai -> loads.(ai) <- loads.(ai) - load) nd.members
+      | None -> ()
+    end
+  in
+  enumerate 0 0 false;
+  let tasks = Array.of_list !tasks in
+  (* Greedy completion of a task prefix: place each remaining process in
+     software when the loads allow it, in hardware otherwise.  The
+     result is a feasible solution of the task's subtree (when every
+     process has the needed option), which serves two purposes:
+
+     - the cheapest greedy completion seeds the shared incumbent with a
+       real candidate before any domain starts, so no worker searches
+       with a cold [max_int] bound;
+     - tasks are scheduled cheapest-estimate-first.  The greedy cost is
+       an upper bound on the subtree optimum, which predicts solution
+       quality far better than the lower bound: a prefix that commits
+       everything to software looks unbeatable to the bound yet burns
+       the capacity that its completion then pays for in area. *)
+  let greedy_complete t =
+    let loads = Array.copy t.t_loads in
+    let filled = Array.copy t.t_choices in
+    let area = ref t.t_area and any_sw = ref t.t_any_sw in
+    let feasible = ref true in
+    for i = depth to n - 1 do
+      if !feasible then begin
+        let nd = nodes.(i) in
+        let sw_fits =
+          match nd.sw with
+          | None -> false
+          | Some load ->
+            Array.for_all (fun ai -> loads.(ai) + load <= capacity) nd.members
+        in
+        if sw_fits then begin
+          let load = Option.get nd.sw in
+          Array.iter (fun ai -> loads.(ai) <- loads.(ai) + load) nd.members;
+          filled.(i) <- choice_sw;
+          any_sw := true
+        end
+        else
+          match nd.hw with
+          | Some a ->
+            filled.(i) <- choice_hw;
+            area := !area + a
+          | None -> feasible := false
+      end
+    done;
+    if !feasible then
+      let cost = !area + if !any_sw then processor_cost else 0 in
+      Some (cost, materialize ~nodes ~n filled, Array.fold_left max 0 loads)
+    else None
+  in
+  let estimates = Array.map greedy_complete tasks in
+  let order = Array.init (Array.length tasks) Fun.id in
+  let estimate i =
+    match estimates.(i) with Some (c, _, _) -> c | None -> max_int
+  in
+  Array.sort
+    (fun a b ->
+      match Int.compare (estimate a) (estimate b) with
+      | 0 -> Int.compare tasks.(a).t_bound tasks.(b).t_bound
+      | c -> c)
+    order;
+  let tasks = Array.map (fun i -> tasks.(i)) order in
+  let seed_best = ref None and seed_cost = ref max_int in
+  Array.iter
+    (fun e ->
+      match e with
+      | Some (cost, binding, worst)
+        when cost < !seed_cost && accept binding ->
+        seed_cost := cost;
+        seed_best := Some (binding, worst)
+      | Some _ | None -> ())
+    estimates;
+  let incumbent = Atomic.make !seed_cost in
+  let results =
+    Par.map ~jobs
+      (fun t ->
+        let counters = { explored = 0; pruned = 0 } in
+        let local_best = ref None and local_cost = ref max_int in
+        search ~sw_first:true ~capacity ~processor_cost ~accept ~nodes ~n
+          ~loads:t.t_loads ~choices:t.t_choices ~counters
+          ~current_bound:(fun () -> Atomic.get incumbent)
+          ~improve:(fun cost binding worst ->
+            if cost < !local_cost then begin
+              local_cost := cost;
+              local_best := Some (binding, worst)
+            end;
+            (* lower the shared incumbent monotonically *)
+            let rec lower () =
+              let cur = Atomic.get incumbent in
+              if cost < cur && not (Atomic.compare_and_set incumbent cur cost)
+              then lower ()
+            in
+            lower ())
+          depth t.t_area t.t_any_sw;
+        (!local_best, !local_cost, counters))
+      tasks
+  in
+  let best = ref !seed_best and best_cost = ref !seed_cost in
+  let counters = prefix_counters in
+  Array.iter
+    (fun (local_best, local_cost, c) ->
+      counters.explored <- counters.explored + c.explored;
+      counters.pruned <- counters.pruned + c.pruned;
+      match local_best with
+      | Some bw when local_cost < !best_cost ->
+        best_cost := local_cost;
+        best := Some bw
+      | Some _ | None -> ())
+    results;
+  (!best, counters)
+
+let resolve_jobs = function
+  | 0 -> Par.available_jobs ()
+  | j when j < 0 -> invalid_arg "Explore: negative jobs"
+  | j -> j
+
+let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
+    ?(fixed = Binding.empty) ?(accept = fun _ -> true) tech apps =
+  let jobs = resolve_jobs jobs in
+  let procs =
+    Array.of_list (I.Process_id.Set.elements (App.union_procs apps))
+  in
+  let apps = Array.of_list apps in
+  match compile ~fixed tech apps procs with
+  | exception Diagnosed d -> Error d
+  | nodes ->
+    let processor_cost = Tech.processor_cost tech in
+    let n = Array.length nodes in
+    let n_apps = Array.length apps in
+    let best, counters =
+      if jobs = 1 || n < 4 then
+        solve_seq ~capacity ~processor_cost ~accept ~nodes ~n_apps
+      else solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps
+    in
+    (match best with
+    | None -> Error Infeasible
+    | Some (binding, worst_load) ->
+      Ok
+        {
+          binding;
+          cost = Cost.of_binding tech binding;
+          worst_load;
+          explored = counters.explored;
+          pruned = counters.pruned;
+        })
+
+let optimal ?jobs ?capacity ?fixed ?accept tech apps =
+  match solve ?jobs ?capacity ?fixed ?accept tech apps with
+  | Ok s -> Some s
+  | Error _ -> None
+
+let optimal_exn ?jobs ?capacity ?fixed ?accept tech apps =
+  match solve ?jobs ?capacity ?fixed ?accept tech apps with
+  | Ok s -> s
+  | Error d ->
+    failwith (Format.asprintf "Explore.optimal: %a" pp_diagnostic d)
 
 let pp_solution ppf s =
-  Format.fprintf ppf "@[<v>binding: %a@,cost: %a@,worst load: %d (explored %d)@]"
-    Binding.pp s.binding Cost.pp s.cost s.worst_load s.explored
+  Format.fprintf ppf
+    "@[<v>binding: %a@,cost: %a@,worst load: %d (explored %d, pruned %d)@]"
+    Binding.pp s.binding Cost.pp s.cost s.worst_load s.explored s.pruned

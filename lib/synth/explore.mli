@@ -5,38 +5,79 @@
     exclusive variants never share a schedulability budget, which is
     exactly where a variant-aware representation beats both independent
     synthesis and superposition.  The explorer is exact: it returns a
-    cost-minimal feasible binding when one exists. *)
+    cost-minimal feasible binding when one exists.
+
+    With [jobs > 1] the decision tree is split at a configurable depth
+    into independent subtree tasks, sorted by their lower bound and run
+    on a pool of OCaml 5 domains sharing an atomic incumbent cost for
+    cross-domain pruning.  The optimal cost is identical for every job
+    count; when several bindings attain it, the one returned may
+    differ.  [jobs = 1] is the sequential reference implementation. *)
 
 type solution = {
   binding : Binding.t;
   cost : Cost.breakdown;
   worst_load : int;  (** highest per-application software load *)
-  explored : int;  (** branch-and-bound nodes visited *)
+  explored : int;
+      (** decision nodes expanded: nodes that survived the bound check
+          and branched on a process (aggregated across domains) *)
+  pruned : int;
+      (** subtrees cut by the incumbent bound or a capacity overload *)
 }
 
+type diagnostic =
+  | Pinned_impl_unavailable of {
+      process : Spi.Ids.Process_id.t;
+      impl : Binding.impl;
+    }
+      (** a [fixed] binding pins [process] to an implementation its
+          technology entry does not offer — no completion can exist,
+          regardless of capacity *)
+  | Infeasible  (** genuine infeasibility: every binding overloads some
+          application or is rejected by [accept] *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val solve :
+  ?jobs:int ->
+  ?capacity:int ->
+  ?fixed:Binding.t ->
+  ?accept:(Binding.t -> bool) ->
+  Tech.t ->
+  App.t list ->
+  (solution, diagnostic) result
+(** [jobs] is the domain count: 1 (default) for the sequential
+    reference, [n > 1] for a pool of [n] domains, 0 for the machine's
+    recommended domain count.  [fixed] pins implementations for some
+    processes (used by the incremental baseline).  [accept] is an
+    additional feasibility filter evaluated on complete bindings —
+    e.g. {!Timing.all_satisfied} partially applied, to demand
+    latency-path constraints on top of schedulability; with [jobs > 1]
+    it is called concurrently from several domains and must be
+    thread-safe (the bundled filters are pure).
+    @raise Not_found when an application process is missing from the
+    technology library.
+    @raise Invalid_argument when [jobs < 0]. *)
+
 val optimal :
+  ?jobs:int ->
   ?capacity:int ->
   ?fixed:Binding.t ->
   ?accept:(Binding.t -> bool) ->
   Tech.t ->
   App.t list ->
   solution option
-(** [fixed] pins implementations for some processes (used by the
-    incremental baseline).  [accept] is an additional feasibility
-    filter evaluated on complete bindings — e.g.
-    {!Timing.all_satisfied} partially applied, to demand latency-path
-    constraints on top of schedulability.  [None] when no feasible
-    binding exists.
-    @raise Not_found when an application process is missing from the
-    technology library. *)
+(** {!solve} with the diagnostic collapsed to [None] — for callers that
+    only care whether a feasible binding exists. *)
 
 val optimal_exn :
+  ?jobs:int ->
   ?capacity:int ->
   ?fixed:Binding.t ->
   ?accept:(Binding.t -> bool) ->
   Tech.t ->
   App.t list ->
   solution
-(** @raise Failure when infeasible. *)
+(** @raise Failure with the diagnostic's message when infeasible. *)
 
 val pp_solution : Format.formatter -> solution -> unit

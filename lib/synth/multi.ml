@@ -17,6 +17,7 @@ type solution = {
   asic_area : int;
   worst_load : (I.Resource_id.t * int) list;
   explored : int;
+  pruned : int;
 }
 
 let check_processors procs =
@@ -30,96 +31,302 @@ let check_processors procs =
          else p.id :: seen)
        [] procs)
 
-(* Search state: per (application, processor) accumulated load, the set
-   of processors in use (bitmask over the processor array), and the
-   accumulated ASIC area.  Lower bound: area + cost of processors used
-   so far — placements only ever add processors and area. *)
-let optimal ?(accept = fun _ -> true) tech processors apps =
+(* Per-process search data, memoized once per [optimal] call (same
+   scheme as {!Explore}): technology options and application membership
+   as an index list. *)
+type node = {
+  pid : I.Process_id.t;
+  sw : int option;
+  hw : int option;
+  members : int array;
+}
+
+type counters = { mutable explored : int; mutable pruned : int }
+
+(* Mutable per-search state: per (application, processor) accumulated
+   load and the set of processors in use.  The processor cost of the
+   used set is threaded through the recursion incrementally instead of
+   being rescanned at every node.  Lower bound: area + cost of
+   processors used so far — placements only ever add processors and
+   area. *)
+type state = { loads : int array array; used : bool array }
+
+let copy_state st =
+  { loads = Array.map Array.copy st.loads; used = Array.copy st.used }
+
+(* Counter semantics match {!Explore}: [explored] counts decision nodes
+   expanded, [pruned] counts subtrees cut by the bound or a capacity
+   overload.  As in {!Explore.search}, the sequential reference visits
+   the hardware child first while the parallel path sets [sw_first]:
+   a software placement on an already-used processor adds no cost, so
+   descending software first is best-first. *)
+let search ~sw_first ~procs_arr ~accept ~nodes ~n ~st ~counters ~current_bound
+    ~improve start binding0 area0 cpu_cost0 =
+  let n_cpu = Array.length procs_arr in
+  let rec go i binding area cpu_cost =
+    let lower = area + cpu_cost in
+    if lower >= current_bound () then counters.pruned <- counters.pruned + 1
+    else if i = n then begin
+      if accept binding then improve lower binding area st
+    end
+    else begin
+      counters.explored <- counters.explored + 1;
+      let nd = nodes.(i) in
+      let try_hw () =
+        match nd.hw with
+        | Some a ->
+          go (i + 1) (I.Process_id.Map.add nd.pid Hw binding) (area + a) cpu_cost
+        | None -> ()
+      and try_sw () =
+        match nd.sw with
+        | Some load ->
+          for c = 0 to n_cpu - 1 do
+            let ok = ref true in
+            Array.iter
+              (fun ai ->
+                st.loads.(ai).(c) <- st.loads.(ai).(c) + load;
+                if st.loads.(ai).(c) > procs_arr.(c).capacity then ok := false)
+              nd.members;
+            let was_used = st.used.(c) in
+            st.used.(c) <- true;
+            let cpu_cost' =
+              if was_used then cpu_cost else cpu_cost + procs_arr.(c).cost
+            in
+            if !ok then
+              go (i + 1)
+                (I.Process_id.Map.add nd.pid (Sw_on procs_arr.(c).id) binding)
+                area cpu_cost'
+            else counters.pruned <- counters.pruned + 1;
+            if not was_used then st.used.(c) <- false;
+            Array.iter
+              (fun ai -> st.loads.(ai).(c) <- st.loads.(ai).(c) - load)
+              nd.members
+          done
+        | None -> ()
+      in
+      if sw_first then begin
+        try_sw ();
+        try_hw ()
+      end
+      else begin
+        try_hw ();
+        try_sw ()
+      end
+    end
+  in
+  go start binding0 area0 cpu_cost0
+
+type task = {
+  t_binding : binding;
+  t_area : int;
+  t_cpu_cost : int;
+  t_state : state;
+  t_bound : int;
+}
+
+let split_depth ~jobs ~n ~branching =
+  let target = jobs * 32 in
+  let rec depth d reach =
+    if reach >= target || d >= 10 then d else depth (d + 1) (reach * branching)
+  in
+  min (n - 2) (depth 0 1)
+
+let candidate ~procs_arr ~st cost binding area =
+  let n_cpu = Array.length procs_arr in
+  let n_app = Array.length st.loads in
+  let worst_load =
+    List.init n_cpu (fun c ->
+        let w = ref 0 in
+        for a = 0 to n_app - 1 do
+          w := max !w st.loads.(a).(c)
+        done;
+        (procs_arr.(c).id, !w))
+  in
+  let processors_used =
+    List.filter_map
+      (fun c -> if st.used.(c) then Some procs_arr.(c).id else None)
+      (List.init n_cpu Fun.id)
+  in
+  {
+    binding;
+    total_cost = cost;
+    processors_used;
+    asic_area = area;
+    worst_load;
+    explored = 0;
+    pruned = 0;
+  }
+
+let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
+  let jobs = match jobs with
+    | 0 -> Par.available_jobs ()
+    | j when j < 0 -> invalid_arg "Multi: negative jobs"
+    | j -> j
+  in
   check_processors processors;
   let procs_arr = Array.of_list processors in
   let n_cpu = Array.length procs_arr in
   let apps_arr = Array.of_list apps in
   let n_app = Array.length apps_arr in
-  let union = I.Process_id.Set.elements (App.union_procs apps) in
-  let membership pid =
-    Array.map (fun (a : App.t) -> I.Process_id.Set.mem pid a.App.procs) apps_arr
+  let union =
+    Array.of_list (I.Process_id.Set.elements (App.union_procs apps))
   in
-  let loads = Array.make_matrix n_app n_cpu 0 in
-  let used = Array.make n_cpu false in
-  let best = ref None and best_cost = ref max_int in
-  let explored = ref 0 in
-  let cpu_cost_used () =
-    let total = ref 0 in
-    Array.iteri (fun i u -> if u then total := !total + procs_arr.(i).cost) used;
-    !total
+  let nodes =
+    Array.map
+      (fun pid ->
+        let o = Tech.options_of tech pid in
+        let hits = ref [] in
+        Array.iteri
+          (fun i (a : App.t) ->
+            if I.Process_id.Set.mem pid a.App.procs then hits := i :: !hits)
+          apps_arr;
+        {
+          pid;
+          sw = Option.map (fun s -> s.Tech.load) o.Tech.sw;
+          hw = Option.map (fun h -> h.Tech.area) o.Tech.hw;
+          members = Array.of_list (List.rev !hits);
+        })
+      union
   in
-  let rec search remaining binding area =
-    incr explored;
-    let lower = area + cpu_cost_used () in
-    if lower >= !best_cost then ()
-    else
-      match remaining with
-      | [] ->
-        if accept binding then begin
-          best_cost := lower;
-          let worst_load =
-            List.init n_cpu (fun c ->
-                let w = ref 0 in
-                for a = 0 to n_app - 1 do
-                  w := max !w loads.(a).(c)
-                done;
-                (procs_arr.(c).id, !w))
-          in
-          let processors_used =
-            List.filter_map
-              (fun c -> if used.(c) then Some procs_arr.(c).id else None)
-              (List.init n_cpu Fun.id)
-          in
-          best :=
-            Some
-              {
-                binding;
-                total_cost = lower;
-                processors_used;
-                asic_area = area;
-                worst_load;
-                explored = 0;
-              }
-        end
-      | pid :: rest ->
-        let options = Tech.options_of tech pid in
-        let member = membership pid in
-        (* hardware first: cheapest completions tighten the bound *)
-        (match options.Tech.hw with
-        | Some { Tech.area = a } ->
-          search rest (I.Process_id.Map.add pid Hw binding) (area + a)
+  let n = Array.length nodes in
+  let fresh_state () =
+    { loads = Array.make_matrix n_app n_cpu 0; used = Array.make n_cpu false }
+  in
+  if jobs = 1 || n < 4 then begin
+    let st = fresh_state () in
+    let counters = { explored = 0; pruned = 0 } in
+    let best = ref None and best_cost = ref max_int in
+    search ~sw_first:false ~procs_arr ~accept ~nodes ~n ~st ~counters
+      ~current_bound:(fun () -> !best_cost)
+      ~improve:(fun cost binding area st ->
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := Some (candidate ~procs_arr ~st cost binding area)
+        end)
+      0 I.Process_id.Map.empty 0 0;
+    Option.map
+      (fun (s : solution) ->
+        { s with explored = counters.explored; pruned = counters.pruned })
+      !best
+  end
+  else begin
+    (* enumerate subtree tasks at the split depth, best-first by bound *)
+    let depth = split_depth ~jobs ~n ~branching:(1 + n_cpu) in
+    let prefix_counters = { explored = 0; pruned = 0 } in
+    let st = fresh_state () in
+    let tasks = ref [] in
+    let rec enumerate i binding area cpu_cost =
+      if i = depth then
+        tasks :=
+          {
+            t_binding = binding;
+            t_area = area;
+            t_cpu_cost = cpu_cost;
+            t_state = copy_state st;
+            t_bound = area + cpu_cost;
+          }
+          :: !tasks
+      else begin
+        prefix_counters.explored <- prefix_counters.explored + 1;
+        let nd = nodes.(i) in
+        (match nd.hw with
+        | Some a ->
+          enumerate (i + 1) (I.Process_id.Map.add nd.pid Hw binding) (area + a) cpu_cost
         | None -> ());
-        (match options.Tech.sw with
-        | Some { Tech.load } ->
+        match nd.sw with
+        | Some load ->
           for c = 0 to n_cpu - 1 do
             let ok = ref true in
-            Array.iteri
-              (fun a m ->
-                if m then begin
-                  loads.(a).(c) <- loads.(a).(c) + load;
-                  if loads.(a).(c) > procs_arr.(c).capacity then ok := false
-                end)
-              member;
-            let was_used = used.(c) in
-            used.(c) <- true;
+            Array.iter
+              (fun ai ->
+                st.loads.(ai).(c) <- st.loads.(ai).(c) + load;
+                if st.loads.(ai).(c) > procs_arr.(c).capacity then ok := false)
+              nd.members;
+            let was_used = st.used.(c) in
+            st.used.(c) <- true;
+            let cpu_cost' =
+              if was_used then cpu_cost else cpu_cost + procs_arr.(c).cost
+            in
             if !ok then
-              search rest
-                (I.Process_id.Map.add pid (Sw_on procs_arr.(c).id) binding)
-                area;
-            if not was_used then used.(c) <- false;
-            Array.iteri
-              (fun a m -> if m then loads.(a).(c) <- loads.(a).(c) - load)
-              member
+              enumerate (i + 1)
+                (I.Process_id.Map.add nd.pid (Sw_on procs_arr.(c).id) binding)
+                area cpu_cost'
+            else prefix_counters.pruned <- prefix_counters.pruned + 1;
+            if not was_used then st.used.(c) <- false;
+            Array.iter
+              (fun ai -> st.loads.(ai).(c) <- st.loads.(ai).(c) - load)
+              nd.members
           done
-        | None -> ())
-  in
-  search union I.Process_id.Map.empty 0;
-  Option.map (fun s -> { s with explored = !explored }) !best
+        | None -> ()
+      end
+    in
+    enumerate 0 I.Process_id.Map.empty 0 0;
+    let tasks = Array.of_list !tasks in
+    Array.sort (fun a b -> Int.compare a.t_bound b.t_bound) tasks;
+    let incumbent = Atomic.make max_int in
+    let seed_best = ref None and seed_cost = ref max_int in
+    (* Root incumbent seeding, as in {!Explore.solve_par}: dive the best
+       subtree sequentially so the pool never starts with a cold bound. *)
+    if Array.length tasks > 0 then begin
+      let t = tasks.(0) in
+      search ~sw_first:true ~procs_arr ~accept ~nodes ~n ~st:t.t_state
+        ~counters:prefix_counters
+        ~current_bound:(fun () -> Atomic.get incumbent)
+        ~improve:(fun cost binding area st ->
+          if cost < !seed_cost then begin
+            seed_cost := cost;
+            seed_best := Some (candidate ~procs_arr ~st cost binding area);
+            Atomic.set incumbent cost
+          end)
+        depth t.t_binding t.t_area t.t_cpu_cost
+    end;
+    let tasks =
+      if Array.length tasks > 0 then Array.sub tasks 1 (Array.length tasks - 1)
+      else tasks
+    in
+    let results =
+      Par.map ~jobs
+        (fun t ->
+          let counters = { explored = 0; pruned = 0 } in
+          let local_best = ref None and local_cost = ref max_int in
+          search ~sw_first:true ~procs_arr ~accept ~nodes ~n ~st:t.t_state ~counters
+            ~current_bound:(fun () -> Atomic.get incumbent)
+            ~improve:(fun cost binding area st ->
+              if cost < !local_cost then begin
+                local_cost := cost;
+                local_best := Some (candidate ~procs_arr ~st cost binding area)
+              end;
+              let rec lower () =
+                let cur = Atomic.get incumbent in
+                if cost < cur
+                   && not (Atomic.compare_and_set incumbent cur cost)
+                then lower ()
+              in
+              lower ())
+            depth t.t_binding t.t_area t.t_cpu_cost;
+          (!local_best, !local_cost, counters))
+        tasks
+    in
+    let best = ref !seed_best and best_cost = ref !seed_cost in
+    Array.iter
+      (fun (local_best, local_cost, c) ->
+        prefix_counters.explored <- prefix_counters.explored + c.explored;
+        prefix_counters.pruned <- prefix_counters.pruned + c.pruned;
+        match local_best with
+        | Some s when local_cost < !best_cost ->
+          best_cost := local_cost;
+          best := Some s
+        | Some _ | None -> ())
+      results;
+    Option.map
+      (fun (s : solution) ->
+        {
+          s with
+          explored = prefix_counters.explored;
+          pruned = prefix_counters.pruned;
+        })
+      !best
+  end
 
 let to_simple binding =
   I.Process_id.Map.fold

@@ -5,7 +5,13 @@
     processor has its own capacity and cost, and a processor is paid for
     only when something runs on it.  Schedulability remains
     per-application and per-processor — mutually exclusive variants
-    still share every processor they are placed on. *)
+    still share every processor they are placed on.
+
+    Like {!Explore}, the search runs on a pool of OCaml 5 domains when
+    [jobs > 1]: the placement tree is split at a configurable depth into
+    independent subtree tasks (each with its own load matrix), sorted by
+    lower bound and pruned against a shared atomic incumbent.  The
+    optimal cost is identical for every job count. *)
 
 type processor = {
   id : Spi.Ids.Resource_id.t;
@@ -27,9 +33,14 @@ type solution = {
   worst_load : (Spi.Ids.Resource_id.t * int) list;
       (** per processor, the highest per-application load *)
   explored : int;
+      (** decision nodes expanded, aggregated across domains (same
+          counter semantics as {!Explore.solution}) *)
+  pruned : int;
+      (** subtrees cut by the incumbent bound or a capacity overload *)
 }
 
 val optimal :
+  ?jobs:int ->
   ?accept:(binding -> bool) ->
   Tech.t ->
   processor list ->
@@ -38,7 +49,12 @@ val optimal :
 (** Cost-minimal feasible placement, exact (branch and bound).  The
     [Tech.t] software load figures apply uniformly to every processor
     (homogeneous execution times; heterogeneous costs/capacities).
-    @raise Invalid_argument when [processors] contains duplicate ids.
+    [jobs] follows the {!Explore.solve} convention: 1 (default)
+    sequential, [n > 1] a pool of [n] domains, 0 the machine's
+    recommended domain count; [accept] must be thread-safe when
+    [jobs > 1].
+    @raise Invalid_argument when [processors] contains duplicate ids or
+    [jobs < 0].
     @raise Not_found when an application process is missing from the
     technology library. *)
 

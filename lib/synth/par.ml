@@ -1,0 +1,36 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f tasks =
+  if jobs < 1 then invalid_arg "Par.map: jobs < 1";
+  let n = Array.length tasks in
+  if jobs = 1 || n < 2 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Option.is_some (Atomic.get failure) then continue := false
+        else
+          match f tasks.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            (* keep the first failure; losing later ones is fine *)
+            ignore (Atomic.compare_and_set failure None (Some e));
+            continue := false
+      done
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index was claimed and succeeded *))
+      results
+  end

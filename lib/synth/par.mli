@@ -1,0 +1,24 @@
+(** A minimal fixed-size domain pool for search-tree fan-out.
+
+    The synthesis explorers split their decision trees into independent
+    subtree tasks; this module runs such task arrays on OCaml 5 domains.
+    Tasks are claimed in array order through a shared atomic cursor, so
+    an array sorted by priority (e.g. branch-and-bound lower bound) is
+    consumed best-first regardless of the domain count.
+
+    Task functions must be thread-safe: they may share state only
+    through [Atomic] values or their own synchronization. *)
+
+val available_jobs : unit -> int
+(** Domains this machine can usefully run, i.e.
+    [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] applies [f] to every element of [tasks] and
+    returns the results in task order.  With [jobs <= 1] (or fewer than
+    two tasks) everything runs in the calling domain — the sequential
+    reference path.  Otherwise [min jobs (Array.length tasks)] domains
+    are spawned and tasks are claimed dynamically in index order.  The
+    first exception raised by any task is re-raised after all domains
+    have joined.
+    @raise Invalid_argument when [jobs < 1]. *)

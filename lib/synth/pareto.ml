@@ -6,30 +6,141 @@ let dominates a b =
   a.total_cost <= b.total_cost && a.worst_load <= b.worst_load
   && (a.total_cost < b.total_cost || a.worst_load < b.worst_load)
 
-let frontier ?(capacity = Schedule.default_capacity) tech apps =
-  let procs = I.Process_id.Set.elements (App.union_procs apps) in
+(* Per-process data memoized once (options + application membership),
+   with the per-application loads maintained incrementally during the
+   enumeration — a leaf costs O(applications) instead of a full
+   schedulability check.  A partial assignment is abandoned as soon as
+   one application's load exceeds capacity: software loads only grow,
+   so no completion can be feasible. *)
+type node = {
+  pid : I.Process_id.t;
+  sw : int option;
+  hw : int option;
+  members : int array;
+}
+
+let enumerate ~capacity ~processor_cost ~nodes ~n ~loads start binding0 area0
+    any_sw0 =
   let points = ref [] in
-  let rec enumerate remaining binding =
-    match remaining with
-    | [] -> (
-      match Schedule.check ~capacity tech binding apps with
-      | Schedule.Feasible { worst_load; _ } ->
-        points :=
-          { binding; total_cost = Cost.total tech binding; worst_load }
-          :: !points
-      | Schedule.Overload _ | Schedule.Unbound_process _
-      | Schedule.No_sw_option _ | Schedule.No_hw_option _ -> ())
-    | pid :: rest ->
-      let o = Tech.options_of tech pid in
-      (match o.Tech.sw with
-      | Some _ -> enumerate rest (Binding.bind pid Binding.Sw binding)
+  let rec go i binding area any_sw =
+    if i = n then
+      points :=
+        {
+          binding;
+          total_cost = (area + if any_sw then processor_cost else 0);
+          worst_load = Array.fold_left max 0 loads;
+        }
+        :: !points
+    else begin
+      let nd = nodes.(i) in
+      (match nd.sw with
+      | Some load ->
+        let ok = ref true in
+        Array.iter
+          (fun ai ->
+            loads.(ai) <- loads.(ai) + load;
+            if loads.(ai) > capacity then ok := false)
+          nd.members;
+        if !ok then go (i + 1) (Binding.bind nd.pid Binding.Sw binding) area true;
+        Array.iter (fun ai -> loads.(ai) <- loads.(ai) - load) nd.members
       | None -> ());
-      (match o.Tech.hw with
-      | Some _ -> enumerate rest (Binding.bind pid Binding.Hw binding)
-      | None -> ())
+      match nd.hw with
+      | Some a -> go (i + 1) (Binding.bind nd.pid Binding.Hw binding) (area + a) any_sw
+      | None -> ()
+    end
   in
-  enumerate procs Binding.empty;
-  let all = !points in
+  go start binding0 area0 any_sw0;
+  !points
+
+type task = {
+  t_binding : Binding.t;
+  t_area : int;
+  t_any_sw : bool;
+  t_loads : int array;
+}
+
+let frontier ?(jobs = 1) ?(capacity = Schedule.default_capacity) tech apps =
+  let jobs = match jobs with
+    | 0 -> Par.available_jobs ()
+    | j when j < 0 -> invalid_arg "Pareto: negative jobs"
+    | j -> j
+  in
+  let apps_arr = Array.of_list apps in
+  let n_apps = Array.length apps_arr in
+  let nodes =
+    Array.map
+      (fun pid ->
+        let o = Tech.options_of tech pid in
+        let hits = ref [] in
+        Array.iteri
+          (fun i (a : App.t) ->
+            if I.Process_id.Set.mem pid a.App.procs then hits := i :: !hits)
+          apps_arr;
+        {
+          pid;
+          sw = Option.map (fun s -> s.Tech.load) o.Tech.sw;
+          hw = Option.map (fun h -> h.Tech.area) o.Tech.hw;
+          members = Array.of_list (List.rev !hits);
+        })
+      (Array.of_list (I.Process_id.Set.elements (App.union_procs apps)))
+  in
+  let n = Array.length nodes in
+  let processor_cost = Tech.processor_cost tech in
+  let all =
+    if jobs = 1 || n < 4 then
+      enumerate ~capacity ~processor_cost ~nodes ~n
+        ~loads:(Array.make n_apps 0) 0 Binding.empty 0 false
+    else begin
+      (* split the first decisions into independent subtree tasks *)
+      let depth =
+        let target = jobs * 8 in
+        let rec go d = if 1 lsl d >= target || d >= 10 then d else go (d + 1) in
+        min (n - 2) (go 0)
+      in
+      let tasks = ref [] in
+      let loads = Array.make n_apps 0 in
+      let rec prefixes i binding area any_sw =
+        if i = depth then
+          tasks :=
+            {
+              t_binding = binding;
+              t_area = area;
+              t_any_sw = any_sw;
+              t_loads = Array.copy loads;
+            }
+            :: !tasks
+        else begin
+          let nd = nodes.(i) in
+          (match nd.sw with
+          | Some load ->
+            let ok = ref true in
+            Array.iter
+              (fun ai ->
+                loads.(ai) <- loads.(ai) + load;
+                if loads.(ai) > capacity then ok := false)
+              nd.members;
+            if !ok then
+              prefixes (i + 1) (Binding.bind nd.pid Binding.Sw binding) area true;
+            Array.iter (fun ai -> loads.(ai) <- loads.(ai) - load) nd.members
+          | None -> ());
+          match nd.hw with
+          | Some a ->
+            prefixes (i + 1) (Binding.bind nd.pid Binding.Hw binding) (area + a)
+              any_sw
+          | None -> ()
+        end
+      in
+      prefixes 0 Binding.empty 0 false;
+      let results =
+        Par.map ~jobs
+          (fun t ->
+            enumerate ~capacity ~processor_cost ~nodes ~n ~loads:t.t_loads
+              depth t.t_binding t.t_area t.t_any_sw)
+          (Array.of_list !tasks)
+      in
+      Array.fold_left (fun acc pts -> List.rev_append pts acc) [] results
+    end
+  in
   let non_dominated =
     List.filter
       (fun p -> not (List.exists (fun q -> dominates q p) all))

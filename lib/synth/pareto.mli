@@ -13,10 +13,13 @@ type point = {
   worst_load : int;
 }
 
-val frontier : ?capacity:int -> Tech.t -> App.t list -> point list
+val frontier : ?jobs:int -> ?capacity:int -> Tech.t -> App.t list -> point list
 (** Pareto-optimal feasible bindings, sorted by increasing cost (and
     hence decreasing load).  Dominated and duplicate-valued points are
-    removed.  Empty when no feasible binding exists. *)
+    removed.  Empty when no feasible binding exists.  [jobs] follows
+    the {!Explore.solve} convention (1 sequential, [n > 1] domains, 0
+    auto): the enumeration splits into independent subtree tasks; the
+    objective vectors returned are identical for every job count. *)
 
 val dominates : point -> point -> bool
 (** [dominates a b] when [a] is no worse on both axes and better on at

@@ -20,7 +20,10 @@ type result = {
           copy shares the (already paid) processor *)
 }
 
-val superpose : ?capacity:int -> Tech.t -> App.t list -> result option
-(** [None] when any single application is infeasible on its own. *)
+val superpose :
+  ?jobs:int -> ?capacity:int -> Tech.t -> App.t list -> result option
+(** [None] when any single application is infeasible on its own.
+    [jobs] is forwarded to each per-application {!Explore.optimal}
+    call (same convention: 1 sequential, [n > 1] domains, 0 auto). *)
 
 val pp_result : Format.formatter -> result -> unit

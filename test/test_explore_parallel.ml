@@ -1,0 +1,193 @@
+(* Tests for the parallel exploration path: parallel/sequential cost
+   equivalence on random instances, counter aggregation, and the
+   structured diagnostics of {!Synth.Explore.solve}. *)
+
+module I = Spi.Ids
+module F2 = Paper.Figure2
+
+let pid = I.Process_id.of_string
+
+(* Random instance in the style of the brute-force property in
+   [Test_synth]: overlapping applications over a random technology.
+   Large enough that the parallel path actually splits (n >= 4). *)
+let random_instance ~n ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pids = List.init n (fun i -> pid (Format.sprintf "q%d" i)) in
+  let tech =
+    Synth.Tech.make ~processor_cost:(5 + Random.State.int rng 20)
+      (List.map
+         (fun p ->
+           ( p,
+             Synth.Tech.both
+               ~load:(5 + Random.State.int rng 60)
+               ~area:(5 + Random.State.int rng 60) ))
+         pids)
+  in
+  let subset () = List.filter (fun _ -> Random.State.bool rng) pids in
+  let apps =
+    [
+      Synth.App.make "a" (match subset () with [] -> [ List.hd pids ] | s -> s);
+      Synth.App.make "b" (match subset () with [] -> [ List.hd pids ] | s -> s);
+      Synth.App.make "c" (match subset () with [] -> [ List.hd pids ] | s -> s);
+    ]
+  in
+  (tech, apps)
+
+(* The optimal cost must be identical for every job count, and the
+   parallel binding must itself be feasible at that cost: schedulable
+   in every application and priced at the reported total. *)
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"jobs=2/4 find the sequential optimum" ~count:40
+    QCheck.(pair (int_range 4 10) (int_range 0 1000))
+    (fun (n, seed) ->
+      let tech, apps = random_instance ~n ~seed in
+      let seq = Synth.Explore.optimal ~jobs:1 tech apps in
+      List.for_all
+        (fun jobs ->
+          let par = Synth.Explore.optimal ~jobs tech apps in
+          match (seq, par) with
+          | None, None -> true
+          | Some s, Some p ->
+            let sc = s.Synth.Explore.cost.Synth.Cost.total
+            and pc = p.Synth.Explore.cost.Synth.Cost.total in
+            sc = pc
+            && Synth.Schedule.is_feasible
+                 (Synth.Schedule.check tech p.Synth.Explore.binding apps)
+            && (Synth.Cost.of_binding tech p.Synth.Explore.binding)
+                 .Synth.Cost.total = pc
+          | Some _, None | None, Some _ -> false)
+        [ 2; 4 ])
+
+let test_parallel_counters () =
+  let tech, apps = random_instance ~n:10 ~seed:7 in
+  match Synth.Explore.optimal ~jobs:4 tech apps with
+  | None -> Alcotest.fail "instance expected feasible"
+  | Some s ->
+    Alcotest.(check bool)
+      "explored nodes aggregated across domains" true
+      (s.Synth.Explore.explored > 0);
+    Alcotest.(check bool) "pruning happened" true (s.Synth.Explore.pruned > 0)
+
+let test_jobs_validation () =
+  let tech, apps = random_instance ~n:5 ~seed:3 in
+  (try
+     ignore (Synth.Explore.optimal ~jobs:(-1) tech apps);
+     Alcotest.fail "negative jobs accepted"
+   with Invalid_argument _ -> ());
+  (* jobs=0 resolves to the recommended domain count *)
+  match
+    (Synth.Explore.optimal ~jobs:0 tech apps, Synth.Explore.optimal tech apps)
+  with
+  | Some a, Some b ->
+    Alcotest.(check int) "jobs=0 cost" b.Synth.Explore.cost.Synth.Cost.total
+      a.Synth.Explore.cost.Synth.Cost.total
+  | _ -> Alcotest.fail "instance expected feasible"
+
+(* ------------------------- diagnostics ----------------------------- *)
+
+let diagnostic =
+  Alcotest.testable Synth.Explore.pp_diagnostic (fun a b ->
+      match (a, b) with
+      | Synth.Explore.Infeasible, Synth.Explore.Infeasible -> true
+      | ( Synth.Explore.Pinned_impl_unavailable a,
+          Synth.Explore.Pinned_impl_unavailable b ) ->
+        I.Process_id.equal a.process b.process && a.impl = b.impl
+      | _ -> false)
+
+let solution_cost = Alcotest.testable Synth.Explore.pp_solution (fun _ _ -> true)
+
+let result_t = Alcotest.result solution_cost diagnostic
+
+let test_pinned_impl_unavailable () =
+  let x = pid "x" and y = pid "y" in
+  let tech =
+    Synth.Tech.make
+      [
+        (x, Synth.Tech.sw_only ~load:10);
+        (y, Synth.Tech.both ~load:10 ~area:5);
+      ]
+  in
+  let apps = [ Synth.App.make "a" [ x; y ] ] in
+  (* pinning x to hardware is unsatisfiable: its entry has no hw option *)
+  let fixed = Synth.Binding.of_list [ (x, Synth.Binding.Hw) ] in
+  Alcotest.check result_t "names the pinned process and impl"
+    (Error
+       (Synth.Explore.Pinned_impl_unavailable
+          { process = x; impl = Synth.Binding.Hw }))
+    (Synth.Explore.solve ~fixed tech apps);
+  (* the mirror image: pinning a hw-only process to software *)
+  let tech_hw =
+    Synth.Tech.make
+      [ (x, Synth.Tech.hw_only ~area:7); (y, Synth.Tech.both ~load:10 ~area:5) ]
+  in
+  let fixed_sw = Synth.Binding.of_list [ (x, Synth.Binding.Sw) ] in
+  Alcotest.check result_t "sw pin on hw-only process"
+    (Error
+       (Synth.Explore.Pinned_impl_unavailable
+          { process = x; impl = Synth.Binding.Sw }))
+    (Synth.Explore.solve ~fixed:fixed_sw tech_hw apps)
+
+let test_genuinely_infeasible_is_distinct () =
+  (* a software-only process whose load exceeds any capacity is a
+     capacity infeasibility, not a pinning error *)
+  let tech = Synth.Tech.make [ (pid "x", Synth.Tech.sw_only ~load:200) ] in
+  let apps = [ Synth.App.make "a" [ pid "x" ] ] in
+  Alcotest.check result_t "plain Infeasible" (Error Synth.Explore.Infeasible)
+    (Synth.Explore.solve tech apps);
+  (* the parallel path reports the same diagnostic *)
+  let tech5 =
+    Synth.Tech.make
+      (List.init 5 (fun i ->
+           (pid (Format.sprintf "x%d" i), Synth.Tech.sw_only ~load:200)))
+  in
+  let apps5 =
+    [ Synth.App.make "a" (List.init 5 (fun i -> pid (Format.sprintf "x%d" i))) ]
+  in
+  Alcotest.check result_t "parallel path Infeasible"
+    (Error Synth.Explore.Infeasible)
+    (Synth.Explore.solve ~jobs:4 tech5 apps5)
+
+let test_pinned_diagnostic_parallel () =
+  (* validation fires before the domain pool spins up *)
+  let xs = List.init 6 (fun i -> pid (Format.sprintf "x%d" i)) in
+  let tech =
+    Synth.Tech.make
+      (List.map
+         (fun p ->
+           if I.Process_id.equal p (List.hd xs) then
+             (p, Synth.Tech.sw_only ~load:5)
+           else (p, Synth.Tech.both ~load:5 ~area:10))
+         xs)
+  in
+  let apps = [ Synth.App.make "a" xs ] in
+  let fixed = Synth.Binding.of_list [ (List.hd xs, Synth.Binding.Hw) ] in
+  Alcotest.check result_t "jobs=4 pinning diagnostic"
+    (Error
+       (Synth.Explore.Pinned_impl_unavailable
+          { process = List.hd xs; impl = Synth.Binding.Hw }))
+    (Synth.Explore.solve ~jobs:4 ~fixed tech apps)
+
+let test_table1_parallel () =
+  (* the canonical Table 1 optimum survives every job count *)
+  List.iter
+    (fun jobs ->
+      let s = Synth.Explore.optimal_exn ~jobs F2.table1_tech [ F2.app1; F2.app2 ] in
+      Alcotest.(check int)
+        (Format.sprintf "jobs=%d" jobs)
+        41 s.Synth.Explore.cost.Synth.Cost.total)
+    [ 1; 2; 4 ]
+
+let suite =
+  ( "explore-parallel",
+    [
+      QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
+      Alcotest.test_case "counters aggregated" `Quick test_parallel_counters;
+      Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+      Alcotest.test_case "pinned impl unavailable" `Quick
+        test_pinned_impl_unavailable;
+      Alcotest.test_case "infeasible stays distinct" `Quick
+        test_genuinely_infeasible_is_distinct;
+      Alcotest.test_case "pinned diagnostic, parallel" `Quick
+        test_pinned_diagnostic_parallel;
+      Alcotest.test_case "table1 across job counts" `Quick test_table1_parallel;
+    ] )
