@@ -13,7 +13,10 @@
    Options: --no-perf skips the Bechamel suite, --jobs N runs the
    synthesis explorers on N domains, and explore-json (with optional
    --json FILE, --tiny, --label TEXT) appends a machine-readable perf
-   record to the benchmark trajectory (see docs/BENCH.md). *)
+   record to the benchmark trajectory (see docs/BENCH.md).
+   check-trajectory gates the trajectory file: it fails when the
+   freshest record's optimal costs diverge across job counts or its
+   aggregate speedup regressed >30%% against the previous record. *)
 
 module I = Spi.Ids
 module F1 = Paper.Figure1
@@ -25,6 +28,7 @@ let jobs = ref 1
 let json_path = ref "BENCH_explore.json"
 let tiny = ref false
 let label = ref ""
+let tolerance = ref 0.3
 
 let header title =
   Format.printf "@.==================================================@.";
@@ -616,7 +620,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let record_to_json ~timestamp ~label ~max_jobs workload_rows =
+let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
   let b = Buffer.create 1024 in
   let add fmt = Format.ksprintf (Buffer.add_string b) fmt in
   add "  {\n";
@@ -663,9 +667,12 @@ let record_to_json ~timestamp ~label ~max_jobs workload_rows =
   in
   let t1 = total 1 and tm = total max_jobs in
   add "    \"aggregate\": {\"wall_s_jobs1\": %.6f, \"wall_s_max_jobs\": %.6f, \
-       \"speedup_max_jobs\": %.3f}\n"
+       \"speedup_max_jobs\": %.3f},\n"
     t1 tm
     (if tm > 0. then t1 /. tm else 1.);
+  (* the explorer's obs/v1 snapshot for this record's runs, pre-rendered
+     because it comes from a different JSON emitter *)
+  add "    \"metrics\": %s\n" metrics;
   add "  }";
   Buffer.contents b
 
@@ -701,6 +708,9 @@ let append_record path record =
 
 let explore_json () =
   header "explore-json: parallel exploration perf trajectory";
+  (* start the registry from zero so the embedded snapshot covers
+     exactly this experiment's exploration work *)
+  Obs.Registry.reset ();
   let job_counts = [ 1; 2; 4 ] in
   let max_jobs = List.fold_left max 1 job_counts in
   let reps = if !tiny then 1 else 3 in
@@ -768,11 +778,25 @@ let explore_json () =
           identical ))
       (explore_workloads ())
   in
+  let metrics = Obs.Json.to_string (Obs.Registry.snapshot ()) in
   let record =
-    record_to_json ~timestamp:(Unix.time ()) ~label:!label ~max_jobs rows
+    record_to_json ~timestamp:(Unix.time ()) ~label:!label ~max_jobs ~metrics
+      rows
   in
   append_record !json_path record;
   Format.printf "@.appended record to %s@." !json_path
+
+(* ------------------------------------------------------------------ *)
+(* check-trajectory: the CI regression gate over the trajectory file.  *)
+(* ------------------------------------------------------------------ *)
+
+let check_trajectory () =
+  header (Format.sprintf "check-trajectory: gate on %s" !json_path);
+  match Trajectory.check_file ~tolerance:!tolerance !json_path with
+  | Ok summary -> Format.printf "PASS: %s@." summary
+  | Error failures ->
+    List.iter (fun f -> Format.printf "FAIL: %s@." f) failures;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel performance suite: one Test.make per experiment.           *)
@@ -862,7 +886,8 @@ let experiments =
 let usage () =
   Format.eprintf
     "usage: main.exe [EXPERIMENT...] [--no-perf] [--jobs N] [--tiny] [--json \
-     FILE] [--label TEXT]@.available experiments: %s, perf@."
+     FILE] [--label TEXT] [--tolerance F]@.available experiments: %s, perf, \
+     check-trajectory@."
     (String.concat ", " (List.map fst experiments));
   exit 1
 
@@ -891,7 +916,14 @@ let () =
     | "--label" :: v :: rest ->
       label := v;
       parse names rest
-    | ("--jobs" | "--json" | "--label") :: [] -> usage ()
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t -> tolerance := t
+      | None ->
+        Format.eprintf "--tolerance expects a float, got %s@." v;
+        exit 1);
+      parse names rest
+    | ("--jobs" | "--json" | "--label" | "--tolerance") :: [] -> usage ()
     | a :: _ when String.length a > 2 && String.sub a 0 2 = "--" -> usage ()
     | name :: rest -> parse (name :: names) rest
   in
@@ -906,5 +938,8 @@ let () =
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
-        | None -> if name = "perf" then run_perf () else usage ())
+        | None ->
+          if name = "perf" then run_perf ()
+          else if name = "check-trajectory" then check_trajectory ()
+          else usage ())
       names

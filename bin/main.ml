@@ -146,6 +146,35 @@ let model_arg =
     & info [] ~docv:"MODEL" ~doc:(Format.sprintf "One of: %s." (String.concat ", " model_names)))
 
 (* ------------------------------------------------------------------ *)
+(* Shared options.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every command that exercises a hot path takes [--metrics FILE] and
+   writes the obs/v1 registry snapshot there on the way out — including
+   the early exits through [exit_on_outcome], which is why the write
+   happens before the exit-code checks. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the obs/v1 metrics snapshot (counters, histograms, spans) \
+           to $(docv) on exit")
+
+let write_metrics path = Option.iter Obs.Registry.to_file path
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the exploration (1 = sequential reference, 0 = \
+           one per recommended domain).")
+
+let resolve_jobs = function 0 -> Synth.Par.available_jobs () | j -> j
+
+(* ------------------------------------------------------------------ *)
 (* Commands.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -267,7 +296,7 @@ let synthesize_file_cmd =
       & opt (some file) None
       & info [ "tech" ] ~docv:"TECHFILE" ~doc:"Technology library (tech format)")
   in
-  let run path tech_path =
+  let run path tech_path metrics_path =
     with_system path (fun system ->
         (match V.System.validate system with
         | [] -> ()
@@ -297,12 +326,13 @@ let synthesize_file_cmd =
             tech apps
         in
         Format.printf "%a@." Synth.Report.pp report;
+        write_metrics metrics_path;
         if Option.is_none report.Synth.Report.optimal then exit 1)
   in
   Cmd.v
     (Cmd.info "synthesize-file"
        ~doc:"Variant-aware synthesis of a .spi file against a tech library")
-    Term.(const run $ file_arg $ tech_arg)
+    Term.(const run $ file_arg $ tech_arg $ metrics_arg)
 
 let lint_cmd =
   let run path =
@@ -410,7 +440,7 @@ let exit_on_outcome outcome =
   if code <> 0 then exit code
 
 let simulate_cmd =
-  let run bundled policy show_trace vcd_path =
+  let run bundled policy show_trace vcd_path metrics_path =
     let model = bundled.model () in
     let result =
       Sim.Engine.run ~policy
@@ -427,6 +457,7 @@ let simulate_cmd =
     | Some path ->
       Sim.Vcd.to_file path model result;
       Format.printf "@.VCD written to %s@." path);
+    write_metrics metrics_path;
     exit_on_outcome result.Sim.Engine.outcome
   in
   Cmd.v
@@ -434,7 +465,8 @@ let simulate_cmd =
        ~doc:
          "Simulate a bundled model (exits 0 when quiescent, 2 on the time \
           limit, 3 on the firing limit)")
-    Term.(const run $ model_arg $ policy_arg $ trace_flag $ vcd_arg)
+    Term.(
+      const run $ model_arg $ policy_arg $ trace_flag $ vcd_arg $ metrics_arg)
 
 let faultsim_cmd =
   let model_name_arg =
@@ -476,7 +508,8 @@ let faultsim_cmd =
       & info [ "trace-seed" ] ~docv:"SEED"
           ~doc:"Also print the full trace of this seed's run")
   in
-  let run model_name seeds no_faults deadline drop transient trace_seed =
+  let run model_name seeds no_faults deadline drop transient trace_seed jobs
+      metrics_path =
     let with_valves =
       match model_name with
       | "video" -> true
@@ -491,6 +524,7 @@ let faultsim_cmd =
       Format.eprintf "faultsim: --seeds must be positive@.";
       exit 1
     end;
+    let jobs = resolve_jobs jobs in
     let built =
       Video.System.build { Video.System.default_params with with_valves }
     in
@@ -504,16 +538,10 @@ let faultsim_cmd =
     Format.printf "%4s  %-9s %7s %6s %5s %5s %4s %4s %4s %4s  %s@." "seed"
       "outcome" "firings" "faults" "degr" "clean" "held" "drop" "miss" "inv"
       "reconf";
-    let survived = ref 0
-    and total_faults = ref 0
-    and total_degr = ref 0
-    and total_clean = ref 0
-    and total_held = ref 0
-    and total_drop = ref 0
-    and total_miss = ref 0
-    and unsafe_seeds = ref []
-    and worst_code = ref 0 in
-    for seed = 1 to seeds do
+    (* Each seed is independent, so the campaign fans out across the
+       domain pool; all printing and aggregation happen afterwards in
+       seed order, so the report is identical for every job count. *)
+    let run_seed seed =
       let faults =
         if no_faults then None
         else
@@ -534,41 +562,58 @@ let faultsim_cmd =
              (fun (_, l) -> l > deadline)
              report.Video.Checker.frame_latencies)
       in
-      let safe = Video.Checker.is_safe report in
-      let alive =
-        result.Sim.Engine.outcome = Sim.Engine.Quiescent
-        && report.Video.Checker.clean > 0
-        && safe
-      in
-      if alive then incr survived;
-      if not safe then unsafe_seeds := seed :: !unsafe_seeds;
-      total_faults := !total_faults + Sim.Stats.total_faults stats.Sim.Stats.faults;
-      total_degr :=
-        !total_degr + stats.Sim.Stats.faults.Sim.Stats.degradations;
-      total_clean := !total_clean + report.Video.Checker.clean;
-      total_held := !total_held + report.Video.Checker.held;
-      total_drop := !total_drop + report.Video.Checker.dropped;
-      total_miss := !total_miss + misses;
-      worst_code :=
-        max !worst_code (exit_code_of_outcome result.Sim.Engine.outcome);
-      let outcome_label =
-        match result.Sim.Engine.outcome with
-        | Sim.Engine.Quiescent -> "ok"
-        | Sim.Engine.Time_limit_reached -> "time-lim"
-        | Sim.Engine.Firing_limit_reached -> "fire-lim"
-      in
-      Format.printf "%4d  %-9s %7d %6d %5d %5d %4d %4d %4d %4d  %d@." seed
-        outcome_label result.Sim.Engine.firings
-        (Sim.Stats.total_faults stats.Sim.Stats.faults)
-        stats.Sim.Stats.faults.Sim.Stats.degradations
-        report.Video.Checker.clean report.Video.Checker.held
-        report.Video.Checker.dropped misses
-        (List.length report.Video.Checker.invalid_clean)
-        report.Video.Checker.reconfiguration_time;
-      if trace_seed = Some seed then
-        Format.printf "@.--- trace of seed %d ---@.%a@.@." seed Sim.Trace.pp
-          result.Sim.Engine.trace
-    done;
+      (seed, result, report, stats, misses)
+    in
+    let runs =
+      Synth.Par.map ~jobs run_seed (Array.init seeds (fun i -> i + 1))
+    in
+    let survived = ref 0
+    and total_faults = ref 0
+    and total_degr = ref 0
+    and total_clean = ref 0
+    and total_held = ref 0
+    and total_drop = ref 0
+    and total_miss = ref 0
+    and unsafe_seeds = ref []
+    and worst_code = ref 0 in
+    Array.iter
+      (fun (seed, result, report, stats, misses) ->
+        let safe = Video.Checker.is_safe report in
+        let alive =
+          result.Sim.Engine.outcome = Sim.Engine.Quiescent
+          && report.Video.Checker.clean > 0
+          && safe
+        in
+        if alive then incr survived;
+        if not safe then unsafe_seeds := seed :: !unsafe_seeds;
+        total_faults :=
+          !total_faults + Sim.Stats.total_faults stats.Sim.Stats.faults;
+        total_degr :=
+          !total_degr + stats.Sim.Stats.faults.Sim.Stats.degradations;
+        total_clean := !total_clean + report.Video.Checker.clean;
+        total_held := !total_held + report.Video.Checker.held;
+        total_drop := !total_drop + report.Video.Checker.dropped;
+        total_miss := !total_miss + misses;
+        worst_code :=
+          max !worst_code (exit_code_of_outcome result.Sim.Engine.outcome);
+        let outcome_label =
+          match result.Sim.Engine.outcome with
+          | Sim.Engine.Quiescent -> "ok"
+          | Sim.Engine.Time_limit_reached -> "time-lim"
+          | Sim.Engine.Firing_limit_reached -> "fire-lim"
+        in
+        Format.printf "%4d  %-9s %7d %6d %5d %5d %4d %4d %4d %4d  %d@." seed
+          outcome_label result.Sim.Engine.firings
+          (Sim.Stats.total_faults stats.Sim.Stats.faults)
+          stats.Sim.Stats.faults.Sim.Stats.degradations
+          report.Video.Checker.clean report.Video.Checker.held
+          report.Video.Checker.dropped misses
+          (List.length report.Video.Checker.invalid_clean)
+          report.Video.Checker.reconfiguration_time;
+        if trace_seed = Some seed then
+          Format.printf "@.--- trace of seed %d ---@.%a@.@." seed Sim.Trace.pp
+            result.Sim.Engine.trace)
+      runs;
     Format.printf "@.survival: %d/%d seeds quiescent, safe and producing@."
       !survived seeds;
     Format.printf
@@ -580,6 +625,7 @@ let faultsim_cmd =
     | seeds ->
       Format.printf "unsafe seeds (invalid clean output): %s@."
         (String.concat ", " (List.map string_of_int seeds)));
+    write_metrics metrics_path;
     if !worst_code <> 0 then exit !worst_code
   in
   Cmd.v
@@ -590,7 +636,7 @@ let faultsim_cmd =
           when one hits the time/firing limit)")
     Term.(
       const run $ model_name_arg $ seeds_arg $ no_faults_flag $ deadline_arg
-      $ drop_arg $ transient_arg $ trace_seed_arg)
+      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ metrics_arg)
 
 let simulate_file_cmd =
   let variant_arg =
@@ -616,7 +662,8 @@ let simulate_file_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv)")
   in
-  let run path variants drive policy show_trace vcd_path json_path csv_path =
+  let run path variants drive policy show_trace vcd_path json_path csv_path
+      metrics_path =
     with_system path (fun system ->
         (match V.System.validate system with
         | [] -> ()
@@ -657,6 +704,7 @@ let simulate_file_cmd =
         Option.iter (fun p -> Sim.Vcd.to_file p model result) vcd_path;
         Option.iter (fun p -> Sim.Json.to_file p model result) json_path;
         Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path;
+        write_metrics metrics_path;
         exit_on_outcome result.Sim.Engine.outcome)
   in
   Cmd.v
@@ -667,7 +715,7 @@ let simulate_file_cmd =
           limit)")
     Term.(
       const run $ file_arg $ variant_arg $ drive_arg $ policy_arg $ trace_flag
-      $ vcd_arg $ json_arg $ csv_arg)
+      $ vcd_arg $ json_arg $ csv_arg $ metrics_arg)
 
 let analyze_cmd =
   let run bundled =
@@ -739,16 +787,8 @@ let dot_system_cmd =
        ~doc:"Graphviz of the variant structure (interfaces and clusters as boxes)")
     Term.(const run $ name_arg)
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"JOBS"
-        ~doc:
-          "Worker domains for the exploration (1 = sequential reference, 0 = \
-           one per recommended domain).")
-
 let synthesize_cmd =
-  let run jobs =
+  let run jobs metrics_path =
     let tech = F2.table1_tech in
     let apps = [ F2.app1; F2.app2 ] in
     let print name (s : Synth.Explore.solution) =
@@ -759,11 +799,36 @@ let synthesize_cmd =
     (match Synth.Superpose.superpose ~jobs tech apps with
     | Some r -> Format.printf "%-14s %a@." "Superposition" Synth.Cost.pp r.Synth.Superpose.cost
     | None -> Format.printf "superposition infeasible@.");
-    print "With variants" (Synth.Explore.optimal_exn ~jobs tech apps)
+    print "With variants" (Synth.Explore.optimal_exn ~jobs tech apps);
+    (* Sanity-check each application's flattened model by simulating it;
+       this also puts engine counters next to the explorer counters in
+       the metrics snapshot. *)
+    List.iter
+      (fun cluster ->
+        let model =
+          V.Flatten.flatten F2.system
+            (V.Flatten.choice_of_list [ ("iface1", cluster) ])
+        in
+        let stimuli =
+          List.init 5 (fun i ->
+              {
+                Sim.Engine.at = 1 + (3 * i);
+                channel = F2.cx;
+                token = Spi.Token.make ~payload:(i + 1) ();
+              })
+        in
+        let result = Sim.Engine.run ~stimuli model in
+        Format.printf "sim check %-6s %a@." cluster Sim.Engine.pp_summary
+          result)
+      [ "g1"; "g2" ];
+    write_metrics metrics_path
   in
   Cmd.v
-    (Cmd.info "synthesize" ~doc:"Run the Table 1 synthesis flows")
-    Term.(const run $ jobs_arg)
+    (Cmd.info "synthesize"
+       ~doc:
+         "Run the Table 1 synthesis flows and simulate each application's \
+          flattened model as a sanity check")
+    Term.(const run $ jobs_arg $ metrics_arg)
 
 let schedule_cmd =
   let run () =
@@ -804,16 +869,17 @@ let schedule_cmd =
     Term.(const run $ const ())
 
 let pareto_cmd =
-  let run jobs =
+  let run jobs metrics_path =
     let points =
       Synth.Pareto.frontier ~jobs F2.table1_tech [ F2.app1; F2.app2 ]
     in
     Format.printf "cost/load Pareto frontier (%d points):@." (List.length points);
-    List.iter (fun p -> Format.printf "  %a@." Synth.Pareto.pp_point p) points
+    List.iter (fun p -> Format.printf "  %a@." Synth.Pareto.pp_point p) points;
+    write_metrics metrics_path
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Cost/load frontier for the Table 1 example")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ metrics_arg)
 
 let report_cmd =
   let run () =

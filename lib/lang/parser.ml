@@ -399,33 +399,44 @@ and site st =
   in
   { V.Structure.iface; wiring }
 
+let m_parses = Obs.Registry.counter "lang.parses"
+
 let system_of_string input =
-  let tokens =
-    try Lexer.tokenize input
-    with Lexer.Lex_error { line; col; message } ->
-      raise (Parse_error { line; col; message })
-  in
-  let st = { tokens } in
-  keyword st "system";
-  let name = ident st "a system name" in
-  expect st Lexer.LBRACE "'{'";
-  let body = items st in
-  expect st Lexer.RBRACE "'}'";
-  let t = peek st in
-  (match t.Lexer.token with
-  | Lexer.EOF -> ()
-  | tok -> error t "trailing input: %a" Lexer.pp_token tok);
-  let channels =
-    List.filter_map (function Item_channel c -> Some c | _ -> None) body
-  in
-  let processes =
-    List.filter_map (function Item_process p -> Some p | _ -> None) body
-  in
-  let sites = List.filter_map (function Item_site s -> Some s | _ -> None) body in
-  let constraints =
-    List.filter_map (function Item_constraint c -> Some c | _ -> None) body
-  in
-  V.System.make ~processes ~channels ~sites ~constraints name
+  Obs.Registry.with_span "lang.parse_ns" (fun () ->
+      Obs.Metric.incr m_parses;
+      let tokens =
+        Obs.Registry.with_span "lang.lex_ns" (fun () ->
+            try Lexer.tokenize input
+            with Lexer.Lex_error { line; col; message } ->
+              raise (Parse_error { line; col; message }))
+      in
+      let st = { tokens } in
+      keyword st "system";
+      let name = ident st "a system name" in
+      expect st Lexer.LBRACE "'{'";
+      let body = items st in
+      expect st Lexer.RBRACE "'}'";
+      let t = peek st in
+      (match t.Lexer.token with
+      | Lexer.EOF -> ()
+      | tok -> error t "trailing input: %a" Lexer.pp_token tok);
+      let channels =
+        List.filter_map (function Item_channel c -> Some c | _ -> None) body
+      in
+      let processes =
+        List.filter_map (function Item_process p -> Some p | _ -> None) body
+      in
+      let sites =
+        List.filter_map (function Item_site s -> Some s | _ -> None) body
+      in
+      let constraints =
+        List.filter_map (function Item_constraint c -> Some c | _ -> None) body
+      in
+      (* elaboration: turning the parse into checked model structures is
+         where construction invariants run; timed separately so a slow
+         load can be attributed to syntax or to semantics *)
+      Obs.Registry.with_span "lang.elaborate_ns" (fun () ->
+          V.System.make ~processes ~channels ~sites ~constraints name))
 
 let system_of_file path =
   let ic = open_in_bin path in

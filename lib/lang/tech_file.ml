@@ -49,6 +49,7 @@ let looking_at st kw =
   | _ -> false
 
 let of_string input =
+  Obs.Registry.with_span "lang.tech_parse_ns" @@ fun () ->
   let tokens =
     try Lexer.tokenize input
     with Lexer.Lex_error { line; col; message } ->

@@ -1,0 +1,3 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let elapsed_ns t0 = max 0 (now_ns () - t0)
+let ns_to_s ns = float_of_int ns /. 1e9

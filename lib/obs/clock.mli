@@ -1,0 +1,16 @@
+(** Monotonic time source for metric timers and spans.
+
+    Backed by [CLOCK_MONOTONIC] (via bechamel's stub); readings are in
+    nanoseconds since an arbitrary epoch and never go backwards, so
+    differences are safe across suspends and NTP slews — unlike
+    [Unix.gettimeofday]. *)
+
+val now_ns : unit -> int
+(** Current monotonic reading in nanoseconds.  Fits an OCaml [int]
+    (63-bit) for ~292 years of uptime. *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns t0] is [now_ns () - t0], clamped to be non-negative. *)
+
+val ns_to_s : int -> float
+(** Nanoseconds to seconds. *)

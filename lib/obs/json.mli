@@ -1,0 +1,49 @@
+(** Minimal JSON values: just enough for the [obs/v1] metric snapshots
+    and the [bench-explore/v1] trajectory records, with no external
+    dependency.
+
+    Numbers are split into [Int] and [Float] on parsing (a literal with
+    a fraction or exponent becomes [Float]); emission preserves the
+    distinction so snapshots round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order is preserved *)
+
+(** {1 Emission} *)
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] defaults to [true]; when [false] the output is indented
+    with two spaces per level. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented form. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset this library emits: objects, arrays,
+    strings with the usual escapes, numbers, booleans and null.  The
+    error string carries a byte offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the first binding of [key]; [None] on
+    missing keys and non-objects. *)
+
+val to_int : t -> int option
+(** [Int n] gives [n]; [Float f] gives [int_of_float f] when [f] is
+    integral. *)
+
+val to_float : t -> float option
+(** [Float] or [Int], widened. *)
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,165 @@
+(* One global registry.  Creation is rare and mutex-protected; the
+   handles handed out are lock-free, so the hot path never touches the
+   lock.  Hashtbl reads also take the lock: OCaml 5 Hashtbl is not
+   safe against concurrent resize, and handle lookup is not a hot
+   operation (sites bind handles once at module init). *)
+
+type entry =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+let ring = Span.create ~capacity:1024
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Counter c) -> c
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Obs.Registry: %s already registered with another type" name)
+      | None ->
+        let c = Metric.make_counter name in
+        Hashtbl.add table name (Counter c);
+        c)
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Gauge g) -> g
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Obs.Registry: %s already registered with another type" name)
+      | None ->
+        let g = Metric.make_gauge name in
+        Hashtbl.add table name (Gauge g);
+        g)
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Histogram h) -> h
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Obs.Registry: %s already registered with another type" name)
+      | None ->
+        let h = Metric.make_histogram name in
+        Hashtbl.add table name (Histogram h);
+        h)
+
+let record_span ~name ~start_ns ~dur_ns =
+  Span.record ring
+    { Span.name; domain = (Domain.self () :> int); start_ns; dur_ns };
+  Metric.observe (histogram name) dur_ns
+
+let with_span name f =
+  let start_ns = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      record_span ~name ~start_ns ~dur_ns:(Clock.elapsed_ns start_ns))
+    f
+
+let spans () = Span.contents ring
+
+(* ----------------------------- snapshots ---------------------------- *)
+
+let sorted_entries () =
+  let items = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+let histogram_json h =
+  let q p = match Metric.quantile h p with Some v -> Json.Int v | None -> Json.Null in
+  let opt = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("count", Json.Int (Metric.count h));
+      ("sum", Json.Int (Metric.sum h));
+      ("min", opt (Metric.h_min h));
+      ("max", opt (Metric.h_max h));
+      ("p50", q 0.5);
+      ("p90", q 0.9);
+      ("p99", q 0.99);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, c) -> Json.List [ Json.Int lo; Json.Int c ])
+             (Metric.buckets h)) );
+    ]
+
+let snapshot () =
+  let entries = sorted_entries () in
+  let counters =
+    List.filter_map
+      (function
+        | name, Counter c -> Some (name, Json.Int (Metric.value c))
+        | _ -> None)
+      entries
+  and gauges =
+    List.filter_map
+      (function
+        | name, Gauge g -> Some (name, Json.Int (Metric.gauge_value g))
+        | _ -> None)
+      entries
+  and histograms =
+    List.filter_map
+      (function
+        | name, Histogram h -> Some (name, histogram_json h)
+        | _ -> None)
+      entries
+  in
+  let span_json (s : Span.span) =
+    Json.Obj
+      [
+        ("name", Json.String s.Span.name);
+        ("domain", Json.Int s.Span.domain);
+        ("start_ns", Json.Int s.Span.start_ns);
+        ("dur_ns", Json.Int s.Span.dur_ns);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "obs/v1");
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+      ("spans", Json.List (List.map span_json (spans ())));
+    ]
+
+let to_file path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~minify:false (snapshot ()));
+      output_char oc '\n')
+
+let dump ppf =
+  let entries = sorted_entries () in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Counter c -> Format.fprintf ppf "%-40s %d@," name (Metric.value c)
+      | Gauge g -> Format.fprintf ppf "%-40s %d (gauge)@," name (Metric.gauge_value g)
+      | Histogram h ->
+        let q p = match Metric.quantile h p with Some v -> string_of_int v | None -> "-" in
+        Format.fprintf ppf "%-40s n=%d sum=%d p50=%s p90=%s p99=%s@," name
+          (Metric.count h) (Metric.sum h) (q 0.5) (q 0.9) (q 0.99))
+    entries;
+  Format.fprintf ppf "spans retained: %d@]@." (List.length (spans ()))
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Metric.reset_counter c
+          | Gauge g -> Metric.reset_gauge g
+          | Histogram h -> Metric.reset_histogram h)
+        table);
+  Span.clear ring

@@ -1,0 +1,57 @@
+(** The process-wide metric registry.
+
+    Instrumentation sites obtain handles by name ([counter], [gauge],
+    [histogram]); the first request for a name creates the metric,
+    later requests return the same handle, so a metric survives any
+    number of {!reset}s and its value is the union of every site that
+    bumps it.  Creation takes a mutex; the returned handles are the
+    lock-free {!Metric} primitives, so steady-state instrumentation
+    never blocks.  Idiomatic use binds handles once at module
+    initialization and only bumps them afterwards.
+
+    Naming convention: dot-separated lowercase paths, subsystem first —
+    [explore.nodes_expanded], [sim.firings], [lang.parse_ns],
+    [sim.latency.<process>].  Durations are in nanoseconds and end in
+    [_ns].
+
+    {!snapshot} serializes everything as the [obs/v1] JSON schema (see
+    [docs/OBSERVABILITY.md]); {!dump} is the human-readable form. *)
+
+(** {1 Handles} *)
+
+val counter : string -> Metric.counter
+val gauge : string -> Metric.gauge
+val histogram : string -> Metric.histogram
+
+(** {1 Timing} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], records a {!Span.span} in the global
+    ring, and observes the duration in the histogram called [name]
+    (create-on-first-use).  The span is recorded even when [f] raises. *)
+
+val record_span : name:string -> start_ns:int -> dur_ns:int -> unit
+(** Manual span recording for regions that cannot be wrapped in a
+    closure.  Also feeds the [name] histogram. *)
+
+val spans : unit -> Span.span list
+
+(** {1 Snapshots} *)
+
+val snapshot : unit -> Json.t
+(** The [obs/v1] snapshot: schema tag, counters, gauges, histograms
+    (count/sum/min/max/p50/p90/p99/buckets) and the retained spans.
+    Metric names are emitted sorted, so snapshots are diffable. *)
+
+val to_file : string -> unit
+(** Write {!snapshot} to a file, indented, with a trailing newline. *)
+
+val dump : Format.formatter -> unit
+(** Human-readable table of every registered metric. *)
+
+(** {1 Lifecycle} *)
+
+val reset : unit -> unit
+(** Zero every registered metric and clear the span ring, keeping all
+    registrations (and therefore all previously handed-out handles)
+    valid.  Call only while no other domain is writing. *)

@@ -1,0 +1,32 @@
+type span = { name : string; domain : int; start_ns : int; dur_ns : int }
+
+type ring = { slots : span option array; cursor : int Atomic.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Span.create: capacity < 1";
+  { slots = Array.make capacity None; cursor = Atomic.make 0 }
+
+let capacity r = Array.length r.slots
+
+let record r span =
+  let i = Atomic.fetch_and_add r.cursor 1 in
+  r.slots.(i mod Array.length r.slots) <- Some span
+
+let recorded r = Atomic.get r.cursor
+
+let contents r =
+  let cap = Array.length r.slots in
+  let next = Atomic.get r.cursor in
+  (* oldest retained slot: [next - cap] when the ring has wrapped *)
+  let first = max 0 (next - cap) in
+  let out = ref [] in
+  for i = next - 1 downto first do
+    match r.slots.(i mod cap) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  !out
+
+let clear r =
+  Array.fill r.slots 0 (Array.length r.slots) None;
+  Atomic.set r.cursor 0

@@ -1,0 +1,38 @@
+(** Lightweight spans in a bounded ring buffer.
+
+    A span is one timed region (a parse, a search task, a simulation
+    run) with the domain that executed it.  Spans land in a fixed-size
+    ring: recording is one atomic fetch-and-add plus one array store,
+    old spans are overwritten, and memory is bounded no matter how long
+    the process runs.
+
+    Concurrency: slots are claimed through an atomic cursor, so two
+    domains never target the same slot within one lap of the ring.  A
+    writer lapped by [capacity] concurrent recordings can overwrite a
+    slot another reader is copying — the reader then sees a complete
+    (older or newer) span, never a torn one, because slots hold
+    immutable records. *)
+
+type span = {
+  name : string;
+  domain : int;  (** [Domain.self] of the recording domain *)
+  start_ns : int;  (** {!Clock.now_ns} at entry *)
+  dur_ns : int;
+}
+
+type ring
+
+val create : capacity:int -> ring
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : ring -> int
+
+val record : ring -> span -> unit
+
+val recorded : ring -> int
+(** Total spans ever recorded (may exceed [capacity]). *)
+
+val contents : ring -> span list
+(** The retained spans, oldest first. *)
+
+val clear : ring -> unit

@@ -24,6 +24,53 @@ let pick policy interval =
   | Worst_case -> Interval.hi interval
   | Typical -> Interval.midpoint interval
 
+(* Observability: the engine feeds the registry in one pass over the
+   finished trace, after the event loop — the hot loop itself performs
+   no atomic operation.  Latencies are model time units (not wall
+   time); [sim.run_ns] is the wall-clock span of the whole run. *)
+let m_runs = Obs.Registry.counter "sim.runs"
+let m_firings = Obs.Registry.counter "sim.firings"
+let m_injected = Obs.Registry.counter "sim.tokens_injected"
+let m_consumed = Obs.Registry.counter "sim.tokens_consumed"
+let m_produced = Obs.Registry.counter "sim.tokens_produced"
+let m_faults = Obs.Registry.counter "sim.fault_events"
+let m_degradations = Obs.Registry.counter "sim.degradations"
+
+let record_run_metrics ~start_ns ~trace ~latency_hist_of =
+  let injected = ref 0
+  and firings = ref 0
+  and consumed = ref 0
+  and produced = ref 0
+  and faults = ref 0
+  and degradations = ref 0 in
+  let tokens ops =
+    List.fold_left (fun acc (_, toks) -> acc + List.length toks) 0 ops
+  in
+  List.iter
+    (function
+      | Trace.Injected _ -> incr injected
+      | Trace.Completed { time; started_at; process; firing } ->
+        incr firings;
+        consumed := !consumed + tokens firing.Spi.Semantics.consumed;
+        produced := !produced + tokens firing.Spi.Semantics.produced;
+        Obs.Metric.observe (latency_hist_of process) (time - started_at)
+      | Trace.Faulted { fault; _ } -> (
+        incr faults;
+        match fault with
+        | Fault.Degraded _ -> incr degradations
+        | _ -> ())
+      | Trace.Started _ | Trace.Quiescent _ -> ())
+    trace;
+  Obs.Metric.incr m_runs;
+  Obs.Metric.add m_firings !firings;
+  Obs.Metric.add m_injected !injected;
+  Obs.Metric.add m_consumed !consumed;
+  Obs.Metric.add m_produced !produced;
+  Obs.Metric.add m_faults !faults;
+  Obs.Metric.add m_degradations !degradations;
+  Obs.Registry.record_span ~name:"sim.run_ns" ~start_ns
+    ~dur_ns:(Obs.Clock.elapsed_ns start_ns)
+
 (* Events carried by the heap. *)
 type event =
   | Inject of I.Channel_id.t * Spi.Token.t
@@ -54,6 +101,7 @@ type process_state = {
 let run ?(policy = Typical) ?(limits = default_limits)
     ?(overflow = Spi.Semantics.Reject) ?(configurations = []) ?(stimuli = [])
     ?(firing_budget = []) ?faults model =
+  let start_ns = Obs.Clock.now_ns () in
   let config_of pid =
     List.find_opt
       (fun c -> I.Process_id.equal (Variants.Configuration.process c) pid)
@@ -438,8 +486,21 @@ let run ?(policy = Typical) ?(limits = default_limits)
         loop ()
   in
   loop ();
+  let trace = List.rev !trace in
+  (* histogram handles resolved once per process, not per completion *)
+  let latency_hists = Hashtbl.create 16 in
+  let latency_hist_of pid =
+    let key = I.Process_id.to_string pid in
+    match Hashtbl.find_opt latency_hists key with
+    | Some h -> h
+    | None ->
+      let h = Obs.Registry.histogram ("sim.latency." ^ key) in
+      Hashtbl.add latency_hists key h;
+      h
+  in
+  record_run_metrics ~start_ns ~trace ~latency_hist_of;
   {
-    trace = List.rev !trace;
+    trace;
     final_state = !state;
     end_time = !now;
     outcome = !outcome;

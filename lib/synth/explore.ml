@@ -38,6 +38,19 @@ type counters = { mutable explored : int; mutable pruned : int }
 
 exception Diagnosed of diagnostic
 
+(* Observability: node totals are folded into the registry once per
+   solve (and per parallel task), never from the search loop itself, so
+   instrumentation adds a handful of atomic operations to a search that
+   expands millions of nodes.  Incumbent improvements and the
+   time-to-first-incumbent gauge are bumped from the (rare) improve
+   path. *)
+let m_nodes = Obs.Registry.counter "explore.nodes_expanded"
+let m_pruned = Obs.Registry.counter "explore.pruned"
+let m_solves = Obs.Registry.counter "explore.solves"
+let m_tasks = Obs.Registry.counter "explore.tasks"
+let m_improvements = Obs.Registry.counter "explore.incumbent_improvements"
+let m_ttfi = Obs.Registry.gauge "explore.time_to_first_incumbent_ns"
+
 let compile ~fixed tech apps procs =
   let member_indices pid =
     let hits = ref [] in
@@ -176,7 +189,7 @@ let search ~sw_first ~capacity ~processor_cost ~accept ~nodes ~n ~loads
   in
   go start area0 any_sw0
 
-let solve_seq ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+let solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps =
   let n = Array.length nodes in
   let loads = Array.make n_apps 0 in
   let choices = Array.make n 0 in
@@ -187,6 +200,9 @@ let solve_seq ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     ~current_bound:(fun () -> !best_cost)
     ~improve:(fun cost binding worst ->
       if cost < !best_cost then begin
+        if !best_cost = max_int then
+          Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns);
+        Obs.Metric.incr m_improvements;
         best_cost := cost;
         best := Some (binding, worst)
       end)
@@ -217,7 +233,7 @@ let split_depth ~jobs ~n =
   let rec depth d = if 1 lsl d >= target || d >= 14 then d else depth (d + 1) in
   min (n - 2) (depth 0)
 
-let solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
   let n = Array.length nodes in
   let depth = split_depth ~jobs ~n in
   let prefix_counters = { explored = 0; pruned = 0 } in
@@ -334,9 +350,21 @@ let solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
       | Some _ | None -> ())
     estimates;
   let incumbent = Atomic.make !seed_cost in
+  Obs.Metric.add m_tasks (Array.length tasks);
+  (* the greedy seeding above is the first incumbent when it exists;
+     otherwise the first CAS win below records the gauge *)
+  let have_incumbent = Atomic.make (!seed_cost < max_int) in
+  if Atomic.get have_incumbent then
+    Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns);
+  let note_incumbent () =
+    if not (Atomic.exchange have_incumbent true) then
+      Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns);
+    Obs.Metric.incr m_improvements
+  in
   let results =
     Par.map ~jobs
       (fun t ->
+        let task_ns = Obs.Clock.now_ns () in
         let counters = { explored = 0; pruned = 0 } in
         let local_best = ref None and local_cost = ref max_int in
         search ~sw_first:true ~capacity ~processor_cost ~accept ~nodes ~n
@@ -350,11 +378,17 @@ let solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
             (* lower the shared incumbent monotonically *)
             let rec lower () =
               let cur = Atomic.get incumbent in
-              if cost < cur && not (Atomic.compare_and_set incumbent cur cost)
-              then lower ()
+              if cost < cur then
+                if Atomic.compare_and_set incumbent cur cost then
+                  note_incumbent ()
+                else lower ()
             in
             lower ())
           depth t.t_area t.t_any_sw;
+        (* one span per task: per-domain node throughput shows up in the
+           span stream without any per-node cost *)
+        Obs.Registry.record_span ~name:"explore.task_ns" ~start_ns:task_ns
+          ~dur_ns:(Obs.Clock.elapsed_ns task_ns);
         (!local_best, !local_cost, counters))
       tasks
   in
@@ -380,6 +414,8 @@ let resolve_jobs = function
 let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
     ?(fixed = Binding.empty) ?(accept = fun _ -> true) tech apps =
   let jobs = resolve_jobs jobs in
+  let start_ns = Obs.Clock.now_ns () in
+  Obs.Metric.incr m_solves;
   let procs =
     Array.of_list (I.Process_id.Set.elements (App.union_procs apps))
   in
@@ -392,9 +428,15 @@ let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
     let n_apps = Array.length apps in
     let best, counters =
       if jobs = 1 || n < 4 then
-        solve_seq ~capacity ~processor_cost ~accept ~nodes ~n_apps
-      else solve_par ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps
+        solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps
+      else
+        solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes
+          ~n_apps
     in
+    Obs.Metric.add m_nodes counters.explored;
+    Obs.Metric.add m_pruned counters.pruned;
+    Obs.Registry.record_span ~name:"explore.solve_ns" ~start_ns
+      ~dur_ns:(Obs.Clock.elapsed_ns start_ns);
     (match best with
     | None -> Error Infeasible
     | Some (binding, worst_load) ->

@@ -43,6 +43,12 @@ type node = {
 
 type counters = { mutable explored : int; mutable pruned : int }
 
+(* Node totals fold into the registry once per optimal call — see the
+   note in {!Explore}. *)
+let m_nodes = Obs.Registry.counter "multi.nodes_expanded"
+let m_pruned = Obs.Registry.counter "multi.pruned"
+let m_solves = Obs.Registry.counter "multi.solves"
+
 (* Mutable per-search state: per (application, processor) accumulated
    load and the set of processors in use.  The processor cost of the
    used set is threaded through the recursion incrementally instead of
@@ -163,6 +169,14 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
     | j when j < 0 -> invalid_arg "Multi: negative jobs"
     | j -> j
   in
+  let start_ns = Obs.Clock.now_ns () in
+  Obs.Metric.incr m_solves;
+  let note counters =
+    Obs.Metric.add m_nodes counters.explored;
+    Obs.Metric.add m_pruned counters.pruned;
+    Obs.Registry.record_span ~name:"multi.optimal_ns" ~start_ns
+      ~dur_ns:(Obs.Clock.elapsed_ns start_ns)
+  in
   check_processors processors;
   let procs_arr = Array.of_list processors in
   let n_cpu = Array.length procs_arr in
@@ -204,6 +218,7 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
           best := Some (candidate ~procs_arr ~st cost binding area)
         end)
       0 I.Process_id.Map.empty 0 0;
+    note counters;
     Option.map
       (fun (s : solution) ->
         { s with explored = counters.explored; pruned = counters.pruned })
@@ -318,6 +333,7 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
           best := Some s
         | Some _ | None -> ())
       results;
+    note prefix_counters;
     Option.map
       (fun (s : solution) ->
         {

@@ -1,10 +1,23 @@
 let available_jobs () = Domain.recommended_domain_count ()
 
+(* Pool observability: one counter bump and two histogram observations
+   per task — nothing per node, so the search loops stay allocation-
+   and atomic-free.  [par.task_queue_wait_ns] measures how long a task
+   sat in the queue before a worker claimed it (static-split pools have
+   no steals; a long tail here means the split was too coarse). *)
+let m_tasks = Obs.Registry.counter "par.tasks"
+let m_pools = Obs.Registry.counter "par.pools"
+let m_queue_wait = Obs.Registry.histogram "par.task_queue_wait_ns"
+let m_task_run = Obs.Registry.histogram "par.task_run_ns"
+
 let map ~jobs f tasks =
   if jobs < 1 then invalid_arg "Par.map: jobs < 1";
   let n = Array.length tasks in
   if jobs = 1 || n < 2 then Array.map f tasks
   else begin
+    Obs.Metric.incr m_pools;
+    Obs.Metric.add m_tasks n;
+    let started_ns = Obs.Clock.now_ns () in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
@@ -13,13 +26,18 @@ let map ~jobs f tasks =
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Option.is_some (Atomic.get failure) then continue := false
-        else
+        else begin
+          let claimed_ns = Obs.Clock.now_ns () in
+          Obs.Metric.observe m_queue_wait (claimed_ns - started_ns);
           match f tasks.(i) with
-          | r -> results.(i) <- Some r
+          | r ->
+            Obs.Metric.observe m_task_run (Obs.Clock.elapsed_ns claimed_ns);
+            results.(i) <- Some r
           | exception e ->
             (* keep the first failure; losing later ones is fine *)
             ignore (Atomic.compare_and_set failure None (Some e));
             continue := false
+        end
       done
     in
     let domains =

@@ -59,12 +59,18 @@ type task = {
   t_loads : int array;
 }
 
+let m_frontiers = Obs.Registry.counter "pareto.frontiers"
+let m_points = Obs.Registry.counter "pareto.points"
+let m_tasks = Obs.Registry.counter "pareto.tasks"
+
 let frontier ?(jobs = 1) ?(capacity = Schedule.default_capacity) tech apps =
   let jobs = match jobs with
     | 0 -> Par.available_jobs ()
     | j when j < 0 -> invalid_arg "Pareto: negative jobs"
     | j -> j
   in
+  let start_ns = Obs.Clock.now_ns () in
+  Obs.Metric.incr m_frontiers;
   let apps_arr = Array.of_list apps in
   let n_apps = Array.length apps_arr in
   let nodes =
@@ -131,6 +137,7 @@ let frontier ?(jobs = 1) ?(capacity = Schedule.default_capacity) tech apps =
         end
       in
       prefixes 0 Binding.empty 0 false;
+      Obs.Metric.add m_tasks (List.length !tasks);
       let results =
         Par.map ~jobs
           (fun t ->
@@ -158,12 +165,18 @@ let frontier ?(jobs = 1) ?(capacity = Schedule.default_capacity) tech apps =
         else p :: acc)
       [] non_dominated
   in
-  List.sort
-    (fun a b ->
-      match Int.compare a.total_cost b.total_cost with
-      | 0 -> Int.compare a.worst_load b.worst_load
-      | c -> c)
-    dedup
+  let frontier_points =
+    List.sort
+      (fun a b ->
+        match Int.compare a.total_cost b.total_cost with
+        | 0 -> Int.compare a.worst_load b.worst_load
+        | c -> c)
+      dedup
+  in
+  Obs.Metric.add m_points (List.length frontier_points);
+  Obs.Registry.record_span ~name:"pareto.frontier_ns" ~start_ns
+    ~dur_ns:(Obs.Clock.elapsed_ns start_ns);
+  frontier_points
 
 let pp_point ppf p =
   Format.fprintf ppf "cost=%d load=%d [%a]" p.total_cost p.worst_load

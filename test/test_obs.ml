@@ -1,0 +1,190 @@
+(* The observability layer: lock-free metrics under concurrent writers,
+   histogram quantile bounds, and the obs/v1 snapshot round-trip. *)
+
+module J = Obs.Json
+
+let test_counter_concurrent =
+  QCheck.Test.make ~count:30 ~name:"counter loses no concurrent increments"
+    QCheck.(pair (int_range 2 6) (int_range 1 2000))
+    (fun (domains, increments) ->
+      let c = Obs.Metric.make_counter "qcheck.concurrent" in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to increments do
+                  Obs.Metric.incr c
+                done))
+      in
+      List.iter Domain.join workers;
+      Obs.Metric.value c = domains * increments)
+
+let test_histogram_concurrent =
+  QCheck.Test.make ~count:20
+    ~name:"histogram count/sum lose no concurrent observations"
+    QCheck.(pair (int_range 2 4) (int_range 1 500))
+    (fun (domains, observations) ->
+      let h = Obs.Metric.make_histogram "qcheck.hist" in
+      let workers =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to observations do
+                  Obs.Metric.observe h ((d * observations) + i)
+                done))
+      in
+      List.iter Domain.join workers;
+      Obs.Metric.count h = domains * observations
+      && Obs.Metric.h_min h = Some 1
+      && Obs.Metric.h_max h = Some (domains * observations))
+
+let test_histogram_quantiles () =
+  let h = Obs.Metric.make_histogram "t.quantiles" in
+  for v = 1 to 1000 do
+    Obs.Metric.observe h v
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Metric.count h);
+  Alcotest.(check int) "sum" 500500 (Obs.Metric.sum h);
+  Alcotest.(check (option int)) "min" (Some 1) (Obs.Metric.h_min h);
+  Alcotest.(check (option int)) "max" (Some 1000) (Obs.Metric.h_max h);
+  (* power-of-two buckets: an estimate is an upper bound for its bucket
+     and carries at most a 2x relative error *)
+  let check_quantile q exact =
+    match Obs.Metric.quantile h q with
+    | None -> Alcotest.failf "quantile %.2f empty" q
+    | Some est ->
+      if est < exact || est > 2 * exact then
+        Alcotest.failf "quantile %.2f: estimate %d not in [%d, %d]" q est
+          exact (2 * exact)
+  in
+  check_quantile 0.5 500;
+  check_quantile 0.9 900;
+  check_quantile 0.99 990;
+  Alcotest.(check (option int)) "q=1 is clamped to the observed max"
+    (Some 1000)
+    (Obs.Metric.quantile h 1.)
+
+let test_histogram_rejects () =
+  let c = Obs.Metric.make_counter "t.neg" in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metric.add: negative delta") (fun () ->
+      Obs.Metric.add c (-1));
+  let h = Obs.Metric.make_histogram "t.clamp" in
+  Obs.Metric.observe h (-5);
+  Alcotest.(check (option int)) "negative observation clamps to 0" (Some 0)
+    (Obs.Metric.h_min h)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "obs/v1");
+        ("int", J.Int 42);
+        ("neg", J.Int (-7));
+        ("float", J.Float 1.5);
+        ("truth", J.Bool true);
+        ("nothing", J.Null);
+        ("text", J.String "line\n\"quoted\" \\ tab\t");
+        ("list", J.List [ J.Int 1; J.Int 2; J.Int 3 ]);
+        ("nested", J.Obj [ ("k", J.List [ J.Obj [ ("d", J.Int 0) ] ]) ]);
+      ]
+  in
+  (match J.parse (J.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "minified round-trip" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match J.parse (J.to_string ~minify:false doc) with
+  | Ok parsed -> Alcotest.(check bool) "indented round-trip" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_snapshot_roundtrip () =
+  Obs.Registry.reset ();
+  let c = Obs.Registry.counter "t.snapshot.count" in
+  let g = Obs.Registry.gauge "t.snapshot.level" in
+  let h = Obs.Registry.histogram "t.snapshot.lat_ns" in
+  Obs.Metric.add c 17;
+  Obs.Metric.set g (-3);
+  List.iter (Obs.Metric.observe h) [ 1; 10; 100; 1000 ];
+  Obs.Registry.record_span ~name:"t.snapshot.span_ns" ~start_ns:5 ~dur_ns:9;
+  let snap = Obs.Registry.snapshot () in
+  match J.parse (J.to_string ~minify:false snap) with
+  | Error e -> Alcotest.failf "snapshot does not re-parse: %s" e
+  | Ok parsed ->
+    Alcotest.(check bool) "snapshot round-trips exactly" true (parsed = snap);
+    let get path =
+      List.fold_left (fun acc key -> Option.bind acc (J.member key)) (Some parsed) path
+    in
+    Alcotest.(check (option string))
+      "schema tag" (Some "obs/v1")
+      (Option.bind (get [ "schema" ]) J.to_string_opt);
+    Alcotest.(check (option int))
+      "counter value survives" (Some 17)
+      (Option.bind (get [ "counters"; "t.snapshot.count" ]) J.to_int);
+    Alcotest.(check (option int))
+      "gauge value survives" (Some (-3))
+      (Option.bind (get [ "gauges"; "t.snapshot.level" ]) J.to_int);
+    Alcotest.(check (option int))
+      "histogram count survives" (Some 4)
+      (Option.bind (get [ "histograms"; "t.snapshot.lat_ns"; "count" ]) J.to_int);
+    Alcotest.(check (option int))
+      "histogram sum survives" (Some 1111)
+      (Option.bind (get [ "histograms"; "t.snapshot.lat_ns"; "sum" ]) J.to_int);
+    let spans =
+      Option.bind (get [ "spans" ]) J.to_list |> Option.value ~default:[]
+    in
+    let ours =
+      List.filter
+        (fun s ->
+          Option.bind (J.member "name" s) J.to_string_opt
+          = Some "t.snapshot.span_ns")
+        spans
+    in
+    Alcotest.(check int) "recorded span is in the snapshot" 1 (List.length ours)
+
+let test_registry_identity () =
+  let a = Obs.Registry.counter "t.identity" in
+  let b = Obs.Registry.counter "t.identity" in
+  Obs.Metric.incr a;
+  Obs.Metric.incr b;
+  Alcotest.(check int) "same handle for the same name" 2 (Obs.Metric.value a);
+  Alcotest.check_raises "name/type clash is rejected"
+    (Invalid_argument
+       "Obs.Registry: t.identity already registered with another type")
+    (fun () -> ignore (Obs.Registry.gauge "t.identity"))
+
+let test_reset_keeps_handles () =
+  let c = Obs.Registry.counter "t.reset" in
+  Obs.Metric.add c 5;
+  Obs.Registry.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metric.value c);
+  Obs.Metric.incr c;
+  Alcotest.(check int) "handle still live after reset" 1 (Obs.Metric.value c)
+
+let test_with_span () =
+  Obs.Registry.reset ();
+  let r = Obs.Registry.with_span "t.span.body_ns" (fun () -> 21 * 2) in
+  Alcotest.(check int) "with_span returns the body's value" 42 r;
+  (try
+     ignore
+       (Obs.Registry.with_span "t.span.raise_ns" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let names = List.map (fun s -> s.Obs.Span.name) (Obs.Registry.spans ()) in
+  Alcotest.(check bool) "span recorded" true (List.mem "t.span.body_ns" names);
+  Alcotest.(check bool) "span recorded on raise" true
+    (List.mem "t.span.raise_ns" names);
+  let h = Obs.Registry.histogram "t.span.body_ns" in
+  Alcotest.(check int) "duration observed in the same-name histogram" 1
+    (Obs.Metric.count h)
+
+let suite =
+  ( "obs",
+    [
+      QCheck_alcotest.to_alcotest test_counter_concurrent;
+      QCheck_alcotest.to_alcotest test_histogram_concurrent;
+      Alcotest.test_case "histogram quantile sanity" `Quick
+        test_histogram_quantiles;
+      Alcotest.test_case "negative inputs" `Quick test_histogram_rejects;
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+      Alcotest.test_case "registry handle identity" `Quick
+        test_registry_identity;
+      Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+      Alcotest.test_case "with_span" `Quick test_with_span;
+    ] )

@@ -1,0 +1,71 @@
+(* Validates a --metrics snapshot written by the CLI against the obs/v1
+   shape: schema tag, counters/gauges/histograms objects, and nonzero
+   engine counters from the simulated run.  Driven by the dune runtest
+   rule in test/dune, which first runs `main.exe simulate --metrics`. *)
+
+module J = Obs.Json
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: validate_metrics SNAPSHOT.json"
+  in
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc =
+    match J.parse contents with
+    | Ok d -> d
+    | Error e -> fail "%s: not valid JSON: %s" path e
+  in
+  (match Option.bind (J.member "schema" doc) J.to_string_opt with
+  | Some "obs/v1" -> ()
+  | Some other -> fail "%s: schema %S, expected obs/v1" path other
+  | None -> fail "%s: missing schema tag" path);
+  let section name =
+    match J.member name doc with
+    | Some (J.Obj fields) -> fields
+    | Some _ -> fail "%s: %s is not an object" path name
+    | None -> fail "%s: missing %s section" path name
+  in
+  let counters = section "counters" in
+  ignore (section "gauges");
+  let histograms = section "histograms" in
+  (match J.member "spans" doc with
+  | Some (J.List _) -> ()
+  | _ -> fail "%s: missing spans list" path);
+  let counter name =
+    match List.assoc_opt name counters with
+    | Some v -> Option.value ~default:(-1) (J.to_int v)
+    | None -> fail "%s: counter %s not in snapshot" path name
+  in
+  let nonzero name =
+    let v = counter name in
+    if v <= 0 then fail "%s: counter %s is %d, expected > 0" path name v
+  in
+  nonzero "sim.runs";
+  nonzero "sim.firings";
+  nonzero "sim.tokens_consumed";
+  nonzero "sim.tokens_produced";
+  (* histograms must carry the per-process latency distributions and a
+     consistent count/sum *)
+  let latency_histograms =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 12 && String.sub name 0 12 = "sim.latency.")
+      histograms
+  in
+  if latency_histograms = [] then
+    fail "%s: no sim.latency.<process> histograms" path;
+  List.iter
+    (fun (name, h) ->
+      let get k = Option.bind (J.member k h) J.to_int in
+      match get "count", get "sum" with
+      | Some c, Some s when c >= 0 && s >= 0 -> ()
+      | _ -> fail "%s: histogram %s lacks count/sum" path name)
+    histograms;
+  Format.printf "%s: valid obs/v1 snapshot (%d counters, %d histograms)@."
+    path (List.length counters) (List.length histograms)
