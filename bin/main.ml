@@ -160,9 +160,29 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:
           "Write the obs/v1 metrics snapshot (counters, histograms, spans) \
-           to $(docv) on exit")
+           to $(docv) on exit; $(b,-) dumps the human-readable table to \
+           stderr instead")
 
-let write_metrics path = Option.iter Obs.Registry.to_file path
+let write_metrics = function
+  | None -> ()
+  | Some "-" -> Obs.Registry.dump Format.err_formatter
+  | Some path -> Obs.Registry.to_file path
+
+let span_capacity_arg =
+  Arg.(
+    value
+    & opt int (Obs.Registry.span_capacity ())
+    & info [ "span-capacity" ] ~docv:"N"
+        ~doc:
+          "Capacity of the span ring buffer (older spans are dropped and \
+           counted once it wraps)")
+
+let apply_span_capacity n =
+  if n < 1 then begin
+    Format.eprintf "--span-capacity must be positive@.";
+    exit 1
+  end;
+  Obs.Registry.set_span_capacity n
 
 let jobs_arg =
   Arg.(
@@ -419,8 +439,27 @@ let policy_arg =
     value & opt policy_conv Sim.Engine.Typical
     & info [ "policy" ] ~docv:"POLICY" ~doc:"best, typical or worst")
 
-let trace_flag =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace")
+let print_trace_flag =
+  Arg.(
+    value & flag
+    & info [ "print-trace" ] ~doc:"Print the full execution trace")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a trace/v1 timeline (Chrome trace-event JSON, loadable in \
+           Perfetto or chrome://tracing) to $(docv)")
+
+let write_trace path builder =
+  Option.iter
+    (fun p ->
+      Obs.Trace_event.to_file p builder;
+      Format.printf "@.timeline written to %s (%d events)@." p
+        (Obs.Trace_event.length builder))
+    path
 
 let vcd_arg =
   Arg.(
@@ -440,7 +479,9 @@ let exit_on_outcome outcome =
   if code <> 0 then exit code
 
 let simulate_cmd =
-  let run bundled policy show_trace vcd_path metrics_path =
+  let run bundled policy show_trace vcd_path trace_path span_capacity
+      metrics_path =
+    apply_span_capacity span_capacity;
     let model = bundled.model () in
     let result =
       Sim.Engine.run ~policy
@@ -457,6 +498,12 @@ let simulate_cmd =
     | Some path ->
       Sim.Vcd.to_file path model result;
       Format.printf "@.VCD written to %s@." path);
+    (match trace_path with
+    | None -> ()
+    | Some _ ->
+      let builder = Obs.Trace_event.create () in
+      Sim.Timeline.add builder model result;
+      write_trace trace_path builder);
     write_metrics metrics_path;
     exit_on_outcome result.Sim.Engine.outcome
   in
@@ -466,7 +513,8 @@ let simulate_cmd =
          "Simulate a bundled model (exits 0 when quiescent, 2 on the time \
           limit, 3 on the firing limit)")
     Term.(
-      const run $ model_arg $ policy_arg $ trace_flag $ vcd_arg $ metrics_arg)
+      const run $ model_arg $ policy_arg $ print_trace_flag $ vcd_arg
+      $ trace_arg $ span_capacity_arg $ metrics_arg)
 
 let faultsim_cmd =
   let model_name_arg =
@@ -509,7 +557,8 @@ let faultsim_cmd =
           ~doc:"Also print the full trace of this seed's run")
   in
   let run model_name seeds no_faults deadline drop transient trace_seed jobs
-      metrics_path =
+      trace_path span_capacity metrics_path =
+    apply_span_capacity span_capacity;
     let with_valves =
       match model_name with
       | "video" -> true
@@ -625,6 +674,24 @@ let faultsim_cmd =
     | seeds ->
       Format.printf "unsafe seeds (invalid clean output): %s@."
         (String.concat ", " (List.map string_of_int seeds)));
+    let results =
+      Array.to_list (Array.map (fun (_, result, _, _, _) -> result) runs)
+    in
+    Format.printf "@.%a@."
+      Video.Checker.pp_headroom
+      (Video.Checker.deadline_headroom built.Video.System.model results);
+    (match trace_path with
+    | None -> ()
+    | Some _ ->
+      (* one pid per seed keeps the campaign's runs separate lanes-wise *)
+      let builder = Obs.Trace_event.create () in
+      Array.iter
+        (fun (seed, result, _, _, _) ->
+          Sim.Timeline.add ~pid:seed
+            ~name:(Printf.sprintf "seed %d" seed)
+            builder built.Video.System.model result)
+        runs;
+      write_trace trace_path builder);
     write_metrics metrics_path;
     if !worst_code <> 0 then exit !worst_code
   in
@@ -636,7 +703,8 @@ let faultsim_cmd =
           when one hits the time/firing limit)")
     Term.(
       const run $ model_name_arg $ seeds_arg $ no_faults_flag $ deadline_arg
-      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ metrics_arg)
+      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ trace_arg
+      $ span_capacity_arg $ metrics_arg)
 
 let simulate_file_cmd =
   let variant_arg =
@@ -663,7 +731,8 @@ let simulate_file_cmd =
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv)")
   in
   let run path variants drive policy show_trace vcd_path json_path csv_path
-      metrics_path =
+      trace_path span_capacity metrics_path =
+    apply_span_capacity span_capacity;
     with_system path (fun system ->
         (match V.System.validate system with
         | [] -> ()
@@ -704,6 +773,12 @@ let simulate_file_cmd =
         Option.iter (fun p -> Sim.Vcd.to_file p model result) vcd_path;
         Option.iter (fun p -> Sim.Json.to_file p model result) json_path;
         Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path;
+        (match trace_path with
+        | None -> ()
+        | Some _ ->
+          let builder = Obs.Trace_event.create () in
+          Sim.Timeline.add builder model result;
+          write_trace trace_path builder);
         write_metrics metrics_path;
         exit_on_outcome result.Sim.Engine.outcome)
   in
@@ -714,8 +789,9 @@ let simulate_file_cmd =
           (exits 0 when quiescent, 2 on the time limit, 3 on the firing \
           limit)")
     Term.(
-      const run $ file_arg $ variant_arg $ drive_arg $ policy_arg $ trace_flag
-      $ vcd_arg $ json_arg $ csv_arg $ metrics_arg)
+      const run $ file_arg $ variant_arg $ drive_arg $ policy_arg
+      $ print_trace_flag $ vcd_arg $ json_arg $ csv_arg $ trace_arg
+      $ span_capacity_arg $ metrics_arg)
 
 let analyze_cmd =
   let run bundled =
@@ -788,7 +864,10 @@ let dot_system_cmd =
     Term.(const run $ name_arg)
 
 let synthesize_cmd =
-  let run jobs metrics_path =
+  let run jobs trace_path span_capacity metrics_path =
+    apply_span_capacity span_capacity;
+    if Option.is_some trace_path then Synth.Domain_trace.enable ();
+    let jobs = resolve_jobs jobs in
     let tech = F2.table1_tech in
     let apps = [ F2.app1; F2.app2 ] in
     let print name (s : Synth.Explore.solution) =
@@ -800,11 +879,16 @@ let synthesize_cmd =
     | Some r -> Format.printf "%-14s %a@." "Superposition" Synth.Cost.pp r.Synth.Superpose.cost
     | None -> Format.printf "superposition infeasible@.");
     print "With variants" (Synth.Explore.optimal_exn ~jobs tech apps);
+    let builder = Obs.Trace_event.create () in
+    if Option.is_some trace_path then begin
+      Synth.Domain_trace.append_timeline ~pid:1 ~name:"explorer" builder;
+      Synth.Domain_trace.disable ()
+    end;
     (* Sanity-check each application's flattened model by simulating it;
        this also puts engine counters next to the explorer counters in
        the metrics snapshot. *)
-    List.iter
-      (fun cluster ->
+    List.iteri
+      (fun i cluster ->
         let model =
           V.Flatten.flatten F2.system
             (V.Flatten.choice_of_list [ ("iface1", cluster) ])
@@ -819,8 +903,12 @@ let synthesize_cmd =
         in
         let result = Sim.Engine.run ~stimuli model in
         Format.printf "sim check %-6s %a@." cluster Sim.Engine.pp_summary
-          result)
+          result;
+        if Option.is_some trace_path then
+          Sim.Timeline.add ~pid:(i + 2) ~name:("sim check " ^ cluster)
+            builder model result)
       [ "g1"; "g2" ];
+    write_trace trace_path builder;
     write_metrics metrics_path
   in
   Cmd.v
@@ -828,7 +916,7 @@ let synthesize_cmd =
        ~doc:
          "Run the Table 1 synthesis flows and simulate each application's \
           flattened model as a sanity check")
-    Term.(const run $ jobs_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ span_capacity_arg $ metrics_arg)
 
 let schedule_cmd =
   let run () =

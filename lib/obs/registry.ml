@@ -11,11 +11,23 @@ type entry =
 
 let lock = Mutex.create ()
 let table : (string, entry) Hashtbl.t = Hashtbl.create 64
-let ring = Span.create ~capacity:1024
+
+let default_span_capacity = 1024
+
+(* The ring is swappable so the capacity is an argument of the process
+   (CLI [--span-capacity], test setup), not a compile-time constant.
+   Swapping is not atomic with respect to in-flight [record_span]s, so
+   resize only before the instrumented work starts. *)
+let ring = ref (Span.create ~capacity:default_span_capacity)
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_span_capacity capacity =
+  if capacity <> Span.capacity !ring then ring := Span.create ~capacity
+
+let span_capacity () = Span.capacity !ring
 
 let counter name =
   locked (fun () ->
@@ -54,7 +66,7 @@ let histogram name =
         h)
 
 let record_span ~name ~start_ns ~dur_ns =
-  Span.record ring
+  Span.record !ring
     { Span.name; domain = (Domain.self () :> int); start_ns; dur_ns };
   Metric.observe (histogram name) dur_ns
 
@@ -65,7 +77,7 @@ let with_span name f =
       record_span ~name ~start_ns ~dur_ns:(Clock.elapsed_ns start_ns))
     f
 
-let spans () = Span.contents ring
+let spans () = Span.contents !ring
 
 (* ----------------------------- snapshots ---------------------------- *)
 
@@ -129,6 +141,8 @@ let snapshot () =
       ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj histograms);
       ("spans", Json.List (List.map span_json (spans ())));
+      ("span_capacity", Json.Int (Span.capacity !ring));
+      ("spans_dropped", Json.Int (Span.dropped !ring));
     ]
 
 let to_file path =
@@ -152,7 +166,8 @@ let dump ppf =
         Format.fprintf ppf "%-40s n=%d sum=%d p50=%s p90=%s p99=%s@," name
           (Metric.count h) (Metric.sum h) (q 0.5) (q 0.9) (q 0.99))
     entries;
-  Format.fprintf ppf "spans retained: %d@]@." (List.length (spans ()))
+  Format.fprintf ppf "spans retained: %d (capacity %d, dropped %d)@]@."
+    (List.length (spans ())) (Span.capacity !ring) (Span.dropped !ring)
 
 let reset () =
   locked (fun () ->
@@ -162,4 +177,4 @@ let reset () =
           | Gauge g -> Metric.reset_gauge g
           | Histogram h -> Metric.reset_histogram h)
         table);
-  Span.clear ring
+  Span.clear !ring

@@ -36,6 +36,16 @@ val record_span : name:string -> start_ns:int -> dur_ns:int -> unit
 
 val spans : unit -> Span.span list
 
+val set_span_capacity : int -> unit
+(** Replace the span ring with a fresh one of the given capacity (no-op
+    when the capacity is unchanged).  The swap is not atomic with
+    respect to in-flight {!record_span}s, so call it only before the
+    instrumented work starts — e.g. from CLI argument handling.
+    @raise Invalid_argument when the capacity is [< 1]. *)
+
+val span_capacity : unit -> int
+(** Current ring capacity (defaults to 1024). *)
+
 (** {1 Snapshots} *)
 
 val snapshot : unit -> Json.t

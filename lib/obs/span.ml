@@ -13,6 +13,7 @@ let record r span =
   r.slots.(i mod Array.length r.slots) <- Some span
 
 let recorded r = Atomic.get r.cursor
+let dropped r = max 0 (Atomic.get r.cursor - Array.length r.slots)
 
 let contents r =
   let cap = Array.length r.slots in

@@ -32,6 +32,11 @@ val record : ring -> span -> unit
 val recorded : ring -> int
 (** Total spans ever recorded (may exceed [capacity]). *)
 
+val dropped : ring -> int
+(** Spans no longer retained because the ring wrapped:
+    [max 0 (recorded - capacity)].  Snapshots report this instead of
+    overwriting silently. *)
+
 val contents : ring -> span list
 (** The retained spans, oldest first. *)
 

@@ -1,0 +1,210 @@
+type args = (string * Json.t) list
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      dur : float;
+      args : args;
+    }
+  | Begin of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : args;
+    }
+  | End of { pid : int; tid : int; ts : float }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : args;
+    }
+  | Counter of {
+      name : string;
+      pid : int;
+      ts : float;
+      values : (string * float) list;
+    }
+  | Flow_start of {
+      name : string;
+      id : int;
+      pid : int;
+      tid : int;
+      ts : float;
+    }
+  | Flow_end of { name : string; id : int; pid : int; tid : int; ts : float }
+
+(* Metadata (lane names, ordering) is kept separate from the event
+   stream so it can be emitted first regardless of when the converter
+   learned a lane's name. *)
+type metadata =
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+  | Thread_order of { pid : int; tid : int; index : int }
+
+type t = { mutable events : event list; mutable meta : metadata list }
+
+let create () = { events = []; meta = [] }
+let add t e = t.events <- e :: t.events
+
+let set_process_name t ~pid name =
+  t.meta <- Process_name { pid; name } :: t.meta
+
+let set_thread_name t ~pid ~tid name =
+  t.meta <- Thread_name { pid; tid; name } :: t.meta
+
+let set_thread_order t ~pid ~tid index =
+  t.meta <- Thread_order { pid; tid; index } :: t.meta
+
+let length t = List.length t.events
+let events t = List.rev t.events
+
+let schema = "trace/v1"
+
+let ts_of = function
+  | Complete { ts; _ }
+  | Begin { ts; _ }
+  | End { ts; _ }
+  | Instant { ts; _ }
+  | Counter { ts; _ }
+  | Flow_start { ts; _ }
+  | Flow_end { ts; _ } -> ts
+
+let args_field = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj args) ]
+
+let event_json = function
+  | Complete { name; cat; pid; tid; ts; dur; args } ->
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String cat);
+         ("ph", Json.String "X");
+         ("ts", Json.Float ts);
+         ("dur", Json.Float (Float.max 0. dur));
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+       ]
+      @ args_field args)
+  | Begin { name; cat; pid; tid; ts; args } ->
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String cat);
+         ("ph", Json.String "B");
+         ("ts", Json.Float ts);
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+       ]
+      @ args_field args)
+  | End { pid; tid; ts } ->
+    Json.Obj
+      [
+        ("ph", Json.String "E");
+        ("ts", Json.Float ts);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+      ]
+  | Instant { name; cat; pid; tid; ts; args } ->
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String cat);
+         ("ph", Json.String "i");
+         ("s", Json.String "t");
+         ("ts", Json.Float ts);
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+       ]
+      @ args_field args)
+  | Counter { name; pid; ts; values } ->
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "C");
+        ("ts", Json.Float ts);
+        ("pid", Json.Int pid);
+        ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
+      ]
+  | Flow_start { name; id; pid; tid; ts } ->
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cat", Json.String "flow");
+        ("ph", Json.String "s");
+        ("id", Json.Int id);
+        ("ts", Json.Float ts);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+      ]
+  | Flow_end { name; id; pid; tid; ts } ->
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cat", Json.String "flow");
+        ("ph", Json.String "f");
+        ("bp", Json.String "e");
+        ("id", Json.Int id);
+        ("ts", Json.Float ts);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+      ]
+
+let meta_json = function
+  | Process_name { pid; name } ->
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  | Thread_name { pid; tid; name } ->
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  | Thread_order { pid; tid; index } ->
+    Json.Obj
+      [
+        ("name", Json.String "thread_sort_index");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("sort_index", Json.Int index) ]);
+      ]
+
+let to_json t =
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b)) (events t)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("displayTimeUnit", Json.String "ms");
+      ( "traceEvents",
+        Json.List
+          (List.map meta_json (List.rev t.meta)
+          @ List.map event_json sorted) );
+    ]
+
+let to_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~minify:false (to_json t));
+      output_char oc '\n')

@@ -1,0 +1,96 @@
+(** Structured timeline events and a Chrome trace-event exporter.
+
+    Where {!Metric} answers "how many / how long in aggregate", this
+    module answers {e when}: it models a timeline as the Chrome
+    trace-event JSON format (the [trace/v1] schema of this repository),
+    which both [chrome://tracing] and Perfetto load directly.
+
+    Lane conventions: a [pid] is one execution (a simulation run, an
+    explorer invocation), a [tid] is one lane inside it (an SPI process,
+    a worker domain).  Name lanes with {!set_process_name} /
+    {!set_thread_name}; viewers render those instead of the raw ids.
+
+    Timestamps are microseconds as floats.  Converters choose the unit
+    mapping: the simulator maps one model time unit to 1 us, the
+    explorer maps wall-clock nanoseconds to fractional us. *)
+
+type args = (string * Json.t) list
+(** Free-form per-event payload, rendered by viewers in the detail
+    pane. *)
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;  (** start, us *)
+      dur : float;  (** duration, us; clamped to 0 when negative *)
+      args : args;
+    }  (** a span with both endpoints known ([ph = "X"]) *)
+  | Begin of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : args;
+    }  (** open a nested span ([ph = "B"]); close with {!End} *)
+  | End of { pid : int; tid : int; ts : float }  (** [ph = "E"] *)
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : args;
+    }  (** a point event on a lane ([ph = "i"], thread scope) *)
+  | Counter of {
+      name : string;
+      pid : int;
+      ts : float;
+      values : (string * float) list;  (** series name -> sample *)
+    }  (** a sampled value track ([ph = "C"]) *)
+  | Flow_start of {
+      name : string;
+      id : int;
+      pid : int;
+      tid : int;
+      ts : float;
+    }  (** tail of a flow arrow ([ph = "s"]); binds to the enclosing
+          span *)
+  | Flow_end of { name : string; id : int; pid : int; tid : int; ts : float }
+      (** head of a flow arrow ([ph = "f"], binding-point enclosing) *)
+
+type t
+(** A mutable event collection under construction. *)
+
+val create : unit -> t
+
+val add : t -> event -> unit
+
+val set_process_name : t -> pid:int -> string -> unit
+(** Label a [pid] group ([ph = "M"], [process_name]). *)
+
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+(** Label a lane ([ph = "M"], [thread_name]). *)
+
+val set_thread_order : t -> pid:int -> tid:int -> int -> unit
+(** Pin a lane's display position ([thread_sort_index]). *)
+
+val length : t -> int
+(** Events added so far (metadata records not counted). *)
+
+val events : t -> event list
+(** Insertion order. *)
+
+val schema : string
+(** ["trace/v1"]. *)
+
+val to_json : t -> Json.t
+(** The [trace/v1] document: [{"schema": "trace/v1", "traceEvents":
+    [...]}] with metadata records first and events sorted by timestamp
+    (stable), which keeps the file diffable and viewer-friendly. *)
+
+val to_file : string -> t -> unit
+(** Write {!to_json}, indented, with a trailing newline. *)

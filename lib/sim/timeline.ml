@@ -1,0 +1,236 @@
+module T = Obs.Trace_event
+module J = Obs.Json
+module Pid = Spi.Ids.Process_id
+module Cid = Spi.Ids.Channel_id
+module Mid = Spi.Ids.Mode_id
+module Config_id = Spi.Ids.Config_id
+
+let env_tid = 0
+
+let queue_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace tbl key q;
+    q
+
+let config_json = function
+  | Some c -> J.String (Config_id.to_string c)
+  | None -> J.Null
+
+let add ?(pid = 0) ?(name = "simulation") builder model
+    (result : Engine.result) =
+  T.set_process_name builder ~pid name;
+  T.set_thread_name builder ~pid ~tid:env_tid "environment";
+  T.set_thread_order builder ~pid ~tid:env_tid 0;
+  let tids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i p ->
+      let tid = i + 1 in
+      let key = Pid.to_string (Spi.Process.id p) in
+      Hashtbl.replace tids key tid;
+      T.set_thread_name builder ~pid ~tid key;
+      T.set_thread_order builder ~pid ~tid tid)
+    (Spi.Model.processes model);
+  let tid_of p =
+    Option.value ~default:env_tid (Hashtbl.find_opt tids (Pid.to_string p))
+  in
+  (* one model time unit = 1 us *)
+  let us t = float_of_int t in
+  (* Pre-pass: per-process FIFO of completions.  The engine runs a
+     process's executions sequentially, so at each [Started] the head of
+     its queue is the matching completion; an empty queue means the run
+     was truncated mid-execution. *)
+  let completions : (string, Trace.entry Queue.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Completed { process; _ } ->
+        Queue.add entry (queue_of completions (Pid.to_string process))
+      | _ -> ())
+    result.Engine.trace;
+  (* Per-channel FIFO of flow ids: productions push, consumptions pop, so
+     arrows respect queue order.  Ids are namespaced by [pid] to keep
+     several runs in one file from cross-linking. *)
+  let next_flow = ref (pid * 1_000_000) in
+  let flows : (string, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let depth : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace depth
+        (Cid.to_string (Spi.Chan.id c))
+        (List.length (Spi.Chan.initial c)))
+    (Spi.Model.channels model);
+  let bump cid delta ts =
+    let key = Cid.to_string cid in
+    let d = Option.value ~default:0 (Hashtbl.find_opt depth key) + delta in
+    Hashtbl.replace depth key (max 0 d);
+    T.add builder
+      (T.Counter
+         {
+           name = "queue." ^ key;
+           pid;
+           ts;
+           values = [ ("depth", float_of_int (max 0 d)) ];
+         })
+  in
+  let flow_start ~tid ~ts cid =
+    let key = Cid.to_string cid in
+    let id = !next_flow in
+    incr next_flow;
+    Queue.add id (queue_of flows key);
+    T.add builder (T.Flow_start { name = "token " ^ key; id; pid; tid; ts })
+  in
+  let flow_end ~tid ~ts cid =
+    match Hashtbl.find_opt flows (Cid.to_string cid) with
+    | Some q when not (Queue.is_empty q) ->
+      let id = Queue.pop q in
+      T.add builder
+        (T.Flow_end
+           { name = "token " ^ Cid.to_string cid; id; pid; tid; ts })
+    | _ -> () (* initial token: no producer to link from *)
+  in
+  (* current configuration per process, for reconfiguration sources *)
+  let confcur : (string, Config_id.t) Hashtbl.t = Hashtbl.create 16 in
+  let instant ?(cat = "fault") ?(args = []) ~tid ~ts name =
+    T.add builder (T.Instant { name; cat; pid; tid; ts; args })
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Injected { time; channel; token = _ } ->
+        let ts = us time in
+        T.add builder
+          (T.Complete
+             {
+               name = "inject " ^ Cid.to_string channel;
+               cat = "inject";
+               pid;
+               tid = env_tid;
+               ts;
+               dur = 0.;
+               args = [];
+             });
+        flow_start ~tid:env_tid ~ts channel;
+        bump channel 1 ts
+      | Trace.Started { time; process; mode; reconfiguration } -> (
+        let key = Pid.to_string process in
+        let tid = tid_of process in
+        let completion =
+          match Hashtbl.find_opt completions key with
+          | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+          | _ -> None
+        in
+        match completion with
+        | Some (Trace.Completed { time = done_at; started_at; firing; _ }) ->
+          let reconf_lat =
+            match reconfiguration with Some (_, l) -> l | None -> 0
+          in
+          let fire_start = started_at + reconf_lat in
+          (match reconfiguration with
+          | Some (target, latency) ->
+            T.add builder
+              (T.Complete
+                 {
+                   name = "t_conf";
+                   cat = "reconf";
+                   pid;
+                   tid;
+                   ts = us started_at;
+                   dur = float_of_int latency;
+                   args =
+                     [
+                       ("t_conf", J.Int latency);
+                       ("source", config_json (Hashtbl.find_opt confcur key));
+                       ("target", config_json (Some target));
+                     ];
+                 });
+            Hashtbl.replace confcur key target
+          | None -> ());
+          T.add builder
+            (T.Complete
+               {
+                 name = Mid.to_string mode;
+                 cat = "firing";
+                 pid;
+                 tid;
+                 ts = us fire_start;
+                 dur = float_of_int (done_at - fire_start);
+                 args =
+                   [
+                     ("process", J.String key);
+                     ("latency", J.Int (done_at - started_at));
+                   ];
+               });
+          List.iter
+            (fun (cid, toks) ->
+              List.iter (fun _ -> flow_end ~tid ~ts:(us fire_start) cid) toks;
+              if toks <> [] then
+                bump cid (-List.length toks) (us fire_start))
+            firing.Spi.Semantics.consumed
+        | _ ->
+          instant ~cat:"firing" ~tid ~ts:(us time)
+            ~args:[ ("mode", J.String (Mid.to_string mode)) ]
+            "started (truncated)")
+      | Trace.Completed { time; process; firing; _ } ->
+        let tid = tid_of process in
+        List.iter
+          (fun (cid, toks) ->
+            List.iter (fun _ -> flow_start ~tid ~ts:(us time) cid) toks;
+            if toks <> [] then bump cid (List.length toks) (us time))
+          firing.Spi.Semantics.produced
+      | Trace.Faulted { time; fault } -> (
+        let ts = us time in
+        let kind = Fault.event_kind fault in
+        match fault with
+        | Fault.Token_dropped { channel; _ }
+        | Fault.Token_corrupted { channel; _ }
+        | Fault.Token_duplicated { channel; _ } ->
+          instant ~tid:env_tid ~ts
+            ~args:[ ("channel", J.String (Cid.to_string channel)) ]
+            kind
+        | Fault.Transient_failure { process; mode; retry; backoff } ->
+          instant ~tid:(tid_of process) ~ts
+            ~args:
+              [
+                ("mode", J.String (Mid.to_string mode));
+                ("retry", J.Int retry);
+                ("backoff", J.Int backoff);
+              ]
+            kind
+        | Fault.Retries_exhausted { process; mode } ->
+          instant ~tid:(tid_of process) ~ts
+            ~args:[ ("mode", J.String (Mid.to_string mode)) ]
+            kind
+        | Fault.Crashed { process } -> instant ~tid:(tid_of process) ~ts kind
+        | Fault.Latency_overrun { process; mode; extra } ->
+          instant ~tid:(tid_of process) ~ts
+            ~args:
+              [
+                ("mode", J.String (Mid.to_string mode)); ("extra", J.Int extra);
+              ]
+            kind
+        | Fault.Reconfiguration_failed { process; target; latency } ->
+          instant ~cat:"reconf" ~tid:(tid_of process) ~ts
+            ~args:
+              [
+                ("target", config_json (Some target));
+                ("t_conf", J.Int latency);
+              ]
+            kind
+        | Fault.Degraded { process; from_; to_; latency } ->
+          Hashtbl.replace confcur (Pid.to_string process) to_;
+          instant ~cat:"degradation" ~tid:(tid_of process) ~ts
+            ~args:
+              [
+                ("source", config_json from_);
+                ("target", config_json (Some to_));
+                ("t_conf", J.Int latency);
+              ]
+            kind)
+      | Trace.Quiescent { time } ->
+        instant ~cat:"sim" ~tid:env_tid ~ts:(us time) "quiescent")
+    result.Engine.trace

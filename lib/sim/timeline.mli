@@ -1,0 +1,45 @@
+(** Simulation schedules as timelines.
+
+    One pass over a finished {!Engine.result} turns the trace into
+    {!Obs.Trace_event} lanes: every SPI process is a lane, every
+    completed execution a span, reconfiguration steps explicit [t_conf]
+    spans, token movement flow arrows, faults and degradations instants.
+    Load the exported file in Perfetto or [chrome://tracing] to see the
+    schedule the discrete-event engine actually produced.
+
+    Lane layout per [pid]:
+    - [tid 0] — the environment: stimulus injections, token faults, and
+      the quiescence marker;
+    - [tid 1..n] — the model's processes in declaration order.
+
+    Time mapping: one model time unit becomes one microsecond, so
+    viewer timestamps read directly as model time. *)
+
+val add :
+  ?pid:int ->
+  ?name:string ->
+  Obs.Trace_event.t ->
+  Spi.Model.t ->
+  Engine.result ->
+  unit
+(** [add builder model result] appends the timeline of [result] under
+    process group [pid] (default 0), labelled [name] (default
+    ["simulation"]).  Distinct [pid]s keep several runs — e.g. the seeds
+    of a fault campaign — separate in one file.
+
+    Emitted events:
+    - a [Complete] span per execution, named after the mode, covering
+      [\[started_at + t_conf, completion\]];
+    - a [Complete] span named ["t_conf"] (category ["reconf"]) for the
+      reconfiguration step of an execution that switched configurations,
+      with source/target configuration and [t_conf] in the args;
+    - flow arrows from each token production (and environment injection)
+      to the execution that consumed it;
+    - [Instant]s for faults (on the affected process's lane; token
+      faults on the environment lane), watchdog degradations, and
+      aborted reconfigurations;
+    - [Counter] samples of every channel's queue depth.
+
+    Spans on one lane never overlap: the engine runs a process's
+    executions sequentially, and backoff/degradation latencies are
+    rendered as instants, not spans. *)

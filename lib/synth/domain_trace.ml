@@ -1,0 +1,155 @@
+(* Records are five ints: [kind; a; b; c; d].
+   kind 1 (task):        wait_from_ns, claimed_ns, end_ns, task index
+   kind 2 (improvement): ts_ns, cost, 0, 0 *)
+
+type buffer = {
+  domain : int;
+  data : int array;
+  mutable len : int;  (** records written *)
+  mutable drops : int;
+}
+
+let stride = 5
+let default_capacity = 4096
+let enabled = Atomic.make false
+let cap_ref = Atomic.make default_capacity
+let base_ns = Atomic.make 0
+
+(* Registration list: touched at domain startup and at drain time only,
+   never on the record path. *)
+let lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let make_buffer () =
+  let b =
+    {
+      domain = (Domain.self () :> int);
+      data = Array.make (stride * Atomic.get cap_ref) 0;
+      len = 0;
+      drops = 0;
+    }
+  in
+  Mutex.lock lock;
+  buffers := b :: !buffers;
+  Mutex.unlock lock;
+  b
+
+let key = Domain.DLS.new_key make_buffer
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Domain_trace.enable: capacity < 1";
+  Mutex.lock lock;
+  buffers := [];
+  Mutex.unlock lock;
+  Atomic.set cap_ref capacity;
+  Atomic.set base_ns (Obs.Clock.now_ns ());
+  (* the calling domain's buffer was dropped from the list above;
+     recreate it so its records land in a registered buffer *)
+  Domain.DLS.set key (make_buffer ());
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let push kind a b c d =
+  let buf = Domain.DLS.get key in
+  if (buf.len + 1) * stride > Array.length buf.data then
+    buf.drops <- buf.drops + 1
+  else begin
+    let o = buf.len * stride in
+    buf.data.(o) <- kind;
+    buf.data.(o + 1) <- a;
+    buf.data.(o + 2) <- b;
+    buf.data.(o + 3) <- c;
+    buf.data.(o + 4) <- d;
+    buf.len <- buf.len + 1
+  end
+
+let register_domain () =
+  if Atomic.get enabled then ignore (Domain.DLS.get key : buffer)
+
+let record_task ~wait_from_ns ~claimed_ns ~end_ns ~task =
+  if Atomic.get enabled then push 1 wait_from_ns claimed_ns end_ns task
+
+let record_improvement ~cost =
+  if Atomic.get enabled then push 2 (Obs.Clock.now_ns ()) cost 0 0
+
+let registered () =
+  Mutex.lock lock;
+  let bs = !buffers in
+  Mutex.unlock lock;
+  List.rev bs
+
+let dropped () = List.fold_left (fun acc b -> acc + b.drops) 0 (registered ())
+
+let m_dropped = Obs.Registry.counter "par.trace_dropped"
+
+module T = Obs.Trace_event
+module J = Obs.Json
+
+let append_timeline ?(pid = 1) ?(name = "explorer") builder =
+  let bufs = registered () in
+  let base = Atomic.get base_ns in
+  let us ns = float_of_int (ns - base) /. 1000. in
+  T.set_process_name builder ~pid name;
+  List.iteri
+    (fun order buf ->
+      let tid = buf.domain in
+      T.set_thread_name builder ~pid ~tid
+        (Printf.sprintf "domain %d" buf.domain);
+      T.set_thread_order builder ~pid ~tid order;
+      for r = 0 to buf.len - 1 do
+        let o = r * stride in
+        match buf.data.(o) with
+        | 1 ->
+          let wait_from = buf.data.(o + 1)
+          and claimed = buf.data.(o + 2)
+          and end_ns = buf.data.(o + 3)
+          and task = buf.data.(o + 4) in
+          if claimed > wait_from then
+            T.add builder
+              (T.Complete
+                 {
+                   name = "queue wait";
+                   cat = "pool";
+                   pid;
+                   tid;
+                   ts = us wait_from;
+                   dur = float_of_int (claimed - wait_from) /. 1000.;
+                   args = [];
+                 });
+          T.add builder
+            (T.Complete
+               {
+                 name = Printf.sprintf "task %d" task;
+                 cat = "task";
+                 pid;
+                 tid;
+                 ts = us claimed;
+                 dur = float_of_int (end_ns - claimed) /. 1000.;
+                 args = [ ("task", J.Int task) ];
+               })
+        | 2 ->
+          let ts = us buf.data.(o + 1) and cost = buf.data.(o + 2) in
+          T.add builder
+            (T.Instant
+               {
+                 name = "incumbent";
+                 cat = "search";
+                 pid;
+                 tid;
+                 ts;
+                 args = [ ("cost", J.Int cost) ];
+               })
+        | _ -> ()
+      done)
+    bufs;
+  let d = dropped () in
+  if d > 0 then Obs.Metric.add m_dropped d
+
+let reset () =
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.drops <- 0)
+    (registered ())

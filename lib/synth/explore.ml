@@ -203,6 +203,7 @@ let solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps =
         if !best_cost = max_int then
           Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns);
         Obs.Metric.incr m_improvements;
+        Domain_trace.record_improvement ~cost;
         best_cost := cost;
         best := Some (binding, worst)
       end)
@@ -379,8 +380,10 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
             let rec lower () =
               let cur = Atomic.get incumbent in
               if cost < cur then
-                if Atomic.compare_and_set incumbent cur cost then
-                  note_incumbent ()
+                if Atomic.compare_and_set incumbent cur cost then begin
+                  note_incumbent ();
+                  Domain_trace.record_improvement ~cost
+                end
                 else lower ()
             in
             lower ())

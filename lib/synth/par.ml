@@ -22,7 +22,11 @@ let map ~jobs f tasks =
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
+      Domain_trace.register_domain ();
       let continue = ref true in
+      (* end of this domain's previous task: queue-wait gaps in the
+         timeline are per-lane, so they never overlap task spans *)
+      let prev_end_ns = ref started_ns in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Option.is_some (Atomic.get failure) then continue := false
@@ -31,7 +35,11 @@ let map ~jobs f tasks =
           Obs.Metric.observe m_queue_wait (claimed_ns - started_ns);
           match f tasks.(i) with
           | r ->
-            Obs.Metric.observe m_task_run (Obs.Clock.elapsed_ns claimed_ns);
+            let end_ns = Obs.Clock.now_ns () in
+            Obs.Metric.observe m_task_run (end_ns - claimed_ns);
+            Domain_trace.record_task ~wait_from_ns:!prev_end_ns ~claimed_ns
+              ~end_ns ~task:i;
+            prev_end_ns := end_ns;
             results.(i) <- Some r
           | exception e ->
             (* keep the first failure; losing later ones is fine *)

@@ -135,3 +135,82 @@ let pp ppf r =
     r.frames_in r.clean r.held r.dropped
     (List.length r.invalid_clean)
     r.reconfigurations r.reconfiguration_time
+
+(* ------------------------- deadline headroom ------------------------ *)
+
+type headroom_row = {
+  hr_process : string;
+  hr_deadline : int;
+  hr_count : int;
+  hr_p50 : int option;
+  hr_p99 : int option;
+  hr_headroom : int option;
+  hr_violations : (int * int) list;
+}
+
+let default_deadline p = Some (Interval.hi (Spi.Process.latency_hull p))
+
+let deadline_headroom ?deadline_of model results =
+  let deadline_of =
+    match deadline_of with
+    | Some f -> fun p -> f (Spi.Process.id p)
+    | None -> default_deadline
+  in
+  List.filter_map
+    (fun p ->
+      match deadline_of p with
+      | None -> None
+      | Some deadline ->
+        let pid = Spi.Process.id p in
+        let key = I.Process_id.to_string pid in
+        let h = Obs.Registry.histogram ("sim.latency." ^ key) in
+        let p50 = Obs.Metric.quantile h 0.5
+        and p99 = Obs.Metric.quantile h 0.99 in
+        let violations =
+          List.concat_map
+            (fun (r : Sim.Engine.result) ->
+              List.filter_map
+                (function
+                  | Sim.Trace.Completed { time; started_at; process; _ }
+                    when I.Process_id.equal process pid
+                         && time - started_at > deadline ->
+                    Some (time, time - started_at)
+                  | Sim.Trace.Completed _ | Sim.Trace.Injected _
+                  | Sim.Trace.Started _ | Sim.Trace.Faulted _
+                  | Sim.Trace.Quiescent _ -> None)
+                r.Sim.Engine.trace)
+            results
+        in
+        Some
+          {
+            hr_process = key;
+            hr_deadline = deadline;
+            hr_count = Obs.Metric.count h;
+            hr_p50 = p50;
+            hr_p99 = p99;
+            hr_headroom = Option.map (fun q -> deadline - q) p99;
+            hr_violations = violations;
+          })
+    (Spi.Model.processes model)
+
+let pp_headroom ppf rows =
+  let opt = function Some v -> string_of_int v | None -> "-" in
+  Format.fprintf ppf "@[<v>deadline headroom (latency vs declared worst case):@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  %-8s deadline=%-4d n=%-5d p50=%-4s p99=%-4s headroom=%-4s violations=%d@,"
+        r.hr_process r.hr_deadline r.hr_count (opt r.hr_p50) (opt r.hr_p99)
+        (opt r.hr_headroom)
+        (List.length r.hr_violations);
+      List.iteri
+        (fun i (at, lat) ->
+          if i < 5 then
+            Format.fprintf ppf "    t=%d latency=%d (+%d over)@," at lat
+              (lat - r.hr_deadline))
+        r.hr_violations;
+      if List.length r.hr_violations > 5 then
+        Format.fprintf ppf "    ... %d more@,"
+          (List.length r.hr_violations - 5))
+    rows;
+  Format.fprintf ppf "@]"

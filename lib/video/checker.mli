@@ -36,3 +36,37 @@ val latency_stats : report -> (float * int) option
     nothing came through. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Deadline headroom}
+
+    Per-process view of how close execution latencies came to their
+    deadlines.  The quantiles are read from the [sim.latency.<process>]
+    histograms the engine feeds (so they aggregate every run since the
+    registry was last reset — a whole fault campaign); the individual
+    violations are recovered from the traces, with their completion
+    timestamps, so each one can be located in an exported timeline. *)
+
+type headroom_row = {
+  hr_process : string;
+  hr_deadline : int;
+  hr_count : int;  (** histogram observations for this process *)
+  hr_p50 : int option;
+  hr_p99 : int option;
+  hr_headroom : int option;  (** [deadline - p99]; negative = violated *)
+  hr_violations : (int * int) list;
+      (** (completion time, latency) per execution over deadline,
+          chronological across the given runs *)
+}
+
+val deadline_headroom :
+  ?deadline_of:(Spi.Ids.Process_id.t -> int option) ->
+  Spi.Model.t ->
+  Sim.Engine.result list ->
+  headroom_row list
+(** One row per model process (model order), skipping processes
+    [deadline_of] maps to [None].  The default deadline is the upper
+    bound of the process's {!Spi.Process.latency_hull} — its declared
+    worst-case mode latency — which reconfiguration steps ([t_conf]) and
+    fault backoffs push executions past. *)
+
+val pp_headroom : Format.formatter -> headroom_row list -> unit
