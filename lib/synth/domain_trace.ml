@@ -1,6 +1,7 @@
 (* Records are five ints: [kind; a; b; c; d].
    kind 1 (task):        wait_from_ns, claimed_ns, end_ns, task index
-   kind 2 (improvement): ts_ns, cost, 0, 0 *)
+   kind 2 (improvement): ts_ns, cost, 0, 0
+   kind 3 (steal):       ts_ns, victim worker, stealing worker, task id *)
 
 type buffer = {
   domain : int;
@@ -74,6 +75,9 @@ let record_task ~wait_from_ns ~claimed_ns ~end_ns ~task =
 let record_improvement ~cost =
   if Atomic.get enabled then push 2 (Obs.Clock.now_ns ()) cost 0 0
 
+let record_steal ~victim ~worker ~task =
+  if Atomic.get enabled then push 3 (Obs.Clock.now_ns ()) victim worker task
+
 let registered () =
   Mutex.lock lock;
   let bs = !buffers in
@@ -140,6 +144,26 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
                  tid;
                  ts;
                  args = [ ("cost", J.Int cost) ];
+               })
+        | 3 ->
+          let ts = us buf.data.(o + 1)
+          and victim = buf.data.(o + 2)
+          and worker = buf.data.(o + 3)
+          and task = buf.data.(o + 4) in
+          T.add builder
+            (T.Instant
+               {
+                 name = "steal";
+                 cat = "pool";
+                 pid;
+                 tid;
+                 ts;
+                 args =
+                   [
+                     ("victim", J.Int victim);
+                     ("worker", J.Int worker);
+                     ("task", J.Int task);
+                   ];
                })
         | _ -> ()
       done)

@@ -41,6 +41,12 @@ val record_improvement : cost:int -> unit
 (** The calling domain improved the incumbent to [cost] (timestamped
     now).  No-op when disabled. *)
 
+val record_steal : victim:int -> worker:int -> task:int -> unit
+(** The calling domain — worker slot [worker] — stole task [task] from
+    worker [victim]'s deque (timestamped now).  The instant lands on the
+    {e stealing} domain's lane, since it is recorded into the caller's
+    buffer.  No-op when disabled. *)
+
 val dropped : unit -> int
 (** Records dropped across all registered buffers since {!enable}. *)
 
@@ -48,9 +54,11 @@ val append_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.t -> unit
 (** Drain every registered buffer into [builder] under process group
     [pid] (default 1), labelled [name] (default ["explorer"]): one lane
     per domain with queue-wait and task spans, incumbent-improvement
-    instants carrying the cost, timestamps relative to the {!enable}
-    call in microseconds.  Also bumps the [par.trace_dropped] counter
-    with the drop total.  Call after the pool has joined. *)
+    instants carrying the cost, and steal instants (on the stealing
+    domain's lane, with the victim worker and task id as args),
+    timestamps relative to the {!enable} call in microseconds.  Also
+    bumps the [par.trace_dropped] counter with the drop total.  Call
+    after the pool has joined. *)
 
 val reset : unit -> unit
 (** Zero every registered buffer (registrations stay valid). *)

@@ -36,6 +36,14 @@ type node = {
 
 type counters = { mutable explored : int; mutable pruned : int }
 
+(* Domain-local accumulator for the work-stealing fold: the best
+   (binding, worst-load) seen by this worker and its node counters. *)
+type par_acc = {
+  c_best : (Binding.t * int) option ref;
+  c_cost : int ref;
+  c_counters : counters;
+}
+
 exception Diagnosed of diagnostic
 
 (* Observability: node totals are folded into the registry once per
@@ -50,6 +58,7 @@ let m_solves = Obs.Registry.counter "explore.solves"
 let m_tasks = Obs.Registry.counter "explore.tasks"
 let m_improvements = Obs.Registry.counter "explore.incumbent_improvements"
 let m_ttfi = Obs.Registry.gauge "explore.time_to_first_incumbent_ns"
+let m_resplits = Obs.Registry.counter "explore.resplits"
 
 let compile ~fixed tech apps procs =
   let member_indices pid =
@@ -129,8 +138,19 @@ let materialize ~nodes ~n choices =
    index loops rather than local closures or [Array.iter]: the body
    must not allocate per node, or minor collections (stop-the-world
    rendezvous across domains) dominate the parallel run time. *)
-let search ~sw_first ~capacity ~processor_cost ~accept ~nodes ~n ~loads
-    ~choices ~counters ~current_bound ~improve start area0 any_sw0 =
+(* [try_split i area any_sw] is consulted at branch nodes where both
+   children exist (parallel path only): returning [true] means the
+   caller captured the hardware sibling as a pool task, so only the
+   software child — the lower bound — descends in place.  The check
+   runs mid-descent, so a task deep in its subtree still sheds work the
+   moment another worker goes hungry — but only down to [split_floor]:
+   below it the remaining subtree is too small to be worth shipping,
+   and the guard keeps the hot deep nodes free of the hook's atomic
+   reads (a plain int compare instead).  With the default hook the
+   search is the sequential reference. *)
+let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1) ~sw_first
+    ~capacity ~processor_cost ~accept ~nodes ~n ~loads ~choices ~counters
+    ~current_bound ~improve start area0 any_sw0 =
   (* hoisted so the recursive closures are allocated once per call, not
      once per node *)
   let rec add_loads members m load k ok =
@@ -158,8 +178,19 @@ let search ~sw_first ~capacity ~processor_cost ~accept ~nodes ~n ~loads
     else begin
       counters.explored <- counters.explored + 1;
       if sw_first then begin
-        sw_child i area any_sw;
-        hw_child i area any_sw
+        if
+          i < split_floor
+          && Option.is_some nodes.(i).hw
+          && Option.is_some nodes.(i).sw
+          && try_split i area any_sw
+        then
+          (* hardware sibling shipped to the pool — best-first child
+             continues in place *)
+          sw_child i area any_sw
+        else begin
+          sw_child i area any_sw;
+          hw_child i area any_sw
+        end
       end
       else begin
         hw_child i area any_sw;
@@ -227,10 +258,19 @@ type task = {
   t_any_sw : bool;
   t_loads : int array;
   t_bound : int;
+  t_depth : int;  (** first undecided node — the task's subtree root *)
 }
 
+(* A shallow static split: just enough seeds for the cursor to hand
+   every domain a distinct well-estimated subtree at start-up.  Load
+   balance does not depend on this depth any more — tasks re-split on
+   demand whenever a worker goes hungry — and a deep static split is
+   actively harmful: seeds all enqueue at pool start, so a wide seed
+   array means the last-claimed seeds sit queued for most of the run,
+   which is exactly the [par.task_queue_wait_ns] tail the deques are
+   meant to remove. *)
 let split_depth ~jobs ~n =
-  let target = jobs * 32 in
+  let target = jobs * 16 in
   let rec depth d = if 1 lsl d >= target || d >= 14 then d else depth (d + 1) in
   min (n - 2) (depth 0)
 
@@ -253,6 +293,7 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
           t_any_sw = any_sw;
           t_loads = Array.copy loads;
           t_bound = bound;
+          t_depth = depth;
         }
         :: !tasks
     else begin
@@ -300,7 +341,7 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     let filled = Array.copy t.t_choices in
     let area = ref t.t_area and any_sw = ref t.t_any_sw in
     let feasible = ref true in
-    for i = depth to n - 1 do
+    for i = t.t_depth to n - 1 do
       if !feasible then begin
         let nd = nodes.(i) in
         let sw_fits =
@@ -362,51 +403,129 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
       Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns);
     Obs.Metric.incr m_improvements
   in
-  let results =
-    Par.map ~jobs
-      (fun t ->
-        let task_ns = Obs.Clock.now_ns () in
-        let counters = { explored = 0; pruned = 0 } in
-        let local_best = ref None and local_cost = ref max_int in
-        search ~sw_first:true ~capacity ~processor_cost ~accept ~nodes ~n
-          ~loads:t.t_loads ~choices:t.t_choices ~counters
-          ~current_bound:(fun () -> Atomic.get incumbent)
-          ~improve:(fun cost binding worst ->
-            if cost < !local_cost then begin
-              local_cost := cost;
-              local_best := Some (binding, worst)
-            end;
-            (* lower the shared incumbent monotonically *)
-            let rec lower () =
-              let cur = Atomic.get incumbent in
-              if cost < cur then
-                if Atomic.compare_and_set incumbent cur cost then begin
-                  note_incumbent ();
-                  Domain_trace.record_improvement ~cost
-                end
-                else lower ()
-            in
-            lower ())
-          depth t.t_area t.t_any_sw;
-        (* one span per task: per-domain node throughput shows up in the
-           span stream without any per-node cost *)
-        Obs.Registry.record_span ~name:"explore.task_ns" ~start_ns:task_ns
-          ~dur_ns:(Obs.Clock.elapsed_ns task_ns);
-        (!local_best, !local_cost, counters))
-      tasks
+  (* Root incumbent dive (same scheme as {!Multi.optimal}): solve the
+     best-estimated subtree sequentially before any domain spawns.  The
+     greedy completion only bounds that subtree's optimum from above;
+     diving it to the bottom usually lands the true global optimum, so
+     the pool then runs every remaining seed — and every speculatively
+     shed sibling — against a tight bound instead of discovering it
+     concurrently while domains contend for cores. *)
+  if Array.length tasks > 0 then begin
+    let t = tasks.(0) in
+    let counters = prefix_counters in
+    search ~sw_first:true ~capacity ~processor_cost ~accept ~nodes ~n
+      ~loads:t.t_loads ~choices:t.t_choices ~counters
+      ~current_bound:(fun () -> Atomic.get incumbent)
+      ~improve:(fun cost binding worst ->
+        if cost < !seed_cost then begin
+          seed_cost := cost;
+          seed_best := Some (binding, worst);
+          Atomic.set incumbent cost;
+          note_incumbent ();
+          Domain_trace.record_improvement ~cost
+        end)
+      t.t_depth t.t_area t.t_any_sw
+  end;
+  let tasks =
+    if Array.length tasks > 0 then Array.sub tasks 1 (Array.length tasks - 1)
+    else tasks
+  in
+  (* Run the tasks on the work-stealing pool.  Each worker threads a
+     domain-local accumulator (best solution + node counters); a task
+     whose subtree root still has siblings to offer re-splits while any
+     worker is hungry: the hardware child (never the lower bound) is
+     snapshotted and pushed onto the owner's deque for thieves to drain
+     FIFO, and the software child — best-first — continues in place on
+     the task's own arrays.  Re-splitting allocates per {e split}, not
+     per node, so the search loop itself stays allocation-free. *)
+  let acc_init () =
+    { c_best = ref None; c_cost = ref max_int;
+      c_counters = { explored = 0; pruned = 0 } }
+  in
+  let acc_merge a b =
+    a.c_counters.explored <- a.c_counters.explored + b.c_counters.explored;
+    a.c_counters.pruned <- a.c_counters.pruned + b.c_counters.pruned;
+    (match !(b.c_best) with
+    | Some bw when !(b.c_cost) < !(a.c_cost) ->
+      a.c_cost := !(b.c_cost);
+      a.c_best := Some bw
+    | Some _ | None -> ());
+    a
+  in
+  let run_task ctx acc t =
+    let task_ns = Obs.Clock.now_ns () in
+    let counters = acc.c_counters in
+    let improve cost binding worst =
+      if cost < !(acc.c_cost) then begin
+        acc.c_cost := cost;
+        acc.c_best := Some (binding, worst)
+      end;
+      (* lower the shared incumbent monotonically *)
+      let rec lower () =
+        let cur = Atomic.get incumbent in
+        if cost < cur then
+          if Atomic.compare_and_set incumbent cur cost then begin
+            note_incumbent ();
+            Domain_trace.record_improvement ~cost
+          end
+          else lower ()
+      in
+      lower ()
+    in
+    (* Shed the hardware sibling at any branch node while a worker is
+       hungry.  The snapshot copies the task's mutable arrays: entries
+       beyond node [i] are stale exploration residue, but every path to
+       a leaf overwrites its whole suffix before [materialize] reads
+       it, so the thief never observes them. *)
+    let try_split i area any_sw =
+      Par.should_split ctx
+      && begin
+           let a = Option.get nodes.(i).hw in
+           let hw_choices = Array.copy t.t_choices in
+           hw_choices.(i) <- choice_hw;
+           let pushed =
+             Par.push ctx
+               {
+                 t_choices = hw_choices;
+                 t_area = area + a;
+                 t_any_sw = any_sw;
+                 t_loads = Array.copy t.t_loads;
+                 t_bound = area + a + (if any_sw then processor_cost else 0);
+                 t_depth = i + 1;
+               }
+           in
+           if pushed then Obs.Metric.incr m_resplits;
+           (* deque full: the sibling was never enqueued — the caller
+              keeps both children in place *)
+           pushed
+         end
+    in
+    (* a shed below [n - 12] ships a subtree of at most [2^12] nodes —
+       sub-millisecond work that costs the thief more in claim latency
+       than it buys in balance *)
+    search ~try_split ~split_floor:(n - 12) ~sw_first:true ~capacity
+      ~processor_cost ~accept ~nodes ~n ~loads:t.t_loads
+      ~choices:t.t_choices ~counters
+      ~current_bound:(fun () -> Atomic.get incumbent)
+      ~improve t.t_depth t.t_area t.t_any_sw;
+    (* one span per task: per-domain node throughput shows up in the
+       span stream without any per-node cost *)
+    Obs.Registry.record_span ~name:"explore.task_ns" ~start_ns:task_ns
+      ~dur_ns:(Obs.Clock.elapsed_ns task_ns);
+    acc
+  in
+  let folded =
+    Par.fold ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
   in
   let best = ref !seed_best and best_cost = ref !seed_cost in
   let counters = prefix_counters in
-  Array.iter
-    (fun (local_best, local_cost, c) ->
-      counters.explored <- counters.explored + c.explored;
-      counters.pruned <- counters.pruned + c.pruned;
-      match local_best with
-      | Some bw when local_cost < !best_cost ->
-        best_cost := local_cost;
-        best := Some bw
-      | Some _ | None -> ())
-    results;
+  counters.explored <- counters.explored + folded.c_counters.explored;
+  counters.pruned <- counters.pruned + folded.c_counters.pruned;
+  (match !(folded.c_best) with
+  | Some bw when !(folded.c_cost) < !best_cost ->
+    best_cost := !(folded.c_cost);
+    best := Some bw
+  | Some _ | None -> ());
   (!best, counters)
 
 let resolve_jobs = function

@@ -48,6 +48,7 @@ type counters = { mutable explored : int; mutable pruned : int }
 let m_nodes = Obs.Registry.counter "multi.nodes_expanded"
 let m_pruned = Obs.Registry.counter "multi.pruned"
 let m_solves = Obs.Registry.counter "multi.solves"
+let m_resplits = Obs.Registry.counter "multi.resplits"
 
 (* Mutable per-search state: per (application, processor) accumulated
    load and the set of processors in use.  The processor cost of the
@@ -60,74 +61,115 @@ type state = { loads : int array array; used : bool array }
 let copy_state st =
   { loads = Array.map Array.copy st.loads; used = Array.copy st.used }
 
+(* Decisions are plain ints in a preallocated vector — [choice_unset]
+   before node [i] is decided, [choice_hw] for hardware, [choice_sw_base
+   + c] for software on processor [c] — so the search loop mutates one
+   array slot per decision instead of building a [Map] at every node,
+   and a stolen task's state is three flat arrays.  The [Map] binding is
+   materialized only at leaves that survive the bound check (incumbent
+   improvements or [accept] probes), keeping allocation off the hot
+   path. *)
+let choice_hw = 1
+let choice_sw_base = 2
+
+let materialize ~procs_arr ~nodes ~n choices =
+  let b = ref I.Process_id.Map.empty in
+  for j = 0 to n - 1 do
+    let c = choices.(j) in
+    if c = choice_hw then b := I.Process_id.Map.add nodes.(j).pid Hw !b
+    else if c >= choice_sw_base then
+      b :=
+        I.Process_id.Map.add nodes.(j).pid
+          (Sw_on procs_arr.(c - choice_sw_base).id)
+          !b
+  done;
+  !b
+
 (* Counter semantics match {!Explore}: [explored] counts decision nodes
    expanded, [pruned] counts subtrees cut by the bound or a capacity
    overload.  As in {!Explore.search}, the sequential reference visits
    the hardware child first while the parallel path sets [sw_first]:
    a software placement on an already-used processor adds no cost, so
    descending software first is best-first. *)
-let search ~sw_first ~procs_arr ~accept ~nodes ~n ~st ~counters ~current_bound
-    ~improve start binding0 area0 cpu_cost0 =
+(* [try_split i area cpu_cost] — see {!Explore.search}: consulted at
+   every branch node with both a hardware and a software option;
+   returning [true] means the hardware sibling was captured as a pool
+   task and only the software placements descend in place. *)
+let search ?(try_split = fun _ _ _ -> false) ~sw_first ~procs_arr ~accept
+    ~nodes ~n ~st ~choices ~counters ~current_bound ~improve start area0
+    cpu_cost0 =
   let n_cpu = Array.length procs_arr in
-  let rec go i binding area cpu_cost =
+  let rec go i area cpu_cost =
     let lower = area + cpu_cost in
     if lower >= current_bound () then counters.pruned <- counters.pruned + 1
     else if i = n then begin
-      if accept binding then improve lower binding area st
+      let binding = materialize ~procs_arr ~nodes ~n choices in
+      if accept binding then improve lower binding area
     end
     else begin
       counters.explored <- counters.explored + 1;
-      let nd = nodes.(i) in
-      let try_hw () =
-        match nd.hw with
-        | Some a ->
-          go (i + 1) (I.Process_id.Map.add nd.pid Hw binding) (area + a) cpu_cost
-        | None -> ()
-      and try_sw () =
-        match nd.sw with
-        | Some load ->
-          for c = 0 to n_cpu - 1 do
-            let ok = ref true in
-            Array.iter
-              (fun ai ->
-                st.loads.(ai).(c) <- st.loads.(ai).(c) + load;
-                if st.loads.(ai).(c) > procs_arr.(c).capacity then ok := false)
-              nd.members;
-            let was_used = st.used.(c) in
-            st.used.(c) <- true;
-            let cpu_cost' =
-              if was_used then cpu_cost else cpu_cost + procs_arr.(c).cost
-            in
-            if !ok then
-              go (i + 1)
-                (I.Process_id.Map.add nd.pid (Sw_on procs_arr.(c).id) binding)
-                area cpu_cost'
-            else counters.pruned <- counters.pruned + 1;
-            if not was_used then st.used.(c) <- false;
-            Array.iter
-              (fun ai -> st.loads.(ai).(c) <- st.loads.(ai).(c) - load)
-              nd.members
-          done
-        | None -> ()
-      in
       if sw_first then begin
-        try_sw ();
-        try_hw ()
+        if
+          Option.is_some nodes.(i).hw
+          && Option.is_some nodes.(i).sw
+          && try_split i area cpu_cost
+        then try_sw i area cpu_cost
+        else begin
+          try_sw i area cpu_cost;
+          try_hw i area cpu_cost
+        end
       end
       else begin
-        try_hw ();
-        try_sw ()
+        try_hw i area cpu_cost;
+        try_sw i area cpu_cost
       end
     end
+  and try_hw i area cpu_cost =
+    match nodes.(i).hw with
+    | Some a ->
+      choices.(i) <- choice_hw;
+      go (i + 1) (area + a) cpu_cost
+    | None -> ()
+  and try_sw i area cpu_cost =
+    match nodes.(i).sw with
+    | Some load ->
+      let members = nodes.(i).members in
+      for c = 0 to n_cpu - 1 do
+        let ok = ref true in
+        Array.iter
+          (fun ai ->
+            st.loads.(ai).(c) <- st.loads.(ai).(c) + load;
+            if st.loads.(ai).(c) > procs_arr.(c).capacity then ok := false)
+          members;
+        let was_used = st.used.(c) in
+        st.used.(c) <- true;
+        let cpu_cost' =
+          if was_used then cpu_cost else cpu_cost + procs_arr.(c).cost
+        in
+        if !ok then begin
+          choices.(i) <- choice_sw_base + c;
+          go (i + 1) area cpu_cost'
+        end
+        else counters.pruned <- counters.pruned + 1;
+        if not was_used then st.used.(c) <- false;
+        Array.iter
+          (fun ai -> st.loads.(ai).(c) <- st.loads.(ai).(c) - load)
+          members
+      done
+    | None -> ()
   in
-  go start binding0 area0 cpu_cost0
+  go start area0 cpu_cost0
 
+(* A subtree task: the decision prefix as the flat choice vector plus
+   its incremental state — plain ints and bools throughout, so stealing
+   a task moves no closures between domains. *)
 type task = {
-  t_binding : binding;
+  t_choices : int array;
   t_area : int;
   t_cpu_cost : int;
   t_state : state;
   t_bound : int;
+  t_depth : int;
 }
 
 let split_depth ~jobs ~n ~branching =
@@ -162,6 +204,13 @@ let candidate ~procs_arr ~st cost binding area =
     explored = 0;
     pruned = 0;
   }
+
+(* Domain-local accumulator for the work-stealing fold. *)
+type par_acc = {
+  c_best : solution option ref;
+  c_cost : int ref;
+  c_counters : counters;
+}
 
 let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
   let jobs = match jobs with
@@ -208,16 +257,17 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
   in
   if jobs = 1 || n < 4 then begin
     let st = fresh_state () in
+    let choices = Array.make n 0 in
     let counters = { explored = 0; pruned = 0 } in
     let best = ref None and best_cost = ref max_int in
-    search ~sw_first:false ~procs_arr ~accept ~nodes ~n ~st ~counters
+    search ~sw_first:false ~procs_arr ~accept ~nodes ~n ~st ~choices ~counters
       ~current_bound:(fun () -> !best_cost)
-      ~improve:(fun cost binding area st ->
+      ~improve:(fun cost binding area ->
         if cost < !best_cost then begin
           best_cost := cost;
           best := Some (candidate ~procs_arr ~st cost binding area)
         end)
-      0 I.Process_id.Map.empty 0 0;
+      0 0 0;
     note counters;
     Option.map
       (fun (s : solution) ->
@@ -229,16 +279,18 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
     let depth = split_depth ~jobs ~n ~branching:(1 + n_cpu) in
     let prefix_counters = { explored = 0; pruned = 0 } in
     let st = fresh_state () in
+    let choices = Array.make n 0 in
     let tasks = ref [] in
-    let rec enumerate i binding area cpu_cost =
+    let rec enumerate i area cpu_cost =
       if i = depth then
         tasks :=
           {
-            t_binding = binding;
+            t_choices = Array.copy choices;
             t_area = area;
             t_cpu_cost = cpu_cost;
             t_state = copy_state st;
             t_bound = area + cpu_cost;
+            t_depth = depth;
           }
           :: !tasks
       else begin
@@ -246,7 +298,8 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
         let nd = nodes.(i) in
         (match nd.hw with
         | Some a ->
-          enumerate (i + 1) (I.Process_id.Map.add nd.pid Hw binding) (area + a) cpu_cost
+          choices.(i) <- choice_hw;
+          enumerate (i + 1) (area + a) cpu_cost
         | None -> ());
         match nd.sw with
         | Some load ->
@@ -262,10 +315,10 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
             let cpu_cost' =
               if was_used then cpu_cost else cpu_cost + procs_arr.(c).cost
             in
-            if !ok then
-              enumerate (i + 1)
-                (I.Process_id.Map.add nd.pid (Sw_on procs_arr.(c).id) binding)
-                area cpu_cost'
+            if !ok then begin
+              choices.(i) <- choice_sw_base + c;
+              enumerate (i + 1) area cpu_cost'
+            end
             else prefix_counters.pruned <- prefix_counters.pruned + 1;
             if not was_used then st.used.(c) <- false;
             Array.iter
@@ -275,7 +328,7 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
         | None -> ()
       end
     in
-    enumerate 0 I.Process_id.Map.empty 0 0;
+    enumerate 0 0 0;
     let tasks = Array.of_list !tasks in
     Array.sort (fun a b -> Int.compare a.t_bound b.t_bound) tasks;
     let incumbent = Atomic.make max_int in
@@ -285,54 +338,93 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
     if Array.length tasks > 0 then begin
       let t = tasks.(0) in
       search ~sw_first:true ~procs_arr ~accept ~nodes ~n ~st:t.t_state
-        ~counters:prefix_counters
+        ~choices:t.t_choices ~counters:prefix_counters
         ~current_bound:(fun () -> Atomic.get incumbent)
-        ~improve:(fun cost binding area st ->
+        ~improve:(fun cost binding area ->
           if cost < !seed_cost then begin
             seed_cost := cost;
-            seed_best := Some (candidate ~procs_arr ~st cost binding area);
+            seed_best :=
+              Some (candidate ~procs_arr ~st:t.t_state cost binding area);
             Atomic.set incumbent cost
           end)
-        depth t.t_binding t.t_area t.t_cpu_cost
+        t.t_depth t.t_area t.t_cpu_cost
     end;
     let tasks =
       if Array.length tasks > 0 then Array.sub tasks 1 (Array.length tasks - 1)
       else tasks
     in
-    let results =
-      Par.map ~jobs
-        (fun t ->
-          let counters = { explored = 0; pruned = 0 } in
-          let local_best = ref None and local_cost = ref max_int in
-          search ~sw_first:true ~procs_arr ~accept ~nodes ~n ~st:t.t_state ~counters
-            ~current_bound:(fun () -> Atomic.get incumbent)
-            ~improve:(fun cost binding area st ->
-              if cost < !local_cost then begin
-                local_cost := cost;
-                local_best := Some (candidate ~procs_arr ~st cost binding area)
-              end;
-              let rec lower () =
-                let cur = Atomic.get incumbent in
-                if cost < cur
-                   && not (Atomic.compare_and_set incumbent cur cost)
-                then lower ()
-              in
-              lower ())
-            depth t.t_binding t.t_area t.t_cpu_cost;
-          (!local_best, !local_cost, counters))
-        tasks
+    let acc_init () =
+      { c_best = ref None; c_cost = ref max_int;
+        c_counters = { explored = 0; pruned = 0 } }
+    in
+    let acc_merge a b =
+      a.c_counters.explored <- a.c_counters.explored + b.c_counters.explored;
+      a.c_counters.pruned <- a.c_counters.pruned + b.c_counters.pruned;
+      (match !(b.c_best) with
+      | Some s when !(b.c_cost) < !(a.c_cost) ->
+        a.c_cost := !(b.c_cost);
+        a.c_best := Some s
+      | Some _ | None -> ());
+      a
+    in
+    let run_task ctx acc t =
+      let counters = acc.c_counters in
+      let improve_for st cost binding area =
+        if cost < !(acc.c_cost) then begin
+          acc.c_cost := cost;
+          acc.c_best := Some (candidate ~procs_arr ~st cost binding area)
+        end;
+        let rec lower () =
+          let cur = Atomic.get incumbent in
+          if cost < cur && not (Atomic.compare_and_set incumbent cur cost)
+          then lower ()
+        in
+        lower ()
+      in
+      (* Shed the hardware sibling at any branch node while a worker is
+         hungry (same scheme as {!Explore.solve_par}): the snapshot
+         copies the task's mutable choice vector and load state; stale
+         entries beyond node [i] are overwritten by the thief's own
+         descent before [materialize] reads them. *)
+      let try_split i area cpu_cost =
+        Par.should_split ctx
+        && begin
+             let a = Option.get nodes.(i).hw in
+             let ch = Array.copy t.t_choices in
+             ch.(i) <- choice_hw;
+             let pushed =
+               Par.push ctx
+                 {
+                   t_choices = ch;
+                   t_area = area + a;
+                   t_cpu_cost = cpu_cost;
+                   t_state = copy_state t.t_state;
+                   t_bound = area + a + cpu_cost;
+                   t_depth = i + 1;
+                 }
+             in
+             if pushed then Obs.Metric.incr m_resplits;
+             pushed
+           end
+      in
+      search ~try_split ~sw_first:true ~procs_arr ~accept ~nodes ~n
+        ~st:t.t_state ~choices:t.t_choices ~counters
+        ~current_bound:(fun () -> Atomic.get incumbent)
+        ~improve:(improve_for t.t_state) t.t_depth t.t_area t.t_cpu_cost;
+      acc
+    in
+    let folded =
+      Par.fold ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
     in
     let best = ref !seed_best and best_cost = ref !seed_cost in
-    Array.iter
-      (fun (local_best, local_cost, c) ->
-        prefix_counters.explored <- prefix_counters.explored + c.explored;
-        prefix_counters.pruned <- prefix_counters.pruned + c.pruned;
-        match local_best with
-        | Some s when local_cost < !best_cost ->
-          best_cost := local_cost;
-          best := Some s
-        | Some _ | None -> ())
-      results;
+    prefix_counters.explored <-
+      prefix_counters.explored + folded.c_counters.explored;
+    prefix_counters.pruned <- prefix_counters.pruned + folded.c_counters.pruned;
+    (match !(folded.c_best) with
+    | Some s when !(folded.c_cost) < !best_cost ->
+      best_cost := !(folded.c_cost);
+      best := Some s
+    | Some _ | None -> ());
     note prefix_counters;
     Option.map
       (fun (s : solution) ->

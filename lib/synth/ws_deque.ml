@@ -1,0 +1,94 @@
+(* Bounded Chase-Lev deque.  [top] only ever increases (thieves CAS it
+   forward; the owner CASes it forward when taking the last element);
+   [bottom] is written only by the owner.  An index's slot is
+   [index land mask].  A slot at absolute index [i] is only overwritten
+   by a push at [i + capacity], which the bound ([bottom - top <=
+   capacity]) allows only once [top > i] — and [top] is monotonic, so
+   any thief still holding the stale [top = i] fails its CAS and
+   discards what it read. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ws_deque.create: capacity < 1";
+  let rec pow2 c = if c >= capacity then c else pow2 (c * 2) in
+  let cap = pow2 2 in
+  {
+    slots = Array.make cap None;
+    mask = cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity d = d.mask + 1
+
+let size d =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  max 0 (b - t)
+
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  if b - t > d.mask then false
+  else begin
+    d.slots.(b land d.mask) <- Some v;
+    (* the atomic store publishes the slot write to thieves *)
+    Atomic.set d.bottom (b + 1);
+    true
+  end
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  (* claim the bottom slot before looking at [top]: a seq-cst store, so
+     concurrent thieves either see the reservation or beat it with a CAS
+     the contested branch below detects *)
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: undo the reservation *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else if b > t then begin
+    let i = b land d.mask in
+    let v = d.slots.(i) in
+    d.slots.(i) <- None;
+    v
+  end
+  else begin
+    (* last element: race the thieves for it through [top] *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then begin
+      let i = b land d.mask in
+      let v = d.slots.(i) in
+      d.slots.(i) <- None;
+      v
+    end
+    else None
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Lost_race
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if b - t <= 0 then Empty
+  else begin
+    (* read before the CAS: success proves the slot was not recycled *)
+    let v = d.slots.(t land d.mask) in
+    if Atomic.compare_and_set d.top t (t + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None ->
+        (* the owner cleared the slot while taking this very element,
+           which implies it also advanced [top]; the CAS cannot have
+           succeeded in that interleaving *)
+        assert false
+    else Lost_race
+  end

@@ -1,0 +1,53 @@
+(** A bounded Chase-Lev work-stealing deque.
+
+    One domain — the {e owner} — pushes and pops at the bottom (LIFO);
+    any other domain may steal from the top (FIFO).  The owner therefore
+    works depth-first through the children it just produced, while
+    thieves drain the oldest — in a branch-and-bound split, the
+    shallowest and therefore largest — outstanding subtrees.
+
+    The deque is bounded: {!push} refuses instead of growing, so a
+    producer that outruns its consumers degrades to running the child
+    inline rather than allocating without limit.  Slots are recycled
+    circularly; a steal that loses the race for the last element (to the
+    owner's {!pop} or another thief) reports the interference instead of
+    spinning, letting the caller count the failure and pick another
+    victim.
+
+    Synchronization: [top] and [bottom] are [Atomic] (sequentially
+    consistent in OCaml 5), the slot array is plain.  Every slot write
+    is published by the subsequent atomic store of [bottom], and a thief
+    reads the slot only between acquiring loads of [top]/[bottom] and a
+    CAS on [top] — the standard Chase-Lev argument, under the OCaml
+    memory model, that a successful CAS implies the slot read was not a
+    torn or recycled value.  The single-owner discipline is the caller's
+    obligation: only the domain that created (or was handed) the deque
+    may call {!push}/{!pop}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] rounds [capacity] up to a power of two (minimum
+    2).  @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Owner only.  Enqueue at the bottom; [false] when the deque is full
+    (the element is {e not} enqueued). *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Dequeue the most recently pushed element; [None] when
+    empty (including when a thief won the race for the last one). *)
+
+type 'a steal_result = Stolen of 'a | Empty | Lost_race
+
+val steal : 'a t -> 'a steal_result
+(** Any domain.  Dequeue the oldest element.  [Lost_race] means the
+    element observed was claimed concurrently (by the owner or another
+    thief) — the deque may or may not still hold work, so the caller
+    should retry or move on, and may count it as contention. *)
+
+val size : 'a t -> int
+(** Snapshot of the current element count — racy, for
+    heuristics/telemetry only. *)

@@ -1,0 +1,139 @@
+(* Shared workload builders for the synthesis test-suite: seeded random
+   instances for every explorer entry point, plus job-count sweep
+   helpers.  Every builder is deterministic in [seed] so failures
+   reported by qcheck shrink to a reproducible instance. *)
+
+module I = Spi.Ids
+
+let pid = I.Process_id.of_string
+
+let seeded seed = Random.State.make [| seed |]
+
+(* Random single-processor instance in the style of the brute-force
+   property in [Test_synth]: overlapping applications over a random
+   technology.  Large enough that the parallel path actually splits
+   (n >= 4). *)
+let random_instance ~n ~seed =
+  let rng = seeded seed in
+  let pids = List.init n (fun i -> pid (Format.sprintf "q%d" i)) in
+  let tech =
+    Synth.Tech.make ~processor_cost:(5 + Random.State.int rng 20)
+      (List.map
+         (fun p ->
+           ( p,
+             Synth.Tech.both
+               ~load:(5 + Random.State.int rng 60)
+               ~area:(5 + Random.State.int rng 60) ))
+         pids)
+  in
+  let subset () = List.filter (fun _ -> Random.State.bool rng) pids in
+  let apps =
+    [
+      Synth.App.make "a" (match subset () with [] -> [ List.hd pids ] | s -> s);
+      Synth.App.make "b" (match subset () with [] -> [ List.hd pids ] | s -> s);
+      Synth.App.make "c" (match subset () with [] -> [ List.hd pids ] | s -> s);
+    ]
+  in
+  (tech, apps)
+
+(* Random instance with a mix of sw-only / hw-only / both options, so
+   the search tree has uneven branching — the shape that exercises
+   re-splitting and stealing rather than the balanced static split. *)
+let random_mixed_instance ~n ~seed =
+  let rng = seeded seed in
+  let pids = List.init n (fun i -> pid (Format.sprintf "m%d" i)) in
+  let option_for _ =
+    match Random.State.int rng 4 with
+    | 0 -> Synth.Tech.sw_only ~load:(5 + Random.State.int rng 40)
+    | 1 -> Synth.Tech.hw_only ~area:(5 + Random.State.int rng 40)
+    | _ ->
+      Synth.Tech.both
+        ~load:(5 + Random.State.int rng 60)
+        ~area:(5 + Random.State.int rng 60)
+  in
+  let tech =
+    Synth.Tech.make
+      ~processor_cost:(5 + Random.State.int rng 20)
+      (List.map (fun p -> (p, option_for p)) pids)
+  in
+  let subset () = List.filter (fun _ -> Random.State.bool rng) pids in
+  let apps =
+    List.init (1 + Random.State.int rng 3) (fun i ->
+        Synth.App.make
+          (Format.sprintf "a%d" i)
+          (match subset () with [] -> [ List.hd pids ] | s -> s))
+  in
+  (tech, apps)
+
+(* Random multi-processor instance: [n] processes with sw and/or hw
+   options over [n_cpu] heterogeneous processors.  Loads are kept small
+   relative to capacities so most instances are feasible. *)
+let random_multi_instance ~n ~n_cpu ~seed =
+  let rng = seeded seed in
+  let tech, apps = random_instance ~n ~seed:(seed lxor 0x5bd1e995) in
+  ignore tech;
+  let pids = List.init n (fun i -> pid (Format.sprintf "q%d" i)) in
+  let tech =
+    Synth.Tech.make
+      (List.map
+         (fun p ->
+           ( p,
+             Synth.Tech.both
+               ~load:(5 + Random.State.int rng 50)
+               ~area:(5 + Random.State.int rng 60) ))
+         pids)
+  in
+  let procs =
+    List.init n_cpu (fun c ->
+        Synth.Multi.processor
+          ~name:(Format.sprintf "cpu%d" c)
+          ~capacity:(60 + Random.State.int rng 80)
+          ~cost:(5 + Random.State.int rng 30))
+  in
+  (tech, procs, apps)
+
+(* Job-count sweeps.  [sweep_jobs] runs [f jobs] for each count and
+   conjoins the results — for use inside qcheck properties.  The
+   default sweep covers the odd worker (3) and oversubscription (8)
+   beyond the physical core count of small CI machines. *)
+let default_jobs = [ 2; 4; 8 ]
+
+let sweep_jobs ?(jobs = default_jobs) f = List.for_all f jobs
+
+let check_sweep ?(jobs = default_jobs) name f =
+  List.iter (fun j -> Alcotest.(check bool) (Format.sprintf "%s, jobs=%d" name j) true (f j)) jobs
+
+(* Pool workload that forces at least one steal, deterministically: the
+   single seed task pushes [children] subtasks onto its own deque and
+   then refuses to return until one of them has run.  The owner is stuck
+   inside the seed and the seed cursor is exhausted, so the only way a
+   child can run is a steal by another (hungry) worker.  Returns the
+   number of tasks that ran ([children + 1]). *)
+let force_steals ~jobs ~children () =
+  let children_run = Atomic.make 0 in
+  Synth.Par.fold ~jobs
+    ~init:(fun () -> 0)
+    ~merge:( + )
+    ~f:(fun ctx acc -> function
+      | `Seed ->
+        for _ = 1 to children do
+          ignore (Synth.Par.push ctx `Child : bool)
+        done;
+        while Atomic.get children_run = 0 do
+          Domain.cpu_relax ()
+        done;
+        acc + 1
+      | `Child ->
+        Atomic.incr children_run;
+        acc + 1)
+    [| `Seed |]
+
+(* Total cost of an Explore solution option, [max_int] for None — a
+   single comparable scalar for differential properties. *)
+let explore_cost = function
+  | None -> max_int
+  | Some s -> s.Synth.Explore.cost.Synth.Cost.total
+
+let multi_cost = function
+  | None -> max_int
+  | Some s -> s.Synth.Multi.total_cost

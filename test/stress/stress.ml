@@ -1,0 +1,365 @@
+(* Stress harness for the work-stealing scheduler (Synth.Par +
+   Synth.Ws_deque).
+
+   Three layers, all seeded and deterministic in their *expected*
+   results (scheduling is free to vary):
+
+   - deque unit tests: owner LIFO order, thief FIFO order, the capacity
+     bound, and the single-element owner/thief race;
+   - a deque hammer: one owner pushing and popping against several
+     concurrent thieves, with every value claimed exactly once;
+   - randomized task graphs through {!Synth.Par.fold}: chain / wide /
+     tree / front-loaded shapes (adversarial split depths, including
+     deque overflow on the wide graphs), executed across a 2..8 domain
+     sweep and compared against a sequential reference walk for lost or
+     duplicated results, then re-run with injected exceptions to check
+     failure propagation without deadlock.
+
+   Budgets scale with the CLI flags so CI smoke and manual soak runs
+   share one binary:
+     stress.exe [--tasks N] [--rounds N] [--seed N] [--max-domains N]
+                [--verbose] *)
+
+let tasks_budget = ref 12_000
+let rounds = ref 2
+let base_seed = ref 7
+let max_domains = ref 8
+let verbose = ref false
+
+let speclist =
+  [
+    ("--tasks", Arg.Set_int tasks_budget, "N  tasks per graph (default 12000)");
+    ("--rounds", Arg.Set_int rounds, "N  randomized rounds (default 2)");
+    ("--seed", Arg.Set_int base_seed, "N  base seed (default 7)");
+    ( "--max-domains",
+      Arg.Set_int max_domains,
+      "N  cap on the domain sweep (default 8)" );
+    ("--verbose", Arg.Set verbose, "  per-graph progress output");
+  ]
+
+let say fmt = Format.printf fmt
+let debug fmt =
+  if !verbose then Format.printf fmt else Format.ifprintf Format.std_formatter fmt
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    say "FAIL: %s@." name
+  end
+
+(* xorshift*-style avalanche; all task decisions derive from it *)
+let hash x =
+  let x = x + 0x1fceb (* keep 0 out of the fixed point *) in
+  let x = x lxor (x lsr 12) in
+  let x = x lxor (x lsl 25) in
+  let x = x lxor (x lsr 27) in
+  x * 0x2545F4914F6CDD1D land max_int
+
+(* ------------------------- deque unit tests ------------------------- *)
+
+let test_deque_units () =
+  let module D = Synth.Ws_deque in
+  (* owner pops LIFO *)
+  let d = D.create ~capacity:16 in
+  for i = 1 to 10 do
+    check "unit push accepted" (D.push d i)
+  done;
+  for i = 10 downto 1 do
+    check "owner LIFO order" (D.pop d = Some i)
+  done;
+  check "empty pop" (D.pop d = None);
+  (* thieves steal FIFO *)
+  for i = 1 to 10 do
+    ignore (D.push d i : bool)
+  done;
+  for i = 1 to 10 do
+    check "thief FIFO order" (D.steal d = D.Stolen i)
+  done;
+  check "empty steal" (D.steal d = D.Empty);
+  (* capacity bound: pushes beyond it are refused, not silently dropped *)
+  let small = D.create ~capacity:4 in
+  let cap = D.capacity small in
+  for i = 1 to cap do
+    check "push under capacity" (D.push small i)
+  done;
+  check "push over capacity refused" (not (D.push small (cap + 1)));
+  check "size at capacity" (D.size small = cap);
+  for i = cap downto 1 do
+    check "drain after refusal" (D.pop small = Some i)
+  done;
+  (* single-element interleaving: one side wins, never both *)
+  let one = D.create ~capacity:2 in
+  ignore (D.push one 42 : bool);
+  (match D.steal one with
+  | D.Stolen 42 -> check "stolen element gone for the owner" (D.pop one = None)
+  | _ -> check "single-element steal" false);
+  say "deque unit tests: done@."
+
+(* --------------------------- deque hammer --------------------------- *)
+
+let test_deque_hammer ~thieves ~values () =
+  let module D = Synth.Ws_deque in
+  let d = D.create ~capacity:1024 in
+  let done_flag = Atomic.make false in
+  let thief_claims = Array.make thieves [] in
+  let workers =
+    Array.init thieves (fun t ->
+        Domain.spawn (fun () ->
+            let claims = ref [] in
+            let rec loop () =
+              match D.steal d with
+              | D.Stolen v ->
+                claims := v :: !claims;
+                loop ()
+              | D.Empty ->
+                if not (Atomic.get done_flag) then begin
+                  Domain.cpu_relax ();
+                  loop ()
+                end
+              | D.Lost_race -> loop ()
+            in
+            loop ();
+            thief_claims.(t) <- !claims))
+  in
+  (* owner: push everything, popping to make room when full, then drain *)
+  let owner_claims = ref [] in
+  let i = ref 0 in
+  while !i < values do
+    if D.push d !i then incr i
+    else
+      match D.pop d with
+      | Some v -> owner_claims := v :: !owner_claims
+      | None -> Domain.cpu_relax ()
+  done;
+  let rec drain () =
+    match D.pop d with
+    | Some v ->
+      owner_claims := v :: !owner_claims;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_flag true;
+  Array.iter Domain.join workers;
+  let all =
+    Array.fold_left (fun acc l -> List.rev_append l acc) !owner_claims
+      thief_claims
+  in
+  let sorted = List.sort compare all in
+  check "hammer: every value claimed exactly once"
+    (sorted = List.init values Fun.id);
+  let stolen = Array.fold_left (fun n l -> n + List.length l) 0 thief_claims in
+  debug "hammer: %d values, %d stolen by %d thieves@." values stolen thieves;
+  say "deque hammer (%d thieves, %d values): done@." thieves values
+
+(* ------------------------ randomized task graphs --------------------- *)
+
+type shape = Chain | Wide | Tree | Front
+
+let shape_index = function Chain -> 0 | Wide -> 1 | Tree -> 2 | Front -> 3
+
+let shape_name = function
+  | Chain -> "chain"
+  | Wide -> "wide"
+  | Tree -> "tree"
+  | Front -> "front-loaded"
+
+type spec = { shape : shape; budget : int; salt : int; inject : bool }
+
+type node = { v : int; depth : int; seed_ix : int }
+
+let n_seeds = 4
+
+let seeds_of spec =
+  Array.init n_seeds (fun i ->
+      { v = hash (spec.salt + i); depth = 0; seed_ix = i })
+
+(* Deterministic children of a node.  Chains probe deep re-splitting,
+   wide graphs overflow the bounded deques (capacity 256 per worker),
+   trees give irregular branching, and front-loaded graphs put almost
+   all work under the first seed so the remaining workers must steal. *)
+let children_of spec n =
+  let child k =
+    { v = hash ((n.v * 131) + k); depth = n.depth + 1; seed_ix = n.seed_ix }
+  in
+  match spec.shape with
+  | Chain ->
+    if n.depth + 1 < spec.budget / n_seeds then [ child 0 ] else []
+  | Wide ->
+    if n.depth = 0 then List.init ((spec.budget / n_seeds) - 1) child else []
+  | Tree ->
+    let b =
+      if n.depth < 8 then hash (spec.salt lxor n.v) land 3
+      else if n.depth < 24 then hash (spec.salt lxor n.v) land 1
+      else 0
+    in
+    List.init b child
+  | Front ->
+    if n.seed_ix = 0 then
+      if n.depth + 1 < spec.budget - n_seeds + 1 then [ child 0 ] else []
+    else []
+
+let raises spec n = spec.inject && hash (spec.salt lxor n.v) land 0xfff = 0
+
+exception Injected of int
+
+(* Sequential reference walk: exact task count, value checksum, and the
+   number of raising nodes (raising nodes still count their children —
+   the parallel run may or may not reach them, so with injection only
+   failure propagation is compared, not the checksum). *)
+let reference spec =
+  let count = ref 0 and sum = ref 0 and raisers = ref 0 in
+  let rec walk n =
+    incr count;
+    sum := !sum + n.v;
+    if raises spec n then incr raisers;
+    List.iter walk (children_of spec n)
+  in
+  Array.iter walk (seeds_of spec);
+  (!count, !sum, !raisers)
+
+(* One pool task: execute the node, push its children, and run locally
+   (explicit stack, no recursion) whatever the deque refuses — the
+   overflow path on wide graphs. *)
+let run_graph spec ~jobs =
+  Synth.Par.fold ~jobs
+    ~init:(fun () -> (0, 0))
+    ~merge:(fun (c1, s1) (c2, s2) -> (c1 + c2, s1 + s2))
+    ~f:(fun ctx acc seed_node ->
+      let acc = ref acc in
+      let stack = ref [ seed_node ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | n :: rest ->
+          stack := rest;
+          if raises spec n then raise (Injected n.v);
+          let c, s = !acc in
+          acc := (c + 1, s + n.v);
+          List.iter
+            (fun child ->
+              if not (Synth.Par.push ctx child) then stack := child :: !stack)
+            (children_of spec n)
+      done;
+      !acc)
+    (seeds_of spec)
+
+let jobs_sweep () =
+  List.filter (fun j -> j <= !max_domains) [ 2; 3; 4; 6; 8 ]
+
+let test_graphs () =
+  let shapes = [ Chain; Wide; Tree; Front ] in
+  for round = 1 to !rounds do
+    List.iter
+      (fun shape ->
+        let spec =
+          {
+            shape;
+            budget = !tasks_budget;
+            salt = hash ((!base_seed * 8191) + (round * 127)) + shape_index shape;
+            inject = false;
+          }
+        in
+        let count, sum, _ = reference spec in
+        debug "round %d %-12s: %d tasks@." round (shape_name spec.shape) count;
+        (match shape with
+        | Chain | Wide | Front ->
+          check
+            (Printf.sprintf "%s graph meets the task budget"
+               (shape_name shape))
+            (count >= !tasks_budget - n_seeds)
+        | Tree -> ());
+        List.iter
+          (fun jobs ->
+            let pc, ps = run_graph spec ~jobs in
+            check
+              (Printf.sprintf "round %d %s jobs=%d: no lost or duplicated tasks"
+                 round (shape_name shape) jobs)
+              (pc = count && ps = sum))
+          (1 :: jobs_sweep ()))
+      shapes
+  done;
+  say "task graphs (%d rounds, %d shapes, jobs up to %d): done@." !rounds 4
+    !max_domains
+
+let test_injected_exceptions () =
+  let shapes = [ Chain; Wide; Tree; Front ] in
+  for round = 1 to !rounds do
+    List.iter
+      (fun shape ->
+        let spec =
+          {
+            shape;
+            budget = !tasks_budget;
+            salt = hash ((!base_seed * 524287) + (round * 8209)) + shape_index shape;
+            inject = true;
+          }
+        in
+        let count, sum, raisers = reference spec in
+        List.iter
+          (fun jobs ->
+            match run_graph spec ~jobs with
+            | pc, ps ->
+              check
+                (Printf.sprintf
+                   "round %d %s jobs=%d: clean graph completes exactly" round
+                   (shape_name shape) jobs)
+                (raisers = 0 && pc = count && ps = sum)
+            | exception Injected _ ->
+              check
+                (Printf.sprintf
+                   "round %d %s jobs=%d: exception only when injected" round
+                   (shape_name shape) jobs)
+                (raisers > 0))
+          (1 :: jobs_sweep ()))
+      shapes
+  done;
+  say "injected exceptions (%d rounds): done@." !rounds
+
+(* ------------------------ steal accounting --------------------------- *)
+
+let test_steal_accounting before_total before_workers =
+  let total = Obs.Metric.value (Obs.Registry.counter "par.steals") in
+  let workers =
+    List.init 16 (fun i ->
+        Obs.Metric.value
+          (Obs.Registry.counter (Printf.sprintf "par.steals.w%d" i)))
+  in
+  let d_total = total - before_total in
+  let d_workers =
+    List.fold_left2 (fun acc a b -> acc + a - b) 0 workers before_workers
+  in
+  say "steals across the whole run: %d@." d_total;
+  check "work actually moved between domains" (d_total > 0);
+  check "no lost steal increments (aggregate = sum of per-worker)"
+    (d_total = d_workers)
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
+    "stress.exe: work-stealing scheduler stress harness";
+  if !tasks_budget < n_seeds + 1 then begin
+    say "stress: --tasks must be at least %d@." (n_seeds + 1);
+    exit 2
+  end;
+  let before_total = Obs.Metric.value (Obs.Registry.counter "par.steals") in
+  let before_workers =
+    List.init 16 (fun i ->
+        Obs.Metric.value
+          (Obs.Registry.counter (Printf.sprintf "par.steals.w%d" i)))
+  in
+  let t0 = Obs.Clock.now_ns () in
+  test_deque_units ();
+  test_deque_hammer ~thieves:3 ~values:50_000 ();
+  test_graphs ();
+  test_injected_exceptions ();
+  test_steal_accounting before_total before_workers;
+  say "elapsed: %.2fs@."
+    (float_of_int (Obs.Clock.elapsed_ns t0) /. 1e9);
+  if !failures > 0 then begin
+    say "%d stress check(s) failed@." !failures;
+    exit 1
+  end
+  else say "all stress checks passed@."

@@ -139,10 +139,64 @@ let prop_policy_monotone_makespan =
       and w = span Sim.Engine.Worst_case in
       b <= t && t <= w)
 
+(* Fault-campaign determinism across the work-stealing pool: the
+   faultsim CLI fans independent seeds out with {!Synth.Par.map} and
+   prints in seed order afterwards, so the per-seed report lines must be
+   byte-identical for every job count.  This reproduces the CLI's
+   campaign loop (per-seed fault plan, checker report, stats, deadline
+   misses) at the library level and compares rendered report signatures
+   for jobs 1, 2 and 4. *)
+let prop_fault_campaign_jobs_invariant =
+  QCheck.Test.make ~name:"fault campaign is job-count invariant" ~count:6
+    QCheck.(pair (int_range 3 6) (int_range 0 3))
+    (fun (seeds, knob) ->
+      let built = Video.System.build Video.System.default_params in
+      let stimuli =
+        Video.Scenario.switching_demo ~frames:20 ~period:5
+          ~switches:[ (32, "fB") ]
+          ()
+      in
+      let drop = 0.01 *. float_of_int (1 + knob)
+      and transient = 0.02 *. float_of_int (1 + knob) in
+      let deadline = 25 in
+      let run_seed seed =
+        let faults =
+          Video.Scenario.fault_plan ~drop_probability:drop
+            ~transient_probability:transient ~seed built
+        in
+        let result =
+          Sim.Engine.run
+            ~configurations:built.Video.System.configurations
+            ~stimuli ~faults built.Video.System.model
+        in
+        let report = Video.Checker.check result in
+        let stats = Sim.Stats.of_result built.Video.System.model result in
+        let misses =
+          List.length
+            (List.filter
+               (fun (_, l) -> l > deadline)
+               report.Video.Checker.frame_latencies)
+        in
+        Format.asprintf "%d|%d|%d|%d|%d|%d|%d|%d|%d" seed
+          result.Sim.Engine.firings
+          (Sim.Stats.total_faults stats.Sim.Stats.faults)
+          stats.Sim.Stats.faults.Sim.Stats.degradations
+          report.Video.Checker.clean report.Video.Checker.held
+          report.Video.Checker.dropped misses
+          report.Video.Checker.reconfiguration_time
+      in
+      let campaign jobs =
+        Array.to_list
+          (Synth.Par.map ~jobs run_seed (Array.init seeds (fun i -> i + 1)))
+      in
+      let reference = campaign 1 in
+      List.for_all (fun jobs -> campaign jobs = reference) [ 2; 4 ])
+
 let suite =
   ( "determinism",
     [
       QCheck_alcotest.to_alcotest ~long:false prop_engine_deterministic;
       QCheck_alcotest.to_alcotest ~long:false prop_sim_matches_untimed_firing_count;
       QCheck_alcotest.to_alcotest ~long:false prop_policy_monotone_makespan;
+      QCheck_alcotest.to_alcotest ~long:false prop_fault_campaign_jobs_invariant;
     ] )

@@ -7,31 +7,8 @@ module F2 = Paper.Figure2
 
 let pid = I.Process_id.of_string
 
-(* Random instance in the style of the brute-force property in
-   [Test_synth]: overlapping applications over a random technology.
-   Large enough that the parallel path actually splits (n >= 4). *)
-let random_instance ~n ~seed =
-  let rng = Random.State.make [| seed |] in
-  let pids = List.init n (fun i -> pid (Format.sprintf "q%d" i)) in
-  let tech =
-    Synth.Tech.make ~processor_cost:(5 + Random.State.int rng 20)
-      (List.map
-         (fun p ->
-           ( p,
-             Synth.Tech.both
-               ~load:(5 + Random.State.int rng 60)
-               ~area:(5 + Random.State.int rng 60) ))
-         pids)
-  in
-  let subset () = List.filter (fun _ -> Random.State.bool rng) pids in
-  let apps =
-    [
-      Synth.App.make "a" (match subset () with [] -> [ List.hd pids ] | s -> s);
-      Synth.App.make "b" (match subset () with [] -> [ List.hd pids ] | s -> s);
-      Synth.App.make "c" (match subset () with [] -> [ List.hd pids ] | s -> s);
-    ]
-  in
-  (tech, apps)
+(* Workload builders live in the shared {!Harness}. *)
+let random_instance = Harness.random_instance
 
 (* The optimal cost must be identical for every job count, and the
    parallel binding must itself be feasible at that cost: schedulable
@@ -42,7 +19,7 @@ let prop_parallel_matches_sequential =
     (fun (n, seed) ->
       let tech, apps = random_instance ~n ~seed in
       let seq = Synth.Explore.optimal ~jobs:1 tech apps in
-      List.for_all
+      Harness.sweep_jobs ~jobs:[ 2; 4 ]
         (fun jobs ->
           let par = Synth.Explore.optimal ~jobs tech apps in
           match (seq, par) with
@@ -55,8 +32,7 @@ let prop_parallel_matches_sequential =
                  (Synth.Schedule.check tech p.Synth.Explore.binding apps)
             && (Synth.Cost.of_binding tech p.Synth.Explore.binding)
                  .Synth.Cost.total = pc
-          | Some _, None | None, Some _ -> false)
-        [ 2; 4 ])
+          | Some _, None | None, Some _ -> false))
 
 let test_parallel_counters () =
   let tech, apps = random_instance ~n:10 ~seed:7 in

@@ -4,7 +4,7 @@
 module I = Spi.Ids
 module F2 = Paper.Figure2
 
-let pid = I.Process_id.of_string
+let pid = Harness.pid
 
 let test_single_cpu_matches_explore () =
   (* one processor with the default capacity and cost 15 must reproduce
@@ -90,6 +90,38 @@ let test_heterogeneous_capacity () =
     Alcotest.(check (list string)) "placed on the big one" [ "big" ]
       (List.map I.Resource_id.to_string s.Synth.Multi.processors_used)
 
+(* Parallel/sequential consistency over the shared harness builders:
+   the work-stealing path must land on the sequential optimum and the
+   reported processor set must price to the reported total. *)
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"multi: parallel finds the sequential optimum"
+    ~count:30
+    QCheck.(triple (int_range 4 8) (int_range 1 2) (int_range 0 1000))
+    (fun (n, n_cpu, seed) ->
+      let tech, procs, apps = Harness.random_multi_instance ~n ~n_cpu ~seed in
+      let seq = Synth.Multi.optimal ~jobs:1 tech procs apps in
+      Harness.sweep_jobs ~jobs:[ 2; 4 ] (fun jobs ->
+          let par = Synth.Multi.optimal ~jobs tech procs apps in
+          match (seq, par) with
+          | None, None -> true
+          | Some s, Some p ->
+            s.Synth.Multi.total_cost = p.Synth.Multi.total_cost
+            && p.Synth.Multi.asic_area
+                 + List.fold_left
+                     (fun acc r ->
+                       acc
+                       + (match
+                            List.find_opt
+                              (fun (pr : Synth.Multi.processor) ->
+                                I.Resource_id.equal pr.Synth.Multi.id r)
+                              procs
+                          with
+                         | Some pr -> pr.Synth.Multi.cost
+                         | None -> max_int))
+                     0 p.Synth.Multi.processors_used
+               = p.Synth.Multi.total_cost
+          | Some _, None | None, Some _ -> false))
+
 let test_processor_validation () =
   (try
      ignore (Synth.Multi.processor ~name:"p" ~capacity:0 ~cost:1);
@@ -152,6 +184,7 @@ let suite =
       Alcotest.test_case "heterogeneous capacity" `Quick
         test_heterogeneous_capacity;
       Alcotest.test_case "processor validation" `Quick test_processor_validation;
+      QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
       Alcotest.test_case "vcd export" `Quick test_vcd_export;
       Alcotest.test_case "vcd reconfiguration marks" `Quick
         test_vcd_reconfiguration_marks;

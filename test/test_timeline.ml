@@ -256,6 +256,47 @@ let test_domain_trace_pool () =
     (List.length incumbents);
   check_wellformed b
 
+(* Steal instants are recorded into the stealing domain's buffer, so on
+   the timeline each one must share its lane with the span of the very
+   task it stole — the thief runs the stolen task right after recording
+   the steal.  [Harness.force_steals] makes at least one steal certain. *)
+let test_steal_instants_on_stealing_lane () =
+  Synth.Domain_trace.enable ();
+  ignore (Harness.force_steals ~jobs:2 ~children:6 () : int);
+  let b = T.create () in
+  Synth.Domain_trace.append_timeline ~pid:8 b;
+  Synth.Domain_trace.disable ();
+  let steals = ref [] in
+  let task_lanes = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | T.Instant { name = "steal"; tid; args; _ } ->
+        let arg k =
+          match List.assoc_opt k args with
+          | Some (J.Int v) -> v
+          | _ -> Alcotest.failf "steal instant lacks %s arg" k
+        in
+        steals := (tid, arg "victim", arg "worker", arg "task") :: !steals
+      | T.Complete { cat = "task"; tid; args; _ } -> (
+        match List.assoc_opt "task" args with
+        | Some (J.Int i) -> Hashtbl.replace task_lanes i tid
+        | _ -> Alcotest.fail "task span lacks its index")
+      | _ -> ())
+    (T.events b);
+  Alcotest.(check bool) "at least one steal instant" true (!steals <> []);
+  List.iter
+    (fun (tid, victim, worker, task) ->
+      Alcotest.(check bool) "thief and victim differ" true (victim <> worker);
+      match Hashtbl.find_opt task_lanes task with
+      | None -> Alcotest.failf "stolen task %d has no span" task
+      | Some lane ->
+        Alcotest.(check int)
+          (Printf.sprintf "steal of task %d is on the stealing domain's lane"
+             task)
+          lane tid)
+    !steals
+
 let test_domain_trace_drops () =
   Synth.Domain_trace.enable ~capacity:4 ();
   for i = 1 to 10 do
@@ -299,6 +340,8 @@ let suite =
         test_headroom_flags_violations;
       Alcotest.test_case "domain pool traces every task once" `Quick
         test_domain_trace_pool;
+      Alcotest.test_case "steal instants land on the stealing lane" `Quick
+        test_steal_instants_on_stealing_lane;
       Alcotest.test_case "per-domain buffers count overflow" `Quick
         test_domain_trace_drops;
       Alcotest.test_case "span ring capacity is configurable" `Quick
