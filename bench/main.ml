@@ -631,7 +631,15 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
   add "    \"workloads\": [\n";
   let n = List.length workload_rows in
   List.iteri
-    (fun i (name, processes, applications, capacity, runs, speedup, identical) ->
+    (fun i
+         ( name,
+           processes,
+           applications,
+           capacity,
+           runs,
+           speedup,
+           identical,
+           (warm_wall, warm_cost, warm_explored) ) ->
       add "      {\n";
       add "        \"name\": \"%s\",\n" (json_escape name);
       add "        \"processes\": %d,\n" processes;
@@ -653,13 +661,19 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
         runs;
       add "        ],\n";
       add "        \"speedup_max_jobs\": %.3f,\n" speedup;
+      (* warm-start measurement at max_jobs, an extra field the
+         trajectory gate tolerates (and ignores) *)
+      add "        \"warm\": {\"wall_s\": %.6f, \"cost\": %s, \"explored\": %d},\n"
+        warm_wall
+        (match warm_cost with Some c -> string_of_int c | None -> "null")
+        warm_explored;
       add "        \"costs_identical\": %b\n" identical;
       add "      }%s\n" (if i = n - 1 then "" else ","))
     workload_rows;
   add "    ],\n";
   let total j =
     List.fold_left
-      (fun acc (_, _, _, _, runs, _, _) ->
+      (fun acc (_, _, _, _, runs, _, _, _) ->
         match List.find_opt (fun r -> r.run_jobs = j) runs with
         | Some r -> acc +. r.wall_s
         | None -> acc)
@@ -761,6 +775,51 @@ let explore_json () =
           Format.eprintf "explore-json: OPTIMAL COSTS DIVERGE on %s@." name;
           exit 1
         end;
+        (* warm-vs-cold: remember the optimum in a throwaway store and
+           re-solve with the stored binding as the warm incumbent.  The
+           store may only change the work, never the answer — a cost
+           mismatch here is a correctness bug, not a perf regression. *)
+        let warm_wall, warm_cost, warm_explored =
+          let path = Filename.temp_file "bench-explore-warm" ".journal" in
+          Fun.protect
+            ~finally:(fun () ->
+              try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              match Synth.Explore.solve ~jobs:max_jobs ~capacity tech apps with
+              | Error _ -> (nan, None, 0)
+              | Ok cold ->
+                let store, _ = Store.Keyed.open_store ~fsync:false path in
+                Synth.Bound_store.remember ~capacity store tech apps cold;
+                let warm =
+                  Synth.Bound_store.warm_binding ~capacity store tech apps
+                in
+                let wall, sol =
+                  time_explore ~reps (fun () ->
+                      match
+                        Synth.Explore.solve ~jobs:max_jobs ~capacity ?warm
+                          tech apps
+                      with
+                      | Ok s -> Some s
+                      | Error _ -> None)
+                in
+                Store.Keyed.close store;
+                ( wall,
+                  Option.map
+                    (fun (s : Synth.Explore.solution) ->
+                      s.Synth.Explore.cost.Synth.Cost.total)
+                    sol,
+                  match sol with
+                  | Some s -> s.Synth.Explore.explored
+                  | None -> 0 ))
+        in
+        let cold_cost =
+          match List.rev runs with r :: _ -> r.run_cost | [] -> None
+        in
+        if warm_cost <> cold_cost then begin
+          Format.eprintf "explore-json: WARM COST DIVERGES FROM COLD on %s@."
+            name;
+          exit 1
+        end;
         Format.printf
           "%-20s | %2d procs | %2d apps | jobs=1 %8.4fs | jobs=%d %8.4fs | \
            speedup %.2fx | cost %s@."
@@ -775,7 +834,8 @@ let explore_json () =
           capacity,
           runs,
           speedup,
-          identical ))
+          identical,
+          (warm_wall, warm_cost, warm_explored) ))
       (explore_workloads ())
   in
   let metrics = Obs.Json.to_string (Obs.Registry.snapshot ()) in

@@ -1024,6 +1024,225 @@ let sensitivity_cmd =
        ~doc:"Flip points of the Table 1 optimum under parameter drift")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Synthesis as a service.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path for the serve/v1 protocol")
+
+let serve_cmd =
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Crash-safe exploration journal; replayed on start so \
+             synthesis warm-starts from bounds proved before a crash")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_queue_limit
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests queued beyond $(docv) are shed \
+             with a structured overloaded rejection")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline, measured from admission; a \
+             request's own deadline_ms takes precedence")
+  in
+  let no_fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:
+            "Skip fsync on journal commits (faster, but a power loss can \
+             drop acknowledged records)")
+  in
+  let run socket_path store_path metrics_path jobs queue_limit
+      default_deadline_ms no_fsync =
+    if queue_limit < 1 then begin
+      Format.eprintf "--queue-limit must be positive@.";
+      exit 1
+    end;
+    Serve.Daemon.run
+      {
+        Serve.Daemon.socket_path;
+        store_path;
+        metrics_path;
+        jobs = resolve_jobs jobs;
+        queue_limit;
+        default_deadline_ms;
+        fsync = not no_fsync;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis daemon: admission control, per-request \
+          deadlines, crash-safe exploration store")
+    Term.(
+      const run $ socket_arg $ store_arg $ metrics_arg $ jobs_arg
+      $ queue_limit_arg $ deadline_arg $ no_fsync_arg)
+
+let request_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("ping", `Ping);
+                  ("stats", `Stats);
+                  ("shutdown", `Shutdown);
+                  ("synthesize", `Synthesize);
+                  ("pareto", `Pareto);
+                  ("simulate", `Simulate);
+                ]))
+          None
+      & info [] ~docv:"OP"
+          ~doc:"ping, stats, shutdown, synthesize, pareto or simulate")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Model in the .spi format (synthesize, pareto, simulate)")
+  in
+  let tech_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "tech" ] ~docv:"TECHFILE"
+          ~doc:"Technology library (synthesize, pareto)")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"N" ~doc:"Processor load capacity")
+  in
+  let until_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "until" ] ~docv:"TIME" ~doc:"Simulation horizon (simulate)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline; past it the daemon returns the best \
+             incumbent found so far, marked degraded")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Idempotency key; defaults to a generated one so retries \
+             never recompute")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt budget covering connect, send and receive")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Attempts before giving up; delays back off exponentially \
+             with jitter and honor the daemon's retry_after_ms")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Jitter seed (default: PID); fix it for reproducible runs")
+  in
+  let jobs_req_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:"Override the daemon's domain count for this request")
+  in
+  let need what = function
+    | Some v -> v
+    | None ->
+      Format.eprintf "request: missing %s@." what;
+      exit 2
+  in
+  let run socket op model tech capacity until deadline_ms id timeout_s
+      attempts seed jobs =
+    let op =
+      match op with
+      | `Ping -> Serve.Protocol.Ping
+      | `Stats -> Serve.Protocol.Stats
+      | `Shutdown -> Serve.Protocol.Shutdown
+      | `Synthesize ->
+        Serve.Protocol.Synthesize
+          {
+            model = read_file (need "--file MODEL" model);
+            tech = read_file (need "--tech TECHFILE" tech);
+            capacity;
+          }
+      | `Pareto ->
+        Serve.Protocol.Pareto
+          {
+            model = read_file (need "--file MODEL" model);
+            tech = read_file (need "--tech TECHFILE" tech);
+            capacity;
+          }
+      | `Simulate ->
+        Serve.Protocol.Simulate
+          { model = read_file (need "--file MODEL" model); until }
+    in
+    let request = { Serve.Protocol.id; deadline_ms; jobs; op } in
+    match
+      Serve.Client.request ~timeout_s ~attempts ?seed ~socket request
+    with
+    | Serve.Client.Response json ->
+      print_endline (Obs.Json.to_string json);
+      if Serve.Protocol.status_of_response json <> "ok" then exit 1
+    | Serve.Client.Overloaded json ->
+      print_endline (Obs.Json.to_string json);
+      exit 2
+    | Serve.Client.Unreachable why ->
+      Format.eprintf "request: daemon unreachable: %s@." why;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running serve daemon, with timeout, \
+          retries and an idempotency key")
+    Term.(
+      const run $ socket_arg $ op_arg $ model_arg $ tech_arg $ capacity_arg
+      $ until_arg $ deadline_arg $ id_arg $ timeout_arg $ attempts_arg
+      $ seed_arg $ jobs_req_arg)
+
 let () =
   let info =
     Cmd.info "spi-variants" ~version:"1.0.0"
@@ -1052,4 +1271,6 @@ let () =
             synthesize_file_cmd;
             lint_cmd;
             export_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

@@ -1,0 +1,132 @@
+(* 64-bit FNV-1a over a framed byte stream.  Int64 keeps the arithmetic
+   faithful on every platform (OCaml's native int is 63-bit). *)
+
+type t = { mutable h : int64 }
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let create () = { h = fnv_offset }
+
+let feed_byte t b =
+  t.h <- Int64.mul (Int64.logxor t.h (Int64.of_int (b land 0xff))) fnv_prime
+
+let feed_int t v =
+  (* 'i' frame + 8 bytes little-endian *)
+  feed_byte t (Char.code 'i');
+  let v = Int64.of_int v in
+  for k = 0 to 7 do
+    feed_byte t (Int64.to_int (Int64.shift_right_logical v (k * 8)))
+  done
+
+let feed_bool t b =
+  feed_byte t (Char.code 'b');
+  feed_byte t (if b then 1 else 0)
+
+let feed_raw t s = String.iter (fun c -> feed_byte t (Char.code c)) s
+
+let feed_string t s =
+  feed_byte t (Char.code 's');
+  feed_int t (String.length s);
+  feed_raw t s
+
+let feed_tag t s =
+  feed_byte t (Char.code 't');
+  feed_raw t s;
+  feed_byte t 0
+
+let feed_interval t i =
+  feed_tag t "iv";
+  feed_int t (Interval.lo i);
+  feed_int t (Interval.hi i)
+
+let feed_list t f xs =
+  feed_byte t (Char.code 'l');
+  feed_int t (List.length xs);
+  List.iter (f t) xs
+
+let feed_option t f = function
+  | None -> feed_tag t "none"
+  | Some v ->
+    feed_tag t "some";
+    f t v
+
+let digest t = Printf.sprintf "%016Lx" t.h
+
+let hash_string s =
+  let t = create () in
+  feed_raw t s;
+  digest t
+
+(* -- model fingerprint -------------------------------------------------- *)
+
+let sorted_by key cmp xs =
+  List.sort (fun a b -> cmp (key a) (key b)) xs
+
+let feed_tag_set t tags =
+  feed_list t
+    (fun t tag -> feed_string t (Spi.Tag.name tag))
+    (Spi.Tag.Set.elements tags)
+
+let feed_token t tok =
+  feed_tag t "tok";
+  feed_option t feed_int (Spi.Token.payload tok);
+  feed_tag_set t (Spi.Token.tags tok)
+
+let feed_production t (cid, (p : Spi.Mode.production)) =
+  feed_string t (Spi.Ids.Channel_id.to_string cid);
+  feed_interval t p.rate;
+  feed_tag_set t p.tags
+
+let feed_mode t m =
+  feed_tag t "mode";
+  feed_string t (Spi.Ids.Mode_id.to_string (Spi.Mode.id m));
+  feed_interval t (Spi.Mode.latency m);
+  feed_tag t
+    (match Spi.Mode.payload_policy m with
+    | Fresh -> "fresh"
+    | Inherit_first -> "inherit");
+  feed_list t
+    (fun t (cid, rate) ->
+      feed_string t (Spi.Ids.Channel_id.to_string cid);
+      feed_interval t rate)
+    (sorted_by fst Spi.Ids.Channel_id.compare (Spi.Mode.consumptions m));
+  feed_list t feed_production
+    (sorted_by fst Spi.Ids.Channel_id.compare (Spi.Mode.productions m))
+
+let feed_rule t r =
+  feed_tag t "rule";
+  feed_string t (Spi.Ids.Rule_id.to_string (Spi.Activation.rule_id r));
+  feed_string t
+    (Spi.Ids.Mode_id.to_string (Spi.Activation.target_mode r));
+  (* Predicates have no structural accessors; their printed form is
+     deterministic and total, which is all a fingerprint needs. *)
+  feed_string t
+    (Format.asprintf "%a" Spi.Predicate.pp (Spi.Activation.guard r))
+
+let feed_process t p =
+  feed_tag t "proc";
+  feed_string t (Spi.Ids.Process_id.to_string (Spi.Process.id p));
+  feed_list t feed_mode
+    (sorted_by Spi.Mode.id Spi.Ids.Mode_id.compare (Spi.Process.modes p));
+  feed_list t feed_rule
+    (sorted_by Spi.Activation.rule_id Spi.Ids.Rule_id.compare
+       (Spi.Activation.rules (Spi.Process.activation p)))
+
+let feed_channel t c =
+  feed_tag t "chan";
+  feed_string t (Spi.Ids.Channel_id.to_string (Spi.Chan.id c));
+  feed_tag t
+    (match Spi.Chan.kind c with Queue -> "queue" | Register -> "register");
+  feed_option t feed_int (Spi.Chan.capacity c);
+  feed_list t feed_token (Spi.Chan.initial c)
+
+let of_model m =
+  let t = create () in
+  feed_tag t "model/v1";
+  feed_list t feed_process
+    (sorted_by Spi.Process.id Spi.Ids.Process_id.compare
+       (Spi.Model.processes m));
+  feed_list t feed_channel
+    (sorted_by Spi.Chan.id Spi.Ids.Channel_id.compare (Spi.Model.channels m));
+  digest t

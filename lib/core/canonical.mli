@@ -1,0 +1,52 @@
+(** Canonical structural hashing.
+
+    The exploration store keys persisted bounds and incumbents by a
+    fingerprint of the problem they were computed for.  Two runs over
+    structurally identical inputs must produce the same key, whatever
+    order the declarations were written in — so the hash feeds every
+    collection in a canonical (sorted) order, with explicit framing so
+    that concatenation ambiguities (["ab"] + ["c"] vs ["a"] + ["bc"])
+    cannot collide structurally distinct inputs.
+
+    Digests are 64-bit FNV-1a rendered as 16 lowercase hex characters.
+    A digest is a cache key, not a cryptographic commitment: collisions
+    are astronomically unlikely for the store's working-set sizes, and a
+    wrong hit is harmless anyway because stored bindings are re-validated
+    against the live problem before they seed a search. *)
+
+type t
+(** A streaming hash state. *)
+
+val create : unit -> t
+
+val feed_int : t -> int -> unit
+val feed_bool : t -> bool -> unit
+
+val feed_string : t -> string -> unit
+(** Length-prefixed, so adjacent strings cannot blur together. *)
+
+val feed_tag : t -> string -> unit
+(** A structural frame marker: use one per record/variant constructor so
+    that values of different shapes hash differently even when their
+    fields coincide. *)
+
+val feed_interval : t -> Interval.t -> unit
+
+val feed_list : t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Length-prefixed; elements are fed in the given order — sort first
+    when the source order is not canonical. *)
+
+val feed_option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+val digest : t -> string
+(** 16 lowercase hex characters.  The state remains usable; feeding more
+    data evolves the digest. *)
+
+val hash_string : string -> string
+(** One-shot digest of a raw byte string (no framing) — the journal's
+    per-record checksum. *)
+
+val of_model : Spi.Model.t -> string
+(** Structural fingerprint of a model: processes (modes, rates,
+    latencies, payload policies, activation rule structure) and channels
+    (kind, capacity, initial tokens), all in sorted order. *)

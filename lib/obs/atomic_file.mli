@@ -1,0 +1,14 @@
+(** Atomic whole-file writes.
+
+    Snapshots ([--metrics], [--trace]) are read by other processes —
+    CI gates, trace viewers, the serve smoke test — possibly while the
+    writer is mid-flight or about to be killed.  Writing to a temporary
+    file in the same directory and renaming it over the target makes
+    the update all-or-nothing: readers see either the previous complete
+    file or the new complete file, never a torn prefix. *)
+
+val write : string -> string -> unit
+(** [write path contents] replaces [path] with [contents] atomically.
+    The temporary file lives next to [path] (rename is only atomic
+    within a filesystem) and is removed if the write fails.
+    @raise Sys_error when the directory is not writable. *)

@@ -146,12 +146,7 @@ let snapshot () =
     ]
 
 let to_file path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string ~minify:false (snapshot ()));
-      output_char oc '\n')
+  Atomic_file.write path (Json.to_string ~minify:false (snapshot ()) ^ "\n")
 
 let dump ppf =
   let entries = sorted_entries () in

@@ -54,7 +54,9 @@ val snapshot : unit -> Json.t
     Metric names are emitted sorted, so snapshots are diffable. *)
 
 val to_file : string -> unit
-(** Write {!snapshot} to a file, indented, with a trailing newline. *)
+(** Write {!snapshot} to a file, indented, with a trailing newline.
+    The write is atomic ({!Atomic_file.write}): a reader never sees a
+    torn snapshot, even if the writer dies mid-write. *)
 
 val dump : Format.formatter -> unit
 (** Human-readable table of every registered metric. *)

@@ -202,9 +202,4 @@ let to_json t =
     ]
 
 let to_file path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string ~minify:false (to_json t));
-      output_char oc '\n')
+  Atomic_file.write path (Json.to_string ~minify:false (to_json t) ^ "\n")

@@ -93,4 +93,5 @@ val to_json : t -> Json.t
     (stable), which keeps the file diffable and viewer-friendly. *)
 
 val to_file : string -> t -> unit
-(** Write {!to_json}, indented, with a trailing newline. *)
+(** Write {!to_json}, indented, with a trailing newline.  The write is
+    atomic ({!Atomic_file.write}): a reader never sees a torn trace. *)

@@ -1,0 +1,121 @@
+module J = Obs.Json
+module P = Protocol
+
+let m_attempts = Obs.Registry.counter "client.attempts"
+let m_retries = Obs.Registry.counter "client.retries"
+let m_overloaded = Obs.Registry.counter "client.overloaded_rejections"
+let m_unreachable = Obs.Registry.counter "client.unreachable"
+
+type outcome =
+  | Response of J.t
+  | Overloaded of J.t
+  | Unreachable of string
+
+let id_counter = Atomic.make 0
+
+let fresh_id () =
+  Printf.sprintf "req-%d-%d-%d" (Unix.getpid ())
+    (Obs.Clock.now_ns () land 0xffffff)
+    (Atomic.fetch_and_add id_counter 1)
+
+(* xorshift jitter in [0.5, 1.5): deterministic per seed, so tests can
+   pin the retry schedule while production spreads thundering herds. *)
+let jitter state =
+  let x = !state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) in
+  state := x;
+  0.5 +. (float_of_int (x land 0xffff) /. 65536.)
+
+(* One attempt: connect, send the line, read one response line.  The
+   socket timeout covers each blocking syscall; the deadline check on
+   top bounds the whole attempt. *)
+let attempt ~timeout_s ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let b = Bytes.of_string (line ^ "\n") in
+        let n = Bytes.length b in
+        let rec send o = if o < n then send (o + Unix.write fd b o (n - o)) in
+        send 0;
+        let deadline = Obs.Clock.now_ns () + int_of_float (timeout_s *. 1e9) in
+        let buf = Buffer.create 512 in
+        let chunk = Bytes.create 4096 in
+        let rec recv () =
+          if Obs.Clock.now_ns () > deadline then Error "response timeout"
+          else
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              Error "connection closed before a complete response"
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then begin
+                match String.index_opt (Buffer.contents buf) '\n' with
+                | Some nl -> Ok (String.sub (Buffer.contents buf) 0 nl)
+                | None -> recv ()
+              end
+              else recv ()
+        in
+        recv ()
+      with
+      | Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let retry_after_hint json =
+  match Option.bind (J.member "retry_after_ms" json) J.to_int with
+  | Some ms when ms > 0 -> Some (float_of_int ms /. 1000.)
+  | Some _ | None -> None
+
+let request ?(timeout_s = 10.) ?(attempts = 5) ?(base_backoff_s = 0.05)
+    ?seed ~socket (r : P.request) =
+  let r =
+    match r.P.id with
+    | Some _ -> r
+    | None -> { r with P.id = Some (fresh_id ()) }
+  in
+  let line = J.to_string ~minify:true (P.request_to_json r) in
+  let rng = ref (match seed with Some s -> s lor 1 | None -> Unix.getpid () lor 1) in
+  let backoff k hint =
+    let d = base_backoff_s *. (2. ** float_of_int k) in
+    let d = Float.min d 2.0 *. jitter rng in
+    let d = match hint with Some h -> Float.max d h | None -> d in
+    Unix.sleepf d
+  in
+  let rec go k last =
+    if k >= attempts then
+      match last with
+      | Some (`Overloaded json) ->
+        Obs.Metric.incr m_unreachable;
+        Overloaded json
+      | Some (`Failed why) ->
+        Obs.Metric.incr m_unreachable;
+        Unreachable why
+      | None -> Unreachable "no attempts made"
+    else begin
+      if k > 0 then Obs.Metric.incr m_retries;
+      Obs.Metric.incr m_attempts;
+      match attempt ~timeout_s ~socket line with
+      | Error why ->
+        backoff k None;
+        go (k + 1) (Some (`Failed why))
+      | Ok response_line -> (
+        match J.parse response_line with
+        | Error e ->
+          backoff k None;
+          go (k + 1) (Some (`Failed (Printf.sprintf "bad response: %s" e)))
+        | Ok json -> (
+          match P.status_of_response json with
+          | "overloaded" ->
+            Obs.Metric.incr m_overloaded;
+            backoff k (retry_after_hint json);
+            go (k + 1) (Some (`Overloaded json))
+          | _ -> Response json))
+    end
+  in
+  go 0 None

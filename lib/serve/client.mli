@@ -1,0 +1,35 @@
+(** Resilient client for the [serve/v1] daemon.
+
+    One call = one request with a timeout, bounded exponential backoff
+    with deterministic jitter, and an idempotency key: retries resend
+    the same key, so a request whose response was lost in transit is
+    replayed from the daemon's cache instead of recomputed.  An
+    [overloaded] rejection waits at least the daemon's [retry_after_ms]
+    hint before the next attempt. *)
+
+type outcome =
+  | Response of Obs.Json.t
+      (** any [serve/v1] response, including [status = "error"] — the
+          daemon answered; interpreting the status is the caller's job *)
+  | Overloaded of Obs.Json.t
+      (** still shedding load after every attempt; the last rejection *)
+  | Unreachable of string
+      (** no response within budget: connect/read failures, timeouts *)
+
+val request :
+  ?timeout_s:float ->
+  ?attempts:int ->
+  ?base_backoff_s:float ->
+  ?seed:int ->
+  socket:string ->
+  Protocol.request ->
+  outcome
+(** [request ~socket r] sends [r] and awaits one response line.
+    Defaults: [timeout_s = 10.] per attempt (connect + send + receive),
+    [attempts = 5], [base_backoff_s = 0.05] doubled per retry, capped at
+    2 s, each delay multiplied by a jitter in [0.5, 1.5) derived from
+    [seed] (default: PID — pass a fixed seed for reproducible tests).
+    When [r] carries no [id], a process-unique one is generated so
+    retries are idempotent. *)
+
+val fresh_id : unit -> string

@@ -1,0 +1,197 @@
+module J = Obs.Json
+module P = Protocol
+
+let m_connections = Obs.Registry.counter "serve.connections"
+let m_admitted = Obs.Registry.counter "serve.admitted"
+let m_rejections = Obs.Registry.counter "serve.admission_rejections"
+let m_bad_lines = Obs.Registry.counter "serve.unparseable_lines"
+let m_queue_depth = Obs.Registry.gauge "serve.queue_depth"
+let m_queue_wait = Obs.Registry.histogram "serve.queue_wait_ns"
+
+type config = {
+  socket_path : string;
+  store_path : string option;
+  metrics_path : string option;
+  jobs : int;
+  queue_limit : int;
+  default_deadline_ms : int option;
+  fsync : bool;
+}
+
+let default_queue_limit = 64
+
+(* One connected client: a buffered reader (lines can arrive split
+   across reads or several per read) and its writable fd. *)
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+type pending = {
+  p_conn : conn;
+  p_request : P.request;
+  p_admitted_ns : int;
+}
+
+type state = {
+  config : config;
+  listener : Unix.file_descr;
+  handler : Handler.t;
+  mutable conns : conn list;
+  queue : pending Queue.t;
+  mutable draining : bool;
+}
+
+let write_line conn json =
+  let line = J.to_string ~minify:true json ^ "\n" in
+  let b = Bytes.unsafe_of_string line in
+  let n = Bytes.length b in
+  let rec go o =
+    if o < n then go (o + Unix.write conn.fd b o (n - o))
+  in
+  (* a client that vanished mid-response is its problem, not ours *)
+  try go 0 with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ()
+
+let drop_conn st conn =
+  st.conns <- List.filter (fun c -> c.fd != conn.fd) st.conns;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+(* Admission: parse failures answer immediately (they carry no work),
+   a full queue sheds load with a structured rejection, everything else
+   enqueues with its admission stamp — deadlines start here. *)
+let admit st conn line =
+  if String.length (String.trim line) = 0 then ()
+  else
+    match P.parse_request line with
+    | Error e ->
+      Obs.Metric.incr m_bad_lines;
+      write_line conn (P.error e)
+    | Ok request ->
+      let depth = Queue.length st.queue in
+      if depth >= st.config.queue_limit then begin
+        Obs.Metric.incr m_rejections;
+        write_line conn
+          (P.overloaded ?id:request.P.id ~queue_depth:depth
+             ~queue_limit:st.config.queue_limit
+             ~retry_after_ms:(50 * (1 + depth))
+             ())
+      end
+      else begin
+        Obs.Metric.incr m_admitted;
+        Queue.push
+          { p_conn = conn; p_request = request;
+            p_admitted_ns = Obs.Clock.now_ns () }
+          st.queue;
+        Obs.Metric.set m_queue_depth (Queue.length st.queue)
+      end
+
+(* Drain every complete line out of the connection buffer. *)
+let drain_lines st conn =
+  let data = Buffer.contents conn.buf in
+  match String.rindex_opt data '\n' with
+  | None -> ()
+  | Some last ->
+    Buffer.clear conn.buf;
+    Buffer.add_substring conn.buf data (last + 1)
+      (String.length data - last - 1);
+    String.split_on_char '\n' (String.sub data 0 last)
+    |> List.iter (fun line -> admit st conn line)
+
+let read_chunk_size = 65536
+
+let handle_readable st conn =
+  let bytes = Bytes.create read_chunk_size in
+  match Unix.read conn.fd bytes 0 read_chunk_size with
+  | 0 -> drop_conn st conn
+  | n ->
+    Buffer.add_subbytes conn.buf bytes 0 n;
+    drain_lines st conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn st conn
+
+let accept_conn st =
+  match Unix.accept st.listener with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    Obs.Metric.incr m_connections;
+    st.conns <- { fd; buf = Buffer.create 256 } :: st.conns
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+let process_one st =
+  match Queue.take_opt st.queue with
+  | None -> ()
+  | Some { p_conn; p_request; p_admitted_ns } ->
+    Obs.Metric.set m_queue_depth (Queue.length st.queue);
+    Obs.Metric.observe m_queue_wait (Obs.Clock.elapsed_ns p_admitted_ns);
+    let response =
+      Handler.handle st.handler ~admitted_ns:p_admitted_ns
+        ~queue_depth:(Queue.length st.queue) p_request
+    in
+    write_line p_conn response
+
+let shutdown_state st =
+  (* answer everything already admitted, then flush and leave *)
+  while not (Queue.is_empty st.queue) do
+    process_one st
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) st.conns;
+  (try Unix.close st.listener with Unix.Unix_error _ -> ());
+  (try Sys.remove st.config.socket_path with Sys_error _ -> ());
+  Option.iter Store.Keyed.close (Handler.store st.handler);
+  Option.iter Obs.Registry.to_file st.config.metrics_path
+
+let run config =
+  (* a client gone before its response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stop = ref false in
+  let request_stop _ = stop := true in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+   with Invalid_argument _ -> ());
+  let store =
+    Option.map
+      (fun path ->
+        let store, tail = Store.Keyed.open_store ~fsync:config.fsync path in
+        Option.iter
+          (fun d ->
+            Format.eprintf "serve: store recovery: %a@." Variants.Diagnostic.pp
+              d)
+          tail;
+        store)
+      config.store_path
+  in
+  let handler =
+    Handler.create ?store ?default_deadline_ms:config.default_deadline_ms
+      ~jobs:config.jobs ()
+  in
+  (try Sys.remove config.socket_path with Sys_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
+  let st =
+    { config; listener; handler; conns = []; queue = Queue.create ();
+      draining = false }
+  in
+  let rec loop () =
+    if !stop || Handler.shutdown_requested st.handler then st.draining <- true;
+    if st.draining then shutdown_state st
+    else begin
+      (* zero timeout while work is queued: poll, execute one request,
+         poll again — reads interleave between requests, not inside *)
+      let timeout = if Queue.is_empty st.queue then 0.2 else 0.0 in
+      let fds = st.listener :: List.map (fun c -> c.fd) st.conns in
+      (match Unix.select fds [] [] timeout with
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd == st.listener then accept_conn st
+            else
+              match List.find_opt (fun c -> c.fd == fd) st.conns with
+              | Some conn -> handle_readable st conn
+              | None -> ())
+          readable
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      process_one st;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,38 @@
+(** The [spi_variants serve] daemon.
+
+    A single-threaded event loop over a Unix-domain stream socket:
+    connections are accepted and read without blocking, complete lines
+    pass admission control into a bounded request queue, and one queued
+    request executes at a time (requests themselves fan out on the
+    domain pool).  Admission is load-shedding: when the queue is full
+    the request is answered immediately with a structured [overloaded]
+    rejection carrying the observed depth and a retry hint, and nothing
+    is enqueued.
+
+    Shutdown is graceful on SIGTERM, SIGINT, or a [shutdown] request:
+    the listener closes (new connections are refused by the kernel),
+    queued requests drain and get their responses, the store and the
+    optional metrics snapshot are flushed, and the loop returns.  A
+    [kill -9] is the crash the store's journal is designed for: at most
+    the record being written is lost, and the next start replays the
+    rest (see {!Store.Journal}). *)
+
+type config = {
+  socket_path : string;
+  store_path : string option;  (** exploration journal; [None] disables *)
+  metrics_path : string option;  (** obs/v1 snapshot written on shutdown *)
+  jobs : int;  (** domain count for request execution *)
+  queue_limit : int;  (** admission bound: queued requests beyond
+                          the one executing *)
+  default_deadline_ms : int option;  (** applied when a request carries
+                                         no deadline of its own *)
+  fsync : bool;  (** fsync the journal on every commit (default on) *)
+}
+
+val default_queue_limit : int
+
+val run : config -> unit
+(** Binds, serves, and blocks until shutdown.  Removes a pre-existing
+    socket file at [socket_path] (stale from a previous crash) before
+    binding.
+    @raise Unix.Unix_error when the socket cannot be bound. *)

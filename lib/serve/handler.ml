@@ -1,0 +1,265 @@
+module J = Obs.Json
+module P = Protocol
+module V = Variants
+
+let m_requests = Obs.Registry.counter "serve.requests"
+let m_errors = Obs.Registry.counter "serve.request_errors"
+let m_cache_replays = Obs.Registry.counter "serve.idempotent_replays"
+let m_synth_warm = Obs.Registry.histogram "serve.synthesize_warm_ns"
+let m_synth_cold = Obs.Registry.histogram "serve.synthesize_cold_ns"
+
+(* Idempotency: a bounded last-N map.  Entries are evicted FIFO — the
+   cache covers the retry window of a flaky client, not history. *)
+let cache_limit = 1024
+
+type t = {
+  store : Store.Keyed.t option;
+  default_deadline_ms : int option;
+  jobs : int;
+  cache : (string, J.t) Hashtbl.t;
+  cache_order : string Queue.t;
+  mutable shutdown : bool;
+}
+
+let create ?store ?default_deadline_ms ~jobs () =
+  {
+    store;
+    default_deadline_ms;
+    jobs;
+    cache = Hashtbl.create 64;
+    cache_order = Queue.create ();
+    shutdown = false;
+  }
+
+let shutdown_requested t = t.shutdown
+let store t = t.store
+
+let cache_put t id response =
+  if not (Hashtbl.mem t.cache id) then begin
+    if Queue.length t.cache_order >= cache_limit then
+      Hashtbl.remove t.cache (Queue.pop t.cache_order);
+    Queue.push id t.cache_order;
+    Hashtbl.add t.cache id response
+  end
+
+(* -- model/tech loading ------------------------------------------------ *)
+
+let load_system source =
+  match Lang.Parser.system_of_string source with
+  | exception Lang.Parser.Parse_error { line; col; message } ->
+    Error (Printf.sprintf "model:%d:%d: %s" line col message)
+  | exception Invalid_argument m -> Error (Printf.sprintf "model: %s" m)
+  | system -> (
+    match V.System.validate system with
+    | [] -> Ok system
+    | errors ->
+      Error
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" V.System.pp_error) errors)))
+
+let load_tech source =
+  match Lang.Tech_file.of_string source with
+  | exception Lang.Parser.Parse_error { line; col; message } ->
+    Error (Printf.sprintf "tech:%d:%d: %s" line col message)
+  | exception Invalid_argument m -> Error (Printf.sprintf "tech: %s" m)
+  | tech -> Ok tech
+
+let binding_json = Synth.Bound_store.binding_to_json
+
+let cost_json (c : Synth.Cost.breakdown) =
+  J.Obj
+    [
+      ("total", J.Int c.Synth.Cost.total);
+      ("processor", J.Int c.Synth.Cost.processor);
+      ( "asics",
+        J.List
+          (List.map
+             (fun (pid, area) ->
+               J.List
+                 [ J.String (Spi.Ids.Process_id.to_string pid); J.Int area ])
+             c.Synth.Cost.asics) );
+    ]
+
+(* -- operations -------------------------------------------------------- *)
+
+(* Each runner returns the response plus deferred store commits: batch
+   items execute on pool domains, and the journal is single-writer, so
+   writes are replayed on the calling domain once the pool has joined. *)
+
+let synthesize t ~deadline_ns ~jobs ~id ~model ~tech ~capacity =
+  match (load_system model, load_tech tech) with
+  | Error e, _ | _, Error e -> (P.error ?id e, [])
+  | Ok system, Ok tech -> (
+    let apps = Synth.App.of_system system in
+    let warm =
+      Option.bind t.store (fun st ->
+          Synth.Bound_store.warm_binding ?capacity st tech apps)
+    in
+    let t0 = Obs.Clock.now_ns () in
+    match
+      Synth.Explore.solve ~jobs ?capacity ?deadline_ns ?warm tech apps
+    with
+    | exception Not_found ->
+      (P.error ?id "technology library misses an application process", [])
+    | Error d ->
+      (P.error ?id (Format.asprintf "%a" Synth.Explore.pp_diagnostic d), [])
+    | Ok s ->
+      Obs.Metric.observe
+        (if Option.is_some warm then m_synth_warm else m_synth_cold)
+        (Obs.Clock.elapsed_ns t0);
+      let response =
+        P.ok ?id
+          [
+            ("op", J.String "synthesize");
+            ("degraded", J.Bool s.Synth.Explore.degraded);
+            ("warm", J.Bool (Option.is_some warm));
+            ("cost", cost_json s.Synth.Explore.cost);
+            ("binding", binding_json s.Synth.Explore.binding);
+            ("worst_load", J.Int s.Synth.Explore.worst_load);
+            ("explored", J.Int s.Synth.Explore.explored);
+            ("pruned", J.Int s.Synth.Explore.pruned);
+          ]
+      in
+      let commits =
+        match t.store with
+        | Some st ->
+          [ (fun () -> Synth.Bound_store.remember ?capacity st tech apps s) ]
+        | None -> []
+      in
+      (response, commits))
+
+let pareto ~jobs ~id ~model ~tech ~capacity =
+  match (load_system model, load_tech tech) with
+  | Error e, _ | _, Error e -> (P.error ?id e, [])
+  | Ok system, Ok tech -> (
+    let apps = Synth.App.of_system system in
+    match Synth.Pareto.frontier ~jobs ?capacity tech apps with
+    | exception Not_found ->
+      (P.error ?id "technology library misses an application process", [])
+    | points ->
+      ( P.ok ?id
+          [
+            ("op", J.String "pareto");
+            ( "points",
+              J.List
+                (List.map
+                   (fun (p : Synth.Pareto.point) ->
+                     J.Obj
+                       [
+                         ("cost", J.Int p.Synth.Pareto.total_cost);
+                         ("worst_load", J.Int p.Synth.Pareto.worst_load);
+                         ("binding", binding_json p.Synth.Pareto.binding);
+                       ])
+                   points) );
+          ],
+        [] ))
+
+let simulate ~id ~model ~until =
+  match load_system model with
+  | Error e -> (P.error ?id e, [])
+  | Ok system -> (
+    match V.Flatten.applications system with
+    | exception Invalid_argument m -> (P.error ?id m, [])
+    | models ->
+      let limits =
+        match until with
+        | None -> Sim.Engine.default_limits
+        | Some max_time -> { Sim.Engine.default_limits with max_time }
+      in
+      let runs =
+        List.map
+          (fun (clusters, model) ->
+            let name =
+              String.concat "+"
+                (List.map Spi.Ids.Cluster_id.to_string clusters)
+            in
+            let r = Sim.Engine.run ~limits model in
+            J.Obj
+              [
+                ("application", J.String name);
+                ("end_time", J.Int r.Sim.Engine.end_time);
+                ("firings", J.Int r.Sim.Engine.firings);
+                ( "outcome",
+                  J.String
+                    (Format.asprintf "%a" Sim.Engine.pp_outcome
+                       r.Sim.Engine.outcome) );
+              ])
+          models
+      in
+      (P.ok ?id [ ("op", J.String "simulate"); ("runs", J.List runs) ], []))
+
+(* -- dispatch ---------------------------------------------------------- *)
+
+let deadline_of t ~admitted_ns (r : P.request) =
+  match
+    (match r.P.deadline_ms with Some _ as d -> d | None -> t.default_deadline_ms)
+  with
+  | None -> None
+  | Some ms -> Some (admitted_ns + (ms * 1_000_000))
+
+let rec run_op t ~admitted_ns ~queue_depth ~jobs (r : P.request) =
+  let id = r.P.id in
+  let deadline_ns = deadline_of t ~admitted_ns r in
+  let jobs = match r.P.jobs with Some j when j > 0 -> j | Some _ | None -> jobs in
+  match r.P.op with
+  | P.Ping -> (P.ok ?id [ ("op", J.String "ping") ], [])
+  | P.Stats ->
+    ( P.ok ?id
+        [
+          ("op", J.String "stats");
+          ("queue_depth", J.Int queue_depth);
+          ( "store_records",
+            J.Int (match t.store with Some s -> Store.Keyed.size s | None -> 0)
+          );
+          ("store", J.Bool (Option.is_some t.store));
+          ("jobs", J.Int t.jobs);
+        ],
+      [] )
+  | P.Shutdown ->
+    t.shutdown <- true;
+    (P.ok ?id [ ("op", J.String "shutdown"); ("draining", J.Bool true) ], [])
+  | P.Synthesize { model; tech; capacity } ->
+    synthesize t ~deadline_ns ~jobs ~id ~model ~tech ~capacity
+  | P.Pareto { model; tech; capacity } ->
+    pareto ~jobs ~id ~model ~tech ~capacity
+  | P.Simulate { model; until } -> simulate ~id ~model ~until
+  | P.Batch items ->
+    (* fan the items out on the pool, one domain each; the store stays
+       read-only until the joined commits run below *)
+    let results =
+      Synth.Par.map ~jobs:(min t.jobs (max 1 (List.length items)))
+        (fun item -> run_op t ~admitted_ns ~queue_depth ~jobs:1 item)
+        (Array.of_list items)
+    in
+    let commits =
+      Array.to_list results |> List.concat_map (fun (_, commits) -> commits)
+    in
+    ( P.ok ?id
+        [
+          ("op", J.String "batch");
+          ("results", J.List (Array.to_list (Array.map fst results)));
+        ],
+      commits )
+
+let handle t ~admitted_ns ~queue_depth (r : P.request) =
+  Obs.Metric.incr m_requests;
+  match r.P.id with
+  | Some id when Hashtbl.mem t.cache id ->
+    Obs.Metric.incr m_cache_replays;
+    (match Hashtbl.find t.cache id with
+    | J.Obj fields -> J.Obj (("cached", J.Bool true) :: fields)
+    | other -> other)
+  | id_opt -> (
+    match run_op t ~admitted_ns ~queue_depth ~jobs:t.jobs r with
+    | exception e ->
+      Obs.Metric.incr m_errors;
+      P.error ?id:id_opt (Printexc.to_string e)
+    | response, commits ->
+      List.iter (fun commit -> commit ()) commits;
+      (match P.status_of_response response with
+      | "error" -> Obs.Metric.incr m_errors
+      | _ -> ());
+      (match id_opt with
+      | Some id -> cache_put t id response
+      | None -> ());
+      response)

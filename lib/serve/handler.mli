@@ -1,0 +1,28 @@
+(** Request execution for the daemon, socket-free for testability.
+
+    A handler owns the exploration store, the idempotency cache and the
+    default limits; {!handle} turns one admitted request into one
+    response.  Batch sub-requests run on the work-stealing pool
+    ({!Synth.Par.map}) with one domain each; store writes are collected
+    as deferred commits and applied on the calling domain afterwards, so
+    the journal and the caches stay single-writer. *)
+
+type t
+
+val create :
+  ?store:Store.Keyed.t ->
+  ?default_deadline_ms:int ->
+  jobs:int ->
+  unit ->
+  t
+
+val handle : t -> admitted_ns:int -> queue_depth:int -> Protocol.request ->
+  Obs.Json.t
+(** Executes the request; deadlines are absolute from [admitted_ns], so
+    time spent queued counts against the budget.  Never raises: every
+    failure becomes a [status = "error"] response. *)
+
+val shutdown_requested : t -> bool
+(** Set once a [shutdown] request has been handled. *)
+
+val store : t -> Store.Keyed.t option

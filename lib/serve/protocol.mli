@@ -1,0 +1,54 @@
+(** The [serve/v1] wire protocol.
+
+    Line-delimited JSON over a Unix-domain stream socket: each request
+    is one minified JSON object terminated by ["\n"], each response one
+    JSON object on one line.  See docs/SERVE.md for the full field
+    reference; this module is the single source of truth for parsing
+    and encoding, shared by the daemon and the client. *)
+
+type op =
+  | Ping
+  | Stats
+  | Shutdown  (** graceful: drain queued work, then exit *)
+  | Synthesize of { model : string; tech : string; capacity : int option }
+  | Pareto of { model : string; tech : string; capacity : int option }
+  | Simulate of { model : string; until : int option }
+  | Batch of request list
+      (** sub-requests run on the work-stealing pool; nesting depth 1 *)
+
+and request = {
+  id : string option;
+      (** idempotency key: a repeated [id] replays the cached response
+          instead of recomputing *)
+  deadline_ms : int option;
+      (** budget from {e admission}, queue wait included *)
+  jobs : int option;  (** overrides the daemon's domain count *)
+  op : op;
+}
+
+val request_of_json : Obs.Json.t -> (request, string) result
+(** Validates the schema tag when present and rejects unknown [op]s and
+    nested batches with a message suitable for an error response. *)
+
+val request_to_json : request -> Obs.Json.t
+
+val parse_request : string -> (request, string) result
+(** One wire line (sans newline) to a request. *)
+
+(** Response construction — every response carries ["schema"] and
+    ["status"], plus ["id"] when the request had one. *)
+
+val ok : ?id:string -> (string * Obs.Json.t) list -> Obs.Json.t
+(** [status = "ok"]; the fields are appended. *)
+
+val error : ?id:string -> string -> Obs.Json.t
+(** [status = "error"] with a ["message"]. *)
+
+val overloaded :
+  ?id:string -> queue_depth:int -> queue_limit:int -> retry_after_ms:int ->
+  unit -> Obs.Json.t
+(** [status = "overloaded"]: the structured load-shed rejection. *)
+
+val status_of_response : Obs.Json.t -> string
+(** ["ok"], ["error"], ["overloaded"] — or ["invalid"] when the line is
+    not a [serve/v1] response. *)

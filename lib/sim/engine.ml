@@ -488,14 +488,15 @@ let run ?(policy = Typical) ?(limits = default_limits)
   loop ();
   let trace = List.rev !trace in
   (* histogram handles resolved once per process, not per completion *)
-  let latency_hists = Hashtbl.create 16 in
+  let latency_hists = I.Process_id.Tbl.create 16 in
   let latency_hist_of pid =
-    let key = I.Process_id.to_string pid in
-    match Hashtbl.find_opt latency_hists key with
+    match I.Process_id.Tbl.find_opt latency_hists pid with
     | Some h -> h
     | None ->
-      let h = Obs.Registry.histogram ("sim.latency." ^ key) in
-      Hashtbl.add latency_hists key h;
+      let h =
+        Obs.Registry.histogram ("sim.latency." ^ I.Process_id.to_string pid)
+      in
+      I.Process_id.Tbl.add latency_hists pid h;
       h
   in
   record_run_metrics ~start_ns ~trace ~latency_hist_of;

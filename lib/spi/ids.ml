@@ -9,6 +9,7 @@ module type ID = sig
 
   module Set : Set.S with type elt = t
   module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
 end
 
 module Make_id () : ID = struct
@@ -24,6 +25,13 @@ module Make_id () : ID = struct
 
   module Set = Set.Make (String)
   module Map = Map.Make (String)
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = String.equal
+    let hash = Hashtbl.hash
+  end)
 end
 
 module Process_id = Make_id ()

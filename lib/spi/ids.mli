@@ -17,6 +17,12 @@ module type ID = sig
 
   module Set : Set.S with type elt = t
   module Map : Map.S with type key = t
+
+  module Tbl : Hashtbl.S with type key = t
+  (** Id-keyed hash tables, for hot paths that resolve an id many times
+      per run (the simulator's per-process state, the video checker's
+      mode memos) — lookups hash the id directly instead of detouring
+      through [to_string] concatenations. *)
 end
 
 module Process_id : ID

@@ -1,0 +1,42 @@
+(** Persistent warm-start bounds for {!Explore}.
+
+    Bridges the exploration store ({!Store.Keyed}) and the explorer:
+    solved problems are remembered under canonical problem hashes, and a
+    later solve of the same — or a structurally overlapping — problem
+    replays the stored binding as {!Explore.solve}'s [warm] incumbent.
+    Records are advisory by construction: a warm binding is re-validated
+    and the search still proves optimality, so a stale or colliding
+    record can cost time, never correctness.
+
+    Two key granularities:
+    - the {e problem} key covers the technology library, the capacity
+      and every application — an exact-repeat hit;
+    - one {e application} key per app covers that app's processes and
+      their technology entries only, so after a small model edit the
+      untouched applications still contribute their old bindings, merged
+      into a partial warm start. *)
+
+val problem_key : ?capacity:int -> Tech.t -> App.t list -> string
+(** Canonical hash of the full synthesis problem ([capacity] defaults to
+    {!Schedule.default_capacity}, as in {!Explore.solve}). *)
+
+val app_key : ?capacity:int -> Tech.t -> App.t -> string
+(** Canonical hash of one application's subproblem: its process set and
+    the technology entries (and processor cost) restricted to it. *)
+
+val remember :
+  ?capacity:int -> Store.Keyed.t -> Tech.t -> App.t list ->
+  Explore.solution -> unit
+(** Journals the solution under the problem key and under every
+    application key (each app's record restricted to its processes). *)
+
+val warm_binding :
+  ?capacity:int -> Store.Keyed.t -> Tech.t -> App.t list -> Binding.t option
+(** The stored binding for the exact problem when present; otherwise the
+    union of the per-application hits (left-biased merge), when any.
+    The result may cover only part of the problem — {!Explore.solve}'s
+    warm validation completes and checks it. *)
+
+val binding_to_json : Binding.t -> Obs.Json.t
+val binding_of_json : Obs.Json.t -> Binding.t option
+(** [None] when the JSON is not a list of [[pid, "hw"|"sw"]] pairs. *)

@@ -6,6 +6,7 @@ type solution = {
   worst_load : int;
   explored : int;
   pruned : int;
+  degraded : bool;
 }
 
 type diagnostic =
@@ -14,6 +15,7 @@ type diagnostic =
       impl : Binding.impl;
     }
   | Infeasible
+  | Deadline_no_incumbent
 
 let pp_diagnostic ppf = function
   | Pinned_impl_unavailable { process; impl } ->
@@ -21,6 +23,9 @@ let pp_diagnostic ppf = function
       "process %a is pinned to %a but its technology entry offers no %a option"
       I.Process_id.pp process Binding.pp_impl impl Binding.pp_impl impl
   | Infeasible -> Format.pp_print_string ppf "no feasible binding"
+  | Deadline_no_incumbent ->
+    Format.pp_print_string ppf
+      "deadline expired before any feasible binding was found"
 
 (* Per-process search data, memoized once per [solve] call: technology
    options with any [fixed] pin already applied, and application
@@ -59,6 +64,9 @@ let m_tasks = Obs.Registry.counter "explore.tasks"
 let m_improvements = Obs.Registry.counter "explore.incumbent_improvements"
 let m_ttfi = Obs.Registry.gauge "explore.time_to_first_incumbent_ns"
 let m_resplits = Obs.Registry.counter "explore.resplits"
+let m_deadline_hits = Obs.Registry.counter "explore.deadline_hits"
+let m_warm_accepted = Obs.Registry.counter "explore.warm_starts_accepted"
+let m_warm_rejected = Obs.Registry.counter "explore.warm_starts_rejected"
 
 let compile ~fixed tech apps procs =
   let member_indices pid =
@@ -148,7 +156,16 @@ let materialize ~nodes ~n choices =
    and the guard keeps the hot deep nodes free of the hook's atomic
    reads (a plain int compare instead).  With the default hook the
    search is the sequential reference. *)
-let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1) ~sw_first
+(* [should_stop] is the cooperative cancellation hook next to
+   [try_split]: it is consulted once every 1024 expanded nodes — a
+   single [land] on the hot path between polls, so a deadline costs
+   nothing measurable and a run without one is byte-identical — and
+   once it fires [stopped] latches, the recursion unwinds without
+   expanding further nodes, and the caller reads [stopped] to learn the
+   search was cut short (the incumbent found so far is still valid, it
+   is just not proved optimal). *)
+let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1)
+    ?(should_stop = fun () -> false) ?(stopped = ref false) ~sw_first
     ~capacity ~processor_cost ~accept ~nodes ~n ~loads ~choices ~counters
     ~current_bound ~improve start area0 any_sw0 =
   (* hoisted so the recursive closures are allocated once per call, not
@@ -164,7 +181,9 @@ let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1) ~sw_first
   in
   let rec go i area any_sw =
     let lower = area + if any_sw then processor_cost else 0 in
-    if lower >= current_bound () then counters.pruned <- counters.pruned + 1
+    if !stopped then ()
+    else if lower >= current_bound () then
+      counters.pruned <- counters.pruned + 1
     else if i = n then begin
       let binding = materialize ~nodes ~n choices in
       if accept binding then begin
@@ -177,7 +196,9 @@ let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1) ~sw_first
     end
     else begin
       counters.explored <- counters.explored + 1;
-      if sw_first then begin
+      if counters.explored land 1023 = 0 && should_stop () then
+        stopped := true
+      else if sw_first then begin
         if
           i < split_floor
           && Option.is_some nodes.(i).hw
@@ -220,14 +241,37 @@ let search ?(try_split = fun _ _ _ -> false) ?(split_floor = -1) ~sw_first
   in
   go start area0 any_sw0
 
-let solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+let solve_seq ~start_ns ~deadline_ns ~warm ~capacity ~processor_cost ~accept
+    ~nodes ~n_apps =
   let n = Array.length nodes in
   let loads = Array.make n_apps 0 in
   let choices = Array.make n 0 in
   let counters = { explored = 0; pruned = 0 } in
   let best = ref None and best_cost = ref max_int in
-  search ~sw_first:false ~capacity ~processor_cost ~accept ~nodes ~n ~loads
-    ~choices ~counters
+  (* a validated warm incumbent prunes from the first node, exactly like
+     a greedy seed; the exhaustive descent below still proves (or beats)
+     it, so warm and cold runs report identical costs *)
+  (match warm with
+  | Some (cost, binding, worst) ->
+    best := Some (binding, worst);
+    best_cost := cost;
+    Obs.Metric.set m_ttfi (Obs.Clock.elapsed_ns start_ns)
+  | None -> ());
+  (* an already-expired deadline degrades immediately — the throttled
+     in-search poll would never fire on a small tree *)
+  let stopped =
+    ref
+      (match deadline_ns with
+      | Some dl -> Obs.Clock.now_ns () >= dl
+      | None -> false)
+  in
+  let should_stop =
+    match deadline_ns with
+    | None -> fun () -> false
+    | Some dl -> fun () -> Obs.Clock.now_ns () >= dl
+  in
+  search ~should_stop ~stopped ~sw_first:false ~capacity ~processor_cost
+    ~accept ~nodes ~n ~loads ~choices ~counters
     ~current_bound:(fun () -> !best_cost)
     ~improve:(fun cost binding worst ->
       if cost < !best_cost then begin
@@ -239,7 +283,7 @@ let solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps =
         best := Some (binding, worst)
       end)
     0 0 false;
-  (!best, counters)
+  (!best, counters, !stopped)
 
 (* Parallel path: enumerate the decision tree down to a split depth
    into independent subtree tasks (each carrying its own loads
@@ -274,7 +318,33 @@ let split_depth ~jobs ~n =
   let rec depth d = if 1 lsl d >= target || d >= 14 then d else depth (d + 1) in
   min (n - 2) (depth 0)
 
-let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
+let solve_par ~start_ns ~deadline_ns ~warm ~jobs ~capacity ~processor_cost
+    ~accept ~nodes ~n_apps =
+  (* one latch shared by every domain: whichever worker's throttled
+     clock poll crosses the deadline first publishes the cancellation,
+     the others observe it at their next poll (at most 1024 nodes
+     later), and the pool stops claiming queued tasks *)
+  let cancelled =
+    (* an already-expired deadline collapses the search before it
+       starts: the greedy seeding below still provides the incumbent *)
+    Atomic.make
+      (match deadline_ns with
+      | Some dl -> Obs.Clock.now_ns () >= dl
+      | None -> false)
+  in
+  let should_stop =
+    match deadline_ns with
+    | None -> fun () -> Atomic.get cancelled
+    | Some dl ->
+      fun () ->
+        Atomic.get cancelled
+        ||
+        if Obs.Clock.now_ns () >= dl then begin
+          Atomic.set cancelled true;
+          true
+        end
+        else false
+  in
   let n = Array.length nodes in
   let depth = split_depth ~jobs ~n in
   let prefix_counters = { explored = 0; pruned = 0 } in
@@ -382,6 +452,13 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     order;
   let tasks = Array.map (fun i -> tasks.(i)) order in
   let seed_best = ref None and seed_cost = ref max_int in
+  (* a validated warm incumbent competes with the greedy completions on
+     equal terms; whichever is cheaper seeds the shared bound *)
+  (match warm with
+  | Some (cost, binding, worst) ->
+    seed_cost := cost;
+    seed_best := Some (binding, worst)
+  | None -> ());
   Array.iter
     (fun e ->
       match e with
@@ -413,8 +490,8 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
   if Array.length tasks > 0 then begin
     let t = tasks.(0) in
     let counters = prefix_counters in
-    search ~sw_first:true ~capacity ~processor_cost ~accept ~nodes ~n
-      ~loads:t.t_loads ~choices:t.t_choices ~counters
+    search ~should_stop ~sw_first:true ~capacity ~processor_cost ~accept
+      ~nodes ~n ~loads:t.t_loads ~choices:t.t_choices ~counters
       ~current_bound:(fun () -> Atomic.get incumbent)
       ~improve:(fun cost binding worst ->
         if cost < !seed_cost then begin
@@ -503,8 +580,8 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     (* a shed below [n - 12] ships a subtree of at most [2^12] nodes —
        sub-millisecond work that costs the thief more in claim latency
        than it buys in balance *)
-    search ~try_split ~split_floor:(n - 12) ~sw_first:true ~capacity
-      ~processor_cost ~accept ~nodes ~n ~loads:t.t_loads
+    search ~try_split ~split_floor:(n - 12) ~should_stop ~sw_first:true
+      ~capacity ~processor_cost ~accept ~nodes ~n ~loads:t.t_loads
       ~choices:t.t_choices ~counters
       ~current_bound:(fun () -> Atomic.get incumbent)
       ~improve t.t_depth t.t_area t.t_any_sw;
@@ -515,7 +592,9 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     acc
   in
   let folded =
-    Par.fold ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
+    Par.fold
+      ~cancel:(fun () -> Atomic.get cancelled)
+      ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
   in
   let best = ref !seed_best and best_cost = ref !seed_cost in
   let counters = prefix_counters in
@@ -526,15 +605,73 @@ let solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes ~n_apps =
     best_cost := !(folded.c_cost);
     best := Some bw
   | Some _ | None -> ());
-  (!best, counters)
+  (!best, counters, Atomic.get cancelled)
 
 let resolve_jobs = function
   | 0 -> Par.available_jobs ()
   | j when j < 0 -> invalid_arg "Explore: negative jobs"
   | j -> j
 
+(* Replay a stored binding against the *current* compiled problem: every
+   pinned implementation must be respected, every application
+   schedulable, and [accept] satisfied.  Processes the stored binding
+   does not cover (the model grew since the record was written) are
+   completed greedily — software when it fits, hardware otherwise — so
+   a partial per-application merge still yields a seed.  The binding is
+   rebuilt over exactly the node set, so stale processes in the stored
+   record neither pollute the cost nor leak into the result.  A warm
+   candidate that fails any check is dropped — warm starts accelerate,
+   they never decide. *)
+let warm_candidate ~capacity ~processor_cost ~accept ~nodes ~n_apps warm =
+  let n = Array.length nodes in
+  let loads = Array.make n_apps 0 in
+  let sw_fits nd load =
+    let ok = ref true in
+    Array.iter
+      (fun ai ->
+        loads.(ai) <- loads.(ai) + load;
+        if loads.(ai) > capacity then ok := false)
+      nd.members;
+    if !ok then true
+    else begin
+      Array.iter (fun ai -> loads.(ai) <- loads.(ai) - load) nd.members;
+      false
+    end
+  in
+  let rec place i area any_sw b =
+    if i = n then begin
+      let cost = area + if any_sw then processor_cost else 0 in
+      if accept b then Some (cost, b, Array.fold_left max 0 loads) else None
+    end
+    else
+      let nd = nodes.(i) in
+      (* every decision is local and final — one linear pass, no
+         backtracking, so a failure simply drops the candidate *)
+      let hw () =
+        match nd.hw with
+        | Some a ->
+          place (i + 1) (area + a) any_sw (Binding.bind nd.pid Binding.Hw b)
+        | None -> None
+      in
+      match Binding.impl_of nd.pid warm with
+      | Some Binding.Hw -> hw ()
+      | Some Binding.Sw -> (
+        match nd.sw with
+        | Some load when sw_fits nd load ->
+          place (i + 1) area true (Binding.bind nd.pid Binding.Sw b)
+        | Some _ | None -> None)
+      | None -> (
+        (* uncovered: greedy completion, software when it fits *)
+        match nd.sw with
+        | Some load when sw_fits nd load ->
+          place (i + 1) area true (Binding.bind nd.pid Binding.Sw b)
+        | Some _ | None -> hw ())
+  in
+  place 0 0 false Binding.empty
+
 let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
-    ?(fixed = Binding.empty) ?(accept = fun _ -> true) tech apps =
+    ?(fixed = Binding.empty) ?(accept = fun _ -> true) ?deadline_ns ?warm
+    tech apps =
   let jobs = resolve_jobs jobs in
   let start_ns = Obs.Clock.now_ns () in
   Obs.Metric.incr m_solves;
@@ -548,19 +685,35 @@ let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
     let processor_cost = Tech.processor_cost tech in
     let n = Array.length nodes in
     let n_apps = Array.length apps in
-    let best, counters =
-      if jobs = 1 || n < 4 then
-        solve_seq ~start_ns ~capacity ~processor_cost ~accept ~nodes ~n_apps
-      else
-        solve_par ~start_ns ~jobs ~capacity ~processor_cost ~accept ~nodes
-          ~n_apps
+    let warm =
+      match warm with
+      | None -> None
+      | Some b -> (
+        match
+          warm_candidate ~capacity ~processor_cost ~accept ~nodes ~n_apps b
+        with
+        | Some _ as c ->
+          Obs.Metric.incr m_warm_accepted;
+          c
+        | None ->
+          Obs.Metric.incr m_warm_rejected;
+          None)
     in
+    let best, counters, deadline_hit =
+      if jobs = 1 || n < 4 then
+        solve_seq ~start_ns ~deadline_ns ~warm ~capacity ~processor_cost
+          ~accept ~nodes ~n_apps
+      else
+        solve_par ~start_ns ~deadline_ns ~warm ~jobs ~capacity
+          ~processor_cost ~accept ~nodes ~n_apps
+    in
+    if deadline_hit then Obs.Metric.incr m_deadline_hits;
     Obs.Metric.add m_nodes counters.explored;
     Obs.Metric.add m_pruned counters.pruned;
     Obs.Registry.record_span ~name:"explore.solve_ns" ~start_ns
       ~dur_ns:(Obs.Clock.elapsed_ns start_ns);
     (match best with
-    | None -> Error Infeasible
+    | None -> Error (if deadline_hit then Deadline_no_incumbent else Infeasible)
     | Some (binding, worst_load) ->
       Ok
         {
@@ -569,6 +722,7 @@ let solve ?(jobs = 1) ?(capacity = Schedule.default_capacity)
           worst_load;
           explored = counters.explored;
           pruned = counters.pruned;
+          degraded = deadline_hit;
         })
 
 let optimal ?jobs ?capacity ?fixed ?accept tech apps =
@@ -584,5 +738,6 @@ let optimal_exn ?jobs ?capacity ?fixed ?accept tech apps =
 
 let pp_solution ppf s =
   Format.fprintf ppf
-    "@[<v>binding: %a@,cost: %a@,worst load: %d (explored %d, pruned %d)@]"
+    "@[<v>binding: %a@,cost: %a@,worst load: %d (explored %d, pruned %d)%s@]"
     Binding.pp s.binding Cost.pp s.cost s.worst_load s.explored s.pruned
+    (if s.degraded then " [degraded: deadline cut the proof short]" else "")

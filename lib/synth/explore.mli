@@ -23,6 +23,10 @@ type solution = {
           and branched on a process (aggregated across domains) *)
   pruned : int;
       (** subtrees cut by the incumbent bound or a capacity overload *)
+  degraded : bool;
+      (** the deadline expired before the search proved optimality: the
+          binding is the best incumbent found, feasible and valid, but a
+          cheaper one may exist.  Always [false] without a deadline. *)
 }
 
 type diagnostic =
@@ -35,6 +39,9 @@ type diagnostic =
           regardless of capacity *)
   | Infeasible  (** genuine infeasibility: every binding overloads some
           application or is rejected by [accept] *)
+  | Deadline_no_incumbent
+      (** the deadline expired before any feasible binding was found —
+          the instance may or may not be feasible *)
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 
@@ -43,6 +50,8 @@ val solve :
   ?capacity:int ->
   ?fixed:Binding.t ->
   ?accept:(Binding.t -> bool) ->
+  ?deadline_ns:int ->
+  ?warm:Binding.t ->
   Tech.t ->
   App.t list ->
   (solution, diagnostic) result
@@ -55,6 +64,21 @@ val solve :
     latency-path constraints on top of schedulability; with [jobs > 1]
     it is called concurrently from several domains and must be
     thread-safe (the bundled filters are pure).
+
+    [deadline_ns] is an absolute {!Obs.Clock} reading: the search checks
+    it cooperatively (every 1024 expanded nodes, on every domain) and
+    past it stops expanding, returning the best incumbent found so far
+    with [degraded = true] — or [Error Deadline_no_incumbent] when none
+    was found.  Without a deadline the search is exact and its results
+    are byte-identical to earlier releases.
+
+    [warm] is a previously found binding (e.g. replayed from the
+    exploration store): it is re-validated against the current problem —
+    pins, capacity, [accept], with uncovered processes completed
+    greedily — and, when valid, seeds the incumbent so equal-or-worse
+    subtrees prune immediately.  The search
+    still proves optimality, so a warm run returns exactly the costs of
+    a cold one; an invalid warm binding is counted and ignored.
     @raise Not_found when an application process is missing from the
     technology library.
     @raise Invalid_argument when [jobs < 0]. *)

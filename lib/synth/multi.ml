@@ -18,6 +18,7 @@ type solution = {
   worst_load : (I.Resource_id.t * int) list;
   explored : int;
   pruned : int;
+  degraded : bool;
 }
 
 let check_processors procs =
@@ -95,20 +96,25 @@ let materialize ~procs_arr ~nodes ~n choices =
    every branch node with both a hardware and a software option;
    returning [true] means the hardware sibling was captured as a pool
    task and only the software placements descend in place. *)
-let search ?(try_split = fun _ _ _ -> false) ~sw_first ~procs_arr ~accept
-    ~nodes ~n ~st ~choices ~counters ~current_bound ~improve start area0
-    cpu_cost0 =
+let search ?(try_split = fun _ _ _ -> false)
+    ?(should_stop = fun () -> false) ?(stopped = ref false) ~sw_first
+    ~procs_arr ~accept ~nodes ~n ~st ~choices ~counters ~current_bound
+    ~improve start area0 cpu_cost0 =
   let n_cpu = Array.length procs_arr in
   let rec go i area cpu_cost =
     let lower = area + cpu_cost in
-    if lower >= current_bound () then counters.pruned <- counters.pruned + 1
+    if !stopped then ()
+    else if lower >= current_bound () then
+      counters.pruned <- counters.pruned + 1
     else if i = n then begin
       let binding = materialize ~procs_arr ~nodes ~n choices in
       if accept binding then improve lower binding area
     end
     else begin
       counters.explored <- counters.explored + 1;
-      if sw_first then begin
+      if counters.explored land 1023 = 0 && should_stop () then
+        stopped := true
+      else if sw_first then begin
         if
           Option.is_some nodes.(i).hw
           && Option.is_some nodes.(i).sw
@@ -203,6 +209,7 @@ let candidate ~procs_arr ~st cost binding area =
     worst_load;
     explored = 0;
     pruned = 0;
+    degraded = false;
   }
 
 (* Domain-local accumulator for the work-stealing fold. *)
@@ -212,7 +219,10 @@ type par_acc = {
   c_counters : counters;
 }
 
-let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
+let m_deadline_hits = Obs.Registry.counter "multi.deadline_hits"
+
+let optimal ?(jobs = 1) ?(accept = fun _ -> true) ?deadline_ns tech
+    processors apps =
   let jobs = match jobs with
     | 0 -> Par.available_jobs ()
     | j when j < 0 -> invalid_arg "Multi: negative jobs"
@@ -220,6 +230,29 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
   in
   let start_ns = Obs.Clock.now_ns () in
   Obs.Metric.incr m_solves;
+  (* same cooperative cancellation scheme as {!Explore}: one shared
+     latch, polled every 1024 expanded nodes on every domain *)
+  let cancelled =
+    (* an already-expired deadline degrades immediately, even on trees
+       too small for the throttled in-search poll to fire *)
+    Atomic.make
+      (match deadline_ns with
+      | Some dl -> Obs.Clock.now_ns () >= dl
+      | None -> false)
+  in
+  let should_stop =
+    match deadline_ns with
+    | None -> fun () -> Atomic.get cancelled
+    | Some dl ->
+      fun () ->
+        Atomic.get cancelled
+        ||
+        if Obs.Clock.now_ns () >= dl then begin
+          Atomic.set cancelled true;
+          true
+        end
+        else false
+  in
   let note counters =
     Obs.Metric.add m_nodes counters.explored;
     Obs.Metric.add m_pruned counters.pruned;
@@ -260,7 +293,8 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
     let choices = Array.make n 0 in
     let counters = { explored = 0; pruned = 0 } in
     let best = ref None and best_cost = ref max_int in
-    search ~sw_first:false ~procs_arr ~accept ~nodes ~n ~st ~choices ~counters
+    search ~should_stop ~sw_first:false ~procs_arr ~accept ~nodes ~n ~st
+      ~choices ~counters
       ~current_bound:(fun () -> !best_cost)
       ~improve:(fun cost binding area ->
         if cost < !best_cost then begin
@@ -269,9 +303,15 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
         end)
       0 0 0;
     note counters;
+    if Atomic.get cancelled then Obs.Metric.incr m_deadline_hits;
     Option.map
       (fun (s : solution) ->
-        { s with explored = counters.explored; pruned = counters.pruned })
+        {
+          s with
+          explored = counters.explored;
+          pruned = counters.pruned;
+          degraded = Atomic.get cancelled;
+        })
       !best
   end
   else begin
@@ -337,8 +377,8 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
        subtree sequentially so the pool never starts with a cold bound. *)
     if Array.length tasks > 0 then begin
       let t = tasks.(0) in
-      search ~sw_first:true ~procs_arr ~accept ~nodes ~n ~st:t.t_state
-        ~choices:t.t_choices ~counters:prefix_counters
+      search ~should_stop ~sw_first:true ~procs_arr ~accept ~nodes ~n
+        ~st:t.t_state ~choices:t.t_choices ~counters:prefix_counters
         ~current_bound:(fun () -> Atomic.get incumbent)
         ~improve:(fun cost binding area ->
           if cost < !seed_cost then begin
@@ -407,14 +447,16 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
              pushed
            end
       in
-      search ~try_split ~sw_first:true ~procs_arr ~accept ~nodes ~n
-        ~st:t.t_state ~choices:t.t_choices ~counters
+      search ~try_split ~should_stop ~sw_first:true ~procs_arr ~accept
+        ~nodes ~n ~st:t.t_state ~choices:t.t_choices ~counters
         ~current_bound:(fun () -> Atomic.get incumbent)
         ~improve:(improve_for t.t_state) t.t_depth t.t_area t.t_cpu_cost;
       acc
     in
     let folded =
-      Par.fold ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
+      Par.fold
+        ~cancel:(fun () -> Atomic.get cancelled)
+        ~jobs ~init:acc_init ~merge:acc_merge ~f:run_task tasks
     in
     let best = ref !seed_best and best_cost = ref !seed_cost in
     prefix_counters.explored <-
@@ -426,12 +468,14 @@ let optimal ?(jobs = 1) ?(accept = fun _ -> true) tech processors apps =
       best := Some s
     | Some _ | None -> ());
     note prefix_counters;
+    if Atomic.get cancelled then Obs.Metric.incr m_deadline_hits;
     Option.map
       (fun (s : solution) ->
         {
           s with
           explored = prefix_counters.explored;
           pruned = prefix_counters.pruned;
+          degraded = Atomic.get cancelled;
         })
       !best
   end

@@ -37,11 +37,15 @@ type solution = {
           counter semantics as {!Explore.solution}) *)
   pruned : int;
       (** subtrees cut by the incumbent bound or a capacity overload *)
+  degraded : bool;
+      (** the deadline expired before the search proved optimality (see
+          {!Explore.solution}); always [false] without a deadline *)
 }
 
 val optimal :
   ?jobs:int ->
   ?accept:(binding -> bool) ->
+  ?deadline_ns:int ->
   Tech.t ->
   processor list ->
   App.t list ->
@@ -52,7 +56,10 @@ val optimal :
     [jobs] follows the {!Explore.solve} convention: 1 (default)
     sequential, [n > 1] a pool of [n] domains, 0 the machine's
     recommended domain count; [accept] must be thread-safe when
-    [jobs > 1].
+    [jobs > 1].  [deadline_ns] follows {!Explore.solve}: an absolute
+    {!Obs.Clock} reading past which the search stops expanding and
+    returns its best incumbent with [degraded = true] ([None] when no
+    incumbent was found in time).
     @raise Invalid_argument when [processors] contains duplicate ids or
     [jobs < 0].
     @raise Not_found when an application process is missing from the

@@ -53,6 +53,7 @@ type 'a pool = {
   pending : int Atomic.t;  (** tasks enqueued or running, not yet done *)
   hungry : int Atomic.t;  (** workers currently failing to find work *)
   failure : exn option Atomic.t;
+  cancel : unit -> bool;
   next_id : int Atomic.t;
 }
 
@@ -152,8 +153,8 @@ let run_worker pool ~init ~f worker =
   let n_seeds = Array.length pool.seeds in
   let run cell =
     (* claimed tasks are cancelled, not run, once a failure is
-       published *)
-    if Option.is_none (Atomic.get pool.failure) then begin
+       published or the pool's cancel predicate trips *)
+    if Option.is_none (Atomic.get pool.failure) && not (pool.cancel ()) then begin
       let claimed_ns = Obs.Clock.now_ns () in
       Obs.Metric.observe m_queue_wait (claimed_ns - cell.enq_ns);
       (match f ctx !acc cell.v with
@@ -177,6 +178,7 @@ let run_worker pool ~init ~f worker =
      work, stretching exactly the tail the deques exist to shorten. *)
   let rec steal_loop spins =
     if Option.is_some (Atomic.get pool.failure) then None
+    else if pool.cancel () then None
     else if Atomic.get pool.pending = 0 then None
     else
       match try_steal ctx with
@@ -187,6 +189,7 @@ let run_worker pool ~init ~f worker =
   in
   let rec loop () =
     if Option.is_some (Atomic.get pool.failure) then ()
+    else if pool.cancel () then ()
     else
       match Ws_deque.pop pool.deques.(worker) with
       | Some cell ->
@@ -218,7 +221,7 @@ let run_worker pool ~init ~f worker =
   if ctx.lost_races > 0 then Obs.Metric.add m_steal_failures ctx.lost_races;
   !acc
 
-let make_pool ~jobs seeds =
+let make_pool ~jobs ~cancel seeds =
   let n = Array.length seeds in
   let start_ns = Obs.Clock.now_ns () in
   {
@@ -229,13 +232,14 @@ let make_pool ~jobs seeds =
     pending = Atomic.make n;
     hungry = Atomic.make 0;
     failure = Atomic.make None;
+    cancel;
     next_id = Atomic.make n;
   }
 
-let run_pool ~jobs ~init ~merge ~f seeds =
+let run_pool ~jobs ~cancel ~init ~merge ~f seeds =
   Obs.Metric.incr m_pools;
   Obs.Metric.add m_tasks (Array.length seeds);
-  let pool = make_pool ~jobs seeds in
+  let pool = make_pool ~jobs ~cancel seeds in
   let others =
     Array.init (jobs - 1) (fun k ->
         Domain.spawn (fun () -> run_worker pool ~init ~f (k + 1)))
@@ -247,17 +251,19 @@ let run_pool ~jobs ~init ~merge ~f seeds =
 
 (* Sequential reference: in-order over the seeds, local LIFO stack for
    pushes, same cancellation semantics. *)
-let run_seq ~init ~f seeds =
-  let pool = make_pool ~jobs:1 seeds in
+let run_seq ~cancel ~init ~f seeds =
+  let pool = make_pool ~jobs:1 ~cancel seeds in
   let acc = run_worker pool ~init ~f 0 in
   (match Atomic.get pool.failure with Some e -> raise e | None -> ());
   acc
 
-let fold ~jobs ~init ~merge ~f seeds =
+let no_cancel () = false
+
+let fold ?(cancel = no_cancel) ~jobs ~init ~merge ~f seeds =
   if jobs < 1 then invalid_arg "Par.fold: jobs < 1";
   if Array.length seeds = 0 then init ()
-  else if jobs = 1 then run_seq ~init ~f seeds
-  else run_pool ~jobs ~init ~merge ~f seeds
+  else if jobs = 1 then run_seq ~cancel ~init ~f seeds
+  else run_pool ~jobs ~cancel ~init ~merge ~f seeds
 
 let map ~jobs f tasks =
   if jobs < 1 then invalid_arg "Par.map: jobs < 1";
@@ -267,7 +273,7 @@ let map ~jobs f tasks =
     let results = Array.make n None in
     let jobs = min jobs n in
     ignore
-      (run_pool ~jobs
+      (run_pool ~jobs ~cancel:no_cancel
          ~init:(fun () -> ())
          ~merge:(fun () () -> ())
          ~f:(fun _ctx () i -> results.(i) <- Some (f tasks.(i)))

@@ -70,6 +70,7 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     @raise Invalid_argument when [jobs < 1]. *)
 
 val fold :
+  ?cancel:(unit -> bool) ->
   jobs:int ->
   init:(unit -> 'acc) ->
   merge:('acc -> 'acc -> 'acc) ->
@@ -78,7 +79,12 @@ val fold :
   'acc
 (** [fold ~jobs ~init ~merge ~f seeds] runs [seeds] (and every task
     {!push}ed while processing them) to completion and combines the
-    results.  Each worker domain threads its own accumulator, seeded by
+    results.  [cancel] (default: never) is polled between task claims
+    on every worker: once it returns [true] no further task starts —
+    tasks already running are expected to observe the same condition
+    through their own cooperative checks — and the accumulators folded
+    so far are merged and returned as usual, so a deadline-cancelled
+    search still yields its best incumbent.  Each worker domain threads its own accumulator, seeded by
     [init ()], through every task it happens to execute; after the pool
     quiesces the per-worker accumulators are [merge]d (in worker order)
     on the calling domain.  [f] must therefore be commutative up to

@@ -14,30 +14,35 @@ type report = {
 (* Which variant each stage used for each image, recovered from the
    processing-mode names of completed executions.  Only tokens produced
    on the stage's data output channel count: state and confirmation
-   tokens never carry the frame. *)
+   tokens never carry the frame.  The result is an image-keyed table so
+   the per-output-frame consistency check below is a lookup, not a scan
+   of the whole trace. *)
 let stage_variants trace pid out_chan =
-  List.fold_left
-    (fun acc entry ->
+  let table : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun entry ->
       match entry with
       | Sim.Trace.Completed { process; firing; _ }
         when I.Process_id.equal process pid -> (
         match System.variant_of_mode firing.Spi.Semantics.mode with
-        | None -> acc
+        | None -> ()
         | Some v ->
-          List.fold_left
-            (fun acc (cid, tokens) ->
-              if not (I.Channel_id.equal cid out_chan) then acc
-              else
-              List.fold_left
-                (fun acc tok ->
-                  match Spi.Token.payload tok with
-                  | Some image -> (image, v) :: acc
-                  | None -> acc)
-                acc tokens)
-            acc firing.Spi.Semantics.produced)
+          List.iter
+            (fun (cid, tokens) ->
+              if I.Channel_id.equal cid out_chan then
+                List.iter
+                  (fun tok ->
+                    match Spi.Token.payload tok with
+                    | Some image ->
+                      (* last writer wins, matching the old assoc order *)
+                      Hashtbl.replace table image v
+                    | None -> ())
+                  tokens)
+            firing.Spi.Semantics.produced)
       | Sim.Trace.Completed _ | Sim.Trace.Injected _ | Sim.Trace.Started _
-      | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> acc)
-    [] trace
+      | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> ())
+    trace;
+  table
 
 let check ?(stages = 2) (result : Sim.Engine.result) =
   let trace = result.Sim.Engine.trace in
@@ -49,7 +54,7 @@ let check ?(stages = 2) (result : Sim.Engine.result) =
           (System.chain_channel (stage + 1)))
   in
   let variants_of image =
-    List.filter_map (fun table -> List.assoc_opt image table) per_stage
+    List.filter_map (fun table -> Hashtbl.find_opt table image) per_stage
   in
   let outputs = Sim.Trace.tokens_produced_on System.c_vout trace in
   let clean, held, invalid =
@@ -80,16 +85,20 @@ let check ?(stages = 2) (result : Sim.Engine.result) =
            | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> false)
          trace)
   in
-  let frames_in_list =
-    List.filter_map
-      (function
-        | Sim.Trace.Injected { time; channel; token }
-          when I.Channel_id.equal channel System.c_vin ->
-          Option.map (fun image -> (image, time)) (Spi.Token.payload token)
-        | Sim.Trace.Injected _ | Sim.Trace.Started _ | Sim.Trace.Completed _
-        | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> None)
-      trace
-  in
+  let injected_at : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Sim.Trace.Injected { time; channel; token }
+        when I.Channel_id.equal channel System.c_vin ->
+        Option.iter
+          (fun image ->
+            (* first injection wins, matching the old assoc order *)
+            if not (Hashtbl.mem injected_at image) then
+              Hashtbl.add injected_at image time)
+          (Spi.Token.payload token)
+      | Sim.Trace.Injected _ | Sim.Trace.Started _ | Sim.Trace.Completed _
+      | Sim.Trace.Faulted _ | Sim.Trace.Quiescent _ -> ())
+    trace;
   let frame_latencies =
     List.filter_map
       (fun (time, tok) ->
@@ -98,7 +107,7 @@ let check ?(stages = 2) (result : Sim.Engine.result) =
           match Spi.Token.payload tok with
           | None -> None
           | Some image -> (
-            match List.assoc_opt image frames_in_list with
+            match Hashtbl.find_opt injected_at image with
             | Some injected -> Some (image, time - injected)
             | None -> None))
       outputs

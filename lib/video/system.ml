@@ -42,31 +42,60 @@ let p_stage2 = stage_process 2
 
 let proc_mode ~stage v = I.Mode_id.of_string (Format.sprintf "P%d.proc:%s" stage v)
 
-let variant_of_mode mid =
-  let s = I.Mode_id.to_string mid in
-  match String.index_opt s ':' with
-  | None -> None
-  | Some i ->
-    let prefix = String.sub s 0 i in
-    if
-      String.length prefix >= 4
-      && (String.ends_with ~suffix:".proc" prefix
-         || String.ends_with ~suffix:".proc_fresh" prefix
-         || String.ends_with ~suffix:".ack" prefix)
-    then Some (String.sub s (i + 1) (String.length s - i - 1))
-    else None
+(* Variant recovery parses the id's name once; results are memoized in
+   id-keyed tables because the checker asks for every completed firing
+   and every reconfiguration of a trace.  The checker also runs on pool
+   domains (faultsim fans seeds out), so the caches are mutex-guarded. *)
+let memoize (type k) (module Tbl : Hashtbl.S with type key = k) size f =
+  let cache = Tbl.create size in
+  let lock = Mutex.create () in
+  fun key ->
+    Mutex.lock lock;
+    match Tbl.find_opt cache key with
+    | Some v ->
+      Mutex.unlock lock;
+      v
+    | None ->
+      Mutex.unlock lock;
+      let v = f key in
+      Mutex.lock lock;
+      if not (Tbl.mem cache key) then Tbl.add cache key v;
+      Mutex.unlock lock;
+      v
+
+let variant_of_mode =
+  memoize
+    (module I.Mode_id.Tbl)
+    64
+    (fun mid ->
+      let s = I.Mode_id.to_string mid in
+      match String.index_opt s ':' with
+      | None -> None
+      | Some i ->
+        let prefix = String.sub s 0 i in
+        if
+          String.length prefix >= 4
+          && (String.ends_with ~suffix:".proc" prefix
+             || String.ends_with ~suffix:".proc_fresh" prefix
+             || String.ends_with ~suffix:".ack" prefix)
+        then Some (String.sub s (i + 1) (String.length s - i - 1))
+        else None)
 
 let stage_config ~stage v =
   I.Config_id.of_string (Format.sprintf "P%d.conf:%s" stage v)
 
-let variant_of_config cid =
-  let s = I.Config_id.to_string cid in
-  match String.index_opt s ':' with
-  | None -> None
-  | Some i ->
-    if String.ends_with ~suffix:".conf" (String.sub s 0 i) then
-      Some (String.sub s (i + 1) (String.length s - i - 1))
-    else None
+let variant_of_config =
+  memoize
+    (module I.Config_id.Tbl)
+    16
+    (fun cid ->
+      let s = I.Config_id.to_string cid in
+      match String.index_opt s ':' with
+      | None -> None
+      | Some i ->
+        if String.ends_with ~suffix:".conf" (String.sub s 0 i) then
+          Some (String.sub s (i + 1) (String.length s - i - 1))
+        else None)
 
 let one = Interval.point 1
 let state_token name = Spi.Token.make ~tags:(Spi.Tag.Set.singleton (Frames.state_tag name)) ()

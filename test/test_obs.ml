@@ -218,6 +218,32 @@ let test_steals_in_snapshot () =
     Alcotest.(check bool) "per-worker steal counter is in the snapshot" true
       (counter "par.steals.w0" <> None || counter "par.steals.w1" <> None)
 
+(* Snapshot files are replaced atomically: the temp file never lingers
+   and a concurrent reader sees either the old or the new contents. *)
+let test_atomic_file_write () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spi-obs-atomic-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Atomic_file.write path "first\n";
+      Obs.Atomic_file.write path "second\n";
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "last write wins, complete" "second\n" contents;
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let leftovers =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp files left" [] leftovers)
+
 let suite =
   ( "obs",
     [
@@ -236,4 +262,6 @@ let suite =
         test_steal_counter_conservation;
       Alcotest.test_case "par.steals in the snapshot" `Quick
         test_steals_in_snapshot;
+      Alcotest.test_case "atomic snapshot replacement" `Quick
+        test_atomic_file_write;
     ] )

@@ -1,0 +1,311 @@
+(* The serve/v1 protocol and the request handler: parsing, idempotency,
+   warm-start over the exploration store, and deadline degradation. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+module F2 = Paper.Figure2
+module V = Variants
+
+(* A five-process pipeline whose loads force a mixed hw/sw optimum
+   under the default capacity (sum of sw loads 165 > 100). *)
+let model_source =
+  {|system t {
+  channel A queue
+  channel B queue
+  channel C queue
+  channel D queue
+  channel E queue
+  process p1 { mode m { latency 1 consume A 1 produce B 1 } }
+  process p2 { mode m { latency 1 consume B 1 produce C 1 } }
+  process p3 { mode m { latency 1 consume C 1 produce D 1 } }
+  process p4 { mode m { latency 1 consume D 1 produce E 1 } }
+  process p5 { mode m { latency 1 consume E 1 } }
+}
+|}
+
+let tech_source =
+  {|tech t {
+  processor 12
+  impl p1 sw 25 hw 30
+  impl p2 sw 10 hw 18
+  impl p3 sw 55 hw 22
+  impl p4 sw 40 hw 20
+  impl p5 sw 35 hw 15
+}
+|}
+
+let roundtrip r =
+  match P.request_of_json (P.request_to_json r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+(* ---------------------------- protocol ---------------------------- *)
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      { P.id = None; deadline_ms = None; jobs = None; op = P.Ping };
+      { P.id = Some "r1"; deadline_ms = Some 250; jobs = Some 4; op = P.Stats };
+      { P.id = None; deadline_ms = None; jobs = None; op = P.Shutdown };
+      {
+        P.id = Some "r2";
+        deadline_ms = None;
+        jobs = None;
+        op = P.Synthesize { model = "m"; tech = "t"; capacity = Some 60 };
+      };
+      {
+        P.id = None;
+        deadline_ms = Some 1;
+        jobs = None;
+        op = P.Pareto { model = "m"; tech = "t"; capacity = None };
+      };
+      {
+        P.id = None;
+        deadline_ms = None;
+        jobs = None;
+        op = P.Simulate { model = "m"; until = Some 40 };
+      };
+    ]
+  in
+  List.iter (fun r -> if roundtrip r <> r then Alcotest.fail "mismatch") requests;
+  let batch =
+    { P.id = Some "b"; deadline_ms = None; jobs = None; op = P.Batch requests }
+  in
+  if roundtrip batch <> batch then Alcotest.fail "batch mismatch"
+
+let test_protocol_rejects () =
+  let reject line why =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "accepted %s" why
+    | Error _ -> ()
+  in
+  reject "not json" "garbage";
+  reject {|{"schema":"serve/v2","op":"ping"}|} "wrong schema";
+  reject {|{"op":"frobnicate"}|} "unknown op";
+  reject {|{"op":"synthesize"}|} "synthesize without model/tech";
+  reject
+    {|{"op":"batch","requests":[{"op":"batch","requests":[]}]}|}
+    "nested batch"
+
+let test_status_of_response () =
+  Alcotest.(check string) "ok" "ok" (P.status_of_response (P.ok [ ]));
+  Alcotest.(check string) "error" "error" (P.status_of_response (P.error "x"));
+  Alcotest.(check string) "overloaded" "overloaded"
+    (P.status_of_response
+       (P.overloaded ~queue_depth:3 ~queue_limit:3 ~retry_after_ms:200 ()));
+  Alcotest.(check string) "invalid" "invalid"
+    (P.status_of_response (J.Int 3))
+
+let test_overloaded_shape () =
+  let r =
+    P.overloaded ~id:"r9" ~queue_depth:64 ~queue_limit:64 ~retry_after_ms:3250
+      ()
+  in
+  let get k = Option.bind (J.member k r) J.to_int in
+  Alcotest.(check (option int)) "depth" (Some 64) (get "queue_depth");
+  Alcotest.(check (option int)) "limit" (Some 64) (get "queue_limit");
+  Alcotest.(check (option int)) "retry hint" (Some 3250) (get "retry_after_ms");
+  Alcotest.(check (option string)) "id echoed" (Some "r9")
+    (Option.bind (J.member "id" r) J.to_string_opt)
+
+(* ---------------------------- handler ----------------------------- *)
+
+let tmp_store =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spi-serve-test-%d-%d.journal" (Unix.getpid ()) !counter)
+
+let handle ?handler request =
+  let t =
+    match handler with Some t -> t | None -> Serve.Handler.create ~jobs:1 ()
+  in
+  Serve.Handler.handle t ~admitted_ns:(Obs.Clock.now_ns ()) ~queue_depth:0
+    request
+
+let plain op = { P.id = None; deadline_ms = None; jobs = None; op }
+
+let test_handler_ping () =
+  let r = handle (plain P.Ping) in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response r)
+
+let test_handler_bad_model () =
+  let r =
+    handle
+      (plain (P.Synthesize { model = "not spi"; tech = tech_source; capacity = None }))
+  in
+  Alcotest.(check string) "error" "error" (P.status_of_response r)
+
+let test_handler_idempotency () =
+  let t = Serve.Handler.create ~jobs:1 () in
+  let request = { (plain P.Ping) with P.id = Some "same-key" } in
+  let first = handle ~handler:t request in
+  let second = handle ~handler:t request in
+  Alcotest.(check bool) "first not cached" true
+    (J.member "cached" first = None);
+  Alcotest.(check (option bool)) "second replayed" (Some true)
+    (Option.bind (J.member "cached" second) J.to_bool)
+
+let cost_of response =
+  match J.member "cost" response with
+  | Some c -> J.to_string c
+  | None -> Alcotest.failf "no cost in %s" (J.to_string response)
+
+let test_handler_warm_equals_cold () =
+  let path = tmp_store () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let synth =
+        plain
+          (P.Synthesize
+             { model = model_source; tech = tech_source; capacity = None })
+      in
+      (* cold: no store at all *)
+      let cold = handle (plain synth.P.op) in
+      if P.status_of_response cold <> "ok" then
+        Alcotest.failf "cold failed: %s" (J.to_string cold);
+      (* populate the store, then reopen it as a fresh daemon would *)
+      let store, _ = Store.Keyed.open_store ~fsync:false path in
+      let t = Serve.Handler.create ~store ~jobs:1 () in
+      let first = handle ~handler:t synth in
+      Alcotest.(check (option bool)) "first run is cold" (Some false)
+        (Option.bind (J.member "warm" first) J.to_bool);
+      Store.Keyed.close store;
+      let store, tail = Store.Keyed.open_store ~fsync:false path in
+      Alcotest.(check bool) "clean reopen" true (tail = None);
+      let t = Serve.Handler.create ~store ~jobs:1 () in
+      let warm = handle ~handler:t synth in
+      Store.Keyed.close store;
+      Alcotest.(check (option bool)) "second run is warm" (Some true)
+        (Option.bind (J.member "warm" warm) J.to_bool);
+      (* the acceptance differential: warm costs byte-identical to cold *)
+      Alcotest.(check string) "warm cost == cold cost" (cost_of cold)
+        (cost_of warm);
+      Alcotest.(check string) "store-first cost == cold cost" (cost_of cold)
+        (cost_of first))
+
+let test_handler_batch () =
+  let t = Serve.Handler.create ~jobs:2 () in
+  let batch =
+    plain
+      (P.Batch
+         [
+           plain P.Ping;
+           plain
+             (P.Synthesize
+                { model = model_source; tech = tech_source; capacity = None });
+           plain (P.Simulate { model = model_source; until = Some 30 });
+         ])
+  in
+  let r = handle ~handler:t batch in
+  Alcotest.(check string) "batch ok" "ok" (P.status_of_response r);
+  match J.member "results" r with
+  | Some (J.List items) ->
+    Alcotest.(check int) "three results" 3 (List.length items);
+    List.iter
+      (fun item ->
+        Alcotest.(check string) "item ok" "ok" (P.status_of_response item))
+      items
+  | _ -> Alcotest.fail "no results array"
+
+let test_handler_shutdown () =
+  let t = Serve.Handler.create ~jobs:1 () in
+  Alcotest.(check bool) "not requested" false (Serve.Handler.shutdown_requested t);
+  let r = handle ~handler:t (plain P.Shutdown) in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response r);
+  Alcotest.(check bool) "requested" true (Serve.Handler.shutdown_requested t)
+
+(* ------------------------- deadline path -------------------------- *)
+
+(* A workload big enough that the search cannot finish instantly: an
+   expired deadline must still return the greedy incumbent, marked
+   degraded.  (The parallel path seeds the incumbent from greedy
+   completions before the first deadline poll.) *)
+let big_workload () =
+  let system =
+    V.Generator.generate
+      { V.Generator.default with sites = 3; variants_per_site = 3; seed = 9 }
+  in
+  let apps = Synth.App.of_system system in
+  let pids =
+    Spi.Ids.Process_id.Set.elements (Synth.App.union_procs apps)
+  in
+  let weight pid = 1 + ((V.Generator.process_weight pid * 31) mod 100) in
+  let tech =
+    Synth.Tech.make ~processor_cost:15
+      (List.map
+         (fun pid ->
+           let w = weight pid in
+           (pid, Synth.Tech.both ~load:((w / 3) + 5) ~area:(w + 10)))
+         pids)
+  in
+  (tech, apps)
+
+let test_deadline_returns_degraded_incumbent () =
+  let tech, apps = big_workload () in
+  match
+    Synth.Explore.solve ~jobs:2 ~capacity:140
+      ~deadline_ns:(Obs.Clock.now_ns ()) tech apps
+  with
+  | Ok s ->
+    Alcotest.(check bool) "marked degraded" true s.Synth.Explore.degraded;
+    Alcotest.(check bool) "carries a real binding" true
+      (Synth.Binding.processes s.Synth.Explore.binding <> [])
+  | Error Synth.Explore.Deadline_no_incumbent ->
+    Alcotest.fail "expected the greedy incumbent, got no incumbent"
+  | Error d ->
+    Alcotest.failf "unexpected diagnostic: %s"
+      (Format.asprintf "%a" Synth.Explore.pp_diagnostic d)
+
+let test_no_deadline_not_degraded () =
+  match Synth.Explore.solve ~jobs:2 F2.table1_tech [ F2.app1; F2.app2 ] with
+  | Ok s ->
+    Alcotest.(check bool) "not degraded" false s.Synth.Explore.degraded
+  | Error _ -> Alcotest.fail "solve failed"
+
+(* ---------------------------- client ------------------------------ *)
+
+let test_client_fresh_ids () =
+  let a = Serve.Client.fresh_id () in
+  let b = Serve.Client.fresh_id () in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+let test_client_unreachable () =
+  match
+    Serve.Client.request ~timeout_s:0.2 ~attempts:2 ~base_backoff_s:0.01
+      ~seed:1 ~socket:"/nonexistent/spi-serve.sock" (plain P.Ping)
+  with
+  | Serve.Client.Unreachable _ -> ()
+  | Serve.Client.Response _ | Serve.Client.Overloaded _ ->
+    Alcotest.fail "expected unreachable"
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+      Alcotest.test_case "protocol rejects bad requests" `Quick
+        test_protocol_rejects;
+      Alcotest.test_case "status_of_response" `Quick test_status_of_response;
+      Alcotest.test_case "overloaded response shape" `Quick
+        test_overloaded_shape;
+      Alcotest.test_case "handler ping" `Quick test_handler_ping;
+      Alcotest.test_case "handler rejects bad model" `Quick
+        test_handler_bad_model;
+      Alcotest.test_case "handler idempotency replay" `Quick
+        test_handler_idempotency;
+      Alcotest.test_case "handler warm equals cold" `Quick
+        test_handler_warm_equals_cold;
+      Alcotest.test_case "handler batch fan-out" `Quick test_handler_batch;
+      Alcotest.test_case "handler shutdown request" `Quick
+        test_handler_shutdown;
+      Alcotest.test_case "expired deadline returns degraded incumbent" `Quick
+        test_deadline_returns_degraded_incumbent;
+      Alcotest.test_case "no deadline, no degradation" `Quick
+        test_no_deadline_not_degraded;
+      Alcotest.test_case "client ids distinct" `Quick test_client_fresh_ids;
+      Alcotest.test_case "client reports unreachable" `Quick
+        test_client_unreachable;
+    ] )
