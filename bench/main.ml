@@ -553,9 +553,18 @@ let time_explore ~reps f =
    incumbent. *)
 let skewed_apps_and_tech ~heads ~head_area ~shared ~cluster ~seed ~sites
     ~variants () =
-  let apps, _ =
-    generated_apps_and_tech ~shared ~cluster ~seed ~sites ~variants ()
+  let system =
+    V.Generator.generate
+      {
+        V.Generator.seed;
+        shared_processes = shared;
+        sites;
+        variants_per_site = variants;
+        cluster_processes = cluster;
+        latency_range = (1, 10);
+      }
   in
+  let apps = Synth.App.of_system system in
   let pids = I.Process_id.Set.elements (Synth.App.union_procs apps) in
   let weight pid =
     1 + (((V.Generator.process_weight pid * 31) + (seed * 53)) mod 100)
@@ -570,7 +579,7 @@ let skewed_apps_and_tech ~heads ~head_area ~shared ~cluster ~seed ~sites
            else (pid, Synth.Tech.both ~load:((w / 3) + 5) ~area:(w + 10)))
          pids)
   in
-  (apps, tech)
+  (apps, tech, system)
 
 (* Exploration workloads: the Table 1 system plus Figure-2-style
    generated variant systems large enough that the search tree is the
@@ -581,14 +590,18 @@ let skewed_apps_and_tech ~heads ~head_area ~shared ~cluster ~seed ~sites
    smoke. *)
 let explore_workloads () =
   let table1 =
-    ("table1", F2.table1_tech, [ F2.app1; F2.app2 ], Synth.Schedule.default_capacity)
+    ( "table1",
+      F2.table1_tech,
+      [ F2.app1; F2.app2 ],
+      Synth.Schedule.default_capacity,
+      F2.system )
   in
   let gen name ~seed ~sites ~variants ~shared ~cluster ~capacity =
-    let apps, tech =
+    let apps, tech, system =
       skewed_apps_and_tech ~heads:6 ~head_area:300 ~shared ~cluster ~seed
         ~sites ~variants ()
     in
-    (name, tech, apps, capacity)
+    (name, tech, apps, capacity, system)
   in
   if !tiny then
     [
@@ -606,6 +619,75 @@ let explore_workloads () =
       gen "figure2-gen-large" ~seed:9 ~sites:3 ~variants:3 ~shared:8 ~cluster:3
         ~capacity:140;
     ]
+
+(* Compiled-vs-interpreted simulation over a workload's flattened
+   applications (figure2-style systems flatten to one model per cluster
+   selection).  The timed section is the event loop only: plans are
+   specialized once up front and their one-off cost reported apart as
+   [compile_s], matching how simulate/faultsim amortize compilation
+   across runs.  Divergent results abort the benchmark — the record
+   must never publish a speedup for a wrong simulation. *)
+(* Source channels — consumed by some mode, produced by none — are
+   where the environment feeds a flattened model; inject a burst of
+   tokens on each so the event loop has sustained work to time. *)
+let source_stimuli ~burst model =
+  let consumed, produced =
+    List.fold_left
+      (fun (c, p) proc ->
+        List.fold_left
+          (fun (c, p) mode ->
+            ( I.Channel_id.Set.union c (Spi.Mode.consumed_channels mode),
+              I.Channel_id.Set.union p (Spi.Mode.produced_channels mode) ))
+          (c, p) (Spi.Process.modes proc))
+      (I.Channel_id.Set.empty, I.Channel_id.Set.empty)
+      (Spi.Model.processes model)
+  in
+  let sources = I.Channel_id.Set.diff consumed produced in
+  List.concat_map
+    (fun channel ->
+      List.init burst (fun i ->
+          { Sim.Engine.at = i; channel; token = Spi.Token.make ~payload:i () }))
+    (I.Channel_id.Set.elements sources)
+
+let sim_measurement ~reps name system =
+  let models = List.map snd (V.Flatten.applications system) in
+  let stimuli = List.map (source_stimuli ~burst:200) models in
+  let limits = Sim.Engine.default_limits in
+  let t0 = Unix.gettimeofday () in
+  let plans = List.map Sim.Compile.compile models in
+  let compile_s = Unix.gettimeofday () -. t0 in
+  let time f =
+    let best = ref infinity and last = ref [] in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let rs = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      last := rs
+    done;
+    (!best, !last)
+  in
+  let interp_wall, interp =
+    time (fun () ->
+        List.map2
+          (fun m stimuli -> Sim.Engine.run ~limits ~stimuli m)
+          models stimuli)
+  in
+  let compiled_wall, compiled =
+    time (fun () ->
+        List.map2
+          (fun p stimuli -> Sim.Compile.run ~limits ~stimuli p)
+          plans stimuli)
+  in
+  let digest (r : Sim.Engine.result) =
+    (r.Sim.Engine.end_time, r.Sim.Engine.firings, r.Sim.Engine.outcome)
+  in
+  if List.map digest interp <> List.map digest compiled then begin
+    Format.eprintf "explore-json: COMPILED SIM DIVERGES on %s@." name;
+    exit 1
+  end;
+  let speedup = if compiled_wall > 0. then interp_wall /. compiled_wall else 1. in
+  (interp_wall, compiled_wall, compile_s, speedup)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -639,7 +721,8 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
            runs,
            speedup,
            identical,
-           (warm_wall, warm_cost, warm_explored) ) ->
+           (warm_wall, warm_cost, warm_explored),
+           (sim_interp, sim_compiled, sim_compile, sim_speedup) ) ->
       add "      {\n";
       add "        \"name\": \"%s\",\n" (json_escape name);
       add "        \"processes\": %d,\n" processes;
@@ -667,13 +750,20 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
         warm_wall
         (match warm_cost with Some c -> string_of_int c | None -> "null")
         warm_explored;
+      (* compiled-vs-interpreted simulation, another tolerated extra
+         field; results are digest-checked identical before recording *)
+      add
+        "        \"sim\": {\"interpreted_wall_s\": %.6f, \
+         \"compiled_wall_s\": %.6f, \"compile_s\": %.6f, \"speedup\": \
+         %.3f},\n"
+        sim_interp sim_compiled sim_compile sim_speedup;
       add "        \"costs_identical\": %b\n" identical;
       add "      }%s\n" (if i = n - 1 then "" else ","))
     workload_rows;
   add "    ],\n";
   let total j =
     List.fold_left
-      (fun acc (_, _, _, _, runs, _, _, _) ->
+      (fun acc (_, _, _, _, runs, _, _, _, _) ->
         match List.find_opt (fun r -> r.run_jobs = j) runs with
         | Some r -> acc +. r.wall_s
         | None -> acc)
@@ -730,7 +820,7 @@ let explore_json () =
   let reps = if !tiny then 1 else 3 in
   let rows =
     List.map
-      (fun (name, tech, apps, capacity) ->
+      (fun (name, tech, apps, capacity, system) ->
         let processes =
           I.Process_id.Set.cardinal (Synth.App.union_procs apps)
         in
@@ -820,14 +910,18 @@ let explore_json () =
             name;
           exit 1
         end;
+        let (sim_interp, sim_compiled, _, sim_speedup) as sim =
+          sim_measurement ~reps name system
+        in
         Format.printf
           "%-20s | %2d procs | %2d apps | jobs=1 %8.4fs | jobs=%d %8.4fs | \
-           speedup %.2fx | cost %s@."
+           speedup %.2fx | cost %s | sim %8.4fs -> %8.4fs (%.2fx)@."
           name processes (List.length apps) (wall_of 1) max_jobs
           (wall_of max_jobs) speedup
           (match (List.hd runs).run_cost with
           | Some c -> string_of_int c
-          | None -> "infeas");
+          | None -> "infeas")
+          sim_interp sim_compiled sim_speedup;
         ( name,
           processes,
           List.length apps,
@@ -835,7 +929,8 @@ let explore_json () =
           runs,
           speedup,
           identical,
-          (warm_wall, warm_cost, warm_explored) ))
+          (warm_wall, warm_cost, warm_explored),
+          sim ))
       (explore_workloads ())
   in
   let metrics = Obs.Json.to_string (Obs.Registry.snapshot ()) in

@@ -451,14 +451,60 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Write a trace/v1 timeline (Chrome trace-event JSON, loadable in \
-           Perfetto or chrome://tracing) to $(docv)")
+           Perfetto or chrome://tracing) to $(docv).  Streamed \
+           incrementally: each run's events are appended as the campaign \
+           progresses, so memory stays bounded")
 
-let write_trace path builder =
-  Option.iter
+let trace_buffered_flag =
+  Arg.(
+    value & flag
+    & info [ "trace-buffered" ]
+        ~doc:
+          "Hold the whole timeline in memory and write $(b,--trace) once at \
+           the end instead of streaming (the output bytes are identical)")
+
+let compiled_flag =
+  Arg.(
+    value & flag
+    & info [ "compiled" ]
+        ~doc:
+          "Simulate with the AOT-compiled engine (Sim.Compile): the model is \
+           specialized once into flat dispatch tables, then runs \
+           allocation-free.  Observationally identical to the interpreter")
+
+(* One handle regardless of export mode: [flush] after each run's emit
+   (a no-op when buffered), [finish] once at the end. *)
+type trace_out = {
+  sink : Obs.Trace_event.sink;
+  flush : unit -> unit;
+  finish : unit -> unit;
+}
+
+let trace_out ~buffered path =
+  Option.map
     (fun p ->
-      Obs.Trace_event.to_file p builder;
-      Format.printf "@.timeline written to %s (%d events)@." p
-        (Obs.Trace_event.length builder))
+      let written n =
+        Format.printf "@.timeline written to %s (%d events)@." p n
+      in
+      if buffered then begin
+        let builder = Obs.Trace_event.create () in
+        {
+          sink = Obs.Trace_event.buffer_sink builder;
+          flush = (fun () -> ());
+          finish =
+            (fun () ->
+              Obs.Trace_event.to_file p builder;
+              written (Obs.Trace_event.length builder));
+        }
+      end
+      else begin
+        let stream = Obs.Trace_stream.create p in
+        {
+          sink = Obs.Trace_stream.sink stream;
+          flush = (fun () -> Obs.Trace_stream.flush stream);
+          finish = (fun () -> written (Obs.Trace_stream.close stream));
+        }
+      end)
     path
 
 let vcd_arg =
@@ -479,14 +525,19 @@ let exit_on_outcome outcome =
   if code <> 0 then exit code
 
 let simulate_cmd =
-  let run bundled policy show_trace vcd_path trace_path span_capacity
-      metrics_path =
+  let run bundled policy compiled show_trace vcd_path trace_path
+      trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
     let model = bundled.model () in
+    let configurations = bundled.configurations () in
+    let stimuli = bundled.stimuli () in
     let result =
-      Sim.Engine.run ~policy
-        ~configurations:(bundled.configurations ())
-        ~stimuli:(bundled.stimuli ()) ~firing_budget:bundled.budgets model
+      if compiled then
+        Sim.Compile.run ~policy ~stimuli ~firing_budget:bundled.budgets
+          (Sim.Compile.compile ~configurations model)
+      else
+        Sim.Engine.run ~policy ~configurations ~stimuli
+          ~firing_budget:bundled.budgets model
     in
     Format.printf "%s@." bundled.description;
     Format.printf "%a@." Sim.Engine.pp_summary result;
@@ -498,12 +549,12 @@ let simulate_cmd =
     | Some path ->
       Sim.Vcd.to_file path model result;
       Format.printf "@.VCD written to %s@." path);
-    (match trace_path with
+    (match trace_out ~buffered:trace_buffered trace_path with
     | None -> ()
-    | Some _ ->
-      let builder = Obs.Trace_event.create () in
-      Sim.Timeline.add builder model result;
-      write_trace trace_path builder);
+    | Some out ->
+      Sim.Timeline.emit out.sink model result;
+      out.flush ();
+      out.finish ());
     write_metrics metrics_path;
     exit_on_outcome result.Sim.Engine.outcome
   in
@@ -513,8 +564,9 @@ let simulate_cmd =
          "Simulate a bundled model (exits 0 when quiescent, 2 on the time \
           limit, 3 on the firing limit)")
     Term.(
-      const run $ model_arg $ policy_arg $ print_trace_flag $ vcd_arg
-      $ trace_arg $ span_capacity_arg $ metrics_arg)
+      const run $ model_arg $ policy_arg $ compiled_flag $ print_trace_flag
+      $ vcd_arg $ trace_arg $ trace_buffered_flag $ span_capacity_arg
+      $ metrics_arg)
 
 let faultsim_cmd =
   let model_name_arg =
@@ -557,7 +609,7 @@ let faultsim_cmd =
           ~doc:"Also print the full trace of this seed's run")
   in
   let run model_name seeds no_faults deadline drop transient trace_seed jobs
-      trace_path span_capacity metrics_path =
+      compiled trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
     let with_valves =
       match model_name with
@@ -582,8 +634,20 @@ let faultsim_cmd =
         ~switches:[ (52, "fB"); (120, "fA") ]
         ()
     in
-    Format.printf "fault campaign: %s, %d seeds%s@." model_name seeds
-      (if no_faults then " (faults disabled)" else "");
+    Format.printf "fault campaign: %s, %d seeds%s%s@." model_name seeds
+      (if no_faults then " (faults disabled)" else "")
+      (if compiled then " [compiled]" else "");
+    (* With --compiled the model is specialized once and every seed's
+       run reuses the plan; the plan is immutable, so the domain pool
+       shares it freely. *)
+    let plan =
+      if compiled then
+        Some
+          (Sim.Compile.compile
+             ~configurations:built.Video.System.configurations
+             built.Video.System.model)
+      else None
+    in
     Format.printf "%4s  %-9s %7s %6s %5s %5s %4s %4s %4s %4s  %s@." "seed"
       "outcome" "firings" "faults" "degr" "clean" "held" "drop" "miss" "inv"
       "reconf";
@@ -599,9 +663,12 @@ let faultsim_cmd =
                ~transient_probability:transient ~seed built)
       in
       let result =
-        Sim.Engine.run
-          ~configurations:built.Video.System.configurations
-          ~stimuli ?faults built.Video.System.model
+        match plan with
+        | Some plan -> Sim.Compile.run ~stimuli ?faults plan
+        | None ->
+          Sim.Engine.run
+            ~configurations:built.Video.System.configurations
+            ~stimuli ?faults built.Video.System.model
       in
       let report = Video.Checker.check result in
       let stats = Sim.Stats.of_result built.Video.System.model result in
@@ -680,18 +747,21 @@ let faultsim_cmd =
     Format.printf "@.%a@."
       Video.Checker.pp_headroom
       (Video.Checker.deadline_headroom built.Video.System.model results);
-    (match trace_path with
+    (match trace_out ~buffered:trace_buffered trace_path with
     | None -> ()
-    | Some _ ->
-      (* one pid per seed keeps the campaign's runs separate lanes-wise *)
-      let builder = Obs.Trace_event.create () in
+    | Some out ->
+      (* one pid per seed keeps the campaign's runs separate lanes-wise;
+         streaming flushes each seed's segment before converting the
+         next, so the file grows as the campaign does while memory holds
+         one seed's events at a time *)
       Array.iter
         (fun (seed, result, _, _, _) ->
-          Sim.Timeline.add ~pid:seed
+          Sim.Timeline.emit ~pid:seed
             ~name:(Printf.sprintf "seed %d" seed)
-            builder built.Video.System.model result)
+            out.sink built.Video.System.model result;
+          out.flush ())
         runs;
-      write_trace trace_path builder);
+      out.finish ());
     write_metrics metrics_path;
     if !worst_code <> 0 then exit !worst_code
   in
@@ -703,8 +773,8 @@ let faultsim_cmd =
           when one hits the time/firing limit)")
     Term.(
       const run $ model_name_arg $ seeds_arg $ no_faults_flag $ deadline_arg
-      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ trace_arg
-      $ span_capacity_arg $ metrics_arg)
+      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ compiled_flag
+      $ trace_arg $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
 
 let simulate_file_cmd =
   let variant_arg =
@@ -730,8 +800,8 @@ let simulate_file_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv)")
   in
-  let run path variants drive policy show_trace vcd_path json_path csv_path
-      trace_path span_capacity metrics_path =
+  let run path variants drive policy compiled show_trace vcd_path json_path
+      csv_path trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
     with_system path (fun system ->
         (match V.System.validate system with
@@ -765,7 +835,11 @@ let simulate_file_cmd =
                   }))
             (Spi.Ids.Channel_id.Set.elements inputs)
         in
-        let result = Sim.Engine.run ~policy ~stimuli model in
+        let result =
+          if compiled then
+            Sim.Compile.run ~policy ~stimuli (Sim.Compile.compile model)
+          else Sim.Engine.run ~policy ~stimuli model
+        in
         Format.printf "%a@." Sim.Engine.pp_summary result;
         Format.printf "@.%a@." Sim.Stats.pp (Sim.Stats.of_result model result);
         if show_trace then
@@ -773,12 +847,12 @@ let simulate_file_cmd =
         Option.iter (fun p -> Sim.Vcd.to_file p model result) vcd_path;
         Option.iter (fun p -> Sim.Json.to_file p model result) json_path;
         Option.iter (fun p -> Sim.Csv.trace_to_file p result) csv_path;
-        (match trace_path with
+        (match trace_out ~buffered:trace_buffered trace_path with
         | None -> ()
-        | Some _ ->
-          let builder = Obs.Trace_event.create () in
-          Sim.Timeline.add builder model result;
-          write_trace trace_path builder);
+        | Some out ->
+          Sim.Timeline.emit out.sink model result;
+          out.flush ();
+          out.finish ());
         write_metrics metrics_path;
         exit_on_outcome result.Sim.Engine.outcome)
   in
@@ -790,8 +864,8 @@ let simulate_file_cmd =
           limit)")
     Term.(
       const run $ file_arg $ variant_arg $ drive_arg $ policy_arg
-      $ print_trace_flag $ vcd_arg $ json_arg $ csv_arg $ trace_arg
-      $ span_capacity_arg $ metrics_arg)
+      $ compiled_flag $ print_trace_flag $ vcd_arg $ json_arg $ csv_arg
+      $ trace_arg $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
 
 let analyze_cmd =
   let run bundled =
@@ -864,7 +938,7 @@ let dot_system_cmd =
     Term.(const run $ name_arg)
 
 let synthesize_cmd =
-  let run jobs trace_path span_capacity metrics_path =
+  let run jobs compiled trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
     if Option.is_some trace_path then Synth.Domain_trace.enable ();
     let jobs = resolve_jobs jobs in
@@ -879,11 +953,13 @@ let synthesize_cmd =
     | Some r -> Format.printf "%-14s %a@." "Superposition" Synth.Cost.pp r.Synth.Superpose.cost
     | None -> Format.printf "superposition infeasible@.");
     print "With variants" (Synth.Explore.optimal_exn ~jobs tech apps);
-    let builder = Obs.Trace_event.create () in
-    if Option.is_some trace_path then begin
-      Synth.Domain_trace.append_timeline ~pid:1 ~name:"explorer" builder;
-      Synth.Domain_trace.disable ()
-    end;
+    let out = trace_out ~buffered:trace_buffered trace_path in
+    (match out with
+    | Some o ->
+      Synth.Domain_trace.emit_timeline ~pid:1 ~name:"explorer" o.sink;
+      Synth.Domain_trace.disable ();
+      o.flush ()
+    | None -> ());
     (* Sanity-check each application's flattened model by simulating it;
        this also puts engine counters next to the explorer counters in
        the metrics snapshot. *)
@@ -901,14 +977,22 @@ let synthesize_cmd =
                 token = Spi.Token.make ~payload:(i + 1) ();
               })
         in
-        let result = Sim.Engine.run ~stimuli model in
+        let result =
+          if compiled then
+            Sim.Compile.run ~stimuli (Sim.Compile.compile model)
+          else Sim.Engine.run ~stimuli model
+        in
         Format.printf "sim check %-6s %a@." cluster Sim.Engine.pp_summary
           result;
-        if Option.is_some trace_path then
-          Sim.Timeline.add ~pid:(i + 2) ~name:("sim check " ^ cluster)
-            builder model result)
+        match out with
+        | Some o ->
+          Sim.Timeline.emit ~pid:(i + 2)
+            ~name:("sim check " ^ cluster)
+            o.sink model result;
+          o.flush ()
+        | None -> ())
       [ "g1"; "g2" ];
-    write_trace trace_path builder;
+    Option.iter (fun o -> o.finish ()) out;
     write_metrics metrics_path
   in
   Cmd.v
@@ -916,7 +1000,9 @@ let synthesize_cmd =
        ~doc:
          "Run the Table 1 synthesis flows and simulate each application's \
           flattened model as a sanity check")
-    Term.(const run $ jobs_arg $ trace_arg $ span_capacity_arg $ metrics_arg)
+    Term.(
+      const run $ jobs_arg $ compiled_flag $ trace_arg $ trace_buffered_flag
+      $ span_capacity_arg $ metrics_arg)
 
 let schedule_cmd =
   let run () =
@@ -1194,8 +1280,8 @@ let request_cmd =
       Format.eprintf "request: missing %s@." what;
       exit 2
   in
-  let run socket op model tech capacity until deadline_ms id timeout_s
-      attempts seed jobs =
+  let run socket op model tech capacity until compiled deadline_ms id
+      timeout_s attempts seed jobs =
     let op =
       match op with
       | `Ping -> Serve.Protocol.Ping
@@ -1217,7 +1303,7 @@ let request_cmd =
           }
       | `Simulate ->
         Serve.Protocol.Simulate
-          { model = read_file (need "--file MODEL" model); until }
+          { model = read_file (need "--file MODEL" model); until; compiled }
     in
     let request = { Serve.Protocol.id; deadline_ms; jobs; op } in
     match
@@ -1240,8 +1326,8 @@ let request_cmd =
           retries and an idempotency key")
     Term.(
       const run $ socket_arg $ op_arg $ model_arg $ tech_arg $ capacity_arg
-      $ until_arg $ deadline_arg $ id_arg $ timeout_arg $ attempts_arg
-      $ seed_arg $ jobs_req_arg)
+      $ until_arg $ compiled_flag $ deadline_arg $ id_arg $ timeout_arg
+      $ attempts_arg $ seed_arg $ jobs_req_arg)
 
 let () =
   let info =

@@ -28,7 +28,7 @@ let float_literal f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
-let to_string ?(minify = true) t =
+let to_string ?(minify = true) ?(depth = 0) t =
   let b = Buffer.create 256 in
   let pad n = if not minify then Buffer.add_string b (String.make (2 * n) ' ') in
   let nl () = if not minify then Buffer.add_char b '\n' in
@@ -77,7 +77,7 @@ let to_string ?(minify = true) t =
       pad depth;
       Buffer.add_char b '}'
   in
-  go 0 t;
+  go depth t;
   Buffer.contents b
 
 let pp ppf t = Format.pp_print_string ppf (to_string ~minify:false t)

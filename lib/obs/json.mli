@@ -17,9 +17,14 @@ type t =
 
 (** {1 Emission} *)
 
-val to_string : ?minify:bool -> t -> string
+val to_string : ?minify:bool -> ?depth:int -> t -> string
 (** [minify] defaults to [true]; when [false] the output is indented
-    with two spaces per level. *)
+    with two spaces per level.  [depth] (default 0) renders the value as
+    if it were already nested that many levels deep — continuation lines
+    are indented by [2 * (depth + …)] spaces while the first token gets
+    no leading pad — so an incremental writer ({!Trace_stream}) can emit
+    elements one at a time yet byte-match a single [to_string] of the
+    whole document. *)
 
 val pp : Format.formatter -> t -> unit
 (** Indented form. *)

@@ -25,6 +25,12 @@ let locked f =
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let set_span_capacity capacity =
+  if capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Obs.Registry.set_span_capacity: capacity %d (want > 0)"
+         capacity);
+  (* same-capacity calls must not swap the ring: that would silently
+     discard every span recorded so far *)
   if capacity <> Span.capacity !ring then ring := Span.create ~capacity
 
 let span_capacity () = Span.capacity !ring

@@ -66,6 +66,21 @@ let set_thread_order t ~pid ~tid index =
 
 let length t = List.length t.events
 let events t = List.rev t.events
+let metadata t = List.rev t.meta
+
+(* A sink decouples converters (Timeline, Domain_trace) from where the
+   records go: a buffered collection or an incremental Trace_stream. *)
+type sink = { event : event -> unit; meta : metadata -> unit }
+
+let buffer_sink t = { event = add t; meta = (fun m -> t.meta <- m :: t.meta) }
+
+let sink_process_name s ~pid name = s.meta (Process_name { pid; name })
+
+let sink_thread_name s ~pid ~tid name =
+  s.meta (Thread_name { pid; tid; name })
+
+let sink_thread_order s ~pid ~tid index =
+  s.meta (Thread_order { pid; tid; index })
 
 let schema = "trace/v1"
 
@@ -77,6 +92,19 @@ let ts_of = function
   | Counter { ts; _ }
   | Flow_start { ts; _ }
   | Flow_end { ts; _ } -> ts
+
+let pid_of = function
+  | Complete { pid; _ }
+  | Begin { pid; _ }
+  | End { pid; _ }
+  | Instant { pid; _ }
+  | Counter { pid; _ }
+  | Flow_start { pid; _ }
+  | Flow_end { pid; _ } -> pid
+
+let metadata_pid = function
+  | Process_name { pid; _ } | Thread_name { pid; _ } | Thread_order { pid; _ }
+    -> pid
 
 let args_field = function
   | [] -> []
@@ -159,7 +187,7 @@ let event_json = function
         ("tid", Json.Int tid);
       ]
 
-let meta_json = function
+let metadata_json = function
   | Process_name { pid; name } ->
     Json.Obj
       [
@@ -187,18 +215,47 @@ let meta_json = function
         ("args", Json.Obj [ ("sort_index", Json.Int index) ]);
       ]
 
-let to_json t =
+(* Canonical ordering: one contiguous segment per [pid], pids in first
+   appearance order (metadata scanned before events), each segment its
+   metadata in insertion order followed by its events stable-sorted by
+   timestamp.  Segments are what {!Trace_stream} can emit incrementally
+   — a run's lanes flush as a unit while later runs are still
+   executing — and the buffered exporter uses the identical layout so
+   the two paths produce byte-equal files. *)
+let segment_order ~metadata ~events =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let note pid =
+    if not (Hashtbl.mem seen pid) then begin
+      Hashtbl.add seen pid ();
+      order := pid :: !order
+    end
+  in
+  List.iter (fun m -> note (metadata_pid m)) metadata;
+  List.iter (fun e -> note (pid_of e)) events;
+  List.rev !order
+
+let segment_json ~metadata ~events =
   let sorted =
-    List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b)) (events t)
+    List.stable_sort (fun a b -> Float.compare (ts_of a) (ts_of b)) events
+  in
+  List.map metadata_json metadata @ List.map event_json sorted
+
+let to_json t =
+  let metadata = metadata t and events = events t in
+  let items =
+    List.concat_map
+      (fun pid ->
+        segment_json
+          ~metadata:(List.filter (fun m -> metadata_pid m = pid) metadata)
+          ~events:(List.filter (fun e -> pid_of e = pid) events))
+      (segment_order ~metadata ~events)
   in
   Json.Obj
     [
       ("schema", Json.String schema);
       ("displayTimeUnit", Json.String "ms");
-      ( "traceEvents",
-        Json.List
-          (List.map meta_json (List.rev t.meta)
-          @ List.map event_json sorted) );
+      ("traceEvents", Json.List items);
     ]
 
 let to_file path t =

@@ -62,6 +62,14 @@ type event =
   | Flow_end of { name : string; id : int; pid : int; tid : int; ts : float }
       (** head of a flow arrow ([ph = "f"], binding-point enclosing) *)
 
+type metadata =
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+  | Thread_order of { pid : int; tid : int; index : int }
+      (** Lane naming/ordering records ([ph = "M"]).  Kept separate from
+          the event stream so they can head their segment regardless of
+          when the converter learned a lane's name. *)
+
 type t
 (** A mutable event collection under construction. *)
 
@@ -84,14 +92,52 @@ val length : t -> int
 val events : t -> event list
 (** Insertion order. *)
 
+val metadata : t -> metadata list
+(** Insertion order. *)
+
+(** {1 Sinks}
+
+    Converters ({!Sim.Timeline}, the explorer's domain timeline) write
+    through a {!sink} so the same conversion can fill a buffered
+    collection or stream straight to disk ({!Trace_stream}). *)
+
+type sink = { event : event -> unit; meta : metadata -> unit }
+
+val buffer_sink : t -> sink
+(** A sink that appends to the collection — the buffered path. *)
+
+val sink_process_name : sink -> pid:int -> string -> unit
+val sink_thread_name : sink -> pid:int -> tid:int -> string -> unit
+val sink_thread_order : sink -> pid:int -> tid:int -> int -> unit
+
 val schema : string
 (** ["trace/v1"]. *)
 
 val to_json : t -> Json.t
 (** The [trace/v1] document: [{"schema": "trace/v1", "traceEvents":
-    [...]}] with metadata records first and events sorted by timestamp
-    (stable), which keeps the file diffable and viewer-friendly. *)
+    [...]}].  Canonical ordering: one contiguous segment per [pid]
+    (first-appearance order, metadata before events); within a segment
+    the metadata records in insertion order, then the events
+    stable-sorted by timestamp.  This keeps the file diffable,
+    viewer-friendly, and byte-identical to what {!Trace_stream} writes
+    incrementally when runs flush at segment boundaries. *)
 
 val to_file : string -> t -> unit
 (** Write {!to_json}, indented, with a trailing newline.  The write is
     atomic ({!Atomic_file.write}): a reader never sees a torn trace. *)
+
+(** {1 Exporter internals}
+
+    Shared with {!Trace_stream} so the incremental writer renders the
+    very same JSON values the buffered exporter would. *)
+
+val event_json : event -> Json.t
+val metadata_json : metadata -> Json.t
+val pid_of : event -> int
+val ts_of : event -> float
+val metadata_pid : metadata -> int
+
+val segment_json : metadata:metadata list -> events:event list -> Json.t list
+(** One pid's segment: metadata (insertion order) then events
+    (stable-sorted by timestamp), as the items to splice into
+    [traceEvents]. *)

@@ -1,0 +1,114 @@
+module T = Trace_event
+
+(* Per-pid buffered segment awaiting flush.  Lists are kept reversed
+   (push at head) and reversed once at flush. *)
+type segment = {
+  mutable metas : T.metadata list;
+  mutable events : T.event list;
+}
+
+type t = {
+  path : string;
+  tmp : string;
+  oc : out_channel;
+  mutable first_item : bool;  (* next item is the first in traceEvents *)
+  mutable count : int;  (* events written or pending (metadata excluded) *)
+  mutable order : int list;  (* pids, first-appearance order, reversed *)
+  pending : (int, segment) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let header =
+  "{\n  \"schema\": \"" ^ T.schema
+  ^ "\",\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": "
+
+let create path =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc header;
+  {
+    path;
+    tmp;
+    oc;
+    first_item = true;
+    count = 0;
+    order = [];
+    pending = Hashtbl.create 8;
+    closed = false;
+  }
+
+let segment_of t pid =
+  match Hashtbl.find_opt t.pending pid with
+  | Some s -> s
+  | None ->
+    let s = { metas = []; events = [] } in
+    Hashtbl.replace t.pending pid s;
+    t.order <- pid :: t.order;
+    s
+
+let check_open t op =
+  if t.closed then invalid_arg ("Trace_stream." ^ op ^ ": stream is closed")
+
+let sink t =
+  {
+    T.event =
+      (fun e ->
+        check_open t "sink";
+        let s = segment_of t (T.pid_of e) in
+        s.events <- e :: s.events;
+        t.count <- t.count + 1);
+    T.meta =
+      (fun m ->
+        check_open t "sink";
+        let s = segment_of t (T.metadata_pid m) in
+        s.metas <- m :: s.metas);
+  }
+
+(* Items sit two levels deep ([root obj] > [traceEvents]), so each gets
+   a 4-space lead and is rendered at depth 2 — the exact bytes
+   [Json.to_string ~minify:false] puts there on the buffered path. *)
+let write_item t json =
+  if t.first_item then begin
+    output_string t.oc "[\n";
+    t.first_item <- false
+  end
+  else output_string t.oc ",\n";
+  output_string t.oc "    ";
+  output_string t.oc (Json.to_string ~minify:false ~depth:2 json)
+
+let flush t =
+  check_open t "flush";
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt t.pending pid with
+      | None -> ()
+      | Some s ->
+        Hashtbl.remove t.pending pid;
+        List.iter (write_item t)
+          (T.segment_json ~metadata:(List.rev s.metas)
+             ~events:(List.rev s.events)))
+    (List.rev t.order);
+  Stdlib.flush t.oc
+
+let close t =
+  check_open t "close";
+  flush t;
+  if t.first_item then output_string t.oc "[]\n}\n"
+  else output_string t.oc "\n  ]\n}\n";
+  t.closed <- true;
+  (try close_out t.oc
+   with e ->
+     (try Sys.remove t.tmp with Sys_error _ -> ());
+     raise e);
+  (try Sys.rename t.tmp t.path
+   with e ->
+     (try Sys.remove t.tmp with Sys_error _ -> ());
+     raise e);
+  t.count
+
+let abort t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc;
+    try Sys.remove t.tmp with Sys_error _ -> ()
+  end

@@ -72,8 +72,18 @@ let retry_after_hint json =
   | Some ms when ms > 0 -> Some (float_of_int ms /. 1000.)
   | Some _ | None -> None
 
+(* The daemon's retry_after_ms is advice, not a contract: a buggy or
+   hostile server must not be able to park the client for an hour.  Both
+   the exponential term and the hint are clamped to [max_backoff_s]
+   before jitter scales the result, so the delay never exceeds
+   1.5 * max_backoff_s. *)
+let backoff_delay ~base_backoff_s ~max_backoff_s ~jitter ~attempt hint =
+  let d = base_backoff_s *. (2. ** float_of_int attempt) in
+  let d = match hint with Some h -> Float.max d h | None -> d in
+  Float.min d max_backoff_s *. jitter
+
 let request ?(timeout_s = 10.) ?(attempts = 5) ?(base_backoff_s = 0.05)
-    ?seed ~socket (r : P.request) =
+    ?(max_backoff_s = 5.) ?seed ~socket (r : P.request) =
   let r =
     match r.P.id with
     | Some _ -> r
@@ -82,10 +92,9 @@ let request ?(timeout_s = 10.) ?(attempts = 5) ?(base_backoff_s = 0.05)
   let line = J.to_string ~minify:true (P.request_to_json r) in
   let rng = ref (match seed with Some s -> s lor 1 | None -> Unix.getpid () lor 1) in
   let backoff k hint =
-    let d = base_backoff_s *. (2. ** float_of_int k) in
-    let d = Float.min d 2.0 *. jitter rng in
-    let d = match hint with Some h -> Float.max d h | None -> d in
-    Unix.sleepf d
+    Unix.sleepf
+      (backoff_delay ~base_backoff_s ~max_backoff_s ~jitter:(jitter rng)
+         ~attempt:k hint)
   in
   let rec go k last =
     if k >= attempts then

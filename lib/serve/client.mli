@@ -5,7 +5,9 @@
     the same key, so a request whose response was lost in transit is
     replayed from the daemon's cache instead of recomputed.  An
     [overloaded] rejection waits at least the daemon's [retry_after_ms]
-    hint before the next attempt. *)
+    hint before the next attempt — but never longer than the client's
+    own backoff ceiling: the hint is advice, and a buggy daemon must not
+    be able to park a client indefinitely. *)
 
 type outcome =
   | Response of Obs.Json.t
@@ -20,16 +22,31 @@ val request :
   ?timeout_s:float ->
   ?attempts:int ->
   ?base_backoff_s:float ->
+  ?max_backoff_s:float ->
   ?seed:int ->
   socket:string ->
   Protocol.request ->
   outcome
 (** [request ~socket r] sends [r] and awaits one response line.
     Defaults: [timeout_s = 10.] per attempt (connect + send + receive),
-    [attempts = 5], [base_backoff_s = 0.05] doubled per retry, capped at
-    2 s, each delay multiplied by a jitter in [0.5, 1.5) derived from
-    [seed] (default: PID — pass a fixed seed for reproducible tests).
-    When [r] carries no [id], a process-unique one is generated so
-    retries are idempotent. *)
+    [attempts = 5], [base_backoff_s = 0.05] doubled per retry; both the
+    exponential delay and the daemon's [retry_after_ms] hint are clamped
+    to [max_backoff_s] (default 5 s) before a jitter in [0.5, 1.5)
+    derived from [seed] (default: PID — pass a fixed seed for
+    reproducible tests) scales the result, so no single wait exceeds
+    [1.5 * max_backoff_s].  When [r] carries no [id], a process-unique
+    one is generated so retries are idempotent. *)
 
 val fresh_id : unit -> string
+
+val backoff_delay :
+  base_backoff_s:float ->
+  max_backoff_s:float ->
+  jitter:float ->
+  attempt:int ->
+  float option ->
+  float
+(** The delay {!request} sleeps before retry [attempt] (0-based) given
+    the daemon's optional retry-after hint in seconds:
+    [min (max (base * 2^attempt) hint) max_backoff_s * jitter].
+    Exposed pure for tests. *)

@@ -7,10 +7,19 @@ let m_errors = Obs.Registry.counter "serve.request_errors"
 let m_cache_replays = Obs.Registry.counter "serve.idempotent_replays"
 let m_synth_warm = Obs.Registry.histogram "serve.synthesize_warm_ns"
 let m_synth_cold = Obs.Registry.histogram "serve.synthesize_cold_ns"
+let m_plan_hits = Obs.Registry.counter "serve.plan_cache_hits"
+let m_plan_misses = Obs.Registry.counter "serve.plan_cache_misses"
 
 (* Idempotency: a bounded last-N map.  Entries are evicted FIFO — the
    cache covers the retry window of a flaky client, not history. *)
 let cache_limit = 1024
+
+(* Compiled plans are closures over the model, so unlike Bound_store
+   they cannot persist in the journal; the cache warms in-memory across
+   requests instead, keyed by the same Canonical digest
+   (Sim.Compile.plan_key) a persistent store would use.  Bounded FIFO:
+   a daemon serving many distinct models must not grow without limit. *)
+let plan_cache_limit = 64
 
 type t = {
   store : Store.Keyed.t option;
@@ -18,6 +27,9 @@ type t = {
   jobs : int;
   cache : (string, J.t) Hashtbl.t;
   cache_order : string Queue.t;
+  plans : (string, Sim.Compile.plan) Hashtbl.t;
+  plan_order : string Queue.t;
+  plan_lock : Mutex.t;
   mutable shutdown : bool;
 }
 
@@ -28,6 +40,9 @@ let create ?store ?default_deadline_ms ~jobs () =
     jobs;
     cache = Hashtbl.create 64;
     cache_order = Queue.create ();
+    plans = Hashtbl.create 16;
+    plan_order = Queue.create ();
+    plan_lock = Mutex.create ();
     shutdown = false;
   }
 
@@ -41,6 +56,36 @@ let cache_put t id response =
     Queue.push id t.cache_order;
     Hashtbl.add t.cache id response
   end
+
+(* Batch items run on pool domains, so the plan cache is mutex-guarded;
+   compilation happens outside the lock (two racing misses both compile
+   — plans are immutable and equal, so last-put-wins is harmless). *)
+let plan_for t model =
+  let key = Sim.Compile.plan_key model in
+  let cached =
+    Mutex.lock t.plan_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.plan_lock)
+      (fun () -> Hashtbl.find_opt t.plans key)
+  in
+  match cached with
+  | Some plan ->
+    Obs.Metric.incr m_plan_hits;
+    plan
+  | None ->
+    Obs.Metric.incr m_plan_misses;
+    let plan = Sim.Compile.compile model in
+    Mutex.lock t.plan_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.plan_lock)
+      (fun () ->
+        if not (Hashtbl.mem t.plans key) then begin
+          if Queue.length t.plan_order >= plan_cache_limit then
+            Hashtbl.remove t.plans (Queue.pop t.plan_order);
+          Queue.push key t.plan_order;
+          Hashtbl.add t.plans key plan
+        end);
+    plan
 
 (* -- model/tech loading ------------------------------------------------ *)
 
@@ -154,7 +199,7 @@ let pareto ~jobs ~id ~model ~tech ~capacity =
           ],
         [] ))
 
-let simulate ~id ~model ~until =
+let simulate t ~id ~model ~until ~compiled =
   match load_system model with
   | Error e -> (P.error ?id e, [])
   | Ok system -> (
@@ -173,7 +218,10 @@ let simulate ~id ~model ~until =
               String.concat "+"
                 (List.map Spi.Ids.Cluster_id.to_string clusters)
             in
-            let r = Sim.Engine.run ~limits model in
+            let r =
+              if compiled then Sim.Compile.run ~limits (plan_for t model)
+              else Sim.Engine.run ~limits model
+            in
             J.Obj
               [
                 ("application", J.String name);
@@ -186,7 +234,13 @@ let simulate ~id ~model ~until =
               ])
           models
       in
-      (P.ok ?id [ ("op", J.String "simulate"); ("runs", J.List runs) ], []))
+      ( P.ok ?id
+          [
+            ("op", J.String "simulate");
+            ("compiled", J.Bool compiled);
+            ("runs", J.List runs);
+          ],
+        [] ))
 
 (* -- dispatch ---------------------------------------------------------- *)
 
@@ -222,7 +276,8 @@ let rec run_op t ~admitted_ns ~queue_depth ~jobs (r : P.request) =
     synthesize t ~deadline_ns ~jobs ~id ~model ~tech ~capacity
   | P.Pareto { model; tech; capacity } ->
     pareto ~jobs ~id ~model ~tech ~capacity
-  | P.Simulate { model; until } -> simulate ~id ~model ~until
+  | P.Simulate { model; until; compiled } ->
+    simulate t ~id ~model ~until ~compiled
   | P.Batch items ->
     (* fan the items out on the pool, one domain each; the store stays
        read-only until the joined commits run below *)

@@ -8,7 +8,7 @@ type op =
   | Shutdown
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
-  | Simulate of { model : string; until : int option }
+  | Simulate of { model : string; until : int option; compiled : bool }
   | Batch of request list
 
 and request = {
@@ -20,6 +20,9 @@ and request = {
 
 let str_field name json = Option.bind (J.member name json) J.to_string_opt
 let int_field name json = Option.bind (J.member name json) J.to_int
+
+let bool_field name json =
+  Option.value ~default:false (Option.bind (J.member name json) J.to_bool)
 
 let require_str name json =
   match str_field name json with
@@ -44,7 +47,13 @@ let rec op_of_json ~depth json =
     Ok (Pareto { model; tech; capacity = int_field "capacity" json })
   | Some "simulate" ->
     let* model = require_str "model" json in
-    Ok (Simulate { model; until = int_field "until" json })
+    Ok
+      (Simulate
+         {
+           model;
+           until = int_field "until" json;
+           compiled = bool_field "compiled" json;
+         })
   | Some "batch" ->
     if depth > 0 then Error "nested batch requests are not allowed"
     else (
@@ -108,9 +117,10 @@ let rec request_to_json r =
       [ ("op", J.String "pareto"); ("model", J.String model);
         ("tech", J.String tech) ]
       @ opt "capacity" (fun i -> J.Int i) capacity []
-    | Simulate { model; until } ->
+    | Simulate { model; until; compiled } ->
       [ ("op", J.String "simulate"); ("model", J.String model) ]
       @ opt "until" (fun i -> J.Int i) until []
+      @ (if compiled then [ ("compiled", J.Bool true) ] else [])
     | Batch reqs ->
       [ ("op", J.String "batch");
         ("requests", J.List (List.map request_to_json reqs)) ]

@@ -12,7 +12,11 @@ type op =
   | Shutdown  (** graceful: drain queued work, then exit *)
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
-  | Simulate of { model : string; until : int option }
+  | Simulate of { model : string; until : int option; compiled : bool }
+      (** [compiled] (default [false] on the wire) simulates with
+          {!Sim.Compile} plans cached daemon-side by
+          {!Sim.Compile.plan_key} — identical results, amortized
+          specialization across requests for the same model *)
   | Batch of request list
       (** sub-requests run on the work-stealing pool; nesting depth 1 *)
 

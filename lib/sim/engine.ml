@@ -71,6 +71,24 @@ let record_run_metrics ~start_ns ~trace ~latency_hist_of =
   Obs.Registry.record_span ~name:"sim.run_ns" ~start_ns
     ~dur_ns:(Obs.Clock.elapsed_ns start_ns)
 
+(* Shared with [Compile.run]: both engines feed the same counters and
+   per-process latency histograms, so metrics do not depend on which
+   engine produced the trace. *)
+let record_metrics ~start_ns trace =
+  (* histogram handles resolved once per process, not per completion *)
+  let latency_hists = I.Process_id.Tbl.create 16 in
+  let latency_hist_of pid =
+    match I.Process_id.Tbl.find_opt latency_hists pid with
+    | Some h -> h
+    | None ->
+      let h =
+        Obs.Registry.histogram ("sim.latency." ^ I.Process_id.to_string pid)
+      in
+      I.Process_id.Tbl.add latency_hists pid h;
+      h
+  in
+  record_run_metrics ~start_ns ~trace ~latency_hist_of
+
 (* Events carried by the heap. *)
 type event =
   | Inject of I.Channel_id.t * Spi.Token.t
@@ -487,19 +505,7 @@ let run ?(policy = Typical) ?(limits = default_limits)
   in
   loop ();
   let trace = List.rev !trace in
-  (* histogram handles resolved once per process, not per completion *)
-  let latency_hists = I.Process_id.Tbl.create 16 in
-  let latency_hist_of pid =
-    match I.Process_id.Tbl.find_opt latency_hists pid with
-    | Some h -> h
-    | None ->
-      let h =
-        Obs.Registry.histogram ("sim.latency." ^ I.Process_id.to_string pid)
-      in
-      I.Process_id.Tbl.add latency_hists pid h;
-      h
-  in
-  record_run_metrics ~start_ns ~trace ~latency_hist_of;
+  record_metrics ~start_ns trace;
   {
     trace;
     final_state = !state;

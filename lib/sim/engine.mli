@@ -84,6 +84,18 @@ val run :
     @raise Invalid_argument if a configuration names a process absent
     from the model or fails {!Variants.Configuration.validate_against}. *)
 
+val pick : policy -> Interval.t -> int
+(** The value a policy realizes inside an interval: lower bound, upper
+    bound, or midpoint.  {!Compile.run} resolves its per-run dispatch
+    tables with this, so both engines draw latencies and rates
+    identically. *)
+
+val record_metrics : start_ns:int -> Trace.t -> unit
+(** Feeds the registry's simulation counters and per-process latency
+    histograms from a finished trace (one pass, after the event loop).
+    Exposed so {!Compile.run} records exactly the metrics the
+    interpreter would. *)
+
 val pp_policy : Format.formatter -> policy -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_summary : Format.formatter -> result -> unit

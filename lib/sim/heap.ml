@@ -71,3 +71,81 @@ let pop_min h =
   end
 
 let peek_time h = if h.size = 0 then None else Some h.data.(0).time
+
+(* Specialization for int-coded payloads: entries live in one flat int
+   array (time, seq, value per slot), so pushing an event allocates
+   nothing once the array has grown to the run's high-water mark.  The
+   compiled engine's event loop uses this; ordering is identical to the
+   generic heap ((time, seq) with FIFO tie-break). *)
+module Int_heap = struct
+  type t = {
+    mutable data : int array;  (** stride 3: time, seq, value *)
+    mutable size : int;  (** entries, not array slots *)
+    mutable next_seq : int;
+  }
+
+  let create () = { data = [||]; size = 0; next_seq = 0 }
+  let is_empty h = h.size = 0
+  let size h = h.size
+
+  let before d i j =
+    let ti = d.(3 * i) and tj = d.(3 * j) in
+    ti < tj || (ti = tj && d.((3 * i) + 1) < d.((3 * j) + 1))
+
+  let swap d i j =
+    for k = 0 to 2 do
+      let tmp = d.((3 * i) + k) in
+      d.((3 * i) + k) <- d.((3 * j) + k);
+      d.((3 * j) + k) <- tmp
+    done
+
+  let push ~time value h =
+    let cap = Array.length h.data / 3 in
+    if h.size = cap then begin
+      let data = Array.make (3 * max 16 (2 * cap)) 0 in
+      Array.blit h.data 0 data 0 (3 * h.size);
+      h.data <- data
+    end;
+    let d = h.data in
+    let i = h.size in
+    d.(3 * i) <- time;
+    d.((3 * i) + 1) <- h.next_seq;
+    d.((3 * i) + 2) <- value;
+    h.next_seq <- h.next_seq + 1;
+    h.size <- h.size + 1;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if before d i parent then begin
+          swap d i parent;
+          up parent
+        end
+      end
+    in
+    up i
+
+  let min_time h = h.data.(0)
+  let min_value h = h.data.(2)
+
+  let drop_min h =
+    let d = h.data in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      swap d 0 h.size;
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest =
+          if left < h.size && before d left i then left else i
+        in
+        let smallest =
+          if right < h.size && before d right smallest then right
+          else smallest
+        in
+        if smallest <> i then begin
+          swap d i smallest;
+          down smallest
+        end
+      in
+      down 0
+    end
+end

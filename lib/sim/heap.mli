@@ -17,3 +17,27 @@ val pop_min : 'a t -> (int * 'a) option
 (** Removes and returns the earliest event ([None] when empty). *)
 
 val peek_time : 'a t -> int option
+
+(** The same heap specialized to [int] payloads, stored flat in one
+    [int array] — pushing allocates nothing once the backing array has
+    reached the run's high-water mark.  Used by the compiled engine
+    ({!Compile}), whose events are int-coded. *)
+module Int_heap : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val push : time:int -> int -> t -> unit
+  (** Inserts with the next sequence number, exactly like {!val:push}. *)
+
+  val min_time : t -> int
+  (** Time of the earliest event.  Undefined when empty. *)
+
+  val min_value : t -> int
+  (** Payload of the earliest event.  Undefined when empty. *)
+
+  val drop_min : t -> unit
+  (** Removes the earliest event.  Undefined when empty. *)
+end

@@ -8,102 +8,107 @@ module Config_id = Spi.Ids.Config_id
 let env_tid = 0
 
 let queue_of tbl key =
-  match Hashtbl.find_opt tbl key with
+  match Pid.Tbl.find_opt tbl key with
   | Some q -> q
   | None ->
     let q = Queue.create () in
-    Hashtbl.replace tbl key q;
+    Pid.Tbl.replace tbl key q;
+    q
+
+let flow_queue_of tbl key =
+  match Cid.Tbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Cid.Tbl.replace tbl key q;
     q
 
 let config_json = function
   | Some c -> J.String (Config_id.to_string c)
   | None -> J.Null
 
-let add ?(pid = 0) ?(name = "simulation") builder model
+let emit ?(pid = 0) ?(name = "simulation") sink model
     (result : Engine.result) =
-  T.set_process_name builder ~pid name;
-  T.set_thread_name builder ~pid ~tid:env_tid "environment";
-  T.set_thread_order builder ~pid ~tid:env_tid 0;
-  let tids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  T.sink_process_name sink ~pid name;
+  T.sink_thread_name sink ~pid ~tid:env_tid "environment";
+  T.sink_thread_order sink ~pid ~tid:env_tid 0;
+  (* All run-local state is keyed by the id itself — Pid/Cid hash tables
+     — so the hot conversion loop never re-renders an id to a string
+     just to look something up; strings are built only when they end up
+     in the emitted JSON. *)
+  let tids : int Pid.Tbl.t = Pid.Tbl.create 16 in
   List.iteri
     (fun i p ->
       let tid = i + 1 in
-      let key = Pid.to_string (Spi.Process.id p) in
-      Hashtbl.replace tids key tid;
-      T.set_thread_name builder ~pid ~tid key;
-      T.set_thread_order builder ~pid ~tid tid)
+      let id = Spi.Process.id p in
+      Pid.Tbl.replace tids id tid;
+      T.sink_thread_name sink ~pid ~tid (Pid.to_string id);
+      T.sink_thread_order sink ~pid ~tid tid)
     (Spi.Model.processes model);
-  let tid_of p =
-    Option.value ~default:env_tid (Hashtbl.find_opt tids (Pid.to_string p))
-  in
+  let tid_of p = Option.value ~default:env_tid (Pid.Tbl.find_opt tids p) in
   (* one model time unit = 1 us *)
   let us t = float_of_int t in
   (* Pre-pass: per-process FIFO of completions.  The engine runs a
      process's executions sequentially, so at each [Started] the head of
      its queue is the matching completion; an empty queue means the run
      was truncated mid-execution. *)
-  let completions : (string, Trace.entry Queue.t) Hashtbl.t =
-    Hashtbl.create 16
-  in
+  let completions : Trace.entry Queue.t Pid.Tbl.t = Pid.Tbl.create 16 in
   List.iter
     (fun entry ->
       match entry with
       | Trace.Completed { process; _ } ->
-        Queue.add entry (queue_of completions (Pid.to_string process))
+        Queue.add entry (queue_of completions process)
       | _ -> ())
     result.Engine.trace;
   (* Per-channel FIFO of flow ids: productions push, consumptions pop, so
      arrows respect queue order.  Ids are namespaced by [pid] to keep
      several runs in one file from cross-linking. *)
   let next_flow = ref (pid * 1_000_000) in
-  let flows : (string, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
-  let depth : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let flows : int Queue.t Cid.Tbl.t = Cid.Tbl.create 16 in
+  let depth : int Cid.Tbl.t = Cid.Tbl.create 16 in
   List.iter
     (fun c ->
-      Hashtbl.replace depth
-        (Cid.to_string (Spi.Chan.id c))
+      Cid.Tbl.replace depth (Spi.Chan.id c)
         (List.length (Spi.Chan.initial c)))
     (Spi.Model.channels model);
   let bump cid delta ts =
-    let key = Cid.to_string cid in
-    let d = Option.value ~default:0 (Hashtbl.find_opt depth key) + delta in
-    Hashtbl.replace depth key (max 0 d);
-    T.add builder
+    let d = Option.value ~default:0 (Cid.Tbl.find_opt depth cid) + delta in
+    Cid.Tbl.replace depth cid (max 0 d);
+    sink.T.event
       (T.Counter
          {
-           name = "queue." ^ key;
+           name = "queue." ^ Cid.to_string cid;
            pid;
            ts;
            values = [ ("depth", float_of_int (max 0 d)) ];
          })
   in
   let flow_start ~tid ~ts cid =
-    let key = Cid.to_string cid in
     let id = !next_flow in
     incr next_flow;
-    Queue.add id (queue_of flows key);
-    T.add builder (T.Flow_start { name = "token " ^ key; id; pid; tid; ts })
+    Queue.add id (flow_queue_of flows cid);
+    sink.T.event
+      (T.Flow_start { name = "token " ^ Cid.to_string cid; id; pid; tid; ts })
   in
   let flow_end ~tid ~ts cid =
-    match Hashtbl.find_opt flows (Cid.to_string cid) with
+    match Cid.Tbl.find_opt flows cid with
     | Some q when not (Queue.is_empty q) ->
       let id = Queue.pop q in
-      T.add builder
-        (T.Flow_end
-           { name = "token " ^ Cid.to_string cid; id; pid; tid; ts })
+      sink.T.event
+        (T.Flow_end { name = "token " ^ Cid.to_string cid; id; pid; tid; ts })
     | _ -> () (* initial token: no producer to link from *)
   in
   (* current configuration per process, for reconfiguration sources *)
-  let confcur : (string, Config_id.t) Hashtbl.t = Hashtbl.create 16 in
+  let confcur : Config_id.t Pid.Tbl.t = Pid.Tbl.create 16 in
   let instant ?(cat = "fault") ?(args = []) ~tid ~ts name =
-    T.add builder (T.Instant { name; cat; pid; tid; ts; args })
+    sink.T.event (T.Instant { name; cat; pid; tid; ts; args })
   in
   List.iter
     (fun entry ->
       match entry with
       | Trace.Injected { time; channel; token = _ } ->
         let ts = us time in
-        T.add builder
+        sink.T.event
           (T.Complete
              {
                name = "inject " ^ Cid.to_string channel;
@@ -117,10 +122,9 @@ let add ?(pid = 0) ?(name = "simulation") builder model
         flow_start ~tid:env_tid ~ts channel;
         bump channel 1 ts
       | Trace.Started { time; process; mode; reconfiguration } -> (
-        let key = Pid.to_string process in
         let tid = tid_of process in
         let completion =
-          match Hashtbl.find_opt completions key with
+          match Pid.Tbl.find_opt completions process with
           | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
           | _ -> None
         in
@@ -132,7 +136,7 @@ let add ?(pid = 0) ?(name = "simulation") builder model
           let fire_start = started_at + reconf_lat in
           (match reconfiguration with
           | Some (target, latency) ->
-            T.add builder
+            sink.T.event
               (T.Complete
                  {
                    name = "t_conf";
@@ -144,13 +148,14 @@ let add ?(pid = 0) ?(name = "simulation") builder model
                    args =
                      [
                        ("t_conf", J.Int latency);
-                       ("source", config_json (Hashtbl.find_opt confcur key));
+                       ( "source",
+                         config_json (Pid.Tbl.find_opt confcur process) );
                        ("target", config_json (Some target));
                      ];
                  });
-            Hashtbl.replace confcur key target
+            Pid.Tbl.replace confcur process target
           | None -> ());
-          T.add builder
+          sink.T.event
             (T.Complete
                {
                  name = Mid.to_string mode;
@@ -161,7 +166,7 @@ let add ?(pid = 0) ?(name = "simulation") builder model
                  dur = float_of_int (done_at - fire_start);
                  args =
                    [
-                     ("process", J.String key);
+                     ("process", J.String (Pid.to_string process));
                      ("latency", J.Int (done_at - started_at));
                    ];
                });
@@ -222,7 +227,7 @@ let add ?(pid = 0) ?(name = "simulation") builder model
               ]
             kind
         | Fault.Degraded { process; from_; to_; latency } ->
-          Hashtbl.replace confcur (Pid.to_string process) to_;
+          Pid.Tbl.replace confcur process to_;
           instant ~cat:"degradation" ~tid:(tid_of process) ~ts
             ~args:
               [
@@ -234,3 +239,6 @@ let add ?(pid = 0) ?(name = "simulation") builder model
       | Trace.Quiescent { time } ->
         instant ~cat:"sim" ~tid:env_tid ~ts:(us time) "quiescent")
     result.Engine.trace
+
+let add ?pid ?name builder model result =
+  emit ?pid ?name (T.buffer_sink builder) model result

@@ -15,17 +15,20 @@
     Time mapping: one model time unit becomes one microsecond, so
     viewer timestamps read directly as model time. *)
 
-val add :
+val emit :
   ?pid:int ->
   ?name:string ->
-  Obs.Trace_event.t ->
+  Obs.Trace_event.sink ->
   Spi.Model.t ->
   Engine.result ->
   unit
-(** [add builder model result] appends the timeline of [result] under
-    process group [pid] (default 0), labelled [name] (default
-    ["simulation"]).  Distinct [pid]s keep several runs — e.g. the seeds
-    of a fault campaign — separate in one file.
+(** [emit sink model result] converts the timeline of [result] into
+    [sink] under process group [pid] (default 0), labelled [name]
+    (default ["simulation"]).  Distinct [pid]s keep several runs — e.g.
+    the seeds of a fault campaign — separate in one file.  The sink may
+    be buffered ({!Obs.Trace_event.buffer_sink}) or incremental
+    ({!Obs.Trace_stream.sink}); with a stream, flush after each run's
+    [emit] so long campaigns hold at most one run's events in memory.
 
     Emitted events:
     - a [Complete] span per execution, named after the mode, covering
@@ -43,3 +46,13 @@ val add :
     Spans on one lane never overlap: the engine runs a process's
     executions sequentially, and backoff/degradation latencies are
     rendered as instants, not spans. *)
+
+val add :
+  ?pid:int ->
+  ?name:string ->
+  Obs.Trace_event.t ->
+  Spi.Model.t ->
+  Engine.result ->
+  unit
+(** [add builder model result] is {!emit} into [builder]'s buffered
+    sink. *)

@@ -91,17 +91,17 @@ let m_dropped = Obs.Registry.counter "par.trace_dropped"
 module T = Obs.Trace_event
 module J = Obs.Json
 
-let append_timeline ?(pid = 1) ?(name = "explorer") builder =
+let emit_timeline ?(pid = 1) ?(name = "explorer") sink =
   let bufs = registered () in
   let base = Atomic.get base_ns in
   let us ns = float_of_int (ns - base) /. 1000. in
-  T.set_process_name builder ~pid name;
+  T.sink_process_name sink ~pid name;
   List.iteri
     (fun order buf ->
       let tid = buf.domain in
-      T.set_thread_name builder ~pid ~tid
+      T.sink_thread_name sink ~pid ~tid
         (Printf.sprintf "domain %d" buf.domain);
-      T.set_thread_order builder ~pid ~tid order;
+      T.sink_thread_order sink ~pid ~tid order;
       for r = 0 to buf.len - 1 do
         let o = r * stride in
         match buf.data.(o) with
@@ -111,7 +111,7 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
           and end_ns = buf.data.(o + 3)
           and task = buf.data.(o + 4) in
           if claimed > wait_from then
-            T.add builder
+            sink.T.event
               (T.Complete
                  {
                    name = "queue wait";
@@ -122,7 +122,7 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
                    dur = float_of_int (claimed - wait_from) /. 1000.;
                    args = [];
                  });
-          T.add builder
+          sink.T.event
             (T.Complete
                {
                  name = Printf.sprintf "task %d" task;
@@ -135,7 +135,7 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
                })
         | 2 ->
           let ts = us buf.data.(o + 1) and cost = buf.data.(o + 2) in
-          T.add builder
+          sink.T.event
             (T.Instant
                {
                  name = "incumbent";
@@ -150,7 +150,7 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
           and victim = buf.data.(o + 2)
           and worker = buf.data.(o + 3)
           and task = buf.data.(o + 4) in
-          T.add builder
+          sink.T.event
             (T.Instant
                {
                  name = "steal";
@@ -170,6 +170,9 @@ let append_timeline ?(pid = 1) ?(name = "explorer") builder =
     bufs;
   let d = dropped () in
   if d > 0 then Obs.Metric.add m_dropped d
+
+let append_timeline ?pid ?name builder =
+  emit_timeline ?pid ?name (T.buffer_sink builder)
 
 let reset () =
   List.iter

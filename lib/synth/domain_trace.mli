@@ -50,8 +50,8 @@ val record_steal : victim:int -> worker:int -> task:int -> unit
 val dropped : unit -> int
 (** Records dropped across all registered buffers since {!enable}. *)
 
-val append_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.t -> unit
-(** Drain every registered buffer into [builder] under process group
+val emit_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.sink -> unit
+(** Drain every registered buffer into [sink] under process group
     [pid] (default 1), labelled [name] (default ["explorer"]): one lane
     per domain with queue-wait and task spans, incumbent-improvement
     instants carrying the cost, and steal instants (on the stealing
@@ -59,6 +59,9 @@ val append_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.t -> unit
     timestamps relative to the {!enable} call in microseconds.  Also
     bumps the [par.trace_dropped] counter with the drop total.  Call
     after the pool has joined. *)
+
+val append_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.t -> unit
+(** {!emit_timeline} into a buffered collection. *)
 
 val reset : unit -> unit
 (** Zero every registered buffer (registrations stay valid). *)

@@ -137,3 +137,85 @@ let explore_cost = function
 let multi_cost = function
   | None -> max_int
   | Some s -> s.Synth.Multi.total_cost
+
+(* ------------------- simulation workloads (Compile) ------------------ *)
+
+(* Seeded simulation workloads for the compiled-vs-interpreted
+   differential harness: a generated variant system flattened to a
+   model, environment stimuli on its unwritten channels, and the
+   configuration sets of its abstraction.  Deterministic in [seed]. *)
+
+let sim_model ~seed =
+  let sites = 1 + (seed mod 3) in
+  let cluster_processes = 1 + (seed mod 2) in
+  let system =
+    Variants.Generator.generate
+      {
+        Variants.Generator.seed;
+        shared_processes = 2;
+        sites;
+        variants_per_site = 2;
+        cluster_processes;
+        latency_range = (1, 8 + (seed mod 13));
+      }
+  in
+  Variants.Flatten.flatten system (Variants.Flatten.first_cluster system)
+
+let sim_stimuli ?(tokens = 3) model =
+  List.concat_map
+    (fun cid ->
+      List.init tokens (fun i ->
+          {
+            Sim.Engine.at = 1 + (3 * i);
+            channel = cid;
+            token = Spi.Token.make ~payload:i ();
+          }))
+    (I.Channel_id.Set.elements (Spi.Model.unwritten_channels model))
+
+(* A fault plan over the model's own processes and channels, scripted
+   from [seed]: transients with retries and backoff on half the
+   processes, token faults on the first input channel, one scripted
+   crash, and a watchdog degradation when the model has configurations
+   to fall back to. *)
+let sim_fault_plan ~seed ?(configurations = []) model =
+  let processes = Spi.Model.processes model in
+  let channels = I.Channel_id.Set.elements (Spi.Model.unwritten_channels model) in
+  let process_plans =
+    List.filteri
+      (fun i _ -> (i + seed) mod 2 = 0)
+      (List.mapi
+         (fun i p ->
+           let pid = Spi.Process.id p in
+           Sim.Fault.on_process
+             ~transient:(Sim.Fault.Probability (0.05 +. (0.05 *. float_of_int (seed mod 4))))
+             ~max_retries:(1 + ((seed + i) mod 3))
+             ~backoff:(1 + (i mod 3))
+             ?crash_at:(if i = 0 && seed mod 5 = 0 then Some (20 + seed mod 17) else None)
+             ~overrun:(Sim.Fault.Probability 0.1, 2 + (seed mod 3))
+             ~reconf_failure:
+               (if seed mod 3 = 0 then Sim.Fault.Probability 0.3 else Sim.Fault.Never)
+             pid)
+         processes)
+  in
+  let channel_plans =
+    match channels with
+    | [] -> []
+    | cid :: _ ->
+      let fault =
+        match seed mod 3 with
+        | 0 -> Sim.Fault.Drop
+        | 1 -> Sim.Fault.Corrupt
+        | _ -> Sim.Fault.Duplicate
+      in
+      [ Sim.Fault.on_channel cid fault (Sim.Fault.Probability 0.15) ]
+  in
+  let degrade =
+    if configurations = [] then None
+    else
+      Some
+        (Sim.Fault.degradation ~failure_threshold:(1 + (seed mod 2))
+           ~fallback:(Sim.Fault.fallback_of_configurations configurations)
+           ())
+  in
+  Sim.Fault.plan ~channels:channel_plans ~processes:process_plans ?degrade
+    ~seed ()

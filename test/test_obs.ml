@@ -244,6 +244,136 @@ let test_atomic_file_write () =
       in
       Alcotest.(check (list string)) "no temp files left" [] leftovers)
 
+
+(* ----------------------- span ring capacity ------------------------ *)
+
+let test_span_capacity_guard () =
+  Obs.Registry.reset ();
+  let cap = Obs.Registry.span_capacity () in
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument
+       "Obs.Registry.set_span_capacity: capacity 0 (want > 0)")
+    (fun () -> Obs.Registry.set_span_capacity 0);
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument
+       "Obs.Registry.set_span_capacity: capacity -8 (want > 0)")
+    (fun () -> Obs.Registry.set_span_capacity (-8));
+  Alcotest.(check int) "capacity unchanged by rejected calls" cap
+    (Obs.Registry.span_capacity ())
+
+let test_span_capacity_same_is_noop () =
+  Obs.Registry.reset ();
+  Obs.Registry.record_span ~name:"t.cap.kept_ns" ~start_ns:1 ~dur_ns:2;
+  (* a same-capacity call must not swap the ring and drop the span *)
+  Obs.Registry.set_span_capacity (Obs.Registry.span_capacity ());
+  let names = List.map (fun s -> s.Obs.Span.name) (Obs.Registry.spans ()) in
+  Alcotest.(check bool) "recorded span survives a same-capacity call" true
+    (List.mem "t.cap.kept_ns" names);
+  (* a genuine resize is allowed to start fresh *)
+  let cap = Obs.Registry.span_capacity () in
+  Obs.Registry.set_span_capacity (cap + 1);
+  Alcotest.(check int) "resize takes effect" (cap + 1)
+    (Obs.Registry.span_capacity ());
+  Obs.Registry.set_span_capacity cap
+
+(* ------------------------ streamed traces --------------------------- *)
+
+let stream_tmp =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spi-obs-stream-%d-%d.json" (Unix.getpid ()) !counter)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Two runs (pids 0 and 1) emitted through a sink: the streamed file,
+   flushed once per run, must be byte-identical to the buffered
+   exporter over the same records. *)
+let emit_run sink ~pid =
+  let module T = Obs.Trace_event in
+  T.sink_process_name sink ~pid (Printf.sprintf "run %d" pid);
+  T.sink_thread_name sink ~pid ~tid:1 "worker";
+  sink.T.event
+    (T.Complete
+       {
+         name = "fire";
+         cat = "sim";
+         pid;
+         tid = 1;
+         ts = 10. +. float_of_int pid;
+         dur = 3.;
+         args = [ ("n", J.Int pid) ];
+       });
+  sink.T.event
+    (T.Instant
+       { name = "tick"; cat = "sim"; pid; tid = 1; ts = 5.; args = [] });
+  sink.T.event
+    (T.Counter
+       { name = "depth"; pid; ts = 7.; values = [ ("c", 2.) ] })
+
+let test_trace_stream_byte_equality () =
+  let module T = Obs.Trace_event in
+  let buffered = stream_tmp () and streamed = stream_tmp () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ buffered; streamed ])
+    (fun () ->
+      let builder = T.create () in
+      emit_run (T.buffer_sink builder) ~pid:0;
+      emit_run (T.buffer_sink builder) ~pid:1;
+      T.to_file buffered builder;
+      let stream = Obs.Trace_stream.create streamed in
+      emit_run (Obs.Trace_stream.sink stream) ~pid:0;
+      Obs.Trace_stream.flush stream;
+      emit_run (Obs.Trace_stream.sink stream) ~pid:1;
+      let events = Obs.Trace_stream.close stream in
+      Alcotest.(check int) "event count (metadata excluded)" 6 events;
+      Alcotest.(check string) "streamed bytes = buffered bytes"
+        (read_file buffered) (read_file streamed))
+
+let test_trace_stream_empty_and_closed () =
+  let path = stream_tmp () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let stream = Obs.Trace_stream.create path in
+      Alcotest.(check int) "no events" 0 (Obs.Trace_stream.close stream);
+      (match J.parse (read_file path) with
+      | Error e -> Alcotest.failf "empty stream is not JSON: %s" e
+      | Ok json ->
+        Alcotest.(check (option string)) "schema tag" (Some "trace/v1")
+          (Option.bind (J.member "schema" json) J.to_string_opt);
+        Alcotest.(check bool) "empty traceEvents" true
+          (Option.bind (J.member "traceEvents" json) J.to_list = Some []));
+      Alcotest.(check bool) "use after close rejected" true
+        (try
+           Obs.Trace_stream.flush stream;
+           false
+         with Invalid_argument _ -> true))
+
+let test_trace_stream_abort () =
+  let path = stream_tmp () in
+  let stream = Obs.Trace_stream.create path in
+  emit_run (Obs.Trace_stream.sink stream) ~pid:0;
+  Obs.Trace_stream.abort stream;
+  Alcotest.(check bool) "target never materializes" false (Sys.file_exists path);
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > String.length base
+           && String.sub f 0 (String.length base) = base)
+  in
+  Alcotest.(check (list string)) "no temp files left" [] leftovers
+
 let suite =
   ( "obs",
     [
@@ -264,4 +394,12 @@ let suite =
         test_steals_in_snapshot;
       Alcotest.test_case "atomic snapshot replacement" `Quick
         test_atomic_file_write;
+      Alcotest.test_case "span capacity guard" `Quick test_span_capacity_guard;
+      Alcotest.test_case "same span capacity keeps spans" `Quick
+        test_span_capacity_same_is_noop;
+      Alcotest.test_case "trace stream byte equality" `Quick
+        test_trace_stream_byte_equality;
+      Alcotest.test_case "trace stream empty and closed" `Quick
+        test_trace_stream_empty_and_closed;
+      Alcotest.test_case "trace stream abort" `Quick test_trace_stream_abort;
     ] )

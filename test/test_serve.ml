@@ -63,7 +63,7 @@ let test_protocol_roundtrip () =
         P.id = None;
         deadline_ms = None;
         jobs = None;
-        op = P.Simulate { model = "m"; until = Some 40 };
+        op = P.Simulate { model = "m"; until = Some 40; compiled = true };
       };
     ]
   in
@@ -197,7 +197,9 @@ let test_handler_batch () =
            plain
              (P.Synthesize
                 { model = model_source; tech = tech_source; capacity = None });
-           plain (P.Simulate { model = model_source; until = Some 30 });
+           plain
+             (P.Simulate
+                { model = model_source; until = Some 30; compiled = false });
          ])
   in
   let r = handle ~handler:t batch in
@@ -282,6 +284,69 @@ let test_client_unreachable () =
   | Serve.Client.Response _ | Serve.Client.Overloaded _ ->
     Alcotest.fail "expected unreachable"
 
+
+(* The retry-after hint comes from an untrusted daemon: however large
+   the hint (or however deep the exponential backoff), no single wait
+   may exceed max_backoff_s before jitter (jitter tops out at 1.5). *)
+let test_backoff_clamped =
+  QCheck.Test.make ~count:200 ~name:"backoff delay is clamped to the ceiling"
+    QCheck.(
+      quad (int_range 0 20) (float_range 0.5 1.5) (float_range 0.01 2.)
+        (option (float_range 0. 1e6)))
+    (fun (attempt, jitter, max_backoff_s, hint) ->
+      let d =
+        Serve.Client.backoff_delay ~base_backoff_s:0.25 ~max_backoff_s ~jitter
+          ~attempt hint
+      in
+      d >= 0. && d <= (max_backoff_s *. jitter) +. 1e-9)
+
+let test_backoff_shape () =
+  let delay ?hint attempt =
+    Serve.Client.backoff_delay ~base_backoff_s:0.25 ~max_backoff_s:5.
+      ~jitter:1. ~attempt hint
+  in
+  Alcotest.(check (float 1e-9)) "attempt 0" 0.25 (delay 0);
+  Alcotest.(check (float 1e-9)) "attempt 2 doubles twice" 1. (delay 2);
+  Alcotest.(check (float 1e-9)) "hint raises a small backoff" 2.
+    (delay ~hint:2. 0);
+  Alcotest.(check (float 1e-9)) "huge hint clamps to the ceiling" 5.
+    (delay ~hint:3600. 0);
+  Alcotest.(check (float 1e-9)) "deep attempt clamps to the ceiling" 5.
+    (delay 16)
+
+(* ------------------------ compiled simulate ----------------------- *)
+
+let run_fields response =
+  match Option.bind (J.member "runs" response) J.to_list with
+  | Some runs -> runs
+  | None -> Alcotest.fail "response has no runs"
+
+let test_handler_simulate_compiled () =
+  let t = Serve.Handler.create ~jobs:1 () in
+  let simulate compiled =
+    handle ~handler:t
+      (plain (P.Simulate { model = model_source; until = Some 50; compiled }))
+  in
+  let interpreted = simulate false in
+  let hits = Obs.Registry.counter "serve.plan_cache_hits" in
+  let misses = Obs.Registry.counter "serve.plan_cache_misses" in
+  let h0 = Obs.Metric.value hits and m0 = Obs.Metric.value misses in
+  let compiled1 = simulate true in
+  let compiled2 = simulate true in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response compiled1);
+  Alcotest.(check (option bool)) "compiled tagged" (Some true)
+    (Option.bind (J.member "compiled" compiled1) J.to_bool);
+  Alcotest.(check (option bool)) "interpreted tagged" (Some false)
+    (Option.bind (J.member "compiled" interpreted) J.to_bool);
+  (* identical runs: the differential guarantee surfaces on the wire *)
+  Alcotest.(check bool) "compiled runs = interpreted runs" true
+    (run_fields compiled1 = run_fields interpreted);
+  Alcotest.(check bool) "repeat request is stable" true
+    (run_fields compiled1 = run_fields compiled2);
+  (* first compiled request misses the plan cache, the second hits *)
+  Alcotest.(check int) "one miss" (m0 + 1) (Obs.Metric.value misses);
+  Alcotest.(check int) "one hit" (h0 + 1) (Obs.Metric.value hits)
+
 let suite =
   ( "serve",
     [
@@ -306,6 +371,10 @@ let suite =
       Alcotest.test_case "no deadline, no degradation" `Quick
         test_no_deadline_not_degraded;
       Alcotest.test_case "client ids distinct" `Quick test_client_fresh_ids;
+      QCheck_alcotest.to_alcotest test_backoff_clamped;
+      Alcotest.test_case "backoff shape and clamp" `Quick test_backoff_shape;
+      Alcotest.test_case "handler compiled simulate" `Quick
+        test_handler_simulate_compiled;
       Alcotest.test_case "client reports unreachable" `Quick
         test_client_unreachable;
     ] )
