@@ -689,6 +689,99 @@ let sim_measurement ~reps name system =
   let speedup = if compiled_wall > 0. then interp_wall /. compiled_wall else 1. in
   (interp_wall, compiled_wall, compile_s, speedup)
 
+(* One featured family pass over the workload's variant space vs N
+   per-configuration engine runs on the flattened models — the
+   family-based simulation claim, measured.  Stimuli go to the shared
+   (unprefixed) boundary channels so the family prefix stays shared for
+   as long as the variants agree.  Divergent results abort the
+   benchmark, exactly like the compiled-vs-interpreted arm: the family
+   engine is only a speedup if it is also the same answer. *)
+let family_measurement ~reps name system =
+  let assignments = V.Variant_space.enumerate system in
+  let flatten a = V.Flatten.flatten system (V.Variant_space.to_choice a) in
+  (* One scenario, one driven channel: the last site's input port — the
+     regime where family-based simulation pays.  The scenario's dataflow
+     never reaches the sites upstream, so their variability is never
+     split and those configurations ride the same sub-family to the end,
+     while every per-configuration pass still simulates the full
+     flattened model.  Tokens are staggered so injections interleave
+     with firings instead of front-loading the heap. *)
+  let stimuli =
+    let driven =
+      match List.rev (V.System.sites system) with
+      | site :: _ ->
+        List.find_map
+          (fun port ->
+            if V.Port.is_input port then
+              List.assoc_opt (V.Port.id port) site.V.Structure.wiring
+            else None)
+          site.V.Structure.iface.V.Structure.iface_ports
+      | [] -> None
+    in
+    let driven =
+      match driven with
+      | Some c -> Some c
+      | None -> (
+        (* no sites: fall back to the first shared source channel *)
+        match
+          List.filter
+            (fun s ->
+              not
+                (String.contains
+                   (I.Channel_id.to_string s.Sim.Engine.channel)
+                   '.'))
+            (source_stimuli ~burst:1 (flatten (List.hd assignments)))
+        with
+        | s :: _ -> Some s.Sim.Engine.channel
+        | [] -> None)
+    in
+    match driven with
+    | None -> []
+    | Some channel ->
+      List.init 200 (fun i ->
+          {
+            Sim.Engine.at = 1 + (2 * i);
+            channel;
+            token = Spi.Token.make ~payload:i ();
+          })
+  in
+  let limits = Sim.Engine.default_limits in
+  let time f =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      last := Some r
+    done;
+    (!best, Option.get !last)
+  in
+  (* each per-configuration pass flattens its own model, exactly as a
+     sequential sweep over the space would — the family pass flattens
+     inside [Sim.Family.run] too, so both arms carry that cost *)
+  let npass_wall, per_config =
+    time (fun () ->
+        List.map (fun a -> Sim.Engine.run ~limits ~stimuli (flatten a))
+          assignments)
+  in
+  let family_wall, report =
+    time (fun () -> Sim.Family.run ~limits ~stimuli system)
+  in
+  let digest (r : Sim.Engine.result) =
+    (r.Sim.Engine.end_time, r.Sim.Engine.firings, r.Sim.Engine.outcome)
+  in
+  let family_digests =
+    Array.to_list
+      (Array.map (fun cr -> digest cr.Sim.Family.result) report.Sim.Family.runs)
+  in
+  if List.map digest per_config <> family_digests then begin
+    Format.eprintf "explore-json: FAMILY SIM DIVERGES on %s@." name;
+    exit 1
+  end;
+  let speedup = if family_wall > 0. then npass_wall /. family_wall else 1. in
+  (npass_wall, family_wall, speedup, List.length assignments)
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -722,7 +815,8 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
            speedup,
            identical,
            (warm_wall, warm_cost, warm_explored),
-           (sim_interp, sim_compiled, sim_compile, sim_speedup) ) ->
+           (sim_interp, sim_compiled, sim_compile, sim_speedup),
+           (fam_npass, fam_wall, fam_speedup, fam_configs) ) ->
       add "      {\n";
       add "        \"name\": \"%s\",\n" (json_escape name);
       add "        \"processes\": %d,\n" processes;
@@ -757,13 +851,20 @@ let record_to_json ~timestamp ~label ~max_jobs ~metrics workload_rows =
          \"compiled_wall_s\": %.6f, \"compile_s\": %.6f, \"speedup\": \
          %.3f},\n"
         sim_interp sim_compiled sim_compile sim_speedup;
+      (* one featured family pass vs N per-config engine passes, another
+         tolerated-extra field; per-configuration results are
+         digest-checked identical before recording *)
+      add
+        "        \"family\": {\"npass_wall_s\": %.6f, \"family_wall_s\": \
+         %.6f, \"configs\": %d, \"speedup\": %.3f},\n"
+        fam_npass fam_wall fam_configs fam_speedup;
       add "        \"costs_identical\": %b\n" identical;
       add "      }%s\n" (if i = n - 1 then "" else ","))
     workload_rows;
   add "    ],\n";
   let total j =
     List.fold_left
-      (fun acc (_, _, _, _, runs, _, _, _, _) ->
+      (fun acc (_, _, _, _, runs, _, _, _, _, _) ->
         match List.find_opt (fun r -> r.run_jobs = j) runs with
         | Some r -> acc +. r.wall_s
         | None -> acc)
@@ -815,7 +916,10 @@ let explore_json () =
   (* start the registry from zero so the embedded snapshot covers
      exactly this experiment's exploration work *)
   Obs.Registry.reset ();
-  let job_counts = [ 1; 2; 4 ] in
+  (* --jobs N narrows the sweep to [1; N] so a multicore CI matrix can
+     produce one labelled record per core budget; the default remains
+     the full 1/2/4 sweep *)
+  let job_counts = if !jobs > 1 then [ 1; !jobs ] else [ 1; 2; 4 ] in
   let max_jobs = List.fold_left max 1 job_counts in
   let reps = if !tiny then 1 else 3 in
   let rows =
@@ -913,15 +1017,20 @@ let explore_json () =
         let (sim_interp, sim_compiled, _, sim_speedup) as sim =
           sim_measurement ~reps name system
         in
+        let (fam_npass, fam_wall, fam_speedup, fam_configs) as family =
+          family_measurement ~reps name system
+        in
         Format.printf
           "%-20s | %2d procs | %2d apps | jobs=1 %8.4fs | jobs=%d %8.4fs | \
-           speedup %.2fx | cost %s | sim %8.4fs -> %8.4fs (%.2fx)@."
+           speedup %.2fx | cost %s | sim %8.4fs -> %8.4fs (%.2fx) | family \
+           %d cfgs %8.4fs -> %8.4fs (%.2fx)@."
           name processes (List.length apps) (wall_of 1) max_jobs
           (wall_of max_jobs) speedup
           (match (List.hd runs).run_cost with
           | Some c -> string_of_int c
           | None -> "infeas")
-          sim_interp sim_compiled sim_speedup;
+          sim_interp sim_compiled sim_speedup fam_configs fam_npass fam_wall
+          fam_speedup;
         ( name,
           processes,
           List.length apps,
@@ -930,7 +1039,8 @@ let explore_json () =
           speedup,
           identical,
           (warm_wall, warm_cost, warm_explored),
-          sim ))
+          sim,
+          family ))
       (explore_workloads ())
   in
   let metrics = Obs.Json.to_string (Obs.Registry.snapshot ()) in

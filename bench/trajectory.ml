@@ -2,7 +2,13 @@ module J = Obs.Json
 
 type run = { jobs : int; wall_s : float; cost : int option }
 
-type workload = { w_name : string; runs : run list; speedup : float }
+type workload = {
+  w_name : string;
+  runs : run list;
+  speedup : float;
+  sim_speedup : float option;
+  family_speedup : float option;
+}
 
 type record = {
   label : string;
@@ -35,12 +41,22 @@ let rec map_result f = function
     let* ys = map_result f rest in
     Ok (y :: ys)
 
+(* Optional per-field speedups: records written before the field existed
+   simply lack it, and a mixed-version trajectory must stay checkable —
+   a missing or ill-typed object yields [None] and the per-field gates
+   skip it, they never crash. *)
+let optional_speedup name j =
+  Option.bind (J.member name j) (fun o ->
+      Option.bind (J.member "speedup" o) J.to_float)
+
 let workload_of_json j =
   let* w_name = field "name" J.to_string_opt j in
   let* runs_json = field "runs" J.to_list j in
   let* runs = map_result run_of_json runs_json in
   let* speedup = field "speedup_max_jobs" J.to_float j in
-  Ok { w_name; runs; speedup }
+  let sim_speedup = optional_speedup "sim" j in
+  let family_speedup = optional_speedup "family" j in
+  Ok { w_name; runs; speedup; sim_speedup; family_speedup }
 
 let record_of_json j =
   let* schema = field "schema" J.to_string_opt j in
@@ -94,6 +110,44 @@ let same_workload_set a b =
   let names r = List.sort compare (List.map (fun w -> w.w_name) r.workloads) in
   names a = names b
 
+(* Mean of a per-workload optional speedup over the workloads that carry
+   it; [None] when no workload does (old records, pre-field). *)
+let mean_speedup get r =
+  match List.filter_map get r.workloads with
+  | [] -> None
+  | vs ->
+    Some (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
+
+(* Per-field speedup gates (the "sim" compiled-vs-interpreted arm and
+   the "family" one-pass-vs-N-passes arm).  A field is compared only
+   when BOTH records carry it over the same workload set: a trajectory
+   mixing records from before and after the field was introduced skips
+   the gate instead of failing. *)
+let field_gate ~tolerance ~field ~get ~baseline ~fresh failures =
+  match baseline with
+  | None -> Format.sprintf "%s not gated (no baseline)" field
+  | Some base when not (same_workload_set base fresh) ->
+    Format.sprintf "%s not gated (workload sets differ)" field
+  | Some base -> (
+    match (mean_speedup get base, mean_speedup get fresh) with
+    | Some base_v, Some fresh_v ->
+      let floor = (1. -. tolerance) *. base_v in
+      if fresh_v < floor then
+        failures :=
+          !failures
+          @ [
+              Format.sprintf
+                "%s speedup regressed: %.3fx, below %.3fx (%.0f%% of the \
+                 baseline's %.3fx)"
+                field fresh_v floor
+                (100. *. (1. -. tolerance))
+                base_v;
+            ];
+      Format.sprintf "%s speedup %.3fx against a %.3fx floor" field fresh_v
+        floor
+    | None, _ | _, None ->
+      Format.sprintf "%s not gated (field absent in a record)" field)
+
 let check ?(tolerance = 0.3) ~baseline ~fresh () =
   let failures = ref (divergence_failures fresh) in
   let summary =
@@ -128,6 +182,19 @@ let check ?(tolerance = 0.3) ~baseline ~fresh () =
         "fresh record %s vs baseline %s: costs identical across job counts; \
          aggregate speedup %.3fx against a %.3fx floor"
         (describe fresh) (describe base) fresh.aggregate_speedup floor
+  in
+  let sim_summary =
+    field_gate ~tolerance ~field:"sim"
+      ~get:(fun w -> w.sim_speedup)
+      ~baseline ~fresh failures
+  in
+  let family_summary =
+    field_gate ~tolerance ~field:"family"
+      ~get:(fun w -> w.family_speedup)
+      ~baseline ~fresh failures
+  in
+  let summary =
+    Format.sprintf "%s; %s; %s" summary sim_summary family_summary
   in
   match !failures with [] -> Ok summary | failures -> Error failures
 

@@ -12,6 +12,12 @@ type workload = {
   w_name : string;
   runs : run list;
   speedup : float;  (** jobs=1 wall time over max-jobs wall time *)
+  sim_speedup : float option;
+      (** the ["sim"] object's compiled-vs-interpreted speedup; [None]
+          for records written before the field existed *)
+  family_speedup : float option;
+      (** the ["family"] object's one-featured-pass vs N-per-config
+          passes speedup; [None] for records without it *)
 }
 
 type record = {
@@ -36,7 +42,11 @@ val check :
       exploration must be a pure speedup, never a different answer), or
     - the fresh aggregate max-jobs speedup has regressed below
       [(1 - tolerance)] of the baseline's ([tolerance] defaults to
-      [0.3], i.e. a 30% regression budget for machine noise).
+      [0.3], i.e. a 30% regression budget for machine noise), or
+    - a per-field speedup (["sim"], ["family"]) regressed past the same
+      budget — compared only when both records carry the field over the
+      same workload set, so mixed-version trajectories (records from
+      before the field existed) skip the gate rather than fail.
 
     [Ok summary] describes what was checked; [Error failures] lists
     every violated condition. *)

@@ -25,6 +25,9 @@ type bundled = {
   configurations : unit -> V.Configuration.t list;
   stimuli : unit -> Sim.Engine.stimulus list;
   budgets : (Spi.Ids.Process_id.t * int) list;
+  system : (unit -> V.System.t) option;
+      (** the variant system behind the model, when it has one —
+          [simulate --family] evaluates its whole space in one pass *)
 }
 
 let video_bundled ~with_valves =
@@ -45,6 +48,7 @@ let video_bundled ~with_valves =
           ~switches:[ (52, "fB"); (120, "fA") ]
           ());
     budgets = [];
+    system = None;
   }
 
 let figure3_bundled tag_name tag =
@@ -69,6 +73,7 @@ let figure3_bundled tag_name tag =
                  token = Spi.Token.make ~payload:(i + 1) ();
                }));
     budgets = [ (F2.p_user, 0) ];
+    system = Some (fun () -> F2.system_with_selection);
   }
 
 let models : (string * bundled) list =
@@ -80,6 +85,7 @@ let models : (string * bundled) list =
         configurations = (fun () -> []);
         stimuli = (fun () -> F1.stimuli_mixed ~n:8);
         budgets = [];
+        system = None;
       } );
     ( "figure2-g1",
       {
@@ -98,6 +104,7 @@ let models : (string * bundled) list =
                   token = Spi.Token.make ~payload:(i + 1) ();
                 }));
         budgets = [];
+        system = Some (fun () -> F2.system);
       } );
     ( "figure2-g2",
       {
@@ -116,6 +123,7 @@ let models : (string * bundled) list =
                   token = Spi.Token.make ~payload:(i + 1) ();
                 }));
         budgets = [];
+        system = Some (fun () -> F2.system);
       } );
     ("figure3-v1", figure3_bundled "V1" F2.tag_v1);
     ("figure3-v2", figure3_bundled "V2" F2.tag_v2);
@@ -524,55 +532,175 @@ let exit_on_outcome outcome =
   let code = exit_code_of_outcome outcome in
   if code <> 0 then exit code
 
+(* ------------------------------------------------------------------ *)
+(* Family-based simulation (whole variant space in one pass).          *)
+(* ------------------------------------------------------------------ *)
+
+let family_flag =
+  Arg.(
+    value & flag
+    & info [ "family" ]
+        ~doc:
+          "Evaluate the whole variant space in one featured pass \
+           (Sim.Family): shared prefixes execute once, the run splits into \
+           sub-families only where configurations diverge, and every \
+           configuration's result is reported — identical to running each \
+           flattened configuration separately")
+
+let deadline_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"D"
+        ~doc:
+          "With $(b,--family): also report per-configuration deadline \
+           headroom ($(docv) minus the configuration's makespan)")
+
+let outcome_label = function
+  | Sim.Engine.Quiescent -> "ok"
+  | Sim.Engine.Time_limit_reached -> "time-lim"
+  | Sim.Engine.Firing_limit_reached -> "fire-lim"
+
+(* Per-configuration table of a family report: outcome, firing count,
+   makespan (and headroom against a deadline), the deepest buffer any
+   channel reached, and the configuration's assignment. *)
+let print_family_report ?deadline system report =
+  Format.printf "%a@." Sim.Family.pp_summary report;
+  let spans = Sim.Family.makespans report in
+  Format.printf "@.%4s  %-9s %8s %9s %9s %8s  %s@." "cfg" "outcome" "firings"
+    "makespan" "headroom" "buf-max" "assignment";
+  Array.iteri
+    (fun i cr ->
+      let model =
+        V.Flatten.flatten system
+          (V.Variant_space.to_choice cr.Sim.Family.assignment)
+      in
+      let stats = Sim.Stats.of_result model cr.Sim.Family.result in
+      let makespan = snd spans.(i) in
+      let headroom =
+        match deadline with
+        | Some d -> string_of_int (d - makespan)
+        | None -> "-"
+      in
+      let buf_max =
+        List.fold_left
+          (fun acc c -> max acc c.Sim.Stats.high_water)
+          0 stats.Sim.Stats.channels
+      in
+      Format.printf "%4d  %-9s %8d %9d %9s %8d  %a@." i
+        (outcome_label cr.Sim.Family.result.Sim.Engine.outcome)
+        cr.Sim.Family.result.Sim.Engine.firings makespan headroom buf_max
+        V.Variant_space.pp_assignment cr.Sim.Family.assignment)
+    report.Sim.Family.runs
+
+let family_worst_code report =
+  Array.fold_left
+    (fun acc cr ->
+      max acc (exit_code_of_outcome cr.Sim.Family.result.Sim.Engine.outcome))
+    0 report.Sim.Family.runs
+
 let simulate_cmd =
-  let run bundled policy compiled show_trace vcd_path trace_path
-      trace_buffered span_capacity metrics_path =
+  let run_family bundled policy jobs deadline show_trace trace_path
+      trace_buffered metrics_path =
+    match bundled.system with
+    | None ->
+      Format.eprintf
+        "simulate: this model has no variant space behind it; --family works \
+         on figure2-g1, figure2-g2, figure3-v1 and figure3-v2@.";
+      exit 1
+    | Some sys ->
+      let system = sys () in
+      let report =
+        Sim.Family.run ~policy
+          ~stimuli:(bundled.stimuli ())
+          ~firing_budget:bundled.budgets ~jobs:(resolve_jobs jobs) system
+      in
+      Format.printf "%s — whole variant space in one featured pass@."
+        bundled.description;
+      print_family_report ?deadline system report;
+      if show_trace then
+        Array.iter
+          (fun cr ->
+            Format.printf "@.--- trace of configuration %d (%a) ---@.%a@."
+              cr.Sim.Family.index V.Variant_space.pp_assignment
+              cr.Sim.Family.assignment Sim.Trace.pp
+              cr.Sim.Family.result.Sim.Engine.trace)
+          report.Sim.Family.runs;
+      (match trace_out ~buffered:trace_buffered trace_path with
+      | None -> ()
+      | Some out ->
+        Sim.Family.emit_timeline out.sink system report;
+        out.flush ();
+        out.finish ());
+      write_metrics metrics_path;
+      let code = family_worst_code report in
+      if code <> 0 then exit code
+  in
+  let run bundled policy compiled family jobs deadline show_trace vcd_path
+      trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
-    let model = bundled.model () in
-    let configurations = bundled.configurations () in
-    let stimuli = bundled.stimuli () in
-    let result =
-      if compiled then
-        Sim.Compile.run ~policy ~stimuli ~firing_budget:bundled.budgets
-          (Sim.Compile.compile ~configurations model)
-      else
-        Sim.Engine.run ~policy ~configurations ~stimuli
-          ~firing_budget:bundled.budgets model
-    in
-    Format.printf "%s@." bundled.description;
-    Format.printf "%a@." Sim.Engine.pp_summary result;
-    let stats = Sim.Stats.of_result model result in
-    Format.printf "@.%a@." Sim.Stats.pp stats;
-    if show_trace then Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
-    (match vcd_path with
-    | None -> ()
-    | Some path ->
-      Sim.Vcd.to_file path model result;
-      Format.printf "@.VCD written to %s@." path);
-    (match trace_out ~buffered:trace_buffered trace_path with
-    | None -> ()
-    | Some out ->
-      Sim.Timeline.emit out.sink model result;
-      out.flush ();
-      out.finish ());
-    write_metrics metrics_path;
-    exit_on_outcome result.Sim.Engine.outcome
+    if family && compiled then begin
+      Format.eprintf
+        "simulate: --family and --compiled are mutually exclusive (the \
+         family engine interprets the annotated variant space)@.";
+      exit 1
+    end;
+    if family then
+      run_family bundled policy jobs deadline show_trace trace_path
+        trace_buffered metrics_path
+    else begin
+      let model = bundled.model () in
+      let configurations = bundled.configurations () in
+      let stimuli = bundled.stimuli () in
+      let result =
+        if compiled then
+          Sim.Compile.run ~policy ~stimuli ~firing_budget:bundled.budgets
+            (Sim.Compile.compile ~configurations model)
+        else
+          Sim.Engine.run ~policy ~configurations ~stimuli
+            ~firing_budget:bundled.budgets model
+      in
+      Format.printf "%s@." bundled.description;
+      Format.printf "%a@." Sim.Engine.pp_summary result;
+      let stats = Sim.Stats.of_result model result in
+      Format.printf "@.%a@." Sim.Stats.pp stats;
+      if show_trace then
+        Format.printf "@.%a@." Sim.Trace.pp result.Sim.Engine.trace;
+      (match vcd_path with
+      | None -> ()
+      | Some path ->
+        Sim.Vcd.to_file path model result;
+        Format.printf "@.VCD written to %s@." path);
+      (match trace_out ~buffered:trace_buffered trace_path with
+      | None -> ()
+      | Some out ->
+        Sim.Timeline.emit out.sink model result;
+        out.flush ();
+        out.finish ());
+      write_metrics metrics_path;
+      exit_on_outcome result.Sim.Engine.outcome
+    end
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
          "Simulate a bundled model (exits 0 when quiescent, 2 on the time \
-          limit, 3 on the firing limit)")
+          limit, 3 on the firing limit); with $(b,--family), evaluate the \
+          model's whole variant space in one featured pass and exit with \
+          the worst configuration's code")
     Term.(
-      const run $ model_arg $ policy_arg $ compiled_flag $ print_trace_flag
-      $ vcd_arg $ trace_arg $ trace_buffered_flag $ span_capacity_arg
-      $ metrics_arg)
+      const run $ model_arg $ policy_arg $ compiled_flag $ family_flag
+      $ jobs_arg $ deadline_opt_arg $ print_trace_flag $ vcd_arg $ trace_arg
+      $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
 
 let faultsim_cmd =
   let model_name_arg =
     Arg.(
       value & opt string "video"
-      & info [ "model" ] ~docv:"MODEL" ~doc:"video or video-novalves")
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "video or video-novalves; with $(b,--family): figure2, figure3 \
+             or generated")
   in
   let seeds_arg =
     Arg.(
@@ -608,9 +736,157 @@ let faultsim_cmd =
       & info [ "trace-seed" ] ~docv:"SEED"
           ~doc:"Also print the full trace of this seed's run")
   in
-  let run model_name seeds no_faults deadline drop transient trace_seed jobs
-      compiled trace_path trace_buffered span_capacity metrics_path =
+  (* --family: the campaign runs over a variant system instead of the
+     video model — every seed is one featured pass over the whole space,
+     and a configuration misses the deadline when its makespan exceeds
+     it.  Fault plans are scripted over the first configuration's model;
+     entries naming elements absent from another configuration are inert
+     there, exactly as in that configuration's own engine run. *)
+  let family_systems =
+    [
+      ("figure2", fun () -> F2.system);
+      ("figure3", fun () -> F2.system_with_selection);
+      ( "generated",
+        fun () ->
+          V.Generator.generate
+            { V.Generator.default with sites = 2; variants_per_site = 2 } );
+    ]
+  in
+  let family_fault_plan ~drop ~transient ~seed model =
+    let processes =
+      List.map
+        (fun p ->
+          Sim.Fault.on_process
+            ~transient:(Sim.Fault.Probability transient)
+            ~max_retries:2 ~backoff:1 (Spi.Process.id p))
+        (Spi.Model.processes model)
+    in
+    let channels =
+      match
+        Spi.Ids.Channel_id.Set.elements (Spi.Model.unwritten_channels model)
+      with
+      | [] -> []
+      | cid :: _ ->
+        [ Sim.Fault.on_channel cid Sim.Fault.Drop (Sim.Fault.Probability drop) ]
+    in
+    Sim.Fault.plan ~channels ~processes ~seed ()
+  in
+  let run_family model_name seeds no_faults deadline drop transient trace_seed
+      jobs trace_path trace_buffered metrics_path =
+    let system =
+      match List.assoc_opt model_name family_systems with
+      | Some make -> make ()
+      | None ->
+        Format.eprintf
+          "faultsim: unknown family system %s (available with --family: %s)@."
+          model_name
+          (String.concat ", " (List.map fst family_systems));
+        exit 1
+    in
+    let first = V.Flatten.flatten system (V.Flatten.first_cluster system) in
+    (* stimuli on the shared (unprefixed) boundary channels only — every
+       configuration of the space has them *)
+    let stimuli =
+      List.concat_map
+        (fun cid ->
+          if String.contains (Spi.Ids.Channel_id.to_string cid) '.' then []
+          else
+            List.init 5 (fun i ->
+                {
+                  Sim.Engine.at = 1 + (3 * i);
+                  channel = cid;
+                  token = Spi.Token.make ~payload:(i + 1) ();
+                }))
+        (Spi.Ids.Channel_id.Set.elements (Spi.Model.unwritten_channels first))
+    in
+    Format.printf "family fault campaign: %s, %d seeds%s@." model_name seeds
+      (if no_faults then " (faults disabled)" else "");
+    Format.printf "%4s  %-9s %4s %6s %6s %8s %8s %5s@." "seed" "outcome" "cfgs"
+      "splits" "subfam" "executed" "shared" "miss";
+    let worst_code = ref 0 and total_miss = ref 0 in
+    let reports =
+      List.map
+        (fun seed ->
+          let faults =
+            if no_faults then None
+            else Some (family_fault_plan ~drop ~transient ~seed first)
+          in
+          let report =
+            Sim.Family.run ~stimuli ?faults ~jobs:(resolve_jobs jobs) system
+          in
+          let misses =
+            Array.fold_left
+              (fun acc (_, makespan) ->
+                if makespan > deadline then acc + 1 else acc)
+              0
+              (Sim.Family.makespans report)
+          in
+          let code = family_worst_code report in
+          worst_code := max !worst_code code;
+          total_miss := !total_miss + misses;
+          let worst_outcome =
+            Array.fold_left
+              (fun acc cr ->
+                let o = cr.Sim.Family.result.Sim.Engine.outcome in
+                if exit_code_of_outcome o > exit_code_of_outcome acc then o
+                else acc)
+              Sim.Engine.Quiescent report.Sim.Family.runs
+          in
+          Format.printf "%4d  %-9s %4d %6d %6d %8d %8d %5d@." seed
+            (outcome_label worst_outcome)
+            (Array.length report.Sim.Family.runs)
+            report.Sim.Family.splits report.Sim.Family.subfamilies
+            report.Sim.Family.executed_firings report.Sim.Family.shared_firings
+            misses;
+          if trace_seed = Some seed then
+            Array.iter
+              (fun cr ->
+                Format.printf
+                  "@.--- seed %d, configuration %d (%a) ---@.%a@." seed
+                  cr.Sim.Family.index V.Variant_space.pp_assignment
+                  cr.Sim.Family.assignment Sim.Trace.pp
+                  cr.Sim.Family.result.Sim.Engine.trace)
+              report.Sim.Family.runs;
+          (seed, report))
+        (List.init seeds (fun i -> i + 1))
+    in
+    Format.printf
+      "@.totals: %d deadline-misses across %d seeds x %d configurations@."
+      !total_miss seeds
+      (match reports with
+      | (_, r) :: _ -> Array.length r.Sim.Family.runs
+      | [] -> 0);
+    (match trace_out ~buffered:trace_buffered trace_path with
+    | None -> ()
+    | Some out ->
+      (* the family lane convention assigns pid = configuration index + 1,
+         so one exported seed keeps the lanes unambiguous; --trace-seed
+         selects it (default: first seed) *)
+      let pick = Option.value trace_seed ~default:1 in
+      (match List.assoc_opt pick reports with
+      | Some report -> Sim.Family.emit_timeline out.sink system report
+      | None -> ());
+      out.flush ();
+      out.finish ());
+    write_metrics metrics_path;
+    if !worst_code <> 0 then exit !worst_code
+  in
+  let run model_name seeds no_faults family deadline drop transient trace_seed
+      jobs compiled trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
+    if seeds < 1 then begin
+      Format.eprintf "faultsim: --seeds must be positive@.";
+      exit 1
+    end;
+    if family && compiled then begin
+      Format.eprintf "faultsim: --family and --compiled are mutually \
+                      exclusive@.";
+      exit 1
+    end;
+    if family then
+      run_family model_name seeds no_faults deadline drop transient trace_seed
+        jobs trace_path trace_buffered metrics_path
+    else
     let with_valves =
       match model_name with
       | "video" -> true
@@ -621,10 +897,6 @@ let faultsim_cmd =
           other;
         exit 1
     in
-    if seeds < 1 then begin
-      Format.eprintf "faultsim: --seeds must be positive@.";
-      exit 1
-    end;
     let jobs = resolve_jobs jobs in
     let built =
       Video.System.build { Video.System.default_params with with_valves }
@@ -770,11 +1042,14 @@ let faultsim_cmd =
        ~doc:
          "Run seeded fault-injection scenarios over the video system and \
           print a survival report (exits 0 when every seed quiesces, 2/3 \
-          when one hits the time/firing limit)")
+          when one hits the time/firing limit); with $(b,--family), every \
+          seed is one featured pass over a whole variant space (figure2, \
+          figure3 or generated)")
     Term.(
-      const run $ model_name_arg $ seeds_arg $ no_faults_flag $ deadline_arg
-      $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg $ compiled_flag
-      $ trace_arg $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
+      const run $ model_name_arg $ seeds_arg $ no_faults_flag $ family_flag
+      $ deadline_arg $ drop_arg $ transient_arg $ trace_seed_arg $ jobs_arg
+      $ compiled_flag $ trace_arg $ trace_buffered_flag $ span_capacity_arg
+      $ metrics_arg)
 
 let simulate_file_cmd =
   let variant_arg =
@@ -800,15 +1075,73 @@ let simulate_file_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV to $(docv)")
   in
-  let run path variants drive policy compiled show_trace vcd_path json_path
-      csv_path trace_path trace_buffered span_capacity metrics_path =
+  let run path variants drive policy compiled family jobs deadline show_trace
+      vcd_path json_path csv_path trace_path trace_buffered span_capacity
+      metrics_path =
     apply_span_capacity span_capacity;
+    if family && (compiled || vcd_path <> None || json_path <> None || csv_path <> None)
+    then begin
+      Format.eprintf
+        "simulate-file: --family cannot be combined with --compiled, --vcd, \
+         --json or --csv (per-configuration exports need a single flattened \
+         model)@.";
+      exit 1
+    end;
     with_system path (fun system ->
         (match V.System.validate system with
         | [] -> ()
         | errors ->
           List.iter (fun e -> Format.eprintf "%a@." V.System.pp_error e) errors;
           exit 1);
+        if family then begin
+          (* drive only the shared (unprefixed) boundary channels: every
+             configuration of the space has them, and --variant is moot
+             because the featured pass covers every choice at once *)
+          if variants <> [] then
+            Format.eprintf
+              "simulate-file: note: --variant is ignored with --family (the \
+               featured pass covers every cluster choice)@.";
+          let first =
+            V.Flatten.flatten system (V.Flatten.first_cluster system)
+          in
+          let stimuli =
+            List.concat_map
+              (fun cid ->
+                if String.contains (Spi.Ids.Channel_id.to_string cid) '.' then
+                  []
+                else
+                  List.init drive (fun i ->
+                      {
+                        Sim.Engine.at = 1 + i;
+                        channel = cid;
+                        token = Spi.Token.make ~payload:(i + 1) ();
+                      }))
+              (Spi.Ids.Channel_id.Set.elements
+                 (Spi.Model.unwritten_channels first))
+          in
+          let report =
+            Sim.Family.run ~policy ~stimuli ~jobs:(resolve_jobs jobs) system
+          in
+          print_family_report ?deadline system report;
+          if show_trace then
+            Array.iter
+              (fun cr ->
+                Format.printf "@.--- trace of configuration %d (%a) ---@.%a@."
+                  cr.Sim.Family.index V.Variant_space.pp_assignment
+                  cr.Sim.Family.assignment Sim.Trace.pp
+                  cr.Sim.Family.result.Sim.Engine.trace)
+              report.Sim.Family.runs;
+          (match trace_out ~buffered:trace_buffered trace_path with
+          | None -> ()
+          | Some out ->
+            Sim.Family.emit_timeline out.sink system report;
+            out.flush ();
+            out.finish ());
+          write_metrics metrics_path;
+          let code = family_worst_code report in
+          if code <> 0 then exit code
+        end
+        else
         let choice iid =
           match
             List.assoc_opt (Spi.Ids.Interface_id.to_string iid) variants
@@ -861,11 +1194,13 @@ let simulate_file_cmd =
        ~doc:
          "Flatten and simulate a .spi file, optionally exporting the run \
           (exits 0 when quiescent, 2 on the time limit, 3 on the firing \
-          limit)")
+          limit); with $(b,--family), simulate the file's whole variant \
+          space in one featured pass")
     Term.(
       const run $ file_arg $ variant_arg $ drive_arg $ policy_arg
-      $ compiled_flag $ print_trace_flag $ vcd_arg $ json_arg $ csv_arg
-      $ trace_arg $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
+      $ compiled_flag $ family_flag $ jobs_arg $ deadline_opt_arg
+      $ print_trace_flag $ vcd_arg $ json_arg $ csv_arg $ trace_arg
+      $ trace_buffered_flag $ span_capacity_arg $ metrics_arg)
 
 let analyze_cmd =
   let run bundled =

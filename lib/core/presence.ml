@@ -1,0 +1,141 @@
+module I = Spi.Ids
+
+type space = {
+  assignments : Variant_space.assignment array;
+  sites : I.Interface_id.t list;
+}
+
+let space ?(linkage = []) system =
+  let assignments = Array.of_list (Variant_space.enumerate ~linkage system) in
+  if Array.length assignments = 0 then
+    invalid_arg "Presence.space: the system has no configuration";
+  {
+    assignments;
+    sites =
+      List.map
+        (fun site -> site.Structure.iface.Structure.interface_id)
+        (System.sites system);
+  }
+
+let size sp = Array.length sp.assignments
+
+let assignment sp i =
+  if i < 0 || i >= size sp then invalid_arg "Presence.assignment: bad index";
+  sp.assignments.(i)
+
+let sites sp = sp.sites
+
+let choice_at sp i site =
+  match
+    List.find_opt (fun (s, _) -> I.Interface_id.equal s site) (assignment sp i)
+  with
+  | Some (_, cluster) -> Some cluster
+  | None -> None
+
+let choice_at sp i site =
+  match choice_at sp i site with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Format.asprintf "Presence.choice_at: unknown site %a" I.Interface_id.pp
+         site)
+
+(* Bitset over configuration indices, little-endian across 63-bit
+   words.  Immutable by convention: every operation returns a fresh
+   array. *)
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let empty sp =
+  let n = size sp in
+  { n; words = Array.make (words_for n) 0 }
+
+let full sp =
+  let n = size sp in
+  let words = Array.make (words_for n) 0 in
+  for i = 0 to n - 1 do
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    words.(w) <- words.(w) lor (1 lsl b)
+  done;
+  { n; words }
+
+let mem i t =
+  i >= 0 && i < t.n
+  && t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add i t =
+  if i < 0 || i >= t.n then invalid_arg "Presence.add: bad index";
+  let words = Array.copy t.words in
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  words.(w) <- words.(w) lor (1 lsl b);
+  { t with words }
+
+let singleton sp i =
+  if i < 0 || i >= size sp then invalid_arg "Presence.singleton: bad index";
+  add i (empty sp)
+
+let of_indices sp is = List.fold_left (fun acc i -> add i acc) (empty sp) is
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_space a b =
+  if a.n <> b.n then invalid_arg "Presence: sets from different spaces";
+  ()
+
+let equal a b =
+  same_space a b;
+  Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let map2 f a b =
+  same_space a b;
+  { a with words = Array.map2 f a.words b.words }
+
+let inter = map2 ( land )
+let union = map2 ( lor )
+let diff = map2 (fun x y -> x land lnot y)
+
+let subset a b = is_empty (diff a b)
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem i t then f i
+  done
+
+let indices t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let first t =
+  let rec go i = if i >= t.n then None else if mem i t then Some i else go (i + 1) in
+  go 0
+
+let partition_at sp t site =
+  let parts = ref [] in
+  (* accumulate in first-member order: members are scanned ascending,
+     so a choice's part is created when its smallest member appears *)
+  iter
+    (fun i ->
+      let choice = choice_at sp i site in
+      match
+        List.find_opt (fun (c, _) -> I.Cluster_id.equal c choice) !parts
+      with
+      | Some (_, members) -> members := i :: !members
+      | None -> parts := !parts @ [ (choice, ref [ i ]) ])
+    t;
+  List.map (fun (c, members) -> (c, of_indices sp (List.rev !members))) !parts
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
+    (indices t)

@@ -1,0 +1,76 @@
+(** Presence conditions over a variant space.
+
+    Family-based ("featured") analyses evaluate the whole variant space
+    of a system in one pass: work shared by every configuration runs
+    once, and the analysis splits only where configurations diverge
+    (Dimovski's family-based model checking, lifted to the paper's
+    cluster/interface variant spaces).  The object such an analysis
+    threads through every step is a {e presence condition} — the set of
+    configurations a step applies to.
+
+    This module fixes one enumeration of the space
+    ({!Variant_space.enumerate} order) and represents presence
+    conditions as bitsets over the configuration indices, so the
+    simulator can carry, intersect and split them without touching
+    assignment lists on its hot path. *)
+
+type space
+(** A frozen enumeration of a system's variant space: configuration
+    index [i] means the [i]-th assignment of
+    {!Variant_space.enumerate}. *)
+
+val space : ?linkage:Variant_space.linkage -> System.t -> space
+(** @raise Invalid_argument when the system has no configuration (a
+    site without clusters under linkage truncation). *)
+
+val size : space -> int
+(** Number of configurations in the space (at least 1). *)
+
+val assignment : space -> int -> Variant_space.assignment
+(** The assignment enumerated at a configuration index.
+    @raise Invalid_argument when the index is out of range. *)
+
+val sites : space -> Spi.Ids.Interface_id.t list
+(** The system's top-level sites, in site order. *)
+
+val choice_at : space -> int -> Spi.Ids.Interface_id.t -> Spi.Ids.Cluster_id.t
+(** The cluster configuration [i] selects at a site.
+    @raise Invalid_argument on an unknown site. *)
+
+(** {1 Presence conditions} *)
+
+type t
+(** An immutable set of configuration indices of one {!space}. *)
+
+val full : space -> t
+val empty : space -> t
+val singleton : space -> int -> t
+val of_indices : space -> int list -> t
+val mem : int -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val indices : t -> int list
+(** Ascending configuration indices. *)
+
+val first : t -> int option
+(** The smallest member — the representative configuration a sub-family
+    executes. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val partition_at :
+  space -> t -> Spi.Ids.Interface_id.t -> (Spi.Ids.Cluster_id.t * t) list
+(** Splits a presence condition by the cluster its members select at a
+    site.  Parts are ordered by their smallest member index (so the part
+    containing the current representative comes first when the
+    representative is the set's minimum); every part is non-empty and
+    the parts partition the input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the member indices, e.g. [{0 2 3}]. *)

@@ -1,0 +1,99 @@
+(** Family-based ("featured") simulation of a variant space.
+
+    {!Engine.run} evaluates one flattened configuration at a time, so
+    covering a system's whole variant space costs
+    O(configurations x scenario).  This module lifts the simulation over
+    the space: one run starts from a single {e sub-family} covering
+    every configuration (a presence condition over
+    {!Variants.Presence}), executes work shared by all members once, and
+    splits into smaller sub-families only at the first event where the
+    members' behaviors can diverge — when a variant of a still-inactive
+    site could activate, or when the environment injects into a site's
+    internals.  Configurations whose distinguishing clusters never
+    activate under the scenario are never split apart: the run covers
+    them all with one execution.
+
+    The per-configuration results are {e exactly} the results
+    per-configuration {!Engine.run}s would produce on the flattened
+    models — trace entry for entry, final channel contents, outcome,
+    firing counts and the fault-plan RNG stream included.  The
+    differential qcheck harness in [test/test_family.ml] enforces this
+    structurally and at rendered-byte level across generated systems,
+    fault plans and seeds; docs/FAMILY.md states the proof obligation.
+
+    Restrictions (checked, [Invalid_argument]):
+    - shared element ids must not collide with any site's ["<site>."]
+      prefix, and no site prefix may extend another's — the prefixes are
+      how the engine attributes state to sites;
+    - fault plans must not carry a degradation policy: flattened
+      per-configuration models have no {!Variants.Configuration.t}s to
+      fall back to, so a degrading family run would have no
+      per-configuration reference. *)
+
+type config_run = {
+  index : int;  (** position in {!Variants.Variant_space.enumerate} order *)
+  assignment : Variants.Variant_space.assignment;
+  result : Engine.result;
+      (** identical to [Engine.run] on this configuration's flattened
+          model under the same scenario *)
+}
+
+type report = {
+  runs : config_run array;  (** one per configuration, in index order *)
+  splits : int;  (** sub-family forks taken *)
+  subfamilies : int;  (** leaves: distinct executions that finished *)
+  executed_firings : int;
+      (** firings the family engine actually performed, summed over all
+          sub-families *)
+  shared_firings : int;
+      (** of those, firings performed while covering two or more
+          configurations — the work a per-configuration sweep would have
+          repeated *)
+}
+
+val run :
+  ?policy:Engine.policy ->
+  ?limits:Engine.limits ->
+  ?overflow:Spi.Semantics.overflow ->
+  ?stimuli:Engine.stimulus list ->
+  ?firing_budget:(Spi.Ids.Process_id.t * int) list ->
+  ?faults:Fault.plan ->
+  ?linkage:Variants.Variant_space.linkage ->
+  ?jobs:int ->
+  Variants.System.t ->
+  report
+(** Simulates every configuration of the system's variant space in one
+    featured pass.  The scenario parameters have {!Engine.run}'s
+    semantics and apply uniformly to every configuration; stimuli should
+    target shared (unprefixed) channels — a stimulus into a site's
+    internals forces that site's sub-families apart at injection time.
+
+    [jobs] (default 1) runs sub-families as steal-able tasks on the
+    {!Synth.Par} work-stealing domain pool: each split offers the new
+    sub-families to idle domains, so a heavily-splitting space fans out.
+    Results are identical for every job count.
+
+    Registers [sim.family.*] metrics: [runs], [configs], [splits],
+    [subfamilies], [shared_firings], the [configs_per_firing] histogram
+    and the [sim.family.run_ns] span.
+
+    @raise Invalid_argument on prefix collisions or degradation plans
+    (see above); exceptions a per-configuration run would raise
+    ({!Spi.Semantics.Channel_overflow}, [Not_found] on stimuli naming
+    channels absent from a member's model) propagate. *)
+
+val makespans : report -> (int * int) array
+(** [(index, makespan)] per configuration — the end time of the last
+    completion in its trace (0 when nothing completed).  The basis of
+    per-configuration deadline headroom: [deadline - makespan]. *)
+
+val emit_timeline :
+  Obs.Trace_event.sink -> Variants.System.t -> report -> unit
+(** Exports every configuration's schedule into one trace file using
+    the family lane convention: configuration [index] becomes process
+    group [pid = index + 1], named after its assignment, with
+    {!Timeline.emit}'s usual per-process lanes inside.  Shared prefixes
+    therefore appear as identical lanes across the groups; the groups
+    diverge where the run split. *)
+
+val pp_summary : Format.formatter -> report -> unit

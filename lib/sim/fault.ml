@@ -213,6 +213,13 @@ let start the_plan =
     the_plan.channels;
   { the_plan; r = rng the_plan.seed; procs; chans }
 
+let copy t =
+  let procs = Hashtbl.create (max 8 (Hashtbl.length t.procs)) in
+  Hashtbl.iter
+    (fun key ps -> Hashtbl.replace procs key { ps with retries = ps.retries })
+    t.procs;
+  { the_plan = t.the_plan; r = { s = t.r.s }; procs; chans = Hashtbl.copy t.chans }
+
 let plan_of t = t.the_plan
 let find_proc t pid = Hashtbl.find_opt t.procs (I.Process_id.to_string pid)
 

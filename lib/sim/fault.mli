@@ -209,6 +209,15 @@ type state
 val start : plan -> state
 val plan_of : state -> plan
 
+val copy : state -> state
+(** Independent clone of the runtime state: the splitmix64 stream
+    position and every per-process counter (retries, failures, crash and
+    degradation flags) are duplicated, so the clone and the original
+    draw and count independently from the fork point on.  {!Family}
+    forks the fault state when a run splits into sub-families — each
+    branch then consumes the stream exactly as a per-configuration
+    {!Engine.run} would from that point. *)
+
 (** Outcome of passing one injected token through the channel plans. *)
 type token_outcome =
   | Deliver

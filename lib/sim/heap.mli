@@ -18,6 +18,13 @@ val pop_min : 'a t -> (int * 'a) option
 
 val peek_time : 'a t -> int option
 
+val copy : 'a t -> 'a t
+(** Independent clone: pushes and pops on either heap leave the other
+    untouched, and the clone continues the original's sequence counter
+    so FIFO tie-breaks stay aligned across the fork.  Entry values are
+    shared (they are treated as immutable).  {!Family} forks the event
+    heap at sub-family split points with this. *)
+
 (** The same heap specialized to [int] payloads, stored flat in one
     [int array] — pushing allocates nothing once the backing array has
     reached the run's high-water mark.  Used by the compiled engine

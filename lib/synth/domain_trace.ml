@@ -144,6 +144,17 @@ let emit_timeline ?(pid = 1) ?(name = "explorer") sink =
                  tid;
                  ts;
                  args = [ ("cost", J.Int cost) ];
+               });
+          (* the same improvements as a counter track: viewers draw the
+             incumbent cost as a step function descending over the
+             search, one series shared by all lanes of the group *)
+          sink.T.event
+            (T.Counter
+               {
+                 name = "incumbent cost";
+                 pid;
+                 ts;
+                 values = [ ("cost", float_of_int cost) ];
                })
         | 3 ->
           let ts = us buf.data.(o + 1)

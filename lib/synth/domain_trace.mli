@@ -54,8 +54,10 @@ val emit_timeline : ?pid:int -> ?name:string -> Obs.Trace_event.sink -> unit
 (** Drain every registered buffer into [sink] under process group
     [pid] (default 1), labelled [name] (default ["explorer"]): one lane
     per domain with queue-wait and task spans, incumbent-improvement
-    instants carrying the cost, and steal instants (on the stealing
-    domain's lane, with the victim worker and task id as args),
+    instants carrying the cost (mirrored onto an ["incumbent cost"]
+    counter track, so viewers draw the descent as a step function), and
+    steal instants (on the stealing domain's lane, with the victim
+    worker and task id as args),
     timestamps relative to the {!enable} call in microseconds.  Also
     bumps the [par.trace_dropped] counter with the drop total.  Call
     after the pool has joined. *)

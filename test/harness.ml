@@ -172,6 +172,35 @@ let sim_stimuli ?(tokens = 3) model =
           }))
     (I.Channel_id.Set.elements (Spi.Model.unwritten_channels model))
 
+(* ------------------- family simulation workloads --------------------- *)
+
+(* The same generated workload family as [sim_model], but kept as a
+   variant system: [Sim.Family.run] takes the system itself, and the
+   differential harness flattens it once per configuration for the
+   per-configuration reference runs. *)
+let family_system ~seed =
+  let sites = 1 + (seed mod 3) in
+  let cluster_processes = 1 + (seed mod 2) in
+  Variants.Generator.generate
+    {
+      Variants.Generator.seed;
+      shared_processes = 2;
+      sites;
+      variants_per_site = 2;
+      cluster_processes;
+      latency_range = (1, 8 + (seed mod 13));
+    }
+
+(* Stimuli restricted to the system's shared (unprefixed) boundary
+   channels — every configuration of the space has them, so the family
+   run keeps its prefix shared for as long as the variants agree. *)
+let family_stimuli ?tokens system =
+  List.filter
+    (fun s ->
+      not (String.contains (I.Channel_id.to_string s.Sim.Engine.channel) '.'))
+    (sim_stimuli ?tokens
+       (Variants.Flatten.flatten system (Variants.Flatten.first_cluster system)))
+
 (* A fault plan over the model's own processes and channels, scripted
    from [seed]: transients with retries and backoff on half the
    processes, token faults on the first input channel, one scripted
@@ -219,3 +248,12 @@ let sim_fault_plan ~seed ?(configurations = []) model =
   in
   Sim.Fault.plan ~channels:channel_plans ~processes:process_plans ?degrade
     ~seed ()
+
+(* Family fault plan: [sim_fault_plan] scripted over the first
+   configuration's flattened model.  Plan entries naming processes or
+   channels absent from another configuration's model are inert there —
+   identically in the family engine and in that configuration's own
+   [Engine.run].  No degradation: the family engine rejects it. *)
+let family_fault_plan ~seed system =
+  sim_fault_plan ~seed
+    (Variants.Flatten.flatten system (Variants.Flatten.first_cluster system))

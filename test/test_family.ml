@@ -1,0 +1,234 @@
+(* Differential proof that the family engine (Sim.Family) produces, for
+   every configuration of a variant space, exactly the result a
+   per-configuration Sim.Engine run produces on that configuration's
+   flattened model — trace entry for entry, final channel contents,
+   outcome and counters, structurally and at rendered-byte level —
+   across generated systems, policies, fault plans, limits, budgets and
+   job counts.  Result equality is Test_compile's: the same helpers that
+   prove the compiled engine identical to the interpreter. *)
+
+module I = Spi.Ids
+
+let render_assignment a =
+  Format.asprintf "%a" Variants.Variant_space.pp_assignment a
+
+(* Family run vs one Engine.run per configuration, under one scenario. *)
+let differential ?policy ?limits ?overflow ?stimuli ?firing_budget ?faults
+    ?(jobs = 1) system =
+  let report =
+    Sim.Family.run ?policy ?limits ?overflow ?stimuli ?firing_budget ?faults
+      ~jobs system
+  in
+  let runs = report.Sim.Family.runs in
+  let assignments = Variants.Variant_space.enumerate system in
+  Array.length runs = List.length assignments
+  && List.for_all
+       (fun (i, assignment) ->
+         let cr = runs.(i) in
+         let model =
+           Variants.Flatten.flatten system
+             (Variants.Variant_space.to_choice assignment)
+         in
+         let reference =
+           Sim.Engine.run ?policy ?limits ?overflow ?stimuli ?firing_budget
+             ?faults model
+         in
+         cr.Sim.Family.index = i
+         && render_assignment cr.Sim.Family.assignment
+            = render_assignment assignment
+         && Test_compile.result_eq model reference cr.Sim.Family.result)
+       (List.mapi (fun i a -> (i, a)) assignments)
+
+(* --------------------------- qcheck properties ----------------------- *)
+
+let prop_generated_workloads =
+  QCheck.Test.make ~name:"family = per-config engine (generated systems)"
+    ~count:30
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.family_system ~seed in
+      let stimuli = Harness.family_stimuli system in
+      List.for_all
+        (fun policy -> differential ~policy ~stimuli system)
+        [ Sim.Engine.Best_case; Sim.Engine.Typical; Sim.Engine.Worst_case ])
+
+let prop_generated_with_faults =
+  QCheck.Test.make ~name:"family = per-config engine (fault plans)" ~count:25
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.family_system ~seed in
+      let stimuli = Harness.family_stimuli ~tokens:5 system in
+      let faults = Harness.family_fault_plan ~seed system in
+      differential ~stimuli ~faults system)
+
+let prop_limits_and_budgets =
+  QCheck.Test.make ~name:"family = per-config engine (limits, budgets)"
+    ~count:20
+    QCheck.(pair (int_range 0 999) (int_range 1 30))
+    (fun (seed, max_firings) ->
+      let system = Harness.family_system ~seed in
+      let stimuli = Harness.family_stimuli ~tokens:4 system in
+      let limits = { Sim.Engine.max_time = 200; max_firings } in
+      let firing_budget =
+        List.filteri
+          (fun i _ -> i mod 2 = 0)
+          (List.map
+             (fun p -> (Spi.Process.id p, 1 + (seed mod 3)))
+             (Spi.Model.processes
+                (Variants.Flatten.flatten system
+                   (Variants.Flatten.first_cluster system))))
+      in
+      differential ~limits ~stimuli ~firing_budget system)
+
+(* Sub-families become steal-able tasks on the domain pool: every job
+   count must report the identical per-configuration results and the
+   identical family statistics. *)
+let prop_jobs_invariant =
+  QCheck.Test.make ~name:"family run is job-count invariant" ~count:6
+    QCheck.(int_range 0 999)
+    (fun seed ->
+      let system = Harness.family_system ~seed:((seed * 3) + 2) in
+      let stimuli = Harness.family_stimuli ~tokens:4 system in
+      let faults = Harness.family_fault_plan ~seed system in
+      let fingerprint jobs =
+        let r = Sim.Family.run ~stimuli ~faults ~jobs system in
+        let runs =
+          Array.to_list r.Sim.Family.runs
+          |> List.map (fun cr ->
+                 Format.asprintf "%d %s %a" cr.Sim.Family.index
+                   (render_assignment cr.Sim.Family.assignment)
+                   Sim.Trace.pp cr.Sim.Family.result.Sim.Engine.trace)
+          |> String.concat "\n"
+        in
+        ( runs,
+          r.Sim.Family.splits,
+          r.Sim.Family.subfamilies,
+          r.Sim.Family.executed_firings,
+          r.Sim.Family.shared_firings )
+      in
+      let reference = fingerprint 1 in
+      List.for_all (fun jobs -> fingerprint jobs = reference) [ 2; 4 ])
+
+(* ------------------------------ unit tests --------------------------- *)
+
+(* The acceptance sweep: 200 seeded systems mixing policies and fault
+   plans, every configuration byte-identical to its own engine run. *)
+let test_200_workloads () =
+  for seed = 0 to 199 do
+    let system = Harness.family_system ~seed in
+    let stimuli = Harness.family_stimuli system in
+    let policy =
+      match seed mod 3 with
+      | 0 -> Sim.Engine.Best_case
+      | 1 -> Sim.Engine.Typical
+      | _ -> Sim.Engine.Worst_case
+    in
+    let faults =
+      if seed mod 2 = 1 then Some (Harness.family_fault_plan ~seed system)
+      else None
+    in
+    Alcotest.(check bool)
+      (Format.sprintf "workload %d" seed)
+      true
+      (differential ~policy ~stimuli ?faults system)
+  done
+
+(* The point of the whole exercise: on a sharing-friendly workload the
+   family engine executes strictly fewer firings than the
+   per-configuration sweep it replaces, because the shared prefix ran
+   once for every member. *)
+let test_sharing_pays () =
+  let system = Harness.family_system ~seed:2 (* 3 sites, 8 configurations *) in
+  let stimuli = Harness.family_stimuli system in
+  let report = Sim.Family.run ~stimuli system in
+  let per_config =
+    Array.fold_left
+      (fun acc cr -> acc + cr.Sim.Family.result.Sim.Engine.firings)
+      0 report.Sim.Family.runs
+  in
+  Alcotest.(check int) "8 configurations" 8
+    (Array.length report.Sim.Family.runs);
+  Alcotest.(check bool) "some firings were shared" true
+    (report.Sim.Family.shared_firings > 0);
+  Alcotest.(check bool) "family executed fewer firings than N passes" true
+    (report.Sim.Family.executed_firings < per_config);
+  Alcotest.(check bool) "executed = per-config total - sharing savings" true
+    (report.Sim.Family.executed_firings <= per_config)
+
+let test_degradation_rejected () =
+  let system = Harness.family_system ~seed:1 in
+  let faults =
+    Sim.Fault.plan
+      ~degrade:(Sim.Fault.degradation ~fallback:(fun _ _ -> None) ())
+      ~seed:7 ()
+  in
+  let rejected =
+    match Sim.Family.run ~faults system with
+    | (_ : Sim.Family.report) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "degradation plans are rejected" true rejected
+
+let test_makespans () =
+  let system = Harness.family_system ~seed:5 in
+  let stimuli = Harness.family_stimuli system in
+  let report = Sim.Family.run ~stimuli system in
+  let spans = Sim.Family.makespans report in
+  Alcotest.(check int) "one makespan per configuration"
+    (Array.length report.Sim.Family.runs)
+    (Array.length spans);
+  Array.iteri
+    (fun i (index, makespan) ->
+      let cr = report.Sim.Family.runs.(i) in
+      let expected =
+        List.fold_left
+          (fun acc e ->
+            match e with
+            | Sim.Trace.Completed { time; _ } -> max acc time
+            | _ -> acc)
+          0 cr.Sim.Family.result.Sim.Engine.trace
+      in
+      Alcotest.(check int) (Format.sprintf "index %d" i) i index;
+      Alcotest.(check int)
+        (Format.sprintf "makespan of config %d" i)
+        expected makespan)
+    spans
+
+(* The family lane convention: configuration [i] exports as process
+   group [pid = i + 1], so one trace file holds every configuration's
+   schedule side by side. *)
+let test_timeline_lanes () =
+  let system = Harness.family_system ~seed:4 in
+  let stimuli = Harness.family_stimuli system in
+  let report = Sim.Family.run ~stimuli system in
+  let t = Obs.Trace_event.create () in
+  Sim.Family.emit_timeline (Obs.Trace_event.buffer_sink t) system report;
+  let configs = Array.length report.Sim.Family.runs in
+  let pids =
+    List.sort_uniq compare
+      (List.map Obs.Trace_event.pid_of (Obs.Trace_event.events t))
+  in
+  Alcotest.(check bool) "events were emitted" true (Obs.Trace_event.length t > 0);
+  Alcotest.(check bool)
+    (Format.sprintf "pids cover 1..%d" configs)
+    true
+    (List.for_all (fun pid -> pid >= 1 && pid <= configs) pids
+    && List.length pids = configs)
+
+let suite =
+  ( "family",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_generated_workloads;
+      QCheck_alcotest.to_alcotest ~long:false prop_generated_with_faults;
+      QCheck_alcotest.to_alcotest ~long:false prop_limits_and_budgets;
+      QCheck_alcotest.to_alcotest ~long:false prop_jobs_invariant;
+      Alcotest.test_case "200 seeded systems are byte-identical" `Slow
+        test_200_workloads;
+      Alcotest.test_case "shared prefixes execute once" `Quick
+        test_sharing_pays;
+      Alcotest.test_case "degradation plans are rejected" `Quick
+        test_degradation_rejected;
+      Alcotest.test_case "makespans follow the traces" `Quick test_makespans;
+      Alcotest.test_case "timeline lanes per configuration" `Quick
+        test_timeline_lanes;
+    ] )

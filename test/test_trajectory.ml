@@ -4,8 +4,8 @@
 
 module T = Trajectory
 
-let record ?(label = "") ?(name = "w") ?(speedup = 2.0) ?(costs = [ 34; 34; 34 ])
-    () =
+let record ?(label = "") ?(name = "w") ?(speedup = 2.0) ?sim ?family
+    ?(costs = [ 34; 34; 34 ]) () =
   {
     T.label;
     max_jobs = 4;
@@ -15,6 +15,8 @@ let record ?(label = "") ?(name = "w") ?(speedup = 2.0) ?(costs = [ 34; 34; 34 ]
         {
           T.w_name = name;
           speedup;
+          sim_speedup = sim;
+          family_speedup = family;
           runs =
             List.mapi
               (fun i c ->
@@ -100,6 +102,70 @@ let test_different_workload_sets () =
   | Ok _ -> ()
   | Error fs -> Alcotest.failf "expected pass, got: %s" (String.concat "; " fs)
 
+let has_sub f sub =
+  let n = String.length sub and m = String.length f in
+  let rec go i = i + n <= m && (String.sub f i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------- mixed-version trajectories --------------------- *)
+
+(* A baseline written before the sim/family fields existed must not make
+   the gate crash or fail: the per-field arms are skipped. *)
+let test_old_baseline_skips_new_fields () =
+  match
+    check
+      ~baseline:(Some (record ~speedup:2.0 ()))
+      ~fresh:(record ~speedup:1.9 ~sim:5.0 ~family:3.0 ())
+      ()
+  with
+  | Ok summary ->
+    Alcotest.(check bool) "summary says the field was not gated" true
+      (has_sub summary "not gated")
+  | Error fs -> Alcotest.failf "expected pass, got: %s" (String.concat "; " fs)
+
+(* The converse mix: a fresh record without the fields against a
+   baseline that has them — also a skip, not a crash. *)
+let test_old_fresh_skips_new_fields () =
+  match
+    check
+      ~baseline:(Some (record ~speedup:2.0 ~sim:5.0 ~family:3.0 ()))
+      ~fresh:(record ~speedup:1.9 ())
+      ()
+  with
+  | Ok _ -> ()
+  | Error fs -> Alcotest.failf "expected pass, got: %s" (String.concat "; " fs)
+
+let test_family_gate_fires () =
+  match
+    check
+      ~baseline:(Some (record ~family:4.0 ()))
+      ~fresh:(record ~family:1.0 ())
+      ()
+  with
+  | Ok s -> Alcotest.failf "regressed family speedup passed: %s" s
+  | Error fs ->
+    Alcotest.(check bool) "failure names the family arm" true
+      (List.exists (fun f -> has_sub f "family speedup regressed") fs)
+
+let test_sim_gate_fires () =
+  match
+    check ~baseline:(Some (record ~sim:6.0 ())) ~fresh:(record ~sim:1.0 ()) ()
+  with
+  | Ok s -> Alcotest.failf "regressed sim speedup passed: %s" s
+  | Error fs ->
+    Alcotest.(check bool) "failure names the sim arm" true
+      (List.exists (fun f -> has_sub f "sim speedup regressed") fs)
+
+let test_family_within_tolerance () =
+  match
+    check
+      ~baseline:(Some (record ~sim:2.0 ~family:2.0 ()))
+      ~fresh:(record ~sim:1.6 ~family:1.5 ())
+      ()
+  with
+  | Ok _ -> ()
+  | Error fs -> Alcotest.failf "expected pass, got: %s" (String.concat "; " fs)
+
 let sample_json =
   {|[
   {
@@ -141,9 +207,45 @@ let test_parse_record () =
       Alcotest.(check (list (option int)))
         "costs"
         [ Some 41; Some 41; Some 41 ]
-        (List.map (fun r -> r.T.cost) w.T.runs)
+        (List.map (fun r -> r.T.cost) w.T.runs);
+      (* a record from before the sim/family fields existed *)
+      Alcotest.(check (option (float 1e-9))) "no sim field" None w.T.sim_speedup;
+      Alcotest.(check (option (float 1e-9)))
+        "no family field" None w.T.family_speedup
     | ws -> Alcotest.failf "expected 1 workload, got %d" (List.length ws))
   | Ok rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+let sample_json_with_fields =
+  {|[
+  {
+    "schema": "bench-explore/v1",
+    "timestamp": 1754600000,
+    "max_jobs": 4,
+    "workloads": [
+      {
+        "name": "table1",
+        "runs": [
+          {"jobs": 1, "wall_s": 0.4, "cost": 41},
+          {"jobs": 4, "wall_s": 0.1, "cost": 41}
+        ],
+        "speedup_max_jobs": 4.0,
+        "sim": {"interpreted_wall_s": 0.2, "compiled_wall_s": 0.05, "compile_s": 0.01, "speedup": 4.0},
+        "family": {"npass_wall_s": 0.3, "family_wall_s": 0.12, "configs": 2, "speedup": 2.5}
+      }
+    ],
+    "aggregate": {"wall_s_jobs1": 0.4, "wall_s_max_jobs": 0.1, "speedup_max_jobs": 4.0},
+    "metrics": {}
+  }
+]|}
+
+let test_parse_sim_and_family_fields () =
+  match T.records_of_string sample_json_with_fields with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok [ { T.workloads = [ w ]; _ } ] ->
+    Alcotest.(check (option (float 1e-9))) "sim" (Some 4.0) w.T.sim_speedup;
+    Alcotest.(check (option (float 1e-9)))
+      "family" (Some 2.5) w.T.family_speedup
+  | Ok _ -> Alcotest.fail "expected 1 record with 1 workload"
 
 let test_parse_rejects_bad_schema () =
   let bad = {|[{"schema": "bench-explore/v2", "max_jobs": 1}]|} in
@@ -169,4 +271,16 @@ let suite =
       Alcotest.test_case "parses bench-explore/v1" `Quick test_parse_record;
       Alcotest.test_case "rejects unknown schemas" `Quick
         test_parse_rejects_bad_schema;
+      Alcotest.test_case "old baseline skips the sim/family arms" `Quick
+        test_old_baseline_skips_new_fields;
+      Alcotest.test_case "old fresh record skips the sim/family arms" `Quick
+        test_old_fresh_skips_new_fields;
+      Alcotest.test_case "family arm fires on regression" `Quick
+        test_family_gate_fires;
+      Alcotest.test_case "sim arm fires on regression" `Quick
+        test_sim_gate_fires;
+      Alcotest.test_case "sim/family regressions inside the budget pass"
+        `Quick test_family_within_tolerance;
+      Alcotest.test_case "parses the sim and family speedup fields" `Quick
+        test_parse_sim_and_family_fields;
     ] )

@@ -9,6 +9,9 @@
                               source/target configuration args
      --expect-worker-lanes N  at least N explorer domain lanes with
                               task spans
+     --expect-incumbent-counter
+                              at least one "incumbent cost" counter
+                              sample (the explorer's descent track)
 
    Alternate mode:
      --identical A B          the two files are byte-for-byte equal —
@@ -42,8 +45,11 @@ let check_identical a b =
   exit 0
 
 let () =
-  let path, expect_tconf, expect_lanes =
-    let path = ref None and tconf = ref false and lanes = ref 0 in
+  let path, expect_tconf, expect_lanes, expect_incumbent =
+    let path = ref None
+    and tconf = ref false
+    and lanes = ref 0
+    and incumbent = ref false in
     let rec parse = function
       | [] -> ()
       | [ "--identical"; a; b ] -> check_identical a b
@@ -53,17 +59,21 @@ let () =
       | "--expect-worker-lanes" :: n :: rest ->
         lanes := int_of_string n;
         parse rest
+      | "--expect-incumbent-counter" :: rest ->
+        incumbent := true;
+        parse rest
       | p :: rest ->
         path := Some p;
         parse rest
     in
     parse (List.tl (Array.to_list Sys.argv));
     match !path with
-    | Some p -> (p, !tconf, !lanes)
+    | Some p -> (p, !tconf, !lanes, !incumbent)
     | None ->
       fail
         "usage: validate_trace [--expect-tconf] [--expect-worker-lanes N] \
-         TRACE.json | validate_trace --identical A B"
+         [--expect-incumbent-counter] TRACE.json | validate_trace \
+         --identical A B"
   in
   let ic = open_in_bin path in
   let contents = really_input_string ic (in_channel_length ic) in
@@ -106,6 +116,7 @@ let () =
   let flow_tails = Hashtbl.create 64 in
   let task_lanes = Hashtbl.create 16 in
   let tconf_ok = ref false in
+  let incumbent_ok = ref false in
   List.iteri
     (fun i e ->
       let ph =
@@ -161,7 +172,8 @@ let () =
         require_fields i e [ "name"; "ts"; "pid"; "args" ];
         (match J.member "args" e with
         | Some (J.Obj (_ :: _)) -> ()
-        | _ -> fail "%s: counter event %d has no samples" path i)
+        | _ -> fail "%s: counter event %d has no samples" path i);
+        if str "name" e = Some "incumbent cost" then incumbent_ok := true
       | "s" ->
         require_fields i e [ "id"; "ts"; "pid"; "tid" ];
         Hashtbl.replace flow_tails (int_field "id") ()
@@ -198,6 +210,8 @@ let () =
     spans;
   if expect_tconf && not !tconf_ok then
     fail "%s: no t_conf reconfiguration span found" path;
+  if expect_incumbent && not !incumbent_ok then
+    fail "%s: no \"incumbent cost\" counter sample found" path;
   if Hashtbl.length task_lanes < expect_lanes then
     fail "%s: %d worker domain lanes, expected >= %d" path
       (Hashtbl.length task_lanes) expect_lanes;
