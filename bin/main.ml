@@ -1492,10 +1492,59 @@ let serve_cmd =
             "Skip fsync on journal commits (faster, but a power loss can \
              drop acknowledged records)")
   in
-  let run socket_path store_path metrics_path jobs queue_limit
-      default_deadline_ms no_fsync =
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append the structured log/v1 stream (one JSON object per \
+             line) to $(docv) instead of stderr")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("debug", Obs.Log.Debug);
+               ("info", Obs.Log.Info);
+               ("warn", Obs.Log.Warn);
+               ("error", Obs.Log.Error);
+             ])
+          Obs.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log threshold: debug, info, warn or error")
+  in
+  let sample_interval_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_sample_interval_ms
+      & info [ "sample-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Period of the time-series ticker behind the metrics verb's \
+             rolling rates and quantiles; 0 disables sampling")
+  in
+  let series_windows_arg =
+    Arg.(
+      value
+      & opt int Obs.Series.default_windows
+      & info [ "series-windows" ] ~docv:"N"
+          ~doc:"Samples retained for the rolling series")
+  in
+  let run socket_path store_path metrics_path trace_path log_path log_level
+      sample_interval_ms series_windows jobs queue_limit default_deadline_ms
+      no_fsync =
     if queue_limit < 1 then begin
       Format.eprintf "--queue-limit must be positive@.";
+      exit 1
+    end;
+    if sample_interval_ms < 0 then begin
+      Format.eprintf "--sample-interval-ms must be >= 0@.";
+      exit 1
+    end;
+    if series_windows < 2 then begin
+      Format.eprintf "--series-windows must be >= 2@.";
       exit 1
     end;
     Serve.Daemon.run
@@ -1503,6 +1552,11 @@ let serve_cmd =
         Serve.Daemon.socket_path;
         store_path;
         metrics_path;
+        trace_path;
+        log_path;
+        log_level;
+        sample_interval_ms;
+        series_windows;
         jobs = resolve_jobs jobs;
         queue_limit;
         default_deadline_ms;
@@ -1513,9 +1567,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the synthesis daemon: admission control, per-request \
-          deadlines, crash-safe exploration store")
+          deadlines, crash-safe exploration store, live telemetry")
     Term.(
-      const run $ socket_arg $ store_arg $ metrics_arg $ jobs_arg
+      const run $ socket_arg $ store_arg $ metrics_arg $ trace_arg $ log_arg
+      $ log_level_arg $ sample_interval_arg $ series_windows_arg $ jobs_arg
       $ queue_limit_arg $ deadline_arg $ no_fsync_arg)
 
 let request_cmd =
@@ -1528,14 +1583,18 @@ let request_cmd =
                 [
                   ("ping", `Ping);
                   ("stats", `Stats);
+                  ("metrics", `Metrics);
                   ("shutdown", `Shutdown);
                   ("synthesize", `Synthesize);
                   ("pareto", `Pareto);
                   ("simulate", `Simulate);
+                  ("batch", `Batch);
                 ]))
           None
       & info [] ~docv:"OP"
-          ~doc:"ping, stats, shutdown, synthesize, pareto or simulate")
+          ~doc:
+            "ping, stats, metrics, shutdown, synthesize, pareto, simulate \
+             or batch")
   in
   let model_arg =
     Arg.(
@@ -1609,26 +1668,43 @@ let request_cmd =
       & info [ "j"; "jobs" ] ~docv:"JOBS"
           ~doc:"Override the daemon's domain count for this request")
   in
+  let count_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Batch size: the item is replicated $(docv) times (batch)")
+  in
+  let trace_spans_flag =
+    Arg.(
+      value & flag
+      & info [ "trace-spans" ]
+          ~doc:
+            "Ask the daemon to attach the request's rtrace/v1 span tree \
+             to the response")
+  in
   let need what = function
     | Some v -> v
     | None ->
       Format.eprintf "request: missing %s@." what;
       exit 2
   in
-  let run socket op model tech capacity until compiled deadline_ms id
-      timeout_s attempts seed jobs =
+  let run socket op model tech capacity until compiled count deadline_ms id
+      timeout_s attempts seed jobs trace =
+    let synthesize () =
+      Serve.Protocol.Synthesize
+        {
+          model = read_file (need "--file MODEL" model);
+          tech = read_file (need "--tech TECHFILE" tech);
+          capacity;
+        }
+    in
     let op =
       match op with
       | `Ping -> Serve.Protocol.Ping
       | `Stats -> Serve.Protocol.Stats
+      | `Metrics -> Serve.Protocol.Metrics
       | `Shutdown -> Serve.Protocol.Shutdown
-      | `Synthesize ->
-        Serve.Protocol.Synthesize
-          {
-            model = read_file (need "--file MODEL" model);
-            tech = read_file (need "--tech TECHFILE" tech);
-            capacity;
-          }
+      | `Synthesize -> synthesize ()
       | `Pareto ->
         Serve.Protocol.Pareto
           {
@@ -1639,8 +1715,23 @@ let request_cmd =
       | `Simulate ->
         Serve.Protocol.Simulate
           { model = read_file (need "--file MODEL" model); until; compiled }
+      | `Batch ->
+        if count < 1 then begin
+          Format.eprintf "request: --count must be positive@.";
+          exit 2
+        end;
+        let item = synthesize () in
+        Serve.Protocol.Batch
+          (List.init count (fun _ ->
+               {
+                 Serve.Protocol.id = None;
+                 deadline_ms = None;
+                 jobs = None;
+                 trace = false;
+                 op = item;
+               }))
     in
-    let request = { Serve.Protocol.id; deadline_ms; jobs; op } in
+    let request = { Serve.Protocol.id; deadline_ms; jobs; trace; op } in
     match
       Serve.Client.request ~timeout_s ~attempts ?seed ~socket request
     with
@@ -1661,8 +1752,188 @@ let request_cmd =
           retries and an idempotency key")
     Term.(
       const run $ socket_arg $ op_arg $ model_arg $ tech_arg $ capacity_arg
-      $ until_arg $ compiled_flag $ deadline_arg $ id_arg $ timeout_arg
-      $ attempts_arg $ seed_arg $ jobs_req_arg)
+      $ until_arg $ compiled_flag $ count_arg $ deadline_arg $ id_arg
+      $ timeout_arg $ attempts_arg $ seed_arg $ jobs_req_arg
+      $ trace_spans_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Live telemetry: top and metrics-diff.                               *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let module J = Obs.Json in
+  let interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Polling period")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Exit after $(docv) polls; 0 polls until interrupted")
+  in
+  let raw_flag =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print one minified metrics response per poll instead of \
+             redrawing a dashboard (for scripts and smoke tests)")
+  in
+  let member path json =
+    List.fold_left (fun j k -> Option.bind j (J.member k)) (Some json) path
+  in
+  let as_int path json = Option.bind (member path json) J.to_int in
+  let as_float path json =
+    match member path json with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let fmt_ms = function
+    | Some ns -> Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+    | None -> "-"
+  in
+  let fmt_rate = function Some r -> Printf.sprintf "%.1f" r | None -> "-" in
+  let render socket frame json =
+    let snap = Option.value ~default:J.Null (member [ "snapshot" ] json) in
+    let series = Option.value ~default:J.Null (member [ "series" ] json) in
+    let b = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    line "spi-variants top — %s (frame %d)" socket frame;
+    line "";
+    line "queue depth   %-6s in-flight %s"
+      (match as_int [ "gauges"; "serve.queue_depth" ] snap with
+      | Some d -> string_of_int d
+      | None -> "-")
+      (match as_int [ "gauges"; "serve.inflight_requests" ] snap with
+      | Some d -> string_of_int d
+      | None -> "-");
+    line "req/s         last %-8s mean %s"
+      (fmt_rate (as_float [ "counters"; "serve.requests"; "last_per_s" ] series))
+      (fmt_rate (as_float [ "counters"; "serve.requests"; "mean_per_s" ] series));
+    line "shed/s        last %-8s mean %s"
+      (fmt_rate
+         (as_float
+            [ "counters"; "serve.admission_rejections"; "last_per_s" ]
+            series))
+      (fmt_rate
+         (as_float
+            [ "counters"; "serve.admission_rejections"; "mean_per_s" ]
+            series));
+    (let hits =
+       Option.value ~default:0
+         (as_int [ "counters"; "serve.plan_cache_hits" ] snap)
+     and misses =
+       Option.value ~default:0
+         (as_int [ "counters"; "serve.plan_cache_misses" ] snap)
+     in
+     if hits + misses > 0 then
+       line "plan cache    hits %d  misses %d  hit-rate %.0f%%" hits misses
+         (100. *. float_of_int hits /. float_of_int (hits + misses)));
+    (let h p =
+       as_int [ "histograms"; "serve.request_ns"; p ] series
+     in
+     line "latency       p50 %-8s p90 %-8s p99 %s (rolling, %s windows)"
+       (fmt_ms (h "p50")) (fmt_ms (h "p90")) (fmt_ms (h "p99"))
+       (match as_int [ "windows" ] series with
+       | Some w -> string_of_int w
+       | None -> "0"));
+    (let tasks =
+       as_float [ "counters"; "par.tasks"; "last_per_s" ] series
+     and steals =
+       as_float [ "counters"; "par.steals"; "last_per_s" ] series
+     in
+     line "pool          tasks/s %-6s steals/s %s" (fmt_rate tasks)
+       (fmt_rate steals));
+    Buffer.contents b
+  in
+  let run socket interval_ms frames raw =
+    if interval_ms < 1 then begin
+      Format.eprintf "--interval-ms must be positive@.";
+      exit 1
+    end;
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ -> ());
+    let metrics_request =
+      {
+        Serve.Protocol.id = None;
+        deadline_ms = None;
+        jobs = None;
+        trace = false;
+        op = Serve.Protocol.Metrics;
+      }
+    in
+    let frame = ref 0 in
+    let rec loop () =
+      if !stop || (frames > 0 && !frame >= frames) then ()
+      else begin
+        incr frame;
+        (match
+           Serve.Client.request ~timeout_s:5. ~attempts:1 ~socket
+             metrics_request
+         with
+        | Serve.Client.Response json when raw ->
+          print_endline (J.to_string ~minify:true json)
+        | Serve.Client.Response json ->
+          (* home + clear-to-end redraw: no flicker, no scrollback spam *)
+          print_string "\027[H\027[2J";
+          print_string (render socket !frame json);
+          flush stdout
+        | Serve.Client.Overloaded _ ->
+          Format.eprintf "top: daemon overloaded, retrying@."
+        | Serve.Client.Unreachable why ->
+          Format.eprintf "top: daemon unreachable: %s@." why;
+          exit 3);
+        if not (!stop || (frames > 0 && !frame >= frames)) then
+          Unix.sleepf (float_of_int interval_ms /. 1000.);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running daemon's metrics verb: \
+          queue depth, request rates, rolling latency quantiles")
+    Term.(const run $ socket_arg $ interval_arg $ frames_arg $ raw_flag)
+
+let metrics_diff_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A.json" ~doc:"Baseline obs/v1 snapshot")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B.json" ~doc:"Comparison obs/v1 snapshot")
+  in
+  let run a b =
+    let parse path =
+      match Obs.Json.parse (read_file path) with
+      | Ok json -> json
+      | Error e ->
+        Format.eprintf "metrics-diff: %s: %s@." path e;
+        exit 1
+    in
+    match Obs.Series.diff_snapshots (parse a) (parse b) with
+    | Ok diff -> print_endline (Obs.Json.to_string ~minify:false diff)
+    | Error e ->
+      Format.eprintf "metrics-diff: %s@." e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics-diff"
+       ~doc:
+         "Diff two obs/v1 metrics snapshots: counter deltas and the \
+          latency quantiles of what happened between them")
+    Term.(const run $ a_arg $ b_arg)
 
 let () =
   let info =
@@ -1694,4 +1965,6 @@ let () =
             export_cmd;
             serve_cmd;
             request_cmd;
+            top_cmd;
+            metrics_diff_cmd;
           ]))

@@ -1,14 +1,34 @@
+(* Durability has two halves: fsync the temporary file before the
+   rename (the *contents* reach disk before the name does), and fsync
+   the containing directory after it (the rename itself — the directory
+   entry — reaches disk).  Without the second fsync a crash shortly
+   after [write] can leave the *old* file at [path] even though the
+   call returned: rename is atomic in the namespace, not durable. *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (* Some filesystems refuse fsync on a directory fd (EINVAL); that
+       is a property of the mount, not a failed write. *)
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
 let write path contents =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
   (try
      output_string oc contents;
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error (_, _, _) -> ());
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  try Sys.rename tmp path
-  with e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  fsync_dir (Filename.dirname path)

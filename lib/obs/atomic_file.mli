@@ -8,7 +8,11 @@
     file or the new complete file, never a torn prefix. *)
 
 val write : string -> string -> unit
-(** [write path contents] replaces [path] with [contents] atomically.
-    The temporary file lives next to [path] (rename is only atomic
-    within a filesystem) and is removed if the write fails.
+(** [write path contents] replaces [path] with [contents] atomically
+    and durably: the temporary file is fsynced before the rename and
+    the containing directory is fsynced after it, so a crash right
+    after [write] returns cannot resurrect the old contents.  The
+    temporary file lives next to [path] (rename is only atomic within
+    a filesystem) and is removed if the write fails.  Filesystems that
+    reject fsync (e.g. on directory fds) degrade to the plain rename.
     @raise Sys_error when the directory is not writable. *)

@@ -1,0 +1,49 @@
+(* Prometheus text exposition (text/plain; version 0.0.4) rendered
+   straight from the registry.  Metric names keep their dotted registry
+   spelling with every character outside [a-zA-Z0-9_:] mapped to '_'
+   (so [serve.queue_wait_ns] scrapes as [serve_queue_wait_ns]);
+   histograms are emitted as the standard cumulative [_bucket{le=...}]
+   series over the power-of-two bucket uppers, plus [_sum]/[_count]. *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  let s = Bytes.unsafe_to_string b in
+  match name.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+(* upper bound of the power-of-two bucket with lower bound [lo] *)
+let bucket_upper_of_lower lo = if lo = 0 then 0 else (2 * lo) - 1
+
+let render_entry buf name entry =
+  let n = sanitize name in
+  let head kind = Printf.bprintf buf "# TYPE %s %s\n" n kind in
+  match entry with
+  | Registry.Counter c ->
+    head "counter";
+    Printf.bprintf buf "%s %d\n" n (Metric.value c)
+  | Registry.Gauge g ->
+    head "gauge";
+    Printf.bprintf buf "%s %d\n" n (Metric.gauge_value g)
+  | Registry.Histogram h ->
+    head "histogram";
+    let cumulative = ref 0 in
+    List.iter
+      (fun (lo, count) ->
+        cumulative := !cumulative + count;
+        Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" n
+          (bucket_upper_of_lower lo) !cumulative)
+      (Metric.buckets h);
+    Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n (Metric.count h);
+    Printf.bprintf buf "%s_sum %d\n" n (Metric.sum h);
+    Printf.bprintf buf "%s_count %d\n" n (Metric.count h)
+
+let render () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, entry) -> render_entry buf name entry)
+    (Registry.bindings ());
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Prometheus text exposition of the registry.
+
+    {!render} walks {!Registry.bindings} and emits the standard
+    [text/plain; version 0.0.4] format: one [# TYPE] header per metric,
+    counters and gauges as bare samples, histograms as cumulative
+    [_bucket{le="..."}] series over the power-of-two bucket upper
+    bounds (always ending in [le="+Inf"]) plus [_sum] and [_count].
+
+    Names keep their dotted registry spelling with every character
+    outside [[a-zA-Z0-9_:]] replaced by ['_'] —
+    [serve.queue_wait_ns] scrapes as [serve_queue_wait_ns].
+
+    The serve daemon returns this text in the [metrics] verb next to
+    the [obs/v1] snapshot; the round-trip against the registry (every
+    metric present, buckets cumulative and monotone, [+Inf] equal to
+    the count) is property-tested in [test/test_obs.ml]. *)
+
+val render : unit -> string
+
+val sanitize : string -> string
+(** The name mapping, exposed for tests and the validator. *)
+
+val bucket_upper_of_lower : int -> int
+(** Upper bound of the power-of-two bucket whose lower bound is the
+    argument ([0 -> 0], [lo -> 2*lo - 1]). *)

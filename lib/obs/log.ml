@@ -1,0 +1,132 @@
+(* Leveled, structured JSON logs ([log/v1]): one minified object per
+   line, machine-parseable, with per-event token-bucket sampling so an
+   overloaded daemon logs a bounded number of lines per second and
+   *counts* what it suppressed instead of silently thinning.
+
+   Emission takes a mutex: lines from pool domains must not interleave
+   on the shared sink, and log volume is bounded by design (requests,
+   not nodes), so the lock is never on a hot path. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let m_lines = Registry.counter "log.lines"
+let m_suppressed = Registry.counter "log.suppressed"
+
+(* Defaults: warnings and errors to stderr.  The daemon raises the
+   level to [Info] and may point the sink at a file; library code just
+   emits and lets the process decide what is visible. *)
+let threshold = Atomic.make (severity Warn)
+let set_level l = Atomic.set threshold (severity l)
+let enabled l = severity l >= Atomic.get threshold
+
+let stderr_sink line =
+  output_string stderr line;
+  output_char stderr '\n';
+  flush stderr
+
+let lock = Mutex.create ()
+let sink : (string -> unit) option ref = ref (Some stderr_sink)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_sink s = locked (fun () -> sink := s)
+
+let channel_sink oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* -------------------------- rate limiting -------------------------- *)
+
+(* One token bucket per event name: [burst] tokens, refilled at
+   [per_s] tokens per second.  A denied emission bumps the event's
+   suppressed count; the next permitted line of the same event carries
+   it as ["suppressed"], so sampling is visible in the stream itself. *)
+
+type bucket = { mutable tokens : float; mutable last_ns : int; mutable lost : int }
+
+let default_burst = 64.
+let default_per_s = 128.
+let burst = ref default_burst
+let per_s = ref default_per_s
+
+let buckets : (string, bucket) Hashtbl.t = Hashtbl.create 32
+
+let set_rate ~burst:b ~per_s:r =
+  if b < 1. || r < 0. then invalid_arg "Log.set_rate";
+  locked (fun () ->
+      burst := b;
+      per_s := r;
+      Hashtbl.reset buckets)
+
+(* called under [lock] *)
+let admit event now_ns =
+  let b =
+    match Hashtbl.find_opt buckets event with
+    | Some b -> b
+    | None ->
+      let b = { tokens = !burst; last_ns = now_ns; lost = 0 } in
+      Hashtbl.add buckets event b;
+      b
+  in
+  let dt = float_of_int (now_ns - b.last_ns) /. 1e9 in
+  if dt > 0. then begin
+    b.tokens <- Float.min !burst (b.tokens +. (dt *. !per_s));
+    b.last_ns <- now_ns
+  end;
+  if b.tokens >= 1. then begin
+    b.tokens <- b.tokens -. 1.;
+    let lost = b.lost in
+    b.lost <- 0;
+    Some lost
+  end
+  else begin
+    b.lost <- b.lost + 1;
+    None
+  end
+
+(* ---------------------------- emission ----------------------------- *)
+
+let render ~ts_ns ~level ~event ~suppressed fields =
+  let base =
+    [
+      ("schema", Json.String "log/v1");
+      ("ts_ns", Json.Int ts_ns);
+      ("level", Json.String (level_to_string level));
+      ("event", Json.String event);
+    ]
+  in
+  let tail = if suppressed > 0 then [ ("suppressed", Json.Int suppressed) ] else [] in
+  Json.to_string ~minify:true
+    (Json.Obj (base @ [ ("fields", Json.Obj fields) ] @ tail))
+
+let emit ?(level = Info) event fields =
+  if enabled level then begin
+    let now_ns = Clock.now_ns () in
+    locked (fun () ->
+        match !sink with
+        | None -> ()
+        | Some write -> (
+          match admit event now_ns with
+          | None -> Metric.incr m_suppressed
+          | Some suppressed ->
+            Metric.incr m_lines;
+            write (render ~ts_ns:now_ns ~level ~event ~suppressed fields)))
+  end

@@ -1,0 +1,63 @@
+(** Leveled, structured JSON logs — the [log/v1] schema.
+
+    Each line is one minified JSON object:
+
+    {v
+    {"schema":"log/v1","ts_ns":123,"level":"info",
+     "event":"serve.request.completed","fields":{...}}
+    v}
+
+    [ts_ns] is the monotonic clock ({!Clock.now_ns}), the same domain
+    every other duration in this repository lives in.  Event names
+    follow the metric convention: dot-separated, subsystem first
+    ([serve.request.shed], [client.retry], [store.replayed]).
+
+    Emission is thread-safe (pool domains share the sink) and
+    rate-limited per event name by a token bucket, so an overloaded
+    daemon logs a bounded number of lines per second; suppressed lines
+    are counted — in the [log.suppressed] counter and as a
+    ["suppressed"] field on the next permitted line of the same event —
+    never silently thinned. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+(** Minimum level that reaches the sink.  Default: [Warn] — library
+    code can always emit; only the daemon (or [--log-level]) opts into
+    the chattier levels. *)
+
+val enabled : level -> bool
+
+val set_sink : (string -> unit) option -> unit
+(** Where lines go: [Some f] calls [f line] (no newline) under the
+    emission lock, [None] disables output entirely.  Default: stderr,
+    flushed per line. *)
+
+val channel_sink : out_channel -> string -> unit
+(** A sink writing ["line\n"] to the channel and flushing — pass
+    partially applied: [set_sink (Some (channel_sink oc))]. *)
+
+val default_burst : float
+val default_per_s : float
+
+val set_rate : burst:float -> per_s:float -> unit
+(** Token-bucket parameters applied per event name (default: burst 64,
+    128 lines/s).  Resets all buckets.
+    @raise Invalid_argument when [burst < 1] or [per_s < 0]. *)
+
+val emit : ?level:level -> string -> (string * Json.t) list -> unit
+(** [emit event fields] writes one [log/v1] line ([level] defaults to
+    [Info]) if the level passes and the event's bucket admits it. *)
+
+val render :
+  ts_ns:int ->
+  level:level ->
+  event:string ->
+  suppressed:int ->
+  (string * Json.t) list ->
+  string
+(** The line serializer, exposed for the schema validator tests. *)

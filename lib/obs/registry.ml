@@ -71,16 +71,28 @@ let histogram name =
         Hashtbl.add table name (Histogram h);
         h)
 
-let record_span ~name ~start_ns ~dur_ns =
+(* Every span also lands in the request trace active on this domain
+   (if any): [Rtrace.note] for flat records, [Rtrace.enter]/[exit]
+   around [with_span] bodies so nested spans keep their parent links.
+   With no active trace both are one domain-local read. *)
+
+let record_base ~name ~start_ns ~dur_ns =
   Span.record !ring
     { Span.name; domain = (Domain.self () :> int); start_ns; dur_ns };
   Metric.observe (histogram name) dur_ns
 
+let record_span ~name ~start_ns ~dur_ns =
+  record_base ~name ~start_ns ~dur_ns;
+  Rtrace.note ~name ~start_ns ~dur_ns
+
 let with_span name f =
   let start_ns = Clock.now_ns () in
+  let frame = Rtrace.enter () in
   Fun.protect
     ~finally:(fun () ->
-      record_span ~name ~start_ns ~dur_ns:(Clock.elapsed_ns start_ns))
+      let dur_ns = Clock.elapsed_ns start_ns in
+      record_base ~name ~start_ns ~dur_ns;
+      Rtrace.exit frame ~name ~start_ns ~dur_ns)
     f
 
 let spans () = Span.contents !ring
@@ -90,6 +102,8 @@ let spans () = Span.contents !ring
 let sorted_entries () =
   let items = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
   List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+let bindings = sorted_entries
 
 let histogram_json h =
   let q p = match Metric.quantile h p with Some v -> Json.Int v | None -> Json.Null in

@@ -23,16 +23,31 @@ val counter : string -> Metric.counter
 val gauge : string -> Metric.gauge
 val histogram : string -> Metric.histogram
 
+type entry =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+val bindings : unit -> (string * entry) list
+(** Every registered metric, name-sorted — the raw form behind
+    {!snapshot}, for readers that need live handles rather than JSON
+    ({!Expo} renders the Prometheus exposition from it, {!Series}
+    samples it periodically). *)
+
 (** {1 Timing} *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f], records a {!Span.span} in the global
     ring, and observes the duration in the histogram called [name]
-    (create-on-first-use).  The span is recorded even when [f] raises. *)
+    (create-on-first-use).  The span is recorded even when [f] raises.
+    When a request trace is active on this domain ({!Rtrace}), the span
+    also joins that trace as a nested span — children recorded inside
+    [f] parent to it. *)
 
 val record_span : name:string -> start_ns:int -> dur_ns:int -> unit
 (** Manual span recording for regions that cannot be wrapped in a
-    closure.  Also feeds the [name] histogram. *)
+    closure.  Also feeds the [name] histogram, and the active request
+    trace (as a leaf span) when there is one. *)
 
 val spans : unit -> Span.span list
 

@@ -1,0 +1,322 @@
+(* Rolling time-series over the registry: a bounded ring of periodic
+   samples (cumulative counter values, gauge levels, histogram bucket
+   counts), from which rates (req/s, shed/s) and windowed quantiles
+   (p50/p99 over the retained span, not since process start) are
+   derived by *differencing* — the same delta code the [metrics-diff]
+   CLI applies to two obs/v1 snapshot files.
+
+   Sampling walks [Registry.bindings] — a mutex acquisition and one
+   atomic read per metric, a few microseconds once per tick — so the
+   ticker never touches a hot path; with the ticker disabled the
+   subsystem costs nothing at all. *)
+
+type hist_point = { hp_count : int; hp_sum : int; hp_buckets : (int * int) list }
+
+type point = {
+  at_ns : int;
+  p_counters : (string * int) list;  (* name-sorted, registry order *)
+  p_gauges : (string * int) list;
+  p_hists : (string * hist_point) list;
+}
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  mutable points : point list;  (* newest first, length <= capacity *)
+  mutable taken : int;
+}
+
+let default_windows = 32
+
+let create ?(windows = default_windows) () =
+  if windows < 2 then invalid_arg "Series.create: windows < 2";
+  { capacity = windows; lock = Mutex.create (); points = []; taken = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let take_point () =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Registry.Counter c -> counters := (name, Metric.value c) :: !counters
+      | Registry.Gauge g -> gauges := (name, Metric.gauge_value g) :: !gauges
+      | Registry.Histogram h ->
+        hists :=
+          ( name,
+            {
+              hp_count = Metric.count h;
+              hp_sum = Metric.sum h;
+              hp_buckets = Metric.buckets h;
+            } )
+          :: !hists)
+    (Registry.bindings ());
+  {
+    at_ns = Clock.now_ns ();
+    p_counters = List.rev !counters;
+    p_gauges = List.rev !gauges;
+    p_hists = List.rev !hists;
+  }
+
+let sample t =
+  let p = take_point () in
+  locked t (fun () ->
+      let kept =
+        if List.length t.points >= t.capacity then
+          List.filteri (fun i _ -> i < t.capacity - 1) t.points
+        else t.points
+      in
+      t.points <- p :: kept;
+      t.taken <- t.taken + 1)
+
+let windows t = locked t (fun () -> List.length t.points)
+let taken t = t.taken
+
+(* ---------------------------- deltas ------------------------------- *)
+
+(* Bucket lists are ascending [(lower_bound, count)]; a delta is the
+   per-bucket count difference, clamped at zero (a reset between
+   samples must not produce negative buckets) and with empty buckets
+   dropped. *)
+let delta_buckets ~newer ~older =
+  let rec go n o acc =
+    match (n, o) with
+    | [], _ -> List.rev acc
+    | (lo, c) :: n', [] -> go n' [] (if c > 0 then (lo, c) :: acc else acc)
+    | (nlo, nc) :: n', (olo, oc) :: o' ->
+      if nlo < olo then go n' o (if nc > 0 then (nlo, nc) :: acc else acc)
+      else if nlo > olo then go n o' acc
+      else
+        let d = nc - oc in
+        go n' o' (if d > 0 then (nlo, d) :: acc else acc)
+  in
+  go newer older []
+
+let bucket_upper lo = if lo = 0 then 0 else (2 * lo) - 1
+
+(* Quantile over an [(lower, count)] bucket list: the upper bound of
+   the bucket holding the rank-[ceil(q * total)] observation — the
+   same 2x-bounded estimate [Metric.quantile] gives for a live
+   histogram. *)
+let quantile_of_buckets buckets q =
+  if q < 0. || q > 1. then invalid_arg "Series.quantile_of_buckets";
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  if total = 0 then None
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let rec walk bs acc =
+      match bs with
+      | [] -> None
+      | (lo, c) :: rest ->
+        let acc = acc + c in
+        if acc >= rank then Some (bucket_upper lo) else walk rest acc
+    in
+    walk buckets 0
+  end
+
+let rate_per_s dv dt_ns =
+  if dt_ns <= 0 || dv <= 0 then 0.
+  else float_of_int dv *. 1e9 /. float_of_int dt_ns
+
+(* --------------------------- rendering ----------------------------- *)
+
+let assoc0 name l = Option.value ~default:0 (List.assoc_opt name l)
+
+let to_json t =
+  let points = locked t (fun () -> t.points) in
+  match points with
+  | [] ->
+    Json.Obj
+      [
+        ("schema", Json.String "series/v1");
+        ("windows", Json.Int 0);
+        ("span_ns", Json.Int 0);
+        ("counters", Json.Obj []);
+        ("gauges", Json.Obj []);
+        ("histograms", Json.Obj []);
+      ]
+  | newest :: _ ->
+    let oldest = List.nth points (List.length points - 1) in
+    let prev = match points with _ :: p :: _ -> p | _ -> newest in
+    let span_ns = newest.at_ns - oldest.at_ns in
+    let last_ns = newest.at_ns - prev.at_ns in
+    let counters =
+      List.filter_map
+        (fun (name, v) ->
+          if v = 0 then None
+          else
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("value", Json.Int v);
+                    ( "last_per_s",
+                      Json.Float
+                        (rate_per_s (v - assoc0 name prev.p_counters) last_ns)
+                    );
+                    ( "mean_per_s",
+                      Json.Float
+                        (rate_per_s (v - assoc0 name oldest.p_counters) span_ns)
+                    );
+                  ] ))
+        newest.p_counters
+    in
+    let gauges =
+      List.map (fun (name, v) -> (name, Json.Int v)) newest.p_gauges
+    in
+    let hists =
+      List.filter_map
+        (fun (name, hp) ->
+          let old =
+            Option.value
+              ~default:{ hp_count = 0; hp_sum = 0; hp_buckets = [] }
+              (List.assoc_opt name oldest.p_hists)
+          in
+          let window = delta_buckets ~newer:hp.hp_buckets ~older:old.hp_buckets in
+          let n = hp.hp_count - old.hp_count in
+          if n <= 0 then None
+          else
+            let q p =
+              match quantile_of_buckets window p with
+              | Some v -> Json.Int v
+              | None -> Json.Null
+            in
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("window_count", Json.Int n);
+                    ("window_sum", Json.Int (hp.hp_sum - old.hp_sum));
+                    ("p50", q 0.5);
+                    ("p90", q 0.9);
+                    ("p99", q 0.99);
+                  ] ))
+        newest.p_hists
+    in
+    Json.Obj
+      [
+        ("schema", Json.String "series/v1");
+        ("windows", Json.Int (List.length points));
+        ("span_ns", Json.Int span_ns);
+        ("counters", Json.Obj counters);
+        ("gauges", Json.Obj gauges);
+        ("histograms", Json.Obj hists);
+      ]
+
+(* ------------------------ snapshot diffing ------------------------- *)
+
+(* [metrics-diff A.json B.json]: the same differencing applied to two
+   obs/v1 snapshot files — counter/gauge deltas plus, for histograms,
+   the quantiles of the B-minus-A bucket delta (what happened *between*
+   the snapshots, not since process start). *)
+
+let obj_fields name json =
+  match Json.member name json with
+  | Some (Json.Obj fields) -> Ok fields
+  | Some _ -> Error (Printf.sprintf "%S is not an object" name)
+  | None -> Error (Printf.sprintf "missing %S section" name)
+
+let int_fields fields =
+  List.filter_map
+    (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v))
+    fields
+
+let hist_of_json json =
+  let get k = Option.bind (Json.member k json) Json.to_int in
+  let buckets =
+    match Json.member "buckets" json with
+    | Some (Json.List items) ->
+      List.filter_map
+        (function
+          | Json.List [ lo; c ] -> (
+            match (Json.to_int lo, Json.to_int c) with
+            | Some lo, Some c -> Some (lo, c)
+            | _ -> None)
+          | _ -> None)
+        items
+    | _ -> []
+  in
+  {
+    hp_count = Option.value ~default:0 (get "count");
+    hp_sum = Option.value ~default:0 (get "sum");
+    hp_buckets = buckets;
+  }
+
+let union_keys a b =
+  List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+
+let ( let* ) = Result.bind
+
+let diff_snapshots a b =
+  let check doc =
+    match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+    | Some "obs/v1" -> Ok ()
+    | Some other -> Error (Printf.sprintf "schema %S, expected obs/v1" other)
+    | None -> Error "missing schema tag"
+  in
+  let* () = check a in
+  let* () = check b in
+  let scalar_diff section =
+    let* fa = obj_fields section a in
+    let* fb = obj_fields section b in
+    let va = int_fields fa and vb = int_fields fb in
+    Ok
+      (List.filter_map
+         (fun name ->
+           let x = assoc0 name va and y = assoc0 name vb in
+           if x = y then None
+           else
+             Some
+               ( name,
+                 Json.Obj
+                   [
+                     ("a", Json.Int x);
+                     ("b", Json.Int y);
+                     ("delta", Json.Int (y - x));
+                   ] ))
+         (union_keys va vb))
+  in
+  let* counters = scalar_diff "counters" in
+  let* gauges = scalar_diff "gauges" in
+  let* ha = obj_fields "histograms" a in
+  let* hb = obj_fields "histograms" b in
+  let histograms =
+    List.filter_map
+      (fun name ->
+        let empty = { hp_count = 0; hp_sum = 0; hp_buckets = [] } in
+        let get fields =
+          match List.assoc_opt name fields with
+          | Some j -> hist_of_json j
+          | None -> empty
+        in
+        let x = get ha and y = get hb in
+        if x.hp_count = y.hp_count && x.hp_sum = y.hp_sum then None
+        else
+          let window = delta_buckets ~newer:y.hp_buckets ~older:x.hp_buckets in
+          let q p =
+            match quantile_of_buckets window p with
+            | Some v -> Json.Int v
+            | None -> Json.Null
+          in
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("count_delta", Json.Int (y.hp_count - x.hp_count));
+                  ("sum_delta", Json.Int (y.hp_sum - x.hp_sum));
+                  ("window_p50", q 0.5);
+                  ("window_p90", q 0.9);
+                  ("window_p99", q 0.99);
+                ] ))
+      (union_keys ha hb)
+  in
+  Ok
+    (Json.Obj
+       [
+         ("schema", Json.String "obs-diff/v1");
+         ("counters", Json.Obj counters);
+         ("gauges", Json.Obj gauges);
+         ("histograms", Json.Obj histograms);
+       ])

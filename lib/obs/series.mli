@@ -1,0 +1,64 @@
+(** Rolling time-series over the registry.
+
+    A {!t} is a bounded ring of periodic registry samples (cumulative
+    counter values, gauge levels, histogram bucket counts).  The serve
+    daemon's ticker calls {!sample} once per interval; {!to_json}
+    renders the retained windows as the [series/v1] document — per-
+    counter rates ([last_per_s] over the most recent window,
+    [mean_per_s] over the whole retained span) and per-histogram
+    rolling quantiles computed from the bucket-count {e deltas} between
+    the oldest and newest samples, i.e. p50/p99 of the last N windows
+    rather than since process start.
+
+    Sampling walks {!Registry.bindings} under the series mutex — a few
+    microseconds per tick, never on a request hot path.  With the
+    ticker disabled the subsystem costs nothing.
+
+    {!diff_snapshots} applies the same delta arithmetic to two
+    [obs/v1] snapshot files, backing [spi-variants metrics-diff]. *)
+
+type t
+
+val default_windows : int
+(** 32 — with the default 1 s tick, about half a minute of history. *)
+
+val create : ?windows:int -> unit -> t
+(** @raise Invalid_argument when [windows < 2] (one window is not
+    enough to difference). *)
+
+val sample : t -> unit
+(** Append one registry sample, evicting the oldest once [windows]
+    are retained.  Thread-safe. *)
+
+val windows : t -> int
+(** Samples currently retained. *)
+
+val taken : t -> int
+(** Samples taken since creation (monotonic, not capped). *)
+
+val to_json : t -> Json.t
+(** The [series/v1] document.  Counters with value 0 and histograms
+    with an empty window are omitted; quantile fields are [Null] when
+    the window has no observations. *)
+
+(** {1 Delta arithmetic}
+
+    Shared with {!diff_snapshots} and exposed for tests. *)
+
+val delta_buckets :
+  newer:(int * int) list -> older:(int * int) list -> (int * int) list
+(** Per-bucket count difference of two ascending [(lower_bound, count)]
+    lists, clamped at zero and with empty buckets dropped. *)
+
+val quantile_of_buckets : (int * int) list -> float -> int option
+(** Upper bound of the bucket holding the rank-[ceil(q * total)]
+    observation; [None] on an empty list.
+    @raise Invalid_argument when [q] is outside [0, 1]. *)
+
+val diff_snapshots : Json.t -> Json.t -> (Json.t, string) result
+(** [diff_snapshots a b] compares two [obs/v1] snapshots and returns an
+    [obs-diff/v1] document: counter and gauge deltas (unchanged values
+    omitted) and, per histogram, [count_delta]/[sum_delta] plus the
+    quantiles of the B-minus-A bucket delta — the latency distribution
+    of what happened {e between} the snapshots.  [Error] when either
+    document is not an [obs/v1] snapshot. *)

@@ -91,10 +91,25 @@ let request ?(timeout_s = 10.) ?(attempts = 5) ?(base_backoff_s = 0.05)
   in
   let line = J.to_string ~minify:true (P.request_to_json r) in
   let rng = ref (match seed with Some s -> s lor 1 | None -> Unix.getpid () lor 1) in
-  let backoff k hint =
-    Unix.sleepf
-      (backoff_delay ~base_backoff_s ~max_backoff_s ~jitter:(jitter rng)
-         ~attempt:k hint)
+  (* Retries are never silent: each one is a structured [client.retry]
+     warning carrying the attempt number, the delay about to be slept
+     and the idempotency key, so a stalled pipeline shows *why* in the
+     log stream rather than just hanging (the [client.retries] counter
+     gives the aggregate). *)
+  let backoff k hint ~reason =
+    let delay =
+      backoff_delay ~base_backoff_s ~max_backoff_s ~jitter:(jitter rng)
+        ~attempt:k hint
+    in
+    Obs.Log.emit ~level:Obs.Log.Warn "client.retry"
+      [
+        ("id", J.String (Option.value ~default:"" r.P.id));
+        ("attempt", J.Int (k + 1));
+        ("of", J.Int attempts);
+        ("backoff_ms", J.Int (int_of_float (delay *. 1000.)));
+        ("reason", J.String reason);
+      ];
+    Unix.sleepf delay
   in
   let rec go k last =
     if k >= attempts then
@@ -111,18 +126,19 @@ let request ?(timeout_s = 10.) ?(attempts = 5) ?(base_backoff_s = 0.05)
       Obs.Metric.incr m_attempts;
       match attempt ~timeout_s ~socket line with
       | Error why ->
-        backoff k None;
+        backoff k None ~reason:why;
         go (k + 1) (Some (`Failed why))
       | Ok response_line -> (
         match J.parse response_line with
         | Error e ->
-          backoff k None;
-          go (k + 1) (Some (`Failed (Printf.sprintf "bad response: %s" e)))
+          let why = Printf.sprintf "bad response: %s" e in
+          backoff k None ~reason:why;
+          go (k + 1) (Some (`Failed why))
         | Ok json -> (
           match P.status_of_response json with
           | "overloaded" ->
             Obs.Metric.incr m_overloaded;
-            backoff k (retry_after_hint json);
+            backoff k (retry_after_hint json) ~reason:"overloaded";
             go (k + 1) (Some (`Overloaded json))
           | _ -> Response json))
     end

@@ -7,11 +7,17 @@ let m_rejections = Obs.Registry.counter "serve.admission_rejections"
 let m_bad_lines = Obs.Registry.counter "serve.unparseable_lines"
 let m_queue_depth = Obs.Registry.gauge "serve.queue_depth"
 let m_queue_wait = Obs.Registry.histogram "serve.queue_wait_ns"
+let m_inflight = Obs.Registry.gauge "serve.inflight_requests"
 
 type config = {
   socket_path : string;
   store_path : string option;
   metrics_path : string option;
+  trace_path : string option;
+  log_path : string option;
+  log_level : Obs.Log.level;
+  sample_interval_ms : int;
+  series_windows : int;
   jobs : int;
   queue_limit : int;
   default_deadline_ms : int option;
@@ -19,6 +25,11 @@ type config = {
 }
 
 let default_queue_limit = 64
+let default_sample_interval_ms = 1000
+
+(* [--trace] keeps the most recent request trees; enough to inspect an
+   incident without growing with uptime. *)
+let trace_ring_limit = 128
 
 (* One connected client: a buffered reader (lines can arrive split
    across reads or several per read) and its writable fd. *)
@@ -34,8 +45,11 @@ type state = {
   config : config;
   listener : Unix.file_descr;
   handler : Handler.t;
+  series : Obs.Series.t option;
+  traces : Obs.Rtrace.t Queue.t;
   mutable conns : conn list;
   queue : pending Queue.t;
+  mutable last_sample_ns : int;
   mutable draining : bool;
 }
 
@@ -65,8 +79,19 @@ let admit st conn line =
       write_line conn (P.error e)
     | Ok request ->
       let depth = Queue.length st.queue in
+      let rid_fields =
+        match request.P.id with
+        | Some i -> [ ("rid", J.String i) ]
+        | None -> []
+      in
       if depth >= st.config.queue_limit then begin
         Obs.Metric.incr m_rejections;
+        Obs.Log.emit ~level:Obs.Log.Warn "serve.shed"
+          (rid_fields
+          @ [
+              ("queue_depth", J.Int depth);
+              ("queue_limit", J.Int st.config.queue_limit);
+            ]);
         write_line conn
           (P.overloaded ?id:request.P.id ~queue_depth:depth
              ~queue_limit:st.config.queue_limit
@@ -75,6 +100,8 @@ let admit st conn line =
       end
       else begin
         Obs.Metric.incr m_admitted;
+        Obs.Log.emit ~level:Obs.Log.Debug "serve.admitted"
+          (rid_fields @ [ ("queue_depth", J.Int (depth + 1)) ]);
         Queue.push
           { p_conn = conn; p_request = request;
             p_admitted_ns = Obs.Clock.now_ns () }
@@ -120,11 +147,40 @@ let process_one st =
   | Some { p_conn; p_request; p_admitted_ns } ->
     Obs.Metric.set m_queue_depth (Queue.length st.queue);
     Obs.Metric.observe m_queue_wait (Obs.Clock.elapsed_ns p_admitted_ns);
+    Obs.Metric.set m_inflight 1;
     let response =
-      Handler.handle st.handler ~admitted_ns:p_admitted_ns
-        ~queue_depth:(Queue.length st.queue) p_request
+      Fun.protect
+        ~finally:(fun () -> Obs.Metric.set m_inflight 0)
+        (fun () ->
+          Handler.handle st.handler ~admitted_ns:p_admitted_ns
+            ~queue_depth:(Queue.length st.queue) p_request)
     in
     write_line p_conn response
+
+(* Periodic registry sampling for the rolling series — runs between
+   requests on the event loop, so a disabled ticker ([0]) means the
+   telemetry layer contributes literally nothing to request latency. *)
+let maybe_sample st =
+  match st.series with
+  | None -> ()
+  | Some series ->
+    let now = Obs.Clock.now_ns () in
+    if now - st.last_sample_ns >= st.config.sample_interval_ms * 1_000_000
+    then begin
+      st.last_sample_ns <- now;
+      Obs.Series.sample series
+    end
+
+let write_traces st path =
+  let collection = Obs.Trace_event.create () in
+  let sink = Obs.Trace_event.buffer_sink collection in
+  let pid = ref 0 in
+  Queue.iter
+    (fun tr ->
+      incr pid;
+      Obs.Rtrace.emit_timeline ~pid:!pid tr sink)
+    st.traces;
+  Obs.Trace_event.to_file path collection
 
 let shutdown_state st =
   (* answer everything already admitted, then flush and leave *)
@@ -135,7 +191,10 @@ let shutdown_state st =
   (try Unix.close st.listener with Unix.Unix_error _ -> ());
   (try Sys.remove st.config.socket_path with Sys_error _ -> ());
   Option.iter Store.Keyed.close (Handler.store st.handler);
-  Option.iter Obs.Registry.to_file st.config.metrics_path
+  Option.iter Obs.Registry.to_file st.config.metrics_path;
+  Option.iter (write_traces st) st.config.trace_path;
+  Obs.Log.emit "serve.stopped"
+    [ ("requests", J.Int (Obs.Metric.value m_admitted)) ]
 
 let run config =
   (* a client gone before its response must not kill the daemon *)
@@ -146,21 +205,53 @@ let run config =
    with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
    with Invalid_argument _ -> ());
+  Obs.Log.set_level config.log_level;
+  Option.iter
+    (fun path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      at_exit (fun () -> close_out_noerr oc);
+      Obs.Log.set_sink (Some (Obs.Log.channel_sink oc)))
+    config.log_path;
   let store =
     Option.map
       (fun path ->
         let store, tail = Store.Keyed.open_store ~fsync:config.fsync path in
         Option.iter
           (fun d ->
+            Obs.Log.emit ~level:Obs.Log.Warn "store.recovery"
+              [
+                ("path", J.String path);
+                ( "diagnostic",
+                  J.String (Format.asprintf "%a" Variants.Diagnostic.pp d) );
+              ];
             Format.eprintf "serve: store recovery: %a@." Variants.Diagnostic.pp
               d)
           tail;
+        Obs.Log.emit "store.replayed"
+          [ ("path", J.String path);
+            ("records", J.Int (Store.Keyed.size store)) ];
         store)
       config.store_path
   in
+  let series =
+    if config.sample_interval_ms > 0 then
+      Some (Obs.Series.create ~windows:config.series_windows ())
+    else None
+  in
+  let traces = Queue.create () in
+  let on_trace =
+    match config.trace_path with
+    | None -> None
+    | Some _ ->
+      Some
+        (fun tr ->
+          if Queue.length traces >= trace_ring_limit then
+            ignore (Queue.pop traces);
+          Queue.push tr traces)
+  in
   let handler =
     Handler.create ?store ?default_deadline_ms:config.default_deadline_ms
-      ~jobs:config.jobs ()
+      ?series ?on_trace ~jobs:config.jobs ()
   in
   (try Sys.remove config.socket_path with Sys_error _ -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -168,9 +259,17 @@ let run config =
   Unix.listen listener 64;
   Unix.set_nonblock listener;
   let st =
-    { config; listener; handler; conns = []; queue = Queue.create ();
+    { config; listener; handler; series; traces; conns = [];
+      queue = Queue.create (); last_sample_ns = Obs.Clock.now_ns ();
       draining = false }
   in
+  Obs.Log.emit "serve.started"
+    [
+      ("socket", J.String config.socket_path);
+      ("jobs", J.Int config.jobs);
+      ("queue_limit", J.Int config.queue_limit);
+      ("sample_interval_ms", J.Int config.sample_interval_ms);
+    ];
   let rec loop () =
     if !stop || Handler.shutdown_requested st.handler then st.draining <- true;
     if st.draining then shutdown_state st
@@ -190,6 +289,7 @@ let run config =
               | None -> ())
           readable
       | exception Unix.Unix_error (EINTR, _, _) -> ());
+      maybe_sample st;
       process_one st;
       loop ()
     end

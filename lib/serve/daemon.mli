@@ -21,6 +21,16 @@ type config = {
   socket_path : string;
   store_path : string option;  (** exploration journal; [None] disables *)
   metrics_path : string option;  (** obs/v1 snapshot written on shutdown *)
+  trace_path : string option;
+      (** [trace/v1] timeline of the most recent request span trees
+          (one pid per request), written on shutdown *)
+  log_path : string option;
+      (** structured [log/v1] stream destination (append);
+          [None] keeps the stderr sink *)
+  log_level : Obs.Log.level;  (** log threshold (daemon default: Info) *)
+  sample_interval_ms : int;
+      (** series ticker period; [0] disables sampling entirely *)
+  series_windows : int;  (** samples retained for rolling rates *)
   jobs : int;  (** domain count for request execution *)
   queue_limit : int;  (** admission bound: queued requests beyond
                           the one executing *)
@@ -30,6 +40,7 @@ type config = {
 }
 
 val default_queue_limit : int
+val default_sample_interval_ms : int
 
 val run : config -> unit
 (** Binds, serves, and blocks until shutdown.  Removes a pre-existing

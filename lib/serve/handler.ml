@@ -9,6 +9,7 @@ let m_synth_warm = Obs.Registry.histogram "serve.synthesize_warm_ns"
 let m_synth_cold = Obs.Registry.histogram "serve.synthesize_cold_ns"
 let m_plan_hits = Obs.Registry.counter "serve.plan_cache_hits"
 let m_plan_misses = Obs.Registry.counter "serve.plan_cache_misses"
+let m_request_ns = Obs.Registry.histogram "serve.request_ns"
 
 (* Idempotency: a bounded last-N map.  Entries are evicted FIFO — the
    cache covers the retry window of a flaky client, not history. *)
@@ -30,10 +31,13 @@ type t = {
   plans : (string, Sim.Compile.plan) Hashtbl.t;
   plan_order : string Queue.t;
   plan_lock : Mutex.t;
+  series : Obs.Series.t option;
+  on_trace : (Obs.Rtrace.t -> unit) option;
+  mutable rid_seq : int;
   mutable shutdown : bool;
 }
 
-let create ?store ?default_deadline_ms ~jobs () =
+let create ?store ?default_deadline_ms ?series ?on_trace ~jobs () =
   {
     store;
     default_deadline_ms;
@@ -43,6 +47,9 @@ let create ?store ?default_deadline_ms ~jobs () =
     plans = Hashtbl.create 16;
     plan_order = Queue.create ();
     plan_lock = Mutex.create ();
+    series;
+    on_trace;
+    rid_seq = 0;
     shutdown = false;
   }
 
@@ -74,6 +81,8 @@ let plan_for t model =
     plan
   | None ->
     Obs.Metric.incr m_plan_misses;
+    Obs.Log.emit ~level:Obs.Log.Debug "serve.plan_compile"
+      [ ("key", J.String key) ];
     let plan = Sim.Compile.compile model in
     Mutex.lock t.plan_lock;
     Fun.protect
@@ -257,6 +266,20 @@ let rec run_op t ~admitted_ns ~queue_depth ~jobs (r : P.request) =
   let jobs = match r.P.jobs with Some j when j > 0 -> j | Some _ | None -> jobs in
   match r.P.op with
   | P.Ping -> (P.ok ?id [ ("op", J.String "ping") ], [])
+  | P.Metrics ->
+    (* telemetry read-out: never touches the pool or the store, so it
+       stays cheap enough to poll mid-batch (spi-variants top does) *)
+    ( P.ok ?id
+        ([
+           ("op", J.String "metrics");
+           ("snapshot", Obs.Registry.snapshot ());
+           ("exposition", J.String (Obs.Expo.render ()));
+         ]
+        @
+        match t.series with
+        | Some s -> [ ("series", Obs.Series.to_json s) ]
+        | None -> []),
+      [] )
   | P.Stats ->
     ( P.ok ?id
         [
@@ -296,25 +319,69 @@ let rec run_op t ~admitted_ns ~queue_depth ~jobs (r : P.request) =
         ],
       commits )
 
+let fresh_rid t =
+  t.rid_seq <- t.rid_seq + 1;
+  Printf.sprintf "req-%d" t.rid_seq
+
+let is_degraded response =
+  match J.member "degraded" response with Some (J.Bool true) -> true | _ -> false
+
 let handle t ~admitted_ns ~queue_depth (r : P.request) =
   Obs.Metric.incr m_requests;
   match r.P.id with
   | Some id when Hashtbl.mem t.cache id ->
     Obs.Metric.incr m_cache_replays;
+    Obs.Log.emit ~level:Obs.Log.Debug "serve.idempotent_replay"
+      [ ("rid", J.String id) ];
     (match Hashtbl.find t.cache id with
     | J.Obj fields -> J.Obj (("cached", J.Bool true) :: fields)
     | other -> other)
-  | id_opt -> (
-    match run_op t ~admitted_ns ~queue_depth ~jobs:t.jobs r with
-    | exception e ->
-      Obs.Metric.incr m_errors;
-      P.error ?id:id_opt (Printexc.to_string e)
-    | response, commits ->
-      List.iter (fun commit -> commit ()) commits;
-      (match P.status_of_response response with
-      | "error" -> Obs.Metric.incr m_errors
-      | _ -> ());
-      (match id_opt with
-      | Some id -> cache_put t id response
-      | None -> ());
-      response)
+  | id_opt ->
+    (* Every request runs under a freshly minted trace: spans recorded
+       anywhere below (explore tasks, simulation runs, batch items on
+       pool domains) parent into its tree.  The rid threads through
+       the response, the structured log stream and the daemon's
+       [--trace] timeline, so one identifier joins all three. *)
+    let rid = match id_opt with Some i -> i | None -> fresh_rid t in
+    let tr = Obs.Rtrace.create rid in
+    let t0 = Obs.Clock.now_ns () in
+    let response =
+      match
+        Obs.Rtrace.with_request tr "serve.request" (fun () ->
+            run_op t ~admitted_ns ~queue_depth ~jobs:t.jobs r)
+      with
+      | exception e ->
+        Obs.Metric.incr m_errors;
+        Obs.Log.emit ~level:Obs.Log.Error "serve.request_failed"
+          [ ("rid", J.String rid); ("exn", J.String (Printexc.to_string e)) ];
+        P.error ?id:id_opt (Printexc.to_string e)
+      | response, commits ->
+        List.iter (fun commit -> commit ()) commits;
+        let status = P.status_of_response response in
+        if String.equal status "error" then Obs.Metric.incr m_errors;
+        let dur_ns = Obs.Clock.elapsed_ns t0 in
+        Obs.Metric.observe m_request_ns dur_ns;
+        (match r.P.op with
+        | P.Metrics -> ()  (* polling must not flood the log stream *)
+        | _ ->
+          Obs.Log.emit "serve.request"
+            [
+              ("rid", J.String rid);
+              ("status", J.String status);
+              ("dur_ms", J.Int (dur_ns / 1_000_000));
+              ("queue_depth", J.Int queue_depth);
+            ]);
+        if is_degraded response then
+          Obs.Log.emit ~level:Obs.Log.Warn "serve.degraded"
+            [ ("rid", J.String rid) ];
+        (match id_opt with
+        | Some id -> cache_put t id response
+        | None -> ());
+        response
+    in
+    (match t.on_trace with Some f -> f tr | None -> ());
+    if r.P.trace then
+      match response with
+      | J.Obj fields -> J.Obj (fields @ [ ("trace", Obs.Rtrace.to_json tr) ])
+      | other -> other
+    else response

@@ -12,15 +12,26 @@ type t
 val create :
   ?store:Store.Keyed.t ->
   ?default_deadline_ms:int ->
+  ?series:Obs.Series.t ->
+  ?on_trace:(Obs.Rtrace.t -> unit) ->
   jobs:int ->
   unit ->
   t
+(** [series] is returned by the [metrics] verb next to the snapshot and
+    exposition; [on_trace] receives every completed request's span tree
+    (the daemon's [--trace] export hooks in here). *)
 
 val handle : t -> admitted_ns:int -> queue_depth:int -> Protocol.request ->
   Obs.Json.t
 (** Executes the request; deadlines are absolute from [admitted_ns], so
     time spent queued counts against the budget.  Never raises: every
-    failure becomes a [status = "error"] response. *)
+    failure becomes a [status = "error"] response.
+
+    Each non-replayed request runs under a fresh {!Obs.Rtrace} whose rid
+    is the request id (or a generated [req-N]); when the request carries
+    [trace = true] the response gains a ["trace"] field with the
+    [rtrace/v1] span tree.  Completion, degradation and failure are
+    logged through {!Obs.Log} under the same rid. *)
 
 val shutdown_requested : t -> bool
 (** Set once a [shutdown] request has been handled. *)

@@ -5,6 +5,7 @@ let schema = "serve/v1"
 type op =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
@@ -15,6 +16,7 @@ and request = {
   id : string option;
   deadline_ms : int option;
   jobs : int option;
+  trace : bool;
   op : op;
 }
 
@@ -36,6 +38,7 @@ let rec op_of_json ~depth json =
   | None -> Error "missing or non-string field \"op\""
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some "synthesize" ->
     let* model = require_str "model" json in
@@ -84,6 +87,7 @@ and request_of_json_at ~depth json =
           id = str_field "id" json;
           deadline_ms = int_field "deadline_ms" json;
           jobs = int_field "jobs" json;
+          trace = bool_field "trace" json;
           op;
         })
   | _ -> Error "request is not a JSON object"
@@ -102,12 +106,14 @@ let rec request_to_json r =
   let base =
     opt "id" (fun s -> J.String s) r.id
     @@ opt "deadline_ms" (fun i -> J.Int i) r.deadline_ms
-    @@ opt "jobs" (fun i -> J.Int i) r.jobs []
+    @@ opt "jobs" (fun i -> J.Int i) r.jobs
+    @@ (if r.trace then [ ("trace", J.Bool true) ] else [])
   in
   let op_fields =
     match r.op with
     | Ping -> [ ("op", J.String "ping") ]
     | Stats -> [ ("op", J.String "stats") ]
+    | Metrics -> [ ("op", J.String "metrics") ]
     | Shutdown -> [ ("op", J.String "shutdown") ]
     | Synthesize { model; tech; capacity } ->
       [ ("op", J.String "synthesize"); ("model", J.String model);

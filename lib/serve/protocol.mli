@@ -9,6 +9,10 @@
 type op =
   | Ping
   | Stats
+  | Metrics
+      (** live telemetry: the [obs/v1] snapshot, the Prometheus text
+          exposition and the [series/v1] rolling rates/quantiles in one
+          response — see docs/OBSERVABILITY.md *)
   | Shutdown  (** graceful: drain queued work, then exit *)
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
@@ -27,6 +31,9 @@ and request = {
   deadline_ms : int option;
       (** budget from {e admission}, queue wait included *)
   jobs : int option;  (** overrides the daemon's domain count *)
+  trace : bool;
+      (** when true (default [false] on the wire), the response carries
+          a ["trace"] field: the request's [rtrace/v1] span tree *)
   op : op;
 }
 

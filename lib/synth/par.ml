@@ -240,9 +240,16 @@ let run_pool ~jobs ~cancel ~init ~merge ~f seeds =
   Obs.Metric.incr m_pools;
   Obs.Metric.add m_tasks (Array.length seeds);
   let pool = make_pool ~jobs ~cancel seeds in
+  (* pool tasks inherit the spawning domain's request trace (batch
+     items, explorer tasks): capture once here, restore on each spawned
+     domain so spans recorded inside tasks join the request's tree.
+     Worker 0 runs on the calling domain and needs nothing. *)
+  let rctx = Obs.Rtrace.capture () in
   let others =
     Array.init (jobs - 1) (fun k ->
-        Domain.spawn (fun () -> run_worker pool ~init ~f (k + 1)))
+        Domain.spawn (fun () ->
+            Obs.Rtrace.restore rctx;
+            run_worker pool ~init ~f (k + 1)))
   in
   let acc0 = run_worker pool ~init ~f 0 in
   let accs = Array.map Domain.join others in

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Live-telemetry smoke: start the daemon with a fast series ticker, a
+# structured log file and a trace export; drive a traced batch; scrape
+# the metrics verb while a second batch is in flight; then assert that
+#   - the batch response carries an rtrace/v1 span tree under its rid
+#   - the same rid appears in the structured log stream
+#   - the metrics response validates (obs/v1 snapshot, Prometheus
+#     exposition, series/v1 with a non-zero rolling request rate)
+#   - the daemon's --trace timeline carries one process per request
+#
+# Invoked by CI and by the `smoke` dune alias (`dune build @smoke`).
+# Args: [BIN [MODEL [TECH [VALIDATE_TELEMETRY [VALIDATE_TRACE]]]]]
+# Set TELEMETRY_ARTIFACTS to a directory to keep the artifacts.
+set -euo pipefail
+
+BIN=${1:-./_build/default/bin/main.exe}
+MODEL=${2:-examples/models/codec.spi}
+TECH=${3:-examples/models/codec.tech}
+VALIDATE_TELEMETRY=${4:-./_build/default/test/validate_telemetry.exe}
+VALIDATE_TRACE=${5:-./_build/default/test/validate_trace.exe}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/telemetry-smoke.XXXXXX")
+cleanup() {
+  if [ -n "${TELEMETRY_ARTIFACTS:-}" ]; then
+    mkdir -p "$TELEMETRY_ARTIFACTS"
+    cp -f "$WORK"/daemon.log "$WORK"/traces.json \
+      "$WORK"/batch-response.json "$WORK"/metrics-response.json \
+      "$TELEMETRY_ARTIFACTS"/ 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+SOCK="$WORK/serve.sock"
+LOG="$WORK/daemon.log"
+TRACES="$WORK/traces.json"
+
+"$BIN" serve --socket "$SOCK" -j 2 \
+  --log "$LOG" --log-level debug \
+  --sample-interval-ms 100 --trace "$TRACES" &
+SERVER=$!
+sleep 1
+
+# a first request plus an idle beat gives the series rate history
+"$BIN" request --socket "$SOCK" ping > /dev/null
+sleep 0.5
+
+# traced batch under a known rid: the span tree must come back inline
+"$BIN" request --socket "$SOCK" batch --file "$MODEL" --tech "$TECH" \
+  --count 4 --id smoke-batch-1 --trace-spans --timeout 60 \
+  > "$WORK/batch-response.json"
+grep -q '"schema":"rtrace/v1"' "$WORK/batch-response.json"
+grep -q '"rid":"smoke-batch-1"' "$WORK/batch-response.json"
+grep -q '"name":"serve.request"' "$WORK/batch-response.json"
+grep -q '"name":"explore.solve_ns"' "$WORK/batch-response.json"
+
+# the same rid must thread through the structured log stream
+"$VALIDATE_TELEMETRY" --log "$LOG" \
+  --expect-event serve.request --expect-rid smoke-batch-1
+
+# scrape the metrics verb while a batch is in flight: the daemon queues
+# it behind the running batch, and the response must still validate
+# with a non-zero rolling request rate
+"$BIN" request --socket "$SOCK" batch --file "$MODEL" --tech "$TECH" \
+  --count 6 --timeout 60 > /dev/null &
+LOAD=$!
+sleep 0.3
+"$BIN" request --socket "$SOCK" metrics --timeout 60 --attempts 1 \
+  > "$WORK/metrics-response.json"
+wait "$LOAD"
+"$VALIDATE_TELEMETRY" --response "$WORK/metrics-response.json" --expect-rate
+
+"$BIN" request --socket "$SOCK" shutdown > /dev/null
+wait "$SERVER"
+
+# the trace export lands at shutdown: one timeline process per request
+test -s "$TRACES"
+"$VALIDATE_TRACE" --allow-nesting "$TRACES"
+grep -q 'req smoke-batch-1' "$TRACES"
+
+echo "telemetry smoke: OK"

@@ -374,6 +374,380 @@ let test_trace_stream_abort () =
   in
   Alcotest.(check (list string)) "no temp files left" [] leftovers
 
+(* ------------------------ request tracing --------------------------- *)
+
+let rtrace_find name spans =
+  match List.find_opt (fun s -> s.Obs.Rtrace.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "no span named %s" name
+
+let test_rtrace_nesting () =
+  let tr = Obs.Rtrace.create "rid-nest" in
+  Obs.Rtrace.with_request tr "serve.request" (fun () ->
+      Obs.Registry.with_span "t.rt.outer_ns" (fun () ->
+          Obs.Registry.with_span "t.rt.inner_ns" (fun () -> ());
+          Obs.Registry.record_span ~name:"t.rt.leaf_ns" ~start_ns:1 ~dur_ns:1));
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Rtrace.dropped tr);
+  Alcotest.(check string) "rid" "rid-nest" (Obs.Rtrace.rid tr);
+  let spans = Obs.Rtrace.spans tr in
+  let root = rtrace_find "serve.request" spans in
+  let outer = rtrace_find "t.rt.outer_ns" spans in
+  let inner = rtrace_find "t.rt.inner_ns" spans in
+  let leaf = rtrace_find "t.rt.leaf_ns" spans in
+  Alcotest.(check int) "root parents to 0" 0 root.Obs.Rtrace.parent;
+  Alcotest.(check int) "outer parents to root" root.Obs.Rtrace.id
+    outer.Obs.Rtrace.parent;
+  Alcotest.(check int) "inner parents to outer" outer.Obs.Rtrace.id
+    inner.Obs.Rtrace.parent;
+  Alcotest.(check int) "record_span leaf parents to outer"
+    outer.Obs.Rtrace.id leaf.Obs.Rtrace.parent;
+  (* spans recorded outside with_request join no trace *)
+  Obs.Registry.record_span ~name:"t.rt.after_ns" ~start_ns:2 ~dur_ns:1;
+  Alcotest.(check int) "no growth after deactivation" (List.length spans)
+    (List.length (Obs.Rtrace.spans tr))
+
+let test_rtrace_cross_domain () =
+  let tr = Obs.Rtrace.create "rid-xdom" in
+  Obs.Rtrace.with_request tr "serve.request" (fun () ->
+      let ctx = Obs.Rtrace.capture () in
+      let worker =
+        Domain.spawn (fun () ->
+            Obs.Rtrace.restore ctx;
+            Obs.Registry.with_span "t.rt.worker_ns" (fun () -> ()))
+      in
+      Domain.join worker);
+  let spans = Obs.Rtrace.spans tr in
+  let root = rtrace_find "serve.request" spans in
+  let worker = rtrace_find "t.rt.worker_ns" spans in
+  Alcotest.(check int) "worker span parents to the request root"
+    root.Obs.Rtrace.id worker.Obs.Rtrace.parent;
+  Alcotest.(check bool) "recorded on a different domain" true
+    (worker.Obs.Rtrace.domain <> root.Obs.Rtrace.domain)
+
+let test_rtrace_overflow_counted () =
+  let tr = Obs.Rtrace.create ~capacity:2 "rid-full" in
+  Obs.Rtrace.with_request tr "root" (fun () ->
+      for i = 1 to 5 do
+        Obs.Registry.record_span ~name:"t.rt.flood_ns" ~start_ns:i ~dur_ns:1
+      done);
+  Alcotest.(check bool) "overflow is counted, not silent" true
+    (Obs.Rtrace.dropped tr > 0);
+  Alcotest.(check bool) "capacity respected" true
+    (List.length (Obs.Rtrace.spans tr) <= 2);
+  match Obs.Json.member "dropped" (Obs.Rtrace.to_json tr) with
+  | Some (J.Int n) when n > 0 -> ()
+  | _ -> Alcotest.fail "dropped count missing from rtrace/v1"
+
+let test_rtrace_json_shape () =
+  let tr = Obs.Rtrace.create "rid-json" in
+  Obs.Rtrace.with_request tr "serve.request" (fun () ->
+      Obs.Registry.with_span "t.rt.child_ns" (fun () -> ()));
+  let doc = Obs.Rtrace.to_json tr in
+  Alcotest.(check (option string)) "schema" (Some "rtrace/v1")
+    (Option.bind (J.member "schema" doc) J.to_string_opt);
+  Alcotest.(check (option string)) "rid" (Some "rid-json")
+    (Option.bind (J.member "rid" doc) J.to_string_opt);
+  match Option.bind (J.member "spans" doc) J.to_list with
+  | Some (_ :: _ :: _) -> ()
+  | _ -> Alcotest.fail "expected at least two spans in the tree"
+
+(* --------------------- Prometheus exposition ------------------------ *)
+
+let expo_samples name text =
+  (* non-comment lines "<name>[{...}] <value>" for one metric *)
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some sp when String.length line > 0 && line.[0] <> '#' ->
+           let key = String.sub line 0 sp in
+           let value =
+             String.sub line (sp + 1) (String.length line - sp - 1)
+           in
+           let matches =
+             key = name
+             || (String.length key > String.length name
+                 && String.sub key 0 (String.length name) = name
+                 && (key.[String.length name] = '_'
+                    || key.[String.length name] = '{'))
+           in
+           if matches then Some (key, value) else None
+         | _ -> None)
+
+let test_expo_sanitize () =
+  Alcotest.(check string) "dots to underscores" "serve_queue_wait_ns"
+    (Obs.Expo.sanitize "serve.queue_wait_ns");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Obs.Expo.sanitize "9lives");
+  Alcotest.(check string) "colon kept" "a:b" (Obs.Expo.sanitize "a:b");
+  Alcotest.(check int) "zero bucket upper" 0 (Obs.Expo.bucket_upper_of_lower 0);
+  Alcotest.(check int) "pow2 bucket upper" 7 (Obs.Expo.bucket_upper_of_lower 4)
+
+(* Every registered metric appears in the exposition; histogram bucket
+   series are cumulative, monotone in le, and end with +Inf == count. *)
+let test_expo_roundtrip =
+  QCheck.Test.make ~count:50
+    ~name:"Prometheus exposition is complete, cumulative, monotone"
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 2_000_000))
+    (fun observations ->
+      Obs.Registry.reset ();
+      let h = Obs.Registry.histogram "t.expo.prop_ns" in
+      List.iter (Obs.Metric.observe h) observations;
+      let text = Obs.Expo.render () in
+      (* completeness: every binding's sanitized name is exposed *)
+      List.for_all
+        (fun (name, _) -> expo_samples (Obs.Expo.sanitize name) text <> [])
+        (Obs.Registry.bindings ())
+      &&
+      let samples = expo_samples "t_expo_prop_ns" text in
+      let buckets =
+        List.filter_map
+          (fun (k, v) ->
+            let prefix = "t_expo_prop_ns_bucket{le=\"" in
+            if
+              String.length k > String.length prefix
+              && String.sub k 0 (String.length prefix) = prefix
+            then
+              let le =
+                String.sub k (String.length prefix)
+                  (String.length k - String.length prefix - 2)
+              in
+              Some (le, int_of_string v)
+            else None)
+          samples
+      in
+      let count =
+        match List.assoc_opt "t_expo_prop_ns_count" samples with
+        | Some v -> int_of_string v
+        | None -> -1
+      in
+      let sum =
+        match List.assoc_opt "t_expo_prop_ns_sum" samples with
+        | Some v -> int_of_string v
+        | None -> -1
+      in
+      let rec check_monotone prev_le prev_cum = function
+        | [] -> true
+        | ("+Inf", cum) :: rest ->
+          cum = count && cum >= prev_cum && rest = []
+        | (le, cum) :: rest ->
+          let le = int_of_string le in
+          le > prev_le && cum >= prev_cum && check_monotone le cum rest
+      in
+      count = List.length observations
+      && sum = List.fold_left ( + ) 0 observations
+      && buckets <> []
+      && check_monotone (-1) 0 buckets)
+
+(* ------------------------- rolling series --------------------------- *)
+
+let test_series_rates_and_quantiles () =
+  Obs.Registry.reset ();
+  let s = Obs.Series.create ~windows:4 () in
+  let c = Obs.Registry.counter "t.series.reqs" in
+  let h = Obs.Registry.histogram "t.series.lat_ns" in
+  Obs.Series.sample s;
+  Obs.Metric.add c 100;
+  for v = 1 to 100 do
+    Obs.Metric.observe h v
+  done;
+  Unix.sleepf 0.01;
+  Obs.Series.sample s;
+  Alcotest.(check int) "two windows" 2 (Obs.Series.windows s);
+  let doc = Obs.Series.to_json s in
+  let get path =
+    List.fold_left (fun j k -> Option.bind j (J.member k)) (Some doc) path
+  in
+  Alcotest.(check (option string)) "schema" (Some "series/v1")
+    (Option.bind (get [ "schema" ]) J.to_string_opt);
+  Alcotest.(check (option int)) "counter value" (Some 100)
+    (Option.bind (get [ "counters"; "t.series.reqs"; "value" ]) J.to_int);
+  (match get [ "counters"; "t.series.reqs"; "last_per_s" ] with
+  | Some (J.Float r) when r > 0. -> ()
+  | other ->
+    Alcotest.failf "expected positive rate, got %s"
+      (match other with Some j -> J.to_string j | None -> "nothing"));
+  Alcotest.(check (option int)) "windowed count" (Some 100)
+    (Option.bind (get [ "histograms"; "t.series.lat_ns"; "window_count" ])
+       J.to_int);
+  match get [ "histograms"; "t.series.lat_ns"; "p50" ] with
+  | Some (J.Int p50) when p50 >= 50 && p50 <= 127 -> ()
+  | other ->
+    Alcotest.failf "rolling p50 out of the 2x bucket bound: %s"
+      (match other with Some j -> J.to_string j | None -> "nothing")
+
+let test_series_eviction () =
+  Obs.Registry.reset ();
+  let s = Obs.Series.create ~windows:2 () in
+  for _ = 1 to 5 do
+    Obs.Series.sample s
+  done;
+  Alcotest.(check int) "capped at windows" 2 (Obs.Series.windows s);
+  Alcotest.(check int) "taken keeps counting" 5 (Obs.Series.taken s);
+  Alcotest.check_raises "windows < 2 rejected"
+    (Invalid_argument "Series.create: windows < 2") (fun () ->
+      ignore (Obs.Series.create ~windows:1 ()))
+
+let test_series_delta_helpers () =
+  let d =
+    Obs.Series.delta_buckets
+      ~newer:[ (0, 2); (1, 3); (2, 5) ]
+      ~older:[ (0, 1); (2, 5) ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "per-bucket delta, zero buckets dropped"
+    [ (0, 1); (1, 3) ]
+    d;
+  Alcotest.(check (option int)) "median of the delta" (Some 1)
+    (Obs.Series.quantile_of_buckets d 0.5);
+  Alcotest.(check (option int)) "empty window has no quantile" None
+    (Obs.Series.quantile_of_buckets [] 0.5);
+  (* rank = ceil(q * total): q=0.5 of [(0,1);(1,2);(2,4)] is rank 4,
+     landing in the [2,3] bucket whose upper bound is 3 *)
+  Alcotest.(check (option int)) "rank lands on the bucket upper" (Some 3)
+    (Obs.Series.quantile_of_buckets [ (0, 1); (1, 2); (2, 4) ] 0.5)
+
+let test_series_diff_snapshots () =
+  Obs.Registry.reset ();
+  let c = Obs.Registry.counter "t.diff.reqs" in
+  let h = Obs.Registry.histogram "t.diff.lat_ns" in
+  Obs.Metric.add c 3;
+  let a = Obs.Registry.snapshot () in
+  Obs.Metric.add c 4;
+  for v = 1 to 50 do
+    Obs.Metric.observe h v
+  done;
+  let b = Obs.Registry.snapshot () in
+  (match Obs.Series.diff_snapshots a b with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok diff ->
+    let get path =
+      List.fold_left (fun j k -> Option.bind j (J.member k)) (Some diff) path
+    in
+    Alcotest.(check (option string)) "schema" (Some "obs-diff/v1")
+      (Option.bind (get [ "schema" ]) J.to_string_opt);
+    Alcotest.(check (option int)) "counter delta" (Some 4)
+      (Option.bind (get [ "counters"; "t.diff.reqs"; "delta" ]) J.to_int);
+    Alcotest.(check (option int)) "histogram count delta" (Some 50)
+      (Option.bind
+         (get [ "histograms"; "t.diff.lat_ns"; "count_delta" ])
+         J.to_int);
+    (match get [ "histograms"; "t.diff.lat_ns"; "window_p50" ] with
+    | Some (J.Int p) when p >= 25 && p <= 63 -> ()
+    | other ->
+      Alcotest.failf "window_p50 out of bound: %s"
+        (match other with Some j -> J.to_string j | None -> "nothing"));
+    (* unchanged metrics are omitted, so a self-diff is empty *)
+    match Obs.Series.diff_snapshots b b with
+    | Ok d ->
+      Alcotest.(check bool) "self-diff has no counter entries" true
+        (J.member "counters" d = Some (J.Obj []))
+    | Error e -> Alcotest.failf "self-diff failed: %s" e);
+  match Obs.Series.diff_snapshots (J.Obj []) b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a non-obs/v1 document"
+
+(* ------------------------- structured logs -------------------------- *)
+
+let with_log_capture f =
+  let lines = ref [] in
+  Obs.Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_level Obs.Log.Warn;
+      Obs.Log.set_rate ~burst:Obs.Log.default_burst
+        ~per_s:Obs.Log.default_per_s;
+      Obs.Log.set_sink (Some (Obs.Log.channel_sink stderr)))
+    (fun () -> f lines)
+
+let test_log_schema_and_levels () =
+  with_log_capture (fun lines ->
+      Obs.Log.set_level Obs.Log.Info;
+      Obs.Log.emit ~level:Obs.Log.Debug "t.log.hidden" [];
+      Alcotest.(check int) "below threshold: nothing" 0 (List.length !lines);
+      Obs.Log.emit "t.log.visible" [ ("answer", J.Int 42) ];
+      match !lines with
+      | [ line ] -> (
+        match J.parse line with
+        | Error e -> Alcotest.failf "log line is not JSON: %s" e
+        | Ok doc ->
+          let get path =
+            List.fold_left
+              (fun j k -> Option.bind j (J.member k))
+              (Some doc) path
+          in
+          Alcotest.(check (option string)) "schema" (Some "log/v1")
+            (Option.bind (get [ "schema" ]) J.to_string_opt);
+          Alcotest.(check (option string)) "level" (Some "info")
+            (Option.bind (get [ "level" ]) J.to_string_opt);
+          Alcotest.(check (option string)) "event" (Some "t.log.visible")
+            (Option.bind (get [ "event" ]) J.to_string_opt);
+          Alcotest.(check (option int)) "fields carried" (Some 42)
+            (Option.bind (get [ "fields"; "answer" ]) J.to_int);
+          Alcotest.(check bool) "ts present" true (get [ "ts_ns" ] <> None))
+      | other -> Alcotest.failf "expected one line, got %d" (List.length other))
+
+let test_log_rate_limit () =
+  with_log_capture (fun lines ->
+      Obs.Log.set_level Obs.Log.Info;
+      (* one-token bucket, slow refill: the tight loop exhausts it
+         immediately and the suppressed lines accumulate in the bucket
+         ([set_rate] would reset them, so stay on one configuration) *)
+      Obs.Log.set_rate ~burst:1. ~per_s:50.;
+      for _ = 1 to 10 do
+        Obs.Log.emit "t.log.flood" []
+      done;
+      Alcotest.(check bool) "burst bounds the lines" true
+        (List.length !lines < 5);
+      (* refill, then the next permitted line carries the count *)
+      Unix.sleepf 0.05;
+      Obs.Log.emit "t.log.flood" [];
+      let suppressed =
+        List.exists
+          (fun line ->
+            match J.parse line with
+            | Ok doc -> (
+              match Option.bind (J.member "suppressed" doc) J.to_int with
+              | Some n -> n > 0
+              | None -> false)
+            | Error _ -> false)
+          !lines
+      in
+      Alcotest.(check bool)
+        "a later line reports what the limiter dropped" true suppressed;
+      Alcotest.check_raises "bad rate rejected"
+        (Invalid_argument "Log.set_rate") (fun () ->
+          Obs.Log.set_rate ~burst:0. ~per_s:1.))
+
+(* --------------------- atomic file durability ----------------------- *)
+
+let test_atomic_file_fresh_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spi-obs-fsync-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "snap.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* the durable path: file fsync, rename, directory fsync *)
+      Obs.Atomic_file.write path "durable\n";
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "contents survive the fsync path" "durable\n"
+        contents;
+      Alcotest.(check (list string)) "only the target remains"
+        [ "snap.json" ]
+        (Array.to_list (Sys.readdir dir)));
+  (* a missing directory still fails loudly *)
+  match Obs.Atomic_file.write (Filename.concat dir "gone/x.json") "y" with
+  | () -> Alcotest.fail "write into a missing directory succeeded"
+  | exception Sys_error _ -> ()
+
 let suite =
   ( "obs",
     [
@@ -402,4 +776,24 @@ let suite =
       Alcotest.test_case "trace stream empty and closed" `Quick
         test_trace_stream_empty_and_closed;
       Alcotest.test_case "trace stream abort" `Quick test_trace_stream_abort;
+      Alcotest.test_case "rtrace span nesting" `Quick test_rtrace_nesting;
+      Alcotest.test_case "rtrace cross-domain context" `Quick
+        test_rtrace_cross_domain;
+      Alcotest.test_case "rtrace overflow counted" `Quick
+        test_rtrace_overflow_counted;
+      Alcotest.test_case "rtrace/v1 shape" `Quick test_rtrace_json_shape;
+      Alcotest.test_case "exposition sanitize and buckets" `Quick
+        test_expo_sanitize;
+      QCheck_alcotest.to_alcotest test_expo_roundtrip;
+      Alcotest.test_case "series rates and rolling quantiles" `Quick
+        test_series_rates_and_quantiles;
+      Alcotest.test_case "series ring eviction" `Quick test_series_eviction;
+      Alcotest.test_case "series delta helpers" `Quick
+        test_series_delta_helpers;
+      Alcotest.test_case "snapshot diff" `Quick test_series_diff_snapshots;
+      Alcotest.test_case "log schema and levels" `Quick
+        test_log_schema_and_levels;
+      Alcotest.test_case "log rate limiting" `Quick test_log_rate_limit;
+      Alcotest.test_case "atomic write durability" `Quick
+        test_atomic_file_fresh_dir;
     ] )

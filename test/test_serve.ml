@@ -44,32 +44,41 @@ let roundtrip r =
 let test_protocol_roundtrip () =
   let requests =
     [
-      { P.id = None; deadline_ms = None; jobs = None; op = P.Ping };
-      { P.id = Some "r1"; deadline_ms = Some 250; jobs = Some 4; op = P.Stats };
-      { P.id = None; deadline_ms = None; jobs = None; op = P.Shutdown };
+      { P.id = None; deadline_ms = None; jobs = None; trace = false;
+        op = P.Ping };
+      { P.id = Some "r1"; deadline_ms = Some 250; jobs = Some 4;
+        trace = false; op = P.Stats };
+      { P.id = None; deadline_ms = None; jobs = None; trace = false;
+        op = P.Shutdown };
+      { P.id = None; deadline_ms = None; jobs = None; trace = false;
+        op = P.Metrics };
       {
         P.id = Some "r2";
         deadline_ms = None;
         jobs = None;
+        trace = true;
         op = P.Synthesize { model = "m"; tech = "t"; capacity = Some 60 };
       };
       {
         P.id = None;
         deadline_ms = Some 1;
         jobs = None;
+        trace = false;
         op = P.Pareto { model = "m"; tech = "t"; capacity = None };
       };
       {
         P.id = None;
         deadline_ms = None;
         jobs = None;
+        trace = false;
         op = P.Simulate { model = "m"; until = Some 40; compiled = true };
       };
     ]
   in
   List.iter (fun r -> if roundtrip r <> r then Alcotest.fail "mismatch") requests;
   let batch =
-    { P.id = Some "b"; deadline_ms = None; jobs = None; op = P.Batch requests }
+    { P.id = Some "b"; deadline_ms = None; jobs = None; trace = false;
+      op = P.Batch requests }
   in
   if roundtrip batch <> batch then Alcotest.fail "batch mismatch"
 
@@ -125,7 +134,8 @@ let handle ?handler request =
   Serve.Handler.handle t ~admitted_ns:(Obs.Clock.now_ns ()) ~queue_depth:0
     request
 
-let plain op = { P.id = None; deadline_ms = None; jobs = None; op }
+let plain op =
+  { P.id = None; deadline_ms = None; jobs = None; trace = false; op }
 
 let test_handler_ping () =
   let r = handle (plain P.Ping) in
@@ -347,6 +357,185 @@ let test_handler_simulate_compiled () =
   Alcotest.(check int) "one miss" (m0 + 1) (Obs.Metric.value misses);
   Alcotest.(check int) "one hit" (h0 + 1) (Obs.Metric.value hits)
 
+(* --------------------------- telemetry ---------------------------- *)
+
+let get_path doc path =
+  List.fold_left (fun j k -> Option.bind j (J.member k)) (Some doc) path
+
+let test_handler_metrics_verb () =
+  let series = Obs.Series.create ~windows:4 () in
+  let t = Serve.Handler.create ~series ~jobs:1 () in
+  Obs.Series.sample series;
+  ignore (handle ~handler:t (plain P.Ping));
+  Unix.sleepf 0.005;
+  Obs.Series.sample series;
+  let r = handle ~handler:t (plain P.Metrics) in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response r);
+  Alcotest.(check (option string)) "snapshot is obs/v1" (Some "obs/v1")
+    (Option.bind (get_path r [ "snapshot"; "schema" ]) J.to_string_opt);
+  (match get_path r [ "snapshot"; "counters"; "serve.requests" ] with
+  | Some (J.Int n) when n > 0 -> ()
+  | _ -> Alcotest.fail "snapshot misses the request counter");
+  (match Option.bind (get_path r [ "exposition" ]) J.to_string_opt with
+  | Some text ->
+    let has needle =
+      let nl = String.length needle and tl = String.length text in
+      let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "exposition has TYPE headers" true
+      (has "# TYPE serve_requests counter")
+  | None -> Alcotest.fail "no exposition");
+  Alcotest.(check (option string)) "series is series/v1" (Some "series/v1")
+    (Option.bind (get_path r [ "series"; "schema" ]) J.to_string_opt);
+  Alcotest.(check (option int)) "both windows retained" (Some 2)
+    (Option.bind (get_path r [ "series"; "windows" ]) J.to_int);
+  (* without a series the verb still answers, minus that member *)
+  let bare = handle (plain P.Metrics) in
+  Alcotest.(check string) "ok without series" "ok"
+    (P.status_of_response bare);
+  Alcotest.(check bool) "no series member" true
+    (J.member "series" bare = None)
+
+let test_handler_trace_spans () =
+  let t = Serve.Handler.create ~jobs:2 () in
+  let synth op = { (plain op) with P.id = Some "tr-1"; trace = true } in
+  let op =
+    P.Synthesize { model = model_source; tech = tech_source; capacity = None }
+  in
+  let r = handle ~handler:t (synth op) in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response r);
+  let trace =
+    match J.member "trace" r with
+    | Some tr -> tr
+    | None -> Alcotest.fail "trace requested but absent"
+  in
+  Alcotest.(check (option string)) "rtrace/v1" (Some "rtrace/v1")
+    (Option.bind (J.member "schema" trace) J.to_string_opt);
+  Alcotest.(check (option string)) "rid is the request id" (Some "tr-1")
+    (Option.bind (J.member "rid" trace) J.to_string_opt);
+  let spans =
+    match Option.bind (J.member "spans" trace) J.to_list with
+    | Some spans -> spans
+    | None -> Alcotest.fail "no spans"
+  in
+  let name s = Option.bind (J.member "name" s) J.to_string_opt in
+  let root =
+    match List.find_opt (fun s -> name s = Some "serve.request") spans with
+    | Some s -> s
+    | None -> Alcotest.fail "no serve.request root span"
+  in
+  Alcotest.(check (option int)) "root parents to 0" (Some 0)
+    (Option.bind (J.member "parent" root) J.to_int);
+  Alcotest.(check bool) "explore landed in the request tree" true
+    (List.exists (fun s -> name s = Some "explore.solve_ns") spans);
+  (* replays serve the cached response: no stale trace attached *)
+  let replay = handle ~handler:t (synth op) in
+  Alcotest.(check (option bool)) "replayed" (Some true)
+    (Option.bind (J.member "cached" replay) J.to_bool);
+  Alcotest.(check bool) "no trace on a replay" true
+    (J.member "trace" replay = None);
+  (* and without the flag, no trace member at all *)
+  let quiet = handle ~handler:t (plain P.Ping) in
+  Alcotest.(check bool) "opt-in only" true (J.member "trace" quiet = None)
+
+(* Metrics polls against a live batch workload: the shared registry,
+   exposition and series are the concurrency surface (handlers are
+   per-connection state, so each side gets its own). *)
+let test_metrics_under_load () =
+  let series = Obs.Series.create ~windows:8 () in
+  let load = Serve.Handler.create ~jobs:2 () in
+  let poll = Serve.Handler.create ~series ~jobs:1 () in
+  let stop = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        let batch =
+          plain
+            (P.Batch
+               [
+                 plain
+                   (P.Synthesize
+                      {
+                        model = model_source;
+                        tech = tech_source;
+                        capacity = None;
+                      });
+                 plain
+                   (P.Simulate
+                      { model = model_source; until = Some 30; compiled = true });
+               ])
+        in
+        while not (Atomic.get stop) do
+          let r = handle ~handler:load batch in
+          if P.status_of_response r <> "ok" then
+            Atomic.set stop true (* surface the failure to the checks below *)
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join worker)
+    (fun () ->
+      for _ = 1 to 10 do
+        Obs.Series.sample series;
+        let r = handle ~handler:poll (plain P.Metrics) in
+        Alcotest.(check string) "poll ok" "ok" (P.status_of_response r);
+        (* well-formed under concurrent writers: the document serializes
+           and parses back, and both payloads carry their schema tags *)
+        (match J.parse (J.to_string ~minify:true r) with
+        | Error e -> Alcotest.failf "snapshot does not round-trip: %s" e
+        | Ok _ -> ());
+        Alcotest.(check (option string)) "obs/v1" (Some "obs/v1")
+          (Option.bind (get_path r [ "snapshot"; "schema" ]) J.to_string_opt);
+        Alcotest.(check (option string)) "series/v1" (Some "series/v1")
+          (Option.bind (get_path r [ "series"; "schema" ]) J.to_string_opt)
+      done;
+      Alcotest.(check bool) "load kept running" false (Atomic.get stop))
+
+let test_client_retry_logged () =
+  let lines = ref [] in
+  Obs.Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_sink (Some (Obs.Log.channel_sink stderr)))
+    (fun () ->
+      (match
+         Serve.Client.request ~timeout_s:0.2 ~attempts:2 ~base_backoff_s:0.01
+           ~seed:1 ~socket:"/nonexistent/spi-serve.sock"
+           { (plain P.Ping) with P.id = Some "retry-rid" }
+       with
+      | Serve.Client.Unreachable _ -> ()
+      | Serve.Client.Response _ | Serve.Client.Overloaded _ ->
+        Alcotest.fail "expected unreachable");
+      let retries =
+        List.rev !lines
+        |> List.filter_map (fun line ->
+               match J.parse line with
+               | Ok doc
+                 when Option.bind (J.member "event" doc) J.to_string_opt
+                      = Some "client.retry" ->
+                 Some doc
+               | Ok _ | Error _ -> None)
+      in
+      Alcotest.(check int) "one line per failed attempt" 2
+        (List.length retries);
+      let first = List.hd retries in
+      let field k = get_path first [ "fields"; k ] in
+      Alcotest.(check (option string)) "warn level" (Some "warn")
+        (Option.bind (J.member "level" first) J.to_string_opt);
+      Alcotest.(check (option string)) "idempotency key" (Some "retry-rid")
+        (Option.bind (field "id") J.to_string_opt);
+      Alcotest.(check (option int)) "attempt number" (Some 1)
+        (Option.bind (field "attempt") J.to_int);
+      Alcotest.(check (option int)) "attempt budget" (Some 2)
+        (Option.bind (field "of") J.to_int);
+      (match Option.bind (field "backoff_ms") J.to_int with
+      | Some ms when ms >= 0 -> ()
+      | _ -> Alcotest.fail "no backoff_ms field");
+      match Option.bind (field "reason") J.to_string_opt with
+      | Some reason when reason <> "" -> ()
+      | _ -> Alcotest.fail "no reason field")
+
 let suite =
   ( "serve",
     [
@@ -377,4 +566,12 @@ let suite =
         test_handler_simulate_compiled;
       Alcotest.test_case "client reports unreachable" `Quick
         test_client_unreachable;
+      Alcotest.test_case "metrics verb payload" `Quick
+        test_handler_metrics_verb;
+      Alcotest.test_case "trace spans in the response" `Quick
+        test_handler_trace_spans;
+      Alcotest.test_case "metrics polls under batch load" `Quick
+        test_metrics_under_load;
+      Alcotest.test_case "client retries are logged" `Quick
+        test_client_retry_logged;
     ] )

@@ -1,0 +1,289 @@
+(* Validates the live-telemetry artifacts the daemon and client emit:
+
+     validate_telemetry --log FILE [--expect-event EV] [--expect-rid RID]
+       every line is a log/v1 object (schema, ts_ns, level, event,
+       fields); optionally require an event name and a fields.rid
+
+     validate_telemetry --expo FILE
+       Prometheus text exposition: TYPE headers, samples for every
+       header, histogram bucket series cumulative/monotone ending in
+       +Inf == _count
+
+     validate_telemetry --response FILE [--expect-rate]
+       a metrics-verb response: status ok, obs/v1 snapshot, exposition
+       (checked as above), series/v1 when present; --expect-rate
+       additionally requires a non-zero rolling serve.requests rate
+
+   Driven by the dune runtest rules in test/dune and by the CI
+   telemetry smoke (test/smoke/telemetry_smoke.sh). *)
+
+module J = Obs.Json
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+(* ------------------------------ log/v1 ------------------------------ *)
+
+let levels = [ "debug"; "info"; "warn"; "error" ]
+
+let check_log_line path n line =
+  let doc =
+    match J.parse line with
+    | Ok d -> d
+    | Error e -> fail "%s:%d: not valid JSON: %s" path n e
+  in
+  (match Option.bind (J.member "schema" doc) J.to_string_opt with
+  | Some "log/v1" -> ()
+  | Some other -> fail "%s:%d: schema %S, expected log/v1" path n other
+  | None -> fail "%s:%d: missing schema tag" path n);
+  (match Option.bind (J.member "ts_ns" doc) J.to_int with
+  | Some ts when ts >= 0 -> ()
+  | _ -> fail "%s:%d: missing ts_ns" path n);
+  (match Option.bind (J.member "level" doc) J.to_string_opt with
+  | Some l when List.mem l levels -> ()
+  | Some l -> fail "%s:%d: unknown level %S" path n l
+  | None -> fail "%s:%d: missing level" path n);
+  (match Option.bind (J.member "event" doc) J.to_string_opt with
+  | Some e when e <> "" -> ()
+  | _ -> fail "%s:%d: missing event name" path n);
+  (match J.member "fields" doc with
+  | Some (J.Obj _) -> ()
+  | _ -> fail "%s:%d: missing fields object" path n);
+  (match J.member "suppressed" doc with
+  | None -> ()
+  | Some s -> (
+    match J.to_int s with
+    | Some k when k > 0 -> ()
+    | _ -> fail "%s:%d: suppressed must be a positive count" path n));
+  doc
+
+let validate_log path ~expect_event ~expect_rid =
+  (* a log stream on stderr may interleave human diagnostics; the
+     machine lines are the JSON objects, and every one must validate *)
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> String.length l > 0 && l.[0] = '{')
+  in
+  if lines = [] then fail "%s: no log lines" path;
+  let docs = List.map (fun (n, l) -> check_log_line path n l) lines in
+  let event_of d = Option.bind (J.member "event" d) J.to_string_opt in
+  let rid_of d =
+    Option.bind (J.member "fields" d) (fun f ->
+        Option.bind (J.member "rid" f) J.to_string_opt)
+  in
+  (match expect_event with
+  | Some ev when not (List.exists (fun d -> event_of d = Some ev) docs) ->
+    fail "%s: no %S event in %d lines" path ev (List.length docs)
+  | _ -> ());
+  (match expect_rid with
+  | Some rid when not (List.exists (fun d -> rid_of d = Some rid) docs) ->
+    fail "%s: rid %S appears in no line's fields" path rid
+  | _ -> ());
+  Format.printf "%s: %d valid log/v1 lines@." path (List.length docs)
+
+(* --------------------------- exposition ----------------------------- *)
+
+type sample = { metric : string; le : string option; value : int }
+
+(* "name 3" or "name_bucket{le=\"7\"} 3" *)
+let parse_sample path n line =
+  match String.index_opt line ' ' with
+  | None -> fail "%s:%d: sample without a value: %s" path n line
+  | Some sp ->
+    let key = String.sub line 0 sp in
+    let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let value =
+      match int_of_string_opt v with
+      | Some v -> v
+      | None -> fail "%s:%d: non-integer sample value %S" path n v
+    in
+    (match String.index_opt key '{' with
+    | None -> { metric = key; le = None; value }
+    | Some br ->
+      let metric = String.sub key 0 br in
+      let label = String.sub key br (String.length key - br) in
+      let prefix = "{le=\"" in
+      let pl = String.length prefix in
+      if
+        String.length label > pl + 2
+        && String.sub label 0 pl = prefix
+        && String.sub label (String.length label - 2) 2 = "\"}"
+      then
+        { metric; le = Some (String.sub label pl (String.length label - pl - 2)); value }
+      else fail "%s:%d: unparseable label %S" path n label)
+
+let strip_suffix s suffix =
+  let sl = String.length s and xl = String.length suffix in
+  if sl > xl && String.sub s (sl - xl) xl = suffix then
+    Some (String.sub s 0 (sl - xl))
+  else None
+
+let check_exposition path text =
+  let lines = String.split_on_char '\n' text in
+  let types = Hashtbl.create 64 in
+  let samples = ref [] in
+  List.iteri
+    (fun i line ->
+      let n = i + 1 in
+      if line = "" then ()
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ _; _; name; kind ]
+          when List.mem kind [ "counter"; "gauge"; "histogram" ] ->
+          Hashtbl.replace types name kind
+        | _ -> fail "%s:%d: malformed TYPE header: %s" path n line
+      end
+      else if line.[0] = '#' then ()
+      else samples := parse_sample path n line :: !samples)
+    lines;
+  let samples = List.rev !samples in
+  if Hashtbl.length types = 0 then fail "%s: no TYPE headers" path;
+  let base_of s =
+    match s.le with
+    | Some _ -> (
+      match strip_suffix s.metric "_bucket" with
+      | Some base -> base
+      | None -> fail "%s: labeled sample %s is not a _bucket" path s.metric)
+    | None -> (
+      match
+        (strip_suffix s.metric "_sum", strip_suffix s.metric "_count")
+      with
+      | Some base, _ when Hashtbl.find_opt types base = Some "histogram" ->
+        base
+      | _, Some base when Hashtbl.find_opt types base = Some "histogram" ->
+        base
+      | _ -> s.metric)
+  in
+  (* every sample belongs to a declared metric, every metric has one *)
+  List.iter
+    (fun s ->
+      if Hashtbl.find_opt types (base_of s) = None then
+        fail "%s: sample %s has no TYPE header" path s.metric)
+    samples;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (List.exists (fun s -> base_of s = name) samples) then
+        fail "%s: metric %s declared but never sampled" path name)
+    types;
+  (* histogram series: cumulative, monotone, +Inf closes at _count *)
+  Hashtbl.iter
+    (fun name kind ->
+      if kind = "histogram" then begin
+        let buckets =
+          List.filter (fun s -> s.le <> None && base_of s = name) samples
+        in
+        let count =
+          match
+            List.find_opt (fun s -> s.metric = name ^ "_count") samples
+          with
+          | Some s -> s.value
+          | None -> fail "%s: histogram %s has no _count" path name
+        in
+        if not (List.exists (fun s -> s.metric = name ^ "_sum") samples) then
+          fail "%s: histogram %s has no _sum" path name;
+        let rec walk prev_le prev_cum = function
+          | [] -> fail "%s: histogram %s misses the +Inf bucket" path name
+          | [ { le = Some "+Inf"; value; _ } ] ->
+            if value <> count then
+              fail "%s: %s +Inf bucket %d != count %d" path name value count;
+            if value < prev_cum then
+              fail "%s: %s bucket series not cumulative" path name
+          | { le = Some le; value; _ } :: rest -> (
+            match int_of_string_opt le with
+            | None -> fail "%s: %s has non-integer le %S" path name le
+            | Some le ->
+              if le <= prev_le then
+                fail "%s: %s le values not increasing" path name;
+              if value < prev_cum then
+                fail "%s: %s bucket series not cumulative" path name;
+              walk le value rest)
+          | { le = None; _ } :: _ -> assert false
+        in
+        walk (-1) 0 buckets
+      end)
+    types;
+  (Hashtbl.length types, List.length samples)
+
+let validate_expo path =
+  let metrics, samples = check_exposition path (read_file path) in
+  Format.printf "%s: valid exposition (%d metrics, %d samples)@." path
+    metrics samples
+
+(* ------------------------ metrics-verb response ---------------------- *)
+
+let validate_response path ~expect_rate =
+  let doc =
+    match J.parse (read_file path) with
+    | Ok d -> d
+    | Error e -> fail "%s: not valid JSON: %s" path e
+  in
+  let get p =
+    List.fold_left (fun j k -> Option.bind j (J.member k)) (Some doc) p
+  in
+  (match Option.bind (get [ "status" ]) J.to_string_opt with
+  | Some "ok" -> ()
+  | other ->
+    fail "%s: status %S, expected ok" path
+      (Option.value ~default:"<missing>" other));
+  (match Option.bind (get [ "snapshot"; "schema" ]) J.to_string_opt with
+  | Some "obs/v1" -> ()
+  | _ -> fail "%s: response carries no obs/v1 snapshot" path);
+  (match Option.bind (get [ "exposition" ]) J.to_string_opt with
+  | Some text -> ignore (check_exposition path text)
+  | None -> fail "%s: response carries no exposition" path);
+  (match get [ "series" ] with
+  | None ->
+    if expect_rate then fail "%s: --expect-rate but no series member" path
+  | Some series -> (
+    (match Option.bind (J.member "schema" series) J.to_string_opt with
+    | Some "series/v1" -> ()
+    | _ -> fail "%s: series member is not series/v1" path);
+    if expect_rate then
+      let rate k =
+        match
+          List.fold_left
+            (fun j key -> Option.bind j (J.member key))
+            (Some series)
+            [ "counters"; "serve.requests"; k ]
+        with
+        | Some j -> Option.value ~default:0. (J.to_float j)
+        | None -> 0.
+      in
+      if rate "last_per_s" <= 0. && rate "mean_per_s" <= 0. then
+        fail "%s: rolling serve.requests rate is zero" path));
+  Format.printf "%s: valid metrics response@." path
+
+(* ------------------------------- main ------------------------------- *)
+
+let () =
+  let usage () =
+    fail
+      "usage: validate_telemetry --log FILE [--expect-event EV] [--expect-rid \
+       RID] | --expo FILE | --response FILE [--expect-rate]"
+  in
+  match Array.to_list Sys.argv with
+  | _ :: "--log" :: path :: rest ->
+    let rec opts ev rid = function
+      | [] -> (ev, rid)
+      | "--expect-event" :: v :: rest -> opts (Some v) rid rest
+      | "--expect-rid" :: v :: rest -> opts ev (Some v) rest
+      | _ -> usage ()
+    in
+    let expect_event, expect_rid = opts None None rest in
+    validate_log path ~expect_event ~expect_rid
+  | [ _; "--expo"; path ] -> validate_expo path
+  | _ :: "--response" :: path :: rest ->
+    let expect_rate =
+      match rest with
+      | [] -> false
+      | [ "--expect-rate" ] -> true
+      | _ -> usage ()
+    in
+    validate_response path ~expect_rate
+  | _ -> usage ()

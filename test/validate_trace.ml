@@ -12,6 +12,10 @@
      --expect-incumbent-counter
                               at least one "incumbent cost" counter
                               sample (the explorer's descent track)
+     --allow-nesting          lanes may contain properly nested spans
+                              (a request timeline's serve.request wraps
+                              the parse/solve spans it contains);
+                              partial overlap still fails
 
    Alternate mode:
      --identical A B          the two files are byte-for-byte equal —
@@ -45,11 +49,12 @@ let check_identical a b =
   exit 0
 
 let () =
-  let path, expect_tconf, expect_lanes, expect_incumbent =
+  let path, expect_tconf, expect_lanes, expect_incumbent, allow_nesting =
     let path = ref None
     and tconf = ref false
     and lanes = ref 0
-    and incumbent = ref false in
+    and incumbent = ref false
+    and nesting = ref false in
     let rec parse = function
       | [] -> ()
       | [ "--identical"; a; b ] -> check_identical a b
@@ -62,18 +67,21 @@ let () =
       | "--expect-incumbent-counter" :: rest ->
         incumbent := true;
         parse rest
+      | "--allow-nesting" :: rest ->
+        nesting := true;
+        parse rest
       | p :: rest ->
         path := Some p;
         parse rest
     in
     parse (List.tl (Array.to_list Sys.argv));
     match !path with
-    | Some p -> (p, !tconf, !lanes, !incumbent)
+    | Some p -> (p, !tconf, !lanes, !incumbent, !nesting)
     | None ->
       fail
         "usage: validate_trace [--expect-tconf] [--expect-worker-lanes N] \
-         [--expect-incumbent-counter] TRACE.json | validate_trace \
-         --identical A B"
+         [--expect-incumbent-counter] [--allow-nesting] TRACE.json | \
+         validate_trace --identical A B"
   in
   let ic = open_in_bin path in
   let contents = really_input_string ic (in_channel_length ic) in
@@ -186,27 +194,56 @@ let () =
     events;
   (* spans on one lane must not overlap: sort by start and compare
      neighbours (1e-6 us slack absorbs float rounding at shared
-     endpoints) *)
+     endpoints).  With --allow-nesting a span may instead sit fully
+     inside a still-open ancestor (request timelines nest by design);
+     straddling an ancestor's end remains an error. *)
   Hashtbl.iter
     (fun (pid, tid) cell ->
-      let sorted =
-        (* (start, end) lexicographic: a zero-duration span sharing its
-           start with a longer one orders first and is not an overlap *)
-        List.sort
-          (fun (a, ae, _) (b, be, _) ->
-            match Float.compare a b with 0 -> Float.compare ae be | c -> c)
-          !cell
-      in
-      ignore
-        (List.fold_left
-           (fun prev (s, e, name) ->
-             (match prev with
-             | Some (pe, pname) when s +. 1e-6 < pe ->
-               fail "%s: lane pid=%d tid=%d: span %S (at %g) overlaps %S"
-                 path pid tid name s pname
-             | _ -> ());
-             Some (e, name))
-           None sorted))
+      if allow_nesting then
+        (* (start, -end) lexicographic: at a shared start the longer
+           span orders first, i.e. parents before their children; each
+           span must then sit fully inside every still-open ancestor *)
+        let sorted =
+          List.sort
+            (fun (a, ae, _) (b, be, _) ->
+              match Float.compare a b with 0 -> Float.compare be ae | c -> c)
+            !cell
+        in
+        ignore
+          (List.fold_left
+             (fun open_spans (s, e, name) ->
+               let open_spans =
+                 List.filter (fun (pe, _) -> s +. 1e-6 < pe) open_spans
+               in
+               (match open_spans with
+               | (pe, pname) :: _ when e > pe +. 1e-6 ->
+                 fail
+                   "%s: lane pid=%d tid=%d: span %S (at %g) straddles \
+                    the end of %S"
+                   path pid tid name s pname
+               | _ -> ());
+               (e, name) :: open_spans)
+             [] sorted)
+      else
+        let sorted =
+          (* (start, end) lexicographic: a zero-duration span sharing
+             its start with a longer one orders first and is not an
+             overlap *)
+          List.sort
+            (fun (a, ae, _) (b, be, _) ->
+              match Float.compare a b with 0 -> Float.compare ae be | c -> c)
+            !cell
+        in
+        ignore
+          (List.fold_left
+             (fun prev (s, e, name) ->
+               (match prev with
+               | Some (pe, pname) when s +. 1e-6 < pe ->
+                 fail "%s: lane pid=%d tid=%d: span %S (at %g) overlaps %S"
+                   path pid tid name s pname
+               | _ -> ());
+               Some (e, name))
+             None sorted))
     spans;
   if expect_tconf && not !tconf_ok then
     fail "%s: no t_conf reconfiguration span found" path;
