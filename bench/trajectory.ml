@@ -8,6 +8,7 @@ type workload = {
   speedup : float;
   sim_speedup : float option;
   family_speedup : float option;
+  family_compiled_speedup : float option;
 }
 
 type record = {
@@ -56,7 +57,16 @@ let workload_of_json j =
   let* speedup = field "speedup_max_jobs" J.to_float j in
   let sim_speedup = optional_speedup "sim" j in
   let family_speedup = optional_speedup "family" j in
-  Ok { w_name; runs; speedup; sim_speedup; family_speedup }
+  let family_compiled_speedup = optional_speedup "family_compiled" j in
+  Ok
+    {
+      w_name;
+      runs;
+      speedup;
+      sim_speedup;
+      family_speedup;
+      family_compiled_speedup;
+    }
 
 let record_of_json j =
   let* schema = field "schema" J.to_string_opt j in
@@ -193,8 +203,14 @@ let check ?(tolerance = 0.3) ~baseline ~fresh () =
       ~get:(fun w -> w.family_speedup)
       ~baseline ~fresh failures
   in
+  let family_compiled_summary =
+    field_gate ~tolerance ~field:"family_compiled"
+      ~get:(fun w -> w.family_compiled_speedup)
+      ~baseline ~fresh failures
+  in
   let summary =
-    Format.sprintf "%s; %s; %s" summary sim_summary family_summary
+    Format.sprintf "%s; %s; %s; %s" summary sim_summary family_summary
+      family_compiled_summary
   in
   match !failures with [] -> Ok summary | failures -> Error failures
 

@@ -18,6 +18,11 @@ type workload = {
   family_speedup : float option;
       (** the ["family"] object's one-featured-pass vs N-per-config
           passes speedup; [None] for records without it *)
+  family_compiled_speedup : float option;
+      (** the ["family_compiled"] object's compiled-featured-pass vs
+          N-per-config passes speedup ({!Sim.Family_compiled} against
+          the same N-pass baseline as ["family"]); [None] for records
+          without it *)
 }
 
 type record = {
@@ -43,8 +48,8 @@ val check :
     - the fresh aggregate max-jobs speedup has regressed below
       [(1 - tolerance)] of the baseline's ([tolerance] defaults to
       [0.3], i.e. a 30% regression budget for machine noise), or
-    - a per-field speedup (["sim"], ["family"]) regressed past the same
-      budget — compared only when both records carry the field over the
+    - a per-field speedup (["sim"], ["family"], ["family_compiled"])
+      regressed past the same budget — compared only when both records carry the field over the
       same workload set, so mixed-version trajectories (records from
       before the field existed) skip the gate rather than fail.
 

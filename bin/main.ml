@@ -478,7 +478,9 @@ let compiled_flag =
         ~doc:
           "Simulate with the AOT-compiled engine (Sim.Compile): the model is \
            specialized once into flat dispatch tables, then runs \
-           allocation-free.  Observationally identical to the interpreter")
+           allocation-free.  Combined with $(b,--family), the featured pass \
+           itself runs compiled (Sim.Family_compiled).  Observationally \
+           identical to the interpreter either way")
 
 (* One handle regardless of export mode: [flush] after each run's emit
    (a no-op when buffered), [finish] once at the end. *)
@@ -600,7 +602,7 @@ let family_worst_code report =
     0 report.Sim.Family.runs
 
 let simulate_cmd =
-  let run_family bundled policy jobs deadline show_trace trace_path
+  let run_family bundled policy compiled jobs deadline show_trace trace_path
       trace_buffered metrics_path =
     match bundled.system with
     | None ->
@@ -610,13 +612,20 @@ let simulate_cmd =
       exit 1
     | Some sys ->
       let system = sys () in
+      let stimuli = bundled.stimuli () in
+      let jobs = resolve_jobs jobs in
       let report =
-        Sim.Family.run ~policy
-          ~stimuli:(bundled.stimuli ())
-          ~firing_budget:bundled.budgets ~jobs:(resolve_jobs jobs) system
+        if compiled then
+          Sim.Family_compiled.run ~policy ~stimuli
+            ~firing_budget:bundled.budgets ~jobs
+            (Sim.Family_compiled.plan system)
+        else
+          Sim.Family.run ~policy ~stimuli ~firing_budget:bundled.budgets ~jobs
+            system
       in
-      Format.printf "%s — whole variant space in one featured pass@."
-        bundled.description;
+      Format.printf "%s — whole variant space in one featured pass%s@."
+        bundled.description
+        (if compiled then " [compiled]" else "");
       print_family_report ?deadline system report;
       if show_trace then
         Array.iter
@@ -639,14 +648,8 @@ let simulate_cmd =
   let run bundled policy compiled family jobs deadline show_trace vcd_path
       trace_path trace_buffered span_capacity metrics_path =
     apply_span_capacity span_capacity;
-    if family && compiled then begin
-      Format.eprintf
-        "simulate: --family and --compiled are mutually exclusive (the \
-         family engine interprets the annotated variant space)@.";
-      exit 1
-    end;
     if family then
-      run_family bundled policy jobs deadline show_trace trace_path
+      run_family bundled policy compiled jobs deadline show_trace trace_path
         trace_buffered metrics_path
     else begin
       let model = bundled.model () in
@@ -771,8 +774,8 @@ let faultsim_cmd =
     in
     Sim.Fault.plan ~channels ~processes ~seed ()
   in
-  let run_family model_name seeds no_faults deadline drop transient trace_seed
-      jobs trace_path trace_buffered metrics_path =
+  let run_family model_name seeds no_faults compiled deadline drop transient
+      trace_seed jobs trace_path trace_buffered metrics_path =
     let system =
       match List.assoc_opt model_name family_systems with
       | Some make -> make ()
@@ -799,8 +802,15 @@ let faultsim_cmd =
                 }))
         (Spi.Ids.Channel_id.Set.elements (Spi.Model.unwritten_channels first))
     in
-    Format.printf "family fault campaign: %s, %d seeds%s@." model_name seeds
-      (if no_faults then " (faults disabled)" else "");
+    Format.printf "family fault campaign: %s, %d seeds%s%s@." model_name seeds
+      (if no_faults then " (faults disabled)" else "")
+      (if compiled then " [compiled]" else "");
+    (* with --compiled the variant space is lowered once and every
+       seed's featured pass reuses the plan (it is immutable, so the
+       domain pool shares it freely) *)
+    let plan =
+      if compiled then Some (Sim.Family_compiled.plan system) else None
+    in
     Format.printf "%4s  %-9s %4s %6s %6s %8s %8s %5s@." "seed" "outcome" "cfgs"
       "splits" "subfam" "executed" "shared" "miss";
     let worst_code = ref 0 and total_miss = ref 0 in
@@ -811,15 +821,20 @@ let faultsim_cmd =
             if no_faults then None
             else Some (family_fault_plan ~drop ~transient ~seed first)
           in
+          let jobs = resolve_jobs jobs in
           let report =
-            Sim.Family.run ~stimuli ?faults ~jobs:(resolve_jobs jobs) system
+            match plan with
+            | Some plan -> Sim.Family_compiled.run ~stimuli ?faults ~jobs plan
+            | None -> Sim.Family.run ~stimuli ?faults ~jobs system
           in
+          (* headroom is computed once per leaf sub-family and fanned
+             out to the leaf's members — a configuration misses the
+             deadline when its headroom is negative *)
           let misses =
             Array.fold_left
-              (fun acc (_, makespan) ->
-                if makespan > deadline then acc + 1 else acc)
+              (fun acc (_, h) -> if h < 0 then acc + 1 else acc)
               0
-              (Sim.Family.makespans report)
+              (Sim.Family.headroom ~deadline report)
           in
           let code = family_worst_code report in
           worst_code := max !worst_code code;
@@ -850,6 +865,28 @@ let faultsim_cmd =
           (seed, report))
         (List.init seeds (fun i -> i + 1))
     in
+    (* per-configuration worst case over the campaign, from the
+       per-leaf headroom of each seed's report *)
+    (match reports with
+    | [] -> ()
+    | (_, r0) :: _ ->
+      let n = Array.length r0.Sim.Family.runs in
+      let worst = Array.make n max_int in
+      let missed = Array.make n 0 in
+      List.iter
+        (fun (_, report) ->
+          Array.iter
+            (fun (i, h) ->
+              worst.(i) <- min worst.(i) h;
+              if h < 0 then missed.(i) <- missed.(i) + 1)
+            (Sim.Family.headroom ~deadline report))
+        reports;
+      Format.printf "@.%4s %9s %6s  %s@." "cfg" "headroom" "missed" "assignment";
+      Array.iteri
+        (fun i cr ->
+          Format.printf "%4d %9d %6d  %a@." i worst.(i) missed.(i)
+            V.Variant_space.pp_assignment cr.Sim.Family.assignment)
+        r0.Sim.Family.runs);
     Format.printf
       "@.totals: %d deadline-misses across %d seeds x %d configurations@."
       !total_miss seeds
@@ -878,14 +915,9 @@ let faultsim_cmd =
       Format.eprintf "faultsim: --seeds must be positive@.";
       exit 1
     end;
-    if family && compiled then begin
-      Format.eprintf "faultsim: --family and --compiled are mutually \
-                      exclusive@.";
-      exit 1
-    end;
     if family then
-      run_family model_name seeds no_faults deadline drop transient trace_seed
-        jobs trace_path trace_buffered metrics_path
+      run_family model_name seeds no_faults compiled deadline drop transient
+        trace_seed jobs trace_path trace_buffered metrics_path
     else
     let with_valves =
       match model_name with
@@ -1079,12 +1111,11 @@ let simulate_file_cmd =
       vcd_path json_path csv_path trace_path trace_buffered span_capacity
       metrics_path =
     apply_span_capacity span_capacity;
-    if family && (compiled || vcd_path <> None || json_path <> None || csv_path <> None)
+    if family && (vcd_path <> None || json_path <> None || csv_path <> None)
     then begin
       Format.eprintf
-        "simulate-file: --family cannot be combined with --compiled, --vcd, \
-         --json or --csv (per-configuration exports need a single flattened \
-         model)@.";
+        "simulate-file: --family cannot be combined with --vcd, --json or \
+         --csv (per-configuration exports need a single flattened model)@.";
       exit 1
     end;
     with_system path (fun system ->
@@ -1120,7 +1151,11 @@ let simulate_file_cmd =
                  (Spi.Model.unwritten_channels first))
           in
           let report =
-            Sim.Family.run ~policy ~stimuli ~jobs:(resolve_jobs jobs) system
+            if compiled then
+              Sim.Family_compiled.run ~policy ~stimuli
+                ~jobs:(resolve_jobs jobs)
+                (Sim.Family_compiled.plan system)
+            else Sim.Family.run ~policy ~stimuli ~jobs:(resolve_jobs jobs) system
           in
           print_family_report ?deadline system report;
           if show_trace then
@@ -1688,8 +1723,8 @@ let request_cmd =
       Format.eprintf "request: missing %s@." what;
       exit 2
   in
-  let run socket op model tech capacity until compiled count deadline_ms id
-      timeout_s attempts seed jobs trace =
+  let run socket op model tech capacity until compiled family count
+      deadline_ms id timeout_s attempts seed jobs trace =
     let synthesize () =
       Serve.Protocol.Synthesize
         {
@@ -1714,7 +1749,12 @@ let request_cmd =
           }
       | `Simulate ->
         Serve.Protocol.Simulate
-          { model = read_file (need "--file MODEL" model); until; compiled }
+          {
+            model = read_file (need "--file MODEL" model);
+            until;
+            compiled;
+            family;
+          }
       | `Batch ->
         if count < 1 then begin
           Format.eprintf "request: --count must be positive@.";
@@ -1752,8 +1792,8 @@ let request_cmd =
           retries and an idempotency key")
     Term.(
       const run $ socket_arg $ op_arg $ model_arg $ tech_arg $ capacity_arg
-      $ until_arg $ compiled_flag $ count_arg $ deadline_arg $ id_arg
-      $ timeout_arg $ attempts_arg $ seed_arg $ jobs_req_arg
+      $ until_arg $ compiled_flag $ family_flag $ count_arg $ deadline_arg
+      $ id_arg $ timeout_arg $ attempts_arg $ seed_arg $ jobs_req_arg
       $ trace_spans_flag)
 
 (* ------------------------------------------------------------------ *)

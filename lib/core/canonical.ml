@@ -130,3 +130,65 @@ let of_model m =
   feed_list t feed_channel
     (sorted_by Spi.Chan.id Spi.Ids.Channel_id.compare (Spi.Model.channels m));
   digest t
+
+let feed_port t p =
+  feed_tag t (match Port.direction p with Input -> "in" | Output -> "out");
+  feed_string t (Spi.Ids.Port_id.to_string (Port.id p))
+
+let feed_selection t (s : Structure.selection) =
+  feed_tag t "selection";
+  feed_list t
+    (fun t (r : Structure.selection_rule) ->
+      feed_string t (Spi.Ids.Rule_id.to_string r.sel_rule_id);
+      feed_string t (Format.asprintf "%a" Spi.Predicate.pp r.sel_guard);
+      feed_string t (Spi.Ids.Cluster_id.to_string r.target))
+    (sorted_by
+       (fun (r : Structure.selection_rule) -> r.sel_rule_id)
+       Spi.Ids.Rule_id.compare s.rules);
+  feed_list t
+    (fun t (cid, l) ->
+      feed_string t (Spi.Ids.Cluster_id.to_string cid);
+      feed_int t l)
+    (sorted_by fst Spi.Ids.Cluster_id.compare s.config_latencies);
+  feed_option t
+    (fun t cid -> feed_string t (Spi.Ids.Cluster_id.to_string cid))
+    s.initial
+
+(* Cluster lists keep declaration order: a cluster's position is its
+   variant index, so reordering is a structural change. *)
+let rec feed_site t (s : Structure.site) =
+  feed_tag t "site";
+  let iface = s.Structure.iface in
+  feed_string t (Spi.Ids.Interface_id.to_string iface.Structure.interface_id);
+  feed_list t feed_port
+    (sorted_by Port.id Spi.Ids.Port_id.compare iface.Structure.iface_ports);
+  feed_list t feed_cluster iface.Structure.clusters;
+  feed_option t feed_selection iface.Structure.selection;
+  feed_list t
+    (fun t (pid, cid) ->
+      feed_string t (Spi.Ids.Port_id.to_string pid);
+      feed_string t (Spi.Ids.Channel_id.to_string cid))
+    (sorted_by fst Spi.Ids.Port_id.compare s.Structure.wiring)
+
+and feed_cluster t (c : Structure.cluster) =
+  feed_tag t "cluster";
+  feed_string t (Spi.Ids.Cluster_id.to_string c.cluster_id);
+  feed_list t feed_port
+    (sorted_by Port.id Spi.Ids.Port_id.compare c.cluster_ports);
+  feed_list t feed_process
+    (sorted_by Spi.Process.id Spi.Ids.Process_id.compare c.processes);
+  feed_list t feed_channel
+    (sorted_by Spi.Chan.id Spi.Ids.Channel_id.compare c.channels);
+  feed_list t feed_site c.sub_sites
+
+let of_system sys =
+  let t = create () in
+  feed_tag t "system/v1";
+  feed_string t (System.name sys);
+  feed_list t feed_process
+    (sorted_by Spi.Process.id Spi.Ids.Process_id.compare
+       (System.processes sys));
+  feed_list t feed_channel
+    (sorted_by Spi.Chan.id Spi.Ids.Channel_id.compare (System.channels sys));
+  feed_list t feed_site (System.sites sys);
+  digest t

@@ -50,3 +50,11 @@ val of_model : Spi.Model.t -> string
 (** Structural fingerprint of a model: processes (modes, rates,
     latencies, payload policies, activation rule structure) and channels
     (kind, capacity, initial tokens), all in sorted order. *)
+
+val of_system : System.t -> string
+(** Structural fingerprint of a system with variants: shared processes
+    and channels (sorted) plus the site tree — interfaces, wirings and
+    clusters recursively, with cluster lists kept in declaration order
+    because a cluster's position is its variant index.  Two systems with
+    equal fingerprints have identical variant spaces and flatten to
+    identical models; the family plan caches key by this. *)

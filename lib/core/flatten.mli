@@ -33,6 +33,23 @@ val flatten : System.t -> choice -> Spi.Model.t
     unwired; @raise Invalid_argument if the resulting model fails SPI
     validation. *)
 
+val cluster_assignments :
+  Spi.Ids.Interface_id.t ->
+  Structure.cluster ->
+  (Spi.Ids.Interface_id.t * Spi.Ids.Cluster_id.t) list list
+(** All (interface, cluster) assignments that select [cluster] at the
+    interface: the pair itself followed by every combination of the
+    cluster's embedded interfaces' own (recursive) choices.  A cluster
+    without sub-sites yields the one-pair singleton. *)
+
+val interface_assignments :
+  Structure.interface ->
+  (Spi.Ids.Interface_id.t * Spi.Ids.Cluster_id.t) list list
+(** {!cluster_assignments} concatenated over the interface's clusters,
+    in cluster order — one entry per full subtree choice at a site of
+    this interface.  {!Variant_space.enumerate} and {!applications}
+    both enumerate nested spaces through this. *)
+
 val applications : System.t -> (Spi.Ids.Cluster_id.t list * Spi.Model.t) list
 (** Every derivable application: one model per combination of variants —
     the cartesian product over sites (in site order) {e including the

@@ -3,7 +3,21 @@ module I = Spi.Ids
 type space = {
   assignments : Variant_space.assignment array;
   sites : I.Interface_id.t list;
+  subtrees : (I.Interface_id.t * I.Interface_id.t list) list;
+      (** per top-level site: every interface id that can appear in its
+          subtree (itself included), over all cluster choices — the
+          projection domain {!partition_at} groups by *)
 }
+
+let subtree_iids site =
+  let rec of_site s =
+    let iface = s.Structure.iface in
+    iface.Structure.interface_id
+    :: List.concat_map
+         (fun c -> List.concat_map of_site c.Structure.sub_sites)
+         iface.Structure.clusters
+  in
+  of_site site
 
 let space ?(linkage = []) system =
   let assignments = Array.of_list (Variant_space.enumerate ~linkage system) in
@@ -14,6 +28,11 @@ let space ?(linkage = []) system =
     sites =
       List.map
         (fun site -> site.Structure.iface.Structure.interface_id)
+        (System.sites system);
+    subtrees =
+      List.map
+        (fun site ->
+          (site.Structure.iface.Structure.interface_id, subtree_iids site))
         (System.sites system);
   }
 
@@ -119,19 +138,43 @@ let first t =
   go 0
 
 let partition_at sp t site =
+  let sub =
+    match
+      List.find_opt (fun (s, _) -> I.Interface_id.equal s site) sp.subtrees
+    with
+    | Some (_, iids) -> iids
+    | None ->
+      invalid_arg
+        (Format.asprintf "Presence.partition_at: unknown site %a"
+           I.Interface_id.pp site)
+  in
+  let in_subtree iid = List.exists (I.Interface_id.equal iid) sub in
+  (* Group by the full subtree choice, not just the top-level cluster:
+     resolving a site commits its nested sites too, so two members
+     agreeing at the top but diverging below must part ways here. *)
+  let project i =
+    List.filter (fun (iid, _) -> in_subtree iid) (assignment sp i)
+  in
+  let key_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (i1, c1) (i2, c2) ->
+           I.Interface_id.equal i1 i2 && I.Cluster_id.equal c1 c2)
+         a b
+  in
   let parts = ref [] in
   (* accumulate in first-member order: members are scanned ascending,
      so a choice's part is created when its smallest member appears *)
   iter
     (fun i ->
-      let choice = choice_at sp i site in
-      match
-        List.find_opt (fun (c, _) -> I.Cluster_id.equal c choice) !parts
-      with
-      | Some (_, members) -> members := i :: !members
-      | None -> parts := !parts @ [ (choice, ref [ i ]) ])
+      let key = project i in
+      match List.find_opt (fun (k, _, _) -> key_equal k key) !parts with
+      | Some (_, _, members) -> members := i :: !members
+      | None -> parts := !parts @ [ (key, choice_at sp i site, ref [ i ]) ])
     t;
-  List.map (fun (c, members) -> (c, of_indices sp (List.rev !members))) !parts
+  List.map
+    (fun (_, c, members) -> (c, of_indices sp (List.rev !members)))
+    !parts
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

@@ -66,9 +66,13 @@ val iter : (int -> unit) -> t -> unit
 
 val partition_at :
   space -> t -> Spi.Ids.Interface_id.t -> (Spi.Ids.Cluster_id.t * t) list
-(** Splits a presence condition by the cluster its members select at a
-    site.  Parts are ordered by their smallest member index (so the part
-    containing the current representative comes first when the
+(** Splits a presence condition by the {e full subtree choice} its
+    members make at a top-level site: the cluster selected there plus
+    every nested choice under it, so two members agreeing on the
+    top-level cluster but diverging at an embedded interface land in
+    different parts (and the returned cluster id may repeat across
+    parts).  Parts are ordered by their smallest member index (so the
+    part containing the current representative comes first when the
     representative is the set's minimum); every part is non-empty and
     the parts partition the input. *)
 

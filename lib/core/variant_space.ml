@@ -64,45 +64,72 @@ let dimensions system linkage =
   in
   singles @ groups
 
+let rec product = function
+  | [] -> [ [] ]
+  | options :: rest ->
+    let tails = product rest in
+    List.concat_map (fun opt -> List.map (fun tail -> opt @ tail) tails) options
+
+let site_of system iid =
+  match System.find_site iid system with
+  | None -> invalid_arg "Variant_space: unknown interface"
+  | Some site -> site
+
+let cluster_at system iid index =
+  List.nth (site_of system iid).Structure.iface.Structure.clusters index
+
+(* A dimension's assignment fragments.  Each fragment carries the full
+   subtree choice: a top-level pair plus the (recursive) choices of the
+   chosen cluster's embedded interfaces, so hierarchically nested sites
+   enumerate exactly like {!Flatten.applications} derives them. *)
+let expand_dim system dim =
+  match dim with
+  | Single (iid, _) ->
+    Flatten.interface_assignments (site_of system iid).Structure.iface
+  | Group (members, n) ->
+    List.concat
+      (List.init n (fun idx ->
+           product
+             (List.map
+                (fun iid ->
+                  Flatten.cluster_assignments iid (cluster_at system iid idx))
+                members)))
+
 let count ?(linkage = []) system =
   List.fold_left
-    (fun acc dim ->
-      match dim with
-      | Single (_, cs) -> acc * List.length cs
-      | Group (_, n) -> acc * n)
+    (fun acc dim -> acc * List.length (expand_dim system dim))
     1
     (dimensions system linkage)
 
-let cluster_at system iid index =
-  match System.find_site iid system with
-  | None -> invalid_arg "Variant_space: unknown interface"
-  | Some site -> Cluster.id (List.nth site.Structure.iface.Structure.clusters index)
-
 let enumerate ?(linkage = []) system =
   let dims = dimensions system linkage in
-  let expand dim =
-    match dim with
-    | Single (iid, cs) -> List.map (fun c -> [ (iid, c) ]) cs
-    | Group (members, n) ->
-      List.init n (fun idx ->
-          List.map (fun iid -> (iid, cluster_at system iid idx)) members)
+  let assignments = product (List.map (expand_dim system) dims) in
+  (* Restore canonical order for stable output: depth-first over the
+     system's site tree — each top-level site's pair followed by its
+     chosen subtree's pairs, sites in site order. *)
+  let reorder assignment =
+    let lookup iid =
+      List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) assignment
+    in
+    let rec of_site site =
+      let iface = site.Structure.iface in
+      match lookup iface.Structure.interface_id with
+      | None -> []
+      | Some ((_, cid) as pair) ->
+        pair
+        ::
+        (match
+           List.find_opt
+             (fun c -> I.Cluster_id.equal c.Structure.cluster_id cid)
+             iface.Structure.clusters
+         with
+        | Some cluster ->
+          List.concat_map of_site cluster.Structure.sub_sites
+        | None -> [])
+    in
+    List.concat_map of_site (System.sites system)
   in
-  let rec product = function
-    | [] -> [ [] ]
-    | options :: rest ->
-      let tails = product rest in
-      List.concat_map (fun opt -> List.map (fun tail -> opt @ tail) tails) options
-  in
-  let assignments = product (List.map expand dims) in
-  (* Restore site order for stable output. *)
-  let order = List.map fst (site_options system) in
-  List.map
-    (fun assignment ->
-      List.filter_map
-        (fun iid ->
-          List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) assignment)
-        order)
-    assignments
+  List.map reorder assignments
 
 let to_choice assignment iid =
   match List.find_opt (fun (i, _) -> I.Interface_id.equal i iid) assignment with

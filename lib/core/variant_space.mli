@@ -8,21 +8,31 @@
     device move together). *)
 
 type assignment = (Spi.Ids.Interface_id.t * Spi.Ids.Cluster_id.t) list
-(** One cluster per site, in site order. *)
+(** One cluster per site, depth-first in site order: each top-level
+    site's pair is followed by the pairs of the embedded interfaces its
+    chosen cluster contains (recursively), before the next top-level
+    site. *)
 
 type linkage = Spi.Ids.Interface_id.t list list
 (** Groups of interfaces whose selections are related.  Interfaces
     absent from every group are independent. *)
 
 val independent_count : System.t -> int
-(** Product of the sites' variant counts. *)
+(** Product of the sites' top-level variant counts (nested sub-site
+    choices not included). *)
 
 val count : ?linkage:linkage -> System.t -> int
+(** [List.length (enumerate ?linkage system)], computed without
+    materializing the assignments. *)
 
 val enumerate : ?linkage:linkage -> System.t -> assignment list
-(** All admissible assignments.  With linkage, grouped interfaces share
-    the variant index; a group whose interfaces have different variant
-    counts is truncated to the minimum.
+(** All admissible assignments, hierarchically embedded interfaces
+    included: a cluster with sub-sites contributes the product of its
+    nested options, exactly the combinations {!Flatten.applications}
+    derives.  With linkage, grouped interfaces share the top-level
+    variant index (their nested choices below remain independent); a
+    group whose interfaces have different variant counts is truncated
+    to the minimum.
     @raise Invalid_argument if a linkage group names an unknown
     interface. *)
 

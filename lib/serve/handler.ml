@@ -30,6 +30,8 @@ type t = {
   cache_order : string Queue.t;
   plans : (string, Sim.Compile.plan) Hashtbl.t;
   plan_order : string Queue.t;
+  fplans : (string, Sim.Family_compiled.plan) Hashtbl.t;
+  fplan_order : string Queue.t;
   plan_lock : Mutex.t;
   series : Obs.Series.t option;
   on_trace : (Obs.Rtrace.t -> unit) option;
@@ -46,6 +48,8 @@ let create ?store ?default_deadline_ms ?series ?on_trace ~jobs () =
     cache_order = Queue.create ();
     plans = Hashtbl.create 16;
     plan_order = Queue.create ();
+    fplans = Hashtbl.create 16;
+    fplan_order = Queue.create ();
     plan_lock = Mutex.create ();
     series;
     on_trace;
@@ -64,16 +68,18 @@ let cache_put t id response =
     Hashtbl.add t.cache id response
   end
 
-(* Batch items run on pool domains, so the plan cache is mutex-guarded;
-   compilation happens outside the lock (two racing misses both compile
-   — plans are immutable and equal, so last-put-wins is harmless). *)
-let plan_for t model =
-  let key = Sim.Compile.plan_key model in
+(* Batch items run on pool domains, so the plan caches are
+   mutex-guarded; compilation happens outside the lock (two racing
+   misses both compile — plans are immutable and equal, so
+   last-put-wins is harmless).  Per-configuration and family plans live
+   in separate tables because their keys come from different digests,
+   but they share the lock and the FIFO discipline. *)
+let cached_plan t ~table ~order ~key ~compile =
   let cached =
     Mutex.lock t.plan_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.plan_lock)
-      (fun () -> Hashtbl.find_opt t.plans key)
+      (fun () -> Hashtbl.find_opt table key)
   in
   match cached with
   | Some plan ->
@@ -83,18 +89,28 @@ let plan_for t model =
     Obs.Metric.incr m_plan_misses;
     Obs.Log.emit ~level:Obs.Log.Debug "serve.plan_compile"
       [ ("key", J.String key) ];
-    let plan = Sim.Compile.compile model in
+    let plan = compile () in
     Mutex.lock t.plan_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.plan_lock)
       (fun () ->
-        if not (Hashtbl.mem t.plans key) then begin
-          if Queue.length t.plan_order >= plan_cache_limit then
-            Hashtbl.remove t.plans (Queue.pop t.plan_order);
-          Queue.push key t.plan_order;
-          Hashtbl.add t.plans key plan
+        if not (Hashtbl.mem table key) then begin
+          if Queue.length order >= plan_cache_limit then
+            Hashtbl.remove table (Queue.pop order);
+          Queue.push key order;
+          Hashtbl.add table key plan
         end);
     plan
+
+let plan_for t model =
+  cached_plan t ~table:t.plans ~order:t.plan_order
+    ~key:(Sim.Compile.plan_key model)
+    ~compile:(fun () -> Sim.Compile.compile model)
+
+let family_plan_for t system =
+  cached_plan t ~table:t.fplans ~order:t.fplan_order
+    ~key:(Sim.Family_compiled.plan_key system)
+    ~compile:(fun () -> Sim.Family_compiled.plan system)
 
 (* -- model/tech loading ------------------------------------------------ *)
 
@@ -208,9 +224,60 @@ let pareto ~jobs ~id ~model ~tech ~capacity =
           ],
         [] ))
 
-let simulate t ~id ~model ~until ~compiled =
+let outcome_json (r : Sim.Engine.result) =
+  J.String (Format.asprintf "%a" Sim.Engine.pp_outcome r.Sim.Engine.outcome)
+
+(* One featured pass over the whole variant space.  The response keeps
+   the per-configuration shape of the flat path (one entry per run) and
+   adds the sharing summary; [compiled] picks the engine, results are
+   identical either way. *)
+let simulate_family t ~id ~jobs ~limits ~compiled system =
+  match
+    if compiled then
+      Sim.Family_compiled.run ~limits ~jobs (family_plan_for t system)
+    else Sim.Family.run ~limits ~jobs system
+  with
+  | exception Invalid_argument m -> (P.error ?id m, [])
+  | report ->
+    let runs =
+      Array.to_list report.Sim.Family.runs
+      |> List.map (fun (cr : Sim.Family.config_run) ->
+             J.Obj
+               [
+                 ("configuration", J.Int cr.Sim.Family.index);
+                 ( "assignment",
+                   J.String
+                     (Format.asprintf "%a" V.Variant_space.pp_assignment
+                        cr.Sim.Family.assignment) );
+                 ("end_time", J.Int cr.Sim.Family.result.Sim.Engine.end_time);
+                 ("firings", J.Int cr.Sim.Family.result.Sim.Engine.firings);
+                 ("outcome", outcome_json cr.Sim.Family.result);
+               ])
+    in
+    ( P.ok ?id
+        [
+          ("op", J.String "simulate");
+          ("compiled", J.Bool compiled);
+          ("family", J.Bool true);
+          ("configurations", J.Int (Array.length report.Sim.Family.runs));
+          ("splits", J.Int report.Sim.Family.splits);
+          ("subfamilies", J.Int report.Sim.Family.subfamilies);
+          ("executed_firings", J.Int report.Sim.Family.executed_firings);
+          ("shared_firings", J.Int report.Sim.Family.shared_firings);
+          ("runs", J.List runs);
+        ],
+      [] )
+
+let simulate t ~id ~jobs ~model ~until ~compiled ~family =
   match load_system model with
   | Error e -> (P.error ?id e, [])
+  | Ok system when family ->
+    let limits =
+      match until with
+      | None -> Sim.Engine.default_limits
+      | Some max_time -> { Sim.Engine.default_limits with max_time }
+    in
+    simulate_family t ~id ~jobs ~limits ~compiled system
   | Ok system -> (
     match V.Flatten.applications system with
     | exception Invalid_argument m -> (P.error ?id m, [])
@@ -236,10 +303,7 @@ let simulate t ~id ~model ~until ~compiled =
                 ("application", J.String name);
                 ("end_time", J.Int r.Sim.Engine.end_time);
                 ("firings", J.Int r.Sim.Engine.firings);
-                ( "outcome",
-                  J.String
-                    (Format.asprintf "%a" Sim.Engine.pp_outcome
-                       r.Sim.Engine.outcome) );
+                ("outcome", outcome_json r);
               ])
           models
       in
@@ -299,8 +363,8 @@ let rec run_op t ~admitted_ns ~queue_depth ~jobs (r : P.request) =
     synthesize t ~deadline_ns ~jobs ~id ~model ~tech ~capacity
   | P.Pareto { model; tech; capacity } ->
     pareto ~jobs ~id ~model ~tech ~capacity
-  | P.Simulate { model; until; compiled } ->
-    simulate t ~id ~model ~until ~compiled
+  | P.Simulate { model; until; compiled; family } ->
+    simulate t ~id ~jobs ~model ~until ~compiled ~family
   | P.Batch items ->
     (* fan the items out on the pool, one domain each; the store stays
        read-only until the joined commits run below *)

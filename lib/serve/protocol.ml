@@ -9,7 +9,12 @@ type op =
   | Shutdown
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
-  | Simulate of { model : string; until : int option; compiled : bool }
+  | Simulate of {
+      model : string;
+      until : int option;
+      compiled : bool;
+      family : bool;
+    }
   | Batch of request list
 
 and request = {
@@ -56,6 +61,7 @@ let rec op_of_json ~depth json =
            model;
            until = int_field "until" json;
            compiled = bool_field "compiled" json;
+           family = bool_field "family" json;
          })
   | Some "batch" ->
     if depth > 0 then Error "nested batch requests are not allowed"
@@ -123,10 +129,11 @@ let rec request_to_json r =
       [ ("op", J.String "pareto"); ("model", J.String model);
         ("tech", J.String tech) ]
       @ opt "capacity" (fun i -> J.Int i) capacity []
-    | Simulate { model; until; compiled } ->
+    | Simulate { model; until; compiled; family } ->
       [ ("op", J.String "simulate"); ("model", J.String model) ]
       @ opt "until" (fun i -> J.Int i) until []
       @ (if compiled then [ ("compiled", J.Bool true) ] else [])
+      @ (if family then [ ("family", J.Bool true) ] else [])
     | Batch reqs ->
       [ ("op", J.String "batch");
         ("requests", J.List (List.map request_to_json reqs)) ]

@@ -16,11 +16,20 @@ type op =
   | Shutdown  (** graceful: drain queued work, then exit *)
   | Synthesize of { model : string; tech : string; capacity : int option }
   | Pareto of { model : string; tech : string; capacity : int option }
-  | Simulate of { model : string; until : int option; compiled : bool }
+  | Simulate of {
+      model : string;
+      until : int option;
+      compiled : bool;
+      family : bool;
+    }
       (** [compiled] (default [false] on the wire) simulates with
           {!Sim.Compile} plans cached daemon-side by
           {!Sim.Compile.plan_key} — identical results, amortized
-          specialization across requests for the same model *)
+          specialization across requests for the same model.  [family]
+          (default [false]) covers the whole variant space in one
+          featured pass ({!Sim.Family}); with [compiled] it runs on
+          {!Sim.Family_compiled} plans cached by
+          {!Sim.Family_compiled.plan_key} *)
   | Batch of request list
       (** sub-requests run on the work-stealing pool; nesting depth 1 *)
 

@@ -1,33 +1,10 @@
 module I = Spi.Ids
+open Crt
 
 (* ------------------------- compiled structures ----------------------- *)
 
-(* Activation guards over channel indexes.  A channel the model does not
-   declare compiles to index -1: it holds no tokens and no tags, exactly
-   like the interpreter's view of an absent channel. *)
-type gpred =
-  | G_true
-  | G_false
-  | G_num_at_least of int * int  (** channel index, threshold *)
-  | G_first_has_tag of int * Spi.Tag.t
-  | G_and of gpred * gpred
-  | G_or of gpred * gpred
-  | G_not of gpred
-
-type crule = { guard : gpred; target : int  (** mode index; -1 unknown *) }
-
-type ccons = {
-  c_ix : int;  (** channel index; -1 when the model lacks the channel *)
-  c_cid : I.Channel_id.t;
-  c_rate : Interval.t;
-}
-
-type cprod = {
-  p_ix : int;
-  p_cid : I.Channel_id.t;
-  p_rate : Interval.t;
-  p_tags : Spi.Tag.Set.t;
-}
+(* Guards, consumption/production tables, channel rings and the event
+   coding live in {!Crt}, shared with the compiled family engine. *)
 
 type cmode = {
   cm_mid : I.Mode_id.t;
@@ -150,17 +127,7 @@ let compile ?(configurations = []) model =
     | Some i -> i
     | None -> -1
   in
-  let rec compile_pred = function
-    | Spi.Predicate.True -> G_true
-    | Spi.Predicate.False -> G_false
-    | Spi.Predicate.Atom (Spi.Predicate.Num_at_least (cid, k)) ->
-      G_num_at_least (ix_of cid, k)
-    | Spi.Predicate.Atom (Spi.Predicate.First_has_tag (cid, tag)) ->
-      G_first_has_tag (ix_of cid, tag)
-    | Spi.Predicate.And (a, b) -> G_and (compile_pred a, compile_pred b)
-    | Spi.Predicate.Or (a, b) -> G_or (compile_pred a, compile_pred b)
-    | Spi.Predicate.Not a -> G_not (compile_pred a)
-  in
+  let compile_pred = Crt.compile_pred ~ix_of in
   let compile_proc p =
     let pid = Spi.Process.id p in
     let modes = Array.of_list (Spi.Process.modes p) in
@@ -307,14 +274,6 @@ let compile ?(configurations = []) model =
 
 (* ------------------------------- run --------------------------------- *)
 
-(* Ring-buffered channel contents.  Registers keep at most one token
-   (destructive write); queues are FIFO with amortized O(1) push/pop. *)
-type cstate = {
-  mutable buf : Spi.Token.t array;
-  mutable head : int;
-  mutable count : int;
-}
-
 type pstate = {
   mutable busy : bool;
   mutable budget : int;  (** negative = unlimited *)
@@ -331,15 +290,6 @@ type pstate = {
   mutable slot_payload : int option;
   mutable slot_consumed : (I.Channel_id.t * Spi.Token.t list) list;
 }
-
-let dummy_token = Spi.Token.plain
-
-(* Event coding: [4*k] injection #k, [4*p+1] completion of process p,
-   [4*p+2] recovery of process p, [4*k+3] scripted crash #k. *)
-let ev_inject k = 4 * k
-let ev_complete p = (4 * p) + 1
-let ev_recover p = (4 * p) + 2
-let ev_crash k = (4 * k) + 3
 
 let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
     ?(overflow = Spi.Semantics.Reject) ?(stimuli = []) ?(firing_budget = [])
@@ -372,67 +322,12 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
           cp.pr_modes)
       plan.procs
   in
-  let chans =
-    Array.init nchan (fun i ->
-        let init = plan.chan_initial.(i) in
-        let n = List.length init in
-        let buf = Array.make (max 4 n) dummy_token in
-        List.iteri (fun k tok -> buf.(k) <- tok) init;
-        { buf; head = 0; count = n })
+  let chans = Array.init nchan (fun i -> make_chan plan.chan_initial.(i)) in
+  let chan_write =
+    write ~register:plan.chan_register ~cap:plan.chan_cap ~ids:plan.chan_ids
+      ~overflow chans
   in
-  let ring_grow cs =
-    let cap = Array.length cs.buf in
-    let buf = Array.make (2 * cap) dummy_token in
-    for k = 0 to cs.count - 1 do
-      buf.(k) <- cs.buf.((cs.head + k) mod cap)
-    done;
-    cs.buf <- buf;
-    cs.head <- 0
-  in
-  let ring_push cs tok =
-    if cs.count = Array.length cs.buf then ring_grow cs;
-    cs.buf.((cs.head + cs.count) mod Array.length cs.buf) <- tok;
-    cs.count <- cs.count + 1
-  in
-  let ring_pop cs =
-    let tok = cs.buf.(cs.head) in
-    cs.buf.(cs.head) <- dummy_token;
-    cs.head <- (cs.head + 1) mod Array.length cs.buf;
-    cs.count <- cs.count - 1;
-    tok
-  in
-  let chan_write ix tok =
-    let cs = chans.(ix) in
-    if plan.chan_register.(ix) then begin
-      (* destructive write: the register holds the last token *)
-      cs.buf.(0) <- tok;
-      cs.head <- 0;
-      cs.count <- 1
-    end
-    else begin
-      let cap = plan.chan_cap.(ix) in
-      if cap >= 0 && cs.count >= cap then begin
-        match overflow with
-        | Spi.Semantics.Reject ->
-          raise (Spi.Semantics.Channel_overflow plan.chan_ids.(ix))
-        | Spi.Semantics.Drop_newest -> ()
-      end
-      else ring_push cs tok
-    end
-  in
-  let rec geval = function
-    | G_true -> true
-    | G_false -> false
-    | G_num_at_least (ix, k) -> (if ix < 0 then 0 else chans.(ix).count) >= k
-    | G_first_has_tag (ix, tag) ->
-      ix >= 0
-      && chans.(ix).count > 0
-      && Spi.Tag.Set.mem tag
-           (Spi.Token.tags chans.(ix).buf.(chans.(ix).head))
-    | G_and (a, b) -> geval a && geval b
-    | G_or (a, b) -> geval a || geval b
-    | G_not a -> not (geval a)
-  in
+  let geval p = eval chans p in
   let fstate = Option.map Fault.start faults in
   let pstates =
     Array.map

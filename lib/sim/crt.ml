@@ -1,0 +1,123 @@
+(* Shared runtime of the compiled engines: ring-buffered channel state,
+   closure-free guard predicates over channel indexes, and the int-coded
+   event scheme.  {!Compile} (per-configuration) and {!Family_compiled}
+   (family-based) both lower models onto these primitives. *)
+
+(* Ring-buffered channel contents.  Registers keep at most one token
+   (destructive write); queues are FIFO with amortized O(1) push/pop. *)
+type cstate = {
+  mutable buf : Spi.Token.t array;
+  mutable head : int;
+  mutable count : int;
+}
+
+let dummy_token = Spi.Token.plain
+
+let make_chan init =
+  let n = List.length init in
+  let buf = Array.make (max 4 n) dummy_token in
+  List.iteri (fun k tok -> buf.(k) <- tok) init;
+  { buf; head = 0; count = n }
+
+let copy_chan cs = { buf = Array.copy cs.buf; head = cs.head; count = cs.count }
+
+let ring_grow cs =
+  let cap = Array.length cs.buf in
+  let buf = Array.make (2 * cap) dummy_token in
+  for k = 0 to cs.count - 1 do
+    buf.(k) <- cs.buf.((cs.head + k) mod cap)
+  done;
+  cs.buf <- buf;
+  cs.head <- 0
+
+let ring_push cs tok =
+  if cs.count = Array.length cs.buf then ring_grow cs;
+  cs.buf.((cs.head + cs.count) mod Array.length cs.buf) <- tok;
+  cs.count <- cs.count + 1
+
+let ring_pop cs =
+  let tok = cs.buf.(cs.head) in
+  cs.buf.(cs.head) <- dummy_token;
+  cs.head <- (cs.head + 1) mod Array.length cs.buf;
+  cs.count <- cs.count - 1;
+  tok
+
+let contents cs =
+  List.init cs.count (fun k -> cs.buf.((cs.head + k) mod Array.length cs.buf))
+
+let write ~register ~cap ~ids ~overflow chans ix tok =
+  let cs = chans.(ix) in
+  if register.(ix) then begin
+    (* destructive write: the register holds the last token *)
+    cs.buf.(0) <- tok;
+    cs.head <- 0;
+    cs.count <- 1
+  end
+  else begin
+    let c = cap.(ix) in
+    if c >= 0 && cs.count >= c then begin
+      match overflow with
+      | Spi.Semantics.Reject -> raise (Spi.Semantics.Channel_overflow ids.(ix))
+      | Spi.Semantics.Drop_newest -> ()
+    end
+    else ring_push cs tok
+  end
+
+(* Activation guards over channel indexes.  A channel the model does not
+   declare compiles to index -1: it holds no tokens and no tags, exactly
+   like the interpreter's view of an absent channel. *)
+type gpred =
+  | G_true
+  | G_false
+  | G_num_at_least of int * int  (** channel index, threshold *)
+  | G_first_has_tag of int * Spi.Tag.t
+  | G_and of gpred * gpred
+  | G_or of gpred * gpred
+  | G_not of gpred
+
+type crule = { guard : gpred; target : int  (** mode index; -1 unknown *) }
+
+type ccons = {
+  c_ix : int;  (** channel index; -1 when the model lacks the channel *)
+  c_cid : Spi.Ids.Channel_id.t;
+  c_rate : Interval.t;
+}
+
+type cprod = {
+  p_ix : int;
+  p_cid : Spi.Ids.Channel_id.t;
+  p_rate : Interval.t;
+  p_tags : Spi.Tag.Set.t;
+}
+
+let rec compile_pred ~ix_of = function
+  | Spi.Predicate.True -> G_true
+  | Spi.Predicate.False -> G_false
+  | Spi.Predicate.Atom (Spi.Predicate.Num_at_least (cid, k)) ->
+    G_num_at_least (ix_of cid, k)
+  | Spi.Predicate.Atom (Spi.Predicate.First_has_tag (cid, tag)) ->
+    G_first_has_tag (ix_of cid, tag)
+  | Spi.Predicate.And (a, b) ->
+    G_and (compile_pred ~ix_of a, compile_pred ~ix_of b)
+  | Spi.Predicate.Or (a, b) ->
+    G_or (compile_pred ~ix_of a, compile_pred ~ix_of b)
+  | Spi.Predicate.Not a -> G_not (compile_pred ~ix_of a)
+
+let rec eval chans = function
+  | G_true -> true
+  | G_false -> false
+  | G_num_at_least (ix, k) -> (if ix < 0 then 0 else chans.(ix).count) >= k
+  | G_first_has_tag (ix, tag) ->
+    ix >= 0
+    && chans.(ix).count > 0
+    && Spi.Tag.Set.mem tag (Spi.Token.tags chans.(ix).buf.(chans.(ix).head))
+  | G_and (a, b) -> eval chans a && eval chans b
+  | G_or (a, b) -> eval chans a || eval chans b
+  | G_not a -> not (eval chans a)
+
+(* Event coding: [4*k] injection #k, [4*p+1] completion of process p,
+   [4*p+2] recovery of process p, [4*k+3] scripted crash #k. *)
+let ev_inject k = 4 * k
+let ev_complete p = (4 * p) + 1
+let ev_recover p = (4 * p) + 2
+let ev_crash k = (4 * k) + 3

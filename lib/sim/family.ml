@@ -7,12 +7,15 @@ type config_run = {
   result : Engine.result;
 }
 
+type leaf = { leaf_members : int list; leaf_makespan : int }
+
 type report = {
   runs : config_run array;
   splits : int;
   subfamilies : int;
   executed_firings : int;
   shared_firings : int;
+  leaves : leaf array;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -105,6 +108,9 @@ type sub = {
   rep : int;
   model : Spi.Model.t;
   mutable cold : I.Interface_id.t list;  (* site order *)
+  mutable warm : I.Channel_id.Set.t;
+      (* cold-site channels every member declares identically, carried
+         live instead of splitting when the environment writes them *)
   mutable state : Spi.Semantics.state;
   proc_states : pstate array;
   proc_index : int I.Process_id.Map.t;
@@ -128,11 +134,13 @@ type stats = {
   mutable subfamilies : int;
   mutable executed : int;
   mutable shared : int;
+  mutable leaves : leaf list;
 }
 
 let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
     ?(overflow = Spi.Semantics.Reject) ?(stimuli = []) ?(firing_budget = [])
-    ?faults ?(linkage = []) ?(jobs = 1) system =
+    ?faults ?(linkage = []) ?(jobs = 1) ?(split = `Narrow) system =
+  let narrow = split = `Narrow in
   let start_ns = Obs.Clock.now_ns () in
   (match faults with
   | Some p when p.Fault.degrade <> None ->
@@ -234,6 +242,7 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
       rep = 0;
       model;
       cold = sites;
+      warm = I.Channel_id.Set.empty;
       state = init_of 0;
       proc_states;
       proc_index;
@@ -259,6 +268,13 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
   let split stats offer ~sibling_start c site =
     let old_cold = c.cold in
     let is_old_cold id = Option.is_some (cold_site_of old_cold id) in
+    (* Warm channels live inside cold sites but already carry the shared
+       history (identical declaration in every member), so they
+       transplant like resolved channels. *)
+    let keeps_initial cid =
+      (not (I.Channel_id.Set.mem cid c.warm))
+      && is_old_cold (I.Channel_id.to_string cid)
+    in
     let parts = P.partition_at space c.members site in
     let new_cold =
       List.filter (fun s -> not (I.Interface_id.equal s site)) old_cold
@@ -282,7 +298,7 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
             List.fold_left
               (fun st ch ->
                 let cid = Spi.Chan.id ch in
-                if is_old_cold (I.Channel_id.to_string cid) then st
+                if keeps_initial cid then st
                 else
                   let st = Spi.Semantics.clear_channel cid st in
                   List.fold_left
@@ -316,6 +332,7 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
               rep = rep_b;
               model = model_b;
               cold = new_cold;
+              warm = c.warm;
               state = state_b;
               proc_states = proc_states_b;
               proc_index = proc_index_b;
@@ -342,7 +359,8 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
     let init_b = init_of rep_b in
     let pfx = prefix_of site in
     let cold_owned cid =
-      Option.is_some (cold_site_of c.cold (I.Channel_id.to_string cid))
+      (not (I.Channel_id.Set.mem cid c.warm))
+      && Option.is_some (cold_site_of c.cold (I.Channel_id.to_string cid))
     in
     let view =
       {
@@ -478,8 +496,47 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
      so the members must part ways before the write.  The fault draw
      happens after the fork, at the same stream position in every
      branch, exactly as each member's own run would draw it. *)
+  (* Does every member of [c] declare [cid] with the same kind, capacity
+     and initial contents?  Then a write into the still-cold site cannot
+     distinguish the members, and the channel can be carried live
+     ("warm") instead of forcing the site apart — the split happens
+     later, only if a variant actually activates.  Checking one model
+     per subtree-choice part covers every member, because a site's
+     channels are a function of the subtree choice [partition_at]
+     groups by. *)
+  let narrowable c site cid =
+    let decl_of part =
+      let rep_b = match P.first part with Some i -> i | None -> assert false in
+      Spi.Model.find_channel cid (model_of rep_b)
+    in
+    match P.partition_at space c.members site with
+    | [] -> assert false (* members are never empty *)
+    | (_, part0) :: rest -> (
+      match decl_of part0 with
+      | None -> false
+      | Some ch0 ->
+        let same ch =
+          Spi.Chan.kind ch = Spi.Chan.kind ch0
+          && Spi.Chan.capacity ch = Spi.Chan.capacity ch0
+          && List.compare_lengths (Spi.Chan.initial ch) (Spi.Chan.initial ch0)
+             = 0
+          && List.for_all2 Spi.Token.equal (Spi.Chan.initial ch)
+               (Spi.Chan.initial ch0)
+        in
+        List.for_all
+          (fun (_, part) ->
+            match decl_of part with Some ch -> same ch | None -> false)
+          rest)
+  in
   let rec handle_inject stats offer c time cid tok =
-    match cold_site_of c.cold (I.Channel_id.to_string cid) with
+    let cold_target =
+      if I.Channel_id.Set.mem cid c.warm then None
+      else cold_site_of c.cold (I.Channel_id.to_string cid)
+    in
+    match cold_target with
+    | Some site when narrow && narrowable c site cid ->
+      c.warm <- I.Channel_id.Set.add cid c.warm;
+      handle_inject stats offer c time cid tok
     | Some site ->
       split stats offer ~sibling_start:(Deliver (cid, tok)) c site;
       handle_inject stats offer c time cid tok
@@ -525,7 +582,24 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
   let finish stats c outcome =
     stats.subfamilies <- stats.subfamilies + 1;
     let trace = List.rev c.trace in
-    let is_cold id = Option.is_some (cold_site_of c.cold id) in
+    let is_cold cid =
+      (not (I.Channel_id.Set.mem cid c.warm))
+      && Option.is_some (cold_site_of c.cold (I.Channel_id.to_string cid))
+    in
+    (* The deadline-relevant number of the whole leaf, computed once: the
+       shared trace is every member's trace, so the last completion time
+       is every member's makespan. *)
+    let makespan =
+      List.fold_left
+        (fun acc entry ->
+          match entry with
+          | Trace.Completed { time; _ } -> max acc time
+          | _ -> acc)
+        0 c.trace
+    in
+    stats.leaves <-
+      { leaf_members = P.indices c.members; leaf_makespan = makespan }
+      :: stats.leaves;
     P.iter
       (fun i ->
         let final_state =
@@ -535,7 +609,7 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
             List.fold_left
               (fun st ch ->
                 let cid = Spi.Chan.id ch in
-                if is_cold (I.Channel_id.to_string cid) then st
+                if is_cold cid then st
                 else
                   let st = Spi.Semantics.clear_channel cid st in
                   List.fold_left
@@ -619,13 +693,15 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
   (* ---------------- drive the sub-families ---------------- *)
   let totals =
     Synth.Par.fold ~jobs
-      ~init:(fun () -> { splits = 0; subfamilies = 0; executed = 0; shared = 0 })
+      ~init:(fun () ->
+        { splits = 0; subfamilies = 0; executed = 0; shared = 0; leaves = [] })
       ~merge:(fun a b ->
         {
           splits = a.splits + b.splits;
           subfamilies = a.subfamilies + b.subfamilies;
           executed = a.executed + b.executed;
           shared = a.shared + b.shared;
+          leaves = a.leaves @ b.leaves;
         })
       ~f:(fun pool stats task ->
         (* Forked sub-families go to the pool; when its deque is full
@@ -655,13 +731,30 @@ let run ?(policy = Engine.Typical) ?(limits = Engine.default_limits)
   Obs.Metric.add m_shared_firings totals.shared;
   Obs.Registry.record_span ~name:"sim.family.run_ns" ~start_ns
     ~dur_ns:(Obs.Clock.elapsed_ns start_ns);
+  let leaves =
+    (* sort by smallest member for a jobs-count-independent order *)
+    Array.of_list
+      (List.sort
+         (fun a b -> compare (List.hd a.leaf_members) (List.hd b.leaf_members))
+         totals.leaves)
+  in
   {
     runs;
     splits = totals.splits;
     subfamilies = totals.subfamilies;
     executed_firings = totals.executed;
     shared_firings = totals.shared;
+    leaves;
   }
+
+let headroom ~deadline report =
+  let out = Array.make (Array.length report.runs) 0 in
+  Array.iter
+    (fun leaf ->
+      let h = deadline - leaf.leaf_makespan in
+      List.iter (fun i -> out.(i) <- h) leaf.leaf_members)
+    report.leaves;
+  Array.mapi (fun i h -> (i, h)) out
 
 let makespans report =
   Array.map

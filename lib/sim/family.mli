@@ -38,6 +38,16 @@ type config_run = {
           model under the same scenario *)
 }
 
+type leaf = {
+  leaf_members : int list;
+      (** configuration indices the leaf covers, ascending *)
+  leaf_makespan : int;
+      (** end time of the leaf's last completion (0 when nothing
+          completed) — the same number for every member, computed once
+          from the shared trace *)
+}
+(** A sub-family that ran to its outcome. *)
+
 type report = {
   runs : config_run array;  (** one per configuration, in index order *)
   splits : int;  (** sub-family forks taken *)
@@ -49,6 +59,10 @@ type report = {
       (** of those, firings performed while covering two or more
           configurations — the work a per-configuration sweep would have
           repeated *)
+  leaves : leaf array;
+      (** the finished sub-families, ordered by smallest member index
+          (independent of [jobs]); their member lists partition the
+          configuration indices *)
 }
 
 val run :
@@ -60,13 +74,24 @@ val run :
   ?faults:Fault.plan ->
   ?linkage:Variants.Variant_space.linkage ->
   ?jobs:int ->
+  ?split:[ `Narrow | `Full ] ->
   Variants.System.t ->
   report
 (** Simulates every configuration of the system's variant space in one
     featured pass.  The scenario parameters have {!Engine.run}'s
-    semantics and apply uniformly to every configuration; stimuli should
-    target shared (unprefixed) channels — a stimulus into a site's
-    internals forces that site's sub-families apart at injection time.
+    semantics and apply uniformly to every configuration; stimuli may
+    target shared (unprefixed) channels or a site's internals.
+
+    [split] picks the policy for a stimulus aimed inside a still-cold
+    site.  [`Full] (the original heuristic) forces the site's
+    sub-families apart at injection time.  [`Narrow] (the default) first
+    checks whether every member declares the target channel identically
+    (kind, capacity, initial tokens): if so the channel is marked
+    {e warm} and the write is carried live by the whole sub-family — the
+    split happens later, and only if one of the site's variants actually
+    activates.  Narrow splitting never forks more sub-families than full
+    splitting, and the per-configuration results are identical under
+    both policies.
 
     [jobs] (default 1) runs sub-families as steal-able tasks on the
     {!Synth.Par} work-stealing domain pool: each split offers the new
@@ -87,6 +112,14 @@ val makespans : report -> (int * int) array
     completion in its trace (0 when nothing completed).  The basis of
     per-configuration deadline headroom: [deadline - makespan]. *)
 
+val headroom : deadline:int -> report -> (int * int) array
+(** [(index, deadline - makespan)] per configuration, computed once per
+    leaf sub-family from {!leaf.leaf_makespan} and fanned out to the
+    leaf's members — agreeing with [deadline - snd] over {!makespans}
+    entry for entry, at the cost of one trace scan per leaf instead of
+    one per configuration.  Negative headroom means the configuration
+    misses the deadline. *)
+
 val emit_timeline :
   Obs.Trace_event.sink -> Variants.System.t -> report -> unit
 (** Exports every configuration's schedule into one trace file using
@@ -97,3 +130,19 @@ val emit_timeline :
     diverge where the run split. *)
 
 val pp_summary : Format.formatter -> report -> unit
+
+(**/**)
+
+(* Site-prefix bookkeeping, shared with {!Family_compiled} so the two
+   family engines attribute state to cold sites identically. *)
+
+val prefix_of : Spi.Ids.Interface_id.t -> string
+val has_prefix : string -> string -> bool
+
+val cold_site_of :
+  Spi.Ids.Interface_id.t list -> string -> Spi.Ids.Interface_id.t option
+
+val validate_prefixes :
+  Variants.System.t -> Spi.Ids.Interface_id.t list -> unit
+
+(**/**)

@@ -1,0 +1,67 @@
+(** Compiled family-based simulation.
+
+    The interpreted {!Family} engine executes each sub-family through
+    {!Spi.Semantics} — persistent-map channel states, closure-based
+    guard checks, list scans per event.  This module runs the same
+    algorithm on {!Compile}-style flat tables (shared with that engine
+    through {!Crt}): dense channel indexes into ring buffers, compiled
+    guards, an int-coded {!Heap.Int_heap} event loop, and the
+    presence-condition bookkeeping (split detection, fork transplants,
+    narrowing) hoisted out of the hot path.
+
+    The contract is unchanged and engine-independent: the report is a
+    {!Family.report}, and every configuration's result is byte-identical
+    to what {!Engine.run}, {!Compile.run} and interpreted {!Family.run}
+    produce for it — the four-way differential harness in
+    [test/test_family_compiled.ml] enforces this across generated
+    systems, fault plans, seeds, job counts and split policies.
+
+    Like {!Family.run}, degradation plans are rejected and shared ids
+    must not collide with site prefixes ([Invalid_argument]). *)
+
+type plan
+(** Compiled variant space: presence space, site list, and
+    demand-compiled per-representative tables (flattened model, initial
+    state, flat channel/process tables).  Thread-safe: worker domains
+    and concurrent runs may share one plan. *)
+
+val plan : ?linkage:Variants.Variant_space.linkage -> Variants.System.t -> plan
+(** Lowers the system's variant space for family execution.  Site
+    prefixes are validated here, once, rather than per run.
+
+    @raise Invalid_argument on prefix collisions (see {!Family.run}). *)
+
+val plan_key : ?linkage:Variants.Variant_space.linkage -> Variants.System.t -> string
+(** The key {!plan} would assign, without compiling — hex digest over
+    {!Variants.Canonical.of_system} and the linkage.  Equal keys mean
+    the compiled plans are interchangeable. *)
+
+val key : plan -> string
+(** Cache key of this plan (see {!plan_key}). *)
+
+val system : plan -> Variants.System.t
+val configurations : plan -> int
+
+val run :
+  ?policy:Engine.policy ->
+  ?limits:Engine.limits ->
+  ?overflow:Spi.Semantics.overflow ->
+  ?stimuli:Engine.stimulus list ->
+  ?firing_budget:(Spi.Ids.Process_id.t * int) list ->
+  ?faults:Fault.plan ->
+  ?jobs:int ->
+  ?split:[ `Narrow | `Full ] ->
+  plan ->
+  Family.report
+(** Simulates every configuration in one featured pass on the compiled
+    tables.  Parameters have {!Family.run}'s semantics exactly,
+    including [`Narrow] split narrowing (the default) and [jobs]-way
+    work stealing over {!Synth.Par}; results are identical for every
+    job count and split policy.
+
+    Shares the [sim.family.*] metrics with the interpreted engine and
+    additionally bumps [sim.family.compiled_runs] and records the
+    [sim.family.compiled_run_ns] span.
+
+    @raise Invalid_argument on degradation plans; exceptions a
+    per-configuration run would raise propagate unchanged. *)

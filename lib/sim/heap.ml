@@ -129,6 +129,9 @@ module Int_heap = struct
   let min_time h = h.data.(0)
   let min_value h = h.data.(2)
 
+  let copy h =
+    { data = Array.copy h.data; size = h.size; next_seq = h.next_seq }
+
   let drop_min h =
     let d = h.data in
     h.size <- h.size - 1;

@@ -47,4 +47,10 @@ module Int_heap : sig
 
   val drop_min : t -> unit
   (** Removes the earliest event.  Undefined when empty. *)
+
+  val copy : t -> t
+  (** Independent clone, exactly like {!val:copy} on the generic heap:
+      the sequence counter carries over so FIFO tie-breaks stay aligned
+      across a fork.  {!Family_compiled} forks the int-coded event heap
+      at sub-family split points with this. *)
 end

@@ -255,5 +255,166 @@ let sim_fault_plan ~seed ?(configurations = []) model =
    identically in the family engine and in that configuration's own
    [Engine.run].  No degradation: the family engine rejects it. *)
 let family_fault_plan ~seed system =
-  sim_fault_plan ~seed
-    (Variants.Flatten.flatten system (Variants.Flatten.first_cluster system))
+  (* flatten via the first enumerated assignment: unlike
+     [Flatten.first_cluster], it also resolves interfaces nested inside
+     clusters *)
+  let model =
+    match Variants.Variant_space.enumerate system with
+    | a :: _ -> Variants.Flatten.flatten system (Variants.Variant_space.to_choice a)
+    | [] -> assert false
+  in
+  sim_fault_plan ~seed model
+
+(* ---------------- nested / split-adversarial workloads ---------------- *)
+
+(* A system with a hierarchical variant site: site [nestA] has two outer
+   clusters, each embedding an [inner] interface with two variants, plus
+   a flat second site [siteB] — 4 subtree choices x 2 = 8
+   configurations.  Every cluster level declares internal channels under
+   stable names ([nestA.h], [nestA.g], [nestA.inner.w], [siteB.m]), so
+   stimuli can target site internals that every configuration declares.
+   On odd seeds the second inner variant declares [w] with an initial
+   token: the declarations disagree across the space, so the family
+   engines' narrow-split test must reject the injection and fall back
+   to a full split.  Deterministic in [seed]. *)
+let nested_family_system ~seed =
+  let rng = seeded seed in
+  let chan = I.Channel_id.of_string in
+  let lat () =
+    let mid = 1 + Random.State.int rng 12 in
+    let spread = Random.State.int rng (1 + (mid / 2)) in
+    Interval.make (max 0 (mid - spread)) (mid + spread)
+  in
+  let proc name ~from_ ~to_ =
+    Spi.Process.simple ~latency:(lat ())
+      ~consumes:[ (from_, Interval.point 1) ]
+      ~produces:[ (to_, Spi.Mode.produce (Interval.point 1)) ]
+      (pid name)
+  in
+  let top i = chan (Format.sprintf "c%d" i) in
+  let channels = List.init 5 (fun i -> Spi.Chan.queue (top i)) in
+  let shared =
+    [ proc "S1" ~from_:(top 0) ~to_:(top 1);
+      proc "S2" ~from_:(top 1) ~to_:(top 2) ]
+  in
+  let pin () = Variants.Port.input "pin"
+  and pout () = Variants.Port.output "pout" in
+  let pin_chan = Variants.Port.channel_of (I.Port_id.of_string "pin")
+  and pout_chan = Variants.Port.channel_of (I.Port_id.of_string "pout") in
+  let inner_cluster v =
+    let w = chan "w" in
+    let wchan =
+      if v = 2 && seed mod 2 = 1 then
+        Spi.Chan.queue ~initial:[ Spi.Token.plain ] w
+      else Spi.Chan.queue w
+    in
+    Variants.Cluster.make ~channels:[ wchan ]
+      ~ports:[ pin (); pout () ]
+      ~processes:
+        [
+          proc (Format.sprintf "iv%d_1" v) ~from_:pin_chan ~to_:w;
+          proc (Format.sprintf "iv%d_2" v) ~from_:w ~to_:pout_chan;
+        ]
+      (Format.sprintf "inner_var%d" v)
+  in
+  let inner_site () =
+    let iface =
+      Variants.Interface.make
+        ~ports:[ pin (); pout () ]
+        ~clusters:[ inner_cluster 1; inner_cluster 2 ]
+        "inner"
+    in
+    {
+      Variants.Structure.iface;
+      wiring =
+        [
+          (I.Port_id.of_string "pin", chan "h");
+          (I.Port_id.of_string "pout", chan "g");
+        ];
+    }
+  in
+  let outer_cluster v =
+    Variants.Cluster.make
+      ~channels:[ Spi.Chan.queue (chan "h"); Spi.Chan.queue (chan "g") ]
+      ~sub_sites:[ inner_site () ]
+      ~ports:[ pin (); pout () ]
+      ~processes:
+        [
+          proc (Format.sprintf "ov%d_in" v) ~from_:pin_chan ~to_:(chan "h");
+          proc (Format.sprintf "ov%d_out" v) ~from_:(chan "g") ~to_:pout_chan;
+        ]
+      (Format.sprintf "nest_var%d" v)
+  in
+  let nest_site =
+    let iface =
+      Variants.Interface.make
+        ~ports:[ pin (); pout () ]
+        ~clusters:[ outer_cluster 1; outer_cluster 2 ]
+        "nestA"
+    in
+    {
+      Variants.Structure.iface;
+      wiring =
+        [
+          (I.Port_id.of_string "pin", top 2); (I.Port_id.of_string "pout", top 3);
+        ];
+    }
+  in
+  let flat_cluster v =
+    Variants.Cluster.make
+      ~channels:[ Spi.Chan.queue (chan "m") ]
+      ~ports:[ pin (); pout () ]
+      ~processes:
+        [
+          proc (Format.sprintf "bv%d_1" v) ~from_:pin_chan ~to_:(chan "m");
+          proc (Format.sprintf "bv%d_2" v) ~from_:(chan "m") ~to_:pout_chan;
+        ]
+      (Format.sprintf "siteB_var%d" v)
+  in
+  let site_b =
+    let iface =
+      Variants.Interface.make
+        ~ports:[ pin (); pout () ]
+        ~clusters:[ flat_cluster 1; flat_cluster 2 ]
+        "siteB"
+    in
+    {
+      Variants.Structure.iface;
+      wiring =
+        [
+          (I.Port_id.of_string "pin", top 3); (I.Port_id.of_string "pout", top 4);
+        ];
+    }
+  in
+  let system =
+    Variants.System.make ~processes:shared ~channels
+      ~sites:[ nest_site; site_b ]
+      (Format.sprintf "nested_seed%d" seed)
+  in
+  Variants.System.validate_exn system;
+  system
+
+(* Split-adversarial stimulus schedule for [nested_family_system]:
+   interleaves boundary injections with injections straight into site
+   internals — including the nested site's innermost channel — while
+   those sites are still cold, forcing the engines through the
+   warm-or-split decision at every level.  Every target channel is
+   declared by every configuration, so each per-configuration reference
+   run accepts the same schedule. *)
+let nested_family_stimuli ?(tokens = 3) system =
+  ignore system;
+  let mk at name i =
+    {
+      Sim.Engine.at;
+      channel = I.Channel_id.of_string name;
+      token = Spi.Token.make ~payload:i ();
+    }
+  in
+  List.concat
+    (List.init tokens (fun i ->
+         [
+           mk (1 + (4 * i)) "c0" i;
+           mk (2 + (4 * i)) "nestA.h" i;
+           mk (3 + (4 * i)) "nestA.inner.w" i;
+           mk (4 + (4 * i)) "siteB.m" i;
+         ]))

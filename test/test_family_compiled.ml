@@ -1,0 +1,306 @@
+(* Four-way differential proof for the compiled family engine: for every
+   configuration of a variant space, the interpreter (Sim.Engine), the
+   compiled per-configuration engine (Sim.Compile), the interpreted
+   family engine (Sim.Family) and the compiled family engine
+   (Sim.Family_compiled) produce the same result — trace entry for
+   entry, final channel contents, outcome, counters, and rendered
+   trace/stats bytes (Test_compile.result_eq) — and the two family
+   engines agree on every family-level statistic, leaf for leaf.
+   Exercised across generated flat and nested systems,
+   split-adversarial stimulus schedules, policies, fault plans, split
+   heuristics and job counts. *)
+
+module I = Spi.Ids
+
+let render_assignment a =
+  Format.asprintf "%a" Variants.Variant_space.pp_assignment a
+
+let leaf_eq (a : Sim.Family.leaf) (b : Sim.Family.leaf) =
+  a.Sim.Family.leaf_members = b.Sim.Family.leaf_members
+  && a.Sim.Family.leaf_makespan = b.Sim.Family.leaf_makespan
+
+(* Family-level statistics must agree between the two family engines:
+   same splits, same leaves covering the same members with the same
+   makespans. *)
+let reports_agree (a : Sim.Family.report) (b : Sim.Family.report) =
+  a.Sim.Family.splits = b.Sim.Family.splits
+  && a.Sim.Family.subfamilies = b.Sim.Family.subfamilies
+  && a.Sim.Family.executed_firings = b.Sim.Family.executed_firings
+  && a.Sim.Family.shared_firings = b.Sim.Family.shared_firings
+  && Array.length a.Sim.Family.leaves = Array.length b.Sim.Family.leaves
+  && Array.for_all2 leaf_eq a.Sim.Family.leaves b.Sim.Family.leaves
+
+(* The tentpole check: both family engines vs per-configuration
+   interpreter and compiled runs, under one scenario. *)
+let four_way ?policy ?limits ?overflow ?stimuli ?firing_budget ?faults
+    ?(jobs = 1) ?split system =
+  let interpreted =
+    Sim.Family.run ?policy ?limits ?overflow ?stimuli ?firing_budget ?faults
+      ~jobs ?split system
+  in
+  let plan = Sim.Family_compiled.plan system in
+  let compiled =
+    Sim.Family_compiled.run ?policy ?limits ?overflow ?stimuli ?firing_budget
+      ?faults ~jobs ?split plan
+  in
+  let assignments = Variants.Variant_space.enumerate system in
+  Array.length interpreted.Sim.Family.runs = List.length assignments
+  && reports_agree interpreted compiled
+  && List.for_all
+       (fun (i, assignment) ->
+         let model =
+           Variants.Flatten.flatten system
+             (Variants.Variant_space.to_choice assignment)
+         in
+         let reference =
+           Sim.Engine.run ?policy ?limits ?overflow ?stimuli ?firing_budget
+             ?faults model
+         in
+         let compiled_ref =
+           Sim.Compile.run ?policy ?limits ?overflow ?stimuli ?firing_budget
+             ?faults
+             (Sim.Compile.compile model)
+         in
+         let fr = interpreted.Sim.Family.runs.(i) in
+         let cr = compiled.Sim.Family.runs.(i) in
+         fr.Sim.Family.index = i
+         && cr.Sim.Family.index = i
+         && render_assignment fr.Sim.Family.assignment
+            = render_assignment assignment
+         && render_assignment cr.Sim.Family.assignment
+            = render_assignment assignment
+         && Test_compile.result_eq model reference compiled_ref
+         && Test_compile.result_eq model reference fr.Sim.Family.result
+         && Test_compile.result_eq model reference cr.Sim.Family.result)
+       (List.mapi (fun i a -> (i, a)) assignments)
+
+(* --------------------------- qcheck properties ----------------------- *)
+
+let prop_generated_workloads =
+  QCheck.Test.make
+    ~name:"four-way differential (generated systems, all policies)" ~count:20
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.family_system ~seed in
+      let stimuli = Harness.family_stimuli system in
+      List.for_all
+        (fun policy -> four_way ~policy ~stimuli system)
+        [ Sim.Engine.Best_case; Sim.Engine.Typical; Sim.Engine.Worst_case ])
+
+let prop_nested_adversarial =
+  QCheck.Test.make
+    ~name:"four-way differential (nested sites, adversarial stimuli)"
+    ~count:20
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.nested_family_system ~seed in
+      let stimuli = Harness.nested_family_stimuli system in
+      four_way ~stimuli system
+      && four_way ~stimuli ~split:`Full system)
+
+let prop_nested_with_faults =
+  QCheck.Test.make ~name:"four-way differential (nested sites, fault plans)"
+    ~count:15
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.nested_family_system ~seed in
+      let stimuli = Harness.nested_family_stimuli ~tokens:4 system in
+      let faults = Harness.family_fault_plan ~seed system in
+      four_way ~stimuli ~faults system)
+
+(* The narrow heuristic's contract: it never forks more sub-families
+   than full splitting, and the per-configuration results are identical
+   under both policies — on both engines. *)
+let prop_narrow_never_worse =
+  QCheck.Test.make ~name:"narrow splitting <= full splitting, same results"
+    ~count:20
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let system = Harness.nested_family_system ~seed in
+      let stimuli = Harness.nested_family_stimuli system in
+      let fingerprint (r : Sim.Family.report) =
+        Array.to_list r.Sim.Family.runs
+        |> List.map (fun cr ->
+               Format.asprintf "%d %a" cr.Sim.Family.index Sim.Trace.pp
+                 cr.Sim.Family.result.Sim.Engine.trace)
+        |> String.concat "\n"
+      in
+      let check run =
+        let narrow = run ~split:`Narrow in
+        let full = run ~split:`Full in
+        narrow.Sim.Family.splits <= full.Sim.Family.splits
+        && narrow.Sim.Family.subfamilies <= full.Sim.Family.subfamilies
+        && fingerprint narrow = fingerprint full
+      in
+      let plan = Sim.Family_compiled.plan system in
+      check (fun ~split -> Sim.Family.run ~stimuli ~split system)
+      && check (fun ~split -> Sim.Family_compiled.run ~stimuli ~split plan))
+
+(* Sub-families are steal-able tasks: every job count must produce the
+   identical report, and one compiled plan may serve all the runs. *)
+let prop_jobs_invariant =
+  QCheck.Test.make ~name:"compiled family run is job-count invariant" ~count:5
+    QCheck.(int_range 0 999)
+    (fun seed ->
+      let system = Harness.nested_family_system ~seed in
+      let stimuli = Harness.nested_family_stimuli system in
+      let faults = Harness.family_fault_plan ~seed system in
+      let plan = Sim.Family_compiled.plan system in
+      let fingerprint jobs =
+        let r = Sim.Family_compiled.run ~stimuli ~faults ~jobs plan in
+        let runs =
+          Array.to_list r.Sim.Family.runs
+          |> List.map (fun cr ->
+                 Format.asprintf "%d %s %a" cr.Sim.Family.index
+                   (render_assignment cr.Sim.Family.assignment)
+                   Sim.Trace.pp cr.Sim.Family.result.Sim.Engine.trace)
+          |> String.concat "\n"
+        in
+        ( runs,
+          r.Sim.Family.splits,
+          r.Sim.Family.subfamilies,
+          r.Sim.Family.executed_firings,
+          r.Sim.Family.shared_firings )
+      in
+      let reference = fingerprint 1 in
+      List.for_all (fun jobs -> fingerprint jobs = reference) [ 2; 4 ])
+
+(* ------------------------------ unit tests --------------------------- *)
+
+(* The acceptance sweep: 200 seeded workloads alternating flat and
+   nested systems, policies, fault plans and split heuristics — every
+   configuration byte-identical across all four engines. *)
+let test_200_workloads () =
+  for seed = 0 to 199 do
+    let system, stimuli =
+      if seed mod 2 = 0 then
+        let s = Harness.family_system ~seed in
+        (s, Harness.family_stimuli s)
+      else
+        let s = Harness.nested_family_system ~seed in
+        (s, Harness.nested_family_stimuli s)
+    in
+    let policy =
+      match seed mod 3 with
+      | 0 -> Sim.Engine.Best_case
+      | 1 -> Sim.Engine.Typical
+      | _ -> Sim.Engine.Worst_case
+    in
+    let faults =
+      if seed mod 4 = 3 then Some (Harness.family_fault_plan ~seed system)
+      else None
+    in
+    let split = if seed mod 5 = 0 then `Full else `Narrow in
+    Alcotest.(check bool)
+      (Format.sprintf "workload %d" seed)
+      true
+      (four_way ~policy ~stimuli ?faults ~split system)
+  done
+
+(* Compiling the family must beat nothing semantically: the compiled
+   report's headroom agrees with per-configuration makespans, computed
+   once per leaf. *)
+let test_headroom_per_leaf () =
+  let system = Harness.nested_family_system ~seed:6 in
+  let stimuli = Harness.nested_family_stimuli system in
+  let check (report : Sim.Family.report) =
+    let deadline = 50 in
+    let spans = Sim.Family.makespans report in
+    let head = Sim.Family.headroom ~deadline report in
+    Alcotest.(check int) "one headroom per configuration" (Array.length spans)
+      (Array.length head);
+    Array.iteri
+      (fun i (index, h) ->
+        let mi, makespan = spans.(i) in
+        Alcotest.(check int) (Format.sprintf "index %d" i) mi index;
+        Alcotest.(check int)
+          (Format.sprintf "headroom of config %d" i)
+          (deadline - makespan) h)
+      head;
+    Alcotest.(check int) "one leaf per finished sub-family"
+      report.Sim.Family.subfamilies
+      (Array.length report.Sim.Family.leaves);
+    let covered =
+      Array.fold_left
+        (fun acc leaf -> acc + List.length leaf.Sim.Family.leaf_members)
+        0 report.Sim.Family.leaves
+    in
+    Alcotest.(check int) "leaves partition the configurations"
+      (Array.length report.Sim.Family.runs)
+      covered
+  in
+  check (Sim.Family.run ~stimuli system);
+  check (Sim.Family_compiled.run ~stimuli (Sim.Family_compiled.plan system))
+
+(* One plan, many runs: scenario parameters bind at run time, and a
+   reused plan must behave exactly like a fresh one. *)
+let test_plan_reuse () =
+  let system = Harness.nested_family_system ~seed:3 in
+  let plan = Sim.Family_compiled.plan system in
+  let stim_a = Harness.nested_family_stimuli system in
+  let stim_b = Harness.nested_family_stimuli ~tokens:5 system in
+  let render stimuli plan =
+    let r = Sim.Family_compiled.run ~stimuli plan in
+    Array.to_list r.Sim.Family.runs
+    |> List.map (fun cr ->
+           Format.asprintf "%a" Sim.Trace.pp
+             cr.Sim.Family.result.Sim.Engine.trace)
+    |> String.concat "\n"
+  in
+  let a1 = render stim_a plan in
+  let b1 = render stim_b plan in
+  let a2 = render stim_a (Sim.Family_compiled.plan system) in
+  let b2 = render stim_b (Sim.Family_compiled.plan system) in
+  Alcotest.(check bool) "scenario A reproduces on a reused plan" true
+    (a1 = a2);
+  Alcotest.(check bool) "scenario B reproduces on a reused plan" true
+    (b1 = b2);
+  Alcotest.(check bool) "the scenarios differ" true (a1 <> b1)
+
+let test_plan_key () =
+  let sys_a = Harness.nested_family_system ~seed:1 in
+  let sys_b = Harness.nested_family_system ~seed:2 in
+  let plan_a = Sim.Family_compiled.plan sys_a in
+  Alcotest.(check string) "plan_key matches the compiled plan's key"
+    (Sim.Family_compiled.plan_key sys_a)
+    (Sim.Family_compiled.key plan_a);
+  Alcotest.(check bool) "different systems, different keys" true
+    (Sim.Family_compiled.plan_key sys_a <> Sim.Family_compiled.plan_key sys_b);
+  Alcotest.(check int) "configuration count"
+    (List.length (Variants.Variant_space.enumerate sys_a))
+    (Sim.Family_compiled.configurations plan_a)
+
+let test_degradation_rejected () =
+  let system = Harness.family_system ~seed:1 in
+  let plan = Sim.Family_compiled.plan system in
+  let faults =
+    Sim.Fault.plan
+      ~degrade:(Sim.Fault.degradation ~fallback:(fun _ _ -> None) ())
+      ~seed:7 ()
+  in
+  let rejected =
+    match Sim.Family_compiled.run ~faults plan with
+    | (_ : Sim.Family.report) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "degradation plans are rejected" true rejected
+
+let suite =
+  ( "family_compiled",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_generated_workloads;
+      QCheck_alcotest.to_alcotest ~long:false prop_nested_adversarial;
+      QCheck_alcotest.to_alcotest ~long:false prop_nested_with_faults;
+      QCheck_alcotest.to_alcotest ~long:false prop_narrow_never_worse;
+      QCheck_alcotest.to_alcotest ~long:false prop_jobs_invariant;
+      Alcotest.test_case "200 seeded workloads, four engines byte-identical"
+        `Slow test_200_workloads;
+      Alcotest.test_case "headroom agrees with per-config makespans" `Quick
+        test_headroom_per_leaf;
+      Alcotest.test_case "plans are reusable across scenarios" `Quick
+        test_plan_reuse;
+      Alcotest.test_case "plan keys are stable and discriminating" `Quick
+        test_plan_key;
+      Alcotest.test_case "degradation plans are rejected" `Quick
+        test_degradation_rejected;
+    ] )

@@ -71,7 +71,18 @@ let test_protocol_roundtrip () =
         deadline_ms = None;
         jobs = None;
         trace = false;
-        op = P.Simulate { model = "m"; until = Some 40; compiled = true };
+        op =
+          P.Simulate
+            { model = "m"; until = Some 40; compiled = true; family = false };
+      };
+      {
+        P.id = None;
+        deadline_ms = None;
+        jobs = None;
+        trace = false;
+        op =
+          P.Simulate
+            { model = "m"; until = None; compiled = false; family = true };
       };
     ]
   in
@@ -209,7 +220,12 @@ let test_handler_batch () =
                 { model = model_source; tech = tech_source; capacity = None });
            plain
              (P.Simulate
-                { model = model_source; until = Some 30; compiled = false });
+                {
+                  model = model_source;
+                  until = Some 30;
+                  compiled = false;
+                  family = false;
+                });
          ])
   in
   let r = handle ~handler:t batch in
@@ -335,7 +351,9 @@ let test_handler_simulate_compiled () =
   let t = Serve.Handler.create ~jobs:1 () in
   let simulate compiled =
     handle ~handler:t
-      (plain (P.Simulate { model = model_source; until = Some 50; compiled }))
+      (plain
+         (P.Simulate
+            { model = model_source; until = Some 50; compiled; family = false }))
   in
   let interpreted = simulate false in
   let hits = Obs.Registry.counter "serve.plan_cache_hits" in
@@ -356,6 +374,113 @@ let test_handler_simulate_compiled () =
   (* first compiled request misses the plan cache, the second hits *)
   Alcotest.(check int) "one miss" (m0 + 1) (Obs.Metric.value misses);
   Alcotest.(check int) "one hit" (h0 + 1) (Obs.Metric.value hits)
+
+(* ------------------------- family simulate ------------------------ *)
+
+(* Figure 2's shape with initial tokens so the run actually fires: the
+   feeder drains CX into the site's input port, both variants can
+   activate, and the family pass must split g1 from g2. *)
+let family_model_source =
+  {|system fam {
+  channel CX queue initial 2
+  channel CA queue
+  channel CB queue
+  channel CY queue
+  process PA {
+    mode PA.default { latency 3 consume CX 1 produce CA 1 }
+    rule PA.auto0 when num CX >= 1 -> PA.default
+    }
+  process PB {
+    mode PB.default { latency 2 consume CB 1 produce CY 1 }
+    rule PB.auto0 when num CB >= 1 -> PB.default
+    }
+  interface iface1 {
+    port in i = CA
+    port out o = CB
+    cluster g1 {
+      process x1 {
+        mode x1.default { latency 4 consume i 1 produce o 1 }
+        rule x1.auto0 when num i >= 1 -> x1.default
+        }
+      }
+    cluster g2 {
+      channel k1 queue
+      process y1 {
+        mode y1.default { latency 2 consume i 1 produce k1 1 }
+        rule y1.auto0 when num i >= 1 -> y1.default
+        }
+      process y2 {
+        mode y2.default { latency 5 consume k1 1 produce o 1 }
+        rule y2.auto0 when num k1 >= 1 -> y2.default
+        }
+      }
+    }
+  }
+|}
+
+let test_handler_simulate_family () =
+  let t = Serve.Handler.create ~jobs:1 () in
+  let simulate compiled =
+    handle ~handler:t
+      (plain
+         (P.Simulate
+            {
+              model = family_model_source;
+              until = Some 500;
+              compiled;
+              family = true;
+            }))
+  in
+  let hits = Obs.Registry.counter "serve.plan_cache_hits" in
+  let misses = Obs.Registry.counter "serve.plan_cache_misses" in
+  let interpreted = simulate false in
+  Alcotest.(check string) "ok" "ok" (P.status_of_response interpreted);
+  Alcotest.(check (option bool)) "family tagged" (Some true)
+    (Option.bind (J.member "family" interpreted) J.to_bool);
+  Alcotest.(check (option int)) "two configurations" (Some 2)
+    (Option.bind (J.member "configurations" interpreted) J.to_int);
+  Alcotest.(check (option int)) "split into two subfamilies" (Some 2)
+    (Option.bind (J.member "subfamilies" interpreted) J.to_int);
+  let h0 = Obs.Metric.value hits and m0 = Obs.Metric.value misses in
+  let compiled1 = simulate true in
+  let compiled2 = simulate true in
+  Alcotest.(check string) "compiled ok" "ok" (P.status_of_response compiled1);
+  (* wire-level differential: the compiled family pass answers with the
+     interpreted pass's runs and sharing summary, byte for byte *)
+  Alcotest.(check bool) "compiled runs = interpreted runs" true
+    (run_fields compiled1 = run_fields interpreted);
+  List.iter
+    (fun field ->
+      Alcotest.(check (option int)) field
+        (Option.bind (J.member field interpreted) J.to_int)
+        (Option.bind (J.member field compiled1) J.to_int))
+    [ "configurations"; "splits"; "subfamilies"; "executed_firings";
+      "shared_firings" ];
+  Alcotest.(check bool) "repeat request is stable" true
+    (run_fields compiled1 = run_fields compiled2);
+  (* the family plan cache warms like the per-configuration one *)
+  Alcotest.(check int) "one miss" (m0 + 1) (Obs.Metric.value misses);
+  Alcotest.(check int) "one hit" (h0 + 1) (Obs.Metric.value hits);
+  (* the flat and family paths disagree on nothing but sharing: each
+     configuration's end_time matches a per-configuration simulate *)
+  let flat =
+    handle ~handler:t
+      (plain
+         (P.Simulate
+            {
+              model = family_model_source;
+              until = Some 500;
+              compiled = false;
+              family = false;
+            }))
+  in
+  let end_times r =
+    run_fields r
+    |> List.filter_map (fun run -> Option.bind (J.member "end_time" run) J.to_int)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "family end times = flat end times"
+    (end_times flat) (end_times interpreted)
 
 (* --------------------------- telemetry ---------------------------- *)
 
@@ -462,7 +587,12 @@ let test_metrics_under_load () =
                       });
                  plain
                    (P.Simulate
-                      { model = model_source; until = Some 30; compiled = true });
+                      {
+                        model = model_source;
+                        until = Some 30;
+                        compiled = true;
+                        family = false;
+                      });
                ])
         in
         while not (Atomic.get stop) do
@@ -564,6 +694,8 @@ let suite =
       Alcotest.test_case "backoff shape and clamp" `Quick test_backoff_shape;
       Alcotest.test_case "handler compiled simulate" `Quick
         test_handler_simulate_compiled;
+      Alcotest.test_case "handler family simulate" `Quick
+        test_handler_simulate_family;
       Alcotest.test_case "client reports unreachable" `Quick
         test_client_unreachable;
       Alcotest.test_case "metrics verb payload" `Quick

@@ -5,7 +5,7 @@
 module T = Trajectory
 
 let record ?(label = "") ?(name = "w") ?(speedup = 2.0) ?sim ?family
-    ?(costs = [ 34; 34; 34 ]) () =
+    ?family_compiled ?(costs = [ 34; 34; 34 ]) () =
   {
     T.label;
     max_jobs = 4;
@@ -17,6 +17,7 @@ let record ?(label = "") ?(name = "w") ?(speedup = 2.0) ?sim ?family
           speedup;
           sim_speedup = sim;
           family_speedup = family;
+          family_compiled_speedup = family_compiled;
           runs =
             List.mapi
               (fun i c ->
@@ -115,7 +116,7 @@ let test_old_baseline_skips_new_fields () =
   match
     check
       ~baseline:(Some (record ~speedup:2.0 ()))
-      ~fresh:(record ~speedup:1.9 ~sim:5.0 ~family:3.0 ())
+      ~fresh:(record ~speedup:1.9 ~sim:5.0 ~family:3.0 ~family_compiled:6.0 ())
       ()
   with
   | Ok summary ->
@@ -128,7 +129,8 @@ let test_old_baseline_skips_new_fields () =
 let test_old_fresh_skips_new_fields () =
   match
     check
-      ~baseline:(Some (record ~speedup:2.0 ~sim:5.0 ~family:3.0 ()))
+      ~baseline:
+        (Some (record ~speedup:2.0 ~sim:5.0 ~family:3.0 ~family_compiled:6.0 ()))
       ~fresh:(record ~speedup:1.9 ())
       ()
   with
@@ -146,6 +148,18 @@ let test_family_gate_fires () =
   | Error fs ->
     Alcotest.(check bool) "failure names the family arm" true
       (List.exists (fun f -> has_sub f "family speedup regressed") fs)
+
+let test_family_compiled_gate_fires () =
+  match
+    check
+      ~baseline:(Some (record ~family_compiled:8.0 ()))
+      ~fresh:(record ~family_compiled:1.0 ())
+      ()
+  with
+  | Ok s -> Alcotest.failf "regressed family_compiled speedup passed: %s" s
+  | Error fs ->
+    Alcotest.(check bool) "failure names the family_compiled arm" true
+      (List.exists (fun f -> has_sub f "family_compiled speedup regressed") fs)
 
 let test_sim_gate_fires () =
   match
@@ -211,7 +225,9 @@ let test_parse_record () =
       (* a record from before the sim/family fields existed *)
       Alcotest.(check (option (float 1e-9))) "no sim field" None w.T.sim_speedup;
       Alcotest.(check (option (float 1e-9)))
-        "no family field" None w.T.family_speedup
+        "no family field" None w.T.family_speedup;
+      Alcotest.(check (option (float 1e-9)))
+        "no family_compiled field" None w.T.family_compiled_speedup
     | ws -> Alcotest.failf "expected 1 workload, got %d" (List.length ws))
   | Ok rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
@@ -230,7 +246,8 @@ let sample_json_with_fields =
         ],
         "speedup_max_jobs": 4.0,
         "sim": {"interpreted_wall_s": 0.2, "compiled_wall_s": 0.05, "compile_s": 0.01, "speedup": 4.0},
-        "family": {"npass_wall_s": 0.3, "family_wall_s": 0.12, "configs": 2, "speedup": 2.5}
+        "family": {"npass_wall_s": 0.3, "family_wall_s": 0.12, "configs": 2, "speedup": 2.5},
+        "family_compiled": {"npass_wall_s": 0.3, "family_wall_s": 0.05, "configs": 2, "speedup": 6.0}
       }
     ],
     "aggregate": {"wall_s_jobs1": 0.4, "wall_s_max_jobs": 0.1, "speedup_max_jobs": 4.0},
@@ -244,7 +261,9 @@ let test_parse_sim_and_family_fields () =
   | Ok [ { T.workloads = [ w ]; _ } ] ->
     Alcotest.(check (option (float 1e-9))) "sim" (Some 4.0) w.T.sim_speedup;
     Alcotest.(check (option (float 1e-9)))
-      "family" (Some 2.5) w.T.family_speedup
+      "family" (Some 2.5) w.T.family_speedup;
+    Alcotest.(check (option (float 1e-9)))
+      "family_compiled" (Some 6.0) w.T.family_compiled_speedup
   | Ok _ -> Alcotest.fail "expected 1 record with 1 workload"
 
 let test_parse_rejects_bad_schema () =
@@ -277,6 +296,8 @@ let suite =
         test_old_fresh_skips_new_fields;
       Alcotest.test_case "family arm fires on regression" `Quick
         test_family_gate_fires;
+      Alcotest.test_case "family_compiled arm fires on regression" `Quick
+        test_family_compiled_gate_fires;
       Alcotest.test_case "sim arm fires on regression" `Quick
         test_sim_gate_fires;
       Alcotest.test_case "sim/family regressions inside the budget pass"
